@@ -1,0 +1,132 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Because the
+original experiments run a C++ engine for two days on a 192-core server, the
+default Python benchmark grid is a scaled-down (but structurally identical)
+subset; set the environment variable ``REPRO_BENCH_FULL=1`` to run the full
+paper grid (all six workloads, both platforms, batch sizes 1-64 and the
+published SA budgets) if you have the time budget for it.
+
+Results are cached per (workload, platform, batch) within one pytest session
+so the Sec. VI-B statistics benchmark can reuse the Fig. 6 runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.analysis.comparison import ComparisonRow, compare_workload
+from repro.core.config import SAParams, SoMaConfig
+from repro.core.core_array import CoreArrayMapper
+from repro.hardware.accelerator import AcceleratorConfig, cloud_accelerator, edge_accelerator
+from repro.workloads.registry import build_workload
+
+FULL_MODE = os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false", "False")
+
+
+def bench_config(seed: int = 2025) -> SoMaConfig:
+    """Search budget used by the benchmark harness."""
+    if FULL_MODE:
+        return SoMaConfig.paper().with_seed(seed)
+    return SoMaConfig(
+        lfa_sa=SAParams(iterations_per_unit=12.0, max_iterations=1100, initial_temperature=0.03),
+        dlsa_sa=SAParams(iterations_per_unit=20.0, max_iterations=4000),
+        max_allocator_iterations=2,
+        allocator_patience=1,
+        seed=seed,
+    )
+
+
+def light_config(seed: int = 2025) -> SoMaConfig:
+    """Smaller budget for sweeps with many design points (Fig. 7)."""
+    if FULL_MODE:
+        return SoMaConfig.paper().with_seed(seed)
+    return SoMaConfig(
+        lfa_sa=SAParams(iterations_per_unit=6.0, max_iterations=450, initial_temperature=0.03),
+        dlsa_sa=SAParams(iterations_per_unit=10.0, max_iterations=2500),
+        max_allocator_iterations=1,
+        allocator_patience=1,
+        seed=seed,
+    )
+
+
+@dataclass(frozen=True)
+class Fig6Cell:
+    """One (workload, platform, batch) cell of Fig. 6."""
+
+    workload: str
+    platform: str
+    batch: int
+    workload_kwargs: tuple = ()
+
+    @property
+    def key(self) -> tuple:
+        return (self.workload, self.platform, self.batch, self.workload_kwargs)
+
+    def build_graph(self):
+        return build_workload(self.workload, batch=self.batch, **dict(self.workload_kwargs))
+
+    def build_accelerator(self) -> AcceleratorConfig:
+        return edge_accelerator() if self.platform == "edge" else cloud_accelerator()
+
+
+def fig6_cells() -> list[Fig6Cell]:
+    """The Fig. 6 grid: a representative default subset, or the full grid."""
+    if FULL_MODE:
+        cells = []
+        for platform in ("edge", "cloud"):
+            gpt_variant = "small" if platform == "edge" else "xl"
+            seq = 512 if platform == "edge" else 1024
+            for batch in (1, 4, 16, 64):
+                cells.extend(
+                    [
+                        Fig6Cell("resnet50", platform, batch),
+                        Fig6Cell("resnet101", platform, batch),
+                        Fig6Cell("inception_resnet_v1", platform, batch),
+                        Fig6Cell("randwire", platform, batch),
+                        Fig6Cell(
+                            "gpt2-prefill",
+                            platform,
+                            batch,
+                            (("variant", gpt_variant), ("seq_len", seq)),
+                        ),
+                        Fig6Cell(
+                            "gpt2-decode",
+                            platform,
+                            batch,
+                            (("variant", gpt_variant), ("context_len", seq)),
+                        ),
+                    ]
+                )
+        return cells
+    return [
+        Fig6Cell("resnet50", "edge", 1),
+        Fig6Cell("resnet50", "edge", 4),
+        Fig6Cell("randwire", "edge", 1),
+        Fig6Cell("gpt2-prefill", "edge", 1, (("variant", "small"), ("seq_len", 256))),
+        Fig6Cell("gpt2-decode", "edge", 1, (("variant", "small"), ("context_len", 512))),
+        Fig6Cell("gpt2-decode", "edge", 4, (("variant", "small"), ("context_len", 512))),
+    ]
+
+
+_ROW_CACHE: dict[tuple, ComparisonRow] = {}
+_MAPPER_CACHE: dict[str, CoreArrayMapper] = {}
+
+
+def comparison_row(cell: Fig6Cell, seed: int = 2025) -> ComparisonRow:
+    """Run (or reuse) the Cocco-vs-SoMa comparison for one Fig. 6 cell."""
+    key = cell.key + (seed,)
+    if key in _ROW_CACHE:
+        return _ROW_CACHE[key]
+    accelerator = cell.build_accelerator()
+    mapper = _MAPPER_CACHE.setdefault(accelerator.name, CoreArrayMapper(accelerator))
+    row = compare_workload(
+        cell.build_graph(),
+        accelerator,
+        config=bench_config(seed),
+        seed=seed,
+        mapper=mapper,
+    )
+    _ROW_CACHE[key] = row
+    return row

@@ -1,0 +1,41 @@
+"""Benchmark fixtures: a reporter that survives pytest's output capture."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+class BenchReporter:
+    """Writes result tables both to the terminal and to benchmarks/results/."""
+
+    def __init__(self, terminal, name: str) -> None:
+        self._terminal = terminal
+        self._path = RESULTS_DIR / f"{name}.txt"
+        RESULTS_DIR.mkdir(exist_ok=True)
+        self._lines: list[str] = []
+
+    def line(self, text: str = "") -> None:
+        """Emit one line of the report."""
+        self._lines.append(text)
+        if self._terminal is not None:
+            self._terminal.write_line(text)
+        else:  # pragma: no cover - fallback when no terminal reporter exists
+            print(text)
+
+    def flush(self) -> None:
+        """Persist the collected lines to the results directory."""
+        self._path.write_text("\n".join(self._lines) + "\n")
+
+
+@pytest.fixture
+def reporter(request):
+    """A :class:`BenchReporter` named after the requesting test."""
+    terminal = request.config.pluginmanager.get_plugin("terminalreporter")
+    bench_reporter = BenchReporter(terminal, request.node.name)
+    bench_reporter.line("")
+    yield bench_reporter
+    bench_reporter.flush()

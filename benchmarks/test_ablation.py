@@ -1,0 +1,64 @@
+"""Ablations of SoMa's design choices (Sec. V-A / V-B rationale).
+
+The paper argues for (1) a second, DLSA-only stage on top of the LFA stage,
+and (2) an outer Buffer Allocator that re-splits the GBUF between the two
+stages.  This benchmark quantifies both choices on ResNet-50 (edge, batch 1):
+
+* ``stage1-only``   - the LFA stage with the double-buffer DLSA (Ours_1);
+* ``two-stage``     - the full SoMa flow but a single allocator iteration;
+* ``with-allocator``- the full SoMa flow with the Buffer Allocator loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from benchmarks.common import bench_config
+from repro.core.core_array import CoreArrayMapper
+from repro.core.soma import SoMaScheduler
+from repro.hardware.accelerator import edge_accelerator
+from repro.workloads.registry import build_workload
+
+
+def _run():
+    accelerator = edge_accelerator()
+    graph = build_workload("resnet50", batch=1)
+    mapper = CoreArrayMapper(accelerator)
+
+    base_config = bench_config()
+    single_iteration = replace(base_config, max_allocator_iterations=1, allocator_patience=1)
+    with_allocator = replace(base_config, max_allocator_iterations=3, allocator_patience=2)
+
+    two_stage = SoMaScheduler(accelerator, single_iteration, mapper=mapper).schedule(graph)
+    allocator = SoMaScheduler(accelerator, with_allocator, mapper=mapper).schedule(graph)
+
+    return {
+        "stage1-only": two_stage.stage1.evaluation,
+        "two-stage": two_stage.stage2.evaluation,
+        "with-allocator": allocator.evaluation,
+        "allocator_iterations": allocator.allocator_iterations,
+        "accelerator": accelerator,
+    }
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_two_stage_and_buffer_allocator_ablation(benchmark, reporter):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    accelerator = results["accelerator"]
+
+    reporter.line("Ablation on ResNet-50 (edge, batch 1)")
+    reporter.line(f"{'variant':16s} {'latency(ms)':>12s} {'energy(mJ)':>11s} {'EDP':>12s} {'util':>6s}")
+    for label in ("stage1-only", "two-stage", "with-allocator"):
+        evaluation = results[label]
+        reporter.line(
+            f"{label:16s} {evaluation.latency_s * 1e3:>12.3f} {evaluation.energy_j * 1e3:>11.3f} "
+            f"{evaluation.objective():>12.3e} {evaluation.compute_utilization(accelerator):>6.3f}"
+        )
+    reporter.line(f"buffer-allocator iterations executed: {results['allocator_iterations']}")
+
+    # The second stage must not be worse than stage 1 (it starts from it), and
+    # the allocator must not be worse than a single iteration of the same flow.
+    assert results["two-stage"].latency_s <= results["stage1-only"].latency_s * 1.001
+    assert results["with-allocator"].objective() <= results["two-stage"].objective() * 1.05

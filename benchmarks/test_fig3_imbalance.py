@@ -1,0 +1,64 @@
+"""Fig. 3: DRAM access vs. operation imbalance per layer and per Cocco tile.
+
+The paper's figure shows four scatter plots (ResNet-50 / Transformer, per
+layer / per tile) and argues that the per-tile clouds are markedly more
+spread out towards the axes.  This benchmark regenerates the underlying
+series and prints the spread / axis-hugging statistics for each plot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import FULL_MODE, light_config
+from repro.analysis.imbalance import (
+    axis_hugging_fraction,
+    layer_imbalance,
+    spread_metric,
+    tile_imbalance,
+)
+from repro.baselines.cocco import CoccoScheduler
+from repro.hardware.accelerator import edge_accelerator
+from repro.workloads.registry import build_workload
+
+_WORKLOADS = [
+    ("resnet50", {}),
+    ("gpt2-prefill", {"variant": "small", "seq_len": 512 if FULL_MODE else 256}),
+]
+
+
+def _collect():
+    accelerator = edge_accelerator()
+    config = light_config()
+    rows = []
+    for name, kwargs in _WORKLOADS:
+        graph = build_workload(name, batch=1, **kwargs)
+        scheduler = CoccoScheduler(accelerator, config)
+        result = scheduler.schedule(graph)
+        plan, _ = scheduler.parse(graph, result.encoding.lfa)
+        rows.append(
+            {
+                "workload": graph.name,
+                "layers": layer_imbalance(graph),
+                "tiles": tile_imbalance(plan),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_imbalance(benchmark, reporter):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    reporter.line("Fig. 3 - normalised DRAM access vs. operations, per layer and per Cocco tile")
+    reporter.line(
+        f"{'workload':32s} {'granularity':12s} {'points':>7s} {'spread':>8s} {'axis-hugging':>13s}"
+    )
+    for row in rows:
+        for granularity, points in (("layer", row["layers"]), ("tile", row["tiles"])):
+            reporter.line(
+                f"{row['workload']:32s} {granularity:12s} {len(points):>7d} "
+                f"{spread_metric(points):>8.3f} {axis_hugging_fraction(points) * 100:>12.1f}%"
+            )
+    # The paper's qualitative claim: tiles are more spread out than layers.
+    for row in rows:
+        assert axis_hugging_fraction(row["tiles"]) >= axis_hugging_fraction(row["layers"])

@@ -1,0 +1,61 @@
+"""Fig. 6 + Sec. VI-B headline numbers: overall Cocco vs SoMa comparison.
+
+For every cell of the grid the benchmark prints the series plotted in Fig. 6
+(normalised core / DRAM energy, computing-resource utilisation, theoretical
+maximum utilisation, average buffer usage) for Cocco, Ours_1 (after stage 1)
+and Ours_2 (after stage 2), followed by the aggregate statistics the paper
+quotes in the abstract and Sec. VI-B (average speedup, energy reduction, gap
+to the bound).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import comparison_row, fig6_cells
+from repro.analysis.comparison import summarize
+
+
+def _run_all():
+    return [(cell, comparison_row(cell)) for cell in fig6_cells()]
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_overall_comparison(benchmark, reporter):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    reporter.line("Fig. 6 - overall comparison (Cocco vs Ours_1 vs Ours_2)")
+    header = (
+        f"{'workload':28s} {'plat':5s} {'bs':>3s} {'scheme':7s} "
+        f"{'lat(ms)':>9s} {'E_core':>7s} {'E_dram':>7s} {'util':>6s} {'bound':>6s} {'buf(MB)':>8s}"
+    )
+    reporter.line(header)
+    rows = []
+    for cell, row in results:
+        rows.append(row)
+        for label, evaluation in (
+            ("Cocco", row.cocco),
+            ("Ours_1", row.soma_stage1),
+            ("Ours_2", row.soma_stage2),
+        ):
+            core_norm, dram_norm = row.normalized_energy(evaluation)
+            reporter.line(
+                f"{cell.workload:28s} {cell.platform:5s} {cell.batch:>3d} {label:7s} "
+                f"{evaluation.latency_s * 1e3:>9.3f} {core_norm:>7.3f} {dram_norm:>7.3f} "
+                f"{row.utilization(evaluation):>6.3f} {row.theoretical_max_utilization:>6.3f} "
+                f"{evaluation.avg_buffer_bytes / 1e6:>8.2f}"
+            )
+
+    summary = summarize(rows)
+    reporter.line("")
+    reporter.line("Sec. VI-B aggregate statistics (paper: 2.11x speedup, -37.3% energy, 3.1% gap)")
+    for line in summary.describe().splitlines():
+        reporter.line("  " + line)
+
+    # Shape checks: SoMa must not lose to Cocco on average (with the reduced
+    # default search budget we allow a small tolerance), stage 2 must never be
+    # worse than stage 1, and SoMa's schemes must not be finer grained than
+    # Cocco's on average.
+    assert summary.avg_speedup_total >= 0.97
+    assert summary.avg_speedup_stage2 >= 0.999
+    assert summary.avg_soma_tiles <= summary.avg_cocco_tiles * 1.05

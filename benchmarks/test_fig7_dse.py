@@ -1,0 +1,67 @@
+"""Fig. 7: design-space exploration over DRAM bandwidth x buffer size.
+
+The paper sweeps the 16 TOPS edge accelerator's memory system for every
+workload and batch size and highlights (red envelope) the configurations
+reaching the minimum latency.  The two insights to reproduce:
+
+* at batch 1, adding DRAM bandwidth helps much more than adding buffer;
+* with SoMa, the envelope forms a lower triangle — a larger buffer can
+  substitute for DRAM bandwidth — which Cocco does not exhibit as strongly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import FULL_MODE, light_config
+from repro.analysis.dse import run_dse
+from repro.hardware.accelerator import edge_accelerator
+from repro.workloads.registry import build_workload
+
+_BANDWIDTHS = [8.0, 16.0, 32.0, 64.0, 128.0] if FULL_MODE else [8.0, 16.0, 32.0]
+_BUFFERS = [4.0, 8.0, 16.0, 32.0, 64.0] if FULL_MODE else [4.0, 8.0, 16.0]
+_BATCHES = [1, 4, 16] if FULL_MODE else [1]
+
+
+def _sweep(batch: int):
+    graph = build_workload("resnet50", batch=batch)
+    return run_dse(
+        graph,
+        edge_accelerator(),
+        dram_bandwidths_gb_s=_BANDWIDTHS,
+        buffer_sizes_mb=_BUFFERS,
+        config=light_config(),
+        seed=2025,
+    )
+
+
+@pytest.mark.benchmark(group="fig7")
+@pytest.mark.parametrize("batch", _BATCHES)
+def test_fig7_dse_resnet50(benchmark, reporter, batch):
+    result = benchmark.pedantic(_sweep, args=(batch,), rounds=1, iterations=1)
+
+    reporter.line(f"Fig. 7 - DSE over DRAM bandwidth x buffer size (ResNet-50, batch {batch})")
+    reporter.line(result.to_table("cocco"))
+    reporter.line("")
+    reporter.line(result.to_table("soma"))
+    reporter.line("")
+    reporter.line("SoMa minimum-latency envelope (within 2% of the best point):")
+    for cell in result.envelope("soma"):
+        reporter.line(
+            f"  {cell.dram_bandwidth_gb_s:6.0f} GB/s  {cell.buffer_mb:5.0f} MB  "
+            f"-> {cell.soma_latency_s * 1e3:8.3f} ms  (vs Cocco {cell.soma_advantage:.2f}x)"
+        )
+
+    # Insight 1: at batch 1 bandwidth dominates - raising the bandwidth at the
+    # smallest buffer must help more than raising the buffer at the smallest
+    # bandwidth.
+    small = result.cell(_BANDWIDTHS[0], _BUFFERS[0]).soma_latency_s
+    more_bandwidth = result.cell(_BANDWIDTHS[-1], _BUFFERS[0]).soma_latency_s
+    more_buffer = result.cell(_BANDWIDTHS[0], _BUFFERS[-1]).soma_latency_s
+    if batch == 1:
+        assert more_bandwidth < small
+        assert (small - more_bandwidth) >= (small - more_buffer)
+    # SoMa (whose space includes every Cocco scheme) should match or beat
+    # Cocco at most design points even with the sweep's reduced budget.
+    slower_points = [c for c in result.cells if c.soma_latency_s > c.cocco_latency_s * 1.10]
+    assert len(slower_points) <= len(result.cells) // 2

@@ -1,0 +1,71 @@
+"""Sec. VI-B1 statistics: stage-1 structural differences between Cocco and SoMa.
+
+The paper attributes stage 1's gains to coarser tiles and more aggressive
+fusion: on average 751 computing tiles per network for SoMa vs 7962 for
+Cocco, 2.5 LGs vs 13.0, and 3.9 FLGs per network, together with a 34.8% /
+44.3% reduction in Core Array / DRAM energy.  This benchmark reuses the
+Fig. 6 runs and prints exactly those statistics for the benchmark grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import comparison_row, fig6_cells
+from repro.analysis.metrics import arithmetic_mean, percentage_reduction
+
+
+def _collect():
+    return [(cell, comparison_row(cell)) for cell in fig6_cells()]
+
+
+@pytest.mark.benchmark(group="stage-stats")
+def test_stage1_structure_statistics(benchmark, reporter):
+    results = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    reporter.line("Sec. VI-B1 - stage-1 structural statistics per network")
+    reporter.line(
+        f"{'workload':28s} {'bs':>3s} {'cocco tiles':>12s} {'soma tiles':>11s} "
+        f"{'cocco LGs':>10s} {'soma LGs':>9s} {'soma FLGs':>10s}"
+    )
+    for cell, row in results:
+        reporter.line(
+            f"{cell.workload:28s} {cell.batch:>3d} {row.cocco.num_tiles:>12d} "
+            f"{row.soma_stage1.num_tiles:>11d} {row.cocco.num_lgs:>10d} "
+            f"{row.soma_stage1.num_lgs:>9d} {row.soma_stage1.num_flgs:>10d}"
+        )
+
+    rows = [row for _, row in results]
+    core_reduction = arithmetic_mean(
+        [percentage_reduction(r.cocco.core_energy_j, r.soma_stage1.core_energy_j) for r in rows]
+    )
+    dram_reduction = arithmetic_mean(
+        [percentage_reduction(r.cocco.dram_energy_j, r.soma_stage1.dram_energy_j) for r in rows]
+    )
+    reporter.line("")
+    reporter.line(
+        f"average tiles per network : Cocco {arithmetic_mean([r.cocco.num_tiles for r in rows]):.0f} "
+        f"vs SoMa {arithmetic_mean([r.soma_stage1.num_tiles for r in rows]):.0f} "
+        f"(paper: 7962 vs 751)"
+    )
+    reporter.line(
+        f"average LGs per network   : Cocco {arithmetic_mean([r.cocco.num_lgs for r in rows]):.1f} "
+        f"vs SoMa {arithmetic_mean([r.soma_stage1.num_lgs for r in rows]):.1f} (paper: 13.0 vs 2.5)"
+    )
+    reporter.line(
+        f"average FLGs per network  : SoMa {arithmetic_mean([r.soma_stage1.num_flgs for r in rows]):.1f} "
+        f"(paper: 3.9)"
+    )
+    reporter.line(
+        f"stage-1 Core Array energy reduction vs Cocco: {core_reduction:.1f}% (paper: 34.8%)"
+    )
+    reporter.line(
+        f"stage-1 DRAM energy reduction vs Cocco      : {dram_reduction:.1f}% (paper: 44.3%)"
+    )
+
+    assert arithmetic_mean([r.soma_stage1.num_tiles for r in rows]) <= arithmetic_mean(
+        [r.cocco.num_tiles for r in rows]
+    ) * 1.05
+    assert arithmetic_mean([r.soma_stage1.num_lgs for r in rows]) <= arithmetic_mean(
+        [r.cocco.num_lgs for r in rows]
+    ) * 1.2

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Design-space exploration: DRAM bandwidth x buffer capacity (paper Fig. 7).
+
+Sweeps the memory system of the 16 TOPS edge accelerator and prints a latency
+table for Cocco and SoMa, together with the envelope of configurations that
+reach (within 2 %) the minimum latency — the paper's "red curve", whose lower
+triangle shows that with SoMa a larger buffer can substitute for DRAM
+bandwidth.
+
+Run with:  python examples/dse_sweep.py [--workload resnet50] [--batch 1] [--fast]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import SoMaConfig, build_workload, edge_accelerator
+from repro.analysis.dse import run_dse
+from repro.core.config import SAParams
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="resnet50")
+    parser.add_argument("--batch", type=int, default=1)
+    parser.add_argument("--bandwidths", type=float, nargs="+", default=[8.0, 16.0, 32.0, 64.0])
+    parser.add_argument("--buffers", type=float, nargs="+", default=[4.0, 8.0, 16.0, 32.0])
+    parser.add_argument("--fast", action="store_true")
+    args = parser.parse_args()
+
+    config = SoMaConfig.fast() if args.fast else SoMaConfig(
+        lfa_sa=SAParams(iterations_per_unit=10.0, max_iterations=1200),
+        dlsa_sa=SAParams(iterations_per_unit=4.0, max_iterations=1500),
+        max_allocator_iterations=2,
+        allocator_patience=1,
+    )
+    workload = build_workload(args.workload, batch=args.batch)
+    base = edge_accelerator()
+
+    print(f"sweeping {len(args.bandwidths)}x{len(args.buffers)} design points "
+          f"for {workload.name} (batch {workload.batch}) ...")
+    result = run_dse(
+        workload,
+        base,
+        dram_bandwidths_gb_s=args.bandwidths,
+        buffer_sizes_mb=args.buffers,
+        config=config,
+    )
+
+    print()
+    print(result.to_table("cocco"))
+    print()
+    print(result.to_table("soma"))
+
+    print("\nconfigurations on the SoMa minimum-latency envelope (within 2%):")
+    for cell in result.envelope("soma"):
+        print(
+            f"  {cell.dram_bandwidth_gb_s:6.0f} GB/s, {cell.buffer_mb:5.0f} MB "
+            f"-> {cell.soma_latency_s * 1e3:.3f} ms "
+            f"(advantage over Cocco {cell.soma_advantage:.2f}x)"
+        )
+
+
+if __name__ == "__main__":
+    main()

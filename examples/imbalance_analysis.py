@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""DRAM/compute imbalance analysis (paper Fig. 3).
+
+Prints, for a CNN and a transformer workload, the normalised DRAM-access and
+operation count per layer and — after scheduling with the Cocco baseline —
+per computing tile, and quantifies how much more "spread out" the per-tile
+cloud is.  This is the observation motivating prefetching and delayed
+storing.
+
+Run with:  python examples/imbalance_analysis.py [--fast]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import CoccoScheduler, SoMaConfig, build_workload, edge_accelerator
+from repro.analysis.imbalance import (
+    axis_hugging_fraction,
+    layer_imbalance,
+    spread_metric,
+    tile_imbalance,
+)
+
+
+def _histogram(points, buckets: int = 10) -> str:
+    """A terminal-friendly 2D density sketch of the scatter plot."""
+    grid = [[0] * buckets for _ in range(buckets)]
+    for point in points:
+        x = min(buckets - 1, int(point.normalized_ops * buckets))
+        y = min(buckets - 1, int(point.normalized_dram * buckets))
+        grid[buckets - 1 - y][x] += 1
+    shades = " .:*#@"
+    lines = []
+    for row in grid:
+        line = "".join(shades[min(len(shades) - 1, count)] for count in row)
+        lines.append("|" + line + "|")
+    lines.append("+" + "-" * buckets + "+  (x: normalised ops, y: normalised DRAM access)")
+    return "\n".join(lines)
+
+
+def analyse(name: str, workload_kwargs: dict, config: SoMaConfig) -> None:
+    accelerator = edge_accelerator()
+    workload = build_workload(name, batch=1, **workload_kwargs)
+    scheduler = CoccoScheduler(accelerator, config)
+    scheduled = scheduler.schedule(workload)
+    plan, _ = scheduler.parse(workload, scheduled.encoding.lfa)
+
+    layers = layer_imbalance(workload)
+    tiles = tile_imbalance(plan)
+
+    print(f"=== {workload.name} ===")
+    print(f"per-layer points : {len(layers):5d}   spread {spread_metric(layers):.3f}   "
+          f"axis-hugging {axis_hugging_fraction(layers) * 100:.1f}%")
+    print(_histogram(layers))
+    print(f"per-tile points  : {len(tiles):5d}   spread {spread_metric(tiles):.3f}   "
+          f"axis-hugging {axis_hugging_fraction(tiles) * 100:.1f}%")
+    print(_histogram(tiles))
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true")
+    parser.add_argument("--seq-len", type=int, default=512)
+    args = parser.parse_args()
+    config = SoMaConfig.fast() if args.fast else SoMaConfig()
+
+    analyse("resnet50", {}, config)
+    analyse("gpt2-prefill", {"variant": "small", "seq_len": args.seq_len}, config)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule ResNet-50 on the edge accelerator with SoMa.
+
+This is the smallest end-to-end use of the library: build a workload, pick a
+hardware platform, run the two-stage SoMa exploration and print the resulting
+latency / energy report next to the Cocco baseline.
+
+Run with:  python examples/quickstart.py [--batch 1] [--fast]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    CoccoScheduler,
+    SoMaConfig,
+    SoMaScheduler,
+    build_workload,
+    edge_accelerator,
+)
+from repro.core.config import SAParams
+
+
+def make_config(fast: bool) -> SoMaConfig:
+    """A search budget suited to an interactive example run."""
+    if fast:
+        return SoMaConfig.fast()
+    return SoMaConfig(
+        lfa_sa=SAParams(iterations_per_unit=20.0, max_iterations=2500),
+        dlsa_sa=SAParams(iterations_per_unit=8.0, max_iterations=3000),
+        max_allocator_iterations=3,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--batch", type=int, default=1, help="batch size (paper: 1/4/16/64)")
+    parser.add_argument("--workload", default="resnet50", help="registry name of the workload")
+    parser.add_argument("--fast", action="store_true", help="use a very small search budget")
+    args = parser.parse_args()
+
+    accelerator = edge_accelerator()
+    workload = build_workload(args.workload, batch=args.batch)
+    config = make_config(args.fast)
+
+    print(f"workload : {workload.name}  ({len(workload)} layers, batch {workload.batch})")
+    print(f"hardware : {accelerator.name}  ({accelerator.peak_tops:.1f} TOPS, "
+          f"{accelerator.gbuf_bytes / 1e6:.0f} MB GBUF, "
+          f"{accelerator.dram_bandwidth_bytes_per_s / 1e9:.0f} GB/s DRAM)")
+
+    print("\nrunning the Cocco baseline ...")
+    cocco = CoccoScheduler(accelerator, config).schedule(workload)
+    print("  " + cocco.evaluation.describe())
+
+    print("running SoMa (stage 1 + stage 2) ...")
+    soma = SoMaScheduler(accelerator, config).schedule(workload)
+    print("  stage 1: " + soma.stage1.evaluation.describe())
+    print("  stage 2: " + soma.stage2.evaluation.describe())
+
+    speedup = cocco.evaluation.latency_s / soma.evaluation.latency_s
+    energy_saving = 100.0 * (1.0 - soma.evaluation.energy_j / cocco.evaluation.energy_j)
+    print("\nSoMa vs Cocco")
+    print(f"  performance improvement : {speedup:.2f}x")
+    print(f"  energy reduction        : {energy_saving:.1f}%")
+    print(f"  compute utilisation     : {soma.evaluation.compute_utilization(accelerator):.3f} "
+          f"(theoretical max {soma.evaluation.theoretical_max_utilization(accelerator):.3f})")
+    print(f"  LGs (SoMa / Cocco)      : {soma.evaluation.num_lgs} / {cocco.evaluation.num_lgs}")
+    print(f"  best encoding           : {soma.encoding.lfa.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""ResNet-50 on the edge platform: execution graphs and the compiler flow.
+
+Mirrors the paper's practical example (Sec. VII-B / Fig. 8): it schedules
+ResNet-50 with the Cocco baseline, SoMa stage 1 and SoMa stage 2, prints an
+ASCII execution graph for each scheme (DRAM row, COMPUTE row, group layout),
+and finally lowers the best scheme to the IR and the abstract instruction
+stream the accelerator would execute.
+
+Run with:  python examples/resnet_edge_scheduling.py [--fast]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import CoccoScheduler, SoMaConfig, SoMaScheduler, build_workload, edge_accelerator
+from repro.analysis.execution_graph import build_execution_graph
+from repro.compiler.codegen import lower_result
+from repro.compiler.ir import generate_ir
+from repro.core.config import SAParams
+from repro.core.double_buffer import double_buffer_dlsa
+from repro.core.evaluator import ScheduleEvaluator
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--batch", type=int, default=1)
+    parser.add_argument("--fast", action="store_true")
+    args = parser.parse_args()
+
+    accelerator = edge_accelerator()
+    workload = build_workload("resnet50", batch=args.batch)
+    config = SoMaConfig.fast() if args.fast else SoMaConfig(
+        lfa_sa=SAParams(iterations_per_unit=20.0, max_iterations=2500),
+        dlsa_sa=SAParams(iterations_per_unit=8.0, max_iterations=3000),
+        max_allocator_iterations=3,
+    )
+    evaluator = ScheduleEvaluator(accelerator)
+
+    # ----------------------------------------------------------------- Cocco
+    cocco_scheduler = CoccoScheduler(accelerator, config)
+    cocco = cocco_scheduler.schedule(workload)
+    cocco_plan, cocco_dlsa = cocco_scheduler.parse(workload, cocco.encoding.lfa)
+    cocco_trace = evaluator.evaluate(cocco_plan, cocco_dlsa, include_trace=True)
+    print(build_execution_graph(cocco_plan, cocco_dlsa, cocco_trace, "Cocco").render_ascii())
+    print()
+
+    # ------------------------------------------------------------------ SoMa
+    soma = SoMaScheduler(accelerator, config).schedule(workload)
+
+    stage1_plan, stage1_dlsa_enc = soma.stage1.encoding.parse(workload)
+    stage1_dlsa = stage1_dlsa_enc if stage1_dlsa_enc is not None else double_buffer_dlsa(stage1_plan)
+    stage1_trace = evaluator.evaluate(stage1_plan, stage1_dlsa, include_trace=True)
+    print(build_execution_graph(stage1_plan, stage1_dlsa, stage1_trace, "SoMa stage 1").render_ascii())
+    print()
+
+    stage2_trace = evaluator.evaluate(soma.plan, soma.dlsa, include_trace=True)
+    print(build_execution_graph(soma.plan, soma.dlsa, stage2_trace, "SoMa stage 2").render_ascii())
+    print()
+
+    # ------------------------------------------------------------- compiler
+    ir = generate_ir(soma.plan, soma.dlsa)
+    program = lower_result(soma.plan, soma.dlsa)
+    print(f"IR: {ir.num_tiles} compute tiles, {ir.num_dram_tensors} DRAM tensors "
+          f"({len(ir.to_json())} bytes of JSON)")
+    print(f"instruction stream: {program.num_instructions} instructions "
+          f"({len(program.dram_queue)} DRAM, {len(program.compute_queue)} compute)")
+    print("\nfirst ten instructions of the DRAM queue:")
+    for instruction in program.dram_queue[:10]:
+        print("  " + instruction.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""SoMa reproduction: DRAM communication scheduling for DNN accelerators.
+
+This library reproduces "SoMa: Identifying, Exploring, and Understanding the
+DRAM Communication Scheduling Space for DNN Accelerators" (HPCA 2025): the
+Tensor-centric Notation, the two-stage simulated-annealing framework with a
+Buffer Allocator, the accurate evaluator, the Cocco baseline, the workload
+zoo and the analysis/benchmark harnesses that regenerate the paper's figures.
+
+Quickstart
+----------
+>>> from repro import SoMaScheduler, SoMaConfig, build_workload, edge_accelerator
+>>> accelerator = edge_accelerator()
+>>> workload = build_workload("resnet50", batch=1)
+>>> result = SoMaScheduler(accelerator, SoMaConfig.fast()).schedule(workload)
+>>> result.evaluation.latency_s > 0
+True
+"""
+
+from repro.baselines import CoccoScheduler, UnfusedScheduler
+from repro.core import (
+    CoreArrayMapper,
+    EvaluationResult,
+    SAParams,
+    ScheduleEvaluator,
+    SoMaConfig,
+    SoMaResult,
+    SoMaScheduler,
+    StageResult,
+)
+from repro.hardware import (
+    AcceleratorConfig,
+    CoreArrayConfig,
+    EnergyModel,
+    MemoryConfig,
+    cloud_accelerator,
+    edge_accelerator,
+)
+from repro.notation import DLSA, LFA, DRAMTensor, ScheduleEncoding, TensorKind, parse_lfa
+from repro.workloads import Layer, OpType, WorkloadGraph, available_workloads, build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcceleratorConfig",
+    "CoccoScheduler",
+    "CoreArrayConfig",
+    "CoreArrayMapper",
+    "DLSA",
+    "DRAMTensor",
+    "EnergyModel",
+    "EvaluationResult",
+    "LFA",
+    "Layer",
+    "MemoryConfig",
+    "OpType",
+    "SAParams",
+    "ScheduleEncoding",
+    "ScheduleEvaluator",
+    "SoMaConfig",
+    "SoMaResult",
+    "SoMaScheduler",
+    "StageResult",
+    "TensorKind",
+    "UnfusedScheduler",
+    "WorkloadGraph",
+    "available_workloads",
+    "build_workload",
+    "cloud_accelerator",
+    "edge_accelerator",
+    "parse_lfa",
+    "__version__",
+]

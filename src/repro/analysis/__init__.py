@@ -1,0 +1,44 @@
+"""Analysis harnesses that regenerate the paper's figures and statistics.
+
+Every table and figure of the evaluation section (Sec. VI / VII) has a
+corresponding entry point here:
+
+* :mod:`repro.analysis.imbalance`   — Fig. 3 scatter data (DRAM vs compute).
+* :mod:`repro.analysis.comparison`  — Fig. 6 overall comparison rows and the
+  Sec. VI-B aggregate statistics.
+* :mod:`repro.analysis.dse`         — Fig. 7 bandwidth x buffer sweeps.
+* :mod:`repro.analysis.execution_graph` — Fig. 8 execution-graph dumps.
+* :mod:`repro.analysis.metrics`     — shared metric helpers.
+"""
+
+from repro.analysis.comparison import (
+    ComparisonRow,
+    ComparisonSummary,
+    compare_workload,
+    summarize,
+)
+from repro.analysis.dse import DSECell, DSEResult, run_dse
+from repro.analysis.execution_graph import ExecutionGraph, build_execution_graph
+from repro.analysis.imbalance import ImbalancePoint, layer_imbalance, spread_metric, tile_imbalance
+from repro.analysis.metrics import geometric_mean, normalize
+from repro.analysis.schedule_report import ScheduleReport, build_schedule_report
+
+__all__ = [
+    "ComparisonRow",
+    "ComparisonSummary",
+    "DSECell",
+    "DSEResult",
+    "ExecutionGraph",
+    "ImbalancePoint",
+    "ScheduleReport",
+    "build_schedule_report",
+    "build_execution_graph",
+    "compare_workload",
+    "geometric_mean",
+    "layer_imbalance",
+    "normalize",
+    "run_dse",
+    "spread_metric",
+    "summarize",
+    "tile_imbalance",
+]

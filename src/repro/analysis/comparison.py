@@ -1,0 +1,238 @@
+"""Fig. 6 overall comparison and the Sec. VI-B aggregate statistics.
+
+For one (workload, platform, batch) cell the harness runs the Cocco baseline
+and both SoMa stages and collects the quantities plotted in Fig. 6:
+normalised energy split into Core Array and DRAM energy, computing-resource
+utilisation (the performance proxy), the theoretical maximum utilisation and
+the average buffer utilisation.  :func:`summarize` aggregates rows into the
+headline numbers the paper reports (average speedup, energy reduction,
+LG / FLG / tile counts, gap to the theoretical bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import arithmetic_mean, geometric_mean, percentage_reduction
+from repro.baselines.cocco import CoccoScheduler
+from repro.core.config import SoMaConfig
+from repro.core.core_array import CoreArrayMapper
+from repro.core.result import EvaluationResult
+from repro.core.soma import SoMaScheduler
+from repro.hardware.accelerator import AcceleratorConfig
+from repro.workloads.graph import WorkloadGraph
+from repro.workloads.registry import build_workload
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One cell of Fig. 6: Cocco vs. Ours_1 vs. Ours_2."""
+
+    workload: str
+    accelerator: str
+    batch: int
+    cocco: EvaluationResult
+    soma_stage1: EvaluationResult
+    soma_stage2: EvaluationResult
+    peak_ops_per_s: float
+
+    # ------------------------------------------------------------------ ratios
+    @property
+    def speedup_stage1(self) -> float:
+        """Ours_1 performance improvement over Cocco."""
+        return self.cocco.latency_s / self.soma_stage1.latency_s
+
+    @property
+    def speedup_stage2(self) -> float:
+        """Ours_2 improvement over Ours_1."""
+        return self.soma_stage1.latency_s / self.soma_stage2.latency_s
+
+    @property
+    def speedup_total(self) -> float:
+        """Ours_2 performance improvement over Cocco."""
+        return self.cocco.latency_s / self.soma_stage2.latency_s
+
+    @property
+    def energy_reduction_percent(self) -> float:
+        """Energy reduction of Ours_2 vs Cocco (percent)."""
+        return percentage_reduction(self.cocco.energy_j, self.soma_stage2.energy_j)
+
+    def utilization(self, result: EvaluationResult) -> float:
+        """Computing-resource utilisation (Fig. 6 performance bars)."""
+        if result.latency_s <= 0:
+            return 0.0
+        return result.total_ops / (self.peak_ops_per_s * result.latency_s)
+
+    @property
+    def theoretical_max_utilization(self) -> float:
+        """Blue-diamond bound of Fig. 6 computed from the stage-2 scheme."""
+        bound_latency = max(
+            self.soma_stage2.compute_time_sum_s, self.soma_stage2.dram_time_sum_s
+        )
+        if bound_latency <= 0:
+            return 0.0
+        return min(1.0, self.soma_stage2.total_ops / (self.peak_ops_per_s * bound_latency))
+
+    @property
+    def gap_to_bound_percent(self) -> float:
+        """How far Ours_2 sits below the theoretical maximum (percent)."""
+        bound = self.theoretical_max_utilization
+        if bound <= 0:
+            return 0.0
+        return 100.0 * (1.0 - self.utilization(self.soma_stage2) / bound)
+
+    def normalized_energy(self, result: EvaluationResult) -> tuple[float, float]:
+        """(core, DRAM) energy normalised to the largest total in the row."""
+        peak = max(
+            self.cocco.energy_j, self.soma_stage1.energy_j, self.soma_stage2.energy_j
+        )
+        if peak <= 0:
+            return (0.0, 0.0)
+        return (result.core_energy_j / peak, result.dram_energy_j / peak)
+
+    def as_record(self) -> dict:
+        """Flat dictionary used by CSV output and the benchmark printers."""
+        record = {
+            "workload": self.workload,
+            "accelerator": self.accelerator,
+            "batch": self.batch,
+            "speedup_stage1": self.speedup_stage1,
+            "speedup_stage2": self.speedup_stage2,
+            "speedup_total": self.speedup_total,
+            "energy_reduction_percent": self.energy_reduction_percent,
+            "theoretical_max_utilization": self.theoretical_max_utilization,
+            "gap_to_bound_percent": self.gap_to_bound_percent,
+        }
+        for label, result in (
+            ("cocco", self.cocco),
+            ("ours1", self.soma_stage1),
+            ("ours2", self.soma_stage2),
+        ):
+            core_norm, dram_norm = self.normalized_energy(result)
+            record.update(
+                {
+                    f"{label}_latency_ms": result.latency_s * 1e3,
+                    f"{label}_energy_mj": result.energy_j * 1e3,
+                    f"{label}_core_energy_norm": core_norm,
+                    f"{label}_dram_energy_norm": dram_norm,
+                    f"{label}_utilization": self.utilization(result),
+                    f"{label}_num_lgs": result.num_lgs,
+                    f"{label}_num_flgs": result.num_flgs,
+                    f"{label}_num_tiles": result.num_tiles,
+                    f"{label}_avg_buffer_mb": result.avg_buffer_bytes / 1e6,
+                }
+            )
+        return record
+
+
+@dataclass(frozen=True)
+class ComparisonSummary:
+    """Aggregate statistics over a set of comparison rows (Sec. VI-B)."""
+
+    num_rows: int
+    avg_speedup_stage1: float
+    avg_speedup_stage2: float
+    avg_speedup_total: float
+    avg_energy_reduction_percent: float
+    avg_gap_to_bound_percent: float
+    avg_cocco_lgs: float
+    avg_soma_lgs: float
+    avg_soma_flgs: float
+    avg_cocco_tiles: float
+    avg_soma_tiles: float
+
+    def describe(self) -> str:
+        """Headline lines mirroring the abstract / Sec. VI-B numbers."""
+        return "\n".join(
+            [
+                f"rows: {self.num_rows}",
+                f"average performance improvement (stage 1 vs Cocco): {self.avg_speedup_stage1:.2f}x",
+                f"average performance improvement (stage 2 vs stage 1): {self.avg_speedup_stage2:.2f}x",
+                f"average performance improvement (total vs Cocco):   {self.avg_speedup_total:.2f}x",
+                f"average energy reduction vs Cocco: {self.avg_energy_reduction_percent:.1f}%",
+                f"average gap to theoretical max utilisation: {self.avg_gap_to_bound_percent:.1f}%",
+                f"average LGs per network: Cocco {self.avg_cocco_lgs:.1f} vs SoMa {self.avg_soma_lgs:.1f}",
+                f"average FLGs per network (SoMa): {self.avg_soma_flgs:.1f}",
+                f"average tiles per network: Cocco {self.avg_cocco_tiles:.0f} vs SoMa {self.avg_soma_tiles:.0f}",
+            ]
+        )
+
+
+def compare_workload(
+    graph: WorkloadGraph,
+    accelerator: AcceleratorConfig,
+    config: SoMaConfig | None = None,
+    seed: int | None = None,
+    mapper: CoreArrayMapper | None = None,
+) -> ComparisonRow:
+    """Run Cocco and SoMa on one workload and collect the Fig. 6 quantities."""
+    config = config if config is not None else SoMaConfig()
+    shared_mapper = mapper if mapper is not None else CoreArrayMapper(accelerator)
+
+    cocco = CoccoScheduler(accelerator, config, mapper=shared_mapper)
+    cocco_result = cocco.schedule(graph, seed=seed)
+
+    soma = SoMaScheduler(accelerator, config, mapper=shared_mapper)
+    soma_result = soma.schedule(graph, seed=seed)
+
+    return ComparisonRow(
+        workload=graph.name,
+        accelerator=accelerator.name,
+        batch=graph.batch,
+        cocco=cocco_result.evaluation,
+        soma_stage1=soma_result.stage1.evaluation,
+        soma_stage2=soma_result.stage2.evaluation,
+        peak_ops_per_s=accelerator.peak_ops_per_s,
+    )
+
+
+def compare_named_workload(
+    workload_name: str,
+    accelerator: AcceleratorConfig,
+    batch: int,
+    config: SoMaConfig | None = None,
+    seed: int | None = None,
+    **workload_kwargs,
+) -> ComparisonRow:
+    """Registry-name convenience wrapper around :func:`compare_workload`."""
+    graph = build_workload(workload_name, batch=batch, **workload_kwargs)
+    return compare_workload(graph, accelerator, config=config, seed=seed)
+
+
+def summarize(rows: list[ComparisonRow]) -> ComparisonSummary:
+    """Aggregate rows into the Sec. VI-B headline statistics."""
+    if not rows:
+        raise ValueError("cannot summarise an empty set of comparison rows")
+    return ComparisonSummary(
+        num_rows=len(rows),
+        avg_speedup_stage1=geometric_mean([r.speedup_stage1 for r in rows]),
+        avg_speedup_stage2=geometric_mean([r.speedup_stage2 for r in rows]),
+        avg_speedup_total=geometric_mean([r.speedup_total for r in rows]),
+        avg_energy_reduction_percent=arithmetic_mean(
+            [r.energy_reduction_percent for r in rows]
+        ),
+        avg_gap_to_bound_percent=arithmetic_mean([r.gap_to_bound_percent for r in rows]),
+        avg_cocco_lgs=arithmetic_mean([r.cocco.num_lgs for r in rows]),
+        avg_soma_lgs=arithmetic_mean([r.soma_stage2.num_lgs for r in rows]),
+        avg_soma_flgs=arithmetic_mean([r.soma_stage2.num_flgs for r in rows]),
+        avg_cocco_tiles=arithmetic_mean([r.cocco.num_tiles for r in rows]),
+        avg_soma_tiles=arithmetic_mean([r.soma_stage2.num_tiles for r in rows]),
+    )
+
+
+def rows_to_csv(rows: list[ComparisonRow]) -> str:
+    """Render rows as CSV text (the artifact's ``overall.csv`` equivalent)."""
+    if not rows:
+        return ""
+    records = [row.as_record() for row in rows]
+    header = list(records[0].keys())
+    lines = [",".join(header)]
+    for record in records:
+        lines.append(",".join(_format_csv_value(record[key]) for key in header))
+    return "\n".join(lines)
+
+
+def _format_csv_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

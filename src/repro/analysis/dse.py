@@ -1,0 +1,139 @@
+"""Fig. 7: design-space exploration over DRAM bandwidth and buffer size.
+
+For a fixed compute throughput (the 16 TOPS edge platform in the paper) the
+harness sweeps DRAM bandwidth x GBUF capacity, runs both Cocco and SoMa on
+every point and records the achieved latency.  The paper highlights the set
+of configurations reaching (within rounding) the global minimum latency with
+a red envelope; :class:`DSEResult` exposes the same notion so the insight
+"with SoMa, buffer capacity can compensate for DRAM bandwidth" can be checked
+programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.cocco import CoccoScheduler
+from repro.core.config import SoMaConfig
+from repro.core.soma import SoMaScheduler
+from repro.errors import SchedulingError
+from repro.hardware.accelerator import AcceleratorConfig
+from repro.hardware.memory import MB
+from repro.workloads.graph import WorkloadGraph
+
+
+@dataclass(frozen=True)
+class DSECell:
+    """Latency of the best scheme found at one (bandwidth, buffer) point."""
+
+    dram_bandwidth_gb_s: float
+    buffer_mb: float
+    cocco_latency_s: float
+    soma_latency_s: float
+
+    @property
+    def soma_advantage(self) -> float:
+        """Cocco latency divided by SoMa latency at this design point."""
+        if self.soma_latency_s <= 0:
+            return 0.0
+        return self.cocco_latency_s / self.soma_latency_s
+
+
+@dataclass(frozen=True)
+class DSEResult:
+    """A full bandwidth x buffer sweep for one workload and batch size."""
+
+    workload: str
+    batch: int
+    cells: tuple[DSECell, ...]
+
+    def min_latency(self, scheduler: str = "soma") -> float:
+        """Global minimum latency over the sweep for one scheduler."""
+        return min(self._latency(cell, scheduler) for cell in self.cells)
+
+    def envelope(self, scheduler: str = "soma", tolerance: float = 0.02) -> list[DSECell]:
+        """Cells within ``tolerance`` of the global minimum (the red curve)."""
+        best = self.min_latency(scheduler)
+        return [
+            cell
+            for cell in self.cells
+            if self._latency(cell, scheduler) <= best * (1.0 + tolerance)
+        ]
+
+    def cell(self, dram_bandwidth_gb_s: float, buffer_mb: float) -> DSECell:
+        """Lookup of a single design point."""
+        for candidate in self.cells:
+            if (
+                candidate.dram_bandwidth_gb_s == dram_bandwidth_gb_s
+                and candidate.buffer_mb == buffer_mb
+            ):
+                return candidate
+        raise KeyError(f"no DSE cell at {dram_bandwidth_gb_s} GB/s, {buffer_mb} MB")
+
+    def to_table(self, scheduler: str = "soma") -> str:
+        """ASCII heat-table (rows: buffer size, columns: DRAM bandwidth)."""
+        bandwidths = sorted({cell.dram_bandwidth_gb_s for cell in self.cells})
+        buffers = sorted({cell.buffer_mb for cell in self.cells})
+        header = "buffer\\bw " + " ".join(f"{bw:>9.0f}" for bw in bandwidths)
+        lines = [f"{self.workload} batch={self.batch} latency(ms), scheduler={scheduler}", header]
+        for buffer_mb in buffers:
+            row = [f"{buffer_mb:>8.0f}MB"]
+            for bandwidth in bandwidths:
+                cell = self.cell(bandwidth, buffer_mb)
+                row.append(f"{self._latency(cell, scheduler) * 1e3:>9.3f}")
+            lines.append(" ".join(row))
+        return "\n".join(lines)
+
+    @staticmethod
+    def _latency(cell: DSECell, scheduler: str) -> float:
+        if scheduler == "soma":
+            return cell.soma_latency_s
+        if scheduler == "cocco":
+            return cell.cocco_latency_s
+        raise ValueError(f"unknown scheduler {scheduler!r}")
+
+
+def run_dse(
+    graph: WorkloadGraph,
+    base_accelerator: AcceleratorConfig,
+    dram_bandwidths_gb_s: list[float],
+    buffer_sizes_mb: list[float],
+    config: SoMaConfig | None = None,
+    seed: int | None = None,
+) -> DSEResult:
+    """Sweep DRAM bandwidth x buffer capacity for one workload.
+
+    Design points where a scheduler finds no feasible scheme (e.g. a buffer
+    too small for any single layer) are recorded with infinite latency so the
+    envelope logic simply ignores them.
+    """
+    config = config if config is not None else SoMaConfig()
+    cells: list[DSECell] = []
+    for buffer_mb in buffer_sizes_mb:
+        for bandwidth in dram_bandwidths_gb_s:
+            accelerator = base_accelerator.with_memory(
+                gbuf_bytes=int(buffer_mb * MB),
+                dram_bandwidth_bytes_per_s=bandwidth * 1e9,
+            )
+            cocco_latency = _safe_latency(
+                lambda: CoccoScheduler(accelerator, config).schedule(graph, seed=seed).evaluation.latency_s
+            )
+            soma_latency = _safe_latency(
+                lambda: SoMaScheduler(accelerator, config).schedule(graph, seed=seed).evaluation.latency_s
+            )
+            cells.append(
+                DSECell(
+                    dram_bandwidth_gb_s=bandwidth,
+                    buffer_mb=buffer_mb,
+                    cocco_latency_s=cocco_latency,
+                    soma_latency_s=soma_latency,
+                )
+            )
+    return DSEResult(workload=graph.name, batch=graph.batch, cells=tuple(cells))
+
+
+def _safe_latency(run) -> float:
+    try:
+        return run()
+    except SchedulingError:
+        return float("inf")

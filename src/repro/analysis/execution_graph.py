@@ -1,0 +1,175 @@
+"""Fig. 8: practical execution graphs (DRAM row / COMPUTE row / buffer trace).
+
+The paper explains SoMa's gains through an execution-graph comparison of the
+schemes explored by Cocco, SoMa stage 1 and SoMa stage 2: which tensors the
+DRAM channel moves when, which tiles the core group computes when, where the
+computing stalls sit and how the DRAM cuts / FLCs / Tiling Numbers are laid
+out.  :func:`build_execution_graph` extracts the same information from an
+evaluation trace and can render it as ASCII for reports and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.result import EvaluationResult
+from repro.notation.dlsa import DLSA
+from repro.notation.plan import ComputePlan
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One busy interval on the DRAM or COMPUTE row."""
+
+    label: str
+    start_s: float
+    end_s: float
+    kind: str  # "load", "store" or "compute"
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class GroupAnnotation:
+    """One FLG of the scheme: its layers, Tiling Number and LG membership."""
+
+    flg_index: int
+    lg_index: int
+    tiling_number: int
+    layers: tuple[str, ...]
+    is_dram_cut: bool
+
+
+@dataclass(frozen=True)
+class ExecutionGraph:
+    """Structured Fig.-8-style view of one evaluated scheme."""
+
+    scheme_name: str
+    workload: str
+    latency_s: float
+    dram_segments: tuple[Segment, ...]
+    compute_segments: tuple[Segment, ...]
+    groups: tuple[GroupAnnotation, ...]
+
+    # ------------------------------------------------------------------ stalls
+    @property
+    def compute_stall_s(self) -> float:
+        """Total idle time on the compute row before the last tile finishes."""
+        busy = sum(segment.duration_s for segment in self.compute_segments)
+        if not self.compute_segments:
+            return 0.0
+        span = max(segment.end_s for segment in self.compute_segments)
+        return max(0.0, span - busy)
+
+    @property
+    def dram_idle_s(self) -> float:
+        """Total idle time on the DRAM row before the last transfer finishes."""
+        busy = sum(segment.duration_s for segment in self.dram_segments)
+        if not self.dram_segments:
+            return 0.0
+        span = max(segment.end_s for segment in self.dram_segments)
+        return max(0.0, span - busy)
+
+    @property
+    def dram_busy_fraction(self) -> float:
+        """Fraction of the total latency during which DRAM is transferring."""
+        if self.latency_s <= 0:
+            return 0.0
+        return sum(s.duration_s for s in self.dram_segments) / self.latency_s
+
+    @property
+    def compute_busy_fraction(self) -> float:
+        """Fraction of the total latency during which the cores compute."""
+        if self.latency_s <= 0:
+            return 0.0
+        return sum(s.duration_s for s in self.compute_segments) / self.latency_s
+
+    # --------------------------------------------------------------- rendering
+    def render_ascii(self, width: int = 100) -> str:
+        """ASCII rendering with one character per latency/width time slot."""
+        if self.latency_s <= 0 or width <= 0:
+            return f"{self.scheme_name}: empty execution graph"
+
+        def row(segments: tuple[Segment, ...], busy_char: str) -> str:
+            slots = [" "] * width
+            for segment in segments:
+                start = int(segment.start_s / self.latency_s * width)
+                end = max(start + 1, int(segment.end_s / self.latency_s * width))
+                for position in range(start, min(end, width)):
+                    slots[position] = busy_char
+            return "".join(slots)
+
+        loads = tuple(s for s in self.dram_segments if s.kind == "load")
+        stores = tuple(s for s in self.dram_segments if s.kind == "store")
+        lines = [
+            f"{self.scheme_name} on {self.workload}: latency {self.latency_s * 1e3:.3f} ms, "
+            f"DRAM busy {self.dram_busy_fraction * 100:.1f}%, "
+            f"compute busy {self.compute_busy_fraction * 100:.1f}%",
+            "DRAM(load)  |" + row(loads, "L") + "|",
+            "DRAM(store) |" + row(stores, "S") + "|",
+            "COMPUTE     |" + row(self.compute_segments, "#") + "|",
+        ]
+        group_parts = []
+        for group in self.groups:
+            boundary = "||" if group.is_dram_cut else "|"
+            group_parts.append(f"{boundary}T{group.tiling_number}x{len(group.layers)}")
+        lines.append("groups: " + " ".join(group_parts))
+        return "\n".join(lines)
+
+
+def build_execution_graph(
+    plan: ComputePlan,
+    dlsa: DLSA,
+    evaluation: EvaluationResult,
+    scheme_name: str,
+) -> ExecutionGraph:
+    """Assemble the execution graph from an evaluation that captured a trace."""
+    if not evaluation.feasible:
+        raise ValueError(f"cannot build an execution graph for an infeasible scheme: {evaluation.reason}")
+    if not evaluation.tile_records or not evaluation.transfer_records:
+        raise ValueError("the evaluation must be produced with include_trace=True")
+
+    compute_segments = tuple(
+        Segment(
+            label=f"{plan.tiles[record.index].layer}#{plan.tiles[record.index].tile_id}",
+            start_s=record.start_s,
+            end_s=record.finish_s,
+            kind="compute",
+        )
+        for record in evaluation.tile_records
+    )
+    dram_segments = tuple(
+        Segment(
+            label=plan.tensor(record.tid).describe(),
+            start_s=record.start_s,
+            end_s=record.finish_s,
+            kind="load" if plan.tensor(record.tid).is_load else "store",
+        )
+        for record in evaluation.transfer_records
+    )
+
+    lfa = plan.lfa
+    dram_cut_starts = {0} | set(lfa.dram_cut_set)
+    groups = []
+    for flg_index, (start, end) in enumerate(lfa.flg_ranges()):
+        layers = tuple(lfa.computing_order[start:end])
+        groups.append(
+            GroupAnnotation(
+                flg_index=flg_index,
+                lg_index=plan.lg_of_layer[layers[0]],
+                tiling_number=lfa.tiling_numbers[start],
+                layers=layers,
+                is_dram_cut=start in dram_cut_starts,
+            )
+        )
+
+    return ExecutionGraph(
+        scheme_name=scheme_name,
+        workload=plan.graph.name,
+        latency_s=evaluation.latency_s,
+        dram_segments=dram_segments,
+        compute_segments=compute_segments,
+        groups=tuple(groups),
+    )

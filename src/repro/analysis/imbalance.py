@@ -1,0 +1,111 @@
+"""Fig. 3: DRAM-access vs. operation imbalance, per layer and per tile.
+
+The paper motivates prefetching / delayed storing by showing that the ratio
+of DRAM demand to compute demand varies wildly across layers, and varies even
+more across the tiles of a layer-fused schedule (many tiles have all the
+DRAM demand — the first tile of every weighted layer — while most tiles have
+none).  These helpers produce exactly those scatter points and a spread
+measure to compare them quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import coefficient_of_variation, normalize
+from repro.notation.dlsa import DLSA
+from repro.notation.plan import ComputePlan
+from repro.workloads.graph import WorkloadGraph
+
+
+@dataclass(frozen=True)
+class ImbalancePoint:
+    """One scatter point of Fig. 3 (already normalised to [0, 1])."""
+
+    label: str
+    normalized_dram: float
+    normalized_ops: float
+
+
+def layer_imbalance(graph: WorkloadGraph) -> list[ImbalancePoint]:
+    """Per-layer normalised DRAM access and operation count (Fig. 3a/b).
+
+    The per-layer DRAM access counts the layer's weights, its ifmaps and its
+    ofmaps — the traffic an unfused execution would incur.
+    """
+    names = graph.layer_names()
+    dram = []
+    ops = []
+    for name in names:
+        layer = graph.layer(name)
+        dram.append(layer.weight_bytes + layer.ifmap_bytes + layer.ofmap_bytes)
+        ops.append(layer.ops)
+    dram_norm = normalize(dram)
+    ops_norm = normalize(ops)
+    return [
+        ImbalancePoint(label=name, normalized_dram=d, normalized_ops=o)
+        for name, d, o in zip(names, dram_norm, ops_norm)
+    ]
+
+
+def tile_imbalance(plan: ComputePlan, dlsa: DLSA | None = None) -> list[ImbalancePoint]:
+    """Per-tile normalised DRAM access and operation count (Fig. 3c/d).
+
+    Each tile is charged the DRAM tensors whose first use is that tile —
+    which is how the double-buffer baseline actually schedules them — so the
+    first tile of every weighted layer absorbs the whole weight transfer
+    while later tiles of fused layers often have no DRAM demand at all.
+    """
+    per_tile_dram = [0] * plan.num_tiles
+    for tensor in plan.dram_tensors:
+        per_tile_dram[tensor.first_use] += tensor.num_bytes
+    per_tile_ops = [tile.ops for tile in plan.tiles]
+    dram_norm = normalize(per_tile_dram)
+    ops_norm = normalize(per_tile_ops)
+    return [
+        ImbalancePoint(
+            label=f"{tile.layer}#{tile.tile_id}",
+            normalized_dram=d,
+            normalized_ops=o,
+        )
+        for tile, d, o in zip(plan.tiles, dram_norm, ops_norm)
+    ]
+
+
+def spread_metric(points: list[ImbalancePoint]) -> float:
+    """Spread of the DRAM-to-compute balance across points.
+
+    The paper's qualitative claim is that the per-tile cloud is "more spread
+    out" than the per-layer cloud; we quantify it as the coefficient of
+    variation of the per-point imbalance (DRAM share minus ops share), which
+    grows as points migrate towards the axes.
+    """
+    if not points:
+        return 0.0
+    imbalance = []
+    for point in points:
+        total = point.normalized_dram + point.normalized_ops
+        if total <= 0:
+            continue
+        imbalance.append(abs(point.normalized_dram - point.normalized_ops) / total)
+    if not imbalance:
+        return 0.0
+    return coefficient_of_variation([1.0 + value for value in imbalance]) + (
+        sum(imbalance) / len(imbalance)
+    )
+
+
+def axis_hugging_fraction(points: list[ImbalancePoint], threshold: float = 0.1) -> float:
+    """Fraction of points lying close to either axis (strongly unbalanced)."""
+    if not points:
+        return 0.0
+    close = 0
+    for point in points:
+        total = point.normalized_dram + point.normalized_ops
+        if total <= 0:
+            close += 1
+            continue
+        share = min(point.normalized_dram, point.normalized_ops) / total
+        if share < threshold:
+            close += 1
+    return close / len(points)

@@ -1,0 +1,53 @@
+"""Shared metric helpers used by the analysis and benchmark harnesses."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0.0 for an empty input)."""
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (0.0 for an empty input)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def normalize(values: Sequence[float]) -> list[float]:
+    """Divide every value by the maximum (the paper's Fig. 3 normalisation)."""
+    if not values:
+        return []
+    peak = max(values)
+    if peak <= 0:
+        return [0.0 for _ in values]
+    return [v / peak for v in values]
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Standard deviation over mean; the spread measure used for Fig. 3."""
+    values = list(values)
+    if not values:
+        return 0.0
+    mean = arithmetic_mean(values)
+    if mean == 0:
+        return 0.0
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return math.sqrt(variance) / mean
+
+
+def percentage_reduction(baseline: float, improved: float) -> float:
+    """Relative reduction of ``improved`` vs ``baseline`` in percent."""
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (1.0 - improved / baseline)

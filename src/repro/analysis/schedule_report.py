@@ -1,0 +1,117 @@
+"""Detailed scheduling-scheme reports (the paper's "Schedule Scheme" output).
+
+SoMa's outputs include a detailed scheduling scheme next to the
+energy/latency report (Fig. 5).  :func:`build_schedule_report` produces that
+breakdown for any evaluated scheme: per-LG and per-FLG structure (layers,
+Tiling Numbers, effective tiles), DRAM traffic split by tensor kind, and the
+buffer headline numbers.  The report is plain data plus a text renderer so it
+can be asserted on in tests and embedded in logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.result import EvaluationResult
+from repro.notation.dram_tensor import TensorKind
+from repro.notation.plan import ComputePlan
+
+
+@dataclass(frozen=True)
+class GroupReport:
+    """Structure of one FLG within the scheme."""
+
+    flg_index: int
+    lg_index: int
+    layers: tuple[str, ...]
+    tiling_number: int
+    effective_tiles: int
+    weight_bytes: int
+    macs: int
+
+
+@dataclass(frozen=True)
+class TrafficReport:
+    """DRAM traffic split by tensor kind."""
+
+    weight_bytes: int
+    ifmap_bytes: int
+    ofmap_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.weight_bytes + self.ifmap_bytes + self.ofmap_bytes
+
+
+@dataclass(frozen=True)
+class ScheduleReport:
+    """Complete structured report of one evaluated scheme."""
+
+    workload: str
+    num_lgs: int
+    num_flgs: int
+    num_tiles: int
+    groups: tuple[GroupReport, ...]
+    traffic: TrafficReport
+    evaluation: EvaluationResult
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"schedule report for {self.workload}",
+            f"  {self.num_lgs} LGs, {self.num_flgs} FLGs, {self.num_tiles} computing tiles",
+            f"  DRAM traffic: {self.traffic.total_bytes / 1e6:.2f} MB "
+            f"(weights {self.traffic.weight_bytes / 1e6:.2f}, "
+            f"ifmaps {self.traffic.ifmap_bytes / 1e6:.2f}, "
+            f"ofmaps {self.traffic.ofmap_bytes / 1e6:.2f})",
+            f"  evaluation: {self.evaluation.describe()}",
+            "  groups:",
+        ]
+        for group in self.groups:
+            boundary = "LG " if group.flg_index == 0 or group.lg_index != self.groups[group.flg_index - 1].lg_index else "flc"
+            lines.append(
+                f"    [{boundary}] FLG{group.flg_index} (LG{group.lg_index}) "
+                f"T={group.tiling_number} ({group.effective_tiles} tiles) "
+                f"{len(group.layers)} layers, weights {group.weight_bytes / 1e3:.1f} KB, "
+                f"{group.macs / 1e6:.1f} MMACs"
+            )
+        return "\n".join(lines)
+
+
+def build_schedule_report(plan: ComputePlan, evaluation: EvaluationResult) -> ScheduleReport:
+    """Assemble the report from a parsed plan and its evaluation."""
+    if not plan.feasible:
+        raise ValueError(f"cannot report on an infeasible plan: {plan.infeasibility_reason}")
+
+    lfa = plan.lfa
+    groups: list[GroupReport] = []
+    for flg_index, (start, end) in enumerate(lfa.flg_ranges()):
+        layers = tuple(lfa.computing_order[start:end])
+        effective = plan.layer_tilings[layers[0]].num_tiles
+        groups.append(
+            GroupReport(
+                flg_index=flg_index,
+                lg_index=plan.lg_of_layer[layers[0]],
+                layers=layers,
+                tiling_number=lfa.tiling_numbers[start],
+                effective_tiles=effective,
+                weight_bytes=sum(plan.graph.layer(name).weight_bytes for name in layers),
+                macs=sum(plan.graph.layer(name).macs for name in layers),
+            )
+        )
+
+    traffic = TrafficReport(
+        weight_bytes=sum(t.num_bytes for t in plan.tensors_by_kind(TensorKind.WEIGHT)),
+        ifmap_bytes=sum(t.num_bytes for t in plan.tensors_by_kind(TensorKind.IFMAP)),
+        ofmap_bytes=sum(t.num_bytes for t in plan.tensors_by_kind(TensorKind.OFMAP)),
+    )
+
+    return ScheduleReport(
+        workload=plan.graph.name,
+        num_lgs=plan.num_lgs,
+        num_flgs=plan.num_flgs,
+        num_tiles=plan.num_tiles,
+        groups=tuple(groups),
+        traffic=traffic,
+        evaluation=evaluation,
+    )

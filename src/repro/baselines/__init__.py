@@ -1,0 +1,15 @@
+"""Baseline schedulers the paper compares against.
+
+* :class:`~repro.baselines.cocco.CoccoScheduler` — re-implementation of the
+  SOTA Cocco framework (ASPLOS 2024) as characterised in Sec. IV-B / VI-A3 of
+  the SoMa paper: it explores the computing order and the DRAM cuts, with the
+  FLC set identical to the DRAM Cut set, the Tiling Number fixed by the
+  Kernel-Channel parallelism heuristic and the classical double-buffer DLSA.
+* :class:`~repro.baselines.unfused.UnfusedScheduler` — the no-fusion
+  layer-by-layer scheme, useful as a sanity floor.
+"""
+
+from repro.baselines.cocco import CoccoResult, CoccoScheduler
+from repro.baselines.unfused import UnfusedScheduler
+
+__all__ = ["CoccoResult", "CoccoScheduler", "UnfusedScheduler"]

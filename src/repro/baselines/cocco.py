@@ -1,0 +1,193 @@
+"""Cocco baseline scheduler (Tan et al., ASPLOS 2024), as modelled by SoMa.
+
+The SoMa paper maps Cocco into the Tensor-centric Notation as the sub-space
+where only the Computing Order and the DRAM Cut set vary, the FLC set equals
+the DRAM Cut set, the Tiling Number comes from the core array's
+Kernel-Channel parallelism requirement and the DLSA is the classical
+double-buffer strategy (Sec. IV-B).  This module searches exactly that
+sub-space with the same simulated-annealing machinery SoMa uses, so the
+comparison isolates the benefit of the larger space rather than of a better
+search engine.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.config import SoMaConfig
+from repro.core.core_array import CoreArrayMapper
+from repro.core.double_buffer import double_buffer_dlsa
+from repro.core.evaluator import ScheduleEvaluator
+from repro.core.result import EvaluationResult, StageResult
+from repro.core.sa import SimulatedAnnealing
+from repro.errors import SchedulingError
+from repro.hardware.accelerator import AcceleratorConfig
+from repro.notation.dlsa import DLSA
+from repro.notation.encoding import ScheduleEncoding
+from repro.notation.lfa import LFA
+from repro.notation.parser import parse_lfa
+from repro.notation.plan import ComputePlan
+from repro.tiling.heuristics import kc_parallelism_tiling_number
+from repro.workloads.graph import WorkloadGraph
+
+from repro.core.lfa_stage import _valid_positions  # shared order-move helper
+
+
+@dataclass(frozen=True)
+class CoccoResult:
+    """Best scheme found by the Cocco baseline."""
+
+    workload_name: str
+    accelerator_name: str
+    stage: StageResult
+    search_seconds: float = 0.0
+
+    @property
+    def encoding(self) -> ScheduleEncoding:
+        return self.stage.encoding
+
+    @property
+    def evaluation(self) -> EvaluationResult:
+        return self.stage.evaluation
+
+
+class CoccoScheduler:
+    """Layer-fusion-only scheduler with heuristic tiling and double buffering."""
+
+    def __init__(
+        self,
+        accelerator: AcceleratorConfig,
+        config: SoMaConfig | None = None,
+        mapper: CoreArrayMapper | None = None,
+    ) -> None:
+        self.accelerator = accelerator
+        self.config = config if config is not None else SoMaConfig()
+        self.evaluator = ScheduleEvaluator(accelerator, mapper=mapper)
+        self._annealer = SimulatedAnnealing(self.config.lfa_sa)
+
+    # ------------------------------------------------------------------ public
+    def schedule(self, graph: WorkloadGraph, seed: int | None = None) -> CoccoResult:
+        """Search the Cocco sub-space for one workload."""
+        import time
+
+        rng = random.Random(self.config.seed if seed is None else seed)
+        start_time = time.perf_counter()
+        initial = self.initial_lfa(graph)
+        outcome = self._annealer.run(
+            initial_state=initial,
+            cost_fn=lambda lfa: self.cost(graph, lfa),
+            neighbor_fn=lambda lfa, move_rng: self._neighbor(graph, lfa, move_rng),
+            rng=rng,
+            units=len(graph),
+        )
+        evaluation = self.evaluate(graph, outcome.best_state)
+        if not math.isfinite(outcome.best_cost):
+            raise SchedulingError(
+                f"Cocco found no feasible scheme for workload {graph.name!r} "
+                f"on {self.accelerator.name!r}"
+            )
+        stage = StageResult(
+            encoding=ScheduleEncoding(lfa=outcome.best_state, dlsa=None),
+            evaluation=evaluation,
+            cost=outcome.best_cost,
+            iterations=outcome.iterations,
+            accepted_moves=outcome.accepted_moves,
+        )
+        return CoccoResult(
+            workload_name=graph.name,
+            accelerator_name=self.accelerator.name,
+            stage=stage,
+            search_seconds=time.perf_counter() - start_time,
+        )
+
+    def initial_lfa(self, graph: WorkloadGraph) -> LFA:
+        """No-fusion initial solution with heuristic Tiling Numbers."""
+        order = tuple(graph.topological_order())
+        cuts = frozenset(range(1, len(order)))
+        return self._with_heuristic_tilings(graph, order, cuts)
+
+    def evaluate(self, graph: WorkloadGraph, lfa: LFA) -> EvaluationResult:
+        """Evaluate one Cocco scheme (double-buffer DLSA, full-GBUF budget)."""
+        plan = parse_lfa(graph, lfa)
+        if not plan.feasible:
+            return EvaluationResult(feasible=False, reason=plan.infeasibility_reason)
+        return self.evaluator.evaluate(plan, double_buffer_dlsa(plan))
+
+    def parse(self, graph: WorkloadGraph, lfa: LFA) -> tuple[ComputePlan, DLSA]:
+        """Parse a Cocco scheme into (plan, DLSA), for analysis harnesses."""
+        plan = parse_lfa(graph, lfa)
+        return plan, double_buffer_dlsa(plan)
+
+    def cost(self, graph: WorkloadGraph, lfa: LFA) -> float:
+        """Objective with the same buffer-overflow penalty the SoMa stages use."""
+        result = self.evaluate(graph, lfa)
+        if not result.feasible and not math.isfinite(result.latency_s):
+            return math.inf
+        budget = self.accelerator.gbuf_bytes
+        cost = self.config.objective(result.energy_j, result.latency_s)
+        if result.max_buffer_bytes > budget:
+            excess = (result.max_buffer_bytes - budget) / budget
+            cost *= 1.0 + self.config.buffer_overflow_penalty * excess
+        return cost
+
+    # ---------------------------------------------------------------- internal
+    def _with_heuristic_tilings(
+        self, graph: WorkloadGraph, order: tuple[str, ...], cuts: frozenset[int]
+    ) -> LFA:
+        lanes = self.accelerator.core_array.kc_parallel_lanes
+        boundaries = [0] + sorted(cuts) + [len(order)]
+        tilings: dict[int, int] = {}
+        for i in range(len(boundaries) - 1):
+            start, end = boundaries[i], boundaries[i + 1]
+            if start >= end:
+                continue
+            layers = list(order[start:end])
+            tilings[start] = kc_parallelism_tiling_number(graph, layers, lanes)
+        return LFA(
+            computing_order=order,
+            flc_set=cuts,
+            dram_cut_set=cuts,
+            tiling_numbers=tilings,
+        )
+
+    def _neighbor(self, graph: WorkloadGraph, lfa: LFA, rng: random.Random) -> LFA | None:
+        moves = [self._move_order, self._move_add_cut, self._move_delete_cut]
+        rng.shuffle(moves)
+        for move in moves:
+            candidate = move(graph, lfa, rng)
+            if candidate is not None:
+                return candidate
+        return None
+
+    def _move_order(self, graph: WorkloadGraph, lfa: LFA, rng: random.Random) -> LFA | None:
+        order = list(lfa.computing_order)
+        layer = rng.choice(order)
+        positions = _valid_positions(graph, order, layer)
+        current = order.index(layer)
+        candidates = [p for p in positions if p != current]
+        if not candidates:
+            return None
+        remaining = [name for name in order if name != layer]
+        remaining.insert(rng.choice(candidates), layer)
+        return self._with_heuristic_tilings(graph, tuple(remaining), lfa.dram_cut_set)
+
+    def _move_add_cut(self, graph: WorkloadGraph, lfa: LFA, rng: random.Random) -> LFA | None:
+        n = len(lfa.computing_order)
+        candidates = [p for p in range(1, n) if p not in lfa.dram_cut_set]
+        if not candidates:
+            return None
+        position = rng.choice(candidates)
+        return self._with_heuristic_tilings(
+            graph, lfa.computing_order, lfa.dram_cut_set | {position}
+        )
+
+    def _move_delete_cut(self, graph: WorkloadGraph, lfa: LFA, rng: random.Random) -> LFA | None:
+        candidates = sorted(lfa.dram_cut_set)
+        if not candidates:
+            return None
+        position = rng.choice(candidates)
+        return self._with_heuristic_tilings(
+            graph, lfa.computing_order, lfa.dram_cut_set - {position}
+        )

@@ -1,0 +1,74 @@
+"""No-fusion baseline: each layer its own Layer-fusion Group.
+
+This is the floor every fusion framework should beat and also the initial
+solution of both Cocco and SoMa's stage 1; having it as a standalone
+scheduler makes ablations and sanity checks straightforward.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SoMaConfig
+from repro.core.core_array import CoreArrayMapper
+from repro.core.double_buffer import double_buffer_dlsa
+from repro.core.evaluator import ScheduleEvaluator
+from repro.core.result import EvaluationResult, StageResult
+from repro.hardware.accelerator import AcceleratorConfig
+from repro.notation.encoding import ScheduleEncoding
+from repro.notation.lfa import LFA
+from repro.notation.parser import parse_lfa
+from repro.tiling.heuristics import kc_parallelism_tiling_number
+from repro.workloads.graph import WorkloadGraph
+
+
+class UnfusedScheduler:
+    """Evaluates the layer-by-layer scheme without any search."""
+
+    def __init__(
+        self,
+        accelerator: AcceleratorConfig,
+        config: SoMaConfig | None = None,
+        mapper: CoreArrayMapper | None = None,
+    ) -> None:
+        self.accelerator = accelerator
+        self.config = config if config is not None else SoMaConfig()
+        self.evaluator = ScheduleEvaluator(accelerator, mapper=mapper)
+
+    def build_lfa(self, graph: WorkloadGraph) -> LFA:
+        """The unfused LFA with parallelism-driven Tiling Numbers."""
+        order = tuple(graph.topological_order())
+        cuts = frozenset(range(1, len(order)))
+        lanes = self.accelerator.core_array.kc_parallel_lanes
+        tilings = {
+            start: kc_parallelism_tiling_number(graph, [name], lanes)
+            for start, name in enumerate(order)
+        }
+        return LFA(
+            computing_order=order,
+            flc_set=cuts,
+            dram_cut_set=cuts,
+            tiling_numbers=tilings,
+        )
+
+    def schedule(self, graph: WorkloadGraph) -> StageResult:
+        """Evaluate the unfused scheme and wrap it as a stage result."""
+        lfa = self.build_lfa(graph)
+        evaluation = self.evaluate(graph, lfa)
+        cost = (
+            self.config.objective(evaluation.energy_j, evaluation.latency_s)
+            if evaluation.feasible
+            else float("inf")
+        )
+        return StageResult(
+            encoding=ScheduleEncoding(lfa=lfa, dlsa=None),
+            evaluation=evaluation,
+            cost=cost,
+            iterations=0,
+            accepted_moves=0,
+        )
+
+    def evaluate(self, graph: WorkloadGraph, lfa: LFA) -> EvaluationResult:
+        """Evaluate the given LFA with the double-buffer DLSA."""
+        plan = parse_lfa(graph, lfa)
+        if not plan.feasible:
+            return EvaluationResult(feasible=False, reason=plan.infeasibility_reason)
+        return self.evaluator.evaluate(plan, double_buffer_dlsa(plan))

@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+The CLI wraps the library's main entry points so the paper's experiments can
+be driven without writing Python:
+
+* ``workloads``  - list the model zoo with basic statistics;
+* ``schedule``   - run SoMa on one workload and print the report (optionally
+  dumping the IR and the instruction stream);
+* ``compare``    - run Cocco and SoMa on one workload and print the Fig.-6
+  style comparison;
+* ``overall``    - run the overall experiment grid and write ``overall.csv``
+  and ``stats.log``;
+* ``dse``        - run a bandwidth x buffer sweep and write ``dse.csv``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.comparison import compare_workload
+from repro.baselines.cocco import CoccoScheduler
+from repro.compiler.codegen import lower_result
+from repro.compiler.ir import generate_ir
+from repro.core.config import SAParams, SoMaConfig
+from repro.core.soma import SoMaScheduler
+from repro.experiments.overall import ExperimentCell, default_cells, run_overall_experiment
+from repro.experiments.sweep import run_dse_experiment
+from repro.hardware.accelerator import cloud_accelerator, edge_accelerator
+from repro.workloads.registry import available_workloads, build_workload
+
+
+def _make_config(args: argparse.Namespace) -> SoMaConfig:
+    if getattr(args, "fast", False):
+        return SoMaConfig.fast(seed=args.seed)
+    return SoMaConfig(
+        lfa_sa=SAParams(iterations_per_unit=args.lfa_budget, max_iterations=5000),
+        dlsa_sa=SAParams(iterations_per_unit=args.dlsa_budget, max_iterations=6000),
+        max_allocator_iterations=args.allocator_iterations,
+        seed=args.seed,
+    )
+
+
+def _make_accelerator(args: argparse.Namespace):
+    return edge_accelerator() if args.platform == "edge" else cloud_accelerator()
+
+
+def _workload_kwargs(args: argparse.Namespace) -> dict:
+    kwargs: dict = {}
+    if getattr(args, "variant", None):
+        kwargs["variant"] = args.variant
+    if getattr(args, "seq_len", None):
+        if args.workload == "gpt2-decode":
+            kwargs["context_len"] = args.seq_len
+        elif args.workload == "gpt2-prefill":
+            kwargs["seq_len"] = args.seq_len
+    return kwargs
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="resnet50", help="registry name of the workload")
+    parser.add_argument("--batch", type=int, default=1)
+    parser.add_argument("--platform", choices=["edge", "cloud"], default="edge")
+    parser.add_argument("--variant", default=None, help="GPT-2 variant (tiny/small/xl)")
+    parser.add_argument("--seq-len", type=int, default=None, help="GPT-2 prompt/context length")
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--fast", action="store_true", help="use a very small search budget")
+    parser.add_argument("--lfa-budget", type=float, default=12.0, help="SA iterations per layer")
+    parser.add_argument("--dlsa-budget", type=float, default=6.0, help="SA iterations per DRAM tensor")
+    parser.add_argument("--allocator-iterations", type=int, default=2)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("workloads", help="list the available workloads")
+
+    schedule = subparsers.add_parser("schedule", help="run SoMa on one workload")
+    _add_common_arguments(schedule)
+    schedule.add_argument("--ir-out", type=Path, default=None, help="write the IR JSON here")
+    schedule.add_argument(
+        "--instructions-out", type=Path, default=None, help="write the instruction listing here"
+    )
+
+    compare = subparsers.add_parser("compare", help="compare Cocco and SoMa on one workload")
+    _add_common_arguments(compare)
+
+    overall = subparsers.add_parser("overall", help="run the overall experiment grid")
+    overall.add_argument("--out-dir", type=Path, default=Path("results"))
+    overall.add_argument("--seed", type=int, default=2025)
+    overall.add_argument("--fast", action="store_true")
+    overall.add_argument("--lfa-budget", type=float, default=12.0)
+    overall.add_argument("--dlsa-budget", type=float, default=6.0)
+    overall.add_argument("--allocator-iterations", type=int, default=2)
+
+    dse = subparsers.add_parser("dse", help="run a DRAM-bandwidth x buffer sweep")
+    _add_common_arguments(dse)
+    dse.add_argument("--batches", type=int, nargs="+", default=[1])
+    dse.add_argument("--bandwidths", type=float, nargs="+", default=[8.0, 16.0, 32.0])
+    dse.add_argument("--buffers", type=float, nargs="+", default=[4.0, 8.0, 16.0])
+    dse.add_argument("--out-dir", type=Path, default=Path("results"))
+
+    return parser
+
+
+# ---------------------------------------------------------------- subcommands
+def _cmd_workloads(_args: argparse.Namespace, out) -> int:
+    out.write(f"{'name':24s} {'layers':>7s} {'GMACs':>9s} {'weights(MB)':>12s}\n")
+    for name in available_workloads():
+        graph = build_workload(name, batch=1)
+        out.write(
+            f"{name:24s} {len(graph):>7d} {graph.total_macs / 1e9:>9.2f} "
+            f"{graph.total_weight_bytes / 1e6:>12.2f}\n"
+        )
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace, out) -> int:
+    accelerator = _make_accelerator(args)
+    graph = build_workload(args.workload, batch=args.batch, **_workload_kwargs(args))
+    config = _make_config(args)
+    result = SoMaScheduler(accelerator, config).schedule(graph, seed=args.seed)
+    out.write(result.describe() + "\n")
+    out.write(
+        f"compute utilisation {result.evaluation.compute_utilization(accelerator):.3f} "
+        f"(bound {result.evaluation.theoretical_max_utilization(accelerator):.3f})\n"
+    )
+    if args.ir_out is not None:
+        args.ir_out.write_text(generate_ir(result.plan, result.dlsa).to_json())
+        out.write(f"IR written to {args.ir_out}\n")
+    if args.instructions_out is not None:
+        args.instructions_out.write_text(lower_result(result.plan, result.dlsa).dump())
+        out.write(f"instruction stream written to {args.instructions_out}\n")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace, out) -> int:
+    accelerator = _make_accelerator(args)
+    graph = build_workload(args.workload, batch=args.batch, **_workload_kwargs(args))
+    config = _make_config(args)
+    row = compare_workload(graph, accelerator, config=config, seed=args.seed)
+    out.write(f"workload {row.workload} on {row.accelerator}, batch {row.batch}\n")
+    for label, evaluation in (
+        ("Cocco", row.cocco),
+        ("Ours_1", row.soma_stage1),
+        ("Ours_2", row.soma_stage2),
+    ):
+        out.write(f"  {label:7s} {evaluation.describe()}\n")
+    out.write(
+        f"speedup {row.speedup_total:.2f}x, energy {row.energy_reduction_percent:+.1f}%, "
+        f"gap to bound {row.gap_to_bound_percent:.1f}%\n"
+    )
+    return 0
+
+
+def _cmd_overall(args: argparse.Namespace, out) -> int:
+    config = SoMaConfig.fast(seed=args.seed) if args.fast else SoMaConfig(
+        lfa_sa=SAParams(iterations_per_unit=args.lfa_budget, max_iterations=5000),
+        dlsa_sa=SAParams(iterations_per_unit=args.dlsa_budget, max_iterations=6000),
+        max_allocator_iterations=args.allocator_iterations,
+        seed=args.seed,
+    )
+    experiment = run_overall_experiment(
+        cells=default_cells(), config=config, seed=args.seed,
+        progress=lambda message: out.write(message + "\n"),
+    )
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    (args.out_dir / "overall.csv").write_text(experiment.to_csv() + "\n")
+    (args.out_dir / "stats.log").write_text(experiment.stats_log() + "\n")
+    out.write(experiment.stats_log() + "\n")
+    out.write(f"results written to {args.out_dir}/overall.csv and {args.out_dir}/stats.log\n")
+    return 0
+
+
+def _cmd_dse(args: argparse.Namespace, out) -> int:
+    config = _make_config(args)
+    experiment = run_dse_experiment(
+        workload=args.workload,
+        batches=args.batches,
+        dram_bandwidths_gb_s=args.bandwidths,
+        buffer_sizes_mb=args.buffers,
+        config=config,
+        seed=args.seed,
+        progress=lambda message: out.write(message + "\n"),
+        workload_kwargs=_workload_kwargs(args),
+    )
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    (args.out_dir / "dse.csv").write_text(experiment.to_csv() + "\n")
+    out.write(experiment.tables() + "\n")
+    out.write(f"results written to {args.out_dir}/dse.csv\n")
+    return 0
+
+
+_COMMANDS = {
+    "workloads": _cmd_workloads,
+    "schedule": _cmd_schedule,
+    "compare": _cmd_compare,
+    "overall": _cmd_overall,
+    "dse": _cmd_dse,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    command = _COMMANDS[args.command]
+    return command(args, out)

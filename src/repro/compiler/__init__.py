@@ -1,0 +1,37 @@
+"""Compiler back-end: IR and abstract instruction generation (paper Sec. V-A/V-F).
+
+SoMa's outputs feed a production compiler through an intermediate
+representation that is easy to parse; the IR is then lowered to the abstract
+load / store / compute instruction set of Sec. II.  This package reproduces
+that flow: :func:`~repro.compiler.ir.generate_ir` turns a scheduling result
+into a serialisable IR document and
+:func:`~repro.compiler.codegen.generate_instructions` lowers the IR to a
+dependency-annotated instruction stream.
+"""
+
+from repro.compiler.codegen import generate_instructions, lower_result
+from repro.compiler.instructions import (
+    ComputeInstruction,
+    Instruction,
+    InstructionKind,
+    InstructionProgram,
+    LoadInstruction,
+    StoreInstruction,
+)
+from repro.compiler.ir import IRDocument, generate_ir
+from repro.compiler.simulator import InstructionSimulator, ProgramTiming
+
+__all__ = [
+    "ComputeInstruction",
+    "IRDocument",
+    "Instruction",
+    "InstructionKind",
+    "InstructionProgram",
+    "InstructionSimulator",
+    "LoadInstruction",
+    "ProgramTiming",
+    "StoreInstruction",
+    "generate_instructions",
+    "generate_ir",
+    "lower_result",
+]

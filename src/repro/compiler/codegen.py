@@ -1,0 +1,114 @@
+"""Lowering the IR to the abstract instruction stream.
+
+The generated program has two in-order queues, matching the hardware model
+the evaluator simulates: the DRAM engine walks the DRAM Tensor Order and the
+core group walks the compute-tile sequence.  Cross-queue synchronisation is
+expressed as explicit instruction dependencies:
+
+* a load waits for the tile preceding its Living-Duration ``Start`` (so the
+  prefetch does not claim buffer space too early) and for the stores it
+  reads back;
+* a store waits for the tile that produces its data;
+* a compute tile waits for the loads it consumes and for every store whose
+  Living-Duration ``End`` equals that tile.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.instructions import (
+    ComputeInstruction,
+    Instruction,
+    InstructionKind,
+    InstructionProgram,
+    LoadInstruction,
+    StoreInstruction,
+)
+from repro.compiler.ir import IRDocument, generate_ir
+from repro.errors import CompilationError
+from repro.notation.dlsa import DLSA
+from repro.notation.plan import ComputePlan
+
+
+def generate_instructions(ir: IRDocument) -> InstructionProgram:
+    """Lower an IR document into an :class:`InstructionProgram`."""
+    document = ir.document
+    compute_sequence = document["compute_sequence"]
+    dram_tensors = sorted(document["dram_tensors"], key=lambda d: d["order_position"])
+    num_tiles = len(compute_sequence)
+
+    compute_id = {entry["index"]: entry["index"] for entry in compute_sequence}
+    dram_id = {entry["tid"]: num_tiles + position for position, entry in enumerate(dram_tensors)}
+
+    stores_of_layer: dict[str, list[dict]] = {}
+    store_deadline: dict[int, list[dict]] = {}
+    loads_for_tile: dict[int, list[dict]] = {}
+    for entry in dram_tensors:
+        if entry["kind"] == "ofmap":
+            stores_of_layer.setdefault(entry["layer"], []).append(entry)
+            if entry["living_end"] < num_tiles:
+                store_deadline.setdefault(entry["living_end"], []).append(entry)
+        else:
+            loads_for_tile.setdefault(entry["first_use"], []).append(entry)
+
+    dram_queue: list[Instruction] = []
+    previous_dram_id: int | None = None
+    for entry in dram_tensors:
+        depends: list[int] = []
+        if previous_dram_id is not None:
+            depends.append(previous_dram_id)
+        if entry["kind"] == "ofmap":
+            depends.append(compute_id[entry["first_use"]])
+        else:
+            if entry["living_start"] > 0:
+                depends.append(compute_id[entry["living_start"] - 1])
+            source = entry.get("source_layer")
+            if source is not None:
+                depends.extend(dram_id[s["tid"]] for s in stores_of_layer.get(source, []))
+        instruction_id = dram_id[entry["tid"]]
+        common = {
+            "instruction_id": instruction_id,
+            "depends_on": tuple(sorted(set(depends))),
+            "tensor_tid": entry["tid"],
+            "layer": entry["layer"],
+            "num_bytes": entry["bytes"],
+        }
+        if entry["kind"] == "ofmap":
+            dram_queue.append(StoreInstruction(kind=InstructionKind.STORE, **common))
+        else:
+            dram_queue.append(LoadInstruction(kind=InstructionKind.LOAD, **common))
+        previous_dram_id = instruction_id
+
+    compute_queue: list[Instruction] = []
+    previous_compute_id: int | None = None
+    for entry in compute_sequence:
+        depends = []
+        if previous_compute_id is not None:
+            depends.append(previous_compute_id)
+        depends.extend(dram_id[load["tid"]] for load in loads_for_tile.get(entry["index"], []))
+        depends.extend(dram_id[store["tid"]] for store in store_deadline.get(entry["index"], []))
+        instruction = ComputeInstruction(
+            instruction_id=compute_id[entry["index"]],
+            kind=InstructionKind.COMPUTE,
+            depends_on=tuple(sorted(set(depends))),
+            layer=entry["layer"],
+            tile_id=entry["tile_id"],
+            macs=entry["macs"],
+            vector_ops=entry["vector_ops"],
+        )
+        compute_queue.append(instruction)
+        previous_compute_id = instruction.instruction_id
+
+    return InstructionProgram(
+        workload=document["workload"],
+        dram_queue=tuple(dram_queue),
+        compute_queue=tuple(compute_queue),
+    )
+
+
+def lower_result(plan: ComputePlan, dlsa: DLSA) -> InstructionProgram:
+    """Convenience wrapper: plan + DLSA -> IR -> instruction program."""
+    if not plan.feasible:
+        raise CompilationError(
+            f"cannot lower an infeasible plan: {plan.infeasibility_reason}"
+        )
+    return generate_instructions(generate_ir(plan, dlsa))

@@ -1,0 +1,103 @@
+"""Abstract instruction set of the accelerator template (paper Sec. II).
+
+Three instructions cover the behaviour SoMa schedules: ``load`` (DRAM to
+GBUF), ``store`` (GBUF to DRAM) and ``compute`` (one tile executed by the
+core group, including its internal GBUF<->L0 movement).  Instructions carry
+explicit dependencies on other instruction ids, mirroring how the paper's
+hardware lets the start or end of any instruction trigger another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, unique
+
+
+@unique
+class InstructionKind(Enum):
+    """The three abstract instruction categories."""
+
+    LOAD = "load"
+    STORE = "store"
+    COMPUTE = "compute"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base instruction: an id, a kind and the ids it must wait for."""
+
+    instruction_id: int
+    kind: InstructionKind
+    depends_on: tuple[int, ...] = ()
+
+    def describe(self) -> str:
+        """Compact single-line rendering used by dumps and tests."""
+        deps = ",".join(str(d) for d in self.depends_on) if self.depends_on else "-"
+        return f"{self.instruction_id:05d} {self.kind.value:7s} deps[{deps}]"
+
+
+@dataclass(frozen=True)
+class LoadInstruction(Instruction):
+    """Move one DRAM tensor (weights / ifmap) into the GBUF."""
+
+    tensor_tid: int = -1
+    layer: str = ""
+    num_bytes: int = 0
+
+    def describe(self) -> str:
+        return f"{super().describe()} tid={self.tensor_tid} layer={self.layer} bytes={self.num_bytes}"
+
+
+@dataclass(frozen=True)
+class StoreInstruction(Instruction):
+    """Move one ofmap tensor from the GBUF back to DRAM."""
+
+    tensor_tid: int = -1
+    layer: str = ""
+    num_bytes: int = 0
+
+    def describe(self) -> str:
+        return f"{super().describe()} tid={self.tensor_tid} layer={self.layer} bytes={self.num_bytes}"
+
+
+@dataclass(frozen=True)
+class ComputeInstruction(Instruction):
+    """Execute one computing tile on the core group."""
+
+    layer: str = ""
+    tile_id: int = -1
+    macs: int = 0
+    vector_ops: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"{super().describe()} layer={self.layer} tile={self.tile_id} "
+            f"macs={self.macs} vops={self.vector_ops}"
+        )
+
+
+@dataclass(frozen=True)
+class InstructionProgram:
+    """A complete lowered program: one DRAM queue and one compute queue."""
+
+    workload: str
+    dram_queue: tuple[Instruction, ...] = field(default_factory=tuple)
+    compute_queue: tuple[Instruction, ...] = field(default_factory=tuple)
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.dram_queue) + len(self.compute_queue)
+
+    def all_instructions(self) -> list[Instruction]:
+        """Every instruction, sorted by id."""
+        instructions = list(self.dram_queue) + list(self.compute_queue)
+        return sorted(instructions, key=lambda ins: ins.instruction_id)
+
+    def dump(self) -> str:
+        """Human-readable listing of the whole program."""
+        lines = [f"program for {self.workload}: {self.num_instructions} instructions"]
+        lines.append("-- DRAM queue --")
+        lines.extend(ins.describe() for ins in self.dram_queue)
+        lines.append("-- COMPUTE queue --")
+        lines.extend(ins.describe() for ins in self.compute_queue)
+        return "\n".join(lines)

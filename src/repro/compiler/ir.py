@@ -1,0 +1,109 @@
+"""Intermediate representation of a scheduling scheme.
+
+The IR is deliberately plain: dictionaries and lists of primitives, so it can
+be serialised to JSON, diffed in tests and consumed by an instruction
+generator (ours, or a vendor one as the paper's compiler does).  It captures
+the three views of a scheme: the group structure (LGs / FLGs / Tiling
+Numbers), the compute-tile sequence and the DRAM tensor schedule.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.errors import CompilationError
+from repro.notation.dlsa import DLSA
+from repro.notation.plan import ComputePlan
+
+IR_VERSION = "1.0"
+
+
+@dataclass(frozen=True)
+class IRDocument:
+    """A serialisable description of one scheduling scheme."""
+
+    document: dict
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialise to JSON text."""
+        return json.dumps(self.document, indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "IRDocument":
+        """Parse a previously serialised document."""
+        document = json.loads(text)
+        if document.get("ir_version") != IR_VERSION:
+            raise CompilationError(
+                f"unsupported IR version {document.get('ir_version')!r}; expected {IR_VERSION!r}"
+            )
+        return cls(document=document)
+
+    @property
+    def num_tiles(self) -> int:
+        return len(self.document["compute_sequence"])
+
+    @property
+    def num_dram_tensors(self) -> int:
+        return len(self.document["dram_tensors"])
+
+
+def generate_ir(plan: ComputePlan, dlsa: DLSA) -> IRDocument:
+    """Build the IR document for a parsed scheme."""
+    if not plan.feasible:
+        raise CompilationError(f"cannot generate IR for an infeasible plan: {plan.infeasibility_reason}")
+    dlsa.validate(plan.dram_tensors)
+
+    lfa = plan.lfa
+    groups = []
+    for flg_index, (start, end) in enumerate(lfa.flg_ranges()):
+        groups.append(
+            {
+                "flg_index": flg_index,
+                "layers": list(lfa.computing_order[start:end]),
+                "tiling_number": lfa.tiling_numbers[start],
+                "lg_index": plan.lg_of_layer[lfa.computing_order[start]],
+            }
+        )
+
+    compute_sequence = [
+        {
+            "index": tile.index,
+            "layer": tile.layer,
+            "tile_id": tile.tile_id,
+            "flg_index": tile.flg_index,
+            "lg_index": tile.lg_index,
+            "macs": tile.macs,
+            "vector_ops": tile.vector_ops,
+        }
+        for tile in plan.tiles
+    ]
+
+    order_position = {tid: pos for pos, tid in enumerate(dlsa.order)}
+    dram_tensors = [
+        {
+            "tid": tensor.tid,
+            "kind": tensor.kind.value,
+            "layer": tensor.layer,
+            "tile_id": tensor.tile_id,
+            "bytes": tensor.num_bytes,
+            "order_position": order_position[tensor.tid],
+            "living_start": dlsa.start(tensor.tid),
+            "living_end": dlsa.end(tensor.tid),
+            "first_use": tensor.first_use,
+            "last_use": tensor.last_use,
+            "source_layer": tensor.source_layer,
+        }
+        for tensor in plan.dram_tensors
+    ]
+
+    document = {
+        "ir_version": IR_VERSION,
+        "workload": plan.graph.name,
+        "batch": plan.graph.batch,
+        "computing_order": list(lfa.computing_order),
+        "groups": groups,
+        "compute_sequence": compute_sequence,
+        "dram_tensors": sorted(dram_tensors, key=lambda d: d["order_position"]),
+    }
+    return IRDocument(document=document)

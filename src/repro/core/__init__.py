@@ -1,0 +1,25 @@
+"""SoMa core: evaluator, search stages, buffer allocator and the framework.
+
+This package implements the paper's primary contribution (Sec. V): the
+accurate schedule evaluator, the two simulated-annealing exploration stages
+over the LFA and DLSA sub-spaces, the Buffer Allocator that arbitrates GBUF
+capacity between them, and the end-to-end :class:`~repro.core.soma.SoMaScheduler`.
+"""
+
+from repro.core.config import SAParams, SoMaConfig
+from repro.core.core_array import CoreArrayMapper, TileCost
+from repro.core.evaluator import ScheduleEvaluator
+from repro.core.result import EvaluationResult, SoMaResult, StageResult
+from repro.core.soma import SoMaScheduler
+
+__all__ = [
+    "CoreArrayMapper",
+    "EvaluationResult",
+    "SAParams",
+    "ScheduleEvaluator",
+    "SoMaConfig",
+    "SoMaResult",
+    "SoMaScheduler",
+    "StageResult",
+    "TileCost",
+]

@@ -1,0 +1,143 @@
+"""Buffer Allocator: the outermost iteration of SoMa (paper Sec. V-B).
+
+Both stages trade buffer capacity for DRAM-communication savings, so they
+compete for the GBUF.  The allocator runs the complete two-stage exploration
+repeatedly: the first iteration gives stage 1 the whole GBUF and records the
+peak buffer usage of its best scheme; every later iteration lowers the
+stage-1 budget by a fixed fraction of that peak, leaving the freed capacity
+to stage 2 (prefetching / delayed storing).  Iteration stops once two
+consecutive rounds fail to improve the best overall cost.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass
+
+from repro.core.config import SoMaConfig
+from repro.core.dlsa_stage import DLSAStage
+from repro.core.double_buffer import double_buffer_dlsa
+from repro.core.evaluator import ScheduleEvaluator
+from repro.core.lfa_stage import LFAStage
+from repro.core.result import SoMaResult, StageResult
+from repro.errors import SchedulingError
+from repro.notation.parser import parse_lfa
+from repro.workloads.graph import WorkloadGraph
+
+
+@dataclass
+class _IterationOutcome:
+    """Result of one full two-stage exploration under one budget split."""
+
+    stage1: StageResult
+    stage2: StageResult
+    stage1_budget: int
+    cost: float
+
+
+class BufferAllocator:
+    """Arbitrates GBUF capacity between the two exploration stages."""
+
+    def __init__(
+        self,
+        graph: WorkloadGraph,
+        evaluator: ScheduleEvaluator,
+        config: SoMaConfig,
+    ) -> None:
+        self._graph = graph
+        self._evaluator = evaluator
+        self._config = config
+        self._lfa_stage = LFAStage(graph, evaluator, config)
+        self._dlsa_stage = DLSAStage(evaluator, config)
+
+    def run(self, rng: random.Random) -> SoMaResult:
+        """Run the full SoMa exploration and return the best scheme."""
+        config = self._config
+        gbuf_bytes = self._evaluator.accelerator.gbuf_bytes
+        stage1_budget = gbuf_bytes
+
+        best: _IterationOutcome | None = None
+        buffer_peak: int | None = None
+        non_improving = 0
+        history: list[float] = []
+        start_time = time.perf_counter()
+
+        for iteration in range(config.max_allocator_iterations):
+            outcome = self._run_iteration(stage1_budget, rng)
+            history.append(outcome.cost)
+
+            if buffer_peak is None:
+                buffer_peak = max(1, outcome.stage1.evaluation.max_buffer_bytes)
+
+            if best is None or outcome.cost < best.cost:
+                best = outcome
+                non_improving = 0
+            else:
+                non_improving += 1
+            if non_improving >= config.allocator_patience:
+                break
+
+            stage1_budget = int(stage1_budget - config.buffer_shrink_fraction * buffer_peak)
+            if stage1_budget <= 0:
+                break
+
+        if best is None or not math.isfinite(best.cost):
+            raise SchedulingError(
+                f"SoMa found no feasible scheme for workload {self._graph.name!r} "
+                f"on {self._evaluator.accelerator.name!r}"
+            )
+
+        plan = parse_lfa(self._graph, best.stage2.encoding.lfa)
+        dlsa = best.stage2.encoding.dlsa
+        if dlsa is None:
+            dlsa = double_buffer_dlsa(plan)
+        return SoMaResult(
+            workload_name=self._graph.name,
+            accelerator_name=self._evaluator.accelerator.name,
+            stage1=best.stage1,
+            stage2=best.stage2,
+            allocator_iterations=len(history),
+            stage1_buffer_budget_bytes=best.stage1_budget,
+            plan=plan,
+            dlsa=dlsa,
+            search_seconds=time.perf_counter() - start_time,
+            history=tuple(history),
+        )
+
+    # ---------------------------------------------------------------- internal
+    def _run_iteration(self, stage1_budget: int, rng: random.Random) -> _IterationOutcome:
+        gbuf_bytes = self._evaluator.accelerator.gbuf_bytes
+        lfa_outcome = self._lfa_stage.explore(stage1_budget, rng)
+        stage1 = lfa_outcome.stage_result
+
+        if not stage1.feasible:
+            # Stage 2 cannot improve an unusable stage-1 scheme; report it
+            # as-is so the allocator can try a different budget split.
+            return _IterationOutcome(
+                stage1=stage1, stage2=stage1, stage1_budget=stage1_budget, cost=math.inf
+            )
+
+        plan = parse_lfa(self._graph, stage1.encoding.lfa)
+        initial_dlsa = double_buffer_dlsa(plan)
+        dlsa_outcome = self._dlsa_stage.explore(
+            lfa=stage1.encoding.lfa,
+            plan=plan,
+            initial_dlsa=initial_dlsa,
+            buffer_budget_bytes=gbuf_bytes,
+            rng=rng,
+        )
+        stage2 = dlsa_outcome.stage_result
+        if stage2.feasible:
+            cost = self._config.objective(
+                stage2.evaluation.energy_j, stage2.evaluation.latency_s
+            )
+        else:
+            stage2 = stage1
+            cost = self._config.objective(
+                stage1.evaluation.energy_j, stage1.evaluation.latency_s
+            )
+        return _IterationOutcome(
+            stage1=stage1, stage2=stage2, stage1_budget=stage1_budget, cost=cost
+        )

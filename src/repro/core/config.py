@@ -1,0 +1,127 @@
+"""Framework configuration: optimisation goal and search hyper-parameters.
+
+The paper's optimisation objective is ``Energy^n x Delay^m`` with adjustable
+exponents (Sec. V-A); all reported experiments use n = m = 1.  The SA
+hyper-parameters follow Sec. V-C: stage 1 runs ``beta * num_layers``
+iterations (beta = 100 in the paper) and stage 2 runs ``beta * num_tensors``
+iterations (beta = 1000 in the paper).  Those paper-scale budgets are meant
+for a multi-core C++ engine running for hours; the Python defaults here are
+smaller so laptop-scale experiments finish quickly, and
+:meth:`SoMaConfig.paper` restores the published values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SAParams:
+    """Simulated-annealing hyper-parameters for one exploration stage.
+
+    ``iterations_per_unit`` is the beta of Sec. V-C: the number of iterations
+    is ``beta * X`` where X is the number of layers (stage 1) or DRAM tensors
+    (stage 2).  ``max_iterations`` caps the product so pathological cases
+    cannot run away.
+    """
+
+    iterations_per_unit: float
+    initial_temperature: float = 0.05
+    cooling_alpha: float = 4.0
+    max_iterations: int = 20000
+    min_iterations: int = 16
+    greedy_fraction: float = 0.15
+    time_limit_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.iterations_per_unit <= 0:
+            raise ConfigurationError("iterations_per_unit must be positive")
+        if self.initial_temperature <= 0:
+            raise ConfigurationError("initial_temperature must be positive")
+        if self.cooling_alpha < 0:
+            raise ConfigurationError("cooling_alpha must be non-negative")
+        if self.max_iterations < self.min_iterations:
+            raise ConfigurationError("max_iterations must be >= min_iterations")
+        if not 0.0 <= self.greedy_fraction <= 1.0:
+            raise ConfigurationError("greedy_fraction must lie in [0, 1]")
+        if self.time_limit_s is not None and self.time_limit_s <= 0:
+            raise ConfigurationError("time_limit_s must be positive when set")
+
+    def num_iterations(self, units: int) -> int:
+        """Iteration budget for a problem with ``units`` layers/tensors."""
+        budget = int(round(self.iterations_per_unit * max(1, units)))
+        return max(self.min_iterations, min(self.max_iterations, budget))
+
+    def num_greedy_iterations(self, units: int) -> int:
+        """Extra greedy iterations run after the annealing budget.
+
+        This models the paper's termination behaviour (Sec. V-C): once the
+        budget is exhausted the search performs additional iterations that
+        accept only improving moves, polishing the best scheme found.
+        """
+        return int(round(self.greedy_fraction * self.num_iterations(units)))
+
+    def temperature(self, iteration: int, total: int) -> float:
+        """Cooling schedule of Sec. V-C: ``Tn = T0 (1 - n/N) / (1 + alpha n/N)``."""
+        if total <= 0:
+            return 0.0
+        progress = min(1.0, iteration / total)
+        return self.initial_temperature * (1.0 - progress) / (1.0 + self.cooling_alpha * progress)
+
+
+@dataclass(frozen=True)
+class SoMaConfig:
+    """End-to-end configuration of the SoMa framework."""
+
+    energy_exponent: float = 1.0
+    delay_exponent: float = 1.0
+    lfa_sa: SAParams = field(default_factory=lambda: SAParams(iterations_per_unit=8.0))
+    dlsa_sa: SAParams = field(default_factory=lambda: SAParams(iterations_per_unit=4.0))
+    buffer_shrink_fraction: float = 0.10
+    max_allocator_iterations: int = 6
+    allocator_patience: int = 2
+    seed: int = 2025
+    buffer_overflow_penalty: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.energy_exponent < 0 or self.delay_exponent < 0:
+            raise ConfigurationError("objective exponents must be non-negative")
+        if self.energy_exponent == 0 and self.delay_exponent == 0:
+            raise ConfigurationError("at least one objective exponent must be positive")
+        if not 0 < self.buffer_shrink_fraction < 1:
+            raise ConfigurationError("buffer_shrink_fraction must lie in (0, 1)")
+        if self.max_allocator_iterations < 1:
+            raise ConfigurationError("max_allocator_iterations must be >= 1")
+        if self.allocator_patience < 1:
+            raise ConfigurationError("allocator_patience must be >= 1")
+        if self.buffer_overflow_penalty < 0:
+            raise ConfigurationError("buffer_overflow_penalty must be non-negative")
+
+    def objective(self, energy_j: float, delay_s: float) -> float:
+        """The paper's cost function ``Energy^n x Delay^m``."""
+        return (energy_j ** self.energy_exponent) * (delay_s ** self.delay_exponent)
+
+    def with_seed(self, seed: int) -> "SoMaConfig":
+        """Return a copy with a different random seed."""
+        return replace(self, seed=seed)
+
+    @classmethod
+    def paper(cls) -> "SoMaConfig":
+        """The hyper-parameters published in Sec. V-C (slow in pure Python)."""
+        return cls(
+            lfa_sa=SAParams(iterations_per_unit=100.0, max_iterations=1_000_000),
+            dlsa_sa=SAParams(iterations_per_unit=1000.0, max_iterations=10_000_000),
+            max_allocator_iterations=10,
+        )
+
+    @classmethod
+    def fast(cls, seed: int = 2025) -> "SoMaConfig":
+        """A small search budget for tests and quick demonstrations."""
+        return cls(
+            lfa_sa=SAParams(iterations_per_unit=2.0, max_iterations=400),
+            dlsa_sa=SAParams(iterations_per_unit=1.0, max_iterations=600),
+            max_allocator_iterations=2,
+            seed=seed,
+        )

@@ -1,0 +1,223 @@
+"""Core Array Scheduler & Evaluator: intra-tile mapping (paper Sec. V-D).
+
+For every computing tile the ifmaps and weights are already in the GBUF and
+the ofmaps go back to the GBUF; the Core Array Scheduler decides how the tile
+is divided into sub-tiles across the cores and how the L0 buffers are blocked,
+and the evaluator charges the GBUF<->L0 traffic, the PE-array occupancy and a
+fixed per-tile overhead.  The paper reuses a classic single-layer mapper
+(Timeloop / MAESTRO style); this module implements a compact equivalent: it
+enumerates output-channel x spatial blockings that fit the L0 buffers and
+keeps the one minimising GBUF traffic.
+
+Results are memoised per (operator signature, tile shape) because the same
+tile shape is evaluated millions of times during annealing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.accelerator import AcceleratorConfig
+from repro.tiling.tile import LayerTiling
+from repro.workloads.layer import Layer, OpType
+
+
+@dataclass(frozen=True)
+class TileCost:
+    """Latency, energy and GBUF traffic of one computing tile."""
+
+    seconds: float
+    energy_j: float
+    gbuf_traffic_bytes: float
+    compute_cycles: float
+    gbuf_cycles: float
+
+    @property
+    def bound(self) -> str:
+        """Whether the tile is compute-bound or GBUF-bandwidth-bound."""
+        return "compute" if self.compute_cycles >= self.gbuf_cycles else "gbuf"
+
+
+def _padding_efficiency(extent: int, lanes: int) -> float:
+    """Utilisation of ``lanes`` parallel lanes when mapping ``extent`` items."""
+    if extent <= 0:
+        return 1.0
+    rounded = -(-extent // lanes) * lanes
+    return extent / rounded
+
+
+def _candidate_blocks(extent: int) -> list[int]:
+    """Power-of-two blocking candidates up to ``extent`` (plus ``extent`` itself)."""
+    blocks = []
+    block = 1
+    while block < extent:
+        blocks.append(block)
+        block *= 2
+    blocks.append(extent)
+    return blocks
+
+
+class CoreArrayMapper:
+    """Maps tiles onto the core group and evaluates their cost."""
+
+    def __init__(self, accelerator: AcceleratorConfig) -> None:
+        self._accelerator = accelerator
+        self._cache: dict[tuple, TileCost] = {}
+
+    # ------------------------------------------------------------------ public
+    def evaluate_tile(self, layer: Layer, tiling: LayerTiling) -> TileCost:
+        """Cost of one tile of ``layer`` under the given tiling."""
+        key = self._cache_key(layer, tiling)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if layer.op_type.uses_pe_array:
+            cost = self._evaluate_pe_tile(layer, tiling)
+        else:
+            cost = self._evaluate_vector_tile(layer, tiling)
+        self._cache[key] = cost
+        return cost
+
+    def cache_size(self) -> int:
+        """Number of distinct tile shapes evaluated so far."""
+        return len(self._cache)
+
+    # ---------------------------------------------------------------- internal
+    def _cache_key(self, layer: Layer, tiling: LayerTiling) -> tuple:
+        out = tiling.out_tile
+        return (
+            layer.op_type,
+            layer.in_channels,
+            layer.out_channels,
+            layer.kernel_h,
+            layer.kernel_w,
+            layer.stride_h,
+            layer.stride_w,
+            layer.groups,
+            layer.weight_bytes,
+            layer.bytes_per_element,
+            out.batch,
+            out.channels,
+            out.height,
+            out.width,
+        )
+
+    def _evaluate_pe_tile(self, layer: Layer, tiling: LayerTiling) -> TileCost:
+        hw = self._accelerator
+        core = hw.core_array
+        energy = hw.energy
+        out = tiling.out_tile
+
+        macs = tiling.macs_per_tile
+        spatial_extent = out.batch * out.height * out.width
+        channel_lanes = core.kc_parallel_lanes
+        spatial_lanes = max(1, core.total_macs_per_cycle // channel_lanes)
+        # Two candidate mappings: the Kernel-Channel-parallel mapping (channels
+        # on one lane group, batch/spatial positions on the other) and a
+        # flattened mapping that spreads all output elements across every lane
+        # (what the Core Array Scheduler falls back to for single-token /
+        # single-position tiles, e.g. LLM decode).  The scheduler picks the
+        # better of the two.
+        kc_efficiency = _padding_efficiency(out.channels, channel_lanes) * _padding_efficiency(
+            spatial_extent, spatial_lanes
+        )
+        flat_efficiency = _padding_efficiency(
+            out.channels * spatial_extent, core.total_macs_per_cycle
+        )
+        effective_macs_per_cycle = core.total_macs_per_cycle * max(kc_efficiency, flat_efficiency)
+        compute_cycles = macs / max(1.0, effective_macs_per_cycle)
+
+        gbuf_traffic = self._min_gbuf_traffic(layer, tiling)
+        gbuf_cycles = gbuf_traffic / core.gbuf_bytes_per_cycle
+
+        cycles = max(compute_cycles, gbuf_cycles) + core.tile_overhead_cycles
+        seconds = hw.cycles_to_seconds(cycles)
+
+        l0_traffic = 2.0 * macs * layer.bytes_per_element
+        energy_j = (
+            energy.mac_energy_j(macs)
+            + energy.gbuf_energy_j(gbuf_traffic)
+            + energy.l0_energy_j(l0_traffic)
+        )
+        return TileCost(
+            seconds=seconds,
+            energy_j=energy_j,
+            gbuf_traffic_bytes=gbuf_traffic,
+            compute_cycles=compute_cycles,
+            gbuf_cycles=gbuf_cycles,
+        )
+
+    def _evaluate_vector_tile(self, layer: Layer, tiling: LayerTiling) -> TileCost:
+        hw = self._accelerator
+        core = hw.core_array
+        energy = hw.energy
+
+        ops = tiling.vector_ops_per_tile
+        compute_cycles = ops / core.total_vector_lanes
+        gbuf_traffic = float(tiling.ifmap_tile_bytes + tiling.ofmap_tile_bytes)
+        gbuf_cycles = gbuf_traffic / core.gbuf_bytes_per_cycle
+        cycles = max(compute_cycles, gbuf_cycles) + core.tile_overhead_cycles
+        seconds = hw.cycles_to_seconds(cycles)
+
+        l0_traffic = 2.0 * ops * layer.bytes_per_element
+        energy_j = (
+            energy.vector_energy_j(ops)
+            + energy.gbuf_energy_j(gbuf_traffic)
+            + energy.l0_energy_j(l0_traffic)
+        )
+        return TileCost(
+            seconds=seconds,
+            energy_j=energy_j,
+            gbuf_traffic_bytes=gbuf_traffic,
+            compute_cycles=compute_cycles,
+            gbuf_cycles=gbuf_cycles,
+        )
+
+    def _min_gbuf_traffic(self, layer: Layer, tiling: LayerTiling) -> float:
+        """Minimum GBUF<->L0 traffic over the enumerated L0 blockings.
+
+        The outer loop iterates output-channel blocks (each re-reads the tile
+        ifmap) and spatial blocks (each re-reads the tile weights); blocks
+        must fit the aggregate W/A/O L0 capacities.  Depthwise and
+        activation-activation matmuls have no weight reuse dimension, so
+        their traffic is simply ifmap + weights + ofmap.
+        """
+        core = self._accelerator.core_array
+        ifmap_bytes = float(tiling.ifmap_tile_bytes)
+        ofmap_bytes = float(tiling.ofmap_tile_bytes)
+        weight_bytes = float(layer.weight_bytes)
+        base = ifmap_bytes + ofmap_bytes
+
+        if layer.op_type in (OpType.DWCONV, OpType.MATMUL) or weight_bytes == 0.0:
+            return base + weight_bytes
+
+        out = tiling.out_tile
+        spatial_extent = max(1, out.batch * out.height * out.width)
+        out_channels = max(1, out.channels)
+        wl0_total = core.wl0_bytes * core.num_cores
+        al0_total = core.al0_bytes * core.num_cores
+        ol0_total = core.ol0_bytes * core.num_cores
+
+        weight_bytes_per_channel = weight_bytes / max(1, layer.out_channels)
+        ifmap_bytes_per_spatial = ifmap_bytes / spatial_extent
+        ofmap_bytes_per_elem = float(layer.bytes_per_element)
+
+        best = base + weight_bytes * spatial_extent  # worst case: reload weights everywhere
+        for channel_block in _candidate_blocks(out_channels):
+            weight_block = weight_bytes_per_channel * channel_block
+            if weight_block > wl0_total:
+                continue
+            for spatial_block in _candidate_blocks(spatial_extent):
+                ifmap_block = ifmap_bytes_per_spatial * spatial_block
+                ofmap_block = ofmap_bytes_per_elem * spatial_block * channel_block
+                if ifmap_block > al0_total or ofmap_block > ol0_total:
+                    continue
+                channel_steps = -(-out_channels // channel_block)
+                spatial_steps = -(-spatial_extent // spatial_block)
+                traffic = (
+                    ofmap_bytes
+                    + ifmap_bytes * channel_steps
+                    + weight_bytes * spatial_steps
+                )
+                best = min(best, traffic)
+        return best

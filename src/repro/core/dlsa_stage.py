@@ -1,0 +1,142 @@
+"""DLSA exploration stage (paper Sec. V-C2).
+
+Stage 2 pins the best LFA found by stage 1 and anneals over the DRAM-load-
+and-store attributes: the DRAM Tensor Order and each tensor's free Living
+Duration endpoint (``Start`` for loads — how early to prefetch; ``End`` for
+stores — how late the drain may finish).  Tensors are selected for mutation
+with probability proportional to their size, since large tensors dominate
+both bandwidth and buffer pressure.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.config import SoMaConfig
+from repro.core.evaluator import ScheduleEvaluator
+from repro.core.result import EvaluationResult, StageResult
+from repro.core.sa import SimulatedAnnealing
+from repro.notation.dlsa import DLSA
+from repro.notation.encoding import ScheduleEncoding
+from repro.notation.lfa import LFA
+from repro.notation.plan import ComputePlan
+
+
+# ------------------------------------------------------------------- operators
+def _pick_tensor(plan: ComputePlan, rng: random.Random) -> int:
+    """Pick a DRAM tensor id with probability proportional to its size."""
+    tensors = plan.dram_tensors
+    weights = [max(1, t.num_bytes) for t in tensors]
+    return rng.choices(range(len(tensors)), weights=weights, k=1)[0]
+
+
+def op_change_tensor_order(plan: ComputePlan, dlsa: DLSA, rng: random.Random) -> DLSA | None:
+    """Move one DRAM tensor to another position of the DRAM Tensor Order."""
+    if len(dlsa.order) < 2:
+        return None
+    tid = _pick_tensor(plan, rng)
+    order = list(dlsa.order)
+    current = order.index(tid)
+    new_position = rng.randrange(len(order))
+    if new_position == current:
+        return None
+    order.pop(current)
+    order.insert(new_position, tid)
+    return DLSA(order=tuple(order), living=dict(dlsa.living))
+
+
+def op_change_living_duration(plan: ComputePlan, dlsa: DLSA, rng: random.Random) -> DLSA | None:
+    """Change the free Living Duration endpoint of one DRAM tensor."""
+    tid = _pick_tensor(plan, rng)
+    tensor = plan.tensor(tid)
+    living = dict(dlsa.living)
+    start, end = living[tid]
+    if tensor.is_load:
+        if tensor.first_use == 0:
+            return None
+        new_start = rng.randint(0, tensor.first_use)
+        if new_start == start:
+            return None
+        living[tid] = (new_start, end)
+    else:
+        latest = plan.num_tiles  # one past the final tile: no deadline at all
+        earliest = tensor.produce_tile + 1
+        if latest <= earliest:
+            return None
+        new_end = rng.randint(earliest, latest)
+        if new_end == end:
+            return None
+        living[tid] = (start, new_end)
+    return DLSA(order=dlsa.order, living=living)
+
+
+DLSA_OPERATORS = (op_change_tensor_order, op_change_living_duration)
+
+
+# ----------------------------------------------------------------------- stage
+@dataclass(frozen=True)
+class DLSAStageOutcome:
+    """Best DLSA scheme of one stage-2 run."""
+
+    stage_result: StageResult
+
+
+class DLSAStage:
+    """Stage 2 of the SoMa search."""
+
+    def __init__(self, evaluator: ScheduleEvaluator, config: SoMaConfig) -> None:
+        self._evaluator = evaluator
+        self._config = config
+        self._annealer = SimulatedAnnealing(config.dlsa_sa)
+
+    def explore(
+        self,
+        lfa: LFA,
+        plan: ComputePlan,
+        initial_dlsa: DLSA,
+        buffer_budget_bytes: int,
+        rng: random.Random,
+    ) -> DLSAStageOutcome:
+        """Run stage 2 from the stage-1 scheme (LFA fixed, DLSA annealed)."""
+        outcome = self._annealer.run(
+            initial_state=initial_dlsa,
+            cost_fn=lambda dlsa: self.cost(plan, dlsa, buffer_budget_bytes),
+            neighbor_fn=lambda dlsa, move_rng: self._neighbor(plan, dlsa, move_rng),
+            rng=rng,
+            units=plan.num_dram_tensors,
+        )
+        evaluation = self._evaluator.evaluate(plan, outcome.best_state, buffer_budget_bytes)
+        stage_result = StageResult(
+            encoding=ScheduleEncoding(lfa=lfa, dlsa=outcome.best_state),
+            evaluation=evaluation,
+            cost=outcome.best_cost,
+            iterations=outcome.iterations,
+            accepted_moves=outcome.accepted_moves,
+        )
+        return DLSAStageOutcome(stage_result=stage_result)
+
+    def cost(self, plan: ComputePlan, dlsa: DLSA, buffer_budget_bytes: int) -> float:
+        """Stage-2 cost: the objective with a soft buffer-overflow penalty."""
+        result = self._evaluator.evaluate(plan, dlsa, buffer_budget_bytes)
+        return self._penalised_cost(result, buffer_budget_bytes)
+
+    # ---------------------------------------------------------------- internal
+    def _penalised_cost(self, result: EvaluationResult, budget: int) -> float:
+        if not math.isfinite(result.latency_s) or result.latency_s <= 0:
+            return math.inf
+        cost = self._config.objective(result.energy_j, result.latency_s)
+        if result.max_buffer_bytes > budget:
+            excess = (result.max_buffer_bytes - budget) / budget
+            cost *= 1.0 + self._config.buffer_overflow_penalty * excess
+        return cost
+
+    def _neighbor(self, plan: ComputePlan, dlsa: DLSA, rng: random.Random) -> DLSA | None:
+        operators = list(DLSA_OPERATORS)
+        rng.shuffle(operators)
+        for operator in operators:
+            candidate = operator(plan, dlsa, rng)
+            if candidate is not None:
+                return candidate
+        return None

@@ -1,0 +1,20 @@
+"""Classical double-buffer DLSA strategy (paper Sec. III-B).
+
+Traditional accelerators prefetch the data of the next tile while the current
+tile computes, and drain the data of the previous tile while the next one
+computes.  In the Tensor-centric Notation this corresponds to ``Start`` one
+tile before the first use for every load and ``End`` one tile after the
+producing tile for every store, with the DRAM Tensor Order following the
+compute sequence.  Cocco (the baseline) and the LFA exploration stage of SoMa
+both use exactly this strategy.
+"""
+
+from __future__ import annotations
+
+from repro.notation.dlsa import DLSA
+from repro.notation.plan import ComputePlan
+
+
+def double_buffer_dlsa(plan: ComputePlan) -> DLSA:
+    """Return the double-buffer DLSA for a parsed plan."""
+    return DLSA.from_defaults(plan.dram_tensors)

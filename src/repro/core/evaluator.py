@@ -1,0 +1,294 @@
+"""Accurate schedule evaluator (paper Sec. V-D).
+
+The evaluator follows the paper's local-to-global approach: every computing
+tile is costed by the Core Array mapper and every DRAM tensor by the DRAM
+bandwidth model, then a co-operative simulation of the two in-order engines
+(the DRAM channel walking the DRAM Tensor Order, the compute array walking
+the tile sequence) derives the overall latency under the start conditions of
+Sec. V-D.  Buffer occupancy is accounted per tile from on-chip fmap lifetimes
+plus DRAM-tensor Living Durations and checked against the budget.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.core_array import CoreArrayMapper
+from repro.core.result import EvaluationResult, TileRecord, TransferRecord
+from repro.hardware.accelerator import AcceleratorConfig
+from repro.notation.dlsa import DLSA
+from repro.notation.plan import ComputePlan
+
+
+class ScheduleEvaluator:
+    """Evaluates parsed schemes on one accelerator configuration."""
+
+    def __init__(self, accelerator: AcceleratorConfig, mapper: CoreArrayMapper | None = None) -> None:
+        self._accelerator = accelerator
+        self._mapper = mapper if mapper is not None else CoreArrayMapper(accelerator)
+        # Per-plan cache of DLSA-independent quantities (tile costs, DRAM
+        # durations).  The DLSA stage evaluates the same plan thousands of
+        # times, so this avoids redundant recomputation; the cache holds only
+        # the most recent plans to keep memory bounded.
+        self._plan_cache: dict[int, tuple] = {}
+        self._plan_cache_order: list[int] = []
+
+    @property
+    def accelerator(self) -> AcceleratorConfig:
+        """The accelerator this evaluator models."""
+        return self._accelerator
+
+    @property
+    def mapper(self) -> CoreArrayMapper:
+        """The shared (memoising) intra-tile mapper."""
+        return self._mapper
+
+    # ------------------------------------------------------------------ public
+    def evaluate(
+        self,
+        plan: ComputePlan,
+        dlsa: DLSA,
+        buffer_budget_bytes: int | None = None,
+        include_trace: bool = False,
+    ) -> EvaluationResult:
+        """Evaluate one (plan, DLSA) pair.
+
+        ``buffer_budget_bytes`` defaults to the full GBUF capacity; schemes
+        whose peak occupancy exceeds it are reported as infeasible (the
+        search stages decide how to penalise that).
+        """
+        if not plan.feasible:
+            return EvaluationResult(feasible=False, reason=plan.infeasibility_reason)
+        if buffer_budget_bytes is None:
+            buffer_budget_bytes = self._accelerator.gbuf_bytes
+
+        tile_seconds, core_energy, tensor_seconds, dram_energy = self._static_costs(plan)
+
+        max_buffer, avg_buffer = self._buffer_occupancy(plan, dlsa, tile_seconds)
+
+        timing = self._simulate(plan, dlsa, tile_seconds, tensor_seconds)
+        if timing is None:
+            return EvaluationResult(
+                feasible=False,
+                reason="deadlock between the DRAM Tensor Order and the compute sequence",
+                max_buffer_bytes=max_buffer,
+                avg_buffer_bytes=avg_buffer,
+                num_tiles=plan.num_tiles,
+                num_dram_tensors=plan.num_dram_tensors,
+                num_lgs=plan.num_lgs,
+                num_flgs=plan.num_flgs,
+            )
+        tile_finish, transfer_times, latency = timing
+
+        feasible = max_buffer <= buffer_budget_bytes
+        reason = "" if feasible else (
+            f"peak buffer {max_buffer} bytes exceeds budget {buffer_budget_bytes} bytes"
+        )
+
+        tile_records: tuple[TileRecord, ...] = ()
+        transfer_records: tuple[TransferRecord, ...] = ()
+        if include_trace:
+            tile_records = tuple(
+                TileRecord(index=i, start_s=finish - tile_seconds[i], finish_s=finish)
+                for i, finish in enumerate(tile_finish)
+            )
+            transfer_records = tuple(
+                TransferRecord(tid=tid, start_s=start, finish_s=finish)
+                for tid, (start, finish) in sorted(transfer_times.items())
+            )
+
+        return EvaluationResult(
+            feasible=feasible,
+            reason=reason,
+            latency_s=latency,
+            energy_j=core_energy + dram_energy,
+            core_energy_j=core_energy,
+            dram_energy_j=dram_energy,
+            compute_time_sum_s=sum(tile_seconds),
+            dram_time_sum_s=sum(tensor_seconds),
+            total_ops=plan.total_ops,
+            total_dram_bytes=plan.total_dram_bytes,
+            max_buffer_bytes=max_buffer,
+            avg_buffer_bytes=avg_buffer,
+            num_tiles=plan.num_tiles,
+            num_dram_tensors=plan.num_dram_tensors,
+            num_lgs=plan.num_lgs,
+            num_flgs=plan.num_flgs,
+            tile_records=tile_records,
+            transfer_records=transfer_records,
+        )
+
+    # ---------------------------------------------------------------- internal
+    def _static_costs(self, plan: ComputePlan) -> tuple[list[float], float, list[float], float]:
+        """DLSA-independent costs of a plan, cached per plan object."""
+        key = id(plan)
+        cached = self._plan_cache.get(key)
+        if cached is not None and cached[0] is plan:
+            return cached[1]
+
+        layer_costs = {
+            name: self._mapper.evaluate_tile(plan.graph.layer(name), tiling)
+            for name, tiling in plan.layer_tilings.items()
+        }
+        tile_seconds = [layer_costs[tile.layer].seconds for tile in plan.tiles]
+        core_energy = sum(layer_costs[tile.layer].energy_j for tile in plan.tiles)
+
+        memory = self._accelerator.memory
+        tensor_seconds = [memory.dram_transfer_seconds(t.num_bytes) for t in plan.dram_tensors]
+        dram_energy = self._accelerator.energy.dram_energy_j(plan.total_dram_bytes)
+
+        entry = (tile_seconds, core_energy, tensor_seconds, dram_energy)
+        # Keep a reference to the plan itself so its id cannot be recycled
+        # while the entry is alive.
+        self._plan_cache[key] = (plan, entry)
+        self._plan_cache_order.append(key)
+        if len(self._plan_cache_order) > 8:
+            oldest = self._plan_cache_order.pop(0)
+            self._plan_cache.pop(oldest, None)
+        return entry
+
+    def _buffer_occupancy(
+        self, plan: ComputePlan, dlsa: DLSA, tile_seconds: list[float]
+    ) -> tuple[int, float]:
+        """Peak and (compute-time weighted) average buffer usage in bytes."""
+        num_tiles = plan.num_tiles
+        if num_tiles == 0:
+            return 0, 0.0
+        deltas = [0] * (num_tiles + 1)
+
+        def add_interval(start: int, end: int, num_bytes: int) -> None:
+            start = max(0, min(start, num_tiles - 1))
+            end = max(start, min(end, num_tiles - 1))
+            deltas[start] += num_bytes
+            deltas[end + 1] -= num_bytes
+
+        for interval in plan.onchip_intervals:
+            add_interval(interval.start_tile, interval.end_tile, interval.num_bytes)
+        for tensor in plan.dram_tensors:
+            start, end = dlsa.living[tensor.tid]
+            if tensor.is_load:
+                add_interval(start, tensor.last_use, tensor.num_bytes)
+            else:
+                add_interval(tensor.produce_tile, end - 1, tensor.num_bytes)
+
+        usage = 0
+        max_usage = 0
+        weighted = 0.0
+        total_seconds = 0.0
+        for index in range(num_tiles):
+            usage += deltas[index]
+            max_usage = max(max_usage, usage)
+            weighted += usage * tile_seconds[index]
+            total_seconds += tile_seconds[index]
+        avg_usage = weighted / total_seconds if total_seconds > 0 else 0.0
+        return max_usage, avg_usage
+
+    def _simulate(
+        self,
+        plan: ComputePlan,
+        dlsa: DLSA,
+        tile_seconds: list[float],
+        tensor_seconds: list[float],
+    ) -> tuple[list[float], dict[int, tuple[float, float]], float] | None:
+        """Co-operative simulation of the DRAM channel and the compute array.
+
+        Returns ``None`` on deadlock (some tensor waits on a tile that waits
+        on a tensor scheduled later in the DRAM Tensor Order).
+        """
+        num_tiles = plan.num_tiles
+        num_tensors = plan.num_dram_tensors
+        tensors = plan.dram_tensors
+
+        stores_of_layer: dict[str, list[int]] = {}
+        store_deadline: dict[int, list[int]] = {}
+        for tensor in tensors:
+            if tensor.is_store:
+                stores_of_layer.setdefault(tensor.layer, []).append(tensor.tid)
+                end = dlsa.end(tensor.tid)
+                if end < num_tiles:
+                    store_deadline.setdefault(end, []).append(tensor.tid)
+
+        tile_finish: list[float | None] = [None] * num_tiles
+        load_finish: dict[int, float] = {}
+        store_finish: dict[int, float] = {}
+        transfer_times: dict[int, tuple[float, float]] = {}
+
+        dram_order = dlsa.order
+        dram_ptr = 0
+        tile_ptr = 0
+        dram_free = 0.0
+        compute_free = 0.0
+
+        while dram_ptr < num_tensors or tile_ptr < num_tiles:
+            progressed = False
+
+            while dram_ptr < num_tensors:
+                tensor = tensors[dram_order[dram_ptr]]
+                gate = 0.0
+                ready = True
+                if tensor.is_load:
+                    start_tile = dlsa.start(tensor.tid)
+                    if start_tile > 0:
+                        finish = tile_finish[start_tile - 1]
+                        if finish is None:
+                            ready = False
+                        else:
+                            gate = finish
+                    if ready and tensor.source_layer is not None:
+                        for store_tid in stores_of_layer.get(tensor.source_layer, ()):
+                            finish = store_finish.get(store_tid)
+                            if finish is None:
+                                ready = False
+                                break
+                            gate = max(gate, finish)
+                else:
+                    finish = tile_finish[tensor.produce_tile]
+                    if finish is None:
+                        ready = False
+                    else:
+                        gate = finish
+                if not ready:
+                    break
+                start = max(dram_free, gate)
+                finish_time = start + tensor_seconds[tensor.tid]
+                dram_free = finish_time
+                transfer_times[tensor.tid] = (start, finish_time)
+                if tensor.is_load:
+                    load_finish[tensor.tid] = finish_time
+                else:
+                    store_finish[tensor.tid] = finish_time
+                dram_ptr += 1
+                progressed = True
+
+            while tile_ptr < num_tiles:
+                gate = 0.0
+                ready = True
+                for tid in plan.tile_required_loads[tile_ptr]:
+                    finish = load_finish.get(tid)
+                    if finish is None:
+                        ready = False
+                        break
+                    gate = max(gate, finish)
+                if ready:
+                    for tid in store_deadline.get(tile_ptr, ()):
+                        finish = store_finish.get(tid)
+                        if finish is None:
+                            ready = False
+                            break
+                        gate = max(gate, finish)
+                if not ready:
+                    break
+                start = max(compute_free, gate)
+                finish_time = start + tile_seconds[tile_ptr]
+                compute_free = finish_time
+                tile_finish[tile_ptr] = finish_time
+                tile_ptr += 1
+                progressed = True
+
+            if not progressed:
+                return None
+
+        latency = max(dram_free, compute_free)
+        if not math.isfinite(latency):
+            return None
+        return [f if f is not None else 0.0 for f in tile_finish], transfer_times, latency

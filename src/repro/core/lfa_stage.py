@@ -1,0 +1,277 @@
+"""LFA exploration stage (paper Sec. V-C1).
+
+Starting from the no-fusion scheme (every layer its own FLG and LG, Tiling
+Number from the core-array parallelism requirement), the stage anneals over
+the four LFA operators — change computing order, x/÷2 a Tiling Number,
+add/delete an FLC, add/delete a DRAM Cut — while the DLSA is fixed to the
+classical double-buffer strategy.  The stage receives a buffer budget from
+the Buffer Allocator; schemes exceeding it are penalised.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.config import SoMaConfig
+from repro.core.double_buffer import double_buffer_dlsa
+from repro.core.evaluator import ScheduleEvaluator
+from repro.core.result import EvaluationResult, StageResult
+from repro.core.sa import SimulatedAnnealing
+from repro.errors import EncodingError
+from repro.notation.encoding import ScheduleEncoding
+from repro.notation.lfa import LFA
+from repro.notation.parser import parse_lfa
+from repro.tiling.heuristics import kc_parallelism_tiling_number
+from repro.workloads.graph import WorkloadGraph
+
+_MAX_TILING_NUMBER = 4096
+
+
+# --------------------------------------------------------------------- helpers
+def initial_lfa(graph: WorkloadGraph, kc_parallel_lanes: int) -> LFA:
+    """No-fusion initial solution with parallelism-driven Tiling Numbers."""
+    order = tuple(graph.topological_order())
+    n = len(order)
+    cuts = frozenset(range(1, n))
+    tilings = {}
+    for start, name in enumerate(order):
+        tilings[start] = kc_parallelism_tiling_number(graph, [name], kc_parallel_lanes)
+    return LFA(
+        computing_order=order,
+        flc_set=cuts,
+        dram_cut_set=cuts,
+        tiling_numbers=tilings,
+    )
+
+
+def _valid_positions(graph: WorkloadGraph, order: list[str], layer: str) -> list[int]:
+    """Positions where ``layer`` may be re-inserted without breaking deps."""
+    remaining = [name for name in order if name != layer]
+    position = {name: i for i, name in enumerate(remaining)}
+    lower = 0
+    upper = len(remaining)
+    for producer in graph.predecessors(layer):
+        lower = max(lower, position[producer] + 1)
+    for consumer in graph.successors(layer):
+        upper = min(upper, position[consumer])
+    return list(range(lower, upper + 1))
+
+
+# ------------------------------------------------------------------- operators
+def op_change_computing_order(lfa: LFA, graph: WorkloadGraph, rng: random.Random) -> LFA | None:
+    """Move one layer to another dependency-valid position."""
+    order = list(lfa.computing_order)
+    layer = rng.choice(order)
+    positions = _valid_positions(graph, order, layer)
+    current = order.index(layer)
+    candidates = [p for p in positions if p != current and p != current]
+    if not candidates:
+        return None
+    remaining = [name for name in order if name != layer]
+    new_position = rng.choice(candidates)
+    remaining.insert(new_position, layer)
+    return LFA(
+        computing_order=tuple(remaining),
+        flc_set=lfa.flc_set,
+        dram_cut_set=lfa.dram_cut_set,
+        tiling_numbers=dict(lfa.tiling_numbers),
+    )
+
+
+def op_change_tiling_number(lfa: LFA, graph: WorkloadGraph, rng: random.Random) -> LFA | None:
+    """Multiply or divide one FLG's Tiling Number by two."""
+    start = rng.choice(sorted(lfa.tiling_numbers))
+    tilings = dict(lfa.tiling_numbers)
+    current = tilings[start]
+    if rng.random() < 0.5:
+        new_value = min(_MAX_TILING_NUMBER, current * 2)
+    else:
+        new_value = max(1, current // 2)
+    if new_value == current:
+        return None
+    tilings[start] = new_value
+    return LFA(
+        computing_order=lfa.computing_order,
+        flc_set=lfa.flc_set,
+        dram_cut_set=lfa.dram_cut_set,
+        tiling_numbers=tilings,
+    )
+
+
+def op_add_flc(lfa: LFA, graph: WorkloadGraph, rng: random.Random) -> LFA | None:
+    """Add an FLC, splitting one FLG into two with the same Tiling Number."""
+    n = len(lfa.computing_order)
+    candidates = [p for p in range(1, n) if p not in lfa.flc_set]
+    if not candidates:
+        return None
+    position = rng.choice(candidates)
+    flg_index = lfa.flg_of_position(position)
+    start, _ = lfa.flg_ranges()[flg_index]
+    tilings = dict(lfa.tiling_numbers)
+    tilings[position] = tilings[start]
+    return LFA(
+        computing_order=lfa.computing_order,
+        flc_set=lfa.flc_set | {position},
+        dram_cut_set=lfa.dram_cut_set,
+        tiling_numbers=tilings,
+    )
+
+
+def op_delete_flc(lfa: LFA, graph: WorkloadGraph, rng: random.Random) -> LFA | None:
+    """Remove an FLC (not a DRAM Cut), merging two FLGs.
+
+    The merged FLG inherits one of the two Tiling Numbers with probability
+    proportional to the layer count of each side (Sec. V-C1).
+    """
+    candidates = sorted(lfa.flc_set - lfa.dram_cut_set)
+    if not candidates:
+        return None
+    position = rng.choice(candidates)
+    ranges = lfa.flg_ranges()
+    flg_index = next(i for i, (start, _end) in enumerate(ranges) if start == position)
+    left_start, left_end = ranges[flg_index - 1]
+    right_start, right_end = ranges[flg_index]
+    left_count = left_end - left_start
+    right_count = right_end - right_start
+    tilings = dict(lfa.tiling_numbers)
+    left_tiling = tilings[left_start]
+    right_tiling = tilings.pop(right_start)
+    keep_left = rng.random() < left_count / (left_count + right_count)
+    tilings[left_start] = left_tiling if keep_left else right_tiling
+    return LFA(
+        computing_order=lfa.computing_order,
+        flc_set=lfa.flc_set - {position},
+        dram_cut_set=lfa.dram_cut_set,
+        tiling_numbers=tilings,
+    )
+
+
+def op_add_dram_cut(lfa: LFA, graph: WorkloadGraph, rng: random.Random) -> LFA | None:
+    """Promote an existing FLC to a DRAM Cut."""
+    candidates = sorted(lfa.flc_set - lfa.dram_cut_set)
+    if not candidates:
+        return None
+    position = rng.choice(candidates)
+    return LFA(
+        computing_order=lfa.computing_order,
+        flc_set=lfa.flc_set,
+        dram_cut_set=lfa.dram_cut_set | {position},
+        tiling_numbers=dict(lfa.tiling_numbers),
+    )
+
+
+def op_delete_dram_cut(lfa: LFA, graph: WorkloadGraph, rng: random.Random) -> LFA | None:
+    """Demote a DRAM Cut to a plain FLC (fusing the two LGs)."""
+    candidates = sorted(lfa.dram_cut_set)
+    if not candidates:
+        return None
+    position = rng.choice(candidates)
+    return LFA(
+        computing_order=lfa.computing_order,
+        flc_set=lfa.flc_set,
+        dram_cut_set=lfa.dram_cut_set - {position},
+        tiling_numbers=dict(lfa.tiling_numbers),
+    )
+
+
+LFA_OPERATORS = (
+    op_change_computing_order,
+    op_change_tiling_number,
+    op_add_flc,
+    op_delete_flc,
+    op_add_dram_cut,
+    op_delete_dram_cut,
+)
+
+# Relative selection weights for the operators above.  Fusion decisions (DRAM
+# cuts) and Tiling Numbers move the cost the most, so they are proposed more
+# often; the weights keep every operator reachable.
+LFA_OPERATOR_WEIGHTS = (1.0, 2.0, 1.0, 1.5, 1.0, 2.5)
+
+
+# ----------------------------------------------------------------------- stage
+@dataclass(frozen=True)
+class LFAStageOutcome:
+    """Best LFA scheme of one stage-1 run plus its double-buffer evaluation."""
+
+    stage_result: StageResult
+    buffer_peak_bytes: int
+
+
+class LFAStage:
+    """Stage 1 of the SoMa search."""
+
+    def __init__(
+        self,
+        graph: WorkloadGraph,
+        evaluator: ScheduleEvaluator,
+        config: SoMaConfig,
+    ) -> None:
+        self._graph = graph
+        self._evaluator = evaluator
+        self._config = config
+        self._annealer = SimulatedAnnealing(config.lfa_sa)
+
+    # ------------------------------------------------------------------ public
+    def explore(self, buffer_budget_bytes: int, rng: random.Random) -> LFAStageOutcome:
+        """Run stage 1 under the given buffer budget."""
+        start_lfa = initial_lfa(self._graph, self._evaluator.accelerator.core_array.kc_parallel_lanes)
+        outcome = self._annealer.run(
+            initial_state=start_lfa,
+            cost_fn=lambda lfa: self.cost(lfa, buffer_budget_bytes),
+            neighbor_fn=self._neighbor,
+            rng=rng,
+            units=len(self._graph),
+        )
+        evaluation = self.evaluate(outcome.best_state, buffer_budget_bytes)
+        stage_result = StageResult(
+            encoding=ScheduleEncoding(lfa=outcome.best_state, dlsa=None),
+            evaluation=evaluation,
+            cost=outcome.best_cost,
+            iterations=outcome.iterations,
+            accepted_moves=outcome.accepted_moves,
+        )
+        return LFAStageOutcome(
+            stage_result=stage_result,
+            buffer_peak_bytes=evaluation.max_buffer_bytes,
+        )
+
+    def evaluate(self, lfa: LFA, buffer_budget_bytes: int) -> EvaluationResult:
+        """Evaluate one LFA with the double-buffer DLSA."""
+        plan = parse_lfa(self._graph, lfa)
+        if not plan.feasible:
+            return EvaluationResult(feasible=False, reason=plan.infeasibility_reason)
+        dlsa = double_buffer_dlsa(plan)
+        return self._evaluator.evaluate(plan, dlsa, buffer_budget_bytes)
+
+    def cost(self, lfa: LFA, buffer_budget_bytes: int) -> float:
+        """Stage-1 cost: the objective, with a soft penalty for buffer overflow."""
+        try:
+            result = self.evaluate(lfa, buffer_budget_bytes)
+        except EncodingError:
+            return math.inf
+        return self._penalised_cost(result, buffer_budget_bytes)
+
+    # ---------------------------------------------------------------- internal
+    def _penalised_cost(self, result: EvaluationResult, budget: int) -> float:
+        if not math.isfinite(result.latency_s) or result.latency_s <= 0:
+            return math.inf
+        cost = self._config.objective(result.energy_j, result.latency_s)
+        if result.max_buffer_bytes > budget:
+            excess = (result.max_buffer_bytes - budget) / budget
+            cost *= 1.0 + self._config.buffer_overflow_penalty * excess
+        return cost
+
+    def _neighbor(self, lfa: LFA, rng: random.Random) -> LFA | None:
+        operators = list(LFA_OPERATORS)
+        weights = list(LFA_OPERATOR_WEIGHTS)
+        while operators:
+            index = rng.choices(range(len(operators)), weights=weights, k=1)[0]
+            operator = operators.pop(index)
+            weights.pop(index)
+            candidate = operator(lfa, self._graph, rng)
+            if candidate is not None:
+                return candidate
+        return None

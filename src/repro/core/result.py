@@ -1,0 +1,172 @@
+"""Result types: evaluation of one scheme and outputs of the SoMa stages."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.hardware.accelerator import AcceleratorConfig
+from repro.notation.dlsa import DLSA
+from repro.notation.encoding import ScheduleEncoding
+from repro.notation.plan import ComputePlan
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """Timing of one DRAM tensor as simulated by the evaluator."""
+
+    tid: int
+    start_s: float
+    finish_s: float
+
+
+@dataclass(frozen=True)
+class TileRecord:
+    """Timing of one computing tile as simulated by the evaluator."""
+
+    index: int
+    start_s: float
+    finish_s: float
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Latency / energy / buffer outcome of evaluating one scheme.
+
+    ``feasible`` is False for schemes that deadlock or exceed the buffer
+    budget; such results carry infinite latency so any cost function built
+    on them pushes the search away.
+    """
+
+    feasible: bool
+    reason: str = ""
+    latency_s: float = math.inf
+    energy_j: float = math.inf
+    core_energy_j: float = math.inf
+    dram_energy_j: float = math.inf
+    compute_time_sum_s: float = 0.0
+    dram_time_sum_s: float = 0.0
+    total_ops: int = 0
+    total_dram_bytes: int = 0
+    max_buffer_bytes: int = 0
+    avg_buffer_bytes: float = 0.0
+    num_tiles: int = 0
+    num_dram_tensors: int = 0
+    num_lgs: int = 0
+    num_flgs: int = 0
+    tile_records: tuple[TileRecord, ...] = ()
+    transfer_records: tuple[TransferRecord, ...] = ()
+
+    def objective(self, energy_exponent: float = 1.0, delay_exponent: float = 1.0) -> float:
+        """The paper's cost ``Energy^n x Delay^m`` (infinite when infeasible)."""
+        if not self.feasible or not math.isfinite(self.latency_s):
+            return math.inf
+        return (self.energy_j ** energy_exponent) * (self.latency_s ** delay_exponent)
+
+    def compute_utilization(self, accelerator: AcceleratorConfig) -> float:
+        """``Util(latency)`` as defined in the caption of Fig. 6."""
+        if not self.feasible or self.latency_s <= 0 or not math.isfinite(self.latency_s):
+            return 0.0
+        return self.total_ops / (accelerator.peak_ops_per_s * self.latency_s)
+
+    def theoretical_max_utilization(self, accelerator: AcceleratorConfig) -> float:
+        """Upper bound on utilisation with perfect DRAM/compute overlap.
+
+        The bound assumes either the compute array or the DRAM channel runs
+        without any stall, i.e. latency >= max(sum of tile times, sum of
+        DRAM tensor times); the utilisation at that lower-bound latency is
+        the best stage 2 could ever reach.
+        """
+        if not self.feasible:
+            return 0.0
+        bound_latency = max(self.compute_time_sum_s, self.dram_time_sum_s)
+        if bound_latency <= 0:
+            return 0.0
+        return min(1.0, self.total_ops / (accelerator.peak_ops_per_s * bound_latency))
+
+    def dram_utilization(self) -> float:
+        """Fraction of the runtime during which the DRAM channel is busy."""
+        if not self.feasible or self.latency_s <= 0 or not math.isfinite(self.latency_s):
+            return 0.0
+        return min(1.0, self.dram_time_sum_s / self.latency_s)
+
+    def buffer_utilization(self, accelerator: AcceleratorConfig) -> float:
+        """Average buffer occupancy relative to the GBUF capacity."""
+        if not self.feasible:
+            return 0.0
+        return self.avg_buffer_bytes / accelerator.gbuf_bytes
+
+    def describe(self) -> str:
+        """One-line summary used by examples and reports."""
+        if not self.feasible:
+            return f"infeasible ({self.reason})"
+        return (
+            f"latency={self.latency_s * 1e3:.3f} ms energy={self.energy_j * 1e3:.3f} mJ "
+            f"(core {self.core_energy_j * 1e3:.3f} / dram {self.dram_energy_j * 1e3:.3f}) "
+            f"peak_buffer={self.max_buffer_bytes / 1e6:.2f} MB"
+        )
+
+
+@dataclass(frozen=True)
+class StageResult:
+    """Best scheme found by one exploration stage."""
+
+    encoding: ScheduleEncoding
+    evaluation: EvaluationResult
+    cost: float
+    iterations: int
+    accepted_moves: int
+
+    @property
+    def feasible(self) -> bool:
+        return self.evaluation.feasible
+
+
+@dataclass(frozen=True)
+class SoMaResult:
+    """End-to-end output of the SoMa framework for one workload."""
+
+    workload_name: str
+    accelerator_name: str
+    stage1: StageResult
+    stage2: StageResult
+    allocator_iterations: int
+    stage1_buffer_budget_bytes: int
+    plan: ComputePlan
+    dlsa: DLSA
+    search_seconds: float = 0.0
+    history: tuple[float, ...] = field(default_factory=tuple)
+
+    @property
+    def best(self) -> StageResult:
+        """The overall best stage result (stage 2 unless it failed)."""
+        if self.stage2.feasible and self.stage2.cost <= self.stage1.cost:
+            return self.stage2
+        return self.stage1
+
+    @property
+    def evaluation(self) -> EvaluationResult:
+        """Evaluation of the overall best scheme."""
+        return self.best.evaluation
+
+    @property
+    def encoding(self) -> ScheduleEncoding:
+        """Encoding of the overall best scheme."""
+        return self.best.encoding
+
+    def speedup_over(self, other_latency_s: float) -> float:
+        """Performance ratio relative to another scheme's latency."""
+        if self.evaluation.latency_s <= 0:
+            return 0.0
+        return other_latency_s / self.evaluation.latency_s
+
+    def describe(self) -> str:
+        """Multi-line report of the two stages."""
+        lines = [
+            f"SoMa result for {self.workload_name} on {self.accelerator_name}",
+            f"  stage 1: {self.stage1.evaluation.describe()}",
+            f"  stage 2: {self.stage2.evaluation.describe()}",
+            f"  allocator iterations: {self.allocator_iterations}, "
+            f"stage-1 budget {self.stage1_buffer_budget_bytes / 1e6:.2f} MB",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Generic simulated-annealing engine shared by the two exploration stages.
+
+The acceptance rule and the cooling schedule follow Sec. V-C of the paper:
+a worse scheme (cost ``c'`` vs. current ``c``) is accepted with probability
+``exp((c - c') / (c * Tn))`` and the temperature follows
+``Tn = T0 (1 - n/N) / (1 + alpha n/N)``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Generic, TypeVar
+
+from repro.core.config import SAParams
+
+StateT = TypeVar("StateT")
+
+
+@dataclass(frozen=True)
+class SAOutcome(Generic[StateT]):
+    """Result of one simulated-annealing run."""
+
+    best_state: StateT
+    best_cost: float
+    iterations: int
+    accepted_moves: int
+    improved_moves: int
+    cost_trace: tuple[float, ...]
+
+
+class SimulatedAnnealing:
+    """Runs the annealing loop over an arbitrary state space."""
+
+    def __init__(self, params: SAParams) -> None:
+        self._params = params
+
+    def run(
+        self,
+        initial_state: StateT,
+        cost_fn: Callable[[StateT], float],
+        neighbor_fn: Callable[[StateT, random.Random], StateT | None],
+        rng: random.Random,
+        units: int,
+        trace: bool = False,
+    ) -> SAOutcome[StateT]:
+        """Anneal from ``initial_state``.
+
+        ``neighbor_fn`` may return ``None`` when no move applies (the
+        iteration is skipped); ``cost_fn`` may return ``inf`` for infeasible
+        states, which are never accepted unless the current state is itself
+        infeasible.
+        """
+        params = self._params
+        total = params.num_iterations(units)
+        greedy_total = params.num_greedy_iterations(units)
+        deadline = (
+            time.perf_counter() + params.time_limit_s
+            if params.time_limit_s is not None
+            else None
+        )
+
+        current_state = initial_state
+        current_cost = cost_fn(initial_state)
+        best_state = current_state
+        best_cost = current_cost
+        accepted = 0
+        improved = 0
+        cost_trace: list[float] = [best_cost] if trace else []
+
+        for iteration in range(total):
+            # The paper supports an additional wall-clock termination time;
+            # once it is reached the annealing phase stops and only the
+            # greedy polishing phase below runs.
+            if deadline is not None and time.perf_counter() >= deadline:
+                break
+            candidate = neighbor_fn(current_state, rng)
+            if candidate is None:
+                continue
+            candidate_cost = cost_fn(candidate)
+            if self._accept(current_cost, candidate_cost, iteration, total, rng):
+                accepted += 1
+                current_state = candidate
+                current_cost = candidate_cost
+                if candidate_cost < best_cost:
+                    improved += 1
+                    best_state = candidate
+                    best_cost = candidate_cost
+            if trace:
+                cost_trace.append(best_cost)
+
+        # Greedy polishing phase (Sec. V-C): restart from the best scheme and
+        # accept only strictly improving moves.
+        current_state = best_state
+        current_cost = best_cost
+        for _ in range(greedy_total):
+            candidate = neighbor_fn(current_state, rng)
+            if candidate is None:
+                continue
+            candidate_cost = cost_fn(candidate)
+            if candidate_cost < current_cost:
+                accepted += 1
+                improved += 1
+                current_state = candidate
+                current_cost = candidate_cost
+                best_state = candidate
+                best_cost = candidate_cost
+            if trace:
+                cost_trace.append(best_cost)
+
+        return SAOutcome(
+            best_state=best_state,
+            best_cost=best_cost,
+            iterations=total + greedy_total,
+            accepted_moves=accepted,
+            improved_moves=improved,
+            cost_trace=tuple(cost_trace),
+        )
+
+    # ---------------------------------------------------------------- internal
+    def _accept(
+        self,
+        current_cost: float,
+        candidate_cost: float,
+        iteration: int,
+        total: int,
+        rng: random.Random,
+    ) -> bool:
+        if candidate_cost <= current_cost:
+            return True
+        if not math.isfinite(candidate_cost):
+            return False
+        if not math.isfinite(current_cost) or current_cost <= 0:
+            return True
+        temperature = self._params.temperature(iteration, total)
+        if temperature <= 0:
+            return False
+        probability = math.exp((current_cost - candidate_cost) / (current_cost * temperature))
+        return rng.random() < probability

@@ -1,0 +1,58 @@
+"""The end-to-end SoMa scheduling framework (paper Sec. V, Fig. 5).
+
+:class:`SoMaScheduler` wires the pieces together: the model parser (a
+:class:`~repro.workloads.graph.WorkloadGraph`), the Buffer Allocator driving
+the LFA and DLSA exploration stages, and the evaluator.  Its output — a
+:class:`~repro.core.result.SoMaResult` — carries the best encoding, its
+evaluation (latency / energy report) and everything the compiler back-end
+needs to emit IR and instructions.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.buffer_allocator import BufferAllocator
+from repro.core.config import SoMaConfig
+from repro.core.core_array import CoreArrayMapper
+from repro.core.evaluator import ScheduleEvaluator
+from repro.core.result import EvaluationResult, SoMaResult
+from repro.hardware.accelerator import AcceleratorConfig
+from repro.notation.encoding import ScheduleEncoding
+from repro.workloads.graph import WorkloadGraph
+
+
+class SoMaScheduler:
+    """Schedules workloads on one accelerator configuration."""
+
+    def __init__(
+        self,
+        accelerator: AcceleratorConfig,
+        config: SoMaConfig | None = None,
+        mapper: CoreArrayMapper | None = None,
+    ) -> None:
+        self.accelerator = accelerator
+        self.config = config if config is not None else SoMaConfig()
+        self.evaluator = ScheduleEvaluator(accelerator, mapper=mapper)
+
+    def schedule(self, graph: WorkloadGraph, seed: int | None = None) -> SoMaResult:
+        """Explore the DRAM Communication Scheduling Space for ``graph``.
+
+        ``seed`` overrides the configuration seed so experiment harnesses can
+        run several independent trials.
+        """
+        rng = random.Random(self.config.seed if seed is None else seed)
+        allocator = BufferAllocator(graph, self.evaluator, self.config)
+        return allocator.run(rng)
+
+    def evaluate_encoding(
+        self,
+        graph: WorkloadGraph,
+        encoding: ScheduleEncoding,
+        include_trace: bool = False,
+    ) -> EvaluationResult:
+        """Evaluate one explicit encoding (used by reports and the compiler)."""
+        plan, dlsa = encoding.parse(graph)
+        if not plan.feasible or dlsa is None:
+            return EvaluationResult(feasible=False, reason=plan.infeasibility_reason)
+        return self.evaluator.evaluate(plan, dlsa, include_trace=include_trace)

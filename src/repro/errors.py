@@ -1,0 +1,39 @@
+"""Exception hierarchy for the SoMa reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a hardware or framework configuration is inconsistent."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload graph is malformed (cycles, bad shapes, ...)."""
+
+
+class EncodingError(ReproError):
+    """Raised when a Tensor-centric Notation encoding is structurally invalid.
+
+    Structural invalidity means the encoding cannot even be parsed (for
+    example a computing order that violates dependencies, or a DRAM cut that
+    is not a member of the FLC set).  Encodings that parse but are merely
+    *infeasible* (deadlock, buffer overflow) are reported through evaluation
+    results instead, because the search engines need to treat those as
+    high-cost points rather than hard failures.
+    """
+
+
+class SchedulingError(ReproError):
+    """Raised when a scheduling stage cannot produce any feasible result."""
+
+
+class CompilationError(ReproError):
+    """Raised by the compiler back-end (IR / instruction generation)."""

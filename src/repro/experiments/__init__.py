@@ -1,0 +1,19 @@
+"""Experiment drivers mirroring the paper's artifact outputs.
+
+The original artifact runs every (workload, platform, batch) configuration
+through both frameworks and collects ``overall.csv`` (the Fig. 6 data),
+``stats.log`` (the Sec. VI-B aggregate statistics) and ``dse.csv`` (the
+Fig. 7 data).  This package provides the equivalent drivers as a library API
+and powers the ``python -m repro`` command line.
+"""
+
+from repro.experiments.overall import ExperimentCell, OverallExperiment, run_overall_experiment
+from repro.experiments.sweep import DSEExperiment, run_dse_experiment
+
+__all__ = [
+    "DSEExperiment",
+    "ExperimentCell",
+    "OverallExperiment",
+    "run_dse_experiment",
+    "run_overall_experiment",
+]

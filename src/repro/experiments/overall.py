@@ -1,0 +1,103 @@
+"""The "overall" experiment: Fig. 6 rows plus the Sec. VI-B statistics.
+
+Equivalent of the artifact's ``run.sh`` + ``get_results.sh`` pipeline for the
+overall comparison: run every experiment cell through Cocco and SoMa, collect
+the comparison rows, and emit ``overall.csv`` and ``stats.log`` style text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.comparison import ComparisonRow, compare_workload, rows_to_csv, summarize
+from repro.core.config import SoMaConfig
+from repro.core.core_array import CoreArrayMapper
+from repro.hardware.accelerator import AcceleratorConfig, cloud_accelerator, edge_accelerator
+from repro.workloads.registry import build_workload
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One (workload, platform, batch) configuration of the overall grid."""
+
+    workload: str
+    platform: str = "edge"
+    batch: int = 1
+    workload_kwargs: tuple[tuple[str, object], ...] = ()
+
+    def build_accelerator(self) -> AcceleratorConfig:
+        """The accelerator this cell runs on."""
+        if self.platform == "edge":
+            return edge_accelerator()
+        if self.platform == "cloud":
+            return cloud_accelerator()
+        raise ValueError(f"unknown platform {self.platform!r}; expected 'edge' or 'cloud'")
+
+    def build_graph(self):
+        """The workload graph this cell schedules."""
+        return build_workload(self.workload, batch=self.batch, **dict(self.workload_kwargs))
+
+    def describe(self) -> str:
+        """Short cell label used in logs."""
+        return f"{self.workload}/{self.platform}/bs{self.batch}"
+
+
+@dataclass
+class OverallExperiment:
+    """Results of one overall-experiment run."""
+
+    cells: list[ExperimentCell]
+    rows: list[ComparisonRow] = field(default_factory=list)
+
+    def to_csv(self) -> str:
+        """The artifact's ``overall.csv`` equivalent."""
+        return rows_to_csv(self.rows)
+
+    def stats_log(self) -> str:
+        """The artifact's ``stats.log`` equivalent (Sec. VI-B statistics)."""
+        summary = summarize(self.rows)
+        lines = ["SoMa vs Cocco - aggregate statistics", summary.describe(), ""]
+        lines.append("per-cell speedups (Ours_2 vs Cocco):")
+        for cell, row in zip(self.cells, self.rows):
+            lines.append(
+                f"  {cell.describe():40s} {row.speedup_total:6.2f}x  "
+                f"energy {row.energy_reduction_percent:+6.1f}%  "
+                f"gap-to-bound {row.gap_to_bound_percent:5.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def default_cells() -> list[ExperimentCell]:
+    """A small representative grid (see EXPERIMENTS.md for the full one)."""
+    return [
+        ExperimentCell("resnet50", "edge", 1),
+        ExperimentCell("resnet50", "edge", 4),
+        ExperimentCell("gpt2-decode", "edge", 1, (("variant", "small"), ("context_len", 512))),
+    ]
+
+
+def run_overall_experiment(
+    cells: list[ExperimentCell] | None = None,
+    config: SoMaConfig | None = None,
+    seed: int = 2025,
+    progress=None,
+) -> OverallExperiment:
+    """Run the overall comparison for every cell.
+
+    ``progress`` may be a callable taking a string; it is invoked before each
+    cell so command-line front-ends can report progress.
+    """
+    cells = cells if cells is not None else default_cells()
+    config = config if config is not None else SoMaConfig()
+    experiment = OverallExperiment(cells=cells)
+    mappers: dict[str, CoreArrayMapper] = {}
+    for cell in cells:
+        if progress is not None:
+            progress(f"running {cell.describe()}")
+        accelerator = cell.build_accelerator()
+        mapper = mappers.setdefault(accelerator.name, CoreArrayMapper(accelerator))
+        row = compare_workload(
+            cell.build_graph(), accelerator, config=config, seed=seed, mapper=mapper
+        )
+        experiment.rows.append(row)
+    return experiment

@@ -1,0 +1,73 @@
+"""The DSE experiment: Fig. 7 sweeps emitted as ``dse.csv`` style text."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.dse import DSEResult, run_dse
+from repro.core.config import SoMaConfig
+from repro.hardware.accelerator import edge_accelerator
+from repro.workloads.registry import build_workload
+
+
+@dataclass
+class DSEExperiment:
+    """Results of one bandwidth x buffer sweep over several batch sizes."""
+
+    workload: str
+    batches: list[int]
+    results: list[DSEResult] = field(default_factory=list)
+
+    def to_csv(self) -> str:
+        """The artifact's ``dse.csv`` equivalent."""
+        lines = ["workload,batch,dram_bandwidth_gb_s,buffer_mb,cocco_latency_s,soma_latency_s"]
+        for result in self.results:
+            for cell in result.cells:
+                lines.append(
+                    f"{result.workload},{result.batch},{cell.dram_bandwidth_gb_s:g},"
+                    f"{cell.buffer_mb:g},{cell.cocco_latency_s:.6g},{cell.soma_latency_s:.6g}"
+                )
+        return "\n".join(lines)
+
+    def tables(self) -> str:
+        """Human-readable latency tables for every batch size and scheduler."""
+        blocks = []
+        for result in self.results:
+            blocks.append(result.to_table("cocco"))
+            blocks.append(result.to_table("soma"))
+        return "\n\n".join(blocks)
+
+
+def run_dse_experiment(
+    workload: str = "resnet50",
+    batches: list[int] | None = None,
+    dram_bandwidths_gb_s: list[float] | None = None,
+    buffer_sizes_mb: list[float] | None = None,
+    config: SoMaConfig | None = None,
+    seed: int = 2025,
+    progress=None,
+    workload_kwargs: dict | None = None,
+) -> DSEExperiment:
+    """Sweep DRAM bandwidth x buffer size for one workload over batch sizes."""
+    batches = batches if batches is not None else [1]
+    dram_bandwidths_gb_s = dram_bandwidths_gb_s if dram_bandwidths_gb_s is not None else [8.0, 16.0, 32.0]
+    buffer_sizes_mb = buffer_sizes_mb if buffer_sizes_mb is not None else [4.0, 8.0, 16.0]
+    config = config if config is not None else SoMaConfig()
+    workload_kwargs = workload_kwargs or {}
+
+    experiment = DSEExperiment(workload=workload, batches=list(batches))
+    for batch in batches:
+        if progress is not None:
+            progress(f"sweeping {workload} batch {batch}")
+        graph = build_workload(workload, batch=batch, **workload_kwargs)
+        experiment.results.append(
+            run_dse(
+                graph,
+                edge_accelerator(),
+                dram_bandwidths_gb_s=list(dram_bandwidths_gb_s),
+                buffer_sizes_mb=list(buffer_sizes_mb),
+                config=config,
+                seed=seed,
+            )
+        )
+    return experiment

@@ -1,0 +1,26 @@
+"""Hardware substrate: accelerator template of the SoMa paper (Sec. II).
+
+The template consists of DRAM, a shared Global Buffer (GBUF) and a group of
+cores, each with a PE array, a vector unit and private L0 buffers.  The
+classes here describe that hardware and its energy characteristics; the
+behavioural models (intra-tile mapper, schedule evaluator) live in
+:mod:`repro.core`.
+"""
+
+from repro.hardware.accelerator import (
+    AcceleratorConfig,
+    cloud_accelerator,
+    edge_accelerator,
+)
+from repro.hardware.core import CoreArrayConfig
+from repro.hardware.energy import EnergyModel
+from repro.hardware.memory import MemoryConfig
+
+__all__ = [
+    "AcceleratorConfig",
+    "CoreArrayConfig",
+    "EnergyModel",
+    "MemoryConfig",
+    "edge_accelerator",
+    "cloud_accelerator",
+]

@@ -1,0 +1,143 @@
+"""Top-level accelerator configuration and the paper's two reference platforms.
+
+The paper evaluates an *edge* platform (16 TOPS, 8 MB GBUF, 16 GB/s DRAM) and
+a *cloud* platform (128 TOPS, 32 MB GBUF, 128 GB/s DRAM), both at 1 GHz in a
+12 nm process (Sec. VI-A1).  :func:`edge_accelerator` and
+:func:`cloud_accelerator` build those configurations; the DSE harness then
+varies buffer capacity and DRAM bandwidth around them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.hardware.core import CoreArrayConfig
+from repro.hardware.energy import EnergyModel
+from repro.hardware.memory import MB, MemoryConfig
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Complete description of one accelerator instance."""
+
+    name: str
+    frequency_hz: float
+    core_array: CoreArrayConfig
+    memory: MemoryConfig
+    energy: EnergyModel
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("accelerator name must be non-empty")
+        if self.frequency_hz <= 0:
+            raise ConfigurationError("frequency_hz must be positive")
+
+    @property
+    def peak_macs_per_s(self) -> float:
+        """Peak MAC throughput of the whole chip (MACs per second)."""
+        return self.core_array.total_macs_per_cycle * self.frequency_hz
+
+    @property
+    def peak_ops_per_s(self) -> float:
+        """Peak operation throughput (1 MAC = 2 ops), i.e. the TOPS rating."""
+        return 2.0 * self.peak_macs_per_s
+
+    @property
+    def peak_tops(self) -> float:
+        """Peak throughput in TOPS, convenient for reports."""
+        return self.peak_ops_per_s / 1e12
+
+    @property
+    def gbuf_bytes(self) -> int:
+        """Shortcut for the GBUF capacity."""
+        return self.memory.gbuf_bytes
+
+    @property
+    def dram_bandwidth_bytes_per_s(self) -> float:
+        """Shortcut for the DRAM bandwidth."""
+        return self.memory.dram_bandwidth_bytes_per_s
+
+    def with_memory(
+        self,
+        gbuf_bytes: int | None = None,
+        dram_bandwidth_bytes_per_s: float | None = None,
+    ) -> "AcceleratorConfig":
+        """Return a copy with a modified memory system (used by the DSE)."""
+        memory = self.memory
+        if gbuf_bytes is not None:
+            memory = memory.with_gbuf_bytes(gbuf_bytes)
+        if dram_bandwidth_bytes_per_s is not None:
+            memory = memory.with_dram_bandwidth(dram_bandwidth_bytes_per_s)
+        return replace(self, memory=memory)
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count into seconds at this chip's frequency."""
+        return cycles / self.frequency_hz
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        """Convert seconds into cycles at this chip's frequency."""
+        return seconds * self.frequency_hz
+
+
+def edge_accelerator(
+    gbuf_bytes: int = 8 * MB,
+    dram_bandwidth_gb_per_s: float = 16.0,
+) -> AcceleratorConfig:
+    """The 16 TOPS edge platform used as the paper's default (Sec. VI-A1).
+
+    16 TOPS at 1 GHz requires 8192 MACs per cycle; we organise them as
+    8 cores x 1024 MACs, which matches mobile-class NPUs the paper cites
+    (Snapdragon 8 Gen 3, Apple A15/A16).
+    """
+    core_array = CoreArrayConfig(
+        num_cores=8,
+        macs_per_core=1024,
+        vector_lanes_per_core=128,
+        al0_bytes=64 * 1024,
+        wl0_bytes=64 * 1024,
+        ol0_bytes=32 * 1024,
+        gbuf_bytes_per_cycle=256.0,
+        kc_parallel_lanes=128,
+        tile_overhead_cycles=512,
+    )
+    memory = MemoryConfig(
+        gbuf_bytes=gbuf_bytes,
+        dram_bandwidth_bytes_per_s=dram_bandwidth_gb_per_s * 1e9,
+    )
+    return AcceleratorConfig(
+        name="edge-16tops",
+        frequency_hz=1e9,
+        core_array=core_array,
+        memory=memory,
+        energy=EnergyModel(),
+    )
+
+
+def cloud_accelerator(
+    gbuf_bytes: int = 32 * MB,
+    dram_bandwidth_gb_per_s: float = 128.0,
+) -> AcceleratorConfig:
+    """The 128 TOPS cloud platform of the paper (NVIDIA Orin / TPU v4i class)."""
+    core_array = CoreArrayConfig(
+        num_cores=32,
+        macs_per_core=2048,
+        vector_lanes_per_core=256,
+        al0_bytes=128 * 1024,
+        wl0_bytes=128 * 1024,
+        ol0_bytes=64 * 1024,
+        gbuf_bytes_per_cycle=2048.0,
+        kc_parallel_lanes=512,
+        tile_overhead_cycles=512,
+    )
+    memory = MemoryConfig(
+        gbuf_bytes=gbuf_bytes,
+        dram_bandwidth_bytes_per_s=dram_bandwidth_gb_per_s * 1e9,
+    )
+    return AcceleratorConfig(
+        name="cloud-128tops",
+        frequency_hz=1e9,
+        core_array=core_array,
+        memory=memory,
+        energy=EnergyModel(),
+    )

@@ -1,0 +1,75 @@
+"""Description of the compute-core group (PE arrays, vector units, L0 buffers)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CoreArrayConfig:
+    """Static description of the core group inside the accelerator template.
+
+    Attributes
+    ----------
+    num_cores:
+        Number of identical cores sharing the GBUF.
+    macs_per_core:
+        MAC units per core, i.e. MAC operations one core can issue per cycle.
+    vector_lanes_per_core:
+        Vector-unit lanes per core (element-wise operations per cycle).
+    al0_bytes / wl0_bytes / ol0_bytes:
+        Private L0 buffer capacities for activations, weights and outputs.
+    gbuf_bytes_per_cycle:
+        Aggregate GBUF bandwidth available to the core group per cycle.
+    kc_parallel_lanes:
+        Kernel-Channel parallel lanes across the core group.  This is the
+        quantity the Cocco heuristic uses to pick its (conservative) Tiling
+        Number (Sec. VII-B1 of the paper).
+    tile_overhead_cycles:
+        Fixed per-tile synchronisation / descriptor-setup overhead.  This is
+        what makes very fine-grained tilings lose efficiency.
+    """
+
+    num_cores: int
+    macs_per_core: int
+    vector_lanes_per_core: int
+    al0_bytes: int
+    wl0_bytes: int
+    ol0_bytes: int
+    gbuf_bytes_per_cycle: float
+    kc_parallel_lanes: int
+    tile_overhead_cycles: int = 512
+
+    def __post_init__(self) -> None:
+        positive_fields = (
+            ("num_cores", self.num_cores),
+            ("macs_per_core", self.macs_per_core),
+            ("vector_lanes_per_core", self.vector_lanes_per_core),
+            ("al0_bytes", self.al0_bytes),
+            ("wl0_bytes", self.wl0_bytes),
+            ("ol0_bytes", self.ol0_bytes),
+            ("gbuf_bytes_per_cycle", self.gbuf_bytes_per_cycle),
+            ("kc_parallel_lanes", self.kc_parallel_lanes),
+        )
+        for name, value in positive_fields:
+            if value <= 0:
+                raise ConfigurationError(f"{name} must be positive, got {value!r}")
+        if self.tile_overhead_cycles < 0:
+            raise ConfigurationError("tile_overhead_cycles must be non-negative")
+
+    @property
+    def total_macs_per_cycle(self) -> int:
+        """MAC operations the whole core group can issue per cycle."""
+        return self.num_cores * self.macs_per_core
+
+    @property
+    def total_vector_lanes(self) -> int:
+        """Vector operations the whole core group can issue per cycle."""
+        return self.num_cores * self.vector_lanes_per_core
+
+    @property
+    def l0_bytes_per_core(self) -> int:
+        """Total private L0 capacity of a single core."""
+        return self.al0_bytes + self.wl0_bytes + self.ol0_bytes

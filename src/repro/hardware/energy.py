@@ -1,0 +1,67 @@
+"""Unit-energy model.
+
+The paper obtains per-operation unit energies from RTL synthesis of the
+authors' commercial accelerator at TSMC 12 nm.  Those numbers are not public,
+so this reproduction uses constants with the same relative ordering found in
+the architecture literature (MAC << L0 access << GBUF access << DRAM access),
+expressed in picojoules.  Absolute energy numbers therefore differ from the
+paper, but breakdowns and relative comparisons keep their shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+PJ_TO_J = 1e-12
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy constants (picojoules).
+
+    Attributes
+    ----------
+    mac_pj:
+        Energy of a single INT8 multiply-accumulate.
+    vector_op_pj:
+        Energy of a single vector-unit element operation.
+    l0_pj_per_byte:
+        Energy per byte moved between a core's L0 buffers and its PE array.
+    gbuf_pj_per_byte:
+        Energy per byte moved between the GBUF and a core's L0 buffers.
+    dram_pj_per_byte:
+        Energy per byte moved between DRAM and the GBUF.
+    """
+
+    mac_pj: float = 0.1
+    vector_op_pj: float = 0.15
+    l0_pj_per_byte: float = 0.12
+    gbuf_pj_per_byte: float = 1.2
+    dram_pj_per_byte: float = 40.0
+
+    def __post_init__(self) -> None:
+        for name in ("mac_pj", "vector_op_pj", "l0_pj_per_byte", "gbuf_pj_per_byte", "dram_pj_per_byte"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+    def mac_energy_j(self, num_macs: int) -> float:
+        """Energy (J) of ``num_macs`` MAC operations."""
+        return num_macs * self.mac_pj * PJ_TO_J
+
+    def vector_energy_j(self, num_ops: int) -> float:
+        """Energy (J) of ``num_ops`` vector-unit operations."""
+        return num_ops * self.vector_op_pj * PJ_TO_J
+
+    def l0_energy_j(self, num_bytes: float) -> float:
+        """Energy (J) of moving ``num_bytes`` between L0 and the PE array."""
+        return num_bytes * self.l0_pj_per_byte * PJ_TO_J
+
+    def gbuf_energy_j(self, num_bytes: float) -> float:
+        """Energy (J) of moving ``num_bytes`` between GBUF and L0."""
+        return num_bytes * self.gbuf_pj_per_byte * PJ_TO_J
+
+    def dram_energy_j(self, num_bytes: float) -> float:
+        """Energy (J) of moving ``num_bytes`` between DRAM and the GBUF."""
+        return num_bytes * self.dram_pj_per_byte * PJ_TO_J

@@ -1,0 +1,47 @@
+"""Memory-system description: GBUF capacity and DRAM bandwidth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+MB = 1024 * 1024
+GB_PER_S = 1e9
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Shared Global Buffer and DRAM channel parameters.
+
+    Attributes
+    ----------
+    gbuf_bytes:
+        Capacity of the shared on-chip Global Buffer.
+    dram_bandwidth_bytes_per_s:
+        Sustained DRAM bandwidth for both loads and stores (the paper models
+        a single shared DRAM channel processing its tensor queue in order).
+    """
+
+    gbuf_bytes: int
+    dram_bandwidth_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.gbuf_bytes <= 0:
+            raise ConfigurationError("gbuf_bytes must be positive")
+        if self.dram_bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("dram_bandwidth_bytes_per_s must be positive")
+
+    def dram_transfer_seconds(self, num_bytes: int) -> float:
+        """Time to move ``num_bytes`` between DRAM and the GBUF."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return num_bytes / self.dram_bandwidth_bytes_per_s
+
+    def with_gbuf_bytes(self, gbuf_bytes: int) -> "MemoryConfig":
+        """Return a copy with a different GBUF capacity (used by the DSE)."""
+        return replace(self, gbuf_bytes=gbuf_bytes)
+
+    def with_dram_bandwidth(self, bytes_per_s: float) -> "MemoryConfig":
+        """Return a copy with a different DRAM bandwidth (used by the DSE)."""
+        return replace(self, dram_bandwidth_bytes_per_s=bytes_per_s)

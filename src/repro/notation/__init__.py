@@ -1,0 +1,33 @@
+"""Tensor-centric Notation (paper Sec. IV).
+
+An encoding has six attributes split into two categories:
+
+* Layer-Fusion-related Attributes (**LFA**): Computing Order, Fine-grained
+  Layer-fusion Cut set (FLC), per-FLG Tiling Number, DRAM Cut set.
+* DRAM-Load-and-Store-related Attributes (**DLSA**): DRAM Tensor Order and a
+  Living Duration per DRAM tensor.
+
+Parsing the LFA yields the compute-tile sequence, the on-chip buffer
+lifetimes and the set of tensors that must interact with DRAM; parsing the
+DLSA yields the timing and buffering of those DRAM tensors.  The resulting
+:class:`~repro.notation.plan.ComputePlan` is what the evaluator simulates.
+"""
+
+from repro.notation.dlsa import DLSA
+from repro.notation.dram_tensor import DRAMTensor, TensorKind
+from repro.notation.encoding import ScheduleEncoding
+from repro.notation.lfa import LFA
+from repro.notation.parser import parse_lfa
+from repro.notation.plan import BufferInterval, ComputePlan, ComputeTile
+
+__all__ = [
+    "DLSA",
+    "DRAMTensor",
+    "TensorKind",
+    "ScheduleEncoding",
+    "LFA",
+    "BufferInterval",
+    "ComputePlan",
+    "ComputeTile",
+    "parse_lfa",
+]

@@ -1,0 +1,108 @@
+"""DRAM-Load-and-Store-related Attributes (DLSA).
+
+The DLSA fixes, for a given LFA parse, the order in which the DRAM channel
+serves the tensors and each tensor's Living Duration ``(Start, End)``:
+
+* loads (weights / ifmaps): ``Start`` is free (how early to prefetch) and
+  ``End`` is fixed to the tile after the last use (release point);
+* stores (ofmaps): ``Start`` is fixed to the producing tile and ``End`` is
+  free (the deadline tile that may not begin before the store drained).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EncodingError
+from repro.notation.dram_tensor import DRAMTensor
+
+
+@dataclass(frozen=True)
+class DLSA:
+    """DRAM load/store attributes of one scheduling scheme.
+
+    Attributes
+    ----------
+    order:
+        Permutation of DRAM-tensor ids giving the DRAM Tensor Order.
+    living:
+        Living Duration per tensor id as a ``(start, end)`` tuple of global
+        compute-tile indices.
+    """
+
+    order: tuple[int, ...]
+    living: dict[int, tuple[int, int]]
+
+    def validate(self, tensors: list[DRAMTensor]) -> None:
+        """Raise :class:`EncodingError` if the DLSA is inconsistent with ``tensors``."""
+        tids = [t.tid for t in tensors]
+        if sorted(self.order) != sorted(tids):
+            raise EncodingError("DLSA order must be a permutation of all DRAM tensor ids")
+        if set(self.living) != set(tids):
+            raise EncodingError("DLSA living durations must cover every DRAM tensor")
+        by_id = {t.tid: t for t in tensors}
+        for tid, (start, end) in self.living.items():
+            tensor = by_id[tid]
+            if end < start:
+                raise EncodingError(f"tensor {tid}: End {end} before Start {start}")
+            if tensor.is_load:
+                if end != tensor.default_end:
+                    raise EncodingError(
+                        f"load tensor {tid}: End is fixed at {tensor.default_end}, got {end}"
+                    )
+                if start > tensor.first_use:
+                    raise EncodingError(
+                        f"load tensor {tid}: Start {start} later than first use "
+                        f"{tensor.first_use}"
+                    )
+                if start < 0:
+                    raise EncodingError(f"load tensor {tid}: Start must be >= 0")
+            else:
+                if start != tensor.produce_tile:
+                    raise EncodingError(
+                        f"store tensor {tid}: Start is fixed at {tensor.produce_tile}, got {start}"
+                    )
+                if end <= tensor.produce_tile:
+                    raise EncodingError(
+                        f"store tensor {tid}: End must come after the producing tile"
+                    )
+
+    def start(self, tid: int) -> int:
+        """Living Duration start of a tensor."""
+        return self.living[tid][0]
+
+    def end(self, tid: int) -> int:
+        """Living Duration end of a tensor."""
+        return self.living[tid][1]
+
+    @classmethod
+    def from_defaults(cls, tensors: list[DRAMTensor]) -> "DLSA":
+        """Classical double-buffer DLSA (Sec. III-B baseline strategy).
+
+        Tensors are ordered by the tile they serve (loads for tile ``t``
+        interleaved with stores produced by tile ``t - 1``) and live for the
+        minimal double-buffered window around their use.  A load that reads
+        back data written by another LG's stores is pushed behind those
+        stores so the default order is always executable.
+        """
+        last_store_tile: dict[str, int] = {}
+        for tensor in tensors:
+            if tensor.is_store:
+                previous = last_store_tile.get(tensor.layer, -1)
+                last_store_tile[tensor.layer] = max(previous, tensor.produce_tile)
+
+        def sort_key(tensor: DRAMTensor) -> tuple[int, int, int]:
+            if tensor.is_load:
+                anchor = tensor.default_start
+                if tensor.source_layer is not None and tensor.source_layer in last_store_tile:
+                    # The data only exists once the producer finished storing.
+                    anchor = max(anchor, last_store_tile[tensor.source_layer] + 1)
+                kind_rank = 0  # loads for the upcoming tile go before drains
+            else:
+                anchor = tensor.produce_tile
+                kind_rank = 1
+            return (anchor, kind_rank, tensor.tid)
+
+        ordered = sorted(tensors, key=sort_key)
+        living = {t.tid: (t.default_start, t.default_end) for t in tensors}
+        return cls(order=tuple(t.tid for t in ordered), living=living)

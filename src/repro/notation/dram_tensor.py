@@ -1,0 +1,114 @@
+"""DRAM tensors: the unit of DRAM communication scheduling.
+
+Parsing the LFA produces the set of tensors that must be moved between DRAM
+and the GBUF — weights, cross-LG (or network-boundary) ifmaps and ofmaps.
+The DLSA then assigns each of them a position in the DRAM Tensor Order and a
+Living Duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, unique
+
+
+@unique
+class TensorKind(Enum):
+    """Kind of DRAM traffic a tensor represents."""
+
+    WEIGHT = "weight"
+    IFMAP = "ifmap"
+    OFMAP = "ofmap"
+
+    @property
+    def is_load(self) -> bool:
+        """Whether the transfer moves data from DRAM into the GBUF."""
+        return self is not TensorKind.OFMAP
+
+
+@dataclass(frozen=True)
+class DRAMTensor:
+    """One DRAM load or store request produced by LFA parsing.
+
+    Attributes
+    ----------
+    tid:
+        Canonical identifier (0-based, assigned in a deterministic order so
+        the DLSA can reference tensors stably for a fixed LFA).
+    kind:
+        Weight / ifmap (loads) or ofmap (store).
+    layer:
+        Layer the data belongs to (for ifmaps: the *consuming* layer).
+    tile_id:
+        Tile index within the layer, or ``None`` for whole-layer tensors
+        (weights, untiled ifmap operands).
+    num_bytes:
+        Transfer size in bytes.
+    first_use / last_use:
+        Global compute-tile indices delimiting the tensor's use: for loads,
+        the first and last tiles that read the data; for stores, both equal
+        the producing tile.
+    source_layer:
+        For cross-LG ifmap loads, the layer whose stored ofmap this load
+        reads back; the load must wait for all of that layer's stores.
+    """
+
+    tid: int
+    kind: TensorKind
+    layer: str
+    tile_id: int | None
+    num_bytes: int
+    first_use: int
+    last_use: int
+    source_layer: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if self.first_use < 0 or self.last_use < self.first_use:
+            raise ValueError(
+                f"invalid use range [{self.first_use}, {self.last_use}] for tensor {self.tid}"
+            )
+
+    @property
+    def is_load(self) -> bool:
+        """Whether the tensor is a load (weights, ifmaps)."""
+        return self.kind.is_load
+
+    @property
+    def is_store(self) -> bool:
+        """Whether the tensor is a store (ofmaps)."""
+        return not self.kind.is_load
+
+    @property
+    def produce_tile(self) -> int:
+        """For stores: global index of the tile producing the data."""
+        return self.first_use
+
+    @property
+    def default_start(self) -> int:
+        """Default (double-buffer) Living Duration start.
+
+        Loads are prefetched one tile ahead of their first use; stores begin
+        at the tile that produces them (this part is fixed by definition).
+        """
+        if self.is_load:
+            return max(0, self.first_use - 1)
+        return self.produce_tile
+
+    @property
+    def default_end(self) -> int:
+        """Default (double-buffer) Living Duration end.
+
+        Loads are released right after their last use (fixed by definition);
+        stores must drain before the next tile starts.
+        """
+        if self.is_load:
+            return self.last_use + 1
+        return self.produce_tile + 1
+
+    def describe(self) -> str:
+        """Short human-readable name, e.g. ``W[conv1]`` or ``O[conv3#2]``."""
+        prefix = {TensorKind.WEIGHT: "W", TensorKind.IFMAP: "I", TensorKind.OFMAP: "O"}[self.kind]
+        suffix = "" if self.tile_id is None else f"#{self.tile_id}"
+        return f"{prefix}[{self.layer}{suffix}]"

@@ -1,0 +1,56 @@
+"""Complete encodings: LFA plus (optionally) DLSA.
+
+The LFA exploration stage works with LFA-only encodings and fills in the
+DLSA with the classical double-buffer strategy; the DLSA exploration stage
+then pins the LFA and varies the DLSA.  :class:`ScheduleEncoding` bundles
+the two so results, reports and the compiler back-end have a single handle
+on "one point of the DRAM Communication Scheduling Space".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.notation.dlsa import DLSA
+from repro.notation.lfa import LFA
+from repro.notation.parser import parse_lfa
+from repro.notation.plan import ComputePlan
+from repro.workloads.graph import WorkloadGraph
+
+
+@dataclass(frozen=True)
+class ScheduleEncoding:
+    """One point in the DRAM Communication Scheduling Space.
+
+    ``dlsa`` may be ``None``, meaning "use the double-buffer default derived
+    from the parsed plan" — which is exactly how the LFA stage evaluates
+    candidate layer fusions.
+    """
+
+    lfa: LFA
+    dlsa: DLSA | None = None
+
+    def parse(self, graph: WorkloadGraph) -> tuple[ComputePlan, DLSA | None]:
+        """Parse the encoding against a workload.
+
+        Returns the compute plan and the effective DLSA (the stored one, or
+        the double-buffer default when none was provided).  Infeasible plans
+        come back with ``dlsa=None``.
+        """
+        plan = parse_lfa(graph, self.lfa)
+        if not plan.feasible:
+            return plan, None
+        dlsa = self.dlsa if self.dlsa is not None else DLSA.from_defaults(plan.dram_tensors)
+        dlsa.validate(plan.dram_tensors)
+        return plan, dlsa
+
+    def with_dlsa(self, dlsa: DLSA) -> "ScheduleEncoding":
+        """Return a copy with the DLSA replaced."""
+        return ScheduleEncoding(lfa=self.lfa, dlsa=dlsa)
+
+    def describe(self) -> str:
+        """Human readable description of the encoding."""
+        dlsa_part = "double-buffer DLSA" if self.dlsa is None else (
+            f"explored DLSA over {len(self.dlsa.order)} DRAM tensors"
+        )
+        return f"{self.lfa.describe()} ; {dlsa_part}"

@@ -1,0 +1,148 @@
+"""Layer-Fusion-related Attributes (LFA) of the Tensor-centric Notation.
+
+The LFA fixes the coarse structure of a schedule: the serial computing order
+of the layers, where the order is cut into Fine-grained Layer-fusion Groups
+(FLGs), which of those cuts also force a round trip through DRAM (DRAM Cuts,
+delimiting Layer-fusion Groups, LGs), and the Tiling Number of every FLG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EncodingError
+from repro.workloads.graph import WorkloadGraph
+
+
+@dataclass(frozen=True)
+class LFA:
+    """Layer-fusion attributes of one scheduling scheme.
+
+    Attributes
+    ----------
+    computing_order:
+        Dependency-respecting permutation of all layer names.
+    flc_set:
+        Cut positions (1 .. n_layers - 1); a cut at position ``p`` separates
+        ``computing_order[p - 1]`` from ``computing_order[p]``.
+    dram_cut_set:
+        Subset of ``flc_set``; these cuts additionally force the dependency
+        data crossing them through DRAM, delimiting the LGs.
+    tiling_numbers:
+        Tiling Number per FLG, keyed by the FLG's *start position* in the
+        computing order (position 0 plus every FLC position).  Keying by
+        start position keeps the mapping stable when other cuts move.
+    """
+
+    computing_order: tuple[str, ...]
+    flc_set: frozenset[int] = frozenset()
+    dram_cut_set: frozenset[int] = frozenset()
+    tiling_numbers: dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- validation
+    def validate(self, graph: WorkloadGraph) -> None:
+        """Raise :class:`EncodingError` if the LFA is structurally invalid."""
+        n = len(self.computing_order)
+        if n != len(graph):
+            raise EncodingError(
+                f"computing order has {n} layers, workload has {len(graph)}"
+            )
+        if not graph.is_valid_order(self.computing_order):
+            raise EncodingError("computing order violates layer dependencies")
+        for cut in self.flc_set:
+            if not 1 <= cut <= n - 1:
+                raise EncodingError(f"FLC position {cut} out of range 1..{n - 1}")
+        if not self.dram_cut_set <= self.flc_set:
+            raise EncodingError("DRAM Cut set must be a subset of the FLC set")
+        expected_keys = {0} | set(self.flc_set)
+        if set(self.tiling_numbers) != expected_keys:
+            raise EncodingError(
+                "tiling_numbers keys must be the FLG start positions "
+                f"{sorted(expected_keys)}, got {sorted(self.tiling_numbers)}"
+            )
+        for start, tiling in self.tiling_numbers.items():
+            if tiling <= 0:
+                raise EncodingError(f"Tiling Number at position {start} must be positive")
+
+    # --------------------------------------------------------------- structure
+    def flg_ranges(self) -> list[tuple[int, int]]:
+        """Half-open (start, end) index ranges of the FLGs, in order."""
+        return self._ranges(self.flc_set)
+
+    def lg_ranges(self) -> list[tuple[int, int]]:
+        """Half-open (start, end) index ranges of the LGs, in order."""
+        return self._ranges(self.dram_cut_set)
+
+    def _ranges(self, cuts: frozenset[int]) -> list[tuple[int, int]]:
+        n = len(self.computing_order)
+        boundaries = [0] + sorted(cuts) + [n]
+        return [
+            (boundaries[i], boundaries[i + 1])
+            for i in range(len(boundaries) - 1)
+            if boundaries[i] < boundaries[i + 1]
+        ]
+
+    def flg_layers(self) -> list[list[str]]:
+        """Layer names of every FLG, in order."""
+        return [list(self.computing_order[a:b]) for a, b in self.flg_ranges()]
+
+    def lg_layers(self) -> list[list[str]]:
+        """Layer names of every LG, in order."""
+        return [list(self.computing_order[a:b]) for a, b in self.lg_ranges()]
+
+    def flg_of_position(self, position: int) -> int:
+        """Index of the FLG containing the layer at ``position`` in the order."""
+        for flg_index, (start, end) in enumerate(self.flg_ranges()):
+            if start <= position < end:
+                return flg_index
+        raise EncodingError(f"position {position} outside the computing order")
+
+    def tiling_number_of_flg(self, flg_index: int) -> int:
+        """Tiling Number of the FLG with the given index."""
+        start, _ = self.flg_ranges()[flg_index]
+        return self.tiling_numbers[start]
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def unfused(cls, graph: WorkloadGraph, tiling_number: int = 1) -> "LFA":
+        """The no-fusion scheme: every layer is its own FLG and LG.
+
+        This is the initial solution of the LFA exploration stage
+        (Sec. V-C1); ``tiling_number`` applies uniformly to every
+        single-layer group.
+        """
+        order = tuple(graph.topological_order())
+        n = len(order)
+        cuts = frozenset(range(1, n))
+        tilings = {0: tiling_number, **{cut: tiling_number for cut in cuts}}
+        return cls(
+            computing_order=order,
+            flc_set=cuts,
+            dram_cut_set=cuts,
+            tiling_numbers=tilings,
+        )
+
+    @classmethod
+    def fully_fused(cls, graph: WorkloadGraph, tiling_number: int = 1) -> "LFA":
+        """A single FLG/LG covering the whole network (useful in tests)."""
+        order = tuple(graph.topological_order())
+        return cls(
+            computing_order=order,
+            flc_set=frozenset(),
+            dram_cut_set=frozenset(),
+            tiling_numbers={0: tiling_number},
+        )
+
+    # ---------------------------------------------------------------- utility
+    def describe(self) -> str:
+        """Compact human-readable form, mirroring the paper's Fig. 4 notation."""
+        flgs = self.flg_layers()
+        lg_ranges = self.lg_ranges()
+        parts = []
+        for flg_index, ((start, _end), layers) in enumerate(zip(self.flg_ranges(), flgs)):
+            tiling = self.tiling_numbers[start]
+            parts.append(f"[{', '.join(layers)}]:{tiling}")
+        lg_part = " | ".join(
+            ", ".join(self.computing_order[a:b]) for a, b in lg_ranges
+        )
+        return "FLGs " + " ".join(parts) + " ; LGs " + lg_part

@@ -1,0 +1,280 @@
+"""Parsing LFA encodings into compute plans (paper Sec. IV-A, Fig. 4).
+
+The parse proceeds in the order the paper describes: first the computing
+order is partitioned into LGs and FLGs and each FLG is tiled, producing the
+global compute sequence; then every dependency is classified as on-chip
+(inside one LG) or DRAM-crossing, which yields the canonical list of DRAM
+tensors together with the fixed ends of their Living Durations.
+"""
+
+from __future__ import annotations
+
+from repro.notation.dram_tensor import DRAMTensor, TensorKind
+from repro.notation.lfa import LFA
+from repro.notation.plan import BufferInterval, ComputePlan, ComputeTile
+from repro.tiling.partition import tile_flg
+from repro.workloads.graph import WorkloadGraph
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+class _TensorSpec:
+    """Mutable scratch record used while collecting DRAM tensors."""
+
+    __slots__ = ("kind", "layer", "tile_id", "num_bytes", "first_use", "last_use", "source_layer")
+
+    def __init__(
+        self,
+        kind: TensorKind,
+        layer: str,
+        tile_id: int | None,
+        num_bytes: int,
+        first_use: int,
+        last_use: int,
+        source_layer: str | None = None,
+    ) -> None:
+        self.kind = kind
+        self.layer = layer
+        self.tile_id = tile_id
+        self.num_bytes = num_bytes
+        self.first_use = first_use
+        self.last_use = last_use
+        self.source_layer = source_layer
+
+
+def parse_lfa(graph: WorkloadGraph, lfa: LFA) -> ComputePlan:
+    """Parse the layer-fusion attributes into a :class:`ComputePlan`.
+
+    Structural problems (invalid order, cuts out of range, ...) raise
+    :class:`~repro.errors.EncodingError`; schemes that are well formed but
+    cannot execute (an attention operand fused at a granularity finer than
+    one tile) come back as an infeasible plan so search engines can penalise
+    them instead of crashing.
+    """
+    lfa.validate(graph)
+    order = list(lfa.computing_order)
+    position = {name: index for index, name in enumerate(order)}
+
+    flg_ranges = lfa.flg_ranges()
+    lg_ranges = lfa.lg_ranges()
+    flg_of_layer: dict[str, int] = {}
+    lg_of_layer: dict[str, int] = {}
+    for flg_index, (start, end) in enumerate(flg_ranges):
+        for name in order[start:end]:
+            flg_of_layer[name] = flg_index
+    for lg_index, (start, end) in enumerate(lg_ranges):
+        for name in order[start:end]:
+            lg_of_layer[name] = lg_index
+
+    # ---------------------------------------------------------------- tilings
+    layer_tilings = {}
+    flg_tile_counts: list[int] = []
+    for flg_index, (start, end) in enumerate(flg_ranges):
+        layers = order[start:end]
+        tilings = tile_flg(graph, layers, lfa.tiling_numbers[start])
+        layer_tilings.update(tilings)
+        flg_tile_counts.append(next(iter(tilings.values())).num_tiles)
+
+    def _infeasible(reason: str) -> ComputePlan:
+        return ComputePlan(graph=graph, lfa=lfa, feasible=False, infeasibility_reason=reason)
+
+    for dep in graph.dependencies():
+        same_flg = flg_of_layer[dep.producer] == flg_of_layer[dep.consumer]
+        if same_flg and not dep.tiled and flg_tile_counts[flg_of_layer[dep.producer]] > 1:
+            return _infeasible(
+                f"untiled dependency {dep.producer} -> {dep.consumer} inside an FLG "
+                f"with Tiling Number > 1"
+            )
+
+    # --------------------------------------------------------- tile sequence
+    tiles: list[ComputeTile] = []
+    tile_index: dict[tuple[str, int], int] = {}
+    for flg_index, (start, end) in enumerate(flg_ranges):
+        layers = order[start:end]
+        for tile_id in range(flg_tile_counts[flg_index]):
+            for name in layers:
+                tiling = layer_tilings[name]
+                index = len(tiles)
+                tiles.append(
+                    ComputeTile(
+                        index=index,
+                        layer=name,
+                        tile_id=tile_id,
+                        flg_index=flg_index,
+                        lg_index=lg_of_layer[name],
+                        macs=tiling.macs_per_tile,
+                        vector_ops=tiling.vector_ops_per_tile,
+                    )
+                )
+                tile_index[(name, tile_id)] = index
+
+    layer_tile_indices = {
+        name: [tile_index[(name, t)] for t in range(layer_tilings[name].num_tiles)]
+        for name in order
+    }
+
+    # ----------------------------------------------------------- DRAM tensors
+    specs: list[_TensorSpec] = []
+
+    for name in order:
+        layer = graph.layer(name)
+        if layer.weight_bytes > 0:
+            indices = layer_tile_indices[name]
+            specs.append(
+                _TensorSpec(
+                    kind=TensorKind.WEIGHT,
+                    layer=name,
+                    tile_id=None,
+                    num_bytes=layer.weight_bytes,
+                    first_use=indices[0],
+                    last_use=indices[-1],
+                )
+            )
+
+    for name in order:
+        predecessors = graph.predecessors(name)
+        tiling = layer_tilings[name]
+        num_tiles = tiling.num_tiles
+        indices = layer_tile_indices[name]
+
+        if not predecessors:
+            # Network input: streamed from DRAM tile by tile.
+            for tile_id in range(num_tiles):
+                specs.append(
+                    _TensorSpec(
+                        kind=TensorKind.IFMAP,
+                        layer=name,
+                        tile_id=tile_id,
+                        num_bytes=tiling.ifmap_tile_bytes,
+                        first_use=indices[tile_id],
+                        last_use=indices[tile_id],
+                    )
+                )
+            continue
+
+        for producer_name in predecessors:
+            if lg_of_layer[producer_name] == lg_of_layer[name]:
+                continue  # served on chip
+            producer = graph.layer(producer_name)
+            dep = graph.dependency(producer_name, name)
+            if dep.tiled and num_tiles > 1:
+                per_tile_bytes = _ceil_div(producer.ofmap_bytes, num_tiles)
+                for tile_id in range(num_tiles):
+                    specs.append(
+                        _TensorSpec(
+                            kind=TensorKind.IFMAP,
+                            layer=name,
+                            tile_id=tile_id,
+                            num_bytes=per_tile_bytes,
+                            first_use=indices[tile_id],
+                            last_use=indices[tile_id],
+                            source_layer=producer_name,
+                        )
+                    )
+            else:
+                specs.append(
+                    _TensorSpec(
+                        kind=TensorKind.IFMAP,
+                        layer=name,
+                        tile_id=None,
+                        num_bytes=producer.ofmap_bytes,
+                        first_use=indices[0],
+                        last_use=indices[-1],
+                        source_layer=producer_name,
+                    )
+                )
+
+    for name in order:
+        successors = graph.successors(name)
+        crosses_lg = any(lg_of_layer[s] != lg_of_layer[name] for s in successors)
+        if successors and not crosses_lg:
+            continue
+        layer = graph.layer(name)
+        tiling = layer_tilings[name]
+        num_tiles = tiling.num_tiles
+        per_tile_bytes = _ceil_div(layer.ofmap_bytes, num_tiles)
+        for tile_id in range(num_tiles):
+            produce = tile_index[(name, tile_id)]
+            specs.append(
+                _TensorSpec(
+                    kind=TensorKind.OFMAP,
+                    layer=name,
+                    tile_id=tile_id,
+                    num_bytes=per_tile_bytes,
+                    first_use=produce,
+                    last_use=produce,
+                )
+            )
+
+    kind_rank = {TensorKind.WEIGHT: 0, TensorKind.IFMAP: 1, TensorKind.OFMAP: 2}
+    specs.sort(
+        key=lambda s: (
+            s.first_use,
+            kind_rank[s.kind],
+            position[s.layer],
+            -1 if s.tile_id is None else s.tile_id,
+        )
+    )
+    dram_tensors = [
+        DRAMTensor(
+            tid=tid,
+            kind=spec.kind,
+            layer=spec.layer,
+            tile_id=spec.tile_id,
+            num_bytes=spec.num_bytes,
+            first_use=spec.first_use,
+            last_use=spec.last_use,
+            source_layer=spec.source_layer,
+        )
+        for tid, spec in enumerate(specs)
+    ]
+
+    tile_required_loads: list[list[int]] = [[] for _ in tiles]
+    for tensor in dram_tensors:
+        if tensor.is_load:
+            tile_required_loads[tensor.first_use].append(tensor.tid)
+
+    # -------------------------------------------------- on-chip fmap lifetimes
+    onchip_intervals: list[BufferInterval] = []
+    for name in order:
+        intra_lg_consumers = [
+            s for s in graph.successors(name) if lg_of_layer[s] == lg_of_layer[name]
+        ]
+        if not intra_lg_consumers:
+            continue
+        tiling = layer_tilings[name]
+        for tile_id in range(tiling.num_tiles):
+            start = tile_index[(name, tile_id)]
+            end = start
+            for consumer_name in intra_lg_consumers:
+                dep = graph.dependency(name, consumer_name)
+                same_flg = flg_of_layer[consumer_name] == flg_of_layer[name]
+                if same_flg and dep.tiled:
+                    end = max(end, tile_index[(consumer_name, tile_id)])
+                else:
+                    end = max(end, layer_tile_indices[consumer_name][-1])
+            onchip_intervals.append(
+                BufferInterval(
+                    start_tile=start,
+                    end_tile=end,
+                    num_bytes=tiling.ofmap_tile_bytes,
+                    label=f"{name}#{tile_id}",
+                )
+            )
+
+    return ComputePlan(
+        graph=graph,
+        lfa=lfa,
+        feasible=True,
+        tiles=tiles,
+        dram_tensors=dram_tensors,
+        onchip_intervals=onchip_intervals,
+        layer_tilings=layer_tilings,
+        tile_required_loads=tile_required_loads,
+        flg_of_layer=flg_of_layer,
+        lg_of_layer=lg_of_layer,
+        num_flgs=len(flg_ranges),
+        num_lgs=len(lg_ranges),
+    )

@@ -1,0 +1,125 @@
+"""Parsed schedule structures: the output of LFA parsing.
+
+A :class:`ComputePlan` holds everything the evaluator needs that does not
+depend on the DLSA: the global tile sequence, the per-layer tilings, the
+canonical DRAM-tensor list, the loads each tile waits for and the buffer
+lifetimes of on-chip (fused) feature maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.notation.dram_tensor import DRAMTensor, TensorKind
+from repro.notation.lfa import LFA
+from repro.tiling.tile import LayerTiling
+from repro.workloads.graph import WorkloadGraph
+
+
+@dataclass(frozen=True)
+class ComputeTile:
+    """One entry of the global compute sequence."""
+
+    index: int
+    layer: str
+    tile_id: int
+    flg_index: int
+    lg_index: int
+    macs: int
+    vector_ops: int
+
+    @property
+    def ops(self) -> int:
+        """Operation count of this tile (2 ops per MAC)."""
+        return 2 * self.macs + self.vector_ops
+
+
+@dataclass(frozen=True)
+class BufferInterval:
+    """GBUF residency of one on-chip (non-DRAM) data item.
+
+    The item occupies ``num_bytes`` of the buffer while the compute sequence
+    executes tiles ``start_tile`` .. ``end_tile`` (inclusive).
+    """
+
+    start_tile: int
+    end_tile: int
+    num_bytes: int
+    label: str = ""
+
+
+@dataclass
+class ComputePlan:
+    """Everything derived from an LFA (independent of the DLSA)."""
+
+    graph: WorkloadGraph
+    lfa: LFA
+    feasible: bool
+    infeasibility_reason: str = ""
+    tiles: list[ComputeTile] = field(default_factory=list)
+    dram_tensors: list[DRAMTensor] = field(default_factory=list)
+    onchip_intervals: list[BufferInterval] = field(default_factory=list)
+    layer_tilings: dict[str, LayerTiling] = field(default_factory=dict)
+    tile_required_loads: list[list[int]] = field(default_factory=list)
+    flg_of_layer: dict[str, int] = field(default_factory=dict)
+    lg_of_layer: dict[str, int] = field(default_factory=dict)
+    num_flgs: int = 0
+    num_lgs: int = 0
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def num_tiles(self) -> int:
+        """Length of the global compute sequence."""
+        return len(self.tiles)
+
+    @property
+    def num_dram_tensors(self) -> int:
+        """Number of DRAM load/store requests."""
+        return len(self.dram_tensors)
+
+    @property
+    def total_dram_bytes(self) -> int:
+        """Total DRAM traffic (loads + stores) in bytes."""
+        return sum(t.num_bytes for t in self.dram_tensors)
+
+    @property
+    def total_dram_load_bytes(self) -> int:
+        """Total DRAM load traffic in bytes."""
+        return sum(t.num_bytes for t in self.dram_tensors if t.is_load)
+
+    @property
+    def total_dram_store_bytes(self) -> int:
+        """Total DRAM store traffic in bytes."""
+        return sum(t.num_bytes for t in self.dram_tensors if t.is_store)
+
+    @property
+    def total_macs(self) -> int:
+        """MACs summed over the whole tile sequence (halo recompute included)."""
+        return sum(t.macs for t in self.tiles)
+
+    @property
+    def total_ops(self) -> int:
+        """Operations summed over the whole tile sequence."""
+        return sum(t.ops for t in self.tiles)
+
+    def tensors_by_kind(self, kind: TensorKind) -> list[DRAMTensor]:
+        """All DRAM tensors of one kind."""
+        return [t for t in self.dram_tensors if t.kind is kind]
+
+    def tensor(self, tid: int) -> DRAMTensor:
+        """Return the DRAM tensor with the given id."""
+        return self.dram_tensors[tid]
+
+    def tiles_of_layer(self, layer: str) -> list[ComputeTile]:
+        """All tiles of one layer, in execution order."""
+        return [tile for tile in self.tiles if tile.layer == layer]
+
+    def describe(self) -> str:
+        """Compact summary used in reports and examples."""
+        if not self.feasible:
+            return f"infeasible plan: {self.infeasibility_reason}"
+        return (
+            f"plan: {self.num_tiles} tiles, {self.num_lgs} LGs, {self.num_flgs} FLGs, "
+            f"{self.num_dram_tensors} DRAM tensors, "
+            f"{self.total_dram_bytes / 1e6:.2f} MB DRAM traffic"
+        )

@@ -1,0 +1,22 @@
+"""Tile partitioning with backtracking halo overlap (paper Sec. IV-A1).
+
+Each Fine-grained Layer-fusion Group (FLG) carries a Tiling Number ``T``; the
+layers of the FLG are processed tile-by-tile in an interleaved fashion.  The
+partitioning heuristic splits the batch dimension first (no halo cost), then
+output height and width, and enlarges the tiles of intermediate layers so
+that every consumer tile finds its whole input region inside the matching
+producer tile (the recomputation-based halo handling of Cocco / DeFiNES).
+"""
+
+from repro.tiling.halo import propagate_required_extent, required_input_extent
+from repro.tiling.partition import split_counts, tile_flg
+from repro.tiling.tile import LayerTiling, TileShape
+
+__all__ = [
+    "LayerTiling",
+    "TileShape",
+    "propagate_required_extent",
+    "required_input_extent",
+    "split_counts",
+    "tile_flg",
+]

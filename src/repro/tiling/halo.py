@@ -1,0 +1,45 @@
+"""Receptive-field (halo) arithmetic for fused-layer tiling.
+
+When several spatial-window layers are fused and processed tile by tile, a
+consumer tile needs a slightly larger input region than its "fair share" of
+the producer output.  Following Cocco and DeFiNES, the producer tiles are
+enlarged (recomputation of the overlapping rows/columns) so that consumer
+tile ``i`` depends only on producer tile ``i``.  The routines here compute
+how far that enlargement backtracks through a chain of fused layers.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layer import Layer
+
+
+def required_input_extent(layer: Layer, out_extent_h: int, out_extent_w: int) -> tuple[int, int]:
+    """Input rows/columns needed to produce ``out_extent_h x out_extent_w`` outputs.
+
+    For sliding-window operators this is the usual ``(o - 1) * stride + kernel``
+    formula, clamped to the layer's real input size; for pointwise operators
+    the extent passes through unchanged (clamped to the input size, which can
+    matter for layers that change the sequence length such as attention
+    matmuls).
+    """
+    if out_extent_h <= 0 or out_extent_w <= 0:
+        raise ValueError("output extents must be positive")
+    if layer.op_type.has_spatial_window:
+        in_h = (out_extent_h - 1) * layer.stride_h + layer.kernel_h
+        in_w = (out_extent_w - 1) * layer.stride_w + layer.kernel_w
+    else:
+        in_h, in_w = out_extent_h, out_extent_w
+    return (min(in_h, layer.in_height), min(in_w, layer.in_width))
+
+
+def propagate_required_extent(
+    producer: Layer, consumer: Layer, consumer_out_h: int, consumer_out_w: int
+) -> tuple[int, int]:
+    """Producer output extent required by a consumer tile of the given size.
+
+    The consumer's input is the producer's output, so the producer must emit
+    at least the consumer's required input region, clamped to the producer's
+    actual output size.
+    """
+    needed_h, needed_w = required_input_extent(consumer, consumer_out_h, consumer_out_w)
+    return (min(needed_h, producer.out_height), min(needed_w, producer.out_width))

@@ -1,0 +1,47 @@
+"""Heuristic Tiling Numbers based on core-array parallelism requirements.
+
+Cocco (and many earlier frameworks) pick each group's Tiling Number from the
+Kernel-Channel parallelism requirement of the core array: layers with more
+output channels get more tiles so every tile still fills the parallel lanes
+(Sec. VII-B1).  SoMa uses the same rule only for its *initial* solution and
+then lets the annealer change it freely.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.graph import WorkloadGraph
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two >= ``value`` (at least 1)."""
+    if value <= 1:
+        return 1
+    return 1 << (value - 1).bit_length()
+
+
+def kc_parallelism_tiling_number(
+    graph: WorkloadGraph,
+    layers: list[str],
+    kc_parallel_lanes: int,
+    minimum: int = 8,
+) -> int:
+    """Tiling Number the KC-parallelism heuristic assigns to a layer group.
+
+    The rule mirrors the behaviour the paper attributes to Cocco: the group
+    is split so that every tile's output-channel extent roughly matches the
+    kernel-channel lanes of the core array, with a floor of ``minimum`` tiles
+    so early layers (few channels, huge fmaps) still stream through modest
+    buffers.  The result is conservative (too many tiles) for deep layers —
+    exactly the behaviour SoMa improves on.
+    """
+    if not layers:
+        raise ValueError("layer group must not be empty")
+    pe_layers = [graph.layer(name) for name in layers if graph.layer(name).op_type.uses_pe_array]
+    if not pe_layers:
+        return 1
+    max_channels = max(layer.out_channels for layer in pe_layers)
+    channel_driven = -(-max_channels // kc_parallel_lanes)
+    per_sample = next_power_of_two(max(minimum, channel_driven))
+    # Larger batches are streamed sample group by sample group, so the tile
+    # count scales with the batch (this keeps per-tile buffer pressure flat).
+    return per_sample * next_power_of_two(graph.batch)

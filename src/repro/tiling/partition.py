@@ -1,0 +1,194 @@
+"""Splitting an FLG into tiles (paper Sec. IV-A1 heuristic).
+
+Given a Tiling Number ``T``, the partitioner chooses split counts along
+(batch, output height, output width) — batch first because it has no halo
+cost, then height and width kept as square as possible — and derives each
+layer's enlarged tile through the reverse-topological halo propagation of
+:mod:`repro.tiling.halo`.  The channel dimension is never split, so that
+fused consumers can read all channels (Sec. IV-A1).
+"""
+
+from __future__ import annotations
+
+import math
+import weakref
+
+from repro.errors import WorkloadError
+from repro.tiling.halo import propagate_required_extent, required_input_extent
+from repro.tiling.tile import LayerTiling, TileShape, tile_macs, tile_vector_ops
+from repro.workloads.graph import WorkloadGraph
+from repro.workloads.layer import Layer
+
+
+def split_counts(batch: int, height: int, width: int, num_tiles: int) -> tuple[int, int, int]:
+    """Choose split factors (batch, height, width) whose product is <= ``num_tiles``.
+
+    The batch dimension is exhausted first, then height and width are split
+    alternately (height first) to keep tiles as square as possible.  The
+    returned product can be smaller than ``num_tiles`` when the tensor simply
+    does not have enough extent to split further.
+    """
+    if num_tiles <= 0:
+        raise WorkloadError("num_tiles must be positive")
+    b_split = min(batch, num_tiles)
+    remaining = max(1, num_tiles // b_split)
+
+    h_split, w_split = 1, 1
+    split_height_next = True
+    while remaining > 1:
+        if split_height_next and h_split * 2 <= height:
+            h_split *= 2
+            remaining //= 2
+        elif w_split * 2 <= width:
+            w_split *= 2
+            remaining //= 2
+        elif h_split * 2 <= height:
+            h_split *= 2
+            remaining //= 2
+        else:
+            break
+        split_height_next = not split_height_next
+    return (b_split, h_split, w_split)
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _layer_tiling(
+    layer: Layer,
+    batch_split: int,
+    tile_h: int,
+    tile_w: int,
+    num_tiles: int,
+) -> LayerTiling:
+    """Build the :class:`LayerTiling` for one layer given its tile extents."""
+    tile_batch = _ceil_div(layer.batch, batch_split)
+    out_tile = TileShape(
+        batch=tile_batch, channels=layer.out_channels, height=tile_h, width=tile_w
+    )
+    in_h, in_w = required_input_extent(layer, tile_h, tile_w)
+    in_tile = TileShape(
+        batch=tile_batch, channels=layer.in_channels, height=in_h, width=in_w
+    )
+    return LayerTiling(
+        layer_name=layer.name,
+        num_tiles=num_tiles,
+        out_tile=out_tile,
+        in_tile=in_tile,
+        ofmap_tile_bytes=out_tile.elements * layer.bytes_per_element,
+        ifmap_tile_bytes=in_tile.elements * layer.bytes_per_element,
+        macs_per_tile=tile_macs(layer, out_tile),
+        vector_ops_per_tile=tile_vector_ops(layer, out_tile),
+        weight_bytes=layer.weight_bytes,
+    )
+
+
+# Memo of FLG tilings per workload graph.  The annealer re-parses thousands of
+# encodings whose FLGs mostly repeat, and LayerTiling objects are immutable, so
+# sharing them across parses is both safe and a large speed-up.
+_TILING_MEMO: "weakref.WeakKeyDictionary[WorkloadGraph, dict]" = weakref.WeakKeyDictionary()
+
+
+def tile_flg(
+    graph: WorkloadGraph, flg_layers: list[str], tiling_number: int
+) -> dict[str, LayerTiling]:
+    """Partition every layer of an FLG into tiles.
+
+    The split counts are chosen on the FLG's *last* layer (its output
+    resolution is the finest constraint) and the required extents are
+    propagated backwards through the FLG so intermediate layers carry the
+    accumulated halo.  Only *tiled* dependencies propagate halo; untiled
+    dependencies (attention key/value operands) are validated elsewhere.
+    """
+    memo = _TILING_MEMO.setdefault(graph, {})
+    memo_key = (tuple(flg_layers), tiling_number)
+    cached = memo.get(memo_key)
+    if cached is not None:
+        return dict(cached)
+    result = _tile_flg_uncached(graph, flg_layers, tiling_number)
+    memo[memo_key] = result
+    return dict(result)
+
+
+def _tile_flg_uncached(
+    graph: WorkloadGraph, flg_layers: list[str], tiling_number: int
+) -> dict[str, LayerTiling]:
+    if not flg_layers:
+        raise WorkloadError("an FLG must contain at least one layer")
+    if tiling_number <= 0:
+        raise WorkloadError("tiling_number must be positive")
+
+    members = set(flg_layers)
+    last_layer = graph.layer(flg_layers[-1])
+    batch_split, h_split, w_split = split_counts(
+        last_layer.batch, last_layer.out_height, last_layer.out_width, tiling_number
+    )
+    effective_tiles = batch_split * h_split * w_split
+
+    # Required output extents, walked from the back of the FLG to the front so
+    # every producer sees its consumers' (already enlarged) requirements.
+    required: dict[str, tuple[int, int]] = {}
+    for name in reversed(flg_layers):
+        layer = graph.layer(name)
+        base_h = _ceil_div(layer.out_height, h_split)
+        base_w = _ceil_div(layer.out_width, w_split)
+        best_h, best_w = base_h, base_w
+        for consumer_name in graph.successors(name):
+            if consumer_name not in members:
+                continue
+            if not graph.dependency(name, consumer_name).tiled:
+                continue
+            consumer = graph.layer(consumer_name)
+            cons_h, cons_w = required[consumer_name]
+            need_h, need_w = propagate_required_extent(layer, consumer, cons_h, cons_w)
+            best_h = max(best_h, need_h)
+            best_w = max(best_w, need_w)
+        required[name] = (min(best_h, layer.out_height), min(best_w, layer.out_width))
+
+    tilings: dict[str, LayerTiling] = {}
+    for name in flg_layers:
+        layer = graph.layer(name)
+        tile_h, tile_w = required[name]
+        tilings[name] = _layer_tiling(layer, batch_split, tile_h, tile_w, effective_tiles)
+    return tilings
+
+
+def effective_tiling_number(
+    graph: WorkloadGraph, flg_layers: list[str], tiling_number: int
+) -> int:
+    """Number of tiles actually produced for an FLG (may be < the requested T)."""
+    last_layer = graph.layer(flg_layers[-1])
+    batch_split, h_split, w_split = split_counts(
+        last_layer.batch, last_layer.out_height, last_layer.out_width, tiling_number
+    )
+    return batch_split * h_split * w_split
+
+
+def overlap_overhead_ratio(graph: WorkloadGraph, tilings: dict[str, LayerTiling]) -> float:
+    """Ratio of extra MACs introduced by halo recomputation (0.0 means none)."""
+    nominal = sum(graph.layer(name).macs for name in tilings)
+    actual = sum(t.total_macs for t in tilings.values())
+    if nominal == 0:
+        return 0.0
+    return max(0.0, actual / nominal - 1.0)
+
+
+def max_tiling_number(graph: WorkloadGraph, flg_layers: list[str]) -> int:
+    """Upper bound on a useful Tiling Number for this FLG.
+
+    Beyond this value the partitioner cannot split any further (every
+    dimension is already at extent one), so search operators should not
+    propose larger numbers.
+    """
+    last_layer = graph.layer(flg_layers[-1])
+    return max(
+        1,
+        2 ** int(
+            math.floor(
+                math.log2(
+                    max(1, last_layer.batch * last_layer.out_height * last_layer.out_width)
+                )
+            )
+        ),
+    )

@@ -1,0 +1,80 @@
+"""Tile-level data structures produced by the partitioner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.layer import Layer, OpType
+
+
+@dataclass(frozen=True)
+class TileShape:
+    """Output-tile dimensions of one layer (per tile, halo included)."""
+
+    batch: int
+    channels: int
+    height: int
+    width: int
+
+    @property
+    def elements(self) -> int:
+        return self.batch * self.channels * self.height * self.width
+
+
+@dataclass(frozen=True)
+class LayerTiling:
+    """How one layer is split into tiles inside its FLG.
+
+    All per-tile quantities refer to a single (worst-case) tile: because of
+    the halo enlargement every tile is costed with the same enlarged shape,
+    which is exactly the "backtracking halo overlap cost" the paper charges
+    to fine-grained tilings.
+    """
+
+    layer_name: str
+    num_tiles: int
+    out_tile: TileShape
+    in_tile: TileShape
+    ofmap_tile_bytes: int
+    ifmap_tile_bytes: int
+    macs_per_tile: int
+    vector_ops_per_tile: int
+    weight_bytes: int
+
+    @property
+    def total_macs(self) -> int:
+        """MACs summed over all tiles (>= the layer's nominal MACs)."""
+        return self.num_tiles * self.macs_per_tile
+
+    @property
+    def total_vector_ops(self) -> int:
+        """Vector ops summed over all tiles."""
+        return self.num_tiles * self.vector_ops_per_tile
+
+    @property
+    def ops_per_tile(self) -> int:
+        """Total operation count of one tile (2 ops per MAC)."""
+        return 2 * self.macs_per_tile + self.vector_ops_per_tile
+
+
+def tile_macs(layer: Layer, out_tile: TileShape) -> int:
+    """MAC count of one tile of ``layer`` with the given output-tile shape."""
+    if not layer.op_type.uses_pe_array:
+        return 0
+    if layer.op_type in (OpType.CONV, OpType.GEMM):
+        per_output = layer.kernel_h * layer.kernel_w * layer.in_channels // layer.groups
+        return out_tile.elements * per_output
+    if layer.op_type is OpType.DWCONV:
+        return out_tile.elements * layer.kernel_h * layer.kernel_w
+    return out_tile.elements * layer.in_channels
+
+
+def tile_vector_ops(layer: Layer, out_tile: TileShape) -> int:
+    """Vector-unit operation count of one tile of ``layer``."""
+    if layer.op_type.uses_pe_array:
+        return 0
+    if layer.op_type is OpType.POOL:
+        return out_tile.elements * layer.kernel_h * layer.kernel_w
+    if layer.op_type in (OpType.NORM, OpType.SOFTMAX):
+        return 4 * out_tile.elements
+    return out_tile.elements

@@ -1,0 +1,19 @@
+"""Workload substrate: layer-level DNN descriptions and the paper's model zoo.
+
+The paper feeds SoMa a layer graph exported from a high-level framework; this
+reproduction builds those graphs directly.  The zoo covers every workload of
+the evaluation section: ResNet-50, ResNet-101, Inception-ResNet-v1, RandWire
+and GPT-2 (Small/XL, prefill and decode).
+"""
+
+from repro.workloads.graph import WorkloadGraph
+from repro.workloads.layer import Layer, OpType
+from repro.workloads.registry import available_workloads, build_workload
+
+__all__ = [
+    "Layer",
+    "OpType",
+    "WorkloadGraph",
+    "available_workloads",
+    "build_workload",
+]

@@ -1,0 +1,332 @@
+"""Convenience builder for workload graphs.
+
+The builder tracks each layer's output shape so that model definitions read
+like the network topology (ResNet blocks, transformer blocks, ...) without
+repeating shape arithmetic.  Every helper returns the new layer's name so it
+can be threaded as the input of the next helper call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.workloads.graph import WorkloadGraph
+from repro.workloads.layer import Layer, OpType
+
+
+@dataclass(frozen=True)
+class _Shape:
+    """Output shape (channels, height, width) of a layer, per sample."""
+
+    channels: int
+    height: int
+    width: int
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Standard convolution output-size formula."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise WorkloadError(
+            f"invalid convolution geometry: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+class GraphBuilder:
+    """Incrementally build a :class:`WorkloadGraph`."""
+
+    def __init__(self, name: str, batch: int, bytes_per_element: int = 1) -> None:
+        self.graph = WorkloadGraph(name, batch)
+        self.batch = batch
+        self.bytes_per_element = bytes_per_element
+        self._shapes: dict[str, _Shape] = {}
+
+    # ------------------------------------------------------------------ access
+    def shape(self, name: str) -> tuple[int, int, int]:
+        """Return (channels, height, width) of a previously added layer."""
+        try:
+            shape = self._shapes[name]
+        except KeyError as exc:
+            raise WorkloadError(f"unknown layer {name!r}") from exc
+        return (shape.channels, shape.height, shape.width)
+
+    def build(self) -> WorkloadGraph:
+        """Return the completed graph."""
+        if len(self.graph) == 0:
+            raise WorkloadError("cannot build an empty workload graph")
+        return self.graph
+
+    # ----------------------------------------------------------------- helpers
+    def _register(self, layer: Layer, inputs: list[str], tiled_inputs: list[bool]) -> str:
+        self.graph.add_layer(layer)
+        self._shapes[layer.name] = _Shape(
+            channels=layer.out_channels, height=layer.out_height, width=layer.out_width
+        )
+        for input_name, tiled in zip(inputs, tiled_inputs):
+            self.graph.add_dependency(input_name, layer.name, tiled=tiled)
+        return layer.name
+
+    def _input_shape(self, inputs: list[str], explicit: tuple[int, int, int] | None) -> _Shape:
+        if explicit is not None:
+            return _Shape(*explicit)
+        if not inputs:
+            raise WorkloadError("a source layer needs an explicit input shape")
+        try:
+            return self._shapes[inputs[0]]
+        except KeyError as exc:
+            raise WorkloadError(f"unknown input layer {inputs[0]!r}") from exc
+
+    # ------------------------------------------------------------------ layers
+    def conv(
+        self,
+        name: str,
+        inputs: list[str],
+        out_channels: int,
+        kernel: int = 3,
+        stride: int = 1,
+        padding: int | None = None,
+        input_shape: tuple[int, int, int] | None = None,
+        depthwise: bool = False,
+    ) -> str:
+        """Add a convolution (optionally depthwise) with folded bias/BN/ReLU."""
+        shape = self._input_shape(inputs, input_shape)
+        if padding is None:
+            padding = kernel // 2
+        out_h = conv_output_size(shape.height, kernel, stride, padding)
+        out_w = conv_output_size(shape.width, kernel, stride, padding)
+        if depthwise:
+            op_type = OpType.DWCONV
+            weight_bytes = shape.channels * kernel * kernel * self.bytes_per_element
+            out_channels = shape.channels
+            groups = shape.channels
+        else:
+            op_type = OpType.CONV
+            weight_bytes = (
+                shape.channels * out_channels * kernel * kernel * self.bytes_per_element
+            )
+            groups = 1
+        layer = Layer(
+            name=name,
+            op_type=op_type,
+            batch=self.batch,
+            in_channels=shape.channels,
+            out_channels=out_channels,
+            in_height=shape.height,
+            in_width=shape.width,
+            out_height=out_h,
+            out_width=out_w,
+            kernel_h=kernel,
+            kernel_w=kernel,
+            stride_h=stride,
+            stride_w=stride,
+            groups=groups,
+            weight_bytes=weight_bytes,
+            bytes_per_element=self.bytes_per_element,
+        )
+        return self._register(layer, inputs, [True] * len(inputs))
+
+    def pool(
+        self,
+        name: str,
+        inputs: list[str],
+        kernel: int = 2,
+        stride: int | None = None,
+        padding: int = 0,
+        global_pool: bool = False,
+    ) -> str:
+        """Add a pooling layer (max/avg are cost-equivalent for scheduling)."""
+        shape = self._input_shape(inputs, None)
+        if global_pool:
+            kernel = shape.height
+            stride = shape.height
+            padding = 0
+            out_h = out_w = 1
+        else:
+            if stride is None:
+                stride = kernel
+            out_h = conv_output_size(shape.height, kernel, stride, padding)
+            out_w = conv_output_size(shape.width, kernel, stride, padding)
+        layer = Layer(
+            name=name,
+            op_type=OpType.POOL,
+            batch=self.batch,
+            in_channels=shape.channels,
+            out_channels=shape.channels,
+            in_height=shape.height,
+            in_width=shape.width,
+            out_height=out_h,
+            out_width=out_w,
+            kernel_h=kernel,
+            kernel_w=kernel,
+            stride_h=stride,
+            stride_w=stride,
+            bytes_per_element=self.bytes_per_element,
+        )
+        return self._register(layer, inputs, [True] * len(inputs))
+
+    def eltwise(self, name: str, inputs: list[str]) -> str:
+        """Add an element-wise layer (residual add, concat-like merge, ...)."""
+        shape = self._input_shape(inputs, None)
+        layer = Layer(
+            name=name,
+            op_type=OpType.ELTWISE,
+            batch=self.batch,
+            in_channels=shape.channels,
+            out_channels=shape.channels,
+            in_height=shape.height,
+            in_width=shape.width,
+            out_height=shape.height,
+            out_width=shape.width,
+            bytes_per_element=self.bytes_per_element,
+        )
+        return self._register(layer, inputs, [True] * len(inputs))
+
+    def concat(self, name: str, inputs: list[str]) -> str:
+        """Add a channel-wise concatenation of the input branches."""
+        if not inputs:
+            raise WorkloadError("concat needs at least one input")
+        shapes = [self._shapes[input_name] for input_name in inputs]
+        height, width = shapes[0].height, shapes[0].width
+        if any((s.height, s.width) != (height, width) for s in shapes):
+            raise WorkloadError(f"concat {name!r}: branch spatial sizes differ")
+        channels = sum(s.channels for s in shapes)
+        layer = Layer(
+            name=name,
+            op_type=OpType.ELTWISE,
+            batch=self.batch,
+            in_channels=channels,
+            out_channels=channels,
+            in_height=height,
+            in_width=width,
+            out_height=height,
+            out_width=width,
+            bytes_per_element=self.bytes_per_element,
+        )
+        return self._register(layer, inputs, [True] * len(inputs))
+
+    def gemm(
+        self,
+        name: str,
+        inputs: list[str],
+        out_features: int,
+        in_features: int | None = None,
+        seq_len: int | None = None,
+        input_shape: tuple[int, int, int] | None = None,
+    ) -> str:
+        """Add a fully-connected / projection layer.
+
+        Sequence length rides on the height dimension so the tiling machinery
+        can split along it; ``seq_len`` defaults to the producer's height.
+        """
+        shape = self._input_shape(inputs, input_shape)
+        if in_features is None:
+            in_features = shape.channels
+        if seq_len is None:
+            seq_len = shape.height
+        weight_bytes = in_features * out_features * self.bytes_per_element
+        layer = Layer(
+            name=name,
+            op_type=OpType.GEMM,
+            batch=self.batch,
+            in_channels=in_features,
+            out_channels=out_features,
+            in_height=seq_len,
+            in_width=1,
+            out_height=seq_len,
+            out_width=1,
+            weight_bytes=weight_bytes,
+            bytes_per_element=self.bytes_per_element,
+        )
+        return self._register(layer, inputs, [True] * len(inputs))
+
+    def matmul(
+        self,
+        name: str,
+        query_input: str,
+        kv_input: str | None,
+        out_features: int,
+        contraction: int,
+        seq_len: int,
+        kv_bytes: int = 0,
+    ) -> str:
+        """Add an activation x activation matmul (attention score / context).
+
+        ``kv_input`` is the key/value operand; it is an *untiled* dependency
+        because every query tile needs the whole key/value tensor.  In the
+        decode phase the key/value operand is the KV cache streamed from
+        DRAM, which is modelled as ``kv_bytes`` of weight-like data instead
+        of a graph edge (pass ``kv_input=None`` and a positive ``kv_bytes``).
+        """
+        layer = Layer(
+            name=name,
+            op_type=OpType.MATMUL,
+            batch=self.batch,
+            in_channels=contraction,
+            out_channels=out_features,
+            in_height=seq_len,
+            in_width=1,
+            out_height=seq_len,
+            out_width=1,
+            weight_bytes=kv_bytes,
+            bytes_per_element=self.bytes_per_element,
+        )
+        inputs = [query_input]
+        tiled = [True]
+        if kv_input is not None:
+            inputs.append(kv_input)
+            tiled.append(False)
+        return self._register(layer, inputs, tiled)
+
+    def norm(self, name: str, inputs: list[str]) -> str:
+        """Add a normalisation layer (LayerNorm / BatchNorm kept explicit)."""
+        shape = self._input_shape(inputs, None)
+        layer = Layer(
+            name=name,
+            op_type=OpType.NORM,
+            batch=self.batch,
+            in_channels=shape.channels,
+            out_channels=shape.channels,
+            in_height=shape.height,
+            in_width=shape.width,
+            out_height=shape.height,
+            out_width=shape.width,
+            bytes_per_element=self.bytes_per_element,
+        )
+        return self._register(layer, inputs, [True] * len(inputs))
+
+    def softmax(self, name: str, inputs: list[str]) -> str:
+        """Add a softmax layer."""
+        shape = self._input_shape(inputs, None)
+        layer = Layer(
+            name=name,
+            op_type=OpType.SOFTMAX,
+            batch=self.batch,
+            in_channels=shape.channels,
+            out_channels=shape.channels,
+            in_height=shape.height,
+            in_width=shape.width,
+            out_height=shape.height,
+            out_width=shape.width,
+            bytes_per_element=self.bytes_per_element,
+        )
+        return self._register(layer, inputs, [True] * len(inputs))
+
+    def activation(self, name: str, inputs: list[str]) -> str:
+        """Add a standalone activation layer (GELU between FFN GEMMs, ...)."""
+        shape = self._input_shape(inputs, None)
+        layer = Layer(
+            name=name,
+            op_type=OpType.ACTIVATION,
+            batch=self.batch,
+            in_channels=shape.channels,
+            out_channels=shape.channels,
+            in_height=shape.height,
+            in_width=shape.width,
+            out_height=shape.height,
+            out_width=shape.width,
+            bytes_per_element=self.bytes_per_element,
+        )
+        return self._register(layer, inputs, [True] * len(inputs))

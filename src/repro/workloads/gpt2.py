@@ -1,0 +1,149 @@
+"""GPT-2 workload builders (Radford et al., 2019): prefill and decode phases.
+
+The paper uses GPT-2-Small with a 512-token context on the edge platform and
+GPT-2-XL with a 1024-token context on the cloud platform, evaluating the
+prefill of the whole prompt and the decode of the next token separately
+(Sec. VI-A2).  The decode phase streams the KV cache from DRAM; the cache is
+modelled as weight-like data attached to the attention matmuls, whose size
+grows with both the context length and the batch size — which is what
+produces the paper's observation that decode utilisation saturates as the
+batch grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.builder import GraphBuilder
+from repro.workloads.graph import WorkloadGraph
+
+
+@dataclass(frozen=True)
+class GPT2Config:
+    """Architectural hyper-parameters of a GPT-2 variant."""
+
+    name: str
+    num_layers: int
+    hidden: int
+    num_heads: int
+    ffn_hidden: int
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.num_heads
+
+
+GPT2_SMALL = GPT2Config(name="gpt2-small", num_layers=12, hidden=768, num_heads=12, ffn_hidden=3072)
+GPT2_XL = GPT2Config(name="gpt2-xl", num_layers=48, hidden=1600, num_heads=25, ffn_hidden=6400)
+
+
+def _prefill_block(builder: GraphBuilder, config: GPT2Config, index: int, x: str, seq_len: int) -> str:
+    """One transformer block computing attention over the whole prompt."""
+    prefix = f"block{index}"
+    hidden = config.hidden
+    ln1 = builder.norm(f"{prefix}_ln1", [x])
+    q = builder.gemm(f"{prefix}_q_proj", [ln1], out_features=hidden)
+    k = builder.gemm(f"{prefix}_k_proj", [ln1], out_features=hidden)
+    v = builder.gemm(f"{prefix}_v_proj", [ln1], out_features=hidden)
+    score = builder.matmul(
+        f"{prefix}_attn_score",
+        query_input=q,
+        kv_input=k,
+        out_features=config.num_heads * seq_len,
+        contraction=config.head_dim,
+        seq_len=seq_len,
+    )
+    probs = builder.softmax(f"{prefix}_attn_softmax", [score])
+    context = builder.matmul(
+        f"{prefix}_attn_context",
+        query_input=probs,
+        kv_input=v,
+        out_features=hidden,
+        contraction=seq_len,
+        seq_len=seq_len,
+    )
+    out = builder.gemm(f"{prefix}_out_proj", [context], out_features=hidden)
+    res1 = builder.eltwise(f"{prefix}_add1", [out, x])
+    ln2 = builder.norm(f"{prefix}_ln2", [res1])
+    ffn1 = builder.gemm(f"{prefix}_ffn1", [ln2], out_features=config.ffn_hidden)
+    gelu = builder.activation(f"{prefix}_gelu", [ffn1])
+    ffn2 = builder.gemm(f"{prefix}_ffn2", [gelu], out_features=hidden)
+    return builder.eltwise(f"{prefix}_add2", [ffn2, res1])
+
+
+def _decode_block(
+    builder: GraphBuilder, config: GPT2Config, index: int, x: str, context_len: int, batch: int
+) -> str:
+    """One transformer block generating a single token against a KV cache."""
+    prefix = f"block{index}"
+    hidden = config.hidden
+    kv_cache_bytes = batch * context_len * hidden  # INT8, per K and per V
+    ln1 = builder.norm(f"{prefix}_ln1", [x])
+    q = builder.gemm(f"{prefix}_q_proj", [ln1], out_features=hidden)
+    k = builder.gemm(f"{prefix}_k_proj", [ln1], out_features=hidden)
+    v = builder.gemm(f"{prefix}_v_proj", [ln1], out_features=hidden)
+    # The single-token query attends over the cached keys; the cache itself is
+    # streamed from DRAM (kv_bytes), while the freshly produced K/V rows stay
+    # on chip as ordinary (tiny) dependencies.
+    score = builder.matmul(
+        f"{prefix}_attn_score",
+        query_input=q,
+        kv_input=k,
+        out_features=config.num_heads * (context_len + 1),
+        contraction=config.head_dim,
+        seq_len=1,
+        kv_bytes=kv_cache_bytes,
+    )
+    probs = builder.softmax(f"{prefix}_attn_softmax", [score])
+    context = builder.matmul(
+        f"{prefix}_attn_context",
+        query_input=probs,
+        kv_input=v,
+        out_features=hidden,
+        contraction=context_len + 1,
+        seq_len=1,
+        kv_bytes=kv_cache_bytes,
+    )
+    out = builder.gemm(f"{prefix}_out_proj", [context], out_features=hidden)
+    res1 = builder.eltwise(f"{prefix}_add1", [out, x])
+    ln2 = builder.norm(f"{prefix}_ln2", [res1])
+    ffn1 = builder.gemm(f"{prefix}_ffn1", [ln2], out_features=config.ffn_hidden)
+    gelu = builder.activation(f"{prefix}_gelu", [ffn1])
+    ffn2 = builder.gemm(f"{prefix}_ffn2", [gelu], out_features=hidden)
+    return builder.eltwise(f"{prefix}_add2", [ffn2, res1])
+
+
+def gpt2_prefill(config: GPT2Config = GPT2_SMALL, batch: int = 1, seq_len: int = 512) -> WorkloadGraph:
+    """The prompt-processing (prefill) phase over ``seq_len`` tokens."""
+    builder = GraphBuilder(f"{config.name}-prefill-{seq_len}", batch)
+    embed = builder.gemm(
+        "embed_proj",
+        [],
+        out_features=config.hidden,
+        in_features=config.hidden,
+        seq_len=seq_len,
+        input_shape=(config.hidden, seq_len, 1),
+    )
+    current = embed
+    for index in range(1, config.num_layers + 1):
+        current = _prefill_block(builder, config, index, current, seq_len)
+    builder.norm("final_ln", [current])
+    return builder.build()
+
+
+def gpt2_decode(config: GPT2Config = GPT2_SMALL, batch: int = 1, context_len: int = 512) -> WorkloadGraph:
+    """The single-token decode phase against a ``context_len``-token KV cache."""
+    builder = GraphBuilder(f"{config.name}-decode-{context_len}", batch)
+    embed = builder.gemm(
+        "embed_proj",
+        [],
+        out_features=config.hidden,
+        in_features=config.hidden,
+        seq_len=1,
+        input_shape=(config.hidden, 1, 1),
+    )
+    current = embed
+    for index in range(1, config.num_layers + 1):
+        current = _decode_block(builder, config, index, current, context_len, batch)
+    builder.norm("final_ln", [current])
+    return builder.build()

@@ -1,0 +1,209 @@
+"""Workload graph: a DAG of :class:`~repro.workloads.layer.Layer` objects.
+
+Edges carry a ``tiled`` flag: a *tiled* dependency means the consumer's i-th
+tile only needs the producer's i-th tile (the usual fused-layer situation),
+whereas an *untiled* dependency means every consumer tile needs the whole
+producer output (e.g. the key/value operand of an attention matmul).  The
+notation parser uses this flag to decide how data is buffered and how it is
+moved through DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from repro.errors import WorkloadError
+from repro.workloads.layer import Layer
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """One producer -> consumer edge of the workload graph."""
+
+    producer: str
+    consumer: str
+    tiled: bool = True
+
+
+class WorkloadGraph:
+    """A named DAG of layers with dependency edges.
+
+    The graph owns the layers (name -> :class:`Layer`) and exposes the
+    queries the scheduler needs: topological orders, predecessors/successors,
+    network inputs/outputs and aggregate statistics.
+    """
+
+    def __init__(self, name: str, batch: int) -> None:
+        if not name:
+            raise WorkloadError("workload name must be non-empty")
+        if batch <= 0:
+            raise WorkloadError("batch must be positive")
+        self.name = name
+        self.batch = batch
+        self._graph = nx.DiGraph()
+        self._layers: dict[str, Layer] = {}
+        # Lazily built query caches; scheduling touches these millions of times.
+        self._topo_cache: list[str] | None = None
+        self._pred_cache: dict[str, list[str]] | None = None
+        self._succ_cache: dict[str, list[str]] | None = None
+        self._dep_cache: dict[tuple[str, str], Dependency] | None = None
+
+    def _invalidate_caches(self) -> None:
+        self._topo_cache = None
+        self._pred_cache = None
+        self._succ_cache = None
+        self._dep_cache = None
+
+    # ------------------------------------------------------------ construction
+    def add_layer(self, layer: Layer) -> Layer:
+        """Add a layer node; the layer name must be unique within the graph."""
+        if layer.name in self._layers:
+            raise WorkloadError(f"duplicate layer name {layer.name!r}")
+        if layer.batch != self.batch:
+            raise WorkloadError(
+                f"layer {layer.name!r} has batch {layer.batch}, graph expects {self.batch}"
+            )
+        self._layers[layer.name] = layer
+        self._graph.add_node(layer.name)
+        self._invalidate_caches()
+        return layer
+
+    def add_dependency(self, producer: str, consumer: str, tiled: bool = True) -> None:
+        """Add a producer -> consumer data dependency."""
+        for name in (producer, consumer):
+            if name not in self._layers:
+                raise WorkloadError(f"unknown layer {name!r}")
+        if producer == consumer:
+            raise WorkloadError(f"self dependency on layer {producer!r}")
+        self._graph.add_edge(producer, consumer, tiled=tiled)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(producer, consumer)
+            raise WorkloadError(
+                f"dependency {producer!r} -> {consumer!r} would create a cycle"
+            )
+        self._invalidate_caches()
+
+    # ----------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._layers
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.topological_order())
+
+    def layer(self, name: str) -> Layer:
+        """Return the layer with the given name."""
+        try:
+            return self._layers[name]
+        except KeyError as exc:
+            raise WorkloadError(f"unknown layer {name!r}") from exc
+
+    def layers(self) -> list[Layer]:
+        """All layers in topological order."""
+        return [self._layers[name] for name in self.topological_order()]
+
+    def layer_names(self) -> list[str]:
+        """All layer names in topological order."""
+        return self.topological_order()
+
+    def topological_order(self) -> list[str]:
+        """A deterministic topological order (insertion order breaks ties)."""
+        if self._topo_cache is None:
+            order_index = {name: i for i, name in enumerate(self._layers)}
+            self._topo_cache = list(
+                nx.lexicographical_topological_sort(self._graph, key=lambda n: order_index[n])
+            )
+        return list(self._topo_cache)
+
+    def _adjacency_caches(self) -> tuple[dict[str, list[str]], dict[str, list[str]]]:
+        if self._pred_cache is None or self._succ_cache is None:
+            order_index = {name: i for i, name in enumerate(self._layers)}
+            self._pred_cache = {
+                name: sorted(self._graph.predecessors(name), key=lambda n: order_index[n])
+                for name in self._layers
+            }
+            self._succ_cache = {
+                name: sorted(self._graph.successors(name), key=lambda n: order_index[n])
+                for name in self._layers
+            }
+        return self._pred_cache, self._succ_cache
+
+    def predecessors(self, name: str) -> list[str]:
+        """Producers feeding ``name``, in insertion order."""
+        self.layer(name)
+        preds, _ = self._adjacency_caches()
+        return list(preds[name])
+
+    def successors(self, name: str) -> list[str]:
+        """Consumers reading ``name``, in insertion order."""
+        self.layer(name)
+        _, succs = self._adjacency_caches()
+        return list(succs[name])
+
+    def dependency(self, producer: str, consumer: str) -> Dependency:
+        """Return the edge descriptor for an existing dependency."""
+        if self._dep_cache is None:
+            self._dep_cache = {
+                (u, v): Dependency(producer=u, consumer=v, tiled=data["tiled"])
+                for u, v, data in self._graph.edges(data=True)
+            }
+        try:
+            return self._dep_cache[(producer, consumer)]
+        except KeyError as exc:
+            raise WorkloadError(f"no dependency {producer!r} -> {consumer!r}") from exc
+
+    def dependencies(self) -> list[Dependency]:
+        """All edges of the graph."""
+        return [
+            Dependency(producer=u, consumer=v, tiled=data["tiled"])
+            for u, v, data in self._graph.edges(data=True)
+        ]
+
+    def input_layers(self) -> list[str]:
+        """Layers with no producers: their ifmaps come from DRAM."""
+        return [name for name in self.topological_order() if not self.predecessors(name)]
+
+    def output_layers(self) -> list[str]:
+        """Layers with no consumers: their ofmaps go back to DRAM."""
+        return [name for name in self.topological_order() if not self.successors(name)]
+
+    def is_valid_order(self, order: Iterable[str]) -> bool:
+        """Check whether ``order`` is a dependency-respecting permutation."""
+        order = list(order)
+        if sorted(order) != sorted(self._layers):
+            return False
+        position = {name: i for i, name in enumerate(order)}
+        return all(
+            position[dep.producer] < position[dep.consumer] for dep in self.dependencies()
+        )
+
+    # -------------------------------------------------------------- statistics
+    @property
+    def total_macs(self) -> int:
+        """Total MAC count of the network (whole batch)."""
+        return sum(layer.macs for layer in self._layers.values())
+
+    @property
+    def total_ops(self) -> int:
+        """Total operation count of the network (whole batch)."""
+        return sum(layer.ops for layer in self._layers.values())
+
+    @property
+    def total_weight_bytes(self) -> int:
+        """Total bytes of weights (and weight-like tensors such as KV cache)."""
+        return sum(layer.weight_bytes for layer in self._layers.values())
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary used by examples and reports."""
+        lines = [
+            f"workload {self.name}: {len(self)} layers, batch={self.batch}, "
+            f"{self.total_macs / 1e9:.2f} GMACs, "
+            f"{self.total_weight_bytes / 1e6:.2f} MB weights",
+        ]
+        lines.extend("  " + self._layers[name].describe() for name in self.topological_order())
+        return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Inception-ResNet-v1 workload builder (Szegedy et al., AAAI 2017).
+
+The network is reproduced at the block level: the stem, the three families of
+Inception-ResNet blocks (A/B/C), the two reduction blocks and the classifier.
+It represents the "wider and more complex structure" class of workloads in
+the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.builder import GraphBuilder
+from repro.workloads.graph import WorkloadGraph
+
+_INPUT = (3, 160, 160)
+
+
+def _stem(builder: GraphBuilder) -> str:
+    conv1 = builder.conv("stem_conv1", [], 32, kernel=3, stride=2, padding=0, input_shape=_INPUT)
+    conv2 = builder.conv("stem_conv2", [conv1], 32, kernel=3, stride=1, padding=0)
+    conv3 = builder.conv("stem_conv3", [conv2], 64, kernel=3, stride=1)
+    pool = builder.pool("stem_pool", [conv3], kernel=3, stride=2)
+    conv4 = builder.conv("stem_conv4", [pool], 80, kernel=1, stride=1)
+    conv5 = builder.conv("stem_conv5", [conv4], 192, kernel=3, stride=1, padding=0)
+    conv6 = builder.conv("stem_conv6", [conv5], 256, kernel=3, stride=2, padding=0)
+    return conv6
+
+
+def _block_a(builder: GraphBuilder, prefix: str, input_name: str) -> str:
+    """Inception-ResNet-A: three branches, concat, 1x1 up-projection, residual."""
+    b1 = builder.conv(f"{prefix}_b1_conv1", [input_name], 32, kernel=1)
+    b2a = builder.conv(f"{prefix}_b2_conv1", [input_name], 32, kernel=1)
+    b2b = builder.conv(f"{prefix}_b2_conv2", [b2a], 32, kernel=3)
+    b3a = builder.conv(f"{prefix}_b3_conv1", [input_name], 32, kernel=1)
+    b3b = builder.conv(f"{prefix}_b3_conv2", [b3a], 32, kernel=3)
+    b3c = builder.conv(f"{prefix}_b3_conv3", [b3b], 32, kernel=3)
+    merged = builder.concat(f"{prefix}_concat", [b1, b2b, b3c])
+    in_channels, _, _ = builder.shape(input_name)
+    up = builder.conv(f"{prefix}_up", [merged], in_channels, kernel=1)
+    return builder.eltwise(f"{prefix}_add", [up, input_name])
+
+
+def _block_b(builder: GraphBuilder, prefix: str, input_name: str) -> str:
+    """Inception-ResNet-B: two branches with factorised 7x7 (modelled as 3x3 pair)."""
+    b1 = builder.conv(f"{prefix}_b1_conv1", [input_name], 128, kernel=1)
+    b2a = builder.conv(f"{prefix}_b2_conv1", [input_name], 128, kernel=1)
+    b2b = builder.conv(f"{prefix}_b2_conv2", [b2a], 128, kernel=3)
+    b2c = builder.conv(f"{prefix}_b2_conv3", [b2b], 128, kernel=3)
+    merged = builder.concat(f"{prefix}_concat", [b1, b2c])
+    in_channels, _, _ = builder.shape(input_name)
+    up = builder.conv(f"{prefix}_up", [merged], in_channels, kernel=1)
+    return builder.eltwise(f"{prefix}_add", [up, input_name])
+
+
+def _block_c(builder: GraphBuilder, prefix: str, input_name: str) -> str:
+    """Inception-ResNet-C: two branches with factorised 3x3."""
+    b1 = builder.conv(f"{prefix}_b1_conv1", [input_name], 192, kernel=1)
+    b2a = builder.conv(f"{prefix}_b2_conv1", [input_name], 192, kernel=1)
+    b2b = builder.conv(f"{prefix}_b2_conv2", [b2a], 192, kernel=3)
+    merged = builder.concat(f"{prefix}_concat", [b1, b2b])
+    in_channels, _, _ = builder.shape(input_name)
+    up = builder.conv(f"{prefix}_up", [merged], in_channels, kernel=1)
+    return builder.eltwise(f"{prefix}_add", [up, input_name])
+
+
+def _reduction_a(builder: GraphBuilder, input_name: str) -> str:
+    pool = builder.pool("reda_pool", [input_name], kernel=3, stride=2)
+    b1 = builder.conv("reda_b1_conv", [input_name], 384, kernel=3, stride=2, padding=0)
+    b2a = builder.conv("reda_b2_conv1", [input_name], 192, kernel=1)
+    b2b = builder.conv("reda_b2_conv2", [b2a], 192, kernel=3)
+    b2c = builder.conv("reda_b2_conv3", [b2b], 256, kernel=3, stride=2, padding=0)
+    return builder.concat("reda_concat", [pool, b1, b2c])
+
+
+def _reduction_b(builder: GraphBuilder, input_name: str) -> str:
+    pool = builder.pool("redb_pool", [input_name], kernel=3, stride=2)
+    b1a = builder.conv("redb_b1_conv1", [input_name], 256, kernel=1)
+    b1b = builder.conv("redb_b1_conv2", [b1a], 384, kernel=3, stride=2, padding=0)
+    b2a = builder.conv("redb_b2_conv1", [input_name], 256, kernel=1)
+    b2b = builder.conv("redb_b2_conv2", [b2a], 256, kernel=3, stride=2, padding=0)
+    b3a = builder.conv("redb_b3_conv1", [input_name], 256, kernel=1)
+    b3b = builder.conv("redb_b3_conv2", [b3a], 256, kernel=3)
+    b3c = builder.conv("redb_b3_conv3", [b3b], 256, kernel=3, stride=2, padding=0)
+    return builder.concat("redb_concat", [pool, b1b, b2b, b3c])
+
+
+def inception_resnet_v1(
+    batch: int = 1,
+    blocks_a: int = 5,
+    blocks_b: int = 10,
+    blocks_c: int = 5,
+) -> WorkloadGraph:
+    """Inception-ResNet-v1 with the standard 5/10/5 block counts."""
+    builder = GraphBuilder("inception_resnet_v1", batch)
+    current = _stem(builder)
+    for i in range(blocks_a):
+        current = _block_a(builder, f"ira{i + 1}", current)
+    current = _reduction_a(builder, current)
+    for i in range(blocks_b):
+        current = _block_b(builder, f"irb{i + 1}", current)
+    current = _reduction_b(builder, current)
+    for i in range(blocks_c):
+        current = _block_c(builder, f"irc{i + 1}", current)
+    pooled = builder.pool("global_pool", [current], global_pool=True)
+    bottleneck = builder.gemm("bottleneck_fc", [pooled], out_features=512)
+    builder.gemm("fc", [bottleneck], out_features=1000)
+    return builder.build()

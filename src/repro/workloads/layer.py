@@ -1,0 +1,172 @@
+"""Layer-level description of DNN operators.
+
+A :class:`Layer` captures exactly the information the scheduling framework
+needs: operand shapes (to size tiles, fmaps and weights), the operation count
+(to cost compute time and energy) and the operator kind (to know whether the
+halo/receptive-field machinery applies and whether the PE array or the vector
+unit executes it).  Activations are INT8 by default, matching the paper's
+practical example (Sec. VII-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, unique
+
+
+@unique
+class OpType(Enum):
+    """Operator categories distinguished by the scheduler."""
+
+    CONV = "conv"
+    DWCONV = "dwconv"
+    POOL = "pool"
+    GEMM = "gemm"
+    MATMUL = "matmul"  # activation x activation (attention score / context)
+    ELTWISE = "eltwise"
+    NORM = "norm"
+    SOFTMAX = "softmax"
+    ACTIVATION = "activation"
+
+    @property
+    def has_weights(self) -> bool:
+        """Whether this operator owns a weight tensor loaded from DRAM."""
+        return self in (OpType.CONV, OpType.DWCONV, OpType.GEMM)
+
+    @property
+    def uses_pe_array(self) -> bool:
+        """Whether the PE array (MACs) executes this operator."""
+        return self in (OpType.CONV, OpType.DWCONV, OpType.GEMM, OpType.MATMUL)
+
+    @property
+    def has_spatial_window(self) -> bool:
+        """Whether the operator has a sliding window and produces halo overlap."""
+        return self in (OpType.CONV, OpType.DWCONV, OpType.POOL)
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One node of the workload graph.
+
+    Shapes follow the NCHW convention.  For sequence operators (GEMM, MATMUL,
+    NORM, ...) the sequence length is mapped onto the height dimension and
+    the width is 1, so the same batch/height/width tiling machinery applies
+    to CNNs and transformers alike.
+    """
+
+    name: str
+    op_type: OpType
+    batch: int
+    in_channels: int
+    out_channels: int
+    in_height: int
+    in_width: int
+    out_height: int
+    out_width: int
+    kernel_h: int = 1
+    kernel_w: int = 1
+    stride_h: int = 1
+    stride_w: int = 1
+    groups: int = 1
+    weight_bytes: int = 0
+    bytes_per_element: int = 1
+    extra_macs: int = 0
+    metadata: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("layer name must be non-empty")
+        for attr in (
+            "batch",
+            "in_channels",
+            "out_channels",
+            "in_height",
+            "in_width",
+            "out_height",
+            "out_width",
+            "kernel_h",
+            "kernel_w",
+            "stride_h",
+            "stride_w",
+            "groups",
+            "bytes_per_element",
+        ):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"layer {self.name!r}: {attr} must be positive")
+        if self.weight_bytes < 0:
+            raise ValueError(f"layer {self.name!r}: weight_bytes must be non-negative")
+        if self.op_type.has_weights and self.weight_bytes == 0:
+            raise ValueError(
+                f"layer {self.name!r}: {self.op_type.value} layers must carry weights"
+            )
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def ifmap_bytes(self) -> int:
+        """Bytes of the (primary) input feature map for the whole batch."""
+        return (
+            self.batch
+            * self.in_channels
+            * self.in_height
+            * self.in_width
+            * self.bytes_per_element
+        )
+
+    @property
+    def ofmap_bytes(self) -> int:
+        """Bytes of the output feature map for the whole batch."""
+        return (
+            self.batch
+            * self.out_channels
+            * self.out_height
+            * self.out_width
+            * self.bytes_per_element
+        )
+
+    @property
+    def ofmap_elements(self) -> int:
+        """Number of output elements for the whole batch."""
+        return self.batch * self.out_channels * self.out_height * self.out_width
+
+    # ------------------------------------------------------------- operations
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count of the layer (whole batch)."""
+        if not self.op_type.uses_pe_array:
+            return 0
+        if self.op_type in (OpType.CONV, OpType.GEMM):
+            per_output = self.kernel_h * self.kernel_w * self.in_channels // self.groups
+            return self.ofmap_elements * per_output + self.extra_macs
+        if self.op_type is OpType.DWCONV:
+            return self.ofmap_elements * self.kernel_h * self.kernel_w + self.extra_macs
+        # MATMUL (activation x activation): the contraction length rides on
+        # in_channels, exactly like a GEMM without weights.
+        return self.ofmap_elements * self.in_channels + self.extra_macs
+
+    @property
+    def vector_ops(self) -> int:
+        """Element operations executed on the vector unit (whole batch)."""
+        if self.op_type.uses_pe_array:
+            return 0
+        if self.op_type is OpType.POOL:
+            return self.ofmap_elements * self.kernel_h * self.kernel_w
+        if self.op_type in (OpType.NORM, OpType.SOFTMAX):
+            # normalisation passes read the data a small constant number of times
+            return 4 * self.ofmap_elements
+        return self.ofmap_elements
+
+    @property
+    def ops(self) -> int:
+        """Total operation count (2 ops per MAC, 1 per vector element op)."""
+        return 2 * self.macs + self.vector_ops
+
+    # ----------------------------------------------------------------- helpers
+    def describe(self) -> str:
+        """One-line human readable description used in reports."""
+        return (
+            f"{self.name}[{self.op_type.value}] "
+            f"in={self.in_channels}x{self.in_height}x{self.in_width} "
+            f"out={self.out_channels}x{self.out_height}x{self.out_width} "
+            f"k={self.kernel_h}x{self.kernel_w} s={self.stride_h} "
+            f"W={self.weight_bytes}B macs={self.macs}"
+        )

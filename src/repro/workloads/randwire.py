@@ -1,0 +1,91 @@
+"""RandWire workload builder (Xie et al., ICCV 2019).
+
+RandWire networks are built from randomly wired stages: a Watts-Strogatz
+small-world graph is generated per stage, oriented into a DAG by node index,
+and every node becomes a (sum + conv 3x3) unit.  The random generator is
+seeded so the workload is fully deterministic; the paper uses RandWire as its
+"complex irregular topology" workload.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.workloads.builder import GraphBuilder
+from repro.workloads.graph import WorkloadGraph
+
+_INPUT = (3, 224, 224)
+
+
+def _stage_dag(num_nodes: int, k: int, p: float, seed: int) -> nx.DiGraph:
+    """Generate one randomly wired stage as a DAG over ``num_nodes`` nodes."""
+    undirected = nx.connected_watts_strogatz_graph(num_nodes, k, p, seed=seed, tries=100)
+    dag = nx.DiGraph()
+    dag.add_nodes_from(range(num_nodes))
+    for u, v in undirected.edges():
+        low, high = (u, v) if u < v else (v, u)
+        dag.add_edge(low, high)
+    return dag
+
+
+def _add_stage(
+    builder: GraphBuilder,
+    stage_index: int,
+    input_name: str,
+    channels: int,
+    num_nodes: int,
+    seed: int,
+) -> str:
+    """Materialise one randomly wired stage and return its output layer name."""
+    dag = _stage_dag(num_nodes, k=4, p=0.75, seed=seed)
+    prefix = f"stage{stage_index}"
+
+    # The stage entry halves the spatial resolution and sets the channel width.
+    entry = builder.conv(f"{prefix}_entry", [input_name], channels, kernel=3, stride=2)
+
+    node_outputs: dict[int, str] = {}
+    for node in sorted(dag.nodes()):
+        preds = sorted(dag.predecessors(node))
+        if preds:
+            inputs = [node_outputs[p] for p in preds]
+        else:
+            inputs = [entry]
+        if len(inputs) > 1:
+            merged = builder.eltwise(f"{prefix}_node{node}_sum", inputs)
+        else:
+            merged = inputs[0]
+        node_outputs[node] = builder.conv(
+            f"{prefix}_node{node}_conv", [merged], channels, kernel=3, stride=1
+        )
+
+    sinks = [node_outputs[n] for n in sorted(dag.nodes()) if dag.out_degree(n) == 0]
+    if len(sinks) > 1:
+        return builder.eltwise(f"{prefix}_out_sum", sinks)
+    return sinks[0]
+
+
+def randwire(
+    batch: int = 1,
+    nodes_per_stage: int = 12,
+    channels: tuple[int, int, int] = (64, 128, 256),
+    seed: int = 2025,
+) -> WorkloadGraph:
+    """A three-stage RandWire network in the small regime used for evaluation."""
+    builder = GraphBuilder("randwire", batch)
+    stem = builder.conv(
+        "stem_conv", [], channels[0] // 2, kernel=3, stride=2, input_shape=_INPUT
+    )
+    current = stem
+    for stage_index, stage_channels in enumerate(channels, start=1):
+        current = _add_stage(
+            builder,
+            stage_index=stage_index,
+            input_name=current,
+            channels=stage_channels,
+            num_nodes=nodes_per_stage,
+            seed=seed + stage_index,
+        )
+    head = builder.conv("head_conv", [current], 512, kernel=1)
+    pooled = builder.pool("global_pool", [head], global_pool=True)
+    builder.gemm("fc", [pooled], out_features=1000)
+    return builder.build()

@@ -1,0 +1,78 @@
+"""Workload registry: name-based access to the evaluation model zoo.
+
+Benchmarks and examples build workloads by name ("resnet50", "gpt2-prefill",
+...), optionally with a batch size and a size qualifier ("small"/"xl" for
+GPT-2, "tiny" variants used by fast tests and CI-scale benchmark runs).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import WorkloadError
+from repro.workloads.gpt2 import GPT2_SMALL, GPT2_XL, GPT2Config, gpt2_decode, gpt2_prefill
+from repro.workloads.graph import WorkloadGraph
+from repro.workloads.inception_resnet import inception_resnet_v1
+from repro.workloads.randwire import randwire
+from repro.workloads.resnet import resnet50, resnet101
+
+_GPT2_TINY = GPT2Config(name="gpt2-tiny", num_layers=2, hidden=256, num_heads=4, ffn_hidden=1024)
+
+
+def _gpt2_variant(variant: str) -> GPT2Config:
+    variants = {"small": GPT2_SMALL, "xl": GPT2_XL, "tiny": _GPT2_TINY}
+    try:
+        return variants[variant]
+    except KeyError as exc:
+        raise WorkloadError(
+            f"unknown GPT-2 variant {variant!r}; expected one of {sorted(variants)}"
+        ) from exc
+
+
+def _default_seq_len(variant: str) -> int:
+    return {"small": 512, "xl": 1024, "tiny": 64}[variant]
+
+
+_BUILDERS: dict[str, Callable[..., WorkloadGraph]] = {
+    "resnet50": lambda batch, **kw: resnet50(batch=batch),
+    "resnet101": lambda batch, **kw: resnet101(batch=batch),
+    "inception_resnet_v1": lambda batch, **kw: inception_resnet_v1(batch=batch),
+    "randwire": lambda batch, **kw: randwire(batch=batch, **kw),
+    "gpt2-prefill": lambda batch, variant="small", seq_len=None, **kw: gpt2_prefill(
+        config=_gpt2_variant(variant),
+        batch=batch,
+        seq_len=seq_len if seq_len is not None else _default_seq_len(variant),
+    ),
+    "gpt2-decode": lambda batch, variant="small", context_len=None, **kw: gpt2_decode(
+        config=_gpt2_variant(variant),
+        batch=batch,
+        context_len=context_len if context_len is not None else _default_seq_len(variant),
+    ),
+}
+
+
+def available_workloads() -> list[str]:
+    """Names accepted by :func:`build_workload`."""
+    return sorted(_BUILDERS)
+
+
+def build_workload(name: str, batch: int = 1, **kwargs) -> WorkloadGraph:
+    """Build a workload graph by registry name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_workloads`.
+    batch:
+        Batch size (the paper sweeps 1, 4, 16, 64).
+    kwargs:
+        Workload-specific options, e.g. ``variant="xl"`` or ``seq_len=1024``
+        for the GPT-2 entries.
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError as exc:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {available_workloads()}"
+        ) from exc
+    return builder(batch=batch, **kwargs)

@@ -1,0 +1,74 @@
+"""ResNet-50 and ResNet-101 workload builders (He et al., CVPR 2016).
+
+BatchNorm and ReLU are folded into the convolutions that produce their
+inputs, which is the standard practice for inference accelerators and keeps
+the layer graph at the granularity the paper's figures show (convolutions,
+poolings and residual additions).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.builder import GraphBuilder
+from repro.workloads.graph import WorkloadGraph
+
+_IMAGENET_INPUT = (3, 224, 224)
+
+
+def _bottleneck_block(
+    builder: GraphBuilder,
+    prefix: str,
+    input_name: str,
+    mid_channels: int,
+    out_channels: int,
+    stride: int,
+    project: bool,
+) -> str:
+    """A standard ResNet bottleneck: 1x1 -> 3x3 -> 1x1 plus residual add."""
+    conv1 = builder.conv(f"{prefix}_conv1", [input_name], mid_channels, kernel=1, stride=1)
+    conv2 = builder.conv(f"{prefix}_conv2", [conv1], mid_channels, kernel=3, stride=stride)
+    conv3 = builder.conv(f"{prefix}_conv3", [conv2], out_channels, kernel=1, stride=1)
+    if project:
+        shortcut = builder.conv(
+            f"{prefix}_proj", [input_name], out_channels, kernel=1, stride=stride
+        )
+    else:
+        shortcut = input_name
+    return builder.eltwise(f"{prefix}_add", [conv3, shortcut])
+
+
+def _build_resnet(name: str, batch: int, blocks_per_stage: tuple[int, int, int, int]) -> WorkloadGraph:
+    builder = GraphBuilder(name, batch)
+    stem = builder.conv(
+        "stem_conv", [], 64, kernel=7, stride=2, padding=3, input_shape=_IMAGENET_INPUT
+    )
+    current = builder.pool("stem_pool", [stem], kernel=3, stride=2, padding=1)
+
+    stage_channels = ((64, 256), (128, 512), (256, 1024), (512, 2048))
+    for stage_index, (num_blocks, (mid, out)) in enumerate(
+        zip(blocks_per_stage, stage_channels), start=1
+    ):
+        for block_index in range(num_blocks):
+            stride = 2 if (stage_index > 1 and block_index == 0) else 1
+            current = _bottleneck_block(
+                builder,
+                prefix=f"stage{stage_index}_block{block_index + 1}",
+                input_name=current,
+                mid_channels=mid,
+                out_channels=out,
+                stride=stride,
+                project=(block_index == 0),
+            )
+
+    pooled = builder.pool("global_pool", [current], global_pool=True)
+    builder.gemm("fc", [pooled], out_features=1000)
+    return builder.build()
+
+
+def resnet50(batch: int = 1) -> WorkloadGraph:
+    """ResNet-50 (3, 4, 6, 3 bottleneck blocks)."""
+    return _build_resnet("resnet50", batch, (3, 4, 6, 3))
+
+
+def resnet101(batch: int = 1) -> WorkloadGraph:
+    """ResNet-101 (3, 4, 23, 3 bottleneck blocks)."""
+    return _build_resnet("resnet101", batch, (3, 4, 23, 3))

@@ -1,0 +1,86 @@
+"""Shared fixtures: small accelerators and workloads that keep tests fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SAParams, SoMaConfig
+from repro.hardware.accelerator import AcceleratorConfig
+from repro.hardware.core import CoreArrayConfig
+from repro.hardware.energy import EnergyModel
+from repro.hardware.memory import MB, MemoryConfig
+from repro.workloads.builder import GraphBuilder
+from repro.workloads.gpt2 import GPT2Config, gpt2_decode, gpt2_prefill
+
+
+@pytest.fixture
+def tiny_accelerator() -> AcceleratorConfig:
+    """A small accelerator: 2 cores, 1 MB GBUF, 8 GB/s DRAM, 1 GHz."""
+    return AcceleratorConfig(
+        name="tiny",
+        frequency_hz=1e9,
+        core_array=CoreArrayConfig(
+            num_cores=2,
+            macs_per_core=256,
+            vector_lanes_per_core=32,
+            al0_bytes=16 * 1024,
+            wl0_bytes=16 * 1024,
+            ol0_bytes=8 * 1024,
+            gbuf_bytes_per_cycle=64.0,
+            kc_parallel_lanes=32,
+            tile_overhead_cycles=64,
+        ),
+        memory=MemoryConfig(gbuf_bytes=1 * MB, dram_bandwidth_bytes_per_s=8e9),
+        energy=EnergyModel(),
+    )
+
+
+@pytest.fixture
+def fast_config() -> SoMaConfig:
+    """A very small search budget so scheduler tests stay quick."""
+    return SoMaConfig(
+        lfa_sa=SAParams(iterations_per_unit=3.0, max_iterations=120, min_iterations=8),
+        dlsa_sa=SAParams(iterations_per_unit=2.0, max_iterations=150, min_iterations=8),
+        max_allocator_iterations=2,
+        allocator_patience=1,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def linear_cnn() -> "WorkloadGraph":
+    """A five-layer convolutional chain on a 32x32 input."""
+    builder = GraphBuilder("linear_cnn", batch=1)
+    a = builder.conv("conv_a", [], 16, kernel=3, stride=1, input_shape=(3, 32, 32))
+    b = builder.conv("conv_b", [a], 32, kernel=3, stride=2)
+    c = builder.conv("conv_c", [b], 32, kernel=3, stride=1)
+    d = builder.pool("pool_d", [c], kernel=2, stride=2)
+    builder.conv("conv_e", [d], 64, kernel=1, stride=1)
+    return builder.build()
+
+
+@pytest.fixture
+def branchy_cnn() -> "WorkloadGraph":
+    """A residual block: two parallel paths merged by an element-wise add."""
+    builder = GraphBuilder("branchy_cnn", batch=1)
+    stem = builder.conv("stem", [], 16, kernel=3, stride=1, input_shape=(3, 16, 16))
+    left = builder.conv("left_conv1", [stem], 16, kernel=3)
+    left = builder.conv("left_conv2", [left], 16, kernel=3)
+    right = builder.conv("right_proj", [stem], 16, kernel=1)
+    add = builder.eltwise("merge_add", [left, right])
+    builder.conv("head", [add], 32, kernel=3, stride=2)
+    return builder.build()
+
+
+@pytest.fixture
+def tiny_gpt_prefill() -> "WorkloadGraph":
+    """A two-block GPT-2-style prefill workload with a short sequence."""
+    config = GPT2Config(name="gpt2-test", num_layers=2, hidden=64, num_heads=4, ffn_hidden=128)
+    return gpt2_prefill(config=config, batch=1, seq_len=16)
+
+
+@pytest.fixture
+def tiny_gpt_decode() -> "WorkloadGraph":
+    """A two-block GPT-2-style decode workload against a short KV cache."""
+    config = GPT2Config(name="gpt2-test", num_layers=2, hidden=64, num_heads=4, ffn_hidden=128)
+    return gpt2_decode(config=config, batch=2, context_len=16)

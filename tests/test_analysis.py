@@ -1,0 +1,186 @@
+"""Tests for the analysis harnesses (Fig. 3, Fig. 6, Fig. 7, Fig. 8 helpers)."""
+
+import math
+
+import pytest
+
+from repro.analysis.comparison import compare_workload, rows_to_csv, summarize
+from repro.analysis.dse import run_dse
+from repro.analysis.execution_graph import build_execution_graph
+from repro.analysis.imbalance import (
+    axis_hugging_fraction,
+    layer_imbalance,
+    spread_metric,
+    tile_imbalance,
+)
+from repro.analysis.metrics import (
+    arithmetic_mean,
+    coefficient_of_variation,
+    geometric_mean,
+    normalize,
+    percentage_reduction,
+)
+from repro.baselines.cocco import CoccoScheduler
+from repro.core.double_buffer import double_buffer_dlsa
+from repro.core.evaluator import ScheduleEvaluator
+from repro.notation.lfa import LFA
+from repro.notation.parser import parse_lfa
+
+
+# -------------------------------------------------------------------- metrics
+def test_geometric_mean_basic():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geometric_mean([]) == 0.0
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+
+
+def test_arithmetic_mean_and_reduction():
+    assert arithmetic_mean([1.0, 3.0]) == 2.0
+    assert percentage_reduction(10.0, 7.5) == pytest.approx(25.0)
+    assert percentage_reduction(0.0, 5.0) == 0.0
+
+
+def test_normalize_divides_by_max():
+    assert normalize([1.0, 2.0, 4.0]) == [0.25, 0.5, 1.0]
+    assert normalize([]) == []
+    assert normalize([0.0, 0.0]) == [0.0, 0.0]
+
+
+def test_coefficient_of_variation():
+    assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+    assert coefficient_of_variation([1.0, 9.0]) > 0.5
+
+
+# ------------------------------------------------------------------ imbalance
+def test_layer_imbalance_points_normalised(linear_cnn):
+    points = layer_imbalance(linear_cnn)
+    assert len(points) == len(linear_cnn)
+    assert max(p.normalized_dram for p in points) == pytest.approx(1.0)
+    assert max(p.normalized_ops for p in points) == pytest.approx(1.0)
+    assert all(0 <= p.normalized_dram <= 1 and 0 <= p.normalized_ops <= 1 for p in points)
+
+
+def test_tile_imbalance_has_one_point_per_tile(linear_cnn):
+    plan = parse_lfa(linear_cnn, LFA.fully_fused(linear_cnn, tiling_number=2))
+    points = tile_imbalance(plan)
+    assert len(points) == plan.num_tiles
+
+
+def test_fused_tiles_are_more_spread_out_than_layers(linear_cnn, tiny_accelerator, fast_config):
+    """The core observation behind Fig. 3(c)/(d)."""
+    scheduler = CoccoScheduler(tiny_accelerator, fast_config)
+    result = scheduler.schedule(linear_cnn)
+    plan, _ = scheduler.parse(linear_cnn, result.encoding.lfa)
+    layer_points = layer_imbalance(linear_cnn)
+    tile_points = tile_imbalance(plan)
+    assert axis_hugging_fraction(tile_points) >= axis_hugging_fraction(layer_points)
+    assert spread_metric(tile_points) >= 0.0
+
+
+def test_spread_metric_empty_input():
+    assert spread_metric([]) == 0.0
+    assert axis_hugging_fraction([]) == 0.0
+
+
+# ----------------------------------------------------------------- comparison
+def test_compare_workload_produces_consistent_row(linear_cnn, tiny_accelerator, fast_config):
+    row = compare_workload(linear_cnn, tiny_accelerator, config=fast_config, seed=1)
+    assert row.workload == linear_cnn.name
+    assert row.speedup_total >= 0.95  # SoMa should not be meaningfully worse
+    assert row.speedup_total == pytest.approx(
+        row.cocco.latency_s / row.soma_stage2.latency_s
+    )
+    assert 0 <= row.theoretical_max_utilization <= 1
+    assert row.utilization(row.soma_stage2) <= row.theoretical_max_utilization + 1e-9
+
+
+def test_comparison_row_normalised_energy_bounded(linear_cnn, tiny_accelerator, fast_config):
+    row = compare_workload(linear_cnn, tiny_accelerator, config=fast_config, seed=1)
+    for result in (row.cocco, row.soma_stage1, row.soma_stage2):
+        core, dram = row.normalized_energy(result)
+        assert 0 <= core <= 1 and 0 <= dram <= 1
+        assert core + dram <= 1.0 + 1e-9
+
+
+def test_summarize_and_csv(linear_cnn, branchy_cnn, tiny_accelerator, fast_config):
+    rows = [
+        compare_workload(linear_cnn, tiny_accelerator, config=fast_config, seed=1),
+        compare_workload(branchy_cnn, tiny_accelerator, config=fast_config, seed=1),
+    ]
+    summary = summarize(rows)
+    assert summary.num_rows == 2
+    assert summary.avg_speedup_total > 0
+    assert "average performance improvement" in summary.describe()
+    csv_text = rows_to_csv(rows)
+    assert csv_text.count("\n") == 2  # header + two rows
+    assert "speedup_total" in csv_text.splitlines()[0]
+
+
+def test_summarize_rejects_empty_input():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+# ------------------------------------------------------------------------ DSE
+def test_run_dse_grid_and_envelope(linear_cnn, tiny_accelerator, fast_config):
+    result = run_dse(
+        linear_cnn,
+        tiny_accelerator,
+        dram_bandwidths_gb_s=[4.0, 16.0],
+        buffer_sizes_mb=[1.0, 2.0],
+        config=fast_config,
+        seed=1,
+    )
+    assert len(result.cells) == 4
+    assert math.isfinite(result.min_latency("soma"))
+    envelope = result.envelope("soma")
+    assert envelope
+    assert all(cell.soma_latency_s <= result.min_latency("soma") * 1.02 for cell in envelope)
+    # More bandwidth can only help (same buffer).
+    slow = result.cell(4.0, 2.0).soma_latency_s
+    fast = result.cell(16.0, 2.0).soma_latency_s
+    assert fast <= slow * 1.05
+    table = result.to_table("soma")
+    assert "latency(ms)" in table
+
+
+def test_dse_cell_lookup_and_advantage(linear_cnn, tiny_accelerator, fast_config):
+    result = run_dse(
+        linear_cnn,
+        tiny_accelerator,
+        dram_bandwidths_gb_s=[8.0],
+        buffer_sizes_mb=[1.0],
+        config=fast_config,
+        seed=1,
+    )
+    cell = result.cell(8.0, 1.0)
+    assert cell.soma_advantage >= 0.9
+    with pytest.raises(KeyError):
+        result.cell(99.0, 1.0)
+
+
+# ------------------------------------------------------------ execution graph
+def test_build_execution_graph(linear_cnn, tiny_accelerator):
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    plan = parse_lfa(linear_cnn, LFA.fully_fused(linear_cnn, tiling_number=2))
+    dlsa = double_buffer_dlsa(plan)
+    evaluation = evaluator.evaluate(plan, dlsa, include_trace=True)
+    graph = build_execution_graph(plan, dlsa, evaluation, scheme_name="double-buffer")
+    assert len(graph.compute_segments) == plan.num_tiles
+    assert len(graph.dram_segments) == plan.num_dram_tensors
+    assert 0 < graph.dram_busy_fraction <= 1
+    assert 0 < graph.compute_busy_fraction <= 1
+    assert graph.compute_stall_s >= 0
+    rendered = graph.render_ascii(width=60)
+    assert "COMPUTE" in rendered and "DRAM" in rendered
+    assert len(graph.groups) == plan.num_flgs
+
+
+def test_build_execution_graph_requires_trace(linear_cnn, tiny_accelerator):
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    plan = parse_lfa(linear_cnn, LFA.fully_fused(linear_cnn))
+    dlsa = double_buffer_dlsa(plan)
+    evaluation = evaluator.evaluate(plan, dlsa, include_trace=False)
+    with pytest.raises(ValueError):
+        build_execution_graph(plan, dlsa, evaluation, scheme_name="x")

@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_parser_requires_a_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_workloads_command_lists_zoo():
+    code, output = _run(["workloads"])
+    assert code == 0
+    assert "resnet50" in output
+    assert "gpt2-decode" in output
+
+
+def test_schedule_command_fast(tmp_path):
+    ir_path = tmp_path / "scheme.json"
+    instructions_path = tmp_path / "program.txt"
+    code, output = _run(
+        [
+            "schedule",
+            "--workload",
+            "gpt2-decode",
+            "--variant",
+            "tiny",
+            "--seq-len",
+            "16",
+            "--fast",
+            "--ir-out",
+            str(ir_path),
+            "--instructions-out",
+            str(instructions_path),
+        ]
+    )
+    assert code == 0
+    assert "SoMa result" in output
+    assert ir_path.exists() and ir_path.read_text().startswith("{")
+    assert "COMPUTE queue" in instructions_path.read_text()
+
+
+def test_compare_command_fast():
+    code, output = _run(
+        ["compare", "--workload", "gpt2-prefill", "--variant", "tiny", "--seq-len", "16", "--fast"]
+    )
+    assert code == 0
+    assert "Cocco" in output and "Ours_2" in output
+    assert "speedup" in output
+
+
+def test_dse_command_fast(tmp_path):
+    code, output = _run(
+        [
+            "dse",
+            "--workload",
+            "gpt2-decode",
+            "--variant",
+            "tiny",
+            "--seq-len",
+            "16",
+            "--fast",
+            "--batches",
+            "1",
+            "--bandwidths",
+            "8",
+            "16",
+            "--buffers",
+            "4",
+            "--out-dir",
+            str(tmp_path),
+        ]
+    )
+    assert code == 0
+    assert (tmp_path / "dse.csv").exists()
+    assert "scheduler=soma" in output
+
+
+def test_overall_command_fast(tmp_path, monkeypatch):
+    # Shrink the default grid so the CLI test stays quick.
+    from repro.experiments import overall as overall_module
+
+    monkeypatch.setattr(
+        "repro.cli.default_cells",
+        lambda: [
+            overall_module.ExperimentCell(
+                "gpt2-decode", "edge", 1, (("variant", "tiny"), ("context_len", 16))
+            )
+        ],
+    )
+    code, output = _run(["overall", "--fast", "--out-dir", str(tmp_path)])
+    assert code == 0
+    assert (tmp_path / "overall.csv").exists()
+    assert (tmp_path / "stats.log").exists()
+    assert "aggregate statistics" in output

@@ -1,0 +1,164 @@
+"""Tests for the compiler back-end: IR generation and instruction lowering."""
+
+import pytest
+
+from repro.compiler.codegen import generate_instructions, lower_result
+from repro.compiler.instructions import InstructionKind
+from repro.compiler.ir import IR_VERSION, IRDocument, generate_ir
+from repro.core.double_buffer import double_buffer_dlsa
+from repro.errors import CompilationError
+from repro.notation.lfa import LFA
+from repro.notation.parser import parse_lfa
+
+
+@pytest.fixture
+def parsed(linear_cnn):
+    plan = parse_lfa(linear_cnn, LFA.fully_fused(linear_cnn, tiling_number=2))
+    return plan, double_buffer_dlsa(plan)
+
+
+# --------------------------------------------------------------------------- IR
+def test_ir_counts_match_plan(parsed):
+    plan, dlsa = parsed
+    ir = generate_ir(plan, dlsa)
+    assert ir.num_tiles == plan.num_tiles
+    assert ir.num_dram_tensors == plan.num_dram_tensors
+    assert ir.document["ir_version"] == IR_VERSION
+    assert ir.document["workload"] == plan.graph.name
+
+
+def test_ir_groups_cover_all_layers(parsed):
+    plan, dlsa = parsed
+    ir = generate_ir(plan, dlsa)
+    layers = [layer for group in ir.document["groups"] for layer in group["layers"]]
+    assert sorted(layers) == sorted(plan.graph.layer_names())
+
+
+def test_ir_dram_tensors_sorted_by_order_position(parsed):
+    plan, dlsa = parsed
+    ir = generate_ir(plan, dlsa)
+    positions = [entry["order_position"] for entry in ir.document["dram_tensors"]]
+    assert positions == sorted(positions)
+
+
+def test_ir_json_round_trip(parsed):
+    plan, dlsa = parsed
+    ir = generate_ir(plan, dlsa)
+    restored = IRDocument.from_json(ir.to_json())
+    assert restored.document == ir.document
+
+
+def test_ir_rejects_unknown_version(parsed):
+    plan, dlsa = parsed
+    text = generate_ir(plan, dlsa).to_json().replace(IR_VERSION, "99.0")
+    with pytest.raises(CompilationError):
+        IRDocument.from_json(text)
+
+
+def test_ir_rejects_infeasible_plan(tiny_gpt_prefill):
+    plan = parse_lfa(tiny_gpt_prefill, LFA.fully_fused(tiny_gpt_prefill, tiling_number=4))
+    with pytest.raises(CompilationError):
+        generate_ir(plan, double_buffer_dlsa(plan))
+
+
+# ------------------------------------------------------------------- lowering
+def test_program_has_one_instruction_per_tile_and_tensor(parsed):
+    plan, dlsa = parsed
+    program = lower_result(plan, dlsa)
+    assert len(program.compute_queue) == plan.num_tiles
+    assert len(program.dram_queue) == plan.num_dram_tensors
+    assert program.num_instructions == plan.num_tiles + plan.num_dram_tensors
+
+
+def test_instruction_ids_are_unique(parsed):
+    plan, dlsa = parsed
+    program = lower_result(plan, dlsa)
+    ids = [ins.instruction_id for ins in program.all_instructions()]
+    assert len(ids) == len(set(ids))
+
+
+def test_instruction_kinds_match_tensor_kinds(parsed):
+    plan, dlsa = parsed
+    program = lower_result(plan, dlsa)
+    kinds = {ins.kind for ins in program.dram_queue}
+    assert kinds <= {InstructionKind.LOAD, InstructionKind.STORE}
+    assert all(ins.kind is InstructionKind.COMPUTE for ins in program.compute_queue)
+
+
+def test_dependency_graph_is_acyclic_and_schedulable(parsed):
+    plan, dlsa = parsed
+    program = lower_result(plan, dlsa)
+    instructions = {ins.instruction_id: ins for ins in program.all_instructions()}
+    completed: set[int] = set()
+    remaining = dict(instructions)
+    progressed = True
+    while remaining and progressed:
+        progressed = False
+        for instruction_id, instruction in list(remaining.items()):
+            if all(dep in completed for dep in instruction.depends_on):
+                completed.add(instruction_id)
+                del remaining[instruction_id]
+                progressed = True
+    assert not remaining, "instruction dependencies must be satisfiable"
+
+
+def test_compute_instructions_wait_for_their_loads(parsed):
+    plan, dlsa = parsed
+    program = lower_result(plan, dlsa)
+    load_ids = {
+        ins.tensor_tid: ins.instruction_id
+        for ins in program.dram_queue
+        if ins.kind is InstructionKind.LOAD
+    }
+    for compute in program.compute_queue:
+        required = plan.tile_required_loads[compute.instruction_id]
+        for tid in required:
+            assert load_ids[tid] in compute.depends_on
+
+
+def test_store_instruction_waits_for_producing_tile(parsed):
+    plan, dlsa = parsed
+    program = lower_result(plan, dlsa)
+    for instruction in program.dram_queue:
+        if instruction.kind is InstructionKind.STORE:
+            tensor = plan.tensor(instruction.tensor_tid)
+            assert tensor.produce_tile in instruction.depends_on
+
+
+def test_cross_lg_load_waits_for_source_stores(linear_cnn):
+    plan = parse_lfa(linear_cnn, LFA.unfused(linear_cnn))
+    dlsa = double_buffer_dlsa(plan)
+    program = lower_result(plan, dlsa)
+    store_ids_by_layer: dict[str, set[int]] = {}
+    for instruction in program.dram_queue:
+        if instruction.kind is InstructionKind.STORE:
+            store_ids_by_layer.setdefault(instruction.layer, set()).add(instruction.instruction_id)
+    checked = 0
+    for instruction in program.dram_queue:
+        if instruction.kind is InstructionKind.LOAD:
+            tensor = plan.tensor(instruction.tensor_tid)
+            if tensor.source_layer is not None:
+                assert store_ids_by_layer[tensor.source_layer] <= set(instruction.depends_on)
+                checked += 1
+    assert checked > 0
+
+
+def test_program_dump_mentions_workload_and_queues(parsed):
+    plan, dlsa = parsed
+    program = lower_result(plan, dlsa)
+    dump = program.dump()
+    assert plan.graph.name in dump
+    assert "DRAM queue" in dump and "COMPUTE queue" in dump
+
+
+def test_generate_instructions_from_serialised_ir(parsed):
+    plan, dlsa = parsed
+    ir = IRDocument.from_json(generate_ir(plan, dlsa).to_json())
+    program = generate_instructions(ir)
+    assert program.num_instructions == plan.num_tiles + plan.num_dram_tensors
+
+
+def test_lower_rejects_infeasible_plan(tiny_gpt_prefill):
+    plan = parse_lfa(tiny_gpt_prefill, LFA.fully_fused(tiny_gpt_prefill, tiling_number=4))
+    with pytest.raises(CompilationError):
+        lower_result(plan, double_buffer_dlsa(plan))

@@ -1,0 +1,126 @@
+"""Tests for the Core Array mapper (intra-tile scheduler & evaluator)."""
+
+import pytest
+
+from repro.core.core_array import CoreArrayMapper
+from repro.notation.lfa import LFA
+from repro.notation.parser import parse_lfa
+from repro.tiling.partition import tile_flg
+from repro.workloads.builder import GraphBuilder
+
+
+def _single_conv(size=32, channels=64, kernel=3, batch=1):
+    builder = GraphBuilder("one", batch=batch)
+    builder.conv("conv", [], channels, kernel=kernel, input_shape=(16, size, size))
+    return builder.build()
+
+
+def _tiling(graph, tiles=1):
+    return tile_flg(graph, graph.layer_names(), tiles)["conv"]
+
+
+def test_tile_cost_is_positive(tiny_accelerator):
+    graph = _single_conv()
+    mapper = CoreArrayMapper(tiny_accelerator)
+    cost = mapper.evaluate_tile(graph.layer("conv"), _tiling(graph))
+    assert cost.seconds > 0
+    assert cost.energy_j > 0
+    assert cost.gbuf_traffic_bytes > 0
+
+
+def test_tile_time_never_beats_peak_compute(tiny_accelerator):
+    graph = _single_conv(size=64, channels=128)
+    mapper = CoreArrayMapper(tiny_accelerator)
+    layer = graph.layer("conv")
+    cost = mapper.evaluate_tile(layer, _tiling(graph))
+    ideal_seconds = layer.macs / (
+        tiny_accelerator.core_array.total_macs_per_cycle * tiny_accelerator.frequency_hz
+    )
+    assert cost.seconds >= ideal_seconds
+
+
+def test_large_tile_approaches_peak_efficiency(tiny_accelerator):
+    graph = _single_conv(size=64, channels=128)
+    mapper = CoreArrayMapper(tiny_accelerator)
+    layer = graph.layer("conv")
+    cost = mapper.evaluate_tile(layer, _tiling(graph))
+    ideal_seconds = layer.macs / (
+        tiny_accelerator.core_array.total_macs_per_cycle * tiny_accelerator.frequency_hz
+    )
+    assert cost.seconds <= 3 * ideal_seconds
+
+
+def test_many_small_tiles_cost_more_than_one_large_tile(tiny_accelerator):
+    graph = _single_conv(size=32, channels=64)
+    mapper = CoreArrayMapper(tiny_accelerator)
+    layer = graph.layer("conv")
+    single = mapper.evaluate_tile(layer, _tiling(graph, 1))
+    fine = _tiling(graph, 16)
+    total_fine = fine.num_tiles * mapper.evaluate_tile(layer, fine).seconds
+    assert total_fine > single.seconds
+
+
+def test_gbuf_traffic_at_least_compulsory(tiny_accelerator):
+    graph = _single_conv()
+    mapper = CoreArrayMapper(tiny_accelerator)
+    layer = graph.layer("conv")
+    tiling = _tiling(graph)
+    cost = mapper.evaluate_tile(layer, tiling)
+    compulsory = tiling.ifmap_tile_bytes + tiling.ofmap_tile_bytes
+    assert cost.gbuf_traffic_bytes >= compulsory
+
+
+def test_vector_layer_uses_vector_unit(tiny_accelerator):
+    builder = GraphBuilder("v", batch=1)
+    a = builder.conv("conv", [], 16, kernel=3, input_shape=(3, 16, 16))
+    builder.norm("norm", [a])
+    graph = builder.build()
+    tilings = tile_flg(graph, graph.layer_names(), 1)
+    mapper = CoreArrayMapper(tiny_accelerator)
+    cost = mapper.evaluate_tile(graph.layer("norm"), tilings["norm"])
+    assert cost.seconds > 0
+    assert cost.energy_j > 0
+
+
+def test_memoisation_reuses_identical_shapes(tiny_accelerator):
+    graph = _single_conv()
+    mapper = CoreArrayMapper(tiny_accelerator)
+    layer = graph.layer("conv")
+    tiling = _tiling(graph)
+    first = mapper.evaluate_tile(layer, tiling)
+    size_after_first = mapper.cache_size()
+    second = mapper.evaluate_tile(layer, tiling)
+    assert first == second
+    assert mapper.cache_size() == size_after_first
+
+
+def test_bound_label(tiny_accelerator):
+    graph = _single_conv(size=64, channels=128)
+    mapper = CoreArrayMapper(tiny_accelerator)
+    cost = mapper.evaluate_tile(graph.layer("conv"), _tiling(graph))
+    assert cost.bound in ("compute", "gbuf")
+
+
+def test_mapper_shared_through_full_plan(tiny_accelerator, linear_cnn):
+    mapper = CoreArrayMapper(tiny_accelerator)
+    plan = parse_lfa(linear_cnn, LFA.fully_fused(linear_cnn, tiling_number=2))
+    for tile in plan.tiles:
+        cost = mapper.evaluate_tile(linear_cnn.layer(tile.layer), plan.layer_tilings[tile.layer])
+        assert cost.seconds > 0
+    # Five distinct layer shapes at most.
+    assert mapper.cache_size() <= len(linear_cnn)
+
+
+def test_depthwise_and_matmul_have_no_weight_reuse_blocking(tiny_accelerator):
+    builder = GraphBuilder("dw", batch=1)
+    a = builder.conv("conv", [], 16, kernel=3, input_shape=(3, 16, 16))
+    builder.conv("dw", [a], 16, kernel=3, depthwise=True)
+    graph = builder.build()
+    tilings = tile_flg(graph, graph.layer_names(), 1)
+    mapper = CoreArrayMapper(tiny_accelerator)
+    cost = mapper.evaluate_tile(graph.layer("dw"), tilings["dw"])
+    layer = graph.layer("dw")
+    expected_traffic = (
+        tilings["dw"].ifmap_tile_bytes + tilings["dw"].ofmap_tile_bytes + layer.weight_bytes
+    )
+    assert cost.gbuf_traffic_bytes == pytest.approx(expected_traffic)

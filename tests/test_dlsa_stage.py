@@ -1,0 +1,118 @@
+"""Tests for the DLSA exploration stage and its operators."""
+
+import random
+
+import pytest
+
+from repro.core.config import SoMaConfig
+from repro.core.dlsa_stage import (
+    DLSAStage,
+    op_change_living_duration,
+    op_change_tensor_order,
+)
+from repro.core.double_buffer import double_buffer_dlsa
+from repro.core.evaluator import ScheduleEvaluator
+from repro.notation.lfa import LFA
+from repro.notation.parser import parse_lfa
+
+
+@pytest.fixture
+def fused_plan(linear_cnn):
+    return parse_lfa(linear_cnn, LFA.fully_fused(linear_cnn, tiling_number=2))
+
+
+def test_change_tensor_order_is_a_permutation(fused_plan):
+    rng = random.Random(0)
+    dlsa = double_buffer_dlsa(fused_plan)
+    for _ in range(30):
+        candidate = op_change_tensor_order(fused_plan, dlsa, rng)
+        if candidate is None:
+            continue
+        assert sorted(candidate.order) == sorted(dlsa.order)
+        assert candidate.living == dlsa.living
+        dlsa = candidate
+
+
+def test_change_living_duration_stays_valid(fused_plan):
+    rng = random.Random(1)
+    dlsa = double_buffer_dlsa(fused_plan)
+    changed = 0
+    for _ in range(60):
+        candidate = op_change_living_duration(fused_plan, dlsa, rng)
+        if candidate is None:
+            continue
+        candidate.validate(fused_plan.dram_tensors)
+        changed += 1
+        dlsa = candidate
+    assert changed > 0
+
+
+def test_living_duration_operator_only_moves_free_endpoint(fused_plan):
+    rng = random.Random(2)
+    base = double_buffer_dlsa(fused_plan)
+    for _ in range(60):
+        candidate = op_change_living_duration(fused_plan, base, rng)
+        if candidate is None:
+            continue
+        for tensor in fused_plan.dram_tensors:
+            start, end = candidate.living[tensor.tid]
+            if tensor.is_load:
+                assert end == tensor.default_end
+                assert start <= tensor.first_use
+            else:
+                assert start == tensor.produce_tile
+                assert end > tensor.produce_tile
+
+
+def test_stage_explore_never_worse_than_double_buffer(linear_cnn, tiny_accelerator, fast_config):
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    stage = DLSAStage(evaluator, fast_config)
+    lfa = LFA.fully_fused(linear_cnn, tiling_number=2)
+    plan = parse_lfa(linear_cnn, lfa)
+    initial = double_buffer_dlsa(plan)
+    initial_cost = stage.cost(plan, initial, tiny_accelerator.gbuf_bytes)
+    outcome = stage.explore(
+        lfa=lfa,
+        plan=plan,
+        initial_dlsa=initial,
+        buffer_budget_bytes=tiny_accelerator.gbuf_bytes,
+        rng=random.Random(fast_config.seed),
+    )
+    assert outcome.stage_result.cost <= initial_cost
+    assert outcome.stage_result.evaluation.feasible
+    assert outcome.stage_result.encoding.dlsa is not None
+
+
+def test_stage_keeps_lfa_fixed(linear_cnn, tiny_accelerator, fast_config):
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    stage = DLSAStage(evaluator, fast_config)
+    lfa = LFA.fully_fused(linear_cnn, tiling_number=2)
+    plan = parse_lfa(linear_cnn, lfa)
+    outcome = stage.explore(
+        lfa=lfa,
+        plan=plan,
+        initial_dlsa=double_buffer_dlsa(plan),
+        buffer_budget_bytes=tiny_accelerator.gbuf_bytes,
+        rng=random.Random(3),
+    )
+    assert outcome.stage_result.encoding.lfa == lfa
+
+
+def test_stage_is_deterministic_given_seed(linear_cnn, tiny_accelerator, fast_config):
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    stage = DLSAStage(evaluator, fast_config)
+    lfa = LFA.fully_fused(linear_cnn, tiling_number=2)
+    plan = parse_lfa(linear_cnn, lfa)
+
+    def run():
+        return stage.explore(
+            lfa=lfa,
+            plan=plan,
+            initial_dlsa=double_buffer_dlsa(plan),
+            buffer_budget_bytes=tiny_accelerator.gbuf_bytes,
+            rng=random.Random(9),
+        ).stage_result
+
+    first, second = run(), run()
+    assert first.cost == second.cost
+    assert first.encoding.dlsa == second.encoding.dlsa

@@ -1,0 +1,82 @@
+"""Tests for ScheduleEncoding round trips and the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.core.double_buffer import double_buffer_dlsa
+from repro.notation.dlsa import DLSA
+from repro.notation.encoding import ScheduleEncoding
+from repro.notation.lfa import LFA
+from repro.notation.parser import parse_lfa
+
+
+# ----------------------------------------------------------------- exceptions
+def test_all_errors_derive_from_repro_error():
+    for name in ("ConfigurationError", "WorkloadError", "EncodingError", "SchedulingError", "CompilationError"):
+        error_type = getattr(errors, name)
+        assert issubclass(error_type, errors.ReproError)
+        assert issubclass(error_type, Exception)
+
+
+def test_errors_can_carry_messages():
+    with pytest.raises(errors.ReproError, match="details"):
+        raise errors.SchedulingError("details")
+
+
+# ------------------------------------------------------------------- encoding
+def test_encoding_parse_without_dlsa_uses_double_buffer(linear_cnn):
+    encoding = ScheduleEncoding(lfa=LFA.fully_fused(linear_cnn, tiling_number=2))
+    plan, dlsa = encoding.parse(linear_cnn)
+    assert plan.feasible
+    assert dlsa == double_buffer_dlsa(plan)
+
+
+def test_encoding_parse_with_explicit_dlsa(linear_cnn):
+    lfa = LFA.fully_fused(linear_cnn, tiling_number=2)
+    plan = parse_lfa(linear_cnn, lfa)
+    explicit = double_buffer_dlsa(plan)
+    encoding = ScheduleEncoding(lfa=lfa, dlsa=explicit)
+    _, parsed_dlsa = encoding.parse(linear_cnn)
+    assert parsed_dlsa is explicit
+
+
+def test_encoding_with_dlsa_returns_new_object(linear_cnn):
+    lfa = LFA.fully_fused(linear_cnn, tiling_number=2)
+    plan = parse_lfa(linear_cnn, lfa)
+    encoding = ScheduleEncoding(lfa=lfa)
+    replaced = encoding.with_dlsa(double_buffer_dlsa(plan))
+    assert replaced.dlsa is not None
+    assert encoding.dlsa is None
+
+
+def test_encoding_parse_infeasible_returns_no_dlsa(tiny_gpt_prefill):
+    encoding = ScheduleEncoding(lfa=LFA.fully_fused(tiny_gpt_prefill, tiling_number=4))
+    plan, dlsa = encoding.parse(tiny_gpt_prefill)
+    assert not plan.feasible
+    assert dlsa is None
+
+
+def test_encoding_describe_mentions_dlsa_mode(linear_cnn):
+    lfa = LFA.fully_fused(linear_cnn)
+    assert "double-buffer" in ScheduleEncoding(lfa=lfa).describe()
+    plan = parse_lfa(linear_cnn, lfa)
+    explicit = ScheduleEncoding(lfa=lfa, dlsa=double_buffer_dlsa(plan))
+    assert "explored DLSA" in explicit.describe()
+
+
+def test_encoding_rejects_mismatched_dlsa(linear_cnn, branchy_cnn):
+    # A DLSA built for one workload cannot be parsed against another.
+    lfa_a = LFA.fully_fused(linear_cnn, tiling_number=2)
+    plan_a = parse_lfa(linear_cnn, lfa_a)
+    dlsa_a = double_buffer_dlsa(plan_a)
+    encoding = ScheduleEncoding(lfa=LFA.fully_fused(branchy_cnn, tiling_number=2), dlsa=dlsa_a)
+    with pytest.raises(errors.EncodingError):
+        encoding.parse(branchy_cnn)
+
+
+def test_dlsa_equality_and_reuse(linear_cnn):
+    lfa = LFA.fully_fused(linear_cnn, tiling_number=2)
+    plan = parse_lfa(linear_cnn, lfa)
+    first = DLSA.from_defaults(plan.dram_tensors)
+    second = DLSA.from_defaults(plan.dram_tensors)
+    assert first == second

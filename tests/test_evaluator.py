@@ -1,0 +1,232 @@
+"""Tests for the schedule evaluator (timing, energy, buffer accounting)."""
+
+import math
+
+import pytest
+
+from repro.core.double_buffer import double_buffer_dlsa
+from repro.core.evaluator import ScheduleEvaluator
+from repro.notation.dlsa import DLSA
+from repro.notation.lfa import LFA
+from repro.notation.parser import parse_lfa
+
+
+def _evaluate(graph, accelerator, lfa=None, dlsa=None, **kwargs):
+    evaluator = ScheduleEvaluator(accelerator)
+    plan = parse_lfa(graph, lfa if lfa is not None else LFA.fully_fused(graph))
+    if dlsa is None:
+        dlsa = double_buffer_dlsa(plan)
+    return plan, dlsa, evaluator.evaluate(plan, dlsa, **kwargs)
+
+
+# ----------------------------------------------------------------- basic laws
+def test_latency_at_least_each_engine_sum(linear_cnn, tiny_accelerator):
+    _, _, result = _evaluate(linear_cnn, tiny_accelerator)
+    assert result.feasible
+    assert result.latency_s >= result.compute_time_sum_s - 1e-12
+    assert result.latency_s >= result.dram_time_sum_s - 1e-12
+
+
+def test_latency_at_most_fully_serialised(linear_cnn, tiny_accelerator):
+    _, _, result = _evaluate(linear_cnn, tiny_accelerator)
+    assert result.latency_s <= result.compute_time_sum_s + result.dram_time_sum_s + 1e-12
+
+
+def test_energy_is_core_plus_dram(linear_cnn, tiny_accelerator):
+    _, _, result = _evaluate(linear_cnn, tiny_accelerator)
+    assert result.energy_j == pytest.approx(result.core_energy_j + result.dram_energy_j)
+
+
+def test_dram_energy_proportional_to_traffic(linear_cnn, tiny_accelerator):
+    plan, _, result = _evaluate(linear_cnn, tiny_accelerator)
+    expected = tiny_accelerator.energy.dram_energy_j(plan.total_dram_bytes)
+    assert result.dram_energy_j == pytest.approx(expected)
+
+
+def test_fused_scheme_beats_unfused_on_dram_energy(linear_cnn, tiny_accelerator):
+    _, _, unfused = _evaluate(linear_cnn, tiny_accelerator, lfa=LFA.unfused(linear_cnn))
+    _, _, fused = _evaluate(linear_cnn, tiny_accelerator, lfa=LFA.fully_fused(linear_cnn))
+    assert fused.dram_energy_j < unfused.dram_energy_j
+    assert fused.latency_s <= unfused.latency_s * 1.05
+
+
+def test_evaluation_is_deterministic(linear_cnn, tiny_accelerator):
+    _, _, first = _evaluate(linear_cnn, tiny_accelerator)
+    _, _, second = _evaluate(linear_cnn, tiny_accelerator)
+    assert first.latency_s == second.latency_s
+    assert first.energy_j == second.energy_j
+
+
+def test_energy_does_not_depend_on_dlsa(linear_cnn, tiny_accelerator):
+    plan = parse_lfa(linear_cnn, LFA.fully_fused(linear_cnn, tiling_number=2))
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    base = double_buffer_dlsa(plan)
+    eager_living = {
+        tid: ((0, end) if plan.tensor(tid).is_load else (start, end))
+        for tid, (start, end) in base.living.items()
+    }
+    eager = DLSA(order=base.order, living=eager_living)
+    result_base = evaluator.evaluate(plan, base)
+    result_eager = evaluator.evaluate(plan, eager)
+    assert result_base.energy_j == pytest.approx(result_eager.energy_j)
+
+
+# -------------------------------------------------------------------- metrics
+def test_utilization_below_theoretical_maximum(linear_cnn, tiny_accelerator):
+    _, _, result = _evaluate(linear_cnn, tiny_accelerator)
+    util = result.compute_utilization(tiny_accelerator)
+    bound = result.theoretical_max_utilization(tiny_accelerator)
+    assert 0 < util <= bound <= 1.0
+
+
+def test_dram_utilization_in_unit_range(linear_cnn, tiny_accelerator):
+    _, _, result = _evaluate(linear_cnn, tiny_accelerator)
+    assert 0 < result.dram_utilization() <= 1.0
+
+
+def test_objective_matches_energy_delay_product(linear_cnn, tiny_accelerator):
+    _, _, result = _evaluate(linear_cnn, tiny_accelerator)
+    assert result.objective() == pytest.approx(result.energy_j * result.latency_s)
+    assert result.objective(2.0, 1.0) == pytest.approx(result.energy_j**2 * result.latency_s)
+
+
+def test_infeasible_result_has_infinite_objective(tiny_gpt_prefill, tiny_accelerator):
+    plan = parse_lfa(tiny_gpt_prefill, LFA.fully_fused(tiny_gpt_prefill, tiling_number=4))
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    result = evaluator.evaluate(plan, DLSA(order=(), living={}))
+    assert not result.feasible
+    assert math.isinf(result.objective())
+    assert result.compute_utilization(tiny_accelerator) == 0.0
+
+
+# ------------------------------------------------------------ buffer handling
+def test_buffer_budget_violation_reported(linear_cnn, tiny_accelerator):
+    _, _, result = _evaluate(linear_cnn, tiny_accelerator, buffer_budget_bytes=1024)
+    assert not result.feasible
+    assert "exceeds budget" in result.reason
+    assert math.isfinite(result.latency_s)
+    assert result.max_buffer_bytes > 1024
+
+
+def test_generous_budget_is_feasible(linear_cnn, tiny_accelerator):
+    _, _, result = _evaluate(
+        linear_cnn, tiny_accelerator, buffer_budget_bytes=tiny_accelerator.gbuf_bytes * 100
+    )
+    assert result.feasible
+
+
+def test_max_buffer_at_least_largest_single_item(linear_cnn, tiny_accelerator):
+    plan, _, result = _evaluate(linear_cnn, tiny_accelerator)
+    largest_tensor = max(t.num_bytes for t in plan.dram_tensors)
+    assert result.max_buffer_bytes >= largest_tensor
+    assert result.avg_buffer_bytes <= result.max_buffer_bytes
+
+
+def test_finer_tiling_lowers_peak_buffer(tiny_accelerator):
+    from repro.workloads.builder import GraphBuilder
+
+    builder = GraphBuilder("wide", batch=1)
+    a = builder.conv("a", [], 32, kernel=3, input_shape=(16, 64, 64))
+    builder.conv("b", [a], 32, kernel=3)
+    graph = builder.build()
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    coarse = parse_lfa(graph, LFA.fully_fused(graph, tiling_number=1))
+    fine = parse_lfa(graph, LFA.fully_fused(graph, tiling_number=8))
+    coarse_result = evaluator.evaluate(coarse, double_buffer_dlsa(coarse))
+    fine_result = evaluator.evaluate(fine, double_buffer_dlsa(fine))
+    assert fine_result.max_buffer_bytes < coarse_result.max_buffer_bytes
+
+
+# --------------------------------------------------------- DLSA interactions
+def test_prefetching_weights_earlier_never_hurts_latency(linear_cnn, tiny_accelerator):
+    plan = parse_lfa(linear_cnn, LFA.unfused(linear_cnn))
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    base = double_buffer_dlsa(plan)
+    eager_living = dict(base.living)
+    for tensor in plan.dram_tensors:
+        if tensor.is_load:
+            eager_living[tensor.tid] = (0, tensor.default_end)
+    eager = DLSA(order=base.order, living=eager_living)
+    base_result = evaluator.evaluate(plan, base)
+    eager_result = evaluator.evaluate(plan, eager)
+    assert eager_result.latency_s <= base_result.latency_s + 1e-12
+    # ... but it costs buffer capacity: everything is resident from tile 0.
+    assert eager_result.max_buffer_bytes >= base_result.max_buffer_bytes
+
+
+def test_relaxing_store_deadline_never_hurts_latency(linear_cnn, tiny_accelerator):
+    plan = parse_lfa(linear_cnn, LFA.unfused(linear_cnn))
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    base = double_buffer_dlsa(plan)
+    relaxed_living = dict(base.living)
+    for tensor in plan.dram_tensors:
+        if tensor.is_store:
+            relaxed_living[tensor.tid] = (tensor.produce_tile, plan.num_tiles)
+    relaxed = DLSA(order=base.order, living=relaxed_living)
+    assert (
+        evaluator.evaluate(plan, relaxed).latency_s
+        <= evaluator.evaluate(plan, base).latency_s + 1e-12
+    )
+
+
+def test_load_ordered_before_its_source_store_deadlocks(linear_cnn, tiny_accelerator):
+    plan = parse_lfa(linear_cnn, LFA.unfused(linear_cnn))
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    base = double_buffer_dlsa(plan)
+    dependent_load = next(t for t in plan.dram_tensors if t.source_layer is not None)
+    blocking_store = next(
+        t for t in plan.dram_tensors if t.is_store and t.layer == dependent_load.source_layer
+    )
+    order = list(base.order)
+    order.remove(dependent_load.tid)
+    order.insert(order.index(blocking_store.tid), dependent_load.tid)
+    broken = DLSA(order=tuple(order), living=dict(base.living))
+    result = evaluator.evaluate(plan, broken)
+    assert not result.feasible
+    assert "deadlock" in result.reason
+
+
+def test_store_deadline_blocks_following_tile(tiny_accelerator, linear_cnn):
+    plan = parse_lfa(linear_cnn, LFA.unfused(linear_cnn))
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    base = double_buffer_dlsa(plan)
+    result = evaluator.evaluate(plan, base, include_trace=True)
+    # With the double-buffer policy every store must finish before the next
+    # tile; therefore each tile's start is >= every earlier-deadline store end.
+    store_end = {}
+    for record in result.transfer_records:
+        tensor = plan.tensor(record.tid)
+        if tensor.is_store:
+            store_end[base.end(tensor.tid)] = max(
+                store_end.get(base.end(tensor.tid), 0.0), record.finish_s
+            )
+    tile_start = {r.index: r.start_s for r in result.tile_records}
+    for deadline_tile, finish in store_end.items():
+        if deadline_tile < plan.num_tiles:
+            assert tile_start[deadline_tile] >= finish - 1e-12
+
+
+# ----------------------------------------------------------------- trace data
+def test_trace_records_cover_all_items(linear_cnn, tiny_accelerator):
+    plan, _, result = _evaluate(linear_cnn, tiny_accelerator, include_trace=True)
+    assert len(result.tile_records) == plan.num_tiles
+    assert len(result.transfer_records) == plan.num_dram_tensors
+
+
+def test_trace_engines_are_serialised(linear_cnn, tiny_accelerator):
+    plan, dlsa, result = _evaluate(linear_cnn, tiny_accelerator, include_trace=True)
+    compute_finish = 0.0
+    for record in sorted(result.tile_records, key=lambda r: r.index):
+        assert record.start_s >= compute_finish - 1e-12
+        compute_finish = record.finish_s
+    order_position = {tid: i for i, tid in enumerate(dlsa.order)}
+    dram_finish = 0.0
+    for record in sorted(result.transfer_records, key=lambda r: order_position[r.tid]):
+        assert record.start_s >= dram_finish - 1e-12
+        dram_finish = record.finish_s
+
+
+def test_trace_disabled_by_default(linear_cnn, tiny_accelerator):
+    _, _, result = _evaluate(linear_cnn, tiny_accelerator)
+    assert result.tile_records == ()
+    assert result.transfer_records == ()

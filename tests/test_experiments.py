@@ -1,0 +1,83 @@
+"""Tests for the artifact-style experiment drivers."""
+
+import pytest
+
+from repro.experiments.overall import (
+    ExperimentCell,
+    default_cells,
+    run_overall_experiment,
+)
+from repro.experiments.sweep import run_dse_experiment
+from repro.workloads.registry import available_workloads
+
+
+def test_experiment_cell_builders():
+    cell = ExperimentCell("resnet50", "edge", 2)
+    accelerator = cell.build_accelerator()
+    graph = cell.build_graph()
+    assert accelerator.name.startswith("edge")
+    assert graph.batch == 2
+    assert "resnet50" in cell.describe()
+
+
+def test_experiment_cell_cloud_platform():
+    cell = ExperimentCell("resnet50", "cloud", 1)
+    assert cell.build_accelerator().name.startswith("cloud")
+
+
+def test_experiment_cell_unknown_platform_rejected():
+    with pytest.raises(ValueError):
+        ExperimentCell("resnet50", "tpu", 1).build_accelerator()
+
+
+def test_experiment_cell_workload_kwargs():
+    cell = ExperimentCell(
+        "gpt2-decode", "edge", 1, (("variant", "tiny"), ("context_len", 16))
+    )
+    graph = cell.build_graph()
+    assert "decode" in graph.name
+
+
+def test_default_cells_are_buildable():
+    for cell in default_cells():
+        assert cell.workload in available_workloads()
+
+
+def test_run_overall_experiment_small_grid(tiny_accelerator, fast_config):
+    # Use tiny custom cells so the driver stays fast in unit tests.
+    cells = [
+        ExperimentCell("gpt2-decode", "edge", 1, (("variant", "tiny"), ("context_len", 16))),
+        ExperimentCell("gpt2-prefill", "edge", 1, (("variant", "tiny"), ("seq_len", 16))),
+    ]
+    messages = []
+    experiment = run_overall_experiment(
+        cells=cells, config=fast_config, seed=3, progress=messages.append
+    )
+    assert len(experiment.rows) == 2
+    assert len(messages) == 2
+
+    csv_text = experiment.to_csv()
+    assert csv_text.count("\n") == 2
+    assert "speedup_total" in csv_text.splitlines()[0]
+
+    stats = experiment.stats_log()
+    assert "aggregate statistics" in stats
+    assert "gpt2-decode" in stats
+
+
+def test_run_dse_experiment_csv_and_tables(fast_config):
+    experiment = run_dse_experiment(
+        workload="gpt2-decode",
+        batches=[1],
+        dram_bandwidths_gb_s=[8.0, 16.0],
+        buffer_sizes_mb=[4.0],
+        config=fast_config,
+        seed=1,
+        workload_kwargs={"variant": "tiny", "context_len": 16},
+    )
+    csv_text = experiment.to_csv()
+    lines = csv_text.splitlines()
+    assert lines[0].startswith("workload,batch,dram_bandwidth_gb_s")
+    assert len(lines) == 1 + 2  # header + 2 design points
+    tables = experiment.tables()
+    assert "scheduler=cocco" in tables and "scheduler=soma" in tables

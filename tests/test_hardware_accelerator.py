@@ -1,0 +1,67 @@
+"""Unit tests for the accelerator presets and helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.accelerator import cloud_accelerator, edge_accelerator
+from repro.hardware.memory import MB
+
+
+def test_edge_peak_throughput_is_16_tops():
+    assert edge_accelerator().peak_tops == pytest.approx(16.384, rel=0.05)
+
+
+def test_cloud_peak_throughput_is_128_tops():
+    assert cloud_accelerator().peak_tops == pytest.approx(131.072, rel=0.05)
+
+
+def test_edge_default_memory_matches_paper():
+    accelerator = edge_accelerator()
+    assert accelerator.gbuf_bytes == 8 * MB
+    assert accelerator.dram_bandwidth_bytes_per_s == pytest.approx(16e9)
+
+
+def test_cloud_default_memory_matches_paper():
+    accelerator = cloud_accelerator()
+    assert accelerator.gbuf_bytes == 32 * MB
+    assert accelerator.dram_bandwidth_bytes_per_s == pytest.approx(128e9)
+
+
+def test_with_memory_overrides_only_requested_fields():
+    accelerator = edge_accelerator()
+    modified = accelerator.with_memory(gbuf_bytes=16 * MB)
+    assert modified.gbuf_bytes == 16 * MB
+    assert modified.dram_bandwidth_bytes_per_s == accelerator.dram_bandwidth_bytes_per_s
+    assert accelerator.gbuf_bytes == 8 * MB
+
+
+def test_with_memory_can_override_bandwidth():
+    modified = edge_accelerator().with_memory(dram_bandwidth_bytes_per_s=64e9)
+    assert modified.dram_bandwidth_bytes_per_s == pytest.approx(64e9)
+
+
+def test_cycle_conversion_round_trip():
+    accelerator = edge_accelerator()
+    assert accelerator.seconds_to_cycles(accelerator.cycles_to_seconds(12345)) == pytest.approx(12345)
+
+
+def test_invalid_frequency_rejected(tiny_accelerator):
+    with pytest.raises(ConfigurationError):
+        type(tiny_accelerator)(
+            name="bad",
+            frequency_hz=0.0,
+            core_array=tiny_accelerator.core_array,
+            memory=tiny_accelerator.memory,
+            energy=tiny_accelerator.energy,
+        )
+
+
+def test_empty_name_rejected(tiny_accelerator):
+    with pytest.raises(ConfigurationError):
+        type(tiny_accelerator)(
+            name="",
+            frequency_hz=1e9,
+            core_array=tiny_accelerator.core_array,
+            memory=tiny_accelerator.memory,
+            energy=tiny_accelerator.energy,
+        )

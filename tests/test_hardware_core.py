@@ -1,0 +1,61 @@
+"""Unit tests for the core-array hardware description."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.core import CoreArrayConfig
+
+
+def _config(**overrides) -> CoreArrayConfig:
+    defaults = dict(
+        num_cores=4,
+        macs_per_core=256,
+        vector_lanes_per_core=32,
+        al0_bytes=1024,
+        wl0_bytes=1024,
+        ol0_bytes=512,
+        gbuf_bytes_per_cycle=64.0,
+        kc_parallel_lanes=64,
+        tile_overhead_cycles=16,
+    )
+    defaults.update(overrides)
+    return CoreArrayConfig(**defaults)
+
+
+def test_total_macs_per_cycle():
+    assert _config().total_macs_per_cycle == 4 * 256
+
+
+def test_total_vector_lanes():
+    assert _config().total_vector_lanes == 4 * 32
+
+
+def test_l0_bytes_per_core():
+    assert _config().l0_bytes_per_core == 1024 + 1024 + 512
+
+
+def test_zero_tile_overhead_is_allowed():
+    assert _config(tile_overhead_cycles=0).tile_overhead_cycles == 0
+
+
+@pytest.mark.parametrize(
+    "field",
+    [
+        "num_cores",
+        "macs_per_core",
+        "vector_lanes_per_core",
+        "al0_bytes",
+        "wl0_bytes",
+        "ol0_bytes",
+        "gbuf_bytes_per_cycle",
+        "kc_parallel_lanes",
+    ],
+)
+def test_non_positive_fields_rejected(field):
+    with pytest.raises(ConfigurationError):
+        _config(**{field: 0})
+
+
+def test_negative_tile_overhead_rejected():
+    with pytest.raises(ConfigurationError):
+        _config(tile_overhead_cycles=-1)

@@ -1,0 +1,34 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.energy import EnergyModel
+
+
+def test_mac_energy_scales_linearly():
+    model = EnergyModel(mac_pj=0.1)
+    assert model.mac_energy_j(10) == pytest.approx(1e-12)
+    assert model.mac_energy_j(20) == pytest.approx(2 * model.mac_energy_j(10))
+
+
+def test_dram_energy_dominates_gbuf_energy_per_byte():
+    model = EnergyModel()
+    assert model.dram_energy_j(100) > model.gbuf_energy_j(100) > model.l0_energy_j(100)
+
+
+def test_vector_energy():
+    model = EnergyModel(vector_op_pj=0.5)
+    assert model.vector_energy_j(4) == pytest.approx(2e-12)
+
+
+def test_zero_counts_give_zero_energy():
+    model = EnergyModel()
+    assert model.mac_energy_j(0) == 0.0
+    assert model.gbuf_energy_j(0) == 0.0
+    assert model.dram_energy_j(0) == 0.0
+
+
+def test_negative_unit_energy_rejected():
+    with pytest.raises(ConfigurationError):
+        EnergyModel(mac_pj=-0.1)

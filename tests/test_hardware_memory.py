@@ -1,0 +1,42 @@
+"""Unit tests for the memory-system description."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.memory import MB, MemoryConfig
+
+
+def test_transfer_time_is_bytes_over_bandwidth():
+    memory = MemoryConfig(gbuf_bytes=MB, dram_bandwidth_bytes_per_s=16e9)
+    assert memory.dram_transfer_seconds(16_000_000_000) == pytest.approx(1.0)
+
+
+def test_zero_bytes_takes_zero_time():
+    memory = MemoryConfig(gbuf_bytes=MB, dram_bandwidth_bytes_per_s=1e9)
+    assert memory.dram_transfer_seconds(0) == 0.0
+
+
+def test_negative_bytes_rejected():
+    memory = MemoryConfig(gbuf_bytes=MB, dram_bandwidth_bytes_per_s=1e9)
+    with pytest.raises(ValueError):
+        memory.dram_transfer_seconds(-1)
+
+
+def test_with_gbuf_bytes_returns_modified_copy():
+    memory = MemoryConfig(gbuf_bytes=MB, dram_bandwidth_bytes_per_s=1e9)
+    bigger = memory.with_gbuf_bytes(4 * MB)
+    assert bigger.gbuf_bytes == 4 * MB
+    assert memory.gbuf_bytes == MB
+
+
+def test_with_dram_bandwidth_returns_modified_copy():
+    memory = MemoryConfig(gbuf_bytes=MB, dram_bandwidth_bytes_per_s=1e9)
+    faster = memory.with_dram_bandwidth(2e9)
+    assert faster.dram_bandwidth_bytes_per_s == 2e9
+    assert memory.dram_bandwidth_bytes_per_s == 1e9
+
+
+@pytest.mark.parametrize("gbuf,bandwidth", [(0, 1e9), (MB, 0.0), (-1, 1e9), (MB, -5.0)])
+def test_invalid_configurations_rejected(gbuf, bandwidth):
+    with pytest.raises(ConfigurationError):
+        MemoryConfig(gbuf_bytes=gbuf, dram_bandwidth_bytes_per_s=bandwidth)

@@ -1,0 +1,133 @@
+"""Tests for the instruction-level simulator and its consistency with the evaluator."""
+
+import pytest
+
+from repro.compiler.codegen import lower_result
+from repro.compiler.instructions import (
+    ComputeInstruction,
+    InstructionKind,
+    InstructionProgram,
+    LoadInstruction,
+)
+from repro.compiler.simulator import InstructionSimulator
+from repro.core.double_buffer import double_buffer_dlsa
+from repro.core.evaluator import ScheduleEvaluator
+from repro.errors import CompilationError
+from repro.notation.dlsa import DLSA
+from repro.notation.lfa import LFA
+from repro.notation.parser import parse_lfa
+
+
+def _lowered(graph, lfa=None, dlsa=None):
+    plan = parse_lfa(graph, lfa if lfa is not None else LFA.fully_fused(graph, tiling_number=2))
+    dlsa = dlsa if dlsa is not None else double_buffer_dlsa(plan)
+    return plan, dlsa, lower_result(plan, dlsa)
+
+
+# --------------------------------------------------------- consistency checks
+def test_replay_matches_evaluator_latency_fused(linear_cnn, tiny_accelerator):
+    plan, dlsa, program = _lowered(linear_cnn)
+    evaluation = ScheduleEvaluator(tiny_accelerator).evaluate(plan, dlsa)
+    simulator = InstructionSimulator(tiny_accelerator)
+    timing = simulator.run(program, simulator.durations_from_plan(program, plan))
+    assert timing.makespan_s == pytest.approx(evaluation.latency_s, rel=1e-9)
+
+
+def test_replay_matches_evaluator_latency_unfused(linear_cnn, tiny_accelerator):
+    plan, dlsa, program = _lowered(linear_cnn, lfa=LFA.unfused(linear_cnn))
+    evaluation = ScheduleEvaluator(tiny_accelerator).evaluate(plan, dlsa)
+    simulator = InstructionSimulator(tiny_accelerator)
+    timing = simulator.verify_against_plan(program, plan, evaluation.latency_s)
+    assert timing.makespan_s == pytest.approx(evaluation.latency_s, rel=1e-9)
+
+
+def test_replay_matches_evaluator_with_prefetching(linear_cnn, tiny_accelerator):
+    plan = parse_lfa(linear_cnn, LFA.unfused(linear_cnn))
+    base = double_buffer_dlsa(plan)
+    eager_living = dict(base.living)
+    for tensor in plan.dram_tensors:
+        if tensor.is_load and tensor.source_layer is None:
+            eager_living[tensor.tid] = (0, tensor.default_end)
+    eager = DLSA(order=base.order, living=eager_living)
+    program = lower_result(plan, eager)
+    evaluation = ScheduleEvaluator(tiny_accelerator).evaluate(plan, eager)
+    simulator = InstructionSimulator(tiny_accelerator)
+    timing = simulator.run(program, simulator.durations_from_plan(program, plan))
+    assert timing.makespan_s == pytest.approx(evaluation.latency_s, rel=1e-9)
+
+
+def test_per_instruction_timings_cover_every_instruction(linear_cnn, tiny_accelerator):
+    plan, _, program = _lowered(linear_cnn)
+    simulator = InstructionSimulator(tiny_accelerator)
+    timing = simulator.run(program, simulator.durations_from_plan(program, plan))
+    assert len(timing.timings) == program.num_instructions
+    assert all(t.finish_s >= t.start_s for t in timing.timings)
+    first_compute = timing.of(0)
+    assert first_compute.kind is InstructionKind.COMPUTE
+
+
+def test_timing_lookup_unknown_id_raises(linear_cnn, tiny_accelerator):
+    plan, _, program = _lowered(linear_cnn)
+    simulator = InstructionSimulator(tiny_accelerator)
+    timing = simulator.run(program, simulator.durations_from_plan(program, plan))
+    with pytest.raises(KeyError):
+        timing.of(10**9)
+
+
+# ----------------------------------------------------------------- error paths
+def test_missing_durations_rejected(linear_cnn, tiny_accelerator):
+    plan, _, program = _lowered(linear_cnn)
+    simulator = InstructionSimulator(tiny_accelerator)
+    with pytest.raises(CompilationError):
+        simulator.run(program, durations={})
+
+
+def test_deadlocked_program_detected(tiny_accelerator):
+    load = LoadInstruction(
+        instruction_id=1,
+        kind=InstructionKind.LOAD,
+        depends_on=(0,),
+        tensor_tid=0,
+        layer="conv",
+        num_bytes=64,
+    )
+    compute = ComputeInstruction(
+        instruction_id=0,
+        kind=InstructionKind.COMPUTE,
+        depends_on=(1,),
+        layer="conv",
+        tile_id=0,
+        macs=10,
+        vector_ops=0,
+    )
+    program = InstructionProgram(workload="w", dram_queue=(load,), compute_queue=(compute,))
+    simulator = InstructionSimulator(tiny_accelerator)
+    with pytest.raises(CompilationError):
+        simulator.run(program, durations={0: 1e-6, 1: 1e-6})
+
+
+def test_verify_detects_lost_dependency(linear_cnn, tiny_accelerator):
+    plan, dlsa, program = _lowered(linear_cnn, lfa=LFA.unfused(linear_cnn))
+    evaluation = ScheduleEvaluator(tiny_accelerator).evaluate(plan, dlsa)
+    # Strip every cross-queue dependency: the program now finishes too early,
+    # which the verification must flag as a lost dependency.
+    stripped_compute = tuple(
+        ComputeInstruction(
+            instruction_id=ins.instruction_id,
+            kind=ins.kind,
+            depends_on=tuple(d for d in ins.depends_on if d < len(program.compute_queue)),
+            layer=ins.layer,
+            tile_id=ins.tile_id,
+            macs=ins.macs,
+            vector_ops=ins.vector_ops,
+        )
+        for ins in program.compute_queue
+    )
+    broken = InstructionProgram(
+        workload=program.workload,
+        dram_queue=program.dram_queue,
+        compute_queue=stripped_compute,
+    )
+    simulator = InstructionSimulator(tiny_accelerator)
+    with pytest.raises(CompilationError):
+        simulator.verify_against_plan(broken, plan, evaluation.latency_s)

@@ -1,0 +1,114 @@
+"""Integration tests: the full flow from workload to instructions.
+
+These tests use small-but-real workloads and the fast search configuration,
+so they exercise every subsystem together (workload zoo -> notation ->
+search -> evaluator -> analysis -> compiler) while staying quick enough for
+a normal pytest run.
+"""
+
+import pytest
+
+from repro.analysis.comparison import compare_workload
+from repro.analysis.execution_graph import build_execution_graph
+from repro.baselines.cocco import CoccoScheduler
+from repro.compiler.codegen import lower_result
+from repro.compiler.ir import generate_ir
+from repro.core.config import SAParams, SoMaConfig
+from repro.core.core_array import CoreArrayMapper
+from repro.core.soma import SoMaScheduler
+from repro.hardware.accelerator import edge_accelerator
+from repro.hardware.memory import MB
+from repro.workloads.builder import GraphBuilder
+from repro.workloads.registry import build_workload
+
+
+@pytest.fixture(scope="module")
+def search_config():
+    return SoMaConfig(
+        lfa_sa=SAParams(iterations_per_unit=20.0, max_iterations=400, min_iterations=60),
+        dlsa_sa=SAParams(iterations_per_unit=4.0, max_iterations=400, min_iterations=40),
+        max_allocator_iterations=2,
+        allocator_patience=1,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_edge():
+    """A scaled-down edge platform that still exhibits buffer pressure."""
+    return edge_accelerator(gbuf_bytes=2 * MB, dram_bandwidth_gb_per_s=8.0)
+
+
+def _deep_cnn(batch=1, blocks=6):
+    """A VGG-ish CNN that is large enough for fusion choices to matter."""
+    builder = GraphBuilder("deep_cnn", batch=batch)
+    current = builder.conv("conv_in", [], 32, kernel=3, stride=2, input_shape=(3, 64, 64))
+    channels = 32
+    for index in range(blocks):
+        stride = 2 if index % 2 == 1 else 1
+        channels = min(256, channels * (2 if stride == 2 else 1))
+        current = builder.conv(f"block{index}_conv", [current], channels, kernel=3, stride=stride)
+    pooled = builder.pool("gap", [current], global_pool=True)
+    builder.gemm("fc", [pooled], out_features=100)
+    return builder.build()
+
+
+def test_full_flow_workload_to_instructions(small_edge, search_config):
+    graph = _deep_cnn()
+    soma = SoMaScheduler(small_edge, search_config)
+    result = soma.schedule(graph)
+    assert result.evaluation.feasible
+
+    ir = generate_ir(result.plan, result.dlsa)
+    program = lower_result(result.plan, result.dlsa)
+    assert ir.num_tiles == result.plan.num_tiles
+    assert program.num_instructions == result.plan.num_tiles + result.plan.num_dram_tensors
+
+    trace = soma.evaluate_encoding(graph, result.encoding, include_trace=True)
+    graph_view = build_execution_graph(result.plan, result.dlsa, trace, scheme_name="soma")
+    assert graph_view.latency_s == pytest.approx(result.evaluation.latency_s, rel=1e-6)
+
+
+def test_soma_beats_cocco_under_buffer_pressure(small_edge, search_config):
+    graph = _deep_cnn(batch=4)
+    mapper = CoreArrayMapper(small_edge)
+    cocco = CoccoScheduler(small_edge, search_config, mapper=mapper).schedule(graph)
+    soma = SoMaScheduler(small_edge, search_config, mapper=mapper).schedule(graph)
+    assert soma.evaluation.latency_s <= cocco.evaluation.latency_s * 1.02
+    assert soma.evaluation.energy_j <= cocco.evaluation.energy_j * 1.05
+
+
+def test_stage2_matches_or_beats_stage1_on_deep_cnn(small_edge, search_config):
+    graph = _deep_cnn(batch=2)
+    result = SoMaScheduler(small_edge, search_config).schedule(graph)
+    assert result.stage2.evaluation.latency_s <= result.stage1.evaluation.latency_s + 1e-12
+    assert result.stage2.evaluation.energy_j <= result.stage1.evaluation.energy_j * 1.0001
+
+
+def test_gpt2_tiny_prefill_and_decode_schedulable(small_edge, search_config):
+    prefill = build_workload("gpt2-prefill", batch=1, variant="tiny", seq_len=32)
+    decode = build_workload("gpt2-decode", batch=2, variant="tiny", context_len=32)
+    prefill_result = SoMaScheduler(small_edge, search_config).schedule(prefill)
+    decode_result = SoMaScheduler(small_edge, search_config).schedule(decode)
+    assert prefill_result.evaluation.feasible
+    assert decode_result.evaluation.feasible
+    # Decode has far lower compute density, hence far lower utilisation.
+    assert decode_result.evaluation.compute_utilization(small_edge) < (
+        prefill_result.evaluation.compute_utilization(small_edge)
+    )
+
+
+def test_comparison_row_on_deep_cnn(small_edge, search_config):
+    graph = _deep_cnn(batch=2)
+    row = compare_workload(graph, small_edge, config=search_config, seed=3)
+    assert row.speedup_total > 0.9
+    assert row.gap_to_bound_percent < 100.0
+
+
+def test_larger_buffer_never_hurts(search_config):
+    graph = _deep_cnn(batch=2)
+    small = edge_accelerator(gbuf_bytes=1 * MB, dram_bandwidth_gb_per_s=8.0)
+    large = edge_accelerator(gbuf_bytes=8 * MB, dram_bandwidth_gb_per_s=8.0)
+    result_small = SoMaScheduler(small, search_config).schedule(graph)
+    result_large = SoMaScheduler(large, search_config).schedule(graph)
+    assert result_large.evaluation.latency_s <= result_small.evaluation.latency_s * 1.05

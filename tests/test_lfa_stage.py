@@ -1,0 +1,159 @@
+"""Tests for the LFA exploration stage and its operators."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.config import SoMaConfig
+from repro.core.evaluator import ScheduleEvaluator
+from repro.core.lfa_stage import (
+    LFA_OPERATORS,
+    LFAStage,
+    initial_lfa,
+    op_add_dram_cut,
+    op_add_flc,
+    op_change_computing_order,
+    op_change_tiling_number,
+    op_delete_dram_cut,
+    op_delete_flc,
+)
+from repro.notation.lfa import LFA
+from repro.notation.parser import parse_lfa
+
+
+def test_initial_lfa_is_unfused_and_valid(linear_cnn):
+    lfa = initial_lfa(linear_cnn, kc_parallel_lanes=32)
+    lfa.validate(linear_cnn)
+    assert len(lfa.flg_ranges()) == len(linear_cnn)
+    assert lfa.dram_cut_set == lfa.flc_set
+
+
+def test_initial_lfa_uses_parallelism_tilings(linear_cnn):
+    lfa = initial_lfa(linear_cnn, kc_parallel_lanes=32)
+    assert all(t >= 1 for t in lfa.tiling_numbers.values())
+
+
+@pytest.mark.parametrize("operator", LFA_OPERATORS)
+def test_operators_produce_valid_encodings(branchy_cnn, operator):
+    rng = random.Random(0)
+    lfa = initial_lfa(branchy_cnn, kc_parallel_lanes=32)
+    produced_any = False
+    for _ in range(30):
+        candidate = operator(lfa, branchy_cnn, rng)
+        if candidate is None:
+            continue
+        produced_any = True
+        candidate.validate(branchy_cnn)
+        plan = parse_lfa(branchy_cnn, candidate)
+        assert plan is not None
+    # From the fully-unfused initial solution the "add" operators have nothing
+    # to add (every position is already an FLC / DRAM cut).
+    assert produced_any or operator in (op_add_flc, op_delete_flc, op_add_dram_cut)
+
+
+def test_change_order_preserves_dependencies(branchy_cnn):
+    rng = random.Random(1)
+    lfa = initial_lfa(branchy_cnn, kc_parallel_lanes=32)
+    for _ in range(50):
+        candidate = op_change_computing_order(lfa, branchy_cnn, rng)
+        if candidate is not None:
+            assert branchy_cnn.is_valid_order(candidate.computing_order)
+            lfa = candidate
+
+
+def test_change_tiling_number_multiplies_or_halves(linear_cnn):
+    rng = random.Random(2)
+    lfa = LFA.fully_fused(linear_cnn, tiling_number=4)
+    seen = set()
+    for _ in range(40):
+        candidate = op_change_tiling_number(lfa, linear_cnn, rng)
+        if candidate is not None:
+            seen.add(candidate.tiling_numbers[0])
+    assert seen <= {2, 8}
+    assert seen
+
+
+def test_add_then_delete_flc_round_trip(linear_cnn):
+    rng = random.Random(3)
+    lfa = LFA.fully_fused(linear_cnn, tiling_number=2)
+    added = op_add_flc(lfa, linear_cnn, rng)
+    assert added is not None
+    assert len(added.flc_set) == 1
+    new_cut = next(iter(added.flc_set))
+    assert added.tiling_numbers[new_cut] == 2  # split inherits the tiling number
+    removed = op_delete_flc(added, linear_cnn, rng)
+    assert removed is not None
+    assert removed.flc_set == frozenset()
+    removed.validate(linear_cnn)
+
+
+def test_delete_flc_never_removes_a_dram_cut(linear_cnn):
+    rng = random.Random(4)
+    order = tuple(linear_cnn.topological_order())
+    lfa = LFA(
+        computing_order=order,
+        flc_set=frozenset({2}),
+        dram_cut_set=frozenset({2}),
+        tiling_numbers={0: 1, 2: 1},
+    )
+    assert op_delete_flc(lfa, linear_cnn, rng) is None
+
+
+def test_add_dram_cut_requires_existing_flc(linear_cnn):
+    rng = random.Random(5)
+    lfa = LFA.fully_fused(linear_cnn)
+    assert op_add_dram_cut(lfa, linear_cnn, rng) is None
+    with_flc = op_add_flc(lfa, linear_cnn, rng)
+    promoted = op_add_dram_cut(with_flc, linear_cnn, rng)
+    assert promoted is not None
+    assert promoted.dram_cut_set <= promoted.flc_set
+
+
+def test_delete_dram_cut_keeps_flc(linear_cnn):
+    rng = random.Random(6)
+    lfa = initial_lfa(linear_cnn, kc_parallel_lanes=32)
+    demoted = op_delete_dram_cut(lfa, linear_cnn, rng)
+    assert demoted is not None
+    assert len(demoted.dram_cut_set) == len(lfa.dram_cut_set) - 1
+    assert demoted.flc_set == lfa.flc_set
+
+
+def test_stage_cost_penalises_buffer_overflow(linear_cnn, tiny_accelerator, fast_config):
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    stage = LFAStage(linear_cnn, evaluator, fast_config)
+    lfa = LFA.fully_fused(linear_cnn, tiling_number=1)
+    generous = stage.cost(lfa, tiny_accelerator.gbuf_bytes * 1000)
+    tight = stage.cost(lfa, 1024)
+    assert math.isfinite(generous)
+    assert tight > generous
+
+
+def test_stage_explore_improves_over_initial_solution(linear_cnn, tiny_accelerator, fast_config):
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    stage = LFAStage(linear_cnn, evaluator, fast_config)
+    rng = random.Random(fast_config.seed)
+    initial_cost = stage.cost(
+        initial_lfa(linear_cnn, tiny_accelerator.core_array.kc_parallel_lanes),
+        tiny_accelerator.gbuf_bytes,
+    )
+    outcome = stage.explore(tiny_accelerator.gbuf_bytes, rng)
+    assert outcome.stage_result.cost <= initial_cost
+    assert outcome.stage_result.evaluation.feasible
+    assert outcome.buffer_peak_bytes > 0
+
+
+def test_stage_explore_respects_budget_in_reported_peak(branchy_cnn, tiny_accelerator, fast_config):
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    stage = LFAStage(branchy_cnn, evaluator, fast_config)
+    outcome = stage.explore(tiny_accelerator.gbuf_bytes, random.Random(0))
+    assert outcome.buffer_peak_bytes <= tiny_accelerator.gbuf_bytes
+
+
+def test_stage_is_deterministic_given_seed(linear_cnn, tiny_accelerator, fast_config):
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    stage = LFAStage(linear_cnn, evaluator, fast_config)
+    first = stage.explore(tiny_accelerator.gbuf_bytes, random.Random(42)).stage_result
+    second = stage.explore(tiny_accelerator.gbuf_bytes, random.Random(42)).stage_result
+    assert first.cost == second.cost
+    assert first.encoding.lfa == second.encoding.lfa

@@ -1,0 +1,173 @@
+"""Tests for DRAM tensors and the DLSA encoding."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.notation.dlsa import DLSA
+from repro.notation.dram_tensor import DRAMTensor, TensorKind
+
+
+def _load(tid=0, first=2, last=4, source=None, kind=TensorKind.WEIGHT) -> DRAMTensor:
+    return DRAMTensor(
+        tid=tid,
+        kind=kind,
+        layer="conv",
+        tile_id=None,
+        num_bytes=1024,
+        first_use=first,
+        last_use=last,
+        source_layer=source,
+    )
+
+
+def _store(tid=1, produce=3) -> DRAMTensor:
+    return DRAMTensor(
+        tid=tid,
+        kind=TensorKind.OFMAP,
+        layer="conv",
+        tile_id=0,
+        num_bytes=2048,
+        first_use=produce,
+        last_use=produce,
+    )
+
+
+# ----------------------------------------------------------------- DRAMTensor
+def test_load_and_store_classification():
+    assert _load().is_load and not _load().is_store
+    assert _store().is_store and not _store().is_load
+    assert TensorKind.IFMAP.is_load
+    assert not TensorKind.OFMAP.is_load
+
+
+def test_default_living_duration_of_load():
+    tensor = _load(first=3, last=5)
+    assert tensor.default_start == 2
+    assert tensor.default_end == 6
+
+
+def test_default_living_duration_of_first_tile_load():
+    tensor = _load(first=0, last=0)
+    assert tensor.default_start == 0
+
+
+def test_default_living_duration_of_store():
+    tensor = _store(produce=4)
+    assert tensor.default_start == 4
+    assert tensor.default_end == 5
+
+
+def test_invalid_use_range_rejected():
+    with pytest.raises(ValueError):
+        DRAMTensor(
+            tid=0,
+            kind=TensorKind.WEIGHT,
+            layer="x",
+            tile_id=None,
+            num_bytes=1,
+            first_use=4,
+            last_use=2,
+        )
+
+
+def test_negative_bytes_rejected():
+    with pytest.raises(ValueError):
+        DRAMTensor(
+            tid=0,
+            kind=TensorKind.WEIGHT,
+            layer="x",
+            tile_id=None,
+            num_bytes=-1,
+            first_use=0,
+            last_use=0,
+        )
+
+
+def test_describe_prefixes():
+    assert _load(kind=TensorKind.WEIGHT).describe().startswith("W[")
+    assert _load(kind=TensorKind.IFMAP).describe().startswith("I[")
+    assert _store().describe().startswith("O[")
+
+
+# ----------------------------------------------------------------------- DLSA
+def test_from_defaults_orders_loads_before_dependent_uses():
+    tensors = [_load(tid=0, first=2, last=4), _store(tid=1, produce=3)]
+    dlsa = DLSA.from_defaults(tensors)
+    dlsa.validate(tensors)
+    assert set(dlsa.order) == {0, 1}
+    assert dlsa.living[0] == (1, 5)
+    assert dlsa.living[1] == (3, 4)
+
+
+def test_from_defaults_places_cross_lg_load_after_source_stores():
+    store = DRAMTensor(
+        tid=0,
+        kind=TensorKind.OFMAP,
+        layer="producer",
+        tile_id=0,
+        num_bytes=10,
+        first_use=5,
+        last_use=5,
+    )
+    load = DRAMTensor(
+        tid=1,
+        kind=TensorKind.IFMAP,
+        layer="consumer",
+        tile_id=0,
+        num_bytes=10,
+        first_use=6,
+        last_use=6,
+        source_layer="producer",
+    )
+    dlsa = DLSA.from_defaults([load, store])
+    assert dlsa.order.index(0) < dlsa.order.index(1)
+
+
+def test_validate_rejects_non_permutation():
+    tensors = [_load(tid=0), _store(tid=1)]
+    dlsa = DLSA(order=(0, 0), living={0: (1, 5), 1: (3, 4)})
+    with pytest.raises(EncodingError):
+        dlsa.validate(tensors)
+
+
+def test_validate_rejects_missing_living_duration():
+    tensors = [_load(tid=0), _store(tid=1)]
+    dlsa = DLSA(order=(0, 1), living={0: (1, 5)})
+    with pytest.raises(EncodingError):
+        dlsa.validate(tensors)
+
+
+def test_validate_rejects_changed_load_end():
+    tensors = [_load(tid=0, first=2, last=4)]
+    dlsa = DLSA(order=(0,), living={0: (1, 7)})
+    with pytest.raises(EncodingError):
+        dlsa.validate(tensors)
+
+
+def test_validate_rejects_late_load_start():
+    tensors = [_load(tid=0, first=2, last=4)]
+    dlsa = DLSA(order=(0,), living={0: (3, 5)})
+    with pytest.raises(EncodingError):
+        dlsa.validate(tensors)
+
+
+def test_validate_rejects_changed_store_start():
+    tensors = [_store(tid=0, produce=3)]
+    dlsa = DLSA(order=(0,), living={0: (2, 4)})
+    with pytest.raises(EncodingError):
+        dlsa.validate(tensors)
+
+
+def test_validate_rejects_store_deadline_at_or_before_produce():
+    tensors = [_store(tid=0, produce=3)]
+    dlsa = DLSA(order=(0,), living={0: (3, 3)})
+    with pytest.raises(EncodingError):
+        dlsa.validate(tensors)
+
+
+def test_validate_accepts_early_prefetch_and_late_drain():
+    tensors = [_load(tid=0, first=2, last=4), _store(tid=1, produce=3)]
+    dlsa = DLSA(order=(1, 0), living={0: (0, 5), 1: (3, 9)})
+    dlsa.validate(tensors)
+    assert dlsa.start(0) == 0
+    assert dlsa.end(1) == 9

@@ -1,0 +1,127 @@
+"""Tests for the LFA encoding structure and validation."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.notation.lfa import LFA
+
+
+def _order(graph):
+    return tuple(graph.topological_order())
+
+
+def test_unfused_lfa_one_group_per_layer(linear_cnn):
+    lfa = LFA.unfused(linear_cnn, tiling_number=2)
+    lfa.validate(linear_cnn)
+    assert lfa.flg_ranges() == [(i, i + 1) for i in range(len(linear_cnn))]
+    assert lfa.lg_ranges() == lfa.flg_ranges()
+    assert all(t == 2 for t in lfa.tiling_numbers.values())
+
+
+def test_fully_fused_lfa_single_group(linear_cnn):
+    lfa = LFA.fully_fused(linear_cnn, tiling_number=4)
+    lfa.validate(linear_cnn)
+    assert lfa.flg_ranges() == [(0, len(linear_cnn))]
+    assert lfa.lg_ranges() == [(0, len(linear_cnn))]
+
+
+def test_flg_and_lg_partition(linear_cnn):
+    order = _order(linear_cnn)
+    lfa = LFA(
+        computing_order=order,
+        flc_set=frozenset({1, 3}),
+        dram_cut_set=frozenset({3}),
+        tiling_numbers={0: 2, 1: 1, 3: 2},
+    )
+    lfa.validate(linear_cnn)
+    assert lfa.flg_layers() == [list(order[0:1]), list(order[1:3]), list(order[3:5])]
+    assert lfa.lg_layers() == [list(order[0:3]), list(order[3:5])]
+
+
+def test_flg_of_position_and_tiling_lookup(linear_cnn):
+    order = _order(linear_cnn)
+    lfa = LFA(
+        computing_order=order,
+        flc_set=frozenset({2}),
+        dram_cut_set=frozenset(),
+        tiling_numbers={0: 4, 2: 8},
+    )
+    assert lfa.flg_of_position(0) == 0
+    assert lfa.flg_of_position(1) == 0
+    assert lfa.flg_of_position(2) == 1
+    assert lfa.tiling_number_of_flg(0) == 4
+    assert lfa.tiling_number_of_flg(1) == 8
+
+
+def test_invalid_computing_order_rejected(branchy_cnn):
+    order = list(branchy_cnn.topological_order())
+    order[0], order[-1] = order[-1], order[0]
+    lfa = LFA(
+        computing_order=tuple(order),
+        flc_set=frozenset(),
+        dram_cut_set=frozenset(),
+        tiling_numbers={0: 1},
+    )
+    with pytest.raises(EncodingError):
+        lfa.validate(branchy_cnn)
+
+
+def test_wrong_layer_count_rejected(linear_cnn):
+    lfa = LFA(
+        computing_order=_order(linear_cnn)[:-1],
+        flc_set=frozenset(),
+        dram_cut_set=frozenset(),
+        tiling_numbers={0: 1},
+    )
+    with pytest.raises(EncodingError):
+        lfa.validate(linear_cnn)
+
+
+def test_dram_cut_must_be_subset_of_flc(linear_cnn):
+    lfa = LFA(
+        computing_order=_order(linear_cnn),
+        flc_set=frozenset({2}),
+        dram_cut_set=frozenset({3}),
+        tiling_numbers={0: 1, 2: 1},
+    )
+    with pytest.raises(EncodingError):
+        lfa.validate(linear_cnn)
+
+
+def test_cut_position_out_of_range_rejected(linear_cnn):
+    lfa = LFA(
+        computing_order=_order(linear_cnn),
+        flc_set=frozenset({len(linear_cnn)}),
+        dram_cut_set=frozenset(),
+        tiling_numbers={0: 1, len(linear_cnn): 1},
+    )
+    with pytest.raises(EncodingError):
+        lfa.validate(linear_cnn)
+
+
+def test_tiling_keys_must_match_group_starts(linear_cnn):
+    lfa = LFA(
+        computing_order=_order(linear_cnn),
+        flc_set=frozenset({2}),
+        dram_cut_set=frozenset(),
+        tiling_numbers={0: 1},
+    )
+    with pytest.raises(EncodingError):
+        lfa.validate(linear_cnn)
+
+
+def test_non_positive_tiling_number_rejected(linear_cnn):
+    lfa = LFA(
+        computing_order=_order(linear_cnn),
+        flc_set=frozenset(),
+        dram_cut_set=frozenset(),
+        tiling_numbers={0: 0},
+    )
+    with pytest.raises(EncodingError):
+        lfa.validate(linear_cnn)
+
+
+def test_describe_mentions_groups(linear_cnn):
+    lfa = LFA.unfused(linear_cnn)
+    text = lfa.describe()
+    assert "FLGs" in text and "LGs" in text

@@ -1,0 +1,231 @@
+"""Tests for LFA parsing: tile sequences, DRAM tensors and buffer lifetimes."""
+
+import pytest
+
+from repro.notation.dram_tensor import TensorKind
+from repro.notation.lfa import LFA
+from repro.notation.parser import parse_lfa
+from repro.workloads.builder import GraphBuilder
+
+
+def _chain(depth=3, size=16, batch=1):
+    builder = GraphBuilder("chain", batch=batch)
+    previous = builder.conv("conv0", [], 8, kernel=3, input_shape=(3, size, size))
+    for index in range(1, depth):
+        previous = builder.conv(f"conv{index}", [previous], 8, kernel=3)
+    return builder.build()
+
+
+def _weights(plan):
+    return plan.tensors_by_kind(TensorKind.WEIGHT)
+
+
+def _ifmaps(plan):
+    return plan.tensors_by_kind(TensorKind.IFMAP)
+
+
+def _ofmaps(plan):
+    return plan.tensors_by_kind(TensorKind.OFMAP)
+
+
+# ----------------------------------------------------------- basic structure
+def test_unfused_plan_has_one_lg_per_layer(linear_cnn):
+    plan = parse_lfa(linear_cnn, LFA.unfused(linear_cnn))
+    assert plan.feasible
+    assert plan.num_lgs == len(linear_cnn)
+    assert plan.num_flgs == len(linear_cnn)
+    assert plan.num_tiles == len(linear_cnn)
+
+
+def test_fully_fused_plan_has_single_lg(linear_cnn):
+    plan = parse_lfa(linear_cnn, LFA.fully_fused(linear_cnn))
+    assert plan.num_lgs == 1
+    assert plan.num_flgs == 1
+
+
+def test_tile_sequence_interleaves_layers_within_flg():
+    graph = _chain(depth=3, size=32)
+    plan = parse_lfa(graph, LFA.fully_fused(graph, tiling_number=2))
+    sequence = [(tile.layer, tile.tile_id) for tile in plan.tiles]
+    assert sequence == [
+        ("conv0", 0),
+        ("conv1", 0),
+        ("conv2", 0),
+        ("conv0", 1),
+        ("conv1", 1),
+        ("conv2", 1),
+    ]
+
+
+def test_tile_indices_are_consecutive(linear_cnn):
+    plan = parse_lfa(linear_cnn, LFA.unfused(linear_cnn, tiling_number=2))
+    assert [tile.index for tile in plan.tiles] == list(range(plan.num_tiles))
+
+
+# ------------------------------------------------------------- DRAM tensors
+def test_every_weighted_layer_has_exactly_one_weight_tensor(linear_cnn):
+    plan = parse_lfa(linear_cnn, LFA.unfused(linear_cnn))
+    weighted = [
+        name for name in linear_cnn.layer_names() if linear_cnn.layer(name).weight_bytes > 0
+    ]
+    weights = _weights(plan)
+    assert sorted(t.layer for t in weights) == sorted(weighted)
+    for tensor in weights:
+        assert tensor.num_bytes == linear_cnn.layer(tensor.layer).weight_bytes
+
+
+def test_unfused_plan_round_trips_every_intermediate_fmap(linear_cnn):
+    plan = parse_lfa(linear_cnn, LFA.unfused(linear_cnn))
+    # Every layer stores its ofmap; every non-input layer loads its ifmap back.
+    assert {t.layer for t in _ofmaps(plan)} == set(linear_cnn.layer_names())
+    loaders = {t.layer for t in _ifmaps(plan)}
+    assert loaders == set(linear_cnn.layer_names())
+
+
+def test_fully_fused_plan_only_touches_network_boundary(linear_cnn):
+    plan = parse_lfa(linear_cnn, LFA.fully_fused(linear_cnn))
+    assert {t.layer for t in _ifmaps(plan)} == set(linear_cnn.input_layers())
+    assert {t.layer for t in _ofmaps(plan)} == set(linear_cnn.output_layers())
+    assert len(_weights(plan)) == len(
+        [n for n in linear_cnn.layer_names() if linear_cnn.layer(n).weight_bytes > 0]
+    )
+
+
+def test_fused_plan_moves_less_dram_traffic_than_unfused(linear_cnn):
+    unfused = parse_lfa(linear_cnn, LFA.unfused(linear_cnn))
+    fused = parse_lfa(linear_cnn, LFA.fully_fused(linear_cnn))
+    assert fused.total_dram_bytes < unfused.total_dram_bytes
+    # Weights are incompressible: both plans carry them in full.
+    assert sum(t.num_bytes for t in _weights(fused)) == sum(
+        t.num_bytes for t in _weights(unfused)
+    )
+
+
+def test_cross_lg_load_records_source_layer(linear_cnn):
+    plan = parse_lfa(linear_cnn, LFA.unfused(linear_cnn))
+    for tensor in _ifmaps(plan):
+        if tensor.layer in linear_cnn.input_layers():
+            assert tensor.source_layer is None
+        else:
+            assert tensor.source_layer in linear_cnn.predecessors(tensor.layer)
+
+
+def test_store_bytes_sum_to_fair_share_of_ofmap():
+    graph = _chain(depth=2, size=16)
+    order = tuple(graph.topological_order())
+    lfa = LFA(
+        computing_order=order,
+        flc_set=frozenset({1}),
+        dram_cut_set=frozenset({1}),
+        tiling_numbers={0: 4, 1: 4},
+    )
+    plan = parse_lfa(graph, lfa)
+    conv0_stores = [t for t in _ofmaps(plan) if t.layer == "conv0"]
+    total = sum(t.num_bytes for t in conv0_stores)
+    assert total == pytest.approx(graph.layer("conv0").ofmap_bytes, rel=0.05)
+
+
+def test_canonical_tensor_ids_are_dense_and_sorted(linear_cnn):
+    plan = parse_lfa(linear_cnn, LFA.unfused(linear_cnn, tiling_number=2))
+    tids = [t.tid for t in plan.dram_tensors]
+    assert tids == list(range(len(tids)))
+    anchors = [t.first_use for t in plan.dram_tensors]
+    assert anchors == sorted(anchors)
+
+
+def test_tile_required_loads_reference_first_use(linear_cnn):
+    plan = parse_lfa(linear_cnn, LFA.unfused(linear_cnn))
+    for tile_index, tids in enumerate(plan.tile_required_loads):
+        for tid in tids:
+            assert plan.tensor(tid).first_use == tile_index
+            assert plan.tensor(tid).is_load
+
+
+def test_weight_tensor_spans_all_tiles_of_its_layer():
+    graph = _chain(depth=2, size=32)
+    plan = parse_lfa(graph, LFA.fully_fused(graph, tiling_number=4))
+    weight = next(t for t in _weights(plan) if t.layer == "conv1")
+    layer_tiles = [t.index for t in plan.tiles_of_layer("conv1")]
+    assert weight.first_use == layer_tiles[0]
+    assert weight.last_use == layer_tiles[-1]
+
+
+# -------------------------------------------------------- untiled dependencies
+def test_untiled_dependency_within_tiled_flg_is_infeasible(tiny_gpt_prefill):
+    lfa = LFA.fully_fused(tiny_gpt_prefill, tiling_number=4)
+    plan = parse_lfa(tiny_gpt_prefill, lfa)
+    assert not plan.feasible
+    assert "untiled dependency" in plan.infeasibility_reason
+
+
+def test_untiled_dependency_with_tiling_one_is_feasible(tiny_gpt_prefill):
+    plan = parse_lfa(tiny_gpt_prefill, LFA.fully_fused(tiny_gpt_prefill, tiling_number=1))
+    assert plan.feasible
+
+
+def test_untiled_cross_lg_dependency_becomes_single_layer_load(tiny_gpt_prefill):
+    # Cut right before the first attention score layer so its K operand
+    # crosses the DRAM cut as one whole-layer load.
+    order = tuple(tiny_gpt_prefill.topological_order())
+    score_position = order.index("block1_attn_score")
+    cuts = frozenset({score_position})
+    lfa = LFA(
+        computing_order=order,
+        flc_set=cuts,
+        dram_cut_set=cuts,
+        tiling_numbers={0: 1, score_position: 1},
+    )
+    plan = parse_lfa(tiny_gpt_prefill, lfa)
+    assert plan.feasible
+    k_loads = [
+        t for t in _ifmaps(plan) if t.layer == "block1_attn_score" and t.source_layer == "block1_k_proj"
+    ]
+    assert len(k_loads) == 1
+    assert k_loads[0].tile_id is None
+    assert k_loads[0].num_bytes == tiny_gpt_prefill.layer("block1_k_proj").ofmap_bytes
+
+
+# ----------------------------------------------------------- buffer lifetimes
+def test_onchip_intervals_only_for_intra_lg_dependencies(linear_cnn):
+    unfused = parse_lfa(linear_cnn, LFA.unfused(linear_cnn))
+    fused = parse_lfa(linear_cnn, LFA.fully_fused(linear_cnn))
+    assert unfused.onchip_intervals == []
+    assert len(fused.onchip_intervals) >= len(linear_cnn) - 1
+
+
+def test_onchip_interval_spans_producer_to_consumer():
+    graph = _chain(depth=2, size=16)
+    plan = parse_lfa(graph, LFA.fully_fused(graph, tiling_number=1))
+    interval = next(i for i in plan.onchip_intervals if i.label.startswith("conv0"))
+    producer_tile = plan.tiles_of_layer("conv0")[0].index
+    consumer_tile = plan.tiles_of_layer("conv1")[0].index
+    assert interval.start_tile == producer_tile
+    assert interval.end_tile == consumer_tile
+
+
+def test_cross_flg_dependency_holds_whole_fmap_until_consumer_done():
+    graph = _chain(depth=2, size=32)
+    order = tuple(graph.topological_order())
+    lfa = LFA(
+        computing_order=order,
+        flc_set=frozenset({1}),
+        dram_cut_set=frozenset(),
+        tiling_numbers={0: 2, 1: 2},
+    )
+    plan = parse_lfa(graph, lfa)
+    conv0_intervals = [i for i in plan.onchip_intervals if i.label.startswith("conv0")]
+    last_consumer_tile = plan.tiles_of_layer("conv1")[-1].index
+    assert len(conv0_intervals) == 2
+    assert all(i.end_tile == last_consumer_tile for i in conv0_intervals)
+
+
+def test_plan_statistics_and_describe(linear_cnn):
+    plan = parse_lfa(linear_cnn, LFA.fully_fused(linear_cnn))
+    assert plan.total_ops > 0
+    assert plan.total_dram_load_bytes + plan.total_dram_store_bytes == plan.total_dram_bytes
+    assert "LGs" in plan.describe()
+
+
+def test_infeasible_plan_describe(tiny_gpt_prefill):
+    plan = parse_lfa(tiny_gpt_prefill, LFA.fully_fused(tiny_gpt_prefill, tiling_number=4))
+    assert "infeasible" in plan.describe()

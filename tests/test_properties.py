@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import normalize
+from repro.core.config import SAParams
+from repro.core.double_buffer import double_buffer_dlsa
+from repro.core.evaluator import ScheduleEvaluator
+from repro.core.lfa_stage import LFA_OPERATORS, initial_lfa
+from repro.notation.lfa import LFA
+from repro.notation.parser import parse_lfa
+from repro.tiling.heuristics import next_power_of_two
+from repro.tiling.partition import split_counts, tile_flg
+from repro.workloads.builder import GraphBuilder
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+
+
+# --------------------------------------------------------------------- tiling
+@given(
+    batch=st.integers(min_value=1, max_value=64),
+    height=st.integers(min_value=1, max_value=256),
+    width=st.integers(min_value=1, max_value=256),
+    num_tiles=st.integers(min_value=1, max_value=1024),
+)
+@_SETTINGS
+def test_split_counts_product_never_exceeds_request_or_extent(batch, height, width, num_tiles):
+    b, h, w = split_counts(batch, height, width, num_tiles)
+    assert 1 <= b <= batch
+    assert 1 <= h <= height
+    assert 1 <= w <= width
+    assert b * h * w <= max(num_tiles, 1) * 2  # power-of-two rounding slack
+    assert b * h * w <= batch * height * width
+
+
+@given(value=st.integers(min_value=0, max_value=1_000_000))
+@_SETTINGS
+def test_next_power_of_two_properties(value):
+    result = next_power_of_two(value)
+    assert result >= max(1, value)
+    assert result & (result - 1) == 0
+    if value > 1:
+        assert result < 2 * value
+
+
+def _chain_graph(depth: int, size: int, kernel: int, batch: int):
+    builder = GraphBuilder("prop_chain", batch=batch)
+    previous = builder.conv(
+        "conv0", [], 8, kernel=kernel, input_shape=(3, size, size)
+    )
+    for index in range(1, depth):
+        previous = builder.conv(f"conv{index}", [previous], 8, kernel=kernel)
+    return builder.build()
+
+
+@given(
+    depth=st.integers(min_value=1, max_value=4),
+    size=st.sampled_from([8, 16, 32]),
+    kernel=st.sampled_from([1, 3, 5]),
+    tiling=st.sampled_from([1, 2, 4, 8]),
+)
+@_SETTINGS
+def test_tile_flg_macs_cover_nominal_work(depth, size, kernel, tiling):
+    graph = _chain_graph(depth, size, kernel, batch=1)
+    tilings = tile_flg(graph, graph.layer_names(), tiling)
+    for name, layer_tiling in tilings.items():
+        layer = graph.layer(name)
+        # Halo recomputation can only add work, never lose it.
+        assert layer_tiling.total_macs >= layer.macs
+        assert layer_tiling.out_tile.height <= layer.out_height
+        assert layer_tiling.out_tile.width <= layer.out_width
+        assert layer_tiling.ifmap_tile_bytes <= layer.ifmap_bytes
+        assert layer_tiling.num_tiles <= tiling
+
+
+# -------------------------------------------------------------------- parser
+@given(
+    depth=st.integers(min_value=2, max_value=5),
+    tiling=st.sampled_from([1, 2, 4]),
+    cut_seed=st.integers(min_value=0, max_value=10_000),
+)
+@_SETTINGS
+def test_parser_invariants_on_random_cuts(depth, tiling, cut_seed):
+    graph = _chain_graph(depth, 16, 3, batch=1)
+    rng = random.Random(cut_seed)
+    order = tuple(graph.topological_order())
+    positions = list(range(1, len(order)))
+    flc = frozenset(p for p in positions if rng.random() < 0.5)
+    dram = frozenset(p for p in flc if rng.random() < 0.5)
+    tilings = {0: tiling, **{p: tiling for p in flc}}
+    lfa = LFA(computing_order=order, flc_set=flc, dram_cut_set=dram, tiling_numbers=tilings)
+    plan = parse_lfa(graph, lfa)
+    assert plan.feasible
+    # Tile indices are dense and every layer appears the right number of times.
+    assert [t.index for t in plan.tiles] == list(range(plan.num_tiles))
+    for name in graph.layer_names():
+        assert len(plan.tiles_of_layer(name)) == plan.layer_tilings[name].num_tiles
+    # Loads precede or meet their users; stores anchor at their producers.
+    for tensor in plan.dram_tensors:
+        assert 0 <= tensor.first_use <= tensor.last_use < plan.num_tiles
+    # Weight bytes through DRAM equal the network's weights exactly.
+    weight_bytes = sum(
+        t.num_bytes for t in plan.dram_tensors if t.kind.value == "weight"
+    )
+    assert weight_bytes == graph.total_weight_bytes
+    # The number of LGs matches the DRAM cut count.
+    assert plan.num_lgs == len(dram) + 1
+    assert plan.num_flgs == len(flc) + 1
+
+
+@given(
+    depth=st.integers(min_value=2, max_value=4),
+    tiling=st.sampled_from([1, 2, 4]),
+    cut_seed=st.integers(min_value=0, max_value=10_000),
+)
+@_SETTINGS
+def test_evaluator_latency_bounds_on_random_cuts(depth, tiling, cut_seed, tiny_accelerator):
+    graph = _chain_graph(depth, 16, 3, batch=1)
+    rng = random.Random(cut_seed)
+    order = tuple(graph.topological_order())
+    positions = list(range(1, len(order)))
+    flc = frozenset(p for p in positions if rng.random() < 0.5)
+    dram = frozenset(p for p in flc if rng.random() < 0.5)
+    tilings = {0: tiling, **{p: tiling for p in flc}}
+    lfa = LFA(computing_order=order, flc_set=flc, dram_cut_set=dram, tiling_numbers=tilings)
+    plan = parse_lfa(graph, lfa)
+    dlsa = double_buffer_dlsa(plan)
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    result = evaluator.evaluate(plan, dlsa, buffer_budget_bytes=10**12)
+    assert result.feasible
+    assert result.latency_s >= max(result.compute_time_sum_s, result.dram_time_sum_s) - 1e-12
+    assert result.latency_s <= result.compute_time_sum_s + result.dram_time_sum_s + 1e-12
+    assert result.energy_j > 0
+    assert result.max_buffer_bytes > 0
+
+
+# ---------------------------------------------------------------- LFA moves
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    steps=st.integers(min_value=1, max_value=25),
+)
+@_SETTINGS
+def test_random_operator_walks_preserve_encoding_validity(seed, steps):
+    builder = GraphBuilder("walk", batch=1)
+    stem = builder.conv("stem", [], 8, kernel=3, input_shape=(3, 16, 16))
+    left = builder.conv("left", [stem], 8, kernel=3)
+    right = builder.conv("right", [stem], 8, kernel=1)
+    merge = builder.eltwise("merge", [left, right])
+    builder.conv("head", [merge], 16, kernel=3)
+    graph = builder.build()
+
+    rng = random.Random(seed)
+    lfa = initial_lfa(graph, kc_parallel_lanes=32)
+    for _ in range(steps):
+        operator = rng.choice(LFA_OPERATORS)
+        candidate = operator(lfa, graph, rng)
+        if candidate is None:
+            continue
+        candidate.validate(graph)
+        plan = parse_lfa(graph, candidate)
+        if plan.feasible:
+            assert plan.num_tiles > 0
+        lfa = candidate
+
+
+# ------------------------------------------------------------------- metrics
+@given(st.lists(st.floats(min_value=0, max_value=1e9, allow_nan=False), max_size=40))
+@_SETTINGS
+def test_normalize_output_in_unit_interval(values):
+    normalised = normalize(values)
+    assert len(normalised) == len(values)
+    assert all(0.0 <= v <= 1.0 for v in normalised)
+    if values and max(values) > 0:
+        assert max(normalised) == 1.0
+
+
+# ---------------------------------------------------------------------- SA
+@given(
+    alpha=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    t0=st.floats(min_value=1e-3, max_value=5.0, allow_nan=False),
+    total=st.integers(min_value=1, max_value=500),
+)
+@_SETTINGS
+def test_cooling_schedule_bounded_and_decreasing(alpha, t0, total):
+    params = SAParams(iterations_per_unit=1, initial_temperature=t0, cooling_alpha=alpha)
+    temperatures = [params.temperature(i, total) for i in range(total + 1)]
+    assert all(0.0 <= t <= t0 for t in temperatures)
+    assert all(a >= b - 1e-12 for a, b in zip(temperatures, temperatures[1:]))

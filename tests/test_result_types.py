@@ -1,0 +1,126 @@
+"""Focused tests for the result dataclasses and report helpers."""
+
+import math
+
+import pytest
+
+from repro.core.result import EvaluationResult, SoMaResult, StageResult, TileRecord, TransferRecord
+from repro.hardware.accelerator import edge_accelerator
+from repro.notation.dlsa import DLSA
+from repro.notation.encoding import ScheduleEncoding
+from repro.notation.lfa import LFA
+from repro.notation.parser import parse_lfa
+
+
+def _feasible_result(latency=1e-3, energy=2e-3, **overrides) -> EvaluationResult:
+    fields = dict(
+        feasible=True,
+        latency_s=latency,
+        energy_j=energy,
+        core_energy_j=energy * 0.6,
+        dram_energy_j=energy * 0.4,
+        compute_time_sum_s=latency * 0.7,
+        dram_time_sum_s=latency * 0.9,
+        total_ops=int(1e9),
+        total_dram_bytes=int(1e7),
+        max_buffer_bytes=1 << 20,
+        avg_buffer_bytes=1 << 19,
+        num_tiles=10,
+        num_dram_tensors=12,
+        num_lgs=2,
+        num_flgs=3,
+    )
+    fields.update(overrides)
+    return EvaluationResult(**fields)
+
+
+def test_infeasible_default_is_infinite():
+    result = EvaluationResult(feasible=False, reason="why not")
+    assert math.isinf(result.latency_s)
+    assert math.isinf(result.objective())
+    assert result.describe().startswith("infeasible")
+    assert result.theoretical_max_utilization(edge_accelerator()) == 0.0
+    assert result.buffer_utilization(edge_accelerator()) == 0.0
+
+
+def test_feasible_describe_contains_numbers():
+    text = _feasible_result().describe()
+    assert "latency=" in text and "energy=" in text and "peak_buffer=" in text
+
+
+def test_utilization_capped_and_positive():
+    accelerator = edge_accelerator()
+    result = _feasible_result()
+    assert 0 < result.compute_utilization(accelerator) <= 1.0
+    assert 0 < result.dram_utilization() <= 1.0
+    assert 0 < result.buffer_utilization(accelerator)
+
+
+def test_theoretical_bound_uses_slower_engine():
+    accelerator = edge_accelerator()
+    compute_bound = _feasible_result(compute_time_sum_s=9e-4, dram_time_sum_s=1e-4)
+    dram_bound = _feasible_result(compute_time_sum_s=1e-4, dram_time_sum_s=9e-4)
+    assert compute_bound.theoretical_max_utilization(accelerator) == pytest.approx(
+        dram_bound.theoretical_max_utilization(accelerator)
+    )
+
+
+def test_records_are_plain_value_objects():
+    tile = TileRecord(index=3, start_s=0.1, finish_s=0.2)
+    transfer = TransferRecord(tid=5, start_s=0.0, finish_s=0.3)
+    assert tile.finish_s > tile.start_s
+    assert transfer.tid == 5
+
+
+def _stage_result(graph, latency, cost):
+    lfa = LFA.fully_fused(graph)
+    plan = parse_lfa(graph, lfa)
+    dlsa = DLSA.from_defaults(plan.dram_tensors)
+    return StageResult(
+        encoding=ScheduleEncoding(lfa=lfa, dlsa=dlsa),
+        evaluation=_feasible_result(latency=latency),
+        cost=cost,
+        iterations=10,
+        accepted_moves=5,
+    )
+
+
+def test_soma_result_best_prefers_stage2(linear_cnn):
+    stage1 = _stage_result(linear_cnn, latency=2e-3, cost=2.0)
+    stage2 = _stage_result(linear_cnn, latency=1e-3, cost=1.0)
+    plan = parse_lfa(linear_cnn, stage2.encoding.lfa)
+    result = SoMaResult(
+        workload_name=linear_cnn.name,
+        accelerator_name="edge",
+        stage1=stage1,
+        stage2=stage2,
+        allocator_iterations=1,
+        stage1_buffer_budget_bytes=1 << 20,
+        plan=plan,
+        dlsa=stage2.encoding.dlsa,
+    )
+    assert result.best is stage2
+    assert result.evaluation.latency_s == pytest.approx(1e-3)
+    assert result.speedup_over(2e-3) == pytest.approx(2.0)
+
+
+def test_soma_result_falls_back_to_stage1_when_stage2_worse(linear_cnn):
+    stage1 = _stage_result(linear_cnn, latency=1e-3, cost=1.0)
+    stage2 = _stage_result(linear_cnn, latency=2e-3, cost=2.0)
+    plan = parse_lfa(linear_cnn, stage1.encoding.lfa)
+    result = SoMaResult(
+        workload_name=linear_cnn.name,
+        accelerator_name="edge",
+        stage1=stage1,
+        stage2=stage2,
+        allocator_iterations=1,
+        stage1_buffer_budget_bytes=1 << 20,
+        plan=plan,
+        dlsa=stage1.encoding.dlsa,
+    )
+    assert result.best is stage1
+
+
+def test_stage_result_feasibility_passthrough(linear_cnn):
+    stage = _stage_result(linear_cnn, latency=1e-3, cost=1.0)
+    assert stage.feasible

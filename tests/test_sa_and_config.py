@@ -1,0 +1,179 @@
+"""Tests for the SA engine, its cooling schedule and the framework config."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.config import SAParams, SoMaConfig
+from repro.core.sa import SimulatedAnnealing
+from repro.errors import ConfigurationError
+
+
+# -------------------------------------------------------------------- SAParams
+def test_iteration_budget_scales_with_units():
+    params = SAParams(iterations_per_unit=10, max_iterations=1000, min_iterations=5)
+    assert params.num_iterations(3) == 30
+    assert params.num_iterations(500) == 1000  # capped
+    assert params.num_iterations(0) == 10  # at least one unit
+
+
+def test_temperature_schedule_matches_paper_formula():
+    params = SAParams(iterations_per_unit=1, initial_temperature=1.0, cooling_alpha=2.0)
+    n, total = 50, 100
+    expected = 1.0 * (1 - n / total) / (1 + 2.0 * n / total)
+    assert params.temperature(n, total) == pytest.approx(expected)
+
+
+def test_temperature_decreases_monotonically():
+    params = SAParams(iterations_per_unit=1)
+    total = 200
+    temperatures = [params.temperature(i, total) for i in range(total + 1)]
+    assert all(a >= b for a, b in zip(temperatures, temperatures[1:]))
+    assert temperatures[-1] == pytest.approx(0.0)
+
+
+def test_invalid_sa_params_rejected():
+    with pytest.raises(ConfigurationError):
+        SAParams(iterations_per_unit=0)
+    with pytest.raises(ConfigurationError):
+        SAParams(iterations_per_unit=1, initial_temperature=0)
+    with pytest.raises(ConfigurationError):
+        SAParams(iterations_per_unit=1, max_iterations=4, min_iterations=8)
+
+
+# ------------------------------------------------------------------ SoMaConfig
+def test_objective_exponents():
+    config = SoMaConfig(energy_exponent=2.0, delay_exponent=1.0)
+    assert config.objective(3.0, 5.0) == pytest.approx(45.0)
+
+
+def test_default_objective_is_edp():
+    assert SoMaConfig().objective(2.0, 4.0) == pytest.approx(8.0)
+
+
+def test_paper_config_uses_published_budgets():
+    paper = SoMaConfig.paper()
+    assert paper.lfa_sa.iterations_per_unit == 100.0
+    assert paper.dlsa_sa.iterations_per_unit == 1000.0
+
+
+def test_fast_config_is_cheaper_than_default():
+    assert SoMaConfig.fast().lfa_sa.max_iterations < SoMaConfig().lfa_sa.max_iterations
+
+
+def test_with_seed_returns_copy():
+    config = SoMaConfig()
+    reseeded = config.with_seed(99)
+    assert reseeded.seed == 99
+    assert config.seed != 99 or config is not reseeded
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ConfigurationError):
+        SoMaConfig(energy_exponent=0.0, delay_exponent=0.0)
+    with pytest.raises(ConfigurationError):
+        SoMaConfig(buffer_shrink_fraction=1.5)
+    with pytest.raises(ConfigurationError):
+        SoMaConfig(max_allocator_iterations=0)
+    with pytest.raises(ConfigurationError):
+        SoMaConfig(buffer_overflow_penalty=-1)
+
+
+# ----------------------------------------------------------------- SA engine
+def _quadratic_cost(state: int) -> float:
+    return float((state - 17) ** 2 + 1)
+
+
+def _step_neighbor(state: int, rng: random.Random) -> int:
+    return state + rng.choice([-3, -2, -1, 1, 2, 3])
+
+
+def test_sa_minimises_simple_quadratic():
+    annealer = SimulatedAnnealing(SAParams(iterations_per_unit=50, max_iterations=2000))
+    outcome = annealer.run(
+        initial_state=100,
+        cost_fn=_quadratic_cost,
+        neighbor_fn=_step_neighbor,
+        rng=random.Random(3),
+        units=20,
+    )
+    assert outcome.best_cost <= _quadratic_cost(100)
+    assert abs(outcome.best_state - 17) <= 3
+
+
+def test_sa_never_loses_the_best_solution():
+    annealer = SimulatedAnnealing(SAParams(iterations_per_unit=20))
+    outcome = annealer.run(
+        initial_state=0,
+        cost_fn=_quadratic_cost,
+        neighbor_fn=_step_neighbor,
+        rng=random.Random(5),
+        units=10,
+        trace=True,
+    )
+    assert list(outcome.cost_trace) == sorted(outcome.cost_trace, reverse=True)
+    assert outcome.best_cost == min(outcome.cost_trace)
+
+
+def test_sa_handles_neighbors_returning_none():
+    annealer = SimulatedAnnealing(SAParams(iterations_per_unit=5))
+    outcome = annealer.run(
+        initial_state=1,
+        cost_fn=_quadratic_cost,
+        neighbor_fn=lambda state, rng: None,
+        rng=random.Random(0),
+        units=4,
+    )
+    assert outcome.best_state == 1
+    assert outcome.accepted_moves == 0
+
+
+def test_sa_never_accepts_infeasible_candidates():
+    annealer = SimulatedAnnealing(SAParams(iterations_per_unit=20))
+
+    def cost(state):
+        return math.inf if state != 0 else 1.0
+
+    outcome = annealer.run(
+        initial_state=0,
+        cost_fn=cost,
+        neighbor_fn=_step_neighbor,
+        rng=random.Random(1),
+        units=10,
+    )
+    assert outcome.best_state == 0
+    assert outcome.best_cost == 1.0
+
+
+def test_sa_escapes_infeasible_initial_state():
+    annealer = SimulatedAnnealing(SAParams(iterations_per_unit=30))
+
+    def cost(state):
+        return math.inf if state < 0 else float(state + 1)
+
+    outcome = annealer.run(
+        initial_state=-5,
+        cost_fn=cost,
+        neighbor_fn=lambda s, rng: s + rng.choice([1, 2]),
+        rng=random.Random(2),
+        units=10,
+    )
+    assert math.isfinite(outcome.best_cost)
+
+
+def test_sa_is_deterministic_for_fixed_seed():
+    annealer = SimulatedAnnealing(SAParams(iterations_per_unit=25))
+    outcomes = [
+        annealer.run(
+            initial_state=40,
+            cost_fn=_quadratic_cost,
+            neighbor_fn=_step_neighbor,
+            rng=random.Random(11),
+            units=10,
+        )
+        for _ in range(2)
+    ]
+    assert outcomes[0].best_state == outcomes[1].best_state
+    assert outcomes[0].best_cost == outcomes[1].best_cost
+    assert outcomes[0].accepted_moves == outcomes[1].accepted_moves

@@ -1,0 +1,129 @@
+"""Tests for the detailed schedule report and the SA time-limit option."""
+
+import random
+import time
+
+import pytest
+
+from repro.analysis.schedule_report import build_schedule_report
+from repro.core.config import SAParams
+from repro.core.double_buffer import double_buffer_dlsa
+from repro.core.evaluator import ScheduleEvaluator
+from repro.core.sa import SimulatedAnnealing
+from repro.errors import ConfigurationError
+from repro.notation.dram_tensor import TensorKind
+from repro.notation.lfa import LFA
+from repro.notation.parser import parse_lfa
+
+
+# -------------------------------------------------------------- report content
+def _report(graph, accelerator, lfa=None):
+    plan = parse_lfa(graph, lfa if lfa is not None else LFA.fully_fused(graph, tiling_number=2))
+    dlsa = double_buffer_dlsa(plan)
+    evaluation = ScheduleEvaluator(accelerator).evaluate(plan, dlsa)
+    return plan, build_schedule_report(plan, evaluation)
+
+
+def test_report_group_structure(linear_cnn, tiny_accelerator):
+    plan, report = _report(linear_cnn, tiny_accelerator)
+    assert report.num_flgs == plan.num_flgs
+    assert report.num_lgs == plan.num_lgs
+    assert report.num_tiles == plan.num_tiles
+    covered = [layer for group in report.groups for layer in group.layers]
+    assert sorted(covered) == sorted(linear_cnn.layer_names())
+
+
+def test_report_traffic_matches_plan(linear_cnn, tiny_accelerator):
+    plan, report = _report(linear_cnn, tiny_accelerator)
+    assert report.traffic.total_bytes == plan.total_dram_bytes
+    assert report.traffic.weight_bytes == sum(
+        t.num_bytes for t in plan.tensors_by_kind(TensorKind.WEIGHT)
+    )
+
+
+def test_report_group_weights_and_macs(linear_cnn, tiny_accelerator):
+    _, report = _report(linear_cnn, tiny_accelerator)
+    assert sum(g.weight_bytes for g in report.groups) == linear_cnn.total_weight_bytes
+    assert sum(g.macs for g in report.groups) == linear_cnn.total_macs
+
+
+def test_report_render_mentions_groups_and_traffic(linear_cnn, tiny_accelerator):
+    _, report = _report(linear_cnn, tiny_accelerator)
+    text = report.render()
+    assert "schedule report" in text
+    assert "DRAM traffic" in text
+    assert "FLG0" in text
+
+
+def test_report_rejects_infeasible_plan(tiny_gpt_prefill, tiny_accelerator):
+    plan = parse_lfa(tiny_gpt_prefill, LFA.fully_fused(tiny_gpt_prefill, tiling_number=4))
+    evaluation = ScheduleEvaluator(tiny_accelerator).evaluate(
+        plan, double_buffer_dlsa(plan)
+    )
+    with pytest.raises(ValueError):
+        build_schedule_report(plan, evaluation)
+
+
+def test_report_on_unfused_scheme_has_one_group_per_layer(linear_cnn, tiny_accelerator):
+    _, report = _report(linear_cnn, tiny_accelerator, lfa=LFA.unfused(linear_cnn))
+    assert len(report.groups) == len(linear_cnn)
+    assert {g.lg_index for g in report.groups} == set(range(len(linear_cnn)))
+
+
+# ------------------------------------------------------------- SA time limit
+def test_time_limit_validation():
+    with pytest.raises(ConfigurationError):
+        SAParams(iterations_per_unit=1, time_limit_s=0)
+    assert SAParams(iterations_per_unit=1, time_limit_s=0.5).time_limit_s == 0.5
+
+
+def test_time_limit_stops_annealing_early():
+    params = SAParams(
+        iterations_per_unit=1_000_000,
+        max_iterations=1_000_000,
+        time_limit_s=0.05,
+        greedy_fraction=0.0,
+    )
+    annealer = SimulatedAnnealing(params)
+
+    def slow_cost(state):
+        time.sleep(0.001)
+        return float(abs(state))
+
+    start = time.perf_counter()
+    outcome = annealer.run(
+        initial_state=50,
+        cost_fn=slow_cost,
+        neighbor_fn=lambda s, rng: s + rng.choice([-1, 1]),
+        rng=random.Random(0),
+        units=1_000_000,
+    )
+    elapsed = time.perf_counter() - start
+    assert elapsed < 2.0
+    assert outcome.best_cost <= 50.0
+
+
+def test_greedy_fraction_adds_iterations():
+    base = SAParams(iterations_per_unit=10, greedy_fraction=0.0)
+    polished = SAParams(iterations_per_unit=10, greedy_fraction=0.5)
+    assert base.num_greedy_iterations(10) == 0
+    assert polished.num_greedy_iterations(10) == 50
+
+
+def test_greedy_phase_counts_towards_iterations_and_improves():
+    params = SAParams(
+        iterations_per_unit=1, min_iterations=20, max_iterations=20, greedy_fraction=1.0
+    )
+    annealer = SimulatedAnnealing(params)
+    outcome = annealer.run(
+        initial_state=30,
+        cost_fn=lambda s: float(abs(s)),
+        neighbor_fn=lambda s, rng: s + rng.choice([-1, 1]),
+        rng=random.Random(1),
+        units=20,
+        trace=True,
+    )
+    assert outcome.iterations == 20 + 20  # annealing + greedy polishing
+    assert outcome.best_cost <= 30.0
+    # The best-cost trace never regresses, even through the greedy phase.
+    assert list(outcome.cost_trace) == sorted(outcome.cost_trace, reverse=True)

@@ -1,0 +1,149 @@
+"""Tests for the end-to-end schedulers: SoMa, Cocco, Unfused, Buffer Allocator."""
+
+import random
+
+import pytest
+
+from repro.baselines.cocco import CoccoScheduler
+from repro.baselines.unfused import UnfusedScheduler
+from repro.core.buffer_allocator import BufferAllocator
+from repro.core.core_array import CoreArrayMapper
+from repro.core.evaluator import ScheduleEvaluator
+from repro.core.soma import SoMaScheduler
+from repro.notation.parser import parse_lfa
+
+
+# ---------------------------------------------------------------------- SoMa
+def test_soma_schedules_linear_cnn(linear_cnn, tiny_accelerator, fast_config):
+    result = SoMaScheduler(tiny_accelerator, fast_config).schedule(linear_cnn)
+    assert result.stage1.evaluation.feasible
+    assert result.stage2.evaluation.feasible
+    assert result.evaluation.latency_s > 0
+    assert result.evaluation.max_buffer_bytes <= tiny_accelerator.gbuf_bytes
+
+
+def test_soma_stage2_never_worse_than_stage1(linear_cnn, tiny_accelerator, fast_config):
+    result = SoMaScheduler(tiny_accelerator, fast_config).schedule(linear_cnn)
+    assert result.stage2.evaluation.latency_s <= result.stage1.evaluation.latency_s * 1.0001
+
+
+def test_soma_beats_unfused_baseline(linear_cnn, tiny_accelerator, fast_config):
+    soma = SoMaScheduler(tiny_accelerator, fast_config).schedule(linear_cnn)
+    unfused = UnfusedScheduler(tiny_accelerator, fast_config).schedule(linear_cnn)
+    assert soma.evaluation.objective() <= unfused.evaluation.objective() * 1.0001
+
+
+def test_soma_result_structure(linear_cnn, tiny_accelerator, fast_config):
+    result = SoMaScheduler(tiny_accelerator, fast_config).schedule(linear_cnn)
+    assert result.workload_name == linear_cnn.name
+    assert result.accelerator_name == tiny_accelerator.name
+    assert result.allocator_iterations >= 1
+    assert result.plan.feasible
+    assert result.dlsa is not None
+    assert result.best in (result.stage1, result.stage2)
+    assert "SoMa result" in result.describe()
+    assert result.speedup_over(result.evaluation.latency_s * 2) == pytest.approx(2.0)
+
+
+def test_soma_is_deterministic_given_seed(linear_cnn, tiny_accelerator, fast_config):
+    first = SoMaScheduler(tiny_accelerator, fast_config).schedule(linear_cnn, seed=5)
+    second = SoMaScheduler(tiny_accelerator, fast_config).schedule(linear_cnn, seed=5)
+    assert first.evaluation.latency_s == second.evaluation.latency_s
+    assert first.evaluation.energy_j == second.evaluation.energy_j
+
+
+def test_soma_different_seeds_both_feasible(branchy_cnn, tiny_accelerator, fast_config):
+    for seed in (1, 2):
+        result = SoMaScheduler(tiny_accelerator, fast_config).schedule(branchy_cnn, seed=seed)
+        assert result.evaluation.feasible
+
+
+def test_soma_handles_attention_workload(tiny_gpt_prefill, tiny_accelerator, fast_config):
+    result = SoMaScheduler(tiny_accelerator, fast_config).schedule(tiny_gpt_prefill)
+    assert result.evaluation.feasible
+
+
+def test_soma_handles_decode_workload(tiny_gpt_decode, tiny_accelerator, fast_config):
+    result = SoMaScheduler(tiny_accelerator, fast_config).schedule(tiny_gpt_decode)
+    assert result.evaluation.feasible
+    # Decode is bandwidth-bound: DRAM busy nearly all the time.
+    assert result.evaluation.dram_time_sum_s > result.evaluation.compute_time_sum_s
+
+
+def test_evaluate_encoding_round_trip(linear_cnn, tiny_accelerator, fast_config):
+    scheduler = SoMaScheduler(tiny_accelerator, fast_config)
+    result = scheduler.schedule(linear_cnn)
+    re_evaluated = scheduler.evaluate_encoding(linear_cnn, result.encoding)
+    assert re_evaluated.latency_s == pytest.approx(result.evaluation.latency_s)
+    assert re_evaluated.energy_j == pytest.approx(result.evaluation.energy_j)
+
+
+# ----------------------------------------------------------- Buffer Allocator
+def test_allocator_runs_at_most_configured_iterations(linear_cnn, tiny_accelerator, fast_config):
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    allocator = BufferAllocator(linear_cnn, evaluator, fast_config)
+    result = allocator.run(random.Random(0))
+    assert 1 <= result.allocator_iterations <= fast_config.max_allocator_iterations
+    assert len(result.history) == result.allocator_iterations
+
+
+def test_allocator_stage1_budget_not_above_gbuf(linear_cnn, tiny_accelerator, fast_config):
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    result = BufferAllocator(linear_cnn, evaluator, fast_config).run(random.Random(0))
+    assert result.stage1_buffer_budget_bytes <= tiny_accelerator.gbuf_bytes
+
+
+# ---------------------------------------------------------------------- Cocco
+def test_cocco_schedules_linear_cnn(linear_cnn, tiny_accelerator, fast_config):
+    result = CoccoScheduler(tiny_accelerator, fast_config).schedule(linear_cnn)
+    assert result.evaluation.feasible
+    assert result.evaluation.max_buffer_bytes <= tiny_accelerator.gbuf_bytes
+
+
+def test_cocco_flc_set_equals_dram_cut_set(linear_cnn, tiny_accelerator, fast_config):
+    result = CoccoScheduler(tiny_accelerator, fast_config).schedule(linear_cnn)
+    lfa = result.encoding.lfa
+    assert lfa.flc_set == lfa.dram_cut_set
+
+
+def test_cocco_tilings_follow_heuristic(linear_cnn, tiny_accelerator, fast_config):
+    scheduler = CoccoScheduler(tiny_accelerator, fast_config)
+    result = scheduler.schedule(linear_cnn)
+    rebuilt = scheduler._with_heuristic_tilings(
+        linear_cnn, result.encoding.lfa.computing_order, result.encoding.lfa.dram_cut_set
+    )
+    assert rebuilt.tiling_numbers == result.encoding.lfa.tiling_numbers
+
+
+def test_cocco_uses_double_buffer_dlsa(linear_cnn, tiny_accelerator, fast_config):
+    result = CoccoScheduler(tiny_accelerator, fast_config).schedule(linear_cnn)
+    assert result.encoding.dlsa is None  # double-buffer default
+
+
+def test_soma_not_worse_than_cocco_on_objective(branchy_cnn, tiny_accelerator, fast_config):
+    mapper = CoreArrayMapper(tiny_accelerator)
+    cocco = CoccoScheduler(tiny_accelerator, fast_config, mapper=mapper).schedule(branchy_cnn)
+    soma = SoMaScheduler(tiny_accelerator, fast_config, mapper=mapper).schedule(branchy_cnn)
+    assert soma.evaluation.objective() <= cocco.evaluation.objective() * 1.05
+
+
+def test_cocco_parse_helper(linear_cnn, tiny_accelerator, fast_config):
+    scheduler = CoccoScheduler(tiny_accelerator, fast_config)
+    result = scheduler.schedule(linear_cnn)
+    plan, dlsa = scheduler.parse(linear_cnn, result.encoding.lfa)
+    assert plan.feasible
+    dlsa.validate(plan.dram_tensors)
+
+
+# -------------------------------------------------------------------- Unfused
+def test_unfused_builds_one_group_per_layer(linear_cnn, tiny_accelerator):
+    scheduler = UnfusedScheduler(tiny_accelerator)
+    lfa = scheduler.build_lfa(linear_cnn)
+    plan = parse_lfa(linear_cnn, lfa)
+    assert plan.num_lgs == len(linear_cnn)
+
+
+def test_unfused_schedule_is_feasible(linear_cnn, tiny_accelerator):
+    stage = UnfusedScheduler(tiny_accelerator).schedule(linear_cnn)
+    assert stage.evaluation.feasible
+    assert stage.iterations == 0

@@ -1,0 +1,234 @@
+"""Tests for halo arithmetic, tile partitioning and the tiling heuristics."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.tiling.halo import propagate_required_extent, required_input_extent
+from repro.tiling.partition import (
+    effective_tiling_number,
+    max_tiling_number,
+    overlap_overhead_ratio,
+    split_counts,
+    tile_flg,
+)
+from repro.tiling.heuristics import kc_parallelism_tiling_number, next_power_of_two
+from repro.workloads.builder import GraphBuilder
+from repro.workloads.layer import Layer, OpType
+
+
+def _conv_layer(name="conv", in_hw=16, out_hw=16, kernel=3, stride=1, channels=8) -> Layer:
+    return Layer(
+        name=name,
+        op_type=OpType.CONV,
+        batch=1,
+        in_channels=channels,
+        out_channels=channels,
+        in_height=in_hw,
+        in_width=in_hw,
+        out_height=out_hw,
+        out_width=out_hw,
+        kernel_h=kernel,
+        kernel_w=kernel,
+        stride_h=stride,
+        stride_w=stride,
+        weight_bytes=channels * channels * kernel * kernel,
+    )
+
+
+# --------------------------------------------------------------------- halo
+def test_required_input_extent_conv():
+    layer = _conv_layer(kernel=3, stride=1)
+    assert required_input_extent(layer, 4, 4) == (6, 6)
+
+
+def test_required_input_extent_stride_two():
+    layer = _conv_layer(in_hw=32, out_hw=16, kernel=3, stride=2)
+    assert required_input_extent(layer, 4, 4) == (9, 9)
+
+
+def test_required_input_extent_clamped_to_input_size():
+    layer = _conv_layer(in_hw=8, out_hw=8, kernel=5, stride=1)
+    assert required_input_extent(layer, 8, 8) == (8, 8)
+
+
+def test_required_input_extent_pointwise_passthrough():
+    layer = Layer(
+        name="add",
+        op_type=OpType.ELTWISE,
+        batch=1,
+        in_channels=8,
+        out_channels=8,
+        in_height=16,
+        in_width=16,
+        out_height=16,
+        out_width=16,
+    )
+    assert required_input_extent(layer, 5, 7) == (5, 7)
+
+
+def test_required_input_extent_rejects_non_positive():
+    with pytest.raises(ValueError):
+        required_input_extent(_conv_layer(), 0, 4)
+
+
+def test_propagate_required_extent_clamps_to_producer():
+    producer = _conv_layer(name="p", out_hw=6)
+    consumer = _conv_layer(name="c", in_hw=6, out_hw=6, kernel=3)
+    assert propagate_required_extent(producer, consumer, 6, 6) == (6, 6)
+
+
+# -------------------------------------------------------------- split_counts
+def test_split_counts_prefers_batch_dimension():
+    assert split_counts(batch=4, height=8, width=8, num_tiles=4) == (4, 1, 1)
+
+
+def test_split_counts_spills_into_spatial_dims():
+    batch, height, width = split_counts(batch=2, height=8, width=8, num_tiles=8)
+    assert batch == 2
+    assert batch * height * width == 8
+
+
+def test_split_counts_capped_by_available_extent():
+    batch, height, width = split_counts(batch=1, height=2, width=2, num_tiles=64)
+    assert batch * height * width <= 4
+
+
+def test_split_counts_single_tile():
+    assert split_counts(batch=1, height=8, width=8, num_tiles=1) == (1, 1, 1)
+
+
+def test_split_counts_invalid_tiles_rejected():
+    with pytest.raises(WorkloadError):
+        split_counts(1, 8, 8, 0)
+
+
+# ------------------------------------------------------------------- tile_flg
+def _chain_graph(depth=3, size=16):
+    builder = GraphBuilder("chain", batch=1)
+    previous = builder.conv("conv0", [], 8, kernel=3, input_shape=(3, size, size))
+    for index in range(1, depth):
+        previous = builder.conv(f"conv{index}", [previous], 8, kernel=3)
+    return builder.build()
+
+
+def test_tile_flg_single_tile_covers_whole_layer():
+    graph = _chain_graph()
+    tilings = tile_flg(graph, graph.layer_names(), tiling_number=1)
+    for name, tiling in tilings.items():
+        layer = graph.layer(name)
+        assert tiling.num_tiles == 1
+        assert tiling.out_tile.height == layer.out_height
+        assert tiling.ofmap_tile_bytes == layer.ofmap_bytes
+
+
+def test_tile_flg_halo_grows_towards_earlier_layers():
+    graph = _chain_graph(depth=3, size=32)
+    tilings = tile_flg(graph, graph.layer_names(), tiling_number=4)
+    # The last layer gets its fair share; earlier layers must be strictly larger.
+    assert tilings["conv2"].out_tile.height < tilings["conv1"].out_tile.height <= tilings["conv0"].out_tile.height
+    assert tilings["conv0"].out_tile.height > graph.layer("conv0").out_height // 2
+
+
+def test_tile_flg_total_macs_exceed_nominal_with_halo():
+    graph = _chain_graph(depth=3, size=32)
+    tilings = tile_flg(graph, graph.layer_names(), tiling_number=8)
+    assert overlap_overhead_ratio(graph, tilings) > 0.0
+
+
+def test_tile_flg_no_overhead_for_single_tile():
+    graph = _chain_graph()
+    tilings = tile_flg(graph, graph.layer_names(), tiling_number=1)
+    assert overlap_overhead_ratio(graph, tilings) == pytest.approx(0.0)
+
+
+def test_tile_flg_finer_tiling_has_more_overhead():
+    graph = _chain_graph(depth=4, size=32)
+    coarse = tile_flg(graph, graph.layer_names(), tiling_number=2)
+    fine = tile_flg(graph, graph.layer_names(), tiling_number=16)
+    assert overlap_overhead_ratio(graph, fine) > overlap_overhead_ratio(graph, coarse)
+
+
+def test_tile_flg_batch_split_has_no_halo_overhead():
+    builder = GraphBuilder("batched", batch=4)
+    a = builder.conv("a", [], 8, kernel=3, input_shape=(3, 16, 16))
+    builder.conv("b", [a], 8, kernel=3)
+    graph = builder.build()
+    tilings = tile_flg(graph, graph.layer_names(), tiling_number=4)
+    assert overlap_overhead_ratio(graph, tilings) == pytest.approx(0.0)
+    assert all(t.out_tile.batch == 1 for t in tilings.values())
+
+
+def test_tile_flg_memoisation_returns_equal_results():
+    graph = _chain_graph()
+    first = tile_flg(graph, graph.layer_names(), tiling_number=4)
+    second = tile_flg(graph, graph.layer_names(), tiling_number=4)
+    assert first == second
+    assert first is not second  # callers get their own dict
+
+
+def test_tile_flg_empty_group_rejected():
+    graph = _chain_graph()
+    with pytest.raises(WorkloadError):
+        tile_flg(graph, [], tiling_number=2)
+
+
+def test_effective_tiling_number_caps_at_available_extent():
+    graph = _chain_graph(size=8)
+    assert effective_tiling_number(graph, graph.layer_names(), 1024) <= 64
+
+
+def test_max_tiling_number_positive():
+    graph = _chain_graph()
+    assert max_tiling_number(graph, graph.layer_names()) >= 1
+
+
+def test_layer_tiling_ops_per_tile():
+    graph = _chain_graph()
+    tilings = tile_flg(graph, graph.layer_names(), tiling_number=2)
+    tiling = tilings["conv1"]
+    assert tiling.ops_per_tile == 2 * tiling.macs_per_tile + tiling.vector_ops_per_tile
+    assert tiling.total_macs == tiling.num_tiles * tiling.macs_per_tile
+
+
+# ----------------------------------------------------------------- heuristics
+def test_next_power_of_two():
+    assert next_power_of_two(0) == 1
+    assert next_power_of_two(1) == 1
+    assert next_power_of_two(3) == 4
+    assert next_power_of_two(8) == 8
+    assert next_power_of_two(9) == 16
+
+
+def test_kc_heuristic_grows_with_channel_count():
+    builder = GraphBuilder("g", batch=1)
+    small = builder.conv("small", [], 128, kernel=3, input_shape=(3, 56, 56))
+    big = builder.conv("big", [small], 2048, kernel=3)
+    graph = builder.build()
+    t_small = kc_parallelism_tiling_number(graph, [small], kc_parallel_lanes=128)
+    t_big = kc_parallelism_tiling_number(graph, [big], kc_parallel_lanes=128)
+    assert t_big > t_small
+    assert t_small == 8  # the paper's early-ResNet-50 value
+    assert t_big == 16  # the paper's late-ResNet-50 value
+
+
+def test_kc_heuristic_scales_with_batch():
+    builder = GraphBuilder("g", batch=4)
+    layer = builder.conv("c", [], 128, kernel=3, input_shape=(3, 56, 56))
+    graph = builder.build()
+    assert kc_parallelism_tiling_number(graph, [layer], 128) == 32
+
+
+def test_kc_heuristic_vector_only_group_gets_one_tile():
+    builder = GraphBuilder("g", batch=1)
+    a = builder.conv("a", [], 8, kernel=3, input_shape=(3, 8, 8))
+    n = builder.norm("n", [a])
+    graph = builder.build()
+    assert kc_parallelism_tiling_number(graph, [n], 128) == 1
+
+
+def test_kc_heuristic_empty_group_rejected():
+    builder = GraphBuilder("g", batch=1)
+    builder.conv("a", [], 8, kernel=3, input_shape=(3, 8, 8))
+    graph = builder.build()
+    with pytest.raises(ValueError):
+        kc_parallelism_tiling_number(graph, [], 128)

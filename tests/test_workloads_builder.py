@@ -1,0 +1,126 @@
+"""Unit tests for the graph builder helpers."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.builder import GraphBuilder, conv_output_size
+from repro.workloads.layer import OpType
+
+
+def test_conv_output_size_same_padding():
+    assert conv_output_size(32, kernel=3, stride=1, padding=1) == 32
+
+
+def test_conv_output_size_stride_two():
+    assert conv_output_size(32, kernel=3, stride=2, padding=1) == 16
+
+
+def test_conv_output_size_invalid_geometry_rejected():
+    with pytest.raises(WorkloadError):
+        conv_output_size(2, kernel=7, stride=1, padding=0)
+
+
+def test_conv_layer_shapes_and_weights():
+    builder = GraphBuilder("g", batch=1)
+    name = builder.conv("c1", [], 8, kernel=3, stride=1, input_shape=(3, 16, 16))
+    layer = builder.graph.layer(name)
+    assert (layer.out_channels, layer.out_height, layer.out_width) == (8, 16, 16)
+    assert layer.weight_bytes == 3 * 8 * 9
+
+
+def test_depthwise_conv_keeps_channels():
+    builder = GraphBuilder("g", batch=1)
+    a = builder.conv("c1", [], 8, kernel=3, input_shape=(3, 16, 16))
+    d = builder.conv("dw", [a], 999, kernel=3, depthwise=True)
+    layer = builder.graph.layer(d)
+    assert layer.op_type is OpType.DWCONV
+    assert layer.out_channels == 8
+    assert layer.groups == 8
+
+
+def test_chained_shapes_flow_through_builder():
+    builder = GraphBuilder("g", batch=1)
+    a = builder.conv("c1", [], 8, kernel=3, stride=2, input_shape=(3, 32, 32))
+    b = builder.pool("p1", [a], kernel=2)
+    assert builder.shape(b) == (8, 8, 8)
+
+
+def test_global_pool_collapses_spatial_dims():
+    builder = GraphBuilder("g", batch=1)
+    a = builder.conv("c1", [], 8, kernel=3, input_shape=(3, 16, 16))
+    p = builder.pool("gp", [a], global_pool=True)
+    assert builder.shape(p) == (8, 1, 1)
+
+
+def test_eltwise_requires_known_input():
+    builder = GraphBuilder("g", batch=1)
+    with pytest.raises(WorkloadError):
+        builder.eltwise("add", ["missing"])
+
+
+def test_concat_sums_channels():
+    builder = GraphBuilder("g", batch=1)
+    a = builder.conv("a", [], 8, kernel=1, input_shape=(3, 8, 8))
+    b = builder.conv("b", [], 16, kernel=1, input_shape=(3, 8, 8))
+    c = builder.concat("cat", [a, b])
+    assert builder.shape(c) == (24, 8, 8)
+
+
+def test_concat_with_mismatched_spatial_sizes_rejected():
+    builder = GraphBuilder("g", batch=1)
+    a = builder.conv("a", [], 8, kernel=3, stride=1, input_shape=(3, 8, 8))
+    b = builder.conv("b", [], 8, kernel=3, stride=2, input_shape=(3, 8, 8))
+    with pytest.raises(WorkloadError):
+        builder.concat("cat", [a, b])
+
+
+def test_gemm_maps_sequence_to_height():
+    builder = GraphBuilder("g", batch=2)
+    g = builder.gemm(
+        "proj", [], out_features=32, in_features=16, seq_len=10, input_shape=(16, 10, 1)
+    )
+    layer = builder.graph.layer(g)
+    assert layer.out_height == 10
+    assert layer.weight_bytes == 16 * 32
+    assert layer.macs == 2 * 10 * 16 * 32
+
+
+def test_matmul_untiled_kv_edge():
+    builder = GraphBuilder("g", batch=1)
+    q = builder.gemm("q", [], out_features=8, in_features=8, seq_len=4, input_shape=(8, 4, 1))
+    k = builder.gemm("k", [], out_features=8, in_features=8, seq_len=4, input_shape=(8, 4, 1))
+    score = builder.matmul("score", q, k, out_features=16, contraction=2, seq_len=4)
+    graph = builder.build()
+    assert graph.dependency(q, score).tiled is True
+    assert graph.dependency(k, score).tiled is False
+
+
+def test_matmul_with_kv_bytes_and_no_kv_input():
+    builder = GraphBuilder("g", batch=1)
+    q = builder.gemm("q", [], out_features=8, in_features=8, seq_len=1, input_shape=(8, 1, 1))
+    score = builder.matmul(
+        "score", q, None, out_features=16, contraction=2, seq_len=1, kv_bytes=1024
+    )
+    layer = builder.graph.layer(score)
+    assert layer.weight_bytes == 1024
+    assert builder.graph.predecessors(score) == [q]
+
+
+def test_source_layer_requires_explicit_shape():
+    builder = GraphBuilder("g", batch=1)
+    with pytest.raises(WorkloadError):
+        builder.conv("c1", [], 8, kernel=3)
+
+
+def test_empty_build_rejected():
+    with pytest.raises(WorkloadError):
+        GraphBuilder("g", batch=1).build()
+
+
+def test_norm_softmax_activation_preserve_shape():
+    builder = GraphBuilder("g", batch=1)
+    a = builder.gemm("a", [], out_features=8, in_features=8, seq_len=4, input_shape=(8, 4, 1))
+    n = builder.norm("n", [a])
+    s = builder.softmax("s", [n])
+    act = builder.activation("act", [s])
+    assert builder.shape(act) == builder.shape(a)

@@ -1,0 +1,140 @@
+"""Unit tests for the workload graph."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.graph import WorkloadGraph
+from repro.workloads.layer import Layer, OpType
+
+
+def _layer(name: str, batch: int = 1) -> Layer:
+    return Layer(
+        name=name,
+        op_type=OpType.ELTWISE,
+        batch=batch,
+        in_channels=4,
+        out_channels=4,
+        in_height=4,
+        in_width=4,
+        out_height=4,
+        out_width=4,
+    )
+
+
+def _diamond() -> WorkloadGraph:
+    graph = WorkloadGraph("diamond", batch=1)
+    for name in ("a", "b", "c", "d"):
+        graph.add_layer(_layer(name))
+    graph.add_dependency("a", "b")
+    graph.add_dependency("a", "c")
+    graph.add_dependency("b", "d")
+    graph.add_dependency("c", "d")
+    return graph
+
+
+def test_topological_order_respects_dependencies():
+    graph = _diamond()
+    order = graph.topological_order()
+    assert order.index("a") < order.index("b") < order.index("d")
+    assert order.index("a") < order.index("c") < order.index("d")
+
+
+def test_predecessors_and_successors():
+    graph = _diamond()
+    assert graph.predecessors("d") == ["b", "c"]
+    assert graph.successors("a") == ["b", "c"]
+    assert graph.predecessors("a") == []
+    assert graph.successors("d") == []
+
+
+def test_input_and_output_layers():
+    graph = _diamond()
+    assert graph.input_layers() == ["a"]
+    assert graph.output_layers() == ["d"]
+
+
+def test_is_valid_order():
+    graph = _diamond()
+    assert graph.is_valid_order(["a", "b", "c", "d"])
+    assert graph.is_valid_order(["a", "c", "b", "d"])
+    assert not graph.is_valid_order(["b", "a", "c", "d"])
+    assert not graph.is_valid_order(["a", "b", "c"])
+
+
+def test_dependency_flag_round_trip():
+    graph = WorkloadGraph("g", batch=1)
+    graph.add_layer(_layer("x"))
+    graph.add_layer(_layer("y"))
+    graph.add_dependency("x", "y", tiled=False)
+    assert graph.dependency("x", "y").tiled is False
+
+
+def test_unknown_dependency_rejected():
+    graph = _diamond()
+    with pytest.raises(WorkloadError):
+        graph.dependency("b", "c")
+
+
+def test_duplicate_layer_rejected():
+    graph = WorkloadGraph("g", batch=1)
+    graph.add_layer(_layer("x"))
+    with pytest.raises(WorkloadError):
+        graph.add_layer(_layer("x"))
+
+
+def test_cycle_rejected():
+    graph = WorkloadGraph("g", batch=1)
+    graph.add_layer(_layer("x"))
+    graph.add_layer(_layer("y"))
+    graph.add_dependency("x", "y")
+    with pytest.raises(WorkloadError):
+        graph.add_dependency("y", "x")
+
+
+def test_self_dependency_rejected():
+    graph = WorkloadGraph("g", batch=1)
+    graph.add_layer(_layer("x"))
+    with pytest.raises(WorkloadError):
+        graph.add_dependency("x", "x")
+
+
+def test_batch_mismatch_rejected():
+    graph = WorkloadGraph("g", batch=2)
+    with pytest.raises(WorkloadError):
+        graph.add_layer(_layer("x", batch=1))
+
+
+def test_unknown_layer_lookup_rejected():
+    graph = _diamond()
+    with pytest.raises(WorkloadError):
+        graph.layer("missing")
+
+
+def test_statistics_sum_over_layers():
+    graph = _diamond()
+    assert graph.total_ops == sum(graph.layer(n).ops for n in graph.layer_names())
+    assert graph.total_weight_bytes == 0
+    assert len(graph) == 4
+
+
+def test_caches_invalidation_after_adding_layer():
+    graph = _diamond()
+    assert graph.topological_order()  # warm the caches
+    graph.add_layer(_layer("e"))
+    graph.add_dependency("d", "e")
+    assert graph.topological_order()[-1] == "e"
+    assert graph.successors("d") == ["e"]
+
+
+def test_describe_contains_layer_count():
+    assert "4 layers" in _diamond().describe()
+
+
+def test_empty_name_rejected():
+    with pytest.raises(WorkloadError):
+        WorkloadGraph("", batch=1)
+
+
+def test_non_positive_batch_rejected():
+    with pytest.raises(WorkloadError):
+        WorkloadGraph("g", batch=0)

@@ -1,0 +1,162 @@
+"""Unit tests for the Layer data model."""
+
+import pytest
+
+from repro.workloads.layer import Layer, OpType
+
+
+def _conv(**overrides) -> Layer:
+    defaults = dict(
+        name="conv",
+        op_type=OpType.CONV,
+        batch=1,
+        in_channels=8,
+        out_channels=16,
+        in_height=8,
+        in_width=8,
+        out_height=8,
+        out_width=8,
+        kernel_h=3,
+        kernel_w=3,
+        weight_bytes=8 * 16 * 9,
+    )
+    defaults.update(overrides)
+    return Layer(**defaults)
+
+
+def test_conv_macs_formula():
+    layer = _conv()
+    expected = 1 * 16 * 8 * 8 * (3 * 3 * 8)
+    assert layer.macs == expected
+    assert layer.ops == 2 * expected
+
+
+def test_gemm_macs_formula():
+    layer = Layer(
+        name="fc",
+        op_type=OpType.GEMM,
+        batch=2,
+        in_channels=64,
+        out_channels=10,
+        in_height=1,
+        in_width=1,
+        out_height=1,
+        out_width=1,
+        weight_bytes=640,
+    )
+    assert layer.macs == 2 * 10 * 64
+
+
+def test_depthwise_macs_formula():
+    layer = Layer(
+        name="dw",
+        op_type=OpType.DWCONV,
+        batch=1,
+        in_channels=16,
+        out_channels=16,
+        in_height=8,
+        in_width=8,
+        out_height=8,
+        out_width=8,
+        kernel_h=3,
+        kernel_w=3,
+        groups=16,
+        weight_bytes=16 * 9,
+    )
+    assert layer.macs == 16 * 8 * 8 * 9
+
+
+def test_matmul_macs_use_contraction_length():
+    layer = Layer(
+        name="attn",
+        op_type=OpType.MATMUL,
+        batch=1,
+        in_channels=32,
+        out_channels=64,
+        in_height=16,
+        in_width=1,
+        out_height=16,
+        out_width=1,
+    )
+    assert layer.macs == 16 * 64 * 32
+
+
+def test_pool_uses_vector_unit():
+    layer = Layer(
+        name="pool",
+        op_type=OpType.POOL,
+        batch=1,
+        in_channels=8,
+        out_channels=8,
+        in_height=8,
+        in_width=8,
+        out_height=4,
+        out_width=4,
+        kernel_h=2,
+        kernel_w=2,
+        stride_h=2,
+        stride_w=2,
+    )
+    assert layer.macs == 0
+    assert layer.vector_ops == 8 * 4 * 4 * 4
+
+
+def test_eltwise_vector_ops_equal_elements():
+    layer = Layer(
+        name="add",
+        op_type=OpType.ELTWISE,
+        batch=1,
+        in_channels=8,
+        out_channels=8,
+        in_height=4,
+        in_width=4,
+        out_height=4,
+        out_width=4,
+    )
+    assert layer.vector_ops == 8 * 16
+
+
+def test_fmap_sizes_respect_bytes_per_element():
+    layer = _conv(bytes_per_element=2)
+    assert layer.ifmap_bytes == 2 * 8 * 8 * 8
+    assert layer.ofmap_bytes == 2 * 16 * 8 * 8
+
+
+def test_weighted_layer_without_weights_rejected():
+    with pytest.raises(ValueError):
+        _conv(weight_bytes=0)
+
+
+def test_negative_weight_bytes_rejected():
+    with pytest.raises(ValueError):
+        _conv(weight_bytes=-1)
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ValueError):
+        _conv(name="")
+
+
+def test_non_positive_dimension_rejected():
+    with pytest.raises(ValueError):
+        _conv(out_height=0)
+
+
+def test_has_weights_property():
+    assert OpType.CONV.has_weights
+    assert OpType.GEMM.has_weights
+    assert not OpType.MATMUL.has_weights
+    assert not OpType.POOL.has_weights
+
+
+def test_has_spatial_window_property():
+    assert OpType.CONV.has_spatial_window
+    assert OpType.POOL.has_spatial_window
+    assert not OpType.GEMM.has_spatial_window
+    assert not OpType.ELTWISE.has_spatial_window
+
+
+def test_describe_mentions_name_and_type():
+    description = _conv().describe()
+    assert "conv" in description
+    assert "k=3x3" in description

@@ -1,0 +1,185 @@
+"""Tests for the model zoo: ResNet, Inception-ResNet, RandWire, GPT-2."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.gpt2 import GPT2_SMALL, GPT2_XL, GPT2Config, gpt2_decode, gpt2_prefill
+from repro.workloads.inception_resnet import inception_resnet_v1
+from repro.workloads.randwire import randwire
+from repro.workloads.registry import available_workloads, build_workload
+from repro.workloads.resnet import resnet50, resnet101
+
+
+# ----------------------------------------------------------------------- ResNet
+def test_resnet50_macs_match_published_value():
+    # ResNet-50 is ~4.1 GMACs at 224x224 (the paper's batch-1 workload).
+    graph = resnet50(batch=1)
+    assert graph.total_macs == pytest.approx(4.1e9, rel=0.05)
+
+
+def test_resnet50_weight_bytes_match_published_value():
+    # ~25.5 M parameters, INT8.
+    graph = resnet50(batch=1)
+    assert graph.total_weight_bytes == pytest.approx(25.5e6, rel=0.05)
+
+
+def test_resnet101_is_deeper_than_resnet50():
+    r50, r101 = resnet50(), resnet101()
+    assert len(r101) > len(r50)
+    assert r101.total_macs > r50.total_macs
+    assert r101.total_weight_bytes > r50.total_weight_bytes
+
+
+def test_resnet_macs_scale_with_batch():
+    assert resnet50(batch=4).total_macs == 4 * resnet50(batch=1).total_macs
+
+
+def test_resnet50_has_single_input_and_output():
+    graph = resnet50()
+    assert graph.input_layers() == ["stem_conv"]
+    assert graph.output_layers() == ["fc"]
+
+
+def test_resnet50_residual_adds_have_two_inputs():
+    graph = resnet50()
+    adds = [n for n in graph.layer_names() if n.endswith("_add")]
+    assert len(adds) == 16
+    assert all(len(graph.predecessors(a)) == 2 for a in adds)
+
+
+# ------------------------------------------------------------- Inception-ResNet
+def test_inception_resnet_block_counts():
+    graph = inception_resnet_v1(batch=1)
+    names = graph.layer_names()
+    assert sum(1 for n in names if n.startswith("ira") and n.endswith("_add")) == 5
+    assert sum(1 for n in names if n.startswith("irb") and n.endswith("_add")) == 10
+    assert sum(1 for n in names if n.startswith("irc") and n.endswith("_add")) == 5
+
+
+def test_inception_resnet_is_wider_than_resnet():
+    graph = inception_resnet_v1(batch=1)
+    branching = [n for n in graph.layer_names() if len(graph.successors(n)) >= 3]
+    assert branching, "Inception blocks should fan out to at least three branches"
+
+
+def test_inception_resnet_is_valid_dag():
+    graph = inception_resnet_v1(batch=1)
+    assert graph.is_valid_order(graph.topological_order())
+
+
+# -------------------------------------------------------------------- RandWire
+def test_randwire_is_deterministic_given_seed():
+    a = randwire(batch=1, seed=11)
+    b = randwire(batch=1, seed=11)
+    assert a.layer_names() == b.layer_names()
+    assert [d.producer for d in a.dependencies()] == [d.producer for d in b.dependencies()]
+
+
+def test_randwire_different_seeds_differ():
+    a = randwire(batch=1, seed=11)
+    b = randwire(batch=1, seed=12)
+    assert {(d.producer, d.consumer) for d in a.dependencies()} != {
+        (d.producer, d.consumer) for d in b.dependencies()
+    }
+
+
+def test_randwire_has_irregular_fan_in():
+    graph = randwire(batch=1)
+    fan_ins = [len(graph.predecessors(n)) for n in graph.layer_names()]
+    assert max(fan_ins) >= 2
+
+
+def test_randwire_valid_dag_and_single_classifier():
+    graph = randwire(batch=1)
+    assert graph.is_valid_order(graph.topological_order())
+    assert graph.output_layers() == ["fc"]
+
+
+# ----------------------------------------------------------------------- GPT-2
+def test_gpt2_small_prefill_layer_count():
+    graph = gpt2_prefill(GPT2_SMALL, batch=1, seq_len=512)
+    # 12 blocks x 14 layers + embedding projection + final norm
+    assert len(graph) == 12 * 14 + 2
+
+
+def test_gpt2_prefill_macs_scale_quadratically_with_sequence():
+    short = gpt2_prefill(GPT2_SMALL, batch=1, seq_len=128)
+    long = gpt2_prefill(GPT2_SMALL, batch=1, seq_len=256)
+    attention_short = sum(
+        short.layer(n).macs for n in short.layer_names() if "attn_score" in n
+    )
+    attention_long = sum(
+        long.layer(n).macs for n in long.layer_names() if "attn_score" in n
+    )
+    assert attention_long == pytest.approx(4 * attention_short)
+
+
+def test_gpt2_decode_kv_cache_grows_with_batch_and_context():
+    small = gpt2_decode(GPT2_SMALL, batch=1, context_len=256)
+    big_batch = gpt2_decode(GPT2_SMALL, batch=4, context_len=256)
+    long_context = gpt2_decode(GPT2_SMALL, batch=1, context_len=512)
+
+    def kv_bytes(graph):
+        return sum(
+            graph.layer(n).weight_bytes
+            for n in graph.layer_names()
+            if "attn_score" in n or "attn_context" in n
+        )
+
+    assert kv_bytes(big_batch) == 4 * kv_bytes(small)
+    assert kv_bytes(long_context) == 2 * kv_bytes(small)
+
+
+def test_gpt2_decode_has_low_compute_density():
+    prefill = gpt2_prefill(GPT2_SMALL, batch=1, seq_len=512)
+    decode = gpt2_decode(GPT2_SMALL, batch=1, context_len=512)
+    prefill_density = prefill.total_ops / max(1, prefill.total_weight_bytes)
+    decode_density = decode.total_ops / max(1, decode.total_weight_bytes)
+    assert decode_density < prefill_density / 50
+
+
+def test_gpt2_xl_is_larger_than_small():
+    assert GPT2_XL.hidden > GPT2_SMALL.hidden
+    assert GPT2_XL.num_layers > GPT2_SMALL.num_layers
+
+
+def test_gpt2_attention_kv_edges_are_untiled():
+    graph = gpt2_prefill(GPT2Config("t", 1, 64, 4, 128), batch=1, seq_len=8)
+    score = next(n for n in graph.layer_names() if n.endswith("attn_score"))
+    k_proj = next(n for n in graph.layer_names() if n.endswith("k_proj"))
+    assert graph.dependency(k_proj, score).tiled is False
+
+
+# -------------------------------------------------------------------- registry
+def test_registry_lists_all_paper_workloads():
+    names = available_workloads()
+    for expected in (
+        "resnet50",
+        "resnet101",
+        "inception_resnet_v1",
+        "randwire",
+        "gpt2-prefill",
+        "gpt2-decode",
+    ):
+        assert expected in names
+
+
+def test_registry_builds_by_name_with_batch():
+    graph = build_workload("resnet50", batch=4)
+    assert graph.batch == 4
+
+
+def test_registry_gpt2_variant_and_seq_len():
+    graph = build_workload("gpt2-prefill", batch=1, variant="tiny", seq_len=32)
+    assert "prefill" in graph.name
+    assert graph.layer("block1_attn_score").out_height == 32
+
+
+def test_registry_unknown_name_rejected():
+    with pytest.raises(WorkloadError):
+        build_workload("not-a-model")
+
+
+def test_registry_unknown_gpt2_variant_rejected():
+    with pytest.raises(WorkloadError):
+        build_workload("gpt2-prefill", variant="huge")
