@@ -130,3 +130,31 @@ def comparison_row(cell: Fig6Cell, seed: int = 2025) -> ComparisonRow:
     )
     _ROW_CACHE[key] = row
     return row
+
+
+def comparison_rows(cells: list[Fig6Cell], seed: int = 2025) -> list[ComparisonRow]:
+    """Comparison rows for many cells, fanned across ``REPRO_WORKERS`` workers.
+
+    Cells already in the session cache are reused; the rest run through
+    :class:`~repro.experiments.parallel.ParallelRunner` (serial by default),
+    with results identical to per-cell :func:`comparison_row` calls because
+    every cell keeps the same explicit seed.
+    """
+    from repro.analysis.comparison import ComparisonTask, compare_cells
+
+    missing = [cell for cell in cells if cell.key + (seed,) not in _ROW_CACHE]
+    if missing:
+        tasks = [
+            ComparisonTask(
+                workload=cell.workload,
+                platform=cell.platform,
+                batch=cell.batch,
+                workload_kwargs=cell.workload_kwargs,
+                config=bench_config(seed),
+                seed=seed,
+            )
+            for cell in missing
+        ]
+        for cell, row in zip(missing, compare_cells(tasks)):
+            _ROW_CACHE[cell.key + (seed,)] = row
+    return [_ROW_CACHE[cell.key + (seed,)] for cell in cells]

@@ -1,0 +1,141 @@
+"""Search-throughput benchmark: evals/sec of the evaluation engine.
+
+The SoMa search spends its time in two loops: the stage-2 DLSA loop, which
+re-evaluates one fixed plan thousands of times, and the stage-1 LFA loop,
+which parses and evaluates a fresh candidate per iteration.  This benchmark
+measures both against the seed code path so perf regressions (or wins) show
+up in ``benchmarks/results/``:
+
+* ``test_dlsa_eval_throughput`` replays an identical stream of DLSA operator
+  moves through the seed evaluator (full recompute per call,
+  ``ScheduleEvaluator.evaluate_reference``) and through the incremental
+  :class:`PlanEvaluationContext`, asserting the results stay identical and
+  the engine clears the 3x speedup bar on the default Fig. 6 subset.
+* ``test_search_wall_clock`` times the full two-stage search per cell and
+  reports end-to-end evals/sec (SA iterations per second of wall clock).
+
+Like the other benchmarks, the default grid is the scaled-down Fig. 6
+subset; ``REPRO_BENCH_FULL=1`` runs the full paper grid.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from benchmarks.common import bench_config, fig6_cells
+from repro.core.dlsa_stage import DLSA_OPERATORS
+from repro.core.double_buffer import double_buffer_dlsa
+from repro.core.evaluator import ScheduleEvaluator
+from repro.core.lfa_stage import initial_lfa
+from repro.core.soma import SoMaScheduler
+from repro.notation.parser import parse_lfa
+
+_MOVES = 120
+_SPEEDUP_FLOOR = 3.0
+
+
+def _move_stream(plan, rng: random.Random, count: int):
+    """A deterministic stream of DLSA states, as the stage-2 annealer walks:
+    each move perturbs the previous state, so consecutive states differ in
+    at most one tensor's Living Duration or order position."""
+    states = [double_buffer_dlsa(plan)]
+    while len(states) < count:
+        for operator in DLSA_OPERATORS:
+            candidate = operator(plan, states[-1], rng)
+            if candidate is not None:
+                states.append(candidate)
+                break
+        else:  # pragma: no cover - both operators degenerate
+            states.append(states[-1])
+    return states[:count]
+
+
+def _bench_plan(cell):
+    """A representative (moderately fused) plan for one Fig. 6 cell."""
+    graph = cell.build_graph()
+    accelerator = cell.build_accelerator()
+    lfa = initial_lfa(graph, accelerator.core_array.kc_parallel_lanes)
+    plan = parse_lfa(graph, lfa)
+    return graph, accelerator, plan
+
+
+@pytest.mark.benchmark(group="search-throughput")
+def test_dlsa_eval_throughput(reporter):
+    reporter.line("DLSA evaluation throughput: seed full recompute vs incremental engine")
+    reporter.line(
+        f"{'workload':28s} {'plat':5s} {'bs':>3s} {'tensors':>8s} "
+        f"{'seed ev/s':>10s} {'engine ev/s':>12s} {'speedup':>8s}"
+    )
+    speedups = []
+    for cell in fig6_cells():
+        graph, accelerator, plan = _bench_plan(cell)
+        rng = random.Random(2025)
+        states = _move_stream(plan, rng, _MOVES)
+
+        reference = ScheduleEvaluator(accelerator)
+        engine = ScheduleEvaluator(accelerator, mapper=reference.mapper)
+        context = engine.context(plan)
+
+        # Warm the DLSA-independent state on both paths so the measurement
+        # isolates the per-evaluation work (the seed path cached its static
+        # costs per plan too).
+        reference.evaluate_reference(plan, states[0])
+        context.evaluate(states[0])
+
+        start = time.perf_counter()
+        reference_results = [reference.evaluate_reference(plan, s) for s in states]
+        reference_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        engine_results = [context.evaluate(s) for s in states]
+        engine_s = time.perf_counter() - start
+
+        for ref, new in zip(reference_results, engine_results):
+            assert new.latency_s == ref.latency_s
+            assert new.energy_j == ref.energy_j
+            assert new.max_buffer_bytes == ref.max_buffer_bytes
+            assert new.feasible == ref.feasible
+
+        seed_rate = len(states) / reference_s
+        engine_rate = len(states) / engine_s
+        speedup = engine_rate / seed_rate
+        speedups.append(speedup)
+        reporter.line(
+            f"{cell.workload:28s} {cell.platform:5s} {cell.batch:>3d} "
+            f"{plan.num_dram_tensors:>8d} {seed_rate:>10.0f} {engine_rate:>12.0f} "
+            f"{speedup:>7.2f}x"
+        )
+
+    geomean = 1.0
+    for value in speedups:
+        geomean *= value
+    geomean **= 1.0 / len(speedups)
+    reporter.line("")
+    reporter.line(f"geometric-mean speedup: {geomean:.2f}x (floor {_SPEEDUP_FLOOR:.1f}x)")
+    assert geomean >= _SPEEDUP_FLOOR
+
+
+@pytest.mark.benchmark(group="search-throughput")
+def test_search_wall_clock(reporter):
+    reporter.line("End-to-end search wall clock (SoMa two-stage, default budgets)")
+    reporter.line(
+        f"{'workload':28s} {'plat':5s} {'bs':>3s} {'wall(s)':>8s} "
+        f"{'iters':>7s} {'evals/s':>9s} {'latency(ms)':>12s}"
+    )
+    for cell in fig6_cells():
+        graph = cell.build_graph()
+        accelerator = cell.build_accelerator()
+        scheduler = SoMaScheduler(accelerator, bench_config())
+        start = time.perf_counter()
+        result = scheduler.schedule(graph, seed=2025)
+        wall = time.perf_counter() - start
+        iterations = result.stage1.iterations + result.stage2.iterations
+        reporter.line(
+            f"{cell.workload:28s} {cell.platform:5s} {cell.batch:>3d} {wall:>8.2f} "
+            f"{iterations:>7d} {iterations / wall:>9.0f} "
+            f"{result.evaluation.latency_s * 1e3:>12.3f}"
+        )
+        assert result.evaluation.feasible

@@ -19,7 +19,7 @@ from repro.core.config import SoMaConfig
 from repro.core.core_array import CoreArrayMapper
 from repro.core.result import EvaluationResult
 from repro.core.soma import SoMaScheduler
-from repro.hardware.accelerator import AcceleratorConfig
+from repro.hardware.accelerator import AcceleratorConfig, cloud_accelerator, edge_accelerator
 from repro.workloads.graph import WorkloadGraph
 from repro.workloads.registry import build_workload
 
@@ -197,6 +197,49 @@ def compare_named_workload(
     """Registry-name convenience wrapper around :func:`compare_workload`."""
     graph = build_workload(workload_name, batch=batch, **workload_kwargs)
     return compare_workload(graph, accelerator, config=config, seed=seed)
+
+
+@dataclass(frozen=True)
+class ComparisonTask:
+    """A self-contained, picklable description of one Fig. 6 cell.
+
+    The graph and accelerator are built inside the worker (from the registry
+    name and platform), so fanning tasks across processes ships only this
+    small record plus the config.  The explicit per-task seed keeps results
+    identical for any worker count.
+    """
+
+    workload: str
+    platform: str = "edge"
+    batch: int = 1
+    workload_kwargs: tuple[tuple[str, object], ...] = ()
+    config: SoMaConfig | None = None
+    seed: int | None = None
+
+    def build_accelerator(self) -> AcceleratorConfig:
+        """The accelerator this task's cell runs on."""
+        if self.platform == "edge":
+            return edge_accelerator()
+        if self.platform == "cloud":
+            return cloud_accelerator()
+        raise ValueError(f"unknown platform {self.platform!r}; expected 'edge' or 'cloud'")
+
+
+def run_comparison_task(task: ComparisonTask) -> ComparisonRow:
+    """Run one Fig. 6 cell described by a :class:`ComparisonTask`."""
+    graph = build_workload(task.workload, batch=task.batch, **dict(task.workload_kwargs))
+    return compare_workload(graph, task.build_accelerator(), config=task.config, seed=task.seed)
+
+
+def compare_cells(tasks: list[ComparisonTask], workers: int | None = None) -> list[ComparisonRow]:
+    """Run many Fig. 6 cells, fanned across workers (see ``REPRO_WORKERS``).
+
+    Results come back in task order and are identical to a serial run: every
+    task is independent and carries its own seed.
+    """
+    from repro.experiments.parallel import ParallelRunner
+
+    return ParallelRunner(workers).map(run_comparison_task, tasks)
 
 
 def summarize(rows: list[ComparisonRow]) -> ComparisonSummary:

@@ -93,6 +93,42 @@ class DSEResult:
         raise ValueError(f"unknown scheduler {scheduler!r}")
 
 
+@dataclass(frozen=True)
+class _DSEPointTask:
+    """One picklable (bandwidth, buffer) design point of a DSE sweep."""
+
+    graph: WorkloadGraph
+    base_accelerator: AcceleratorConfig
+    config: SoMaConfig
+    seed: int | None
+    dram_bandwidth_gb_s: float
+    buffer_mb: float
+
+
+def _run_dse_point(task: _DSEPointTask) -> DSECell:
+    """Run Cocco and SoMa at one design point (fresh schedulers, fixed seed)."""
+    accelerator = task.base_accelerator.with_memory(
+        gbuf_bytes=int(task.buffer_mb * MB),
+        dram_bandwidth_bytes_per_s=task.dram_bandwidth_gb_s * 1e9,
+    )
+    cocco_latency = _safe_latency(
+        lambda: CoccoScheduler(accelerator, task.config)
+        .schedule(task.graph, seed=task.seed)
+        .evaluation.latency_s
+    )
+    soma_latency = _safe_latency(
+        lambda: SoMaScheduler(accelerator, task.config)
+        .schedule(task.graph, seed=task.seed)
+        .evaluation.latency_s
+    )
+    return DSECell(
+        dram_bandwidth_gb_s=task.dram_bandwidth_gb_s,
+        buffer_mb=task.buffer_mb,
+        cocco_latency_s=cocco_latency,
+        soma_latency_s=soma_latency,
+    )
+
+
 def run_dse(
     graph: WorkloadGraph,
     base_accelerator: AcceleratorConfig,
@@ -100,35 +136,32 @@ def run_dse(
     buffer_sizes_mb: list[float],
     config: SoMaConfig | None = None,
     seed: int | None = None,
+    workers: int | None = None,
 ) -> DSEResult:
     """Sweep DRAM bandwidth x buffer capacity for one workload.
 
     Design points where a scheduler finds no feasible scheme (e.g. a buffer
     too small for any single layer) are recorded with infinite latency so the
-    envelope logic simply ignores them.
+    envelope logic simply ignores them.  Points are independent (fresh
+    schedulers, explicit seed), so they fan across ``workers`` processes
+    (default: ``REPRO_WORKERS``) with results identical to a serial sweep.
     """
     config = config if config is not None else SoMaConfig()
-    cells: list[DSECell] = []
-    for buffer_mb in buffer_sizes_mb:
-        for bandwidth in dram_bandwidths_gb_s:
-            accelerator = base_accelerator.with_memory(
-                gbuf_bytes=int(buffer_mb * MB),
-                dram_bandwidth_bytes_per_s=bandwidth * 1e9,
-            )
-            cocco_latency = _safe_latency(
-                lambda: CoccoScheduler(accelerator, config).schedule(graph, seed=seed).evaluation.latency_s
-            )
-            soma_latency = _safe_latency(
-                lambda: SoMaScheduler(accelerator, config).schedule(graph, seed=seed).evaluation.latency_s
-            )
-            cells.append(
-                DSECell(
-                    dram_bandwidth_gb_s=bandwidth,
-                    buffer_mb=buffer_mb,
-                    cocco_latency_s=cocco_latency,
-                    soma_latency_s=soma_latency,
-                )
-            )
+    tasks = [
+        _DSEPointTask(
+            graph=graph,
+            base_accelerator=base_accelerator,
+            config=config,
+            seed=seed,
+            dram_bandwidth_gb_s=bandwidth,
+            buffer_mb=buffer_mb,
+        )
+        for buffer_mb in buffer_sizes_mb
+        for bandwidth in dram_bandwidths_gb_s
+    ]
+    from repro.experiments.parallel import ParallelRunner
+
+    cells = ParallelRunner(workers).map(_run_dse_point, tasks)
     return DSEResult(workload=graph.name, batch=graph.batch, cells=tuple(cells))
 
 

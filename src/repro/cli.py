@@ -11,6 +11,11 @@ be driven without writing Python:
 * ``overall``    - run the overall experiment grid and write ``overall.csv``
   and ``stats.log``;
 * ``dse``        - run a bandwidth x buffer sweep and write ``dse.csv``.
+
+``--workers N`` (or the ``REPRO_WORKERS`` environment variable) fans
+independent cells/design points across processes with results identical to a
+serial run; ``schedule --restarts K`` explores K independent SA chains with
+derived seeds and keeps the best scheme.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from repro.compiler.ir import generate_ir
 from repro.core.config import SAParams, SoMaConfig
 from repro.core.soma import SoMaScheduler
 from repro.experiments.overall import ExperimentCell, default_cells, run_overall_experiment
+from repro.experiments.parallel import multi_restart_schedule
 from repro.experiments.sweep import run_dse_experiment
 from repro.hardware.accelerator import cloud_accelerator, edge_accelerator
 from repro.workloads.registry import available_workloads, build_workload
@@ -58,6 +64,18 @@ def _workload_kwargs(args: argparse.Namespace) -> dict:
     return kwargs
 
 
+def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
+    # Only subcommands that actually fan work out accept --workers; adding it
+    # everywhere would silently ignore it (e.g. on `compare`).
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="multiprocessing workers for independent cells/chains "
+        "(default: the REPRO_WORKERS environment variable, then serial)",
+    )
+
+
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workload", default="resnet50", help="registry name of the workload")
     parser.add_argument("--batch", type=int, default=1)
@@ -84,6 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
     schedule.add_argument(
         "--instructions-out", type=Path, default=None, help="write the instruction listing here"
     )
+    schedule.add_argument(
+        "--restarts",
+        type=int,
+        default=1,
+        help="independent SA chains with derived seeds; the best scheme wins",
+    )
+    _add_workers_argument(schedule)
 
     compare = subparsers.add_parser("compare", help="compare Cocco and SoMa on one workload")
     _add_common_arguments(compare)
@@ -95,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     overall.add_argument("--lfa-budget", type=float, default=12.0)
     overall.add_argument("--dlsa-budget", type=float, default=6.0)
     overall.add_argument("--allocator-iterations", type=int, default=2)
+    _add_workers_argument(overall)
 
     dse = subparsers.add_parser("dse", help="run a DRAM-bandwidth x buffer sweep")
     _add_common_arguments(dse)
@@ -102,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--bandwidths", type=float, nargs="+", default=[8.0, 16.0, 32.0])
     dse.add_argument("--buffers", type=float, nargs="+", default=[4.0, 8.0, 16.0])
     dse.add_argument("--out-dir", type=Path, default=Path("results"))
+    _add_workers_argument(dse)
 
     return parser
 
@@ -122,7 +149,19 @@ def _cmd_schedule(args: argparse.Namespace, out) -> int:
     accelerator = _make_accelerator(args)
     graph = build_workload(args.workload, batch=args.batch, **_workload_kwargs(args))
     config = _make_config(args)
-    result = SoMaScheduler(accelerator, config).schedule(graph, seed=args.seed)
+    if args.restarts != 1:
+        # restarts < 1 is rejected by multi_restart_schedule with a clear error
+        # instead of silently behaving like a single chain.
+        result = multi_restart_schedule(
+            accelerator,
+            graph,
+            config=config,
+            seed=args.seed,
+            restarts=args.restarts,
+            workers=args.workers,
+        )
+    else:
+        result = SoMaScheduler(accelerator, config).schedule(graph, seed=args.seed)
     out.write(result.describe() + "\n")
     out.write(
         f"compute utilisation {result.evaluation.compute_utilization(accelerator):.3f} "
@@ -166,6 +205,7 @@ def _cmd_overall(args: argparse.Namespace, out) -> int:
     experiment = run_overall_experiment(
         cells=default_cells(), config=config, seed=args.seed,
         progress=lambda message: out.write(message + "\n"),
+        workers=args.workers,
     )
     args.out_dir.mkdir(parents=True, exist_ok=True)
     (args.out_dir / "overall.csv").write_text(experiment.to_csv() + "\n")
@@ -186,6 +226,7 @@ def _cmd_dse(args: argparse.Namespace, out) -> int:
         seed=args.seed,
         progress=lambda message: out.write(message + "\n"),
         workload_kwargs=_workload_kwargs(args),
+        workers=args.workers,
     )
     args.out_dir.mkdir(parents=True, exist_ok=True)
     (args.out_dir / "dse.csv").write_text(experiment.to_csv() + "\n")

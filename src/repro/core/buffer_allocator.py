@@ -23,7 +23,7 @@ from repro.core.evaluator import ScheduleEvaluator
 from repro.core.lfa_stage import LFAStage
 from repro.core.result import SoMaResult, StageResult
 from repro.errors import SchedulingError
-from repro.notation.parser import parse_lfa
+from repro.notation.parser import parse_lfa_cached
 from repro.workloads.graph import WorkloadGraph
 
 
@@ -89,7 +89,7 @@ class BufferAllocator:
                 f"on {self._evaluator.accelerator.name!r}"
             )
 
-        plan = parse_lfa(self._graph, best.stage2.encoding.lfa)
+        plan = parse_lfa_cached(self._graph, best.stage2.encoding.lfa)
         dlsa = best.stage2.encoding.dlsa
         if dlsa is None:
             dlsa = double_buffer_dlsa(plan)
@@ -119,7 +119,7 @@ class BufferAllocator:
                 stage1=stage1, stage2=stage1, stage1_budget=stage1_budget, cost=math.inf
             )
 
-        plan = parse_lfa(self._graph, stage1.encoding.lfa)
+        plan = parse_lfa_cached(self._graph, stage1.encoding.lfa)
         initial_dlsa = double_buffer_dlsa(plan)
         dlsa_outcome = self._dlsa_stage.explore(
             lfa=stage1.encoding.lfa,

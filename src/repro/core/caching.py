@@ -1,0 +1,108 @@
+"""Search-wide caching primitives for the evaluation engine.
+
+The SoMa search pays for the same derived state over and over: LFA parses
+(stage 1 revisits states), FLG tilings (the same (layers, Tiling Number)
+pairs recur across parses), per-plan static costs and per-state evaluation
+results.  This module provides the shared, bounded LRU cache used at every
+one of those levels, keyed by the stable ``fingerprint()`` of the notation
+objects (see :mod:`repro.notation`) instead of fragile ``id()`` keys.
+
+Cache sizes are tunable through environment variables named
+``REPRO_<NAME>_CACHE`` (e.g. ``REPRO_PARSE_CACHE=512``); a value of ``0``
+disables the cache entirely.  See ROADMAP.md for the full list of perf knobs.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+_MISSING = object()
+
+
+def cache_size(name: str, default: int) -> int:
+    """Resolve one cache's capacity from ``REPRO_<NAME>_CACHE`` or a default."""
+    raw = os.environ.get(f"REPRO_{name.upper()}_CACHE")
+    if raw is None:
+        return default
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return default
+
+
+class LRUCache:
+    """A small, dependency-free LRU mapping with hit/miss statistics.
+
+    A ``maxsize`` of 0 disables storage (every lookup misses), which keeps
+    the call sites free of conditionals when a cache is turned off via the
+    environment.
+    """
+
+    __slots__ = ("_data", "maxsize", "hits", "misses")
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = max(0, maxsize)
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, refreshing its recency on a hit."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) ``key``, evicting the least recent entry."""
+        if self.maxsize == 0:
+            return
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key`` or compute, store and return it."""
+        value = self._data.get(key, _MISSING)
+        if value is not _MISSING:
+            self.hits += 1
+            self._data.move_to_end(key)
+            return value
+        self.misses += 1
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._data.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Snapshot of the cache's occupancy and hit statistics."""
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }

@@ -26,10 +26,13 @@ from repro.notation.plan import ComputePlan
 
 # ------------------------------------------------------------------- operators
 def _pick_tensor(plan: ComputePlan, rng: random.Random) -> int:
-    """Pick a DRAM tensor id with probability proportional to its size."""
-    tensors = plan.dram_tensors
-    weights = [max(1, t.num_bytes) for t in tensors]
-    return rng.choices(range(len(tensors)), weights=weights, k=1)[0]
+    """Pick a DRAM tensor id with probability proportional to its size.
+
+    The weights only depend on the plan, so they are computed once per plan
+    (``ComputePlan.tensor_size_weights``) instead of on every move proposal.
+    """
+    weights = plan.tensor_size_weights
+    return rng.choices(range(len(weights)), weights=weights, k=1)[0]
 
 
 def op_change_tensor_order(plan: ComputePlan, dlsa: DLSA, rng: random.Random) -> DLSA | None:
@@ -100,14 +103,19 @@ class DLSAStage:
         rng: random.Random,
     ) -> DLSAStageOutcome:
         """Run stage 2 from the stage-1 scheme (LFA fixed, DLSA annealed)."""
+        # One evaluation context serves the whole run: stage 2 keeps the plan
+        # fixed, so every annealing step hits the incremental fast path.
+        context = self._evaluator.context(plan)
         outcome = self._annealer.run(
             initial_state=initial_dlsa,
-            cost_fn=lambda dlsa: self.cost(plan, dlsa, buffer_budget_bytes),
+            cost_fn=lambda dlsa: self._penalised_cost(
+                context.evaluate(dlsa, buffer_budget_bytes), buffer_budget_bytes
+            ),
             neighbor_fn=lambda dlsa, move_rng: self._neighbor(plan, dlsa, move_rng),
             rng=rng,
             units=plan.num_dram_tensors,
         )
-        evaluation = self._evaluator.evaluate(plan, outcome.best_state, buffer_budget_bytes)
+        evaluation = context.evaluate(outcome.best_state, buffer_budget_bytes)
         stage_result = StageResult(
             encoding=ScheduleEncoding(lfa=lfa, dlsa=outcome.best_state),
             evaluation=evaluation,

@@ -16,5 +16,33 @@ from repro.notation.plan import ComputePlan
 
 
 def double_buffer_dlsa(plan: ComputePlan) -> DLSA:
-    """Return the double-buffer DLSA for a parsed plan."""
-    return DLSA.from_defaults(plan.dram_tensors)
+    """Return the double-buffer DLSA for a parsed plan.
+
+    Equivalent to ``DLSA.from_defaults(plan.dram_tensors)`` (asserted by the
+    DLSA tests) but built from the plan's flat tensor arrays: this runs once
+    per stage-1 candidate, where per-tensor attribute walks are measurable.
+    A load that reads back another LG's stores anchors behind the *latest*
+    producing store — the same adjustment ``from_defaults`` derives from its
+    per-layer last-store map.
+    """
+    is_load, _num_bytes, first_use, last_use = plan.tensor_arrays
+    _store_tids, src_store_tids = plan.store_structure
+    keys: list[tuple[int, int, int]] = []
+    living: dict[int, tuple[int, int]] = {}
+    for tid in range(plan.num_dram_tensors):
+        use = first_use[tid]
+        if is_load[tid]:
+            start = use - 1 if use > 0 else 0
+            living[tid] = (start, last_use[tid] + 1)
+            anchor = start
+            stores = src_store_tids[tid]
+            if stores:
+                produced = max(first_use[store_tid] for store_tid in stores) + 1
+                if produced > anchor:
+                    anchor = produced
+            keys.append((anchor, 0, tid))  # loads go before drains
+        else:
+            living[tid] = (use, use + 1)
+            keys.append((use, 1, tid))
+    keys.sort()
+    return DLSA(order=tuple(key[2] for key in keys), living=living)

@@ -1,0 +1,436 @@
+"""Cache-aware, incremental evaluation engine for one compute plan.
+
+The two SA stages spend essentially all of their time evaluating (plan,
+DLSA) pairs.  Everything that does not depend on the DLSA — tile costs,
+tensor transfer times, the store/load dependency structure and the on-chip
+buffer-delta baseline — is a pure function of the plan, yet the seed
+evaluator re-derived much of it (and rebuilt the full buffer-occupancy scan)
+on every one of the DLSA stage's thousands of calls.
+
+:class:`PlanEvaluationContext` is constructed once per
+:class:`~repro.notation.plan.ComputePlan` and precomputes all of that state
+into flat arrays.  Its :meth:`evaluate` is the hot path of the whole search:
+
+* the buffer-delta array is *patched* incrementally when only a few Living
+  Durations changed since the previous call (the two DLSA operators change
+  at most one), instead of being rebuilt from every interval;
+* the co-operative DRAM/compute simulation runs over precomputed arrays with
+  no per-tensor attribute or property lookups;
+* results are memoised in a small LRU keyed by the exact DLSA content, the
+  engine-level realisation of SA cost memoisation.
+
+The numbers it produces are bit-identical to the seed evaluator's reference
+implementation (kept as :meth:`ScheduleEvaluator.evaluate_reference` and
+asserted by ``tests/test_eval_context.py``), with the single exception of
+``avg_buffer_bytes`` which may differ by float rounding (the engine uses a
+vectorised dot product) — that statistic feeds no search decision.
+
+Perf knobs (see ROADMAP.md): ``REPRO_RESULT_CACHE`` bounds the per-context
+result memo; numpy is used for the occupancy scans when available, with a
+pure-Python fallback otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+
+try:  # numpy is optional: the engine falls back to pure Python without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image ships numpy
+    _np = None
+
+from repro.core.caching import LRUCache, cache_size
+from repro.core.result import EvaluationResult, TileRecord, TransferRecord
+from repro.hardware.accelerator import AcceleratorConfig
+from repro.notation.dlsa import DLSA
+from repro.notation.plan import ComputePlan
+
+
+class PlanEvaluationContext:
+    """Precomputed, DLSA-independent evaluation state for one plan."""
+
+    def __init__(
+        self,
+        accelerator: AcceleratorConfig,
+        mapper,
+        plan: ComputePlan,
+        result_cache_size: int | None = None,
+    ) -> None:
+        if not plan.feasible:
+            raise ValueError("cannot build an evaluation context for an infeasible plan")
+        self.plan = plan
+        self.accelerator = accelerator
+        self.eval_count = 0
+
+        # ------------------------------------------------- static cost model
+        layer_costs = {
+            name: mapper.evaluate_tile(plan.graph.layer(name), tiling)
+            for name, tiling in plan.layer_tilings.items()
+        }
+        self.tile_seconds: list[float] = [layer_costs[t.layer].seconds for t in plan.tiles]
+        self.core_energy_j: float = sum(layer_costs[t.layer].energy_j for t in plan.tiles)
+        memory = accelerator.memory
+        self.tensor_seconds: list[float] = [
+            memory.dram_transfer_seconds(t.num_bytes) for t in plan.dram_tensors
+        ]
+        self.dram_energy_j: float = accelerator.energy.dram_energy_j(plan.total_dram_bytes)
+        self.compute_time_sum_s: float = sum(self.tile_seconds)
+        self.dram_time_sum_s: float = sum(self.tensor_seconds)
+        self.total_ops: int = plan.total_ops
+        self.total_dram_bytes: int = plan.total_dram_bytes
+
+        # ------------------------------------------- flat dependency arrays
+        num_tiles = plan.num_tiles
+        self._num_tiles = num_tiles
+        self._num_tensors = plan.num_dram_tensors
+        self._is_load, self._num_bytes, self._first_use, self._last_use = plan.tensor_arrays
+        self._tile_required_loads: list[list[int]] = plan.tile_required_loads
+        # Store tids plus, for every load that reads back another LG's stored
+        # ofmap, the store tids it must wait for (the seed gate order).
+        self._store_tids, self._src_store_tids = plan.store_structure
+
+        # ------------------------------------- buffer-delta baseline (fixed)
+        # Deltas live in plain lists: element updates are far cheaper than
+        # numpy scalar indexing; numpy only runs the O(num_tiles) scan.
+        self._base_deltas: list[int] = [0] * (num_tiles + 1)
+        for interval in plan.onchip_intervals:
+            self._apply_interval(
+                self._base_deltas, interval.start_tile, interval.end_tile, interval.num_bytes
+            )
+        if _np is not None:
+            self._tile_seconds_arr = _np.asarray(self.tile_seconds, dtype=_np.float64)
+        else:
+            self._tile_seconds_arr = None
+
+        # --------------------------------------------- incremental occupancy
+        self._occ_living: dict[int, tuple[int, int]] | None = None
+        self._occ_deltas = None
+        self._occ_result: tuple[int, float] | None = None
+
+        # ------------------------------------------------------- result memo
+        if result_cache_size is None:
+            result_cache_size = cache_size("RESULT", 512)
+        self._results = LRUCache(result_cache_size)
+        self._double_buffer: DLSA | None = None
+
+    # ------------------------------------------------------------------ public
+    @property
+    def double_buffer(self) -> DLSA:
+        """The plan's classical double-buffer DLSA (computed once, cached)."""
+        if self._double_buffer is None:
+            from repro.core.double_buffer import double_buffer_dlsa
+
+            self._double_buffer = double_buffer_dlsa(self.plan)
+        return self._double_buffer
+
+    def evaluate(
+        self,
+        dlsa: DLSA,
+        buffer_budget_bytes: int | None = None,
+        include_trace: bool = False,
+    ) -> EvaluationResult:
+        """Evaluate one DLSA against this context's plan.
+
+        Semantics match :meth:`ScheduleEvaluator.evaluate_reference` exactly;
+        see the module docstring for the engine's shortcuts.
+        """
+        if buffer_budget_bytes is None:
+            buffer_budget_bytes = self.accelerator.gbuf_bytes
+        if not include_trace:
+            # The memo key is the exact DLSA content as a raw tuple: tuple
+            # hashing is C-speed, whereas a digest fingerprint costs a repr
+            # of the whole state per call — far more than the evaluation it
+            # would save (fingerprints stay the right key for the coarser,
+            # cross-plan caches).
+            key = (dlsa.order, tuple(dlsa.living.items()), buffer_budget_bytes)
+            cached = self._results.get(key)
+            if cached is not None:
+                return cached
+        result = self._evaluate_uncached(dlsa, buffer_budget_bytes, include_trace)
+        if not include_trace:
+            self._results.put(key, result)
+        return result
+
+    def cache_stats(self) -> dict:
+        """Result-memo statistics plus the number of evaluations performed."""
+        stats = self._results.stats()
+        stats["evaluations"] = self.eval_count
+        return stats
+
+    # ---------------------------------------------------------------- internal
+    def _evaluate_uncached(
+        self, dlsa: DLSA, buffer_budget_bytes: int, include_trace: bool
+    ) -> EvaluationResult:
+        self.eval_count += 1
+        plan = self.plan
+        max_buffer, avg_buffer = self._occupancy(dlsa.living)
+
+        timing = self._simulate(dlsa)
+        if timing is None:
+            return EvaluationResult(
+                feasible=False,
+                reason="deadlock between the DRAM Tensor Order and the compute sequence",
+                max_buffer_bytes=max_buffer,
+                avg_buffer_bytes=avg_buffer,
+                num_tiles=plan.num_tiles,
+                num_dram_tensors=plan.num_dram_tensors,
+                num_lgs=plan.num_lgs,
+                num_flgs=plan.num_flgs,
+            )
+        tile_finish, transfer_start, transfer_finish, latency = timing
+
+        feasible = max_buffer <= buffer_budget_bytes
+        reason = "" if feasible else (
+            f"peak buffer {max_buffer} bytes exceeds budget {buffer_budget_bytes} bytes"
+        )
+
+        tile_records: tuple[TileRecord, ...] = ()
+        transfer_records: tuple[TransferRecord, ...] = ()
+        if include_trace:
+            tile_seconds = self.tile_seconds
+            tile_records = tuple(
+                TileRecord(index=i, start_s=finish - tile_seconds[i], finish_s=finish)
+                for i, finish in enumerate(tile_finish)
+            )
+            transfer_records = tuple(
+                TransferRecord(tid=tid, start_s=transfer_start[tid], finish_s=transfer_finish[tid])
+                for tid in range(self._num_tensors)
+            )
+
+        return EvaluationResult(
+            feasible=feasible,
+            reason=reason,
+            latency_s=latency,
+            energy_j=self.core_energy_j + self.dram_energy_j,
+            core_energy_j=self.core_energy_j,
+            dram_energy_j=self.dram_energy_j,
+            compute_time_sum_s=self.compute_time_sum_s,
+            dram_time_sum_s=self.dram_time_sum_s,
+            total_ops=self.total_ops,
+            total_dram_bytes=self.total_dram_bytes,
+            max_buffer_bytes=max_buffer,
+            avg_buffer_bytes=avg_buffer,
+            num_tiles=plan.num_tiles,
+            num_dram_tensors=plan.num_dram_tensors,
+            num_lgs=plan.num_lgs,
+            num_flgs=plan.num_flgs,
+            tile_records=tile_records,
+            transfer_records=transfer_records,
+        )
+
+    # ------------------------------------------------------- buffer occupancy
+    def _apply_interval(self, deltas: list[int], start: int, end: int, num_bytes: int) -> None:
+        """Add one residency interval, with the seed evaluator's clamping."""
+        last = self._num_tiles - 1
+        if start < 0:
+            start = 0
+        elif start > last:
+            start = last
+        if end < start:
+            end = start
+        elif end > last:
+            end = last
+        deltas[start] += num_bytes
+        deltas[end + 1] -= num_bytes
+
+    def _tensor_span(self, tid: int, start: int, end: int) -> tuple[int, int]:
+        """The buffer interval one tensor occupies for a given Living Duration."""
+        if self._is_load[tid]:
+            return start, self._last_use[tid]
+        return self._first_use[tid], end - 1
+
+    def _occupancy(self, living: dict[int, tuple[int, int]]) -> tuple[int, float]:
+        """Peak and compute-time-weighted average buffer usage in bytes.
+
+        The delta array is patched from the previously evaluated Living
+        Durations when few of them changed (the common case under the DLSA
+        operators); a reorder-only move reuses the cached scan entirely.
+        """
+        if self._num_tiles == 0:
+            return 0, 0.0
+        cached_living = self._occ_living
+        if cached_living is not None and len(living) == len(cached_living):
+            if living == cached_living:
+                return self._occ_result
+            changed: list[tuple[int, tuple[int, int]]] | None = []
+            for tid, span in living.items():
+                old_span = cached_living.get(tid)
+                if old_span != span:
+                    if old_span is None:  # foreign DLSA: fall back to a rebuild
+                        changed = None
+                        break
+                    changed.append((tid, old_span))
+            if changed is not None and len(changed) <= max(8, self._num_tensors // 8):
+                deltas = self._occ_deltas
+                for tid, (old_start, old_end) in changed:
+                    span = self._tensor_span(tid, old_start, old_end)
+                    self._apply_interval(deltas, span[0], span[1], -self._num_bytes[tid])
+                    new_start, new_end = living[tid]
+                    span = self._tensor_span(tid, new_start, new_end)
+                    self._apply_interval(deltas, span[0], span[1], self._num_bytes[tid])
+                return self._finish_occupancy(living, deltas)
+        # Full rebuild: baseline (on-chip intervals) plus every DRAM tensor.
+        deltas = list(self._base_deltas)
+        is_load = self._is_load
+        num_bytes = self._num_bytes
+        first_use = self._first_use
+        last_use = self._last_use
+        last = self._num_tiles - 1
+        for tid in range(self._num_tensors):
+            start, end = living[tid]
+            if is_load[tid]:
+                hi = last_use[tid]
+            else:
+                start = first_use[tid]
+                hi = end - 1
+            if start < 0:
+                start = 0
+            elif start > last:
+                start = last
+            if hi < start:
+                hi = start
+            elif hi > last:
+                hi = last
+            size = num_bytes[tid]
+            deltas[start] += size
+            deltas[hi + 1] -= size
+        return self._finish_occupancy(living, deltas)
+
+    def _finish_occupancy(self, living, deltas) -> tuple[int, float]:
+        num_tiles = self._num_tiles
+        if _np is not None:
+            usage = _np.cumsum(_np.asarray(deltas[:num_tiles], dtype=_np.int64))
+            max_usage = int(usage.max())
+            total = self.compute_time_sum_s
+            avg = float(usage @ self._tile_seconds_arr) / total if total > 0 else 0.0
+        else:  # pragma: no cover - exercised only without numpy
+            usage = 0
+            max_usage = 0
+            weighted = 0.0
+            tile_seconds = self.tile_seconds
+            for index in range(num_tiles):
+                usage += deltas[index]
+                if usage > max_usage:
+                    max_usage = usage
+                weighted += usage * tile_seconds[index]
+            total = self.compute_time_sum_s
+            avg = weighted / total if total > 0 else 0.0
+        self._occ_living = dict(living)
+        self._occ_deltas = deltas
+        self._occ_result = (max_usage, avg)
+        return self._occ_result
+
+    # --------------------------------------------------------------- simulate
+    def _simulate(
+        self, dlsa: DLSA
+    ) -> tuple[list[float], list[float], list[float], float] | None:
+        """Co-operative simulation of the DRAM channel and the compute array.
+
+        Identical arithmetic to the seed evaluator's ``_simulate`` (so a
+        fixed-seed search takes the same trajectory), but running over the
+        context's flat arrays.  Returns ``None`` on deadlock.
+        """
+        num_tiles = self._num_tiles
+        num_tensors = self._num_tensors
+        living = dlsa.living
+        is_load = self._is_load
+        first_use = self._first_use
+        src_store_tids = self._src_store_tids
+        tensor_seconds = self.tensor_seconds
+        tile_seconds = self.tile_seconds
+        required_loads = self._tile_required_loads
+
+        store_deadline: dict[int, list[int]] = {}
+        for tid in self._store_tids:
+            end = living[tid][1]
+            if end < num_tiles:
+                store_deadline.setdefault(end, []).append(tid)
+
+        tile_finish: list[float | None] = [None] * num_tiles
+        finish_of: list[float | None] = [None] * num_tensors
+        start_of: list[float] = [0.0] * num_tensors
+
+        order = dlsa.order
+        dram_ptr = 0
+        tile_ptr = 0
+        dram_free = 0.0
+        compute_free = 0.0
+
+        while dram_ptr < num_tensors or tile_ptr < num_tiles:
+            progressed = False
+
+            while dram_ptr < num_tensors:
+                tid = order[dram_ptr]
+                gate = 0.0
+                ready = True
+                if is_load[tid]:
+                    start_tile = living[tid][0]
+                    if start_tile > 0:
+                        finish = tile_finish[start_tile - 1]
+                        if finish is None:
+                            ready = False
+                        else:
+                            gate = finish
+                    if ready:
+                        for store_tid in src_store_tids[tid]:
+                            finish = finish_of[store_tid]
+                            if finish is None:
+                                ready = False
+                                break
+                            if finish > gate:
+                                gate = finish
+                else:
+                    finish = tile_finish[first_use[tid]]
+                    if finish is None:
+                        ready = False
+                    else:
+                        gate = finish
+                if not ready:
+                    break
+                start = dram_free if dram_free > gate else gate
+                finish_time = start + tensor_seconds[tid]
+                dram_free = finish_time
+                start_of[tid] = start
+                finish_of[tid] = finish_time
+                dram_ptr += 1
+                progressed = True
+
+            while tile_ptr < num_tiles:
+                gate = 0.0
+                ready = True
+                for tid in required_loads[tile_ptr]:
+                    finish = finish_of[tid]
+                    if finish is None:
+                        ready = False
+                        break
+                    if finish > gate:
+                        gate = finish
+                if ready:
+                    for tid in store_deadline.get(tile_ptr, ()):
+                        finish = finish_of[tid]
+                        if finish is None:
+                            ready = False
+                            break
+                        if finish > gate:
+                            gate = finish
+                if not ready:
+                    break
+                start = compute_free if compute_free > gate else gate
+                finish_time = start + tile_seconds[tile_ptr]
+                compute_free = finish_time
+                tile_finish[tile_ptr] = finish_time
+                tile_ptr += 1
+                progressed = True
+
+            if not progressed:
+                return None
+
+        latency = dram_free if dram_free > compute_free else compute_free
+        if not math.isfinite(latency):
+            return None
+        return (
+            [f if f is not None else 0.0 for f in tile_finish],
+            start_of,
+            [f if f is not None else 0.0 for f in finish_of],
+            latency,
+        )

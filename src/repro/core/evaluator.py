@@ -7,13 +7,22 @@ bandwidth model, then a co-operative simulation of the two in-order engines
 the tile sequence) derives the overall latency under the start conditions of
 Sec. V-D.  Buffer occupancy is accounted per tile from on-chip fmap lifetimes
 plus DRAM-tensor Living Durations and checked against the budget.
+
+Since the engine refactor, :meth:`ScheduleEvaluator.evaluate` delegates to a
+per-plan :class:`~repro.core.eval_context.PlanEvaluationContext` (cached in a
+fingerprint-keyed LRU) that precomputes all DLSA-independent state and
+patches the buffer-delta array incrementally across calls.  The original
+full-recompute algorithm is kept verbatim as :meth:`evaluate_reference`; the
+equivalence of the two paths is asserted by ``tests/test_eval_context.py``.
 """
 
 from __future__ import annotations
 
 import math
 
+from repro.core.caching import LRUCache, cache_size
 from repro.core.core_array import CoreArrayMapper
+from repro.core.eval_context import PlanEvaluationContext
 from repro.core.result import EvaluationResult, TileRecord, TransferRecord
 from repro.hardware.accelerator import AcceleratorConfig
 from repro.notation.dlsa import DLSA
@@ -26,12 +35,11 @@ class ScheduleEvaluator:
     def __init__(self, accelerator: AcceleratorConfig, mapper: CoreArrayMapper | None = None) -> None:
         self._accelerator = accelerator
         self._mapper = mapper if mapper is not None else CoreArrayMapper(accelerator)
-        # Per-plan cache of DLSA-independent quantities (tile costs, DRAM
-        # durations).  The DLSA stage evaluates the same plan thousands of
-        # times, so this avoids redundant recomputation; the cache holds only
-        # the most recent plans to keep memory bounded.
-        self._plan_cache: dict[int, tuple] = {}
-        self._plan_cache_order: list[int] = []
+        # Per-plan evaluation contexts and DLSA-independent static costs,
+        # keyed by the plan's stable fingerprint (the seed code keyed these by
+        # ``id(plan)``, which only worked while the plan object was pinned).
+        self._contexts = LRUCache(cache_size("PLAN", 16))
+        self._static = LRUCache(cache_size("STATIC", 32))
 
     @property
     def accelerator(self) -> AcceleratorConfig:
@@ -44,6 +52,13 @@ class ScheduleEvaluator:
         return self._mapper
 
     # ------------------------------------------------------------------ public
+    def context(self, plan: ComputePlan) -> PlanEvaluationContext:
+        """The (cached) evaluation context for one feasible plan."""
+        return self._contexts.get_or_compute(
+            plan.fingerprint(),
+            lambda: PlanEvaluationContext(self._accelerator, self._mapper, plan),
+        )
+
     def evaluate(
         self,
         plan: ComputePlan,
@@ -56,6 +71,23 @@ class ScheduleEvaluator:
         ``buffer_budget_bytes`` defaults to the full GBUF capacity; schemes
         whose peak occupancy exceeds it are reported as infeasible (the
         search stages decide how to penalise that).
+        """
+        if not plan.feasible:
+            return EvaluationResult(feasible=False, reason=plan.infeasibility_reason)
+        return self.context(plan).evaluate(dlsa, buffer_budget_bytes, include_trace)
+
+    def evaluate_reference(
+        self,
+        plan: ComputePlan,
+        dlsa: DLSA,
+        buffer_budget_bytes: int | None = None,
+        include_trace: bool = False,
+    ) -> EvaluationResult:
+        """The seed evaluator: full recompute of every DLSA-dependent quantity.
+
+        This is the reference implementation the incremental engine is tested
+        against, and the baseline the throughput benchmark measures; search
+        code should call :meth:`evaluate` instead.
         """
         if not plan.feasible:
             return EvaluationResult(feasible=False, reason=plan.infeasibility_reason)
@@ -120,11 +152,11 @@ class ScheduleEvaluator:
 
     # ---------------------------------------------------------------- internal
     def _static_costs(self, plan: ComputePlan) -> tuple[list[float], float, list[float], float]:
-        """DLSA-independent costs of a plan, cached per plan object."""
-        key = id(plan)
-        cached = self._plan_cache.get(key)
-        if cached is not None and cached[0] is plan:
-            return cached[1]
+        """DLSA-independent costs of a plan, cached by plan fingerprint."""
+        key = plan.fingerprint()
+        cached = self._static.get(key)
+        if cached is not None:
+            return cached
 
         layer_costs = {
             name: self._mapper.evaluate_tile(plan.graph.layer(name), tiling)
@@ -138,13 +170,7 @@ class ScheduleEvaluator:
         dram_energy = self._accelerator.energy.dram_energy_j(plan.total_dram_bytes)
 
         entry = (tile_seconds, core_energy, tensor_seconds, dram_energy)
-        # Keep a reference to the plan itself so its id cannot be recycled
-        # while the entry is alive.
-        self._plan_cache[key] = (plan, entry)
-        self._plan_cache_order.append(key)
-        if len(self._plan_cache_order) > 8:
-            oldest = self._plan_cache_order.pop(0)
-            self._plan_cache.pop(oldest, None)
+        self._static.put(key, entry)
         return entry
 
     def _buffer_occupancy(

@@ -14,15 +14,15 @@ import math
 import random
 from dataclasses import dataclass
 
+from repro.core.caching import LRUCache, cache_size
 from repro.core.config import SoMaConfig
-from repro.core.double_buffer import double_buffer_dlsa
 from repro.core.evaluator import ScheduleEvaluator
 from repro.core.result import EvaluationResult, StageResult
 from repro.core.sa import SimulatedAnnealing
 from repro.errors import EncodingError
 from repro.notation.encoding import ScheduleEncoding
 from repro.notation.lfa import LFA
-from repro.notation.parser import parse_lfa
+from repro.notation.parser import parse_lfa_cached
 from repro.tiling.heuristics import kc_parallelism_tiling_number
 from repro.workloads.graph import WorkloadGraph
 
@@ -65,8 +65,10 @@ def op_change_computing_order(lfa: LFA, graph: WorkloadGraph, rng: random.Random
     order = list(lfa.computing_order)
     layer = rng.choice(order)
     positions = _valid_positions(graph, order, layer)
+    # Once ``layer`` is removed, re-inserting it at its old index recreates
+    # the original order, so that position is the one no-op to exclude.
     current = order.index(layer)
-    candidates = [p for p in positions if p != current and p != current]
+    candidates = [p for p in positions if p != current]
     if not candidates:
         return None
     remaining = [name for name in order if name != layer]
@@ -213,6 +215,10 @@ class LFAStage:
         self._evaluator = evaluator
         self._config = config
         self._annealer = SimulatedAnnealing(config.lfa_sa)
+        # SA cost memo, keyed by (LFA fingerprint, budget): the annealer
+        # revisits states whenever a move is rejected and re-proposed, and
+        # the allocator restarts from the same initial scheme every round.
+        self._cost_memo = LRUCache(cache_size("STAGE1", 4096))
 
     # ------------------------------------------------------------------ public
     def explore(self, buffer_budget_bytes: int, rng: random.Random) -> LFAStageOutcome:
@@ -240,19 +246,25 @@ class LFAStage:
 
     def evaluate(self, lfa: LFA, buffer_budget_bytes: int) -> EvaluationResult:
         """Evaluate one LFA with the double-buffer DLSA."""
-        plan = parse_lfa(self._graph, lfa)
+        plan = parse_lfa_cached(self._graph, lfa)
         if not plan.feasible:
             return EvaluationResult(feasible=False, reason=plan.infeasibility_reason)
-        dlsa = double_buffer_dlsa(plan)
-        return self._evaluator.evaluate(plan, dlsa, buffer_budget_bytes)
+        context = self._evaluator.context(plan)
+        return context.evaluate(context.double_buffer, buffer_budget_bytes)
 
     def cost(self, lfa: LFA, buffer_budget_bytes: int) -> float:
         """Stage-1 cost: the objective, with a soft penalty for buffer overflow."""
+        memo_key = (lfa.fingerprint(), buffer_budget_bytes)
+        cached = self._cost_memo.get(memo_key)
+        if cached is not None:
+            return cached
         try:
             result = self.evaluate(lfa, buffer_budget_bytes)
         except EncodingError:
             return math.inf
-        return self._penalised_cost(result, buffer_budget_bytes)
+        cost = self._penalised_cost(result, buffer_budget_bytes)
+        self._cost_memo.put(memo_key, cost)
+        return cost
 
     # ---------------------------------------------------------------- internal
     def _penalised_cost(self, result: EvaluationResult, budget: int) -> float:

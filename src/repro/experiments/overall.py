@@ -9,7 +9,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.comparison import ComparisonRow, compare_workload, rows_to_csv, summarize
+from repro.analysis.comparison import (
+    ComparisonRow,
+    ComparisonTask,
+    compare_cells,
+    compare_workload,
+    rows_to_csv,
+    summarize,
+)
 from repro.core.config import SoMaConfig
 from repro.core.core_array import CoreArrayMapper
 from repro.hardware.accelerator import AcceleratorConfig, cloud_accelerator, edge_accelerator
@@ -81,15 +88,39 @@ def run_overall_experiment(
     config: SoMaConfig | None = None,
     seed: int = 2025,
     progress=None,
+    workers: int | None = None,
 ) -> OverallExperiment:
     """Run the overall comparison for every cell.
 
     ``progress`` may be a callable taking a string; it is invoked before each
-    cell so command-line front-ends can report progress.
+    cell so command-line front-ends can report progress.  With ``workers``
+    (or ``REPRO_WORKERS``) > 1 the independent cells fan across processes;
+    every cell keeps the same explicit seed, so the rows are identical to a
+    serial run for any worker count.
     """
     cells = cells if cells is not None else default_cells()
     config = config if config is not None else SoMaConfig()
     experiment = OverallExperiment(cells=cells)
+
+    from repro.experiments.parallel import resolve_workers
+
+    if resolve_workers(workers) > 1:
+        if progress is not None:
+            progress(f"running {len(cells)} cells across {resolve_workers(workers)} workers")
+        tasks = [
+            ComparisonTask(
+                workload=cell.workload,
+                platform=cell.platform,
+                batch=cell.batch,
+                workload_kwargs=cell.workload_kwargs,
+                config=config,
+                seed=seed,
+            )
+            for cell in cells
+        ]
+        experiment.rows.extend(compare_cells(tasks, workers=workers))
+        return experiment
+
     mappers: dict[str, CoreArrayMapper] = {}
     for cell in cells:
         if progress is not None:

@@ -47,8 +47,14 @@ def run_dse_experiment(
     seed: int = 2025,
     progress=None,
     workload_kwargs: dict | None = None,
+    workers: int | None = None,
 ) -> DSEExperiment:
-    """Sweep DRAM bandwidth x buffer size for one workload over batch sizes."""
+    """Sweep DRAM bandwidth x buffer size for one workload over batch sizes.
+
+    ``workers`` (default: ``REPRO_WORKERS``) fans the independent design
+    points of each batch's sweep across processes; results are identical to
+    a serial sweep for any worker count.
+    """
     batches = batches if batches is not None else [1]
     dram_bandwidths_gb_s = dram_bandwidths_gb_s if dram_bandwidths_gb_s is not None else [8.0, 16.0, 32.0]
     buffer_sizes_mb = buffer_sizes_mb if buffer_sizes_mb is not None else [4.0, 8.0, 16.0]
@@ -68,6 +74,7 @@ def run_dse_experiment(
                 buffer_sizes_mb=list(buffer_sizes_mb),
                 config=config,
                 seed=seed,
+                workers=workers,
             )
         )
     return experiment

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.errors import EncodingError
 from repro.notation.dram_tensor import DRAMTensor
+from repro.notation.lfa import stable_digest
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,18 @@ class DLSA:
                         f"store tensor {tid}: End must come after the producing tile"
                     )
 
+    def fingerprint(self) -> str:
+        """Stable content digest of this DLSA, usable as a cache key.
+
+        Memoised on the instance; the exploration operators always build
+        fresh DLSAs, so the ``living`` dict is never mutated after hashing.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = stable_digest("dlsa", self.order, tuple(sorted(self.living.items())))
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
     def start(self, tid: int) -> int:
         """Living Duration start of a tensor."""
         return self.living[tid][0]
@@ -89,20 +102,30 @@ class DLSA:
         for tensor in tensors:
             if tensor.is_store:
                 previous = last_store_tile.get(tensor.layer, -1)
-                last_store_tile[tensor.layer] = max(previous, tensor.produce_tile)
+                if tensor.first_use > previous:
+                    last_store_tile[tensor.layer] = tensor.first_use
 
-        def sort_key(tensor: DRAMTensor) -> tuple[int, int, int]:
-            if tensor.is_load:
-                anchor = tensor.default_start
-                if tensor.source_layer is not None and tensor.source_layer in last_store_tile:
+        # Sort keys are built eagerly with plain attribute access: this runs
+        # once per parsed plan inside the stage-1 hot loop, and per-element
+        # key callables dominate its cost otherwise.
+        keys: list[tuple[int, int, int]] = []
+        living: dict[int, tuple[int, int]] = {}
+        for tensor in tensors:
+            tid = tensor.tid
+            first_use = tensor.first_use
+            if tensor.kind.is_load:
+                start = first_use - 1 if first_use > 0 else 0
+                living[tid] = (start, tensor.last_use + 1)
+                anchor = start
+                source = tensor.source_layer
+                if source is not None and source in last_store_tile:
                     # The data only exists once the producer finished storing.
-                    anchor = max(anchor, last_store_tile[tensor.source_layer] + 1)
-                kind_rank = 0  # loads for the upcoming tile go before drains
+                    produced = last_store_tile[source] + 1
+                    if produced > anchor:
+                        anchor = produced
+                keys.append((anchor, 0, tid))  # loads go before drains
             else:
-                anchor = tensor.produce_tile
-                kind_rank = 1
-            return (anchor, kind_rank, tensor.tid)
-
-        ordered = sorted(tensors, key=sort_key)
-        living = {t.tid: (t.default_start, t.default_end) for t in tensors}
-        return cls(order=tuple(t.tid for t in ordered), living=living)
+                living[tid] = (first_use, first_use + 1)
+                keys.append((first_use, 1, tid))
+        keys.sort()
+        return cls(order=tuple(key[2] for key in keys), living=living)

@@ -8,10 +8,23 @@ delimiting Layer-fusion Groups, LGs), and the Tiling Number of every FLG.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.errors import EncodingError
 from repro.workloads.graph import WorkloadGraph
+
+
+def stable_digest(*parts: object) -> str:
+    """Process-independent hex digest of a tuple of canonical values.
+
+    ``hash()`` is salted per interpreter, so every fingerprint in the
+    notation layer goes through this helper instead: the digest is stable
+    across processes, which lets parallel workers and on-disk artifacts agree
+    on cache keys.
+    """
+    payload = repr(parts).encode("utf-8")
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -63,6 +76,27 @@ class LFA:
         for start, tiling in self.tiling_numbers.items():
             if tiling <= 0:
                 raise EncodingError(f"Tiling Number at position {start} must be positive")
+
+    # -------------------------------------------------------------- identity
+    def fingerprint(self) -> str:
+        """Stable content digest of this LFA, usable as a cache key.
+
+        Two LFAs with equal attributes share a fingerprint regardless of set
+        or dict iteration order.  The digest is memoised on the instance, so
+        callers must not mutate ``tiling_numbers`` after the first call (the
+        exploration operators always build fresh LFAs).
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = stable_digest(
+                "lfa",
+                self.computing_order,
+                tuple(sorted(self.flc_set)),
+                tuple(sorted(self.dram_cut_set)),
+                tuple(sorted(self.tiling_numbers.items())),
+            )
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     # --------------------------------------------------------------- structure
     def flg_ranges(self) -> list[tuple[int, int]]:

@@ -5,10 +5,20 @@ order is partitioned into LGs and FLGs and each FLG is tiled, producing the
 global compute sequence; then every dependency is classified as on-chip
 (inside one LG) or DRAM-crossing, which yields the canonical list of DRAM
 tensors together with the fixed ends of their Living Durations.
+
+Parsing is the per-candidate cost of the stage-1 annealer, so this module is
+written for throughput: per-graph adjacency/layer snapshots are cached in a
+weak dictionary, the scratch objects bypass dataclass ``__init__`` (their
+values are valid by construction), and :func:`parse_lfa_cached` adds a
+fingerprint-keyed LRU (``REPRO_PARSE_CACHE``) so revisited LFA states are
+parsed once per search.
 """
 
 from __future__ import annotations
 
+import weakref
+
+from repro.core.caching import LRUCache, cache_size
 from repro.notation.dram_tensor import DRAMTensor, TensorKind
 from repro.notation.lfa import LFA
 from repro.notation.plan import BufferInterval, ComputePlan, ComputeTile
@@ -20,28 +30,72 @@ def _ceil_div(a: int, b: int) -> int:
     return -(-a // b)
 
 
-class _TensorSpec:
-    """Mutable scratch record used while collecting DRAM tensors."""
+class _GraphStatic:
+    """Per-graph snapshot of everything the parser reads repeatedly.
 
-    __slots__ = ("kind", "layer", "tile_id", "num_bytes", "first_use", "last_use", "source_layer")
+    The annealer parses thousands of LFAs of the *same* graph; going through
+    the graph's query methods each time costs a list copy per call.  The
+    snapshot records the graph's mutation version and is rebuilt when the
+    graph changes underneath it.
+    """
 
-    def __init__(
-        self,
-        kind: TensorKind,
-        layer: str,
-        tile_id: int | None,
-        num_bytes: int,
-        first_use: int,
-        last_use: int,
-        source_layer: str | None = None,
-    ) -> None:
-        self.kind = kind
-        self.layer = layer
-        self.tile_id = tile_id
-        self.num_bytes = num_bytes
-        self.first_use = first_use
-        self.last_use = last_use
-        self.source_layer = source_layer
+    __slots__ = ("layers", "preds", "succs", "dep_tiled", "deps", "version")
+
+    def __init__(self, graph: WorkloadGraph) -> None:
+        self.version = graph.version
+        names = graph.layer_names()
+        self.layers = {name: graph.layer(name) for name in names}
+        self.preds = {name: tuple(graph.predecessors(name)) for name in names}
+        self.succs = {name: tuple(graph.successors(name)) for name in names}
+        self.deps = tuple(graph.dependencies())
+        self.dep_tiled = {(d.producer, d.consumer): d.tiled for d in self.deps}
+
+
+_GRAPH_STATIC: "weakref.WeakKeyDictionary[WorkloadGraph, _GraphStatic]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _graph_static(graph: WorkloadGraph) -> _GraphStatic:
+    static = _GRAPH_STATIC.get(graph)
+    if static is None or static.version != graph.version:
+        static = _GraphStatic(graph)
+        _GRAPH_STATIC[graph] = static
+    return static
+
+
+def _new_tile(index, layer, tile_id, flg_index, lg_index, macs, vector_ops) -> ComputeTile:
+    # Frozen-dataclass construction pays one object.__setattr__ per field;
+    # the parser builds hundreds of tiles per candidate, all valid by
+    # construction, so it installs the instance dict wholesale.
+    tile = ComputeTile.__new__(ComputeTile)
+    object.__setattr__(tile, "__dict__", {
+        "index": index,
+        "layer": layer,
+        "tile_id": tile_id,
+        "flg_index": flg_index,
+        "lg_index": lg_index,
+        "macs": macs,
+        "vector_ops": vector_ops,
+    })
+    return tile
+
+
+def _new_tensor(tid, kind, layer, tile_id, num_bytes, first_use, last_use, source_layer) -> DRAMTensor:
+    # Same fast path as _new_tile: the specs were built with validated use
+    # ranges, so DRAMTensor.__post_init__ has nothing left to check.
+    tensor = DRAMTensor.__new__(DRAMTensor)
+    object.__setattr__(tensor, "__dict__", {
+        "tid": tid,
+        "kind": kind,
+        "layer": layer,
+        "tile_id": tile_id,
+        "num_bytes": num_bytes,
+        "first_use": first_use,
+        "last_use": last_use,
+        "source_layer": source_layer,
+    })
+    return tensor
 
 
 def parse_lfa(graph: WorkloadGraph, lfa: LFA) -> ComputePlan:
@@ -54,6 +108,12 @@ def parse_lfa(graph: WorkloadGraph, lfa: LFA) -> ComputePlan:
     them instead of crashing.
     """
     lfa.validate(graph)
+    static = _graph_static(graph)
+    layers_of = static.layers
+    preds_of = static.preds
+    succs_of = static.succs
+    dep_tiled = static.dep_tiled
+
     order = list(lfa.computing_order)
     position = {name: index for index, name in enumerate(order)}
 
@@ -80,7 +140,7 @@ def parse_lfa(graph: WorkloadGraph, lfa: LFA) -> ComputePlan:
     def _infeasible(reason: str) -> ComputePlan:
         return ComputePlan(graph=graph, lfa=lfa, feasible=False, infeasibility_reason=reason)
 
-    for dep in graph.dependencies():
+    for dep in static.deps:
         same_flg = flg_of_layer[dep.producer] == flg_of_layer[dep.consumer]
         if same_flg and not dep.tiled and flg_tile_counts[flg_of_layer[dep.producer]] > 1:
             return _infeasible(
@@ -90,171 +150,141 @@ def parse_lfa(graph: WorkloadGraph, lfa: LFA) -> ComputePlan:
 
     # --------------------------------------------------------- tile sequence
     tiles: list[ComputeTile] = []
-    tile_index: dict[tuple[str, int], int] = {}
+    layer_tile_indices: dict[str, list[int]] = {}
     for flg_index, (start, end) in enumerate(flg_ranges):
         layers = order[start:end]
+        flg_tilings = [(name, layer_tilings[name], lg_of_layer[name]) for name in layers]
+        for name, _tiling, _lg in flg_tilings:
+            layer_tile_indices[name] = []
         for tile_id in range(flg_tile_counts[flg_index]):
-            for name in layers:
-                tiling = layer_tilings[name]
+            for name, tiling, lg_index in flg_tilings:
                 index = len(tiles)
                 tiles.append(
-                    ComputeTile(
-                        index=index,
-                        layer=name,
-                        tile_id=tile_id,
-                        flg_index=flg_index,
-                        lg_index=lg_of_layer[name],
-                        macs=tiling.macs_per_tile,
-                        vector_ops=tiling.vector_ops_per_tile,
+                    _new_tile(
+                        index,
+                        name,
+                        tile_id,
+                        flg_index,
+                        lg_index,
+                        tiling.macs_per_tile,
+                        tiling.vector_ops_per_tile,
                     )
                 )
-                tile_index[(name, tile_id)] = index
-
-    layer_tile_indices = {
-        name: [tile_index[(name, t)] for t in range(layer_tilings[name].num_tiles)]
-        for name in order
-    }
+                layer_tile_indices[name].append(index)
 
     # ----------------------------------------------------------- DRAM tensors
-    specs: list[_TensorSpec] = []
+    # Scratch specs are plain tuples (first_use, kind_rank, layer, tile_id,
+    # num_bytes, last_use, source_layer) with the sort rank precomputed: this
+    # loop runs ~1k times per stage-1 candidate and tuple construction beats
+    # any scratch object.  Ranks: WEIGHT=0, IFMAP=1, OFMAP=2.
+    specs: list[tuple] = []
 
     for name in order:
-        layer = graph.layer(name)
+        layer = layers_of[name]
         if layer.weight_bytes > 0:
             indices = layer_tile_indices[name]
-            specs.append(
-                _TensorSpec(
-                    kind=TensorKind.WEIGHT,
-                    layer=name,
-                    tile_id=None,
-                    num_bytes=layer.weight_bytes,
-                    first_use=indices[0],
-                    last_use=indices[-1],
-                )
-            )
+            specs.append((indices[0], 0, name, None, layer.weight_bytes, indices[-1], None))
 
     for name in order:
-        predecessors = graph.predecessors(name)
+        predecessors = preds_of[name]
         tiling = layer_tilings[name]
         num_tiles = tiling.num_tiles
         indices = layer_tile_indices[name]
 
         if not predecessors:
             # Network input: streamed from DRAM tile by tile.
+            ifmap_bytes = tiling.ifmap_tile_bytes
             for tile_id in range(num_tiles):
-                specs.append(
-                    _TensorSpec(
-                        kind=TensorKind.IFMAP,
-                        layer=name,
-                        tile_id=tile_id,
-                        num_bytes=tiling.ifmap_tile_bytes,
-                        first_use=indices[tile_id],
-                        last_use=indices[tile_id],
-                    )
-                )
+                use = indices[tile_id]
+                specs.append((use, 1, name, tile_id, ifmap_bytes, use, None))
             continue
 
+        lg_of_name = lg_of_layer[name]
         for producer_name in predecessors:
-            if lg_of_layer[producer_name] == lg_of_layer[name]:
+            if lg_of_layer[producer_name] == lg_of_name:
                 continue  # served on chip
-            producer = graph.layer(producer_name)
-            dep = graph.dependency(producer_name, name)
-            if dep.tiled and num_tiles > 1:
+            producer = layers_of[producer_name]
+            if dep_tiled[(producer_name, name)] and num_tiles > 1:
                 per_tile_bytes = _ceil_div(producer.ofmap_bytes, num_tiles)
                 for tile_id in range(num_tiles):
-                    specs.append(
-                        _TensorSpec(
-                            kind=TensorKind.IFMAP,
-                            layer=name,
-                            tile_id=tile_id,
-                            num_bytes=per_tile_bytes,
-                            first_use=indices[tile_id],
-                            last_use=indices[tile_id],
-                            source_layer=producer_name,
-                        )
-                    )
+                    use = indices[tile_id]
+                    specs.append((use, 1, name, tile_id, per_tile_bytes, use, producer_name))
             else:
                 specs.append(
-                    _TensorSpec(
-                        kind=TensorKind.IFMAP,
-                        layer=name,
-                        tile_id=None,
-                        num_bytes=producer.ofmap_bytes,
-                        first_use=indices[0],
-                        last_use=indices[-1],
-                        source_layer=producer_name,
-                    )
+                    (indices[0], 1, name, None, producer.ofmap_bytes, indices[-1], producer_name)
                 )
 
     for name in order:
-        successors = graph.successors(name)
-        crosses_lg = any(lg_of_layer[s] != lg_of_layer[name] for s in successors)
+        successors = succs_of[name]
+        lg_of_name = lg_of_layer[name]
+        crosses_lg = any(lg_of_layer[s] != lg_of_name for s in successors)
         if successors and not crosses_lg:
             continue
-        layer = graph.layer(name)
-        tiling = layer_tilings[name]
-        num_tiles = tiling.num_tiles
+        layer = layers_of[name]
+        indices = layer_tile_indices[name]
+        num_tiles = layer_tilings[name].num_tiles
         per_tile_bytes = _ceil_div(layer.ofmap_bytes, num_tiles)
         for tile_id in range(num_tiles):
-            produce = tile_index[(name, tile_id)]
-            specs.append(
-                _TensorSpec(
-                    kind=TensorKind.OFMAP,
-                    layer=name,
-                    tile_id=tile_id,
-                    num_bytes=per_tile_bytes,
-                    first_use=produce,
-                    last_use=produce,
-                )
-            )
+            produce = indices[tile_id]
+            specs.append((produce, 2, name, tile_id, per_tile_bytes, produce, None))
 
-    kind_rank = {TensorKind.WEIGHT: 0, TensorKind.IFMAP: 1, TensorKind.OFMAP: 2}
-    specs.sort(
-        key=lambda s: (
-            s.first_use,
-            kind_rank[s.kind],
-            position[s.layer],
-            -1 if s.tile_id is None else s.tile_id,
-        )
-    )
-    dram_tensors = [
-        DRAMTensor(
-            tid=tid,
-            kind=spec.kind,
-            layer=spec.layer,
-            tile_id=spec.tile_id,
-            num_bytes=spec.num_bytes,
-            first_use=spec.first_use,
-            last_use=spec.last_use,
-            source_layer=spec.source_layer,
-        )
+    sort_keys = [
+        (spec[0], spec[1], position[spec[2]], -1 if spec[3] is None else spec[3])
+        for spec in specs
+    ]
+    spec_order = sorted(range(len(specs)), key=sort_keys.__getitem__)
+    specs = [specs[index] for index in spec_order]
+
+    # The canonical tensor list plus the flat per-tensor arrays the
+    # evaluation engine runs on (pre-filling the plan's cached properties
+    # below, so the engine never re-walks the objects).
+    kinds = (TensorKind.WEIGHT, TensorKind.IFMAP, TensorKind.OFMAP)
+    dram_tensors: list[DRAMTensor] = [
+        _new_tensor(tid, kinds[spec[1]], spec[2], spec[3], spec[4], spec[0], spec[5], spec[6])
         for tid, spec in enumerate(specs)
     ]
+    is_load_arr: list[bool] = [spec[1] != 2 for spec in specs]
+    num_bytes_arr: list[int] = [spec[4] for spec in specs]
+    first_use_arr: list[int] = [spec[0] for spec in specs]
+    last_use_arr: list[int] = [spec[5] for spec in specs]
 
+    stores_of_layer: dict[str, list[int]] = {}
+    store_tids: list[int] = []
     tile_required_loads: list[list[int]] = [[] for _ in tiles]
-    for tensor in dram_tensors:
-        if tensor.is_load:
-            tile_required_loads[tensor.first_use].append(tensor.tid)
+    for tid, spec in enumerate(specs):
+        if spec[1] != 2:
+            tile_required_loads[spec[0]].append(tid)
+        else:
+            stores_of_layer.setdefault(spec[2], []).append(tid)
+            store_tids.append(tid)
+    src_store_tids: list[tuple[int, ...]] = [
+        tuple(stores_of_layer.get(spec[6], ())) if (spec[1] != 2 and spec[6] is not None) else ()
+        for spec in specs
+    ]
 
     # -------------------------------------------------- on-chip fmap lifetimes
     onchip_intervals: list[BufferInterval] = []
     for name in order:
+        lg_of_name = lg_of_layer[name]
         intra_lg_consumers = [
-            s for s in graph.successors(name) if lg_of_layer[s] == lg_of_layer[name]
+            s for s in succs_of[name] if lg_of_layer[s] == lg_of_name
         ]
         if not intra_lg_consumers:
             continue
         tiling = layer_tilings[name]
+        flg_of_name = flg_of_layer[name]
+        indices = layer_tile_indices[name]
         for tile_id in range(tiling.num_tiles):
-            start = tile_index[(name, tile_id)]
+            start = indices[tile_id]
             end = start
             for consumer_name in intra_lg_consumers:
-                dep = graph.dependency(name, consumer_name)
-                same_flg = flg_of_layer[consumer_name] == flg_of_layer[name]
-                if same_flg and dep.tiled:
-                    end = max(end, tile_index[(consumer_name, tile_id)])
+                same_flg = flg_of_layer[consumer_name] == flg_of_name
+                if same_flg and dep_tiled[(name, consumer_name)]:
+                    candidate = layer_tile_indices[consumer_name][tile_id]
                 else:
-                    end = max(end, layer_tile_indices[consumer_name][-1])
+                    candidate = layer_tile_indices[consumer_name][-1]
+                if candidate > end:
+                    end = candidate
             onchip_intervals.append(
                 BufferInterval(
                     start_tile=start,
@@ -264,7 +294,7 @@ def parse_lfa(graph: WorkloadGraph, lfa: LFA) -> ComputePlan:
                 )
             )
 
-    return ComputePlan(
+    plan = ComputePlan(
         graph=graph,
         lfa=lfa,
         feasible=True,
@@ -278,3 +308,40 @@ def parse_lfa(graph: WorkloadGraph, lfa: LFA) -> ComputePlan:
         num_flgs=len(flg_ranges),
         num_lgs=len(lg_ranges),
     )
+    plan.__dict__["tensor_arrays"] = (is_load_arr, num_bytes_arr, first_use_arr, last_use_arr)
+    plan.__dict__["store_structure"] = (store_tids, src_store_tids)
+    return plan
+
+
+# ------------------------------------------------------------- parse caching
+_PARSE_CACHES: "weakref.WeakKeyDictionary[WorkloadGraph, tuple[int, LRUCache]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def parse_lfa_cached(graph: WorkloadGraph, lfa: LFA) -> ComputePlan:
+    """LRU-cached :func:`parse_lfa`, keyed by the LFA's stable fingerprint.
+
+    Stage 1 revisits LFA states constantly (rejected moves return the search
+    to the previous state; distinct move sequences reach the same scheme), so
+    plans are shared per graph.  The cache is dropped when the graph mutates
+    (see :attr:`WorkloadGraph.version`).  Callers must treat the returned
+    plan as immutable — every consumer in the search stack already does.
+    """
+    entry = _PARSE_CACHES.get(graph)
+    if entry is None or entry[0] != graph.version:
+        entry = (graph.version, LRUCache(cache_size("PARSE", 256)))
+        _PARSE_CACHES[graph] = entry
+    cache = entry[1]
+    key = lfa.fingerprint()
+    plan = cache.get(key)
+    if plan is None:
+        plan = parse_lfa(graph, lfa)
+        cache.put(key, plan)
+    return plan
+
+
+def parse_cache_stats(graph: WorkloadGraph) -> dict:
+    """Hit/miss statistics of the per-graph parse cache (for benchmarks)."""
+    entry = _PARSE_CACHES.get(graph)
+    return entry[1].stats() if entry is not None else LRUCache(0).stats()

@@ -9,9 +9,10 @@ lifetimes of on-chip (fused) feature maps.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.notation.dram_tensor import DRAMTensor, TensorKind
-from repro.notation.lfa import LFA
+from repro.notation.lfa import LFA, stable_digest
 from repro.tiling.tile import LayerTiling
 from repro.workloads.graph import WorkloadGraph
 
@@ -65,6 +66,75 @@ class ComputePlan:
     lg_of_layer: dict[str, int] = field(default_factory=dict)
     num_flgs: int = 0
     num_lgs: int = 0
+
+    # -------------------------------------------------------------- identity
+    def fingerprint(self) -> str:
+        """Stable content digest of this plan, usable as a cache key.
+
+        A plan is a pure function of its workload graph and LFA, so the
+        fingerprint combines the graph's content digest (layers, shapes and
+        edges — not just its name) with the LFA fingerprint.  Memoised on
+        the instance.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = stable_digest("plan", self.graph.fingerprint(), self.lfa.fingerprint())
+            self.__dict__["_fingerprint"] = cached
+        return cached
+
+    @cached_property
+    def tensor_size_weights(self) -> list[int]:
+        """Per-tensor selection weights (bytes, floored at 1) for the DLSA stage.
+
+        The DLSA operators pick tensors with probability proportional to
+        their size on every move; the weights only depend on the plan, so
+        they are computed once and memoised here.
+        """
+        return [num_bytes if num_bytes > 0 else 1 for num_bytes in self.tensor_arrays[1]]
+
+    @cached_property
+    def tensor_arrays(self) -> tuple[list[bool], list[int], list[int], list[int]]:
+        """Flat per-tensor arrays ``(is_load, num_bytes, first_use, last_use)``.
+
+        The evaluation engine walks these thousands of times per search; flat
+        lists avoid a property call per access.  The parser pre-fills this
+        cached property at plan construction (it has the values at hand), so
+        the fallback here only runs for hand-built plans.
+        """
+        is_load: list[bool] = []
+        num_bytes: list[int] = []
+        first_use: list[int] = []
+        last_use: list[int] = []
+        for tensor in self.dram_tensors:
+            is_load.append(tensor.kind is not TensorKind.OFMAP)
+            num_bytes.append(tensor.num_bytes)
+            first_use.append(tensor.first_use)
+            last_use.append(tensor.last_use)
+        return is_load, num_bytes, first_use, last_use
+
+    @cached_property
+    def store_structure(self) -> tuple[list[int], list[tuple[int, ...]]]:
+        """``(store_tids, src_store_tids)`` for the co-operative simulation.
+
+        ``store_tids`` lists every store in canonical tensor order;
+        ``src_store_tids[tid]`` holds, for a load that reads back another
+        LG's stored ofmap, the store tids it must wait for (gate order of
+        the seed evaluator).  Pre-filled by the parser like
+        :attr:`tensor_arrays`.
+        """
+        stores_of_layer: dict[str, list[int]] = {}
+        store_tids: list[int] = []
+        for tensor in self.dram_tensors:
+            if tensor.kind is TensorKind.OFMAP:
+                stores_of_layer.setdefault(tensor.layer, []).append(tensor.tid)
+                store_tids.append(tensor.tid)
+        src_store_tids: list[tuple[int, ...]] = [
+            tuple(stores_of_layer.get(t.source_layer, ()))
+            if (t.kind is not TensorKind.OFMAP and t.source_layer is not None)
+            else ()
+            for t in self.dram_tensors
+        ]
+        return store_tids, src_store_tids
 
     # ------------------------------------------------------------------ stats
     @property

@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 import weakref
 
+from repro.core.caching import LRUCache, cache_size
 from repro.errors import WorkloadError
 from repro.tiling.halo import propagate_required_extent, required_input_extent
 from repro.tiling.tile import LayerTiling, TileShape, tile_macs, tile_vector_ops
@@ -86,8 +87,13 @@ def _layer_tiling(
 
 # Memo of FLG tilings per workload graph.  The annealer re-parses thousands of
 # encodings whose FLGs mostly repeat, and LayerTiling objects are immutable, so
-# sharing them across parses is both safe and a large speed-up.
-_TILING_MEMO: "weakref.WeakKeyDictionary[WorkloadGraph, dict]" = weakref.WeakKeyDictionary()
+# sharing them across parses is both safe and a large speed-up.  The per-graph
+# memo is a bounded LRU (``REPRO_TILING_CACHE``) keyed by (FLG layers, Tiling
+# Number) and dropped when the graph mutates, so long sweeps cannot grow it
+# without limit and mutation cannot serve stale tilings.
+_TILING_MEMO: "weakref.WeakKeyDictionary[WorkloadGraph, tuple[int, LRUCache]]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
 def tile_flg(
@@ -101,13 +107,17 @@ def tile_flg(
     accumulated halo.  Only *tiled* dependencies propagate halo; untiled
     dependencies (attention key/value operands) are validated elsewhere.
     """
-    memo = _TILING_MEMO.setdefault(graph, {})
+    entry = _TILING_MEMO.get(graph)
+    if entry is None or entry[0] != graph.version:
+        entry = (graph.version, LRUCache(cache_size("TILING", 4096)))
+        _TILING_MEMO[graph] = entry
+    memo = entry[1]
     memo_key = (tuple(flg_layers), tiling_number)
     cached = memo.get(memo_key)
     if cached is not None:
         return dict(cached)
     result = _tile_flg_uncached(graph, flg_layers, tiling_number)
-    memo[memo_key] = result
+    memo.put(memo_key, result)
     return dict(result)
 
 

@@ -10,6 +10,7 @@ moved through DRAM.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -50,12 +51,46 @@ class WorkloadGraph:
         self._pred_cache: dict[str, list[str]] | None = None
         self._succ_cache: dict[str, list[str]] | None = None
         self._dep_cache: dict[tuple[str, str], Dependency] | None = None
+        self._fingerprint_cache: str | None = None
+        # Bumped on every mutation so external per-graph caches (parser
+        # snapshots, parse/tiling LRUs) can detect staleness.
+        self._version = 0
 
     def _invalidate_caches(self) -> None:
         self._topo_cache = None
         self._pred_cache = None
         self._succ_cache = None
         self._dep_cache = None
+        self._fingerprint_cache = None
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: changes whenever a layer or dependency is added."""
+        return self._version
+
+    def fingerprint(self) -> str:
+        """Stable content digest of the graph (layers, shapes and edges).
+
+        Used to key cross-graph caches; two graphs with equal names but
+        different structure must not collide.  Recomputed lazily after
+        mutations.
+        """
+        if self._fingerprint_cache is None:
+            payload = repr(
+                (
+                    "graph",
+                    self.name,
+                    self.batch,
+                    tuple(repr(self._layers[name]) for name in sorted(self._layers)),
+                    tuple(
+                        (u, v, bool(data["tiled"]))
+                        for u, v, data in sorted(self._graph.edges(data=True))
+                    ),
+                )
+            ).encode("utf-8")
+            self._fingerprint_cache = hashlib.blake2b(payload, digest_size=16).hexdigest()
+        return self._fingerprint_cache
 
     # ------------------------------------------------------------ construction
     def add_layer(self, layer: Layer) -> Layer:
@@ -159,10 +194,12 @@ class WorkloadGraph:
 
     def dependencies(self) -> list[Dependency]:
         """All edges of the graph."""
-        return [
-            Dependency(producer=u, consumer=v, tiled=data["tiled"])
-            for u, v, data in self._graph.edges(data=True)
-        ]
+        if self._dep_cache is None:
+            self._dep_cache = {
+                (u, v): Dependency(producer=u, consumer=v, tiled=data["tiled"])
+                for u, v, data in self._graph.edges(data=True)
+            }
+        return list(self._dep_cache.values())
 
     def input_layers(self) -> list[str]:
         """Layers with no producers: their ifmaps come from DRAM."""

@@ -1,0 +1,127 @@
+"""Tests for the stable fingerprints of LFA, DLSA and ComputePlan.
+
+Fingerprints key every search-wide cache (parse LRU, per-plan contexts,
+static costs, stage-1 cost memo), so they must be content-based — equal for
+equal attributes regardless of construction order — and must differ whenever
+any attribute differs.
+"""
+
+from __future__ import annotations
+
+from repro.core.lfa_stage import initial_lfa
+from repro.notation.dlsa import DLSA
+from repro.notation.lfa import LFA, stable_digest
+from repro.notation.parser import parse_lfa
+
+
+def test_stable_digest_is_deterministic_and_content_based():
+    assert stable_digest("a", 1, (2, 3)) == stable_digest("a", 1, (2, 3))
+    assert stable_digest("a", 1) != stable_digest("a", 2)
+    assert len(stable_digest("x")) == 32  # blake2b/16 hex
+
+
+def test_lfa_fingerprint_ignores_set_and_dict_order(linear_cnn):
+    order = tuple(linear_cnn.topological_order())
+    cuts = [1, 2, 3, 4]
+    first = LFA(
+        computing_order=order,
+        flc_set=frozenset(cuts),
+        dram_cut_set=frozenset(cuts),
+        tiling_numbers={0: 1, 1: 2, 2: 1, 3: 1, 4: 1},
+    )
+    second = LFA(
+        computing_order=order,
+        flc_set=frozenset(reversed(cuts)),
+        dram_cut_set=frozenset(reversed(cuts)),
+        tiling_numbers={4: 1, 3: 1, 2: 1, 1: 2, 0: 1},
+    )
+    assert first.fingerprint() == second.fingerprint()
+
+
+def test_lfa_fingerprint_separates_distinct_schemes(linear_cnn):
+    base = initial_lfa(linear_cnn, kc_parallel_lanes=32)
+    tilings = dict(base.tiling_numbers)
+    tilings[0] *= 2
+    changed = LFA(
+        computing_order=base.computing_order,
+        flc_set=base.flc_set,
+        dram_cut_set=base.dram_cut_set,
+        tiling_numbers=tilings,
+    )
+    assert base.fingerprint() != changed.fingerprint()
+    # Demoting a DRAM Cut (same FLC set) must also change the fingerprint.
+    cut = next(iter(base.dram_cut_set))
+    demoted = LFA(
+        computing_order=base.computing_order,
+        flc_set=base.flc_set,
+        dram_cut_set=base.dram_cut_set - {cut},
+        tiling_numbers=dict(base.tiling_numbers),
+    )
+    assert base.fingerprint() != demoted.fingerprint()
+
+
+def test_dlsa_fingerprint_tracks_order_and_living():
+    base = DLSA(order=(0, 1, 2), living={0: (0, 1), 1: (0, 2), 2: (1, 3)})
+    same = DLSA(order=(0, 1, 2), living={2: (1, 3), 0: (0, 1), 1: (0, 2)})
+    reordered = DLSA(order=(1, 0, 2), living=dict(base.living))
+    stretched = DLSA(order=(0, 1, 2), living={0: (0, 1), 1: (0, 2), 2: (1, 4)})
+    assert base.fingerprint() == same.fingerprint()
+    assert base.fingerprint() != reordered.fingerprint()
+    assert base.fingerprint() != stretched.fingerprint()
+
+
+def test_plan_fingerprint_follows_graph_and_lfa(linear_cnn, branchy_cnn):
+    lfa_a = initial_lfa(linear_cnn, kc_parallel_lanes=32)
+    plan_a = parse_lfa(linear_cnn, lfa_a)
+    plan_b = parse_lfa(linear_cnn, lfa_a)
+    assert plan_a.fingerprint() == plan_b.fingerprint()
+
+    fused = LFA.fully_fused(linear_cnn)
+    assert parse_lfa(linear_cnn, fused).fingerprint() != plan_a.fingerprint()
+
+    other_graph = parse_lfa(branchy_cnn, initial_lfa(branchy_cnn, kc_parallel_lanes=32))
+    assert other_graph.fingerprint() != plan_a.fingerprint()
+
+
+def test_fingerprints_are_memoised_on_the_instance(linear_cnn):
+    lfa = initial_lfa(linear_cnn, kc_parallel_lanes=32)
+    assert lfa.fingerprint() is lfa.fingerprint()
+    dlsa = DLSA(order=(0,), living={0: (0, 1)})
+    assert dlsa.fingerprint() is dlsa.fingerprint()
+
+
+def _two_layer_graph(tiled: bool):
+    from repro.workloads.builder import GraphBuilder
+
+    builder = GraphBuilder("net", batch=1)
+    first = builder.conv("a", [], 8, kernel=3, input_shape=(3, 8, 8))
+    builder.conv("b", [first], 8, kernel=1)
+    graph = builder.build()
+    # Re-adding the existing edge updates its tiled flag (same public call
+    # the builder used), giving two same-name graphs that differ only in
+    # edge structure.
+    graph.add_dependency("a", "b", tiled=tiled)
+    return graph
+
+
+def test_graph_fingerprint_tracks_structure_not_just_name():
+    """Graphs with equal names/aggregates but different edges must differ."""
+    assert _two_layer_graph(True).fingerprint() == _two_layer_graph(True).fingerprint()
+
+    mutated = _two_layer_graph(True)
+    before = mutated.fingerprint()
+    version = mutated.version
+    mutated.add_dependency("a", "b", tiled=False)
+    assert mutated.fingerprint() != before
+    assert mutated.version > version
+
+
+def test_plan_fingerprint_separates_structurally_different_graphs():
+    """Same-name graphs with different edge flags must not share contexts."""
+    tiled_graph = _two_layer_graph(True)
+    untiled_graph = _two_layer_graph(False)
+    assert tiled_graph.fingerprint() != untiled_graph.fingerprint()
+
+    plan_a = parse_lfa(tiled_graph, initial_lfa(tiled_graph, kc_parallel_lanes=32))
+    plan_b = parse_lfa(untiled_graph, initial_lfa(untiled_graph, kc_parallel_lanes=32))
+    assert plan_a.fingerprint() != plan_b.fingerprint()

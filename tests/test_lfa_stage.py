@@ -157,3 +157,35 @@ def test_stage_is_deterministic_given_seed(linear_cnn, tiny_accelerator, fast_co
     second = stage.explore(tiny_accelerator.gbuf_bytes, random.Random(42)).stage_result
     assert first.cost == second.cost
     assert first.encoding.lfa == second.encoding.lfa
+
+
+def test_change_order_never_returns_the_same_order(branchy_cnn):
+    """The operator's exclusion is exactly the no-op re-insertion position.
+
+    Removing a layer and re-inserting it at its old index reproduces the
+    input order; every other dependency-valid position is a real move, so the
+    operator must never hand the annealer an unchanged computing order.
+    """
+    lfa = initial_lfa(branchy_cnn, kc_parallel_lanes=32)
+    rng = random.Random(123)
+    produced = 0
+    for _ in range(200):
+        candidate = op_change_computing_order(lfa, branchy_cnn, rng)
+        if candidate is None:
+            continue
+        produced += 1
+        assert candidate.computing_order != lfa.computing_order
+        candidate.validate(branchy_cnn)
+    assert produced > 0
+
+
+def test_change_order_reaches_every_valid_position(linear_cnn):
+    """All dependency-valid destinations stay reachable after the fix.
+
+    In a pure chain no layer can move, so the operator must always decline;
+    this guards against an exclusion that is accidentally too wide.
+    """
+    lfa = initial_lfa(linear_cnn, kc_parallel_lanes=32)
+    rng = random.Random(7)
+    for _ in range(50):
+        assert op_change_computing_order(lfa, linear_cnn, rng) is None

@@ -229,3 +229,30 @@ def test_plan_statistics_and_describe(linear_cnn):
 def test_infeasible_plan_describe(tiny_gpt_prefill):
     plan = parse_lfa(tiny_gpt_prefill, LFA.fully_fused(tiny_gpt_prefill, tiling_number=4))
     assert "infeasible" in plan.describe()
+
+
+def test_parser_caches_invalidate_on_graph_mutation():
+    """parse_lfa (and its caches) must see dependencies added after a parse."""
+    from repro.core.lfa_stage import initial_lfa
+    from repro.notation.parser import parse_lfa_cached
+    from repro.workloads.builder import GraphBuilder
+
+    builder = GraphBuilder("mutating", batch=1)
+    a = builder.conv("a", [], 8, kernel=3, input_shape=(3, 8, 8))
+    b = builder.conv("b", [a], 8, kernel=1)
+    builder.conv("c", [], 8, kernel=3, input_shape=(3, 8, 8))
+    graph = builder.build()
+
+    before = parse_lfa(graph, initial_lfa(graph, kc_parallel_lanes=32))
+    assert all(t.source_layer != "b" for t in before.dram_tensors)
+
+    graph.add_dependency("b", "c")
+    lfa = initial_lfa(graph, kc_parallel_lanes=32)
+    for parse in (parse_lfa, parse_lfa_cached):
+        after = parse(graph, lfa)
+        # c now consumes b's stored ofmap across the LG cut: the parser must
+        # emit an ifmap load sourced from b, not treat c as a network input.
+        assert any(
+            t.layer == "c" and t.source_layer == "b" and t.is_load
+            for t in after.dram_tensors
+        )

@@ -1,0 +1,125 @@
+"""Seed-determinism tests for the parallel runner and its wiring.
+
+The invariant: for a fixed seed, every parallel entry point returns results
+identical to a serial run regardless of worker count — tasks carry explicit
+seeds and share no mutable state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.dse import run_dse
+from repro.core.soma import SoMaScheduler
+from repro.experiments.parallel import (
+    ParallelRunner,
+    derive_seed,
+    multi_restart_schedule,
+    resolve_workers,
+)
+
+
+def _double(value: int) -> int:
+    return 2 * value
+
+
+def test_resolve_workers_prefers_argument_then_env(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    assert resolve_workers(None) == 1
+    assert resolve_workers(3) == 3
+    monkeypatch.setenv("REPRO_WORKERS", "4")
+    assert resolve_workers(None) == 4
+    assert resolve_workers(2) == 2
+    monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
+    assert resolve_workers(None) == 1
+
+
+def test_derive_seed_is_stable_and_decorrelated():
+    assert derive_seed(2025, "chain", 0) == derive_seed(2025, "chain", 0)
+    seeds = {derive_seed(2025, "chain", i) for i in range(32)}
+    assert len(seeds) == 32  # no collisions across chains
+    assert derive_seed(1, "chain", 0) != derive_seed(2, "chain", 0)
+    assert all(0 <= seed < 2**31 for seed in seeds)
+
+
+def test_map_preserves_order_serial_and_parallel():
+    tasks = list(range(7))
+    serial = ParallelRunner(workers=1).map(_double, tasks)
+    parallel = ParallelRunner(workers=2).map(_double, tasks)
+    assert serial == parallel == [2 * t for t in tasks]
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_dse_results_identical_across_worker_counts(
+    tiny_accelerator, linear_cnn, fast_config, workers
+):
+    kwargs = dict(
+        dram_bandwidths_gb_s=[4.0, 8.0],
+        buffer_sizes_mb=[0.5, 1.0],
+        config=fast_config,
+        seed=11,
+    )
+    serial = run_dse(linear_cnn, tiny_accelerator, workers=1, **kwargs)
+    fanned = run_dse(linear_cnn, tiny_accelerator, workers=workers, **kwargs)
+    assert serial.cells == fanned.cells
+
+
+def test_multi_restart_identical_across_worker_counts(tiny_accelerator, linear_cnn, fast_config):
+    results = [
+        multi_restart_schedule(
+            tiny_accelerator, linear_cnn, config=fast_config, seed=5, restarts=3, workers=workers
+        )
+        for workers in (1, 2, 4)
+    ]
+    latencies = {result.evaluation.latency_s for result in results}
+    energies = {result.evaluation.energy_j for result in results}
+    assert len(latencies) == 1
+    assert len(energies) == 1
+
+
+def test_multi_restart_single_chain_equals_plain_schedule(
+    tiny_accelerator, linear_cnn, fast_config
+):
+    plain = SoMaScheduler(tiny_accelerator, fast_config).schedule(linear_cnn, seed=5)
+    single = multi_restart_schedule(
+        tiny_accelerator, linear_cnn, config=fast_config, seed=5, restarts=1
+    )
+    assert single.evaluation.latency_s == plain.evaluation.latency_s
+    assert single.evaluation.energy_j == plain.evaluation.energy_j
+
+
+def test_multi_restart_never_loses_to_its_chains(tiny_accelerator, branchy_cnn, fast_config):
+    best = multi_restart_schedule(
+        tiny_accelerator, branchy_cnn, config=fast_config, seed=9, restarts=3, workers=1
+    )
+    best_cost = fast_config.objective(best.evaluation.energy_j, best.evaluation.latency_s)
+    for chain in range(3):
+        chain_result = SoMaScheduler(tiny_accelerator, fast_config).schedule(
+            branchy_cnn, seed=derive_seed(9, "chain", chain)
+        )
+        chain_cost = fast_config.objective(
+            chain_result.evaluation.energy_j, chain_result.evaluation.latency_s
+        )
+        assert best_cost <= chain_cost
+
+
+def test_workers_env_does_not_change_results(monkeypatch, tiny_accelerator, linear_cnn, fast_config):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    serial = run_dse(
+        linear_cnn,
+        tiny_accelerator,
+        dram_bandwidths_gb_s=[8.0],
+        buffer_sizes_mb=[1.0],
+        config=fast_config,
+        seed=3,
+    )
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    fanned = run_dse(
+        linear_cnn,
+        tiny_accelerator,
+        dram_bandwidths_gb_s=[8.0],
+        buffer_sizes_mb=[1.0],
+        config=fast_config,
+        seed=3,
+    )
+    assert serial.cells == fanned.cells
