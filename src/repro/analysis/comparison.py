@@ -231,15 +231,84 @@ def run_comparison_task(task: ComparisonTask) -> ComparisonRow:
     return compare_workload(graph, task.build_accelerator(), config=task.config, seed=task.seed)
 
 
-def compare_cells(tasks: list[ComparisonTask], workers: int | None = None) -> list[ComparisonRow]:
+@dataclass(frozen=True)
+class ScheduleRoleTask:
+    """One scheduler run (the baseline or SoMa) of one Fig. 6 cell.
+
+    Splitting a cell into its two independent scheduler runs doubles the
+    available parallelism: with more workers than cells the runner can fan
+    the baseline and SoMa of one cell to different processes.  Both runs
+    carry the same explicit seed the serial path would use, and the two
+    schedulers never share state beyond a memoising mapper, so the
+    reassembled rows are bit-identical to :func:`compare_workload`.
+    """
+
+    task: ComparisonTask
+    role: str  # "baseline" (Cocco) or "soma"
+
+
+def run_schedule_role(role_task: ScheduleRoleTask) -> tuple:
+    """Run one half of a Fig. 6 cell; returns the pieces of its row."""
+    task = role_task.task
+    graph = build_workload(task.workload, batch=task.batch, **dict(task.workload_kwargs))
+    accelerator = task.build_accelerator()
+    config = task.config if task.config is not None else SoMaConfig()
+    if role_task.role == "baseline":
+        result = CoccoScheduler(accelerator, config).schedule(graph, seed=task.seed)
+        return (
+            graph.name,
+            accelerator.name,
+            graph.batch,
+            accelerator.peak_ops_per_s,
+            result.evaluation,
+        )
+    result = SoMaScheduler(accelerator, config).schedule(graph, seed=task.seed)
+    return (result.stage1.evaluation, result.stage2.evaluation)
+
+
+def compare_cells(
+    tasks: list[ComparisonTask],
+    workers: int | None = None,
+    intra_cell: bool | None = None,
+) -> list[ComparisonRow]:
     """Run many Fig. 6 cells, fanned across workers (see ``REPRO_WORKERS``).
 
     Results come back in task order and are identical to a serial run: every
-    task is independent and carries its own seed.
+    task is independent and carries its own seed.  In parallel mode each cell
+    is additionally split into its baseline and SoMa runs
+    (:class:`ScheduleRoleTask`), so a single cell can occupy two workers;
+    pass ``intra_cell=False`` to fan at cell granularity only.
     """
     from repro.experiments.parallel import ParallelRunner
 
-    return ParallelRunner(workers).map(run_comparison_task, tasks)
+    runner = ParallelRunner(workers)
+    if intra_cell is None:
+        intra_cell = runner.workers > 1
+    if not intra_cell:
+        return runner.map(run_comparison_task, tasks)
+
+    role_tasks = [
+        ScheduleRoleTask(task=task, role=role)
+        for task in tasks
+        for role in ("baseline", "soma")
+    ]
+    outcomes = runner.map(run_schedule_role, role_tasks)
+    rows = []
+    for index in range(len(tasks)):
+        workload, accelerator_name, batch, peak_ops, cocco_eval = outcomes[2 * index]
+        stage1_eval, stage2_eval = outcomes[2 * index + 1]
+        rows.append(
+            ComparisonRow(
+                workload=workload,
+                accelerator=accelerator_name,
+                batch=batch,
+                cocco=cocco_eval,
+                soma_stage1=stage1_eval,
+                soma_stage2=stage2_eval,
+                peak_ops_per_s=peak_ops,
+            )
+        )
+    return rows
 
 
 def summarize(rows: list[ComparisonRow]) -> ComparisonSummary:

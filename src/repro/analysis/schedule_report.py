@@ -54,6 +54,10 @@ class ScheduleReport:
     groups: tuple[GroupReport, ...]
     traffic: TrafficReport
     evaluation: EvaluationResult
+    # Per-LRU hit/miss/size statistics of the search that produced the
+    # scheme (see ``collect_search_cache_stats``); ``None`` when the caller
+    # did not request cache observability.
+    cache_stats: dict | None = None
 
     def render(self) -> str:
         """Human-readable multi-line report."""
@@ -75,10 +79,20 @@ class ScheduleReport:
                 f"{len(group.layers)} layers, weights {group.weight_bytes / 1e3:.1f} KB, "
                 f"{group.macs / 1e6:.1f} MMACs"
             )
+        if self.cache_stats is not None:
+            from repro.core.caching import format_cache_stats
+
+            lines.append("  search caches:")
+            for stats_line in format_cache_stats(self.cache_stats).splitlines():
+                lines.append("    " + stats_line)
         return "\n".join(lines)
 
 
-def build_schedule_report(plan: ComputePlan, evaluation: EvaluationResult) -> ScheduleReport:
+def build_schedule_report(
+    plan: ComputePlan,
+    evaluation: EvaluationResult,
+    cache_stats: dict | None = None,
+) -> ScheduleReport:
     """Assemble the report from a parsed plan and its evaluation."""
     if not plan.feasible:
         raise ValueError(f"cannot report on an infeasible plan: {plan.infeasibility_reason}")
@@ -114,4 +128,5 @@ def build_schedule_report(plan: ComputePlan, evaluation: EvaluationResult) -> Sc
         groups=tuple(groups),
         traffic=traffic,
         evaluation=evaluation,
+        cache_stats=cache_stats,
     )

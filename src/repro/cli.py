@@ -28,6 +28,7 @@ from repro.analysis.comparison import compare_workload
 from repro.baselines.cocco import CoccoScheduler
 from repro.compiler.codegen import lower_result
 from repro.compiler.ir import generate_ir
+from repro.core.caching import collect_search_cache_stats, format_cache_stats
 from repro.core.config import SAParams, SoMaConfig
 from repro.core.soma import SoMaScheduler
 from repro.experiments.overall import ExperimentCell, default_cells, run_overall_experiment
@@ -108,6 +109,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="independent SA chains with derived seeds; the best scheme wins",
     )
+    schedule.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print hit/miss/size of the search LRUs (parse, segment, "
+        "fragment, tiling, plan, result) after the run; the result row "
+        "samples the currently resident evaluation contexts",
+    )
     _add_workers_argument(schedule)
 
     compare = subparsers.add_parser("compare", help="compare Cocco and SoMa on one workload")
@@ -149,6 +157,7 @@ def _cmd_schedule(args: argparse.Namespace, out) -> int:
     accelerator = _make_accelerator(args)
     graph = build_workload(args.workload, batch=args.batch, **_workload_kwargs(args))
     config = _make_config(args)
+    evaluator = None
     if args.restarts != 1:
         # restarts < 1 is rejected by multi_restart_schedule with a clear error
         # instead of silently behaving like a single chain.
@@ -161,12 +170,26 @@ def _cmd_schedule(args: argparse.Namespace, out) -> int:
             workers=args.workers,
         )
     else:
-        result = SoMaScheduler(accelerator, config).schedule(graph, seed=args.seed)
+        scheduler = SoMaScheduler(accelerator, config)
+        result = scheduler.schedule(graph, seed=args.seed)
+        evaluator = scheduler.evaluator
     out.write(result.describe() + "\n")
     out.write(
         f"compute utilisation {result.evaluation.compute_utilization(accelerator):.3f} "
         f"(bound {result.evaluation.theoretical_max_utilization(accelerator):.3f})\n"
     )
+    if args.cache_stats:
+        stats = collect_search_cache_stats(graph, evaluator)
+        out.write("search cache statistics:\n")
+        out.write(format_cache_stats(stats) + "\n")
+        if evaluator is None:
+            # The restart chains ran in their own schedulers (and, with
+            # --workers, other processes), so evaluator-level rows are
+            # unavailable and the per-graph rows cover this process only.
+            out.write(
+                "note: --restarts chains run in separate schedulers; the rows "
+                "above cover this process only\n"
+            )
     if args.ir_out is not None:
         args.ir_out.write_text(generate_ir(result.plan, result.dlsa).to_json())
         out.write(f"IR written to {args.ir_out}\n")

@@ -64,6 +64,11 @@ class LRUCache:
         self._data.move_to_end(key)
         return value
 
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key`` without touching recency or hit/miss statistics."""
+        value = self._data.get(key, _MISSING)
+        return default if value is _MISSING else value
+
     def put(self, key: Hashable, value: Any) -> None:
         """Insert (or refresh) ``key``, evicting the least recent entry."""
         if self.maxsize == 0:
@@ -87,6 +92,10 @@ class LRUCache:
         self.put(key, value)
         return value
 
+    def values(self) -> list:
+        """The cached values, least recent first (no recency update)."""
+        return list(self._data.values())
+
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
         self._data.clear()
@@ -106,3 +115,66 @@ class LRUCache:
             "misses": self.misses,
             "hit_rate": self.hit_rate,
         }
+
+
+def per_graph_lru(caches, graph, name: str, default_size: int) -> LRUCache:
+    """The per-graph LRU out of ``caches``, dropped when the graph mutates.
+
+    ``caches`` is a ``WeakKeyDictionary`` mapping graphs to ``(version,
+    LRUCache)`` entries; the cache is recreated whenever the graph's mutation
+    version moved, so no caller can ever be served state derived from an
+    older graph.  Capacity resolves through :func:`cache_size` with ``name``.
+    Every per-graph cache in the search stack (parse, segment, fragment,
+    tiling) goes through this one helper so the invalidation rule lives in
+    exactly one place.
+    """
+    entry = caches.get(graph)
+    if entry is None or entry[0] != graph.version:
+        entry = (graph.version, LRUCache(cache_size(name, default_size)))
+        caches[graph] = entry
+    return entry[1]
+
+
+def per_graph_stats(caches, graph) -> dict:
+    """Statistics of a :func:`per_graph_lru` cache, without creating it.
+
+    A graph that never touched the cache reports an empty, disabled-looking
+    snapshot instead of allocating an LRU just to observe it.
+    """
+    entry = caches.get(graph)
+    return entry[1].stats() if entry is not None else LRUCache(0).stats()
+
+
+# -------------------------------------------------------------- observability
+def collect_search_cache_stats(graph, evaluator=None) -> dict[str, dict]:
+    """Statistics of every search-level LRU for one workload graph.
+
+    Gathers the per-graph caches (parse, segment, fragment, tiling) and —
+    when an evaluator is provided — the evaluator-level ones (plan contexts,
+    per-plan and per-segment static costs, result memos).  Imported lazily so
+    this low-level module stays dependency-free.
+    """
+    from repro.notation.parser import parse_cache_stats
+    from repro.notation.segments import fragment_cache_stats, segment_cache_stats
+    from repro.tiling.partition import tiling_cache_stats
+
+    stats: dict[str, dict] = {
+        "parse": parse_cache_stats(graph),
+        "segment": segment_cache_stats(graph),
+        "fragment": fragment_cache_stats(graph),
+        "tiling": tiling_cache_stats(graph),
+    }
+    if evaluator is not None:
+        stats.update(evaluator.cache_stats())
+    return stats
+
+
+def format_cache_stats(stats: dict[str, dict]) -> str:
+    """Render :func:`collect_search_cache_stats` output as an aligned table."""
+    lines = [f"{'cache':16s} {'size':>7s} {'max':>7s} {'hits':>10s} {'misses':>10s} {'hit rate':>9s}"]
+    for name, entry in stats.items():
+        lines.append(
+            f"{name:16s} {entry['size']:>7d} {entry['maxsize']:>7d} "
+            f"{entry['hits']:>10d} {entry['misses']:>10d} {entry['hit_rate']:>8.1%}"
+        )
+    return "\n".join(lines)

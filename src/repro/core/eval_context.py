@@ -46,6 +46,26 @@ from repro.notation.dlsa import DLSA
 from repro.notation.plan import ComputePlan
 
 
+def _segment_static_costs(accelerator, mapper, graph, segment):
+    """Per-segment static costs: (tile seconds, tile energies, tensor seconds).
+
+    Pure functions of the segment content and the accelerator, so the
+    evaluator caches them by segment key; lifetimes and indices play no role
+    here, which is why no re-basing is needed.
+    """
+    layer_costs = {
+        name: mapper.evaluate_tile(graph.layer(name), tiling)
+        for name, tiling in segment.layer_tilings.items()
+    }
+    tile_seconds = tuple(layer_costs[layer].seconds for layer, *_rest in segment.tiles)
+    tile_energies = tuple(layer_costs[layer].energy_j for layer, *_rest in segment.tiles)
+    memory = accelerator.memory
+    tensor_seconds = tuple(
+        memory.dram_transfer_seconds(row[4]) for row in segment.specs
+    )
+    return tile_seconds, tile_energies, tensor_seconds
+
+
 class PlanEvaluationContext:
     """Precomputed, DLSA-independent evaluation state for one plan."""
 
@@ -55,6 +75,7 @@ class PlanEvaluationContext:
         mapper,
         plan: ComputePlan,
         result_cache_size: int | None = None,
+        segment_static_cache=None,
     ) -> None:
         if not plan.feasible:
             raise ValueError("cannot build an evaluation context for an infeasible plan")
@@ -63,16 +84,45 @@ class PlanEvaluationContext:
         self.eval_count = 0
 
         # ------------------------------------------------- static cost model
-        layer_costs = {
-            name: mapper.evaluate_tile(plan.graph.layer(name), tiling)
-            for name, tiling in plan.layer_tilings.items()
-        }
-        self.tile_seconds: list[float] = [layer_costs[t.layer].seconds for t in plan.tiles]
-        self.core_energy_j: float = sum(layer_costs[t.layer].energy_j for t in plan.tiles)
-        memory = accelerator.memory
-        self.tensor_seconds: list[float] = [
-            memory.dram_transfer_seconds(t.num_bytes) for t in plan.dram_tensors
-        ]
+        # Assembled plans carry a segment view: the per-tile/per-tensor costs
+        # of a segment only depend on its content, so they are concatenated
+        # from ``segment_static_cache`` instead of re-walking every layer.
+        # The sums below run over the concatenated arrays in tile/tensor
+        # order, exactly as the monolithic path, so the floats are
+        # bit-identical either way.
+        segment_view = plan.segment_view
+        if segment_view and segment_static_cache is not None:
+            tile_seconds: list[float] = []
+            tile_energies: list[float] = []
+            tensor_seconds: list[float] = []
+            # The cache lives on the evaluator, which outlives any one graph,
+            # so the key pairs the segment digest with the graph's content
+            # fingerprint: equal layer names with different shapes must not
+            # collide (and mutation changes the fingerprint).
+            graph_key = plan.graph.fingerprint()
+            for segment, _tile_offset, _tid_offset in segment_view:
+                cache_key = (graph_key, segment.key)
+                entry = segment_static_cache.get(cache_key)
+                if entry is None:
+                    entry = _segment_static_costs(accelerator, mapper, plan.graph, segment)
+                    segment_static_cache.put(cache_key, entry)
+                tile_seconds.extend(entry[0])
+                tile_energies.extend(entry[1])
+                tensor_seconds.extend(entry[2])
+            self.tile_seconds = tile_seconds
+            self.core_energy_j = sum(tile_energies)
+            self.tensor_seconds = tensor_seconds
+        else:
+            layer_costs = {
+                name: mapper.evaluate_tile(plan.graph.layer(name), tiling)
+                for name, tiling in plan.layer_tilings.items()
+            }
+            self.tile_seconds = [layer_costs[t.layer].seconds for t in plan.tiles]
+            self.core_energy_j = sum(layer_costs[t.layer].energy_j for t in plan.tiles)
+            memory = accelerator.memory
+            self.tensor_seconds = [
+                memory.dram_transfer_seconds(t.num_bytes) for t in plan.dram_tensors
+            ]
         self.dram_energy_j: float = accelerator.energy.dram_energy_j(plan.total_dram_bytes)
         self.compute_time_sum_s: float = sum(self.tile_seconds)
         self.dram_time_sum_s: float = sum(self.tensor_seconds)

@@ -40,6 +40,11 @@ class ScheduleEvaluator:
         # ``id(plan)``, which only worked while the plan object was pinned).
         self._contexts = LRUCache(cache_size("PLAN", 16))
         self._static = LRUCache(cache_size("STATIC", 32))
+        # Per-segment static costs (tile/tensor seconds, per-tile energies),
+        # keyed by segment content: assembled plans share untouched segments,
+        # so context construction concatenates cached arrays instead of
+        # walking every layer through the mapper again.
+        self._segment_static = LRUCache(cache_size("SEGMENT", 4096))
 
     @property
     def accelerator(self) -> AcceleratorConfig:
@@ -56,8 +61,36 @@ class ScheduleEvaluator:
         """The (cached) evaluation context for one feasible plan."""
         return self._contexts.get_or_compute(
             plan.fingerprint(),
-            lambda: PlanEvaluationContext(self._accelerator, self._mapper, plan),
+            lambda: PlanEvaluationContext(
+                self._accelerator,
+                self._mapper,
+                plan,
+                segment_static_cache=self._segment_static,
+            ),
         )
+
+    def cache_stats(self) -> dict[str, dict]:
+        """Statistics of every evaluator-level LRU (see ``--cache-stats``).
+
+        The ``result`` entry aggregates the per-context result memos of the
+        contexts currently *resident* in the plan-context LRU; memo activity
+        of contexts already evicted (a long stage-1 run builds far more than
+        ``REPRO_PLAN_CACHE`` contexts) is not retained, so treat that row as
+        a recent-window sample rather than a whole-search total.
+        """
+        result = {"hits": 0, "misses": 0, "size": 0, "maxsize": 0, "evaluations": 0}
+        for context in self._contexts.values():
+            stats = context.cache_stats()
+            for field in ("hits", "misses", "size", "maxsize", "evaluations"):
+                result[field] += stats[field]
+        total = result["hits"] + result["misses"]
+        result["hit_rate"] = result["hits"] / total if total else 0.0
+        return {
+            "plan": self._contexts.stats(),
+            "plan_static": self._static.stats(),
+            "segment_static": self._segment_static.stats(),
+            "result": result,
+        }
 
     def evaluate(
         self,

@@ -6,6 +6,14 @@ the four LFA operators — change computing order, x/÷2 a Tiling Number,
 add/delete an FLC, add/delete a DRAM Cut — while the DLSA is fixed to the
 classical double-buffer strategy.  The stage receives a buffer budget from
 the Buffer Allocator; schemes exceeding it are penalised.
+
+Every operator returns an :class:`LFAMove`: the new LFA plus an
+:class:`~repro.notation.lfa.LFADelta` naming the plan segments (LGs) the
+move touched.  The stage feeds the delta into the segment assembler
+(:mod:`repro.notation.segments`) so only touched segments are re-parsed per
+candidate; unchanged ones are reused from the parent plan or the segment
+LRU.  Plans are bit-identical to the reference parser's, so fixed-seed
+searches are unchanged.
 """
 
 from __future__ import annotations
@@ -21,12 +29,20 @@ from repro.core.result import EvaluationResult, StageResult
 from repro.core.sa import SimulatedAnnealing
 from repro.errors import EncodingError
 from repro.notation.encoding import ScheduleEncoding
-from repro.notation.lfa import LFA
-from repro.notation.parser import parse_lfa_cached
+from repro.notation.lfa import LFA, LFADelta
+from repro.notation.segments import build_plan_cached
 from repro.tiling.heuristics import kc_parallelism_tiling_number
 from repro.workloads.graph import WorkloadGraph
 
 _MAX_TILING_NUMBER = 4096
+
+
+@dataclass(frozen=True)
+class LFAMove:
+    """One operator move: the resulting LFA plus the segments it touched."""
+
+    lfa: LFA
+    delta: LFADelta
 
 
 # --------------------------------------------------------------------- helpers
@@ -60,7 +76,7 @@ def _valid_positions(graph: WorkloadGraph, order: list[str], layer: str) -> list
 
 
 # ------------------------------------------------------------------- operators
-def op_change_computing_order(lfa: LFA, graph: WorkloadGraph, rng: random.Random) -> LFA | None:
+def op_change_computing_order(lfa: LFA, graph: WorkloadGraph, rng: random.Random) -> LFAMove | None:
     """Move one layer to another dependency-valid position."""
     order = list(lfa.computing_order)
     layer = rng.choice(order)
@@ -74,15 +90,26 @@ def op_change_computing_order(lfa: LFA, graph: WorkloadGraph, rng: random.Random
     remaining = [name for name in order if name != layer]
     new_position = rng.choice(candidates)
     remaining.insert(new_position, layer)
-    return LFA(
-        computing_order=tuple(remaining),
-        flc_set=lfa.flc_set,
-        dram_cut_set=lfa.dram_cut_set,
-        tiling_numbers=dict(lfa.tiling_numbers),
+    # Only layers between the source and destination positions shift; LGs
+    # entirely outside that index range keep their members and cuts.
+    low = min(current, new_position)
+    high = max(current, new_position)
+    segment_map = tuple(
+        lg_index if end <= low or start > high else -1
+        for lg_index, (start, end) in enumerate(lfa.lg_ranges())
+    )
+    return LFAMove(
+        lfa=LFA(
+            computing_order=tuple(remaining),
+            flc_set=lfa.flc_set,
+            dram_cut_set=lfa.dram_cut_set,
+            tiling_numbers=dict(lfa.tiling_numbers),
+        ),
+        delta=LFADelta(operator="change_computing_order", parent=lfa, segment_map=segment_map),
     )
 
 
-def op_change_tiling_number(lfa: LFA, graph: WorkloadGraph, rng: random.Random) -> LFA | None:
+def op_change_tiling_number(lfa: LFA, graph: WorkloadGraph, rng: random.Random) -> LFAMove | None:
     """Multiply or divide one FLG's Tiling Number by two."""
     start = rng.choice(sorted(lfa.tiling_numbers))
     tilings = dict(lfa.tiling_numbers)
@@ -94,15 +121,23 @@ def op_change_tiling_number(lfa: LFA, graph: WorkloadGraph, rng: random.Random) 
     if new_value == current:
         return None
     tilings[start] = new_value
-    return LFA(
-        computing_order=lfa.computing_order,
-        flc_set=lfa.flc_set,
-        dram_cut_set=lfa.dram_cut_set,
-        tiling_numbers=tilings,
+    touched = lfa.lg_index_of_position(start)
+    return LFAMove(
+        lfa=LFA(
+            computing_order=lfa.computing_order,
+            flc_set=lfa.flc_set,
+            dram_cut_set=lfa.dram_cut_set,
+            tiling_numbers=tilings,
+        ),
+        delta=LFADelta(
+            operator="change_tiling_number",
+            parent=lfa,
+            segment_map=lfa.identity_segment_map(changed=(touched,)),
+        ),
     )
 
 
-def op_add_flc(lfa: LFA, graph: WorkloadGraph, rng: random.Random) -> LFA | None:
+def op_add_flc(lfa: LFA, graph: WorkloadGraph, rng: random.Random) -> LFAMove | None:
     """Add an FLC, splitting one FLG into two with the same Tiling Number."""
     n = len(lfa.computing_order)
     candidates = [p for p in range(1, n) if p not in lfa.flc_set]
@@ -113,15 +148,24 @@ def op_add_flc(lfa: LFA, graph: WorkloadGraph, rng: random.Random) -> LFA | None
     start, _ = lfa.flg_ranges()[flg_index]
     tilings = dict(lfa.tiling_numbers)
     tilings[position] = tilings[start]
-    return LFA(
-        computing_order=lfa.computing_order,
-        flc_set=lfa.flc_set | {position},
-        dram_cut_set=lfa.dram_cut_set,
-        tiling_numbers=tilings,
+    # The new cut is no DRAM Cut, so it falls strictly inside one LG.
+    touched = lfa.lg_index_of_position(position)
+    return LFAMove(
+        lfa=LFA(
+            computing_order=lfa.computing_order,
+            flc_set=lfa.flc_set | {position},
+            dram_cut_set=lfa.dram_cut_set,
+            tiling_numbers=tilings,
+        ),
+        delta=LFADelta(
+            operator="add_flc",
+            parent=lfa,
+            segment_map=lfa.identity_segment_map(changed=(touched,)),
+        ),
     )
 
 
-def op_delete_flc(lfa: LFA, graph: WorkloadGraph, rng: random.Random) -> LFA | None:
+def op_delete_flc(lfa: LFA, graph: WorkloadGraph, rng: random.Random) -> LFAMove | None:
     """Remove an FLC (not a DRAM Cut), merging two FLGs.
 
     The merged FLG inherits one of the two Tiling Numbers with probability
@@ -142,39 +186,70 @@ def op_delete_flc(lfa: LFA, graph: WorkloadGraph, rng: random.Random) -> LFA | N
     right_tiling = tilings.pop(right_start)
     keep_left = rng.random() < left_count / (left_count + right_count)
     tilings[left_start] = left_tiling if keep_left else right_tiling
-    return LFA(
-        computing_order=lfa.computing_order,
-        flc_set=lfa.flc_set - {position},
-        dram_cut_set=lfa.dram_cut_set,
-        tiling_numbers=tilings,
+    # A deletable FLC is never a DRAM Cut, so both merged FLGs share one LG.
+    touched = lfa.lg_index_of_position(position)
+    return LFAMove(
+        lfa=LFA(
+            computing_order=lfa.computing_order,
+            flc_set=lfa.flc_set - {position},
+            dram_cut_set=lfa.dram_cut_set,
+            tiling_numbers=tilings,
+        ),
+        delta=LFADelta(
+            operator="delete_flc",
+            parent=lfa,
+            segment_map=lfa.identity_segment_map(changed=(touched,)),
+        ),
     )
 
 
-def op_add_dram_cut(lfa: LFA, graph: WorkloadGraph, rng: random.Random) -> LFA | None:
+def op_add_dram_cut(lfa: LFA, graph: WorkloadGraph, rng: random.Random) -> LFAMove | None:
     """Promote an existing FLC to a DRAM Cut."""
     candidates = sorted(lfa.flc_set - lfa.dram_cut_set)
     if not candidates:
         return None
     position = rng.choice(candidates)
-    return LFA(
-        computing_order=lfa.computing_order,
-        flc_set=lfa.flc_set,
-        dram_cut_set=lfa.dram_cut_set | {position},
-        tiling_numbers=dict(lfa.tiling_numbers),
+    # LG ``split`` becomes two new segments; later LGs keep their content but
+    # shift up by one index.
+    split = lfa.lg_index_of_position(position)
+    num_lgs = len(lfa.lg_ranges())
+    segment_map = tuple(
+        i if i < split else (-1 if i <= split + 1 else i - 1)
+        for i in range(num_lgs + 1)
+    )
+    return LFAMove(
+        lfa=LFA(
+            computing_order=lfa.computing_order,
+            flc_set=lfa.flc_set,
+            dram_cut_set=lfa.dram_cut_set | {position},
+            tiling_numbers=dict(lfa.tiling_numbers),
+        ),
+        delta=LFADelta(operator="add_dram_cut", parent=lfa, segment_map=segment_map),
     )
 
 
-def op_delete_dram_cut(lfa: LFA, graph: WorkloadGraph, rng: random.Random) -> LFA | None:
+def op_delete_dram_cut(lfa: LFA, graph: WorkloadGraph, rng: random.Random) -> LFAMove | None:
     """Demote a DRAM Cut to a plain FLC (fusing the two LGs)."""
     candidates = sorted(lfa.dram_cut_set)
     if not candidates:
         return None
     position = rng.choice(candidates)
-    return LFA(
-        computing_order=lfa.computing_order,
-        flc_set=lfa.flc_set,
-        dram_cut_set=lfa.dram_cut_set - {position},
-        tiling_numbers=dict(lfa.tiling_numbers),
+    # The LG starting at ``position`` merges into its predecessor; later LGs
+    # keep their content but shift down by one index.
+    right = lfa.lg_index_of_position(position)
+    num_lgs = len(lfa.lg_ranges())
+    segment_map = tuple(
+        i if i < right - 1 else (-1 if i == right - 1 else i + 1)
+        for i in range(num_lgs - 1)
+    )
+    return LFAMove(
+        lfa=LFA(
+            computing_order=lfa.computing_order,
+            flc_set=lfa.flc_set,
+            dram_cut_set=lfa.dram_cut_set - {position},
+            tiling_numbers=dict(lfa.tiling_numbers),
+        ),
+        delta=LFADelta(operator="delete_dram_cut", parent=lfa, segment_map=segment_map),
     )
 
 
@@ -219,6 +294,10 @@ class LFAStage:
         # revisits states whenever a move is rejected and re-proposed, and
         # the allocator restarts from the same initial scheme every round.
         self._cost_memo = LRUCache(cache_size("STAGE1", 4096))
+        # The delta of the most recent _neighbor proposal, consumed by the
+        # cost function for that exact candidate object: the SA engine only
+        # sees LFA states, so the segment hint travels alongside.
+        self._pending: tuple[LFA, LFADelta] | None = None
 
     # ------------------------------------------------------------------ public
     def explore(self, buffer_budget_bytes: int, rng: random.Random) -> LFAStageOutcome:
@@ -244,9 +323,15 @@ class LFAStage:
             buffer_peak_bytes=evaluation.max_buffer_bytes,
         )
 
-    def evaluate(self, lfa: LFA, buffer_budget_bytes: int) -> EvaluationResult:
-        """Evaluate one LFA with the double-buffer DLSA."""
-        plan = parse_lfa_cached(self._graph, lfa)
+    def evaluate(
+        self, lfa: LFA, buffer_budget_bytes: int, delta: LFADelta | None = None
+    ) -> EvaluationResult:
+        """Evaluate one LFA with the double-buffer DLSA.
+
+        ``delta`` (when the LFA came from an operator move) lets the segment
+        assembler reuse the parent plan's untouched segments.
+        """
+        plan = build_plan_cached(self._graph, lfa, delta)
         if not plan.feasible:
             return EvaluationResult(feasible=False, reason=plan.infeasibility_reason)
         context = self._evaluator.context(plan)
@@ -258,8 +343,12 @@ class LFAStage:
         cached = self._cost_memo.get(memo_key)
         if cached is not None:
             return cached
+        delta = None
+        if self._pending is not None and self._pending[0] is lfa:
+            delta = self._pending[1]
+            self._pending = None
         try:
-            result = self.evaluate(lfa, buffer_budget_bytes)
+            result = self.evaluate(lfa, buffer_budget_bytes, delta)
         except EncodingError:
             return math.inf
         cost = self._penalised_cost(result, buffer_budget_bytes)
@@ -283,7 +372,8 @@ class LFAStage:
             index = rng.choices(range(len(operators)), weights=weights, k=1)[0]
             operator = operators.pop(index)
             weights.pop(index)
-            candidate = operator(lfa, self._graph, rng)
-            if candidate is not None:
-                return candidate
+            move = operator(lfa, self._graph, rng)
+            if move is not None:
+                self._pending = (move.lfa, move.delta)
+                return move.lfa
         return None

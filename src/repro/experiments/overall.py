@@ -89,14 +89,18 @@ def run_overall_experiment(
     seed: int = 2025,
     progress=None,
     workers: int | None = None,
+    intra_cell: bool | None = None,
 ) -> OverallExperiment:
     """Run the overall comparison for every cell.
 
     ``progress`` may be a callable taking a string; it is invoked before each
     cell so command-line front-ends can report progress.  With ``workers``
-    (or ``REPRO_WORKERS``) > 1 the independent cells fan across processes;
-    every cell keeps the same explicit seed, so the rows are identical to a
-    serial run for any worker count.
+    (or ``REPRO_WORKERS``) > 1 each cell is split into its two independent
+    scheduler runs (baseline vs SoMa) and the resulting tasks fan across
+    processes — twice the parallelism of cell-granularity fanning when
+    workers outnumber cells (``intra_cell=False`` restores the old
+    behaviour).  Every run keeps the same explicit seed, so the rows are
+    identical to a serial run for any worker count.
     """
     cells = cells if cells is not None else default_cells()
     config = config if config is not None else SoMaConfig()
@@ -106,7 +110,10 @@ def run_overall_experiment(
 
     if resolve_workers(workers) > 1:
         if progress is not None:
-            progress(f"running {len(cells)} cells across {resolve_workers(workers)} workers")
+            progress(
+                f"running {len(cells)} cells (2 scheduler runs each) across "
+                f"{resolve_workers(workers)} workers"
+            )
         tasks = [
             ComparisonTask(
                 workload=cell.workload,
@@ -118,7 +125,7 @@ def run_overall_experiment(
             )
             for cell in cells
         ]
-        experiment.rows.extend(compare_cells(tasks, workers=workers))
+        experiment.rows.extend(compare_cells(tasks, workers=workers, intra_cell=intra_cell))
         return experiment
 
     mappers: dict[str, CoreArrayMapper] = {}

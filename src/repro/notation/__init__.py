@@ -11,14 +11,20 @@ Parsing the LFA yields the compute-tile sequence, the on-chip buffer
 lifetimes and the set of tensors that must interact with DRAM; parsing the
 DLSA yields the timing and buffering of those DRAM tensors.  The resulting
 :class:`~repro.notation.plan.ComputePlan` is what the evaluator simulates.
+
+Two construction paths produce bit-identical plans: the reference parser
+(:func:`parse_lfa`, one monolithic pass) and the segment assembler
+(:mod:`repro.notation.segments`), which builds plans from cached per-LG
+fragments and powers the stage-1 incremental hot path.
 """
 
 from repro.notation.dlsa import DLSA
 from repro.notation.dram_tensor import DRAMTensor, TensorKind
 from repro.notation.encoding import ScheduleEncoding
-from repro.notation.lfa import LFA
+from repro.notation.lfa import LFA, LFADelta
 from repro.notation.parser import parse_lfa
 from repro.notation.plan import BufferInterval, ComputePlan, ComputeTile
+from repro.notation.segments import PlanAssembler, PlanSegment, build_plan_cached
 
 __all__ = [
     "DLSA",
@@ -26,8 +32,12 @@ __all__ = [
     "TensorKind",
     "ScheduleEncoding",
     "LFA",
+    "LFADelta",
     "BufferInterval",
     "ComputePlan",
     "ComputeTile",
+    "PlanAssembler",
+    "PlanSegment",
+    "build_plan_cached",
     "parse_lfa",
 ]

@@ -136,6 +136,46 @@ class LFA:
         start, _ = self.flg_ranges()[flg_index]
         return self.tiling_numbers[start]
 
+    def lg_index_of_position(self, position: int) -> int:
+        """Index of the LG (DRAM-cut-delimited segment) containing ``position``."""
+        for lg_index, (start, end) in enumerate(self.lg_ranges()):
+            if start <= position < end:
+                return lg_index
+        raise EncodingError(f"position {position} outside the computing order")
+
+    def segment_specs(self) -> list[tuple[tuple[str, ...], tuple[int, ...], tuple[int, ...]]]:
+        """Content specs of the plan segments (one per LG), in order.
+
+        Each spec is ``(layers, rel_cuts, rel_tilings)``: the segment's layer
+        names, its internal FLC positions relative to the segment start, and
+        the Tiling Number of each internal FLG.  Everything the segment
+        parser derives from an LFA is a pure function of this spec (plus the
+        graph), so two segments with equal specs parse to identical fragments
+        — the invariant behind the segment cache and delta-driven reuse.
+        """
+        order = self.computing_order
+        flc_sorted = sorted(self.flc_set)
+        tiling_numbers = self.tiling_numbers
+        specs = []
+        cut_index = 0
+        num_cuts = len(flc_sorted)
+        for start, end in self.lg_ranges():
+            # flc_sorted is consumed left to right (LG ranges are ascending
+            # and DRAM Cuts are FLCs too), so one pass over the cuts serves
+            # every segment.
+            while cut_index < num_cuts and flc_sorted[cut_index] <= start:
+                cut_index += 1
+            first = cut_index
+            while cut_index < num_cuts and flc_sorted[cut_index] < end:
+                cut_index += 1
+            rel_cuts = tuple(c - start for c in flc_sorted[first:cut_index])
+            rel_tilings = (
+                tiling_numbers[start],
+                *[tiling_numbers[start + rel] for rel in rel_cuts],
+            )
+            specs.append((order[start:end], rel_cuts, rel_tilings))
+        return specs
+
     # ----------------------------------------------------------- constructors
     @classmethod
     def unfused(cls, graph: WorkloadGraph, tiling_number: int = 1) -> "LFA":
@@ -167,6 +207,13 @@ class LFA:
             tiling_numbers={0: tiling_number},
         )
 
+    # ---------------------------------------------------------------- deltas
+    def identity_segment_map(self, changed: tuple[int, ...] = ()) -> tuple[int, ...]:
+        """Segment map for a move that keeps the LG partition, marking
+        ``changed`` LG indices as touched (see :class:`LFADelta`)."""
+        num_lgs = len(self.lg_ranges())
+        return tuple(-1 if i in changed else i for i in range(num_lgs))
+
     # ---------------------------------------------------------------- utility
     def describe(self) -> str:
         """Compact human-readable form, mirroring the paper's Fig. 4 notation."""
@@ -180,3 +227,27 @@ class LFA:
             ", ".join(self.computing_order[a:b]) for a, b in lg_ranges
         )
         return "FLGs " + " ".join(parts) + " ; LGs " + lg_part
+
+
+@dataclass(frozen=True)
+class LFADelta:
+    """Which plan segments an LFA operator move touched (paper Sec. V-C1).
+
+    Every LFA operator perturbs at most a couple of LGs; the delta records,
+    for each LG of the *new* LFA, which LG of the ``parent`` LFA it is
+    provably identical to (same layers, same internal cuts, same Tiling
+    Numbers) — or ``-1`` when the segment changed and must be re-parsed.
+    The incremental plan builder uses this to reuse the parent plan's
+    :class:`~repro.notation.segments.PlanSegment` fragments directly; the
+    mapping is *verified* against the segment specs before reuse, so a wrong
+    delta can cost time but never correctness.
+    """
+
+    operator: str
+    parent: LFA
+    segment_map: tuple[int, ...]
+
+    @property
+    def changed_segments(self) -> tuple[int, ...]:
+        """New-LFA LG indices that must be re-parsed."""
+        return tuple(i for i, j in enumerate(self.segment_map) if j < 0)

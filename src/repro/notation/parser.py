@@ -12,13 +12,19 @@ weak dictionary, the scratch objects bypass dataclass ``__init__`` (their
 values are valid by construction), and :func:`parse_lfa_cached` adds a
 fingerprint-keyed LRU (``REPRO_PARSE_CACHE``) so revisited LFA states are
 parsed once per search.
+
+:func:`parse_lfa` is the *reference* construction path: one monolithic pass
+over the whole LFA.  The stage-1 search builds plans through the segment
+assembler instead (:mod:`repro.notation.segments`), which re-parses only the
+LGs an operator move touched and stitches the rest from caches; the two
+paths produce bit-identical plans (``tests/test_segments.py``).
 """
 
 from __future__ import annotations
 
 import weakref
 
-from repro.core.caching import LRUCache, cache_size
+from repro.core.caching import LRUCache, per_graph_lru, per_graph_stats
 from repro.notation.dram_tensor import DRAMTensor, TensorKind
 from repro.notation.lfa import LFA
 from repro.notation.plan import BufferInterval, ComputePlan, ComputeTile
@@ -319,6 +325,17 @@ _PARSE_CACHES: "weakref.WeakKeyDictionary[WorkloadGraph, tuple[int, LRUCache]]" 
 )
 
 
+def plan_cache(graph: WorkloadGraph) -> LRUCache:
+    """The per-graph LFA-fingerprint → :class:`ComputePlan` LRU.
+
+    Shared between :func:`parse_lfa_cached` (the reference path) and the
+    segment assembler's :func:`~repro.notation.segments.build_plan_cached`
+    (the stage-1 incremental path), so both hand out the *same* plan object
+    for one LFA state.  Dropped when the graph mutates.
+    """
+    return per_graph_lru(_PARSE_CACHES, graph, "PARSE", 256)
+
+
 def parse_lfa_cached(graph: WorkloadGraph, lfa: LFA) -> ComputePlan:
     """LRU-cached :func:`parse_lfa`, keyed by the LFA's stable fingerprint.
 
@@ -328,11 +345,7 @@ def parse_lfa_cached(graph: WorkloadGraph, lfa: LFA) -> ComputePlan:
     (see :attr:`WorkloadGraph.version`).  Callers must treat the returned
     plan as immutable — every consumer in the search stack already does.
     """
-    entry = _PARSE_CACHES.get(graph)
-    if entry is None or entry[0] != graph.version:
-        entry = (graph.version, LRUCache(cache_size("PARSE", 256)))
-        _PARSE_CACHES[graph] = entry
-    cache = entry[1]
+    cache = plan_cache(graph)
     key = lfa.fingerprint()
     plan = cache.get(key)
     if plan is None:
@@ -343,5 +356,4 @@ def parse_lfa_cached(graph: WorkloadGraph, lfa: LFA) -> ComputePlan:
 
 def parse_cache_stats(graph: WorkloadGraph) -> dict:
     """Hit/miss statistics of the per-graph parse cache (for benchmarks)."""
-    entry = _PARSE_CACHES.get(graph)
-    return entry[1].stats() if entry is not None else LRUCache(0).stats()
+    return per_graph_stats(_PARSE_CACHES, graph)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
+from typing import ClassVar
 
 from repro.notation.dram_tensor import DRAMTensor, TensorKind
 from repro.notation.lfa import LFA, stable_digest
@@ -66,6 +67,12 @@ class ComputePlan:
     lg_of_layer: dict[str, int] = field(default_factory=dict)
     num_flgs: int = 0
     num_lgs: int = 0
+
+    # Set by the segment assembler: ``((segment, tile_offset, tid_offset),
+    # ...)`` — one entry per LG, in order.  ``None`` on plans built by the
+    # reference parser.  Lets the evaluator reuse per-segment static costs
+    # and lets delta-driven assembly reuse a parent plan's segments.
+    segment_view: ClassVar = None
 
     # -------------------------------------------------------------- identity
     def fingerprint(self) -> str:

@@ -1,0 +1,611 @@
+"""Segment-based incremental plan construction (stage-1 fast path).
+
+Every LFA operator of the stage-1 annealer (paper Sec. V-C1) perturbs at
+most one or two LGs, yet the seed parser rebuilds the whole
+:class:`~repro.notation.plan.ComputePlan` per candidate.  This module splits
+parsing along DRAM Cuts: an LG — the unit delimited by DRAM Cuts — is a
+*plan segment*, and everything :func:`~repro.notation.parser.parse_lfa`
+derives is attributable to exactly one segment:
+
+* tiles, with segment-local indices and FLG numbers;
+* DRAM tensors: weights and streamed network inputs of the segment's layers,
+  cross-LG ifmap loads (attributed to the *consuming* segment — the producer
+  only matters by name and by its graph-level ofmap size), and ofmap stores
+  (attributed to the *producing* segment — a layer stores iff some consumer
+  lies outside the segment);
+* on-chip fmap lifetimes (producer and consumers share the LG by definition).
+
+The single cross-segment coupling is the store-gating structure
+(``src_store_tids``: a read-back load waits for another LG's stores), which
+the assembler rebuilds from a global layer → store-tid map in one pass.
+
+:func:`parse_segment` emits an immutable, content-keyed :class:`PlanSegment`
+(cached in a per-graph LRU, ``REPRO_SEGMENT_CACHE``); :class:`PlanAssembler`
+stitches segments into a ``ComputePlan``, re-basing tile indices, tensor ids
+and lifetimes via cached :class:`_Fragment` objects.  The assembled plan is
+bit-identical to ``parse_lfa``'s (asserted for random operator sequences by
+``tests/test_segments.py``): segment tile ranges are disjoint and increasing,
+so the parser's global ``(first_use, kind, position, tile_id)`` sort order
+equals the concatenation of the per-segment sort orders, and the stable sort
+keeps the generation-order tie-breaks identical within a segment.
+
+The :class:`~repro.notation.lfa.LFADelta` produced by the LFA operators
+tells the assembler which segments of the parent plan can be reused without
+even computing a cache key; the mapping is verified against the segment
+specs before reuse, so a wrong delta degrades to a cache lookup instead of a
+wrong plan.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from repro.core.caching import LRUCache, per_graph_lru, per_graph_stats
+from repro.notation.dram_tensor import TensorKind
+from repro.notation.lfa import LFA, LFADelta, stable_digest
+from repro.notation.parser import (
+    _ceil_div,
+    _graph_static,
+    _new_tensor,
+    _new_tile,
+    plan_cache,
+)
+from repro.notation.plan import BufferInterval, ComputePlan
+from repro.tiling.partition import tile_flg
+from repro.workloads.graph import WorkloadGraph
+
+_KINDS = (TensorKind.WEIGHT, TensorKind.IFMAP, TensorKind.OFMAP)
+
+SegmentSpec = tuple  # (layers, rel_cuts, rel_tilings) — see LFA.segment_specs()
+
+
+def segment_key(spec: SegmentSpec) -> str:
+    """Stable content digest of one segment spec (per-graph cache key)."""
+    return stable_digest("segment", *spec)
+
+
+class PlanSegment:
+    """Immutable parse result of one LG, in segment-local coordinates.
+
+    Tile indices, tensor ids and lifetimes are all relative to the segment
+    start; :class:`PlanAssembler` re-bases them when stitching.  A segment is
+    a pure function of its spec and the workload graph, so instances are
+    shared freely across plans and LFAs through the segment LRU.
+    """
+
+    __slots__ = (
+        "key",
+        "layers",
+        "rel_cuts",
+        "rel_tilings",
+        "feasible",
+        "infeasibility_reason",
+        "infeasible_dep_rank",
+        "num_flgs",
+        "num_tiles",
+        "num_tensors",
+        "tiles",
+        "specs",
+        "onchip",
+        "layer_tilings",
+        "flg_of_layer",
+        "required_loads",
+        "store_tids",
+        "stores_of_layer",
+        "load_sources",
+    )
+
+    def matches(self, spec: SegmentSpec) -> bool:
+        """Whether this segment was parsed from exactly this spec."""
+        return (
+            self.layers == spec[0]
+            and self.rel_cuts == spec[1]
+            and self.rel_tilings == spec[2]
+        )
+
+
+def parse_segment(graph: WorkloadGraph, spec: SegmentSpec, key: str | None = None) -> PlanSegment:
+    """Parse one LG into a :class:`PlanSegment` (segment-local coordinates).
+
+    Mirrors every loop of :func:`~repro.notation.parser.parse_lfa` restricted
+    to the segment's layers; see the module docstring for why the restriction
+    is exact.
+    """
+    static = _graph_static(graph)
+    layers_of = static.layers
+    preds_of = static.preds
+    succs_of = static.succs
+    dep_tiled = static.dep_tiled
+
+    layers, rel_cuts, rel_tilings = spec
+    n = len(layers)
+    member_pos = {name: index for index, name in enumerate(layers)}
+
+    boundaries = [0, *rel_cuts, n]
+    flg_ranges = [
+        (boundaries[i], boundaries[i + 1]) for i in range(len(boundaries) - 1)
+    ]
+    flg_of_layer: dict[str, int] = {}
+    for flg_index, (start, end) in enumerate(flg_ranges):
+        for name in layers[start:end]:
+            flg_of_layer[name] = flg_index
+
+    segment = PlanSegment.__new__(PlanSegment)
+    segment.key = key if key is not None else segment_key(spec)
+    segment.layers = layers
+    segment.rel_cuts = rel_cuts
+    segment.rel_tilings = rel_tilings
+    segment.num_flgs = len(flg_ranges)
+
+    # ---------------------------------------------------------------- tilings
+    layer_tilings = {}
+    flg_tile_counts: list[int] = []
+    for flg_index, (start, end) in enumerate(flg_ranges):
+        tilings = tile_flg(graph, list(layers[start:end]), rel_tilings[flg_index])
+        layer_tilings.update(tilings)
+        flg_tile_counts.append(next(iter(tilings.values())).num_tiles)
+    segment.layer_tilings = layer_tilings
+    segment.flg_of_layer = flg_of_layer
+
+    # ----------------------------------------------------------- feasibility
+    # Same-FLG deps are always segment-internal (FLGs never span DRAM Cuts);
+    # the dep rank lets the assembler report the globally first violation,
+    # matching the seed parser's iteration order over graph.dependencies().
+    segment.feasible = True
+    segment.infeasibility_reason = ""
+    segment.infeasible_dep_rank = -1
+    for rank, dep in enumerate(static.deps):
+        flg_p = flg_of_layer.get(dep.producer)
+        if flg_p is None or flg_of_layer.get(dep.consumer) != flg_p:
+            continue
+        if not dep.tiled and flg_tile_counts[flg_p] > 1:
+            segment.feasible = False
+            segment.infeasibility_reason = (
+                f"untiled dependency {dep.producer} -> {dep.consumer} inside an FLG "
+                f"with Tiling Number > 1"
+            )
+            segment.infeasible_dep_rank = rank
+            segment.num_tiles = 0
+            segment.num_tensors = 0
+            segment.tiles = ()
+            segment.specs = ()
+            segment.onchip = ()
+            segment.required_loads = ()
+            segment.store_tids = ()
+            segment.stores_of_layer = {}
+            segment.load_sources = ()
+            return segment
+
+    # ---------------------------------------------------------- tile sequence
+    # Local tiles are (layer, tile_id, local_flg_index, macs, vector_ops);
+    # the local index is the tuple's position.
+    tiles: list[tuple] = []
+    layer_tile_indices: dict[str, list[int]] = {}
+    for flg_index, (start, end) in enumerate(flg_ranges):
+        flg_tilings = [(name, layer_tilings[name]) for name in layers[start:end]]
+        for name, _tiling in flg_tilings:
+            layer_tile_indices[name] = []
+        for tile_id in range(flg_tile_counts[flg_index]):
+            for name, tiling in flg_tilings:
+                index = len(tiles)
+                tiles.append(
+                    (name, tile_id, flg_index, tiling.macs_per_tile, tiling.vector_ops_per_tile)
+                )
+                layer_tile_indices[name].append(index)
+    segment.tiles = tuple(tiles)
+    segment.num_tiles = len(tiles)
+
+    # ----------------------------------------------------------- DRAM tensors
+    # Same scratch-tuple shape as the seed parser: (first_use, kind_rank,
+    # layer, tile_id, num_bytes, last_use, source_layer), all indices local.
+    specs: list[tuple] = []
+
+    for name in layers:
+        layer = layers_of[name]
+        if layer.weight_bytes > 0:
+            indices = layer_tile_indices[name]
+            specs.append((indices[0], 0, name, None, layer.weight_bytes, indices[-1], None))
+
+    for name in layers:
+        predecessors = preds_of[name]
+        tiling = layer_tilings[name]
+        num_tiles = tiling.num_tiles
+        indices = layer_tile_indices[name]
+
+        if not predecessors:
+            ifmap_bytes = tiling.ifmap_tile_bytes
+            for tile_id in range(num_tiles):
+                use = indices[tile_id]
+                specs.append((use, 1, name, tile_id, ifmap_bytes, use, None))
+            continue
+
+        for producer_name in predecessors:
+            if producer_name in member_pos:
+                continue  # same LG: served on chip
+            producer = layers_of[producer_name]
+            if dep_tiled[(producer_name, name)] and num_tiles > 1:
+                per_tile_bytes = _ceil_div(producer.ofmap_bytes, num_tiles)
+                for tile_id in range(num_tiles):
+                    use = indices[tile_id]
+                    specs.append((use, 1, name, tile_id, per_tile_bytes, use, producer_name))
+            else:
+                specs.append(
+                    (indices[0], 1, name, None, producer.ofmap_bytes, indices[-1], producer_name)
+                )
+
+    for name in layers:
+        successors = succs_of[name]
+        crosses_lg = any(s not in member_pos for s in successors)
+        if successors and not crosses_lg:
+            continue
+        layer = layers_of[name]
+        indices = layer_tile_indices[name]
+        num_tiles = layer_tilings[name].num_tiles
+        per_tile_bytes = _ceil_div(layer.ofmap_bytes, num_tiles)
+        for tile_id in range(num_tiles):
+            produce = indices[tile_id]
+            specs.append((produce, 2, name, tile_id, per_tile_bytes, produce, None))
+
+    # Segment tile ranges are disjoint in the global plan, so sorting locally
+    # by (first_use, kind, position, tile_id) and concatenating per segment
+    # reproduces the seed parser's global sort (the stable sort preserves the
+    # same generation-order tie-breaks).
+    sort_keys = [
+        (spec[0], spec[1], member_pos[spec[2]], -1 if spec[3] is None else spec[3])
+        for spec in specs
+    ]
+    spec_order = sorted(range(len(specs)), key=sort_keys.__getitem__)
+    specs = [specs[index] for index in spec_order]
+    segment.specs = tuple(specs)
+    segment.num_tensors = len(specs)
+
+    stores_of_layer: dict[str, list[int]] = {}
+    store_tids: list[int] = []
+    required_loads: list[list[int]] = [[] for _ in tiles]
+    load_sources: list[tuple[int, str]] = []
+    for tid, spec_row in enumerate(specs):
+        if spec_row[1] != 2:
+            required_loads[spec_row[0]].append(tid)
+            if spec_row[6] is not None:
+                load_sources.append((tid, spec_row[6]))
+        else:
+            stores_of_layer.setdefault(spec_row[2], []).append(tid)
+            store_tids.append(tid)
+    segment.required_loads = tuple(tuple(tids) for tids in required_loads)
+    segment.store_tids = tuple(store_tids)
+    segment.stores_of_layer = {
+        name: tuple(tids) for name, tids in stores_of_layer.items()
+    }
+    segment.load_sources = tuple(load_sources)
+
+    # -------------------------------------------------- on-chip fmap lifetimes
+    onchip: list[tuple[int, int, int, str]] = []
+    for name in layers:
+        intra_lg_consumers = [s for s in succs_of[name] if s in member_pos]
+        if not intra_lg_consumers:
+            continue
+        tiling = layer_tilings[name]
+        flg_of_name = flg_of_layer[name]
+        indices = layer_tile_indices[name]
+        for tile_id in range(tiling.num_tiles):
+            start = indices[tile_id]
+            end = start
+            for consumer_name in intra_lg_consumers:
+                same_flg = flg_of_layer[consumer_name] == flg_of_name
+                if same_flg and dep_tiled[(name, consumer_name)]:
+                    candidate = layer_tile_indices[consumer_name][tile_id]
+                else:
+                    candidate = layer_tile_indices[consumer_name][-1]
+                if candidate > end:
+                    end = candidate
+            onchip.append((start, end, tiling.ofmap_tile_bytes, f"{name}#{tile_id}"))
+    segment.onchip = tuple(onchip)
+    return segment
+
+
+class _Fragment:
+    """One segment re-based to its global offsets, ready to concatenate.
+
+    Re-basing builds the plan-level :class:`~repro.notation.plan.ComputeTile`
+    and :class:`~repro.notation.dram_tensor.DRAMTensor` objects, which is the
+    bulk of the remaining assembly cost — so fragments are cached per
+    (segment, offsets): in a stable anneal every segment *before* the touched
+    one keeps its offsets and hits this cache outright.
+    """
+
+    __slots__ = (
+        "tiles",
+        "tensors",
+        "is_load",
+        "num_bytes",
+        "first_use",
+        "last_use",
+        "required_loads",
+        "intervals",
+        "store_tids",
+        "stores_of_layer",
+        "load_sources",
+    )
+
+
+def _rebase_segment(
+    segment: PlanSegment,
+    tile_offset: int,
+    flg_offset: int,
+    lg_index: int,
+    tid_offset: int,
+) -> _Fragment:
+    fragment = _Fragment.__new__(_Fragment)
+    fragment.tiles = [
+        _new_tile(tile_offset + index, layer, tile_id, flg_offset + flg, lg_index, macs, vops)
+        for index, (layer, tile_id, flg, macs, vops) in enumerate(segment.tiles)
+    ]
+    specs = segment.specs
+    fragment.tensors = [
+        _new_tensor(
+            tid_offset + tid,
+            _KINDS[row[1]],
+            row[2],
+            row[3],
+            row[4],
+            tile_offset + row[0],
+            tile_offset + row[5],
+            row[6],
+        )
+        for tid, row in enumerate(specs)
+    ]
+    fragment.is_load = [row[1] != 2 for row in specs]
+    fragment.num_bytes = [row[4] for row in specs]
+    fragment.first_use = [tile_offset + row[0] for row in specs]
+    fragment.last_use = [tile_offset + row[5] for row in specs]
+    fragment.required_loads = [
+        [tid_offset + tid for tid in tids] for tids in segment.required_loads
+    ]
+    fragment.intervals = [
+        BufferInterval(
+            start_tile=tile_offset + start,
+            end_tile=tile_offset + end,
+            num_bytes=num_bytes,
+            label=label,
+        )
+        for start, end, num_bytes, label in segment.onchip
+    ]
+    fragment.store_tids = [tid_offset + tid for tid in segment.store_tids]
+    fragment.stores_of_layer = {
+        name: tuple(tid_offset + tid for tid in tids)
+        for name, tids in segment.stores_of_layer.items()
+    }
+    fragment.load_sources = [
+        (tid_offset + tid, source) for tid, source in segment.load_sources
+    ]
+    return fragment
+
+
+# ---------------------------------------------------------------- LRU caches
+_SEGMENT_CACHES: "weakref.WeakKeyDictionary[WorkloadGraph, tuple[int, LRUCache]]" = (
+    weakref.WeakKeyDictionary()
+)
+_FRAGMENT_CACHES: "weakref.WeakKeyDictionary[WorkloadGraph, tuple[int, LRUCache]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def segment_cache(graph: WorkloadGraph) -> LRUCache:
+    """The per-graph segment LRU (``REPRO_SEGMENT_CACHE``, 0 disables)."""
+    return per_graph_lru(_SEGMENT_CACHES, graph, "SEGMENT", 4096)
+
+
+def fragment_cache(graph: WorkloadGraph) -> LRUCache:
+    """The per-graph re-based-fragment LRU (shares ``REPRO_SEGMENT_CACHE``).
+
+    Sized well above the segment cache: one segment appears at many offsets
+    (every move that changes a tile or tensor count shifts all downstream
+    segments), and a fragment is only a segment-sized slice of a plan, so
+    capacity is cheap relative to the plans it avoids rebuilding.  Bounded
+    all the same — a fragment holds real tile/tensor objects, so an unbounded
+    map would grow with the length of the anneal.
+    """
+    return per_graph_lru(_FRAGMENT_CACHES, graph, "SEGMENT", 24576)
+
+
+def segment_cache_stats(graph: WorkloadGraph) -> dict:
+    """Hit/miss statistics of the per-graph segment cache."""
+    return per_graph_stats(_SEGMENT_CACHES, graph)
+
+
+def fragment_cache_stats(graph: WorkloadGraph) -> dict:
+    """Hit/miss statistics of the per-graph fragment cache."""
+    return per_graph_stats(_FRAGMENT_CACHES, graph)
+
+
+# Weak per-graph map of LFA fingerprint → assembled plan: lets delta-driven
+# assembly find the parent plan even when the caller bypasses the plan LRU
+# (plans stay visible here exactly as long as something else keeps them
+# alive, so this adds no retention).
+_ASSEMBLED: "weakref.WeakKeyDictionary[WorkloadGraph, tuple[int, weakref.WeakValueDictionary]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _assembled_plans(graph: WorkloadGraph) -> "weakref.WeakValueDictionary":
+    entry = _ASSEMBLED.get(graph)
+    if entry is None or entry[0] != graph.version:
+        entry = (graph.version, weakref.WeakValueDictionary())
+        _ASSEMBLED[graph] = entry
+    return entry[1]
+
+
+# ------------------------------------------------------------------ assembler
+class PlanAssembler:
+    """Builds :class:`ComputePlan` objects from cached plan segments.
+
+    One assembler serves one graph; construction is cheap (the LRUs are
+    module-level, keyed per graph), so search stages may build them freely.
+    """
+
+    def __init__(self, graph: WorkloadGraph) -> None:
+        self._graph = graph
+
+    # ------------------------------------------------------------------ public
+    def assemble(self, lfa: LFA, delta: LFADelta | None = None) -> ComputePlan:
+        """Assemble the plan for ``lfa``, reusing segments where possible.
+
+        ``delta`` (from an LFA operator) short-circuits cache lookups for
+        segments provably shared with the parent plan; without it every
+        segment goes through the content-keyed segment LRU.  The result is
+        bit-identical to ``parse_lfa(graph, lfa)``.
+
+        LFAs that arrive with a delta were built by an LFA operator from a
+        valid parent and are valid by construction, so full validation only
+        runs on the delta-less path (matching ``parse_lfa``'s behaviour for
+        hand-built LFAs).
+        """
+        graph = self._graph
+        if delta is None:
+            lfa.validate(graph)
+        specs = lfa.segment_specs()
+        parent_view = self._parent_view(delta, len(specs))
+        seg_lru = segment_cache(graph)
+
+        segments: list[PlanSegment] = []
+        for lg_index, spec in enumerate(specs):
+            segment = None
+            if parent_view is not None:
+                parent_index = delta.segment_map[lg_index]
+                if 0 <= parent_index < len(parent_view):
+                    candidate = parent_view[parent_index][0]
+                    if candidate.matches(spec):
+                        segment = candidate
+            if segment is None:
+                key = segment_key(spec)
+                segment = seg_lru.get(key)
+                if segment is None:
+                    segment = parse_segment(graph, spec, key)
+                    seg_lru.put(key, segment)
+            segments.append(segment)
+
+        plan = self._stitch(lfa, segments)
+        _assembled_plans(graph)[lfa.fingerprint()] = plan
+        return plan
+
+    # ---------------------------------------------------------------- internal
+    def _parent_view(self, delta: LFADelta | None, num_segments: int):
+        if delta is None or len(delta.segment_map) != num_segments:
+            return None
+        parent_key = delta.parent.fingerprint()
+        parent_plan = plan_cache(self._graph).peek(parent_key)
+        if parent_plan is None:
+            parent_plan = _assembled_plans(self._graph).get(parent_key)
+            if parent_plan is None:
+                return None
+        return parent_plan.segment_view
+
+    def _stitch(self, lfa: LFA, segments: list[PlanSegment]) -> ComputePlan:
+        graph = self._graph
+
+        worst_rank = None
+        worst_reason = ""
+        for segment in segments:
+            if segment.feasible:
+                continue
+            if worst_rank is None or segment.infeasible_dep_rank < worst_rank:
+                worst_rank = segment.infeasible_dep_rank
+                worst_reason = segment.infeasibility_reason
+        if worst_rank is not None:
+            plan = ComputePlan(
+                graph=graph, lfa=lfa, feasible=False, infeasibility_reason=worst_reason
+            )
+            plan.segment_view = tuple((segment, 0, 0) for segment in segments)
+            return plan
+
+        frag_lru = fragment_cache(graph)
+        fragments: list[_Fragment] = []
+        view: list[tuple[PlanSegment, int, int]] = []
+        tile_offset = 0
+        flg_offset = 0
+        tid_offset = 0
+        for lg_index, segment in enumerate(segments):
+            frag_key = (segment.key, tile_offset, flg_offset, lg_index, tid_offset)
+            fragment = frag_lru.get(frag_key)
+            if fragment is None:
+                fragment = _rebase_segment(segment, tile_offset, flg_offset, lg_index, tid_offset)
+                frag_lru.put(frag_key, fragment)
+            fragments.append(fragment)
+            view.append((segment, tile_offset, tid_offset))
+            tile_offset += segment.num_tiles
+            flg_offset += segment.num_flgs
+            tid_offset += segment.num_tensors
+
+        tiles: list = []
+        tensors: list = []
+        intervals: list = []
+        required_loads: list = []
+        is_load: list = []
+        num_bytes: list = []
+        first_use: list = []
+        last_use: list = []
+        store_tids: list = []
+        stores_of_layer: dict[str, tuple[int, ...]] = {}
+        layer_tilings: dict = {}
+        flg_of_layer: dict[str, int] = {}
+        lg_of_layer: dict[str, int] = {}
+
+        running_flg = 0
+        for lg_index, (segment, fragment) in enumerate(zip(segments, fragments)):
+            tiles.extend(fragment.tiles)
+            tensors.extend(fragment.tensors)
+            intervals.extend(fragment.intervals)
+            required_loads.extend(fragment.required_loads)
+            is_load.extend(fragment.is_load)
+            num_bytes.extend(fragment.num_bytes)
+            first_use.extend(fragment.first_use)
+            last_use.extend(fragment.last_use)
+            store_tids.extend(fragment.store_tids)
+            stores_of_layer.update(fragment.stores_of_layer)
+            layer_tilings.update(segment.layer_tilings)
+            for name, flg in segment.flg_of_layer.items():
+                flg_of_layer[name] = running_flg + flg
+                lg_of_layer[name] = lg_index
+            running_flg += segment.num_flgs
+
+        src_store_tids: list[tuple[int, ...]] = [()] * len(tensors)
+        for fragment in fragments:
+            for tid, source_layer in fragment.load_sources:
+                src_store_tids[tid] = stores_of_layer.get(source_layer, ())
+
+        plan = ComputePlan(
+            graph=graph,
+            lfa=lfa,
+            feasible=True,
+            tiles=tiles,
+            dram_tensors=tensors,
+            onchip_intervals=intervals,
+            layer_tilings=layer_tilings,
+            tile_required_loads=required_loads,
+            flg_of_layer=flg_of_layer,
+            lg_of_layer=lg_of_layer,
+            num_flgs=running_flg,
+            num_lgs=len(segments),
+        )
+        plan.__dict__["tensor_arrays"] = (is_load, num_bytes, first_use, last_use)
+        plan.__dict__["store_structure"] = (store_tids, src_store_tids)
+        plan.segment_view = tuple(view)
+        return plan
+
+
+def build_plan_cached(
+    graph: WorkloadGraph, lfa: LFA, delta: LFADelta | None = None
+) -> ComputePlan:
+    """Incremental counterpart of :func:`parse_lfa_cached`.
+
+    Fronts the same per-graph plan LRU (so both paths share plan objects per
+    LFA fingerprint) and assembles misses from cached segments instead of a
+    full re-parse.  This is the stage-1 hot path.
+    """
+    cache = plan_cache(graph)
+    key = lfa.fingerprint()
+    plan = cache.get(key)
+    if plan is None:
+        plan = PlanAssembler(graph).assemble(lfa, delta)
+        cache.put(key, plan)
+    return plan

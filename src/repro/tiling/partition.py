@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 import weakref
 
-from repro.core.caching import LRUCache, cache_size
+from repro.core.caching import LRUCache, per_graph_lru, per_graph_stats
 from repro.errors import WorkloadError
 from repro.tiling.halo import propagate_required_extent, required_input_extent
 from repro.tiling.tile import LayerTiling, TileShape, tile_macs, tile_vector_ops
@@ -107,11 +107,7 @@ def tile_flg(
     accumulated halo.  Only *tiled* dependencies propagate halo; untiled
     dependencies (attention key/value operands) are validated elsewhere.
     """
-    entry = _TILING_MEMO.get(graph)
-    if entry is None or entry[0] != graph.version:
-        entry = (graph.version, LRUCache(cache_size("TILING", 4096)))
-        _TILING_MEMO[graph] = entry
-    memo = entry[1]
+    memo = per_graph_lru(_TILING_MEMO, graph, "TILING", 4096)
     memo_key = (tuple(flg_layers), tiling_number)
     cached = memo.get(memo_key)
     if cached is not None:
@@ -119,6 +115,11 @@ def tile_flg(
     result = _tile_flg_uncached(graph, flg_layers, tiling_number)
     memo.put(memo_key, result)
     return dict(result)
+
+
+def tiling_cache_stats(graph: WorkloadGraph) -> dict:
+    """Hit/miss statistics of the per-graph tiling memo (for ``--cache-stats``)."""
+    return per_graph_stats(_TILING_MEMO, graph)
 
 
 def _tile_flg_uncached(

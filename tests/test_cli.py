@@ -50,6 +50,27 @@ def test_schedule_command_fast(tmp_path):
     assert "COMPUTE queue" in instructions_path.read_text()
 
 
+def test_schedule_command_cache_stats():
+    code, output = _run(
+        [
+            "schedule",
+            "--workload",
+            "gpt2-decode",
+            "--variant",
+            "tiny",
+            "--seq-len",
+            "16",
+            "--fast",
+            "--cache-stats",
+        ]
+    )
+    assert code == 0
+    assert "search cache statistics:" in output
+    for cache_name in ("parse", "segment", "fragment", "tiling", "plan", "result"):
+        assert cache_name in output
+    assert "hit rate" in output
+
+
 def test_compare_command_fast():
     code, output = _run(
         ["compare", "--workload", "gpt2-prefill", "--variant", "tiny", "--seq-len", "16", "--fast"]

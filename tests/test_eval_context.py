@@ -29,12 +29,12 @@ def _random_plan(graph, rng, moves=6):
     lfa = initial_lfa(graph, kc_parallel_lanes=32)
     for _ in range(moves):
         operator = rng.choice(LFA_OPERATORS)
-        candidate = operator(lfa, graph, rng)
-        if candidate is None:
+        move = operator(lfa, graph, rng)
+        if move is None:
             continue
-        plan = parse_lfa(graph, candidate)
+        plan = parse_lfa(graph, move.lfa)
         if plan.feasible:
-            lfa = candidate
+            lfa = move.lfa
     return parse_lfa(graph, lfa)
 
 

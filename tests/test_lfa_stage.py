@@ -40,13 +40,17 @@ def test_operators_produce_valid_encodings(branchy_cnn, operator):
     lfa = initial_lfa(branchy_cnn, kc_parallel_lanes=32)
     produced_any = False
     for _ in range(30):
-        candidate = operator(lfa, branchy_cnn, rng)
-        if candidate is None:
+        move = operator(lfa, branchy_cnn, rng)
+        if move is None:
             continue
         produced_any = True
+        candidate = move.lfa
         candidate.validate(branchy_cnn)
         plan = parse_lfa(branchy_cnn, candidate)
         assert plan is not None
+        # The delta names the new LFA's parent and covers every new LG.
+        assert move.delta.parent is lfa
+        assert len(move.delta.segment_map) == len(candidate.lg_ranges())
     # From the fully-unfused initial solution the "add" operators have nothing
     # to add (every position is already an FLC / DRAM cut).
     assert produced_any or operator in (op_add_flc, op_delete_flc, op_add_dram_cut)
@@ -56,10 +60,10 @@ def test_change_order_preserves_dependencies(branchy_cnn):
     rng = random.Random(1)
     lfa = initial_lfa(branchy_cnn, kc_parallel_lanes=32)
     for _ in range(50):
-        candidate = op_change_computing_order(lfa, branchy_cnn, rng)
-        if candidate is not None:
-            assert branchy_cnn.is_valid_order(candidate.computing_order)
-            lfa = candidate
+        move = op_change_computing_order(lfa, branchy_cnn, rng)
+        if move is not None:
+            assert branchy_cnn.is_valid_order(move.lfa.computing_order)
+            lfa = move.lfa
 
 
 def test_change_tiling_number_multiplies_or_halves(linear_cnn):
@@ -67,9 +71,9 @@ def test_change_tiling_number_multiplies_or_halves(linear_cnn):
     lfa = LFA.fully_fused(linear_cnn, tiling_number=4)
     seen = set()
     for _ in range(40):
-        candidate = op_change_tiling_number(lfa, linear_cnn, rng)
-        if candidate is not None:
-            seen.add(candidate.tiling_numbers[0])
+        move = op_change_tiling_number(lfa, linear_cnn, rng)
+        if move is not None:
+            seen.add(move.lfa.tiling_numbers[0])
     assert seen <= {2, 8}
     assert seen
 
@@ -77,13 +81,15 @@ def test_change_tiling_number_multiplies_or_halves(linear_cnn):
 def test_add_then_delete_flc_round_trip(linear_cnn):
     rng = random.Random(3)
     lfa = LFA.fully_fused(linear_cnn, tiling_number=2)
-    added = op_add_flc(lfa, linear_cnn, rng)
-    assert added is not None
+    added_move = op_add_flc(lfa, linear_cnn, rng)
+    assert added_move is not None
+    added = added_move.lfa
     assert len(added.flc_set) == 1
     new_cut = next(iter(added.flc_set))
     assert added.tiling_numbers[new_cut] == 2  # split inherits the tiling number
-    removed = op_delete_flc(added, linear_cnn, rng)
-    assert removed is not None
+    removed_move = op_delete_flc(added, linear_cnn, rng)
+    assert removed_move is not None
+    removed = removed_move.lfa
     assert removed.flc_set == frozenset()
     removed.validate(linear_cnn)
 
@@ -104,17 +110,19 @@ def test_add_dram_cut_requires_existing_flc(linear_cnn):
     rng = random.Random(5)
     lfa = LFA.fully_fused(linear_cnn)
     assert op_add_dram_cut(lfa, linear_cnn, rng) is None
-    with_flc = op_add_flc(lfa, linear_cnn, rng)
-    promoted = op_add_dram_cut(with_flc, linear_cnn, rng)
-    assert promoted is not None
+    with_flc = op_add_flc(lfa, linear_cnn, rng).lfa
+    promoted_move = op_add_dram_cut(with_flc, linear_cnn, rng)
+    assert promoted_move is not None
+    promoted = promoted_move.lfa
     assert promoted.dram_cut_set <= promoted.flc_set
 
 
 def test_delete_dram_cut_keeps_flc(linear_cnn):
     rng = random.Random(6)
     lfa = initial_lfa(linear_cnn, kc_parallel_lanes=32)
-    demoted = op_delete_dram_cut(lfa, linear_cnn, rng)
-    assert demoted is not None
+    demoted_move = op_delete_dram_cut(lfa, linear_cnn, rng)
+    assert demoted_move is not None
+    demoted = demoted_move.lfa
     assert len(demoted.dram_cut_set) == len(lfa.dram_cut_set) - 1
     assert demoted.flc_set == lfa.flc_set
 
@@ -170,12 +178,12 @@ def test_change_order_never_returns_the_same_order(branchy_cnn):
     rng = random.Random(123)
     produced = 0
     for _ in range(200):
-        candidate = op_change_computing_order(lfa, branchy_cnn, rng)
-        if candidate is None:
+        move = op_change_computing_order(lfa, branchy_cnn, rng)
+        if move is None:
             continue
         produced += 1
-        assert candidate.computing_order != lfa.computing_order
-        candidate.validate(branchy_cnn)
+        assert move.lfa.computing_order != lfa.computing_order
+        move.lfa.validate(branchy_cnn)
     assert produced > 0
 
 

@@ -64,6 +64,39 @@ def test_dse_results_identical_across_worker_counts(
     assert serial.cells == fanned.cells
 
 
+def test_compare_cells_intra_cell_split_identical_to_serial(fast_config):
+    """The baseline/SoMa role split must reproduce the serial rows exactly.
+
+    In parallel mode ``compare_cells`` fans :class:`ScheduleRoleTask`s (two
+    per cell) instead of whole cells; the rows must stay bit-identical to
+    the serial ``compare_workload`` path, whose only sharing between the two
+    schedulers is a memoising mapper.
+    """
+    from repro.analysis.comparison import ComparisonTask, compare_cells
+
+    tasks = [
+        ComparisonTask(
+            workload="gpt2-decode",
+            platform="edge",
+            batch=1,
+            workload_kwargs=(("variant", "tiny"), ("context_len", 16)),
+            config=fast_config,
+            seed=13,
+        )
+    ]
+    serial = compare_cells(tasks, workers=1)
+    split = compare_cells(tasks, workers=2)  # intra-cell role fanning
+    explicit = compare_cells(tasks, workers=2, intra_cell=False)
+    for row in (split[0], explicit[0]):
+        assert row.workload == serial[0].workload
+        assert row.accelerator == serial[0].accelerator
+        assert row.batch == serial[0].batch
+        assert row.peak_ops_per_s == serial[0].peak_ops_per_s
+        assert row.cocco == serial[0].cocco
+        assert row.soma_stage1 == serial[0].soma_stage1
+        assert row.soma_stage2 == serial[0].soma_stage2
+
+
 def test_multi_restart_identical_across_worker_counts(tiny_accelerator, linear_cnn, fast_config):
     results = [
         multi_restart_schedule(

@@ -160,9 +160,10 @@ def test_random_operator_walks_preserve_encoding_validity(seed, steps):
     lfa = initial_lfa(graph, kc_parallel_lanes=32)
     for _ in range(steps):
         operator = rng.choice(LFA_OPERATORS)
-        candidate = operator(lfa, graph, rng)
-        if candidate is None:
+        move = operator(lfa, graph, rng)
+        if move is None:
             continue
+        candidate = move.lfa
         candidate.validate(graph)
         plan = parse_lfa(graph, candidate)
         if plan.feasible:

@@ -55,6 +55,23 @@ def test_report_render_mentions_groups_and_traffic(linear_cnn, tiny_accelerator)
     assert "FLG0" in text
 
 
+def test_report_carries_cache_stats(linear_cnn, tiny_accelerator):
+    from repro.core.caching import collect_search_cache_stats
+
+    plan = parse_lfa(linear_cnn, LFA.fully_fused(linear_cnn, tiling_number=2))
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    evaluation = evaluator.evaluate(plan, double_buffer_dlsa(plan))
+    stats = collect_search_cache_stats(linear_cnn, evaluator)
+    report = build_schedule_report(plan, evaluation, cache_stats=stats)
+    assert report.cache_stats is stats
+    text = report.render()
+    assert "search caches:" in text
+    for cache_name in ("parse", "segment", "tiling", "plan", "result"):
+        assert cache_name in text
+    # Without stats the section is absent entirely.
+    assert "search caches:" not in build_schedule_report(plan, evaluation).render()
+
+
 def test_report_rejects_infeasible_plan(tiny_gpt_prefill, tiny_accelerator):
     plan = parse_lfa(tiny_gpt_prefill, LFA.fully_fused(tiny_gpt_prefill, tiling_number=4))
     evaluation = ScheduleEvaluator(tiny_accelerator).evaluate(

@@ -1,0 +1,224 @@
+"""Equivalence tests: segment-based plan assembly vs the reference parser.
+
+The stage-1 hot path builds plans by stitching cached per-LG segments
+(:mod:`repro.notation.segments`) instead of re-running
+:func:`~repro.notation.parser.parse_lfa`.  These tests drive long random LFA
+operator sequences — the exact move distribution the annealer uses — and
+require the assembled plan to be *bit-identical* to a full parse:
+fingerprints, tiles, DRAM tensors, lifetimes, the prefilled evaluator arrays
+and the evaluation result itself.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.double_buffer import double_buffer_dlsa
+from repro.core.evaluator import ScheduleEvaluator
+from repro.core.lfa_stage import LFA_OPERATORS, LFAStage, initial_lfa
+from repro.notation.lfa import LFA
+from repro.notation.parser import parse_lfa
+from repro.notation.segments import (
+    PlanAssembler,
+    build_plan_cached,
+    parse_segment,
+    segment_cache,
+    segment_key,
+)
+
+
+def _assert_plans_identical(assembled, reference):
+    assert assembled.feasible == reference.feasible
+    assert assembled.infeasibility_reason == reference.infeasibility_reason
+    assert assembled.fingerprint() == reference.fingerprint()
+    if not reference.feasible:
+        return
+    assert assembled.tiles == reference.tiles
+    assert assembled.dram_tensors == reference.dram_tensors
+    assert assembled.onchip_intervals == reference.onchip_intervals
+    assert assembled.layer_tilings == reference.layer_tilings
+    assert assembled.tile_required_loads == reference.tile_required_loads
+    assert assembled.flg_of_layer == reference.flg_of_layer
+    assert assembled.lg_of_layer == reference.lg_of_layer
+    assert assembled.num_flgs == reference.num_flgs
+    assert assembled.num_lgs == reference.num_lgs
+    assert assembled.tensor_arrays == reference.tensor_arrays
+    assert assembled.store_structure == reference.store_structure
+
+
+@pytest.mark.parametrize(
+    "graph_fixture", ["linear_cnn", "branchy_cnn", "tiny_gpt_prefill", "tiny_gpt_decode"]
+)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_operator_walk_assembly_matches_full_parse(request, graph_fixture, seed):
+    """Every candidate of a long random operator walk assembles identically.
+
+    Both the delta-driven path (the move's LFADelta) and the cache-only path
+    (no delta) are checked against the reference parse for every move,
+    including infeasible candidates (the GPT graphs reach them through
+    untiled attention operands fused at Tiling Number > 1).
+    """
+    graph = request.getfixturevalue(graph_fixture)
+    rng = random.Random(seed)
+    lfa = initial_lfa(graph, kc_parallel_lanes=32)
+    assembler = PlanAssembler(graph)
+    build_plan_cached(graph, lfa)
+
+    checked = 0
+    for _ in range(120):
+        operator = rng.choice(LFA_OPERATORS)
+        move = operator(lfa, graph, rng)
+        if move is None:
+            continue
+        reference = parse_lfa(graph, move.lfa)
+        _assert_plans_identical(assembler.assemble(move.lfa, move.delta), reference)
+        _assert_plans_identical(assembler.assemble(move.lfa), reference)
+        _assert_plans_identical(build_plan_cached(graph, move.lfa, move.delta), reference)
+        checked += 1
+        if reference.feasible:
+            lfa = move.lfa
+    assert checked > 30
+
+
+def test_assembled_plan_evaluates_identically(tiny_accelerator, branchy_cnn):
+    """Evaluation of an assembled plan is bit-identical to the parsed plan's."""
+    rng = random.Random(11)
+    lfa = initial_lfa(branchy_cnn, kc_parallel_lanes=32)
+    for _ in range(40):
+        move = rng.choice(LFA_OPERATORS)(lfa, branchy_cnn, rng)
+        if move is not None and parse_lfa(branchy_cnn, move.lfa).feasible:
+            lfa = move.lfa
+
+    reference = parse_lfa(branchy_cnn, lfa)
+    assembled = PlanAssembler(branchy_cnn).assemble(lfa)
+    dlsa = double_buffer_dlsa(assembled)
+    assert dlsa.order == double_buffer_dlsa(reference).order
+    assert dlsa.living == double_buffer_dlsa(reference).living
+
+    # Separate evaluators: the context LRU is keyed by plan fingerprint, so a
+    # shared evaluator would hand both plans the same context.
+    result_ref = ScheduleEvaluator(tiny_accelerator).evaluate(reference, dlsa)
+    result_inc = ScheduleEvaluator(tiny_accelerator).evaluate(assembled, dlsa)
+    assert result_inc.feasible == result_ref.feasible
+    assert result_inc.latency_s == result_ref.latency_s
+    assert result_inc.energy_j == result_ref.energy_j
+    assert result_inc.core_energy_j == result_ref.core_energy_j
+    assert result_inc.dram_energy_j == result_ref.dram_energy_j
+    assert result_inc.max_buffer_bytes == result_ref.max_buffer_bytes
+    assert result_inc.avg_buffer_bytes == result_ref.avg_buffer_bytes
+
+
+def test_infeasible_reason_matches_reference(tiny_gpt_prefill):
+    """The assembler reports the seed parser's (first-dep) infeasibility reason."""
+    lfa = LFA.fully_fused(tiny_gpt_prefill, tiling_number=4)
+    reference = parse_lfa(tiny_gpt_prefill, lfa)
+    assembled = PlanAssembler(tiny_gpt_prefill).assemble(lfa)
+    assert not reference.feasible
+    assert not assembled.feasible
+    assert assembled.infeasibility_reason == reference.infeasibility_reason
+
+
+def test_segments_are_shared_across_plans(linear_cnn):
+    """Content-equal LGs of different LFAs resolve to one cached segment."""
+    from repro.core.caching import cache_size
+
+    if cache_size("SEGMENT", 4096) == 0:
+        pytest.skip("segment cache disabled via REPRO_SEGMENT_CACHE=0")
+    order = tuple(linear_cnn.topological_order())
+    n = len(order)
+    cut = n // 2
+    base = LFA(
+        computing_order=order,
+        flc_set=frozenset({cut}),
+        dram_cut_set=frozenset({cut}),
+        tiling_numbers={0: 1, cut: 1},
+    )
+    # Same second LG, different first-LG Tiling Number.
+    variant = LFA(
+        computing_order=order,
+        flc_set=frozenset({cut}),
+        dram_cut_set=frozenset({cut}),
+        tiling_numbers={0: 2, cut: 1},
+    )
+    assembler = PlanAssembler(linear_cnn)
+    plan_a = assembler.assemble(base)
+    plan_b = assembler.assemble(variant)
+    assert plan_a.segment_view[1][0] is plan_b.segment_view[1][0]
+    assert plan_a.segment_view[0][0] is not plan_b.segment_view[0][0]
+
+
+def test_segment_parse_is_deterministic(branchy_cnn):
+    """parse_segment is a pure function of (graph, spec)."""
+    lfa = initial_lfa(branchy_cnn, kc_parallel_lanes=32)
+    spec = lfa.segment_specs()[0]
+    first = parse_segment(branchy_cnn, spec)
+    second = parse_segment(branchy_cnn, spec)
+    assert first.key == second.key == segment_key(spec)
+    assert first.tiles == second.tiles
+    assert first.specs == second.specs
+    assert first.onchip == second.onchip
+
+
+def test_wrong_delta_degrades_to_cache_not_wrong_plan(linear_cnn):
+    """A bogus segment map must never produce a wrong plan."""
+    from repro.notation.lfa import LFADelta
+
+    rng = random.Random(3)
+    lfa = initial_lfa(linear_cnn, kc_parallel_lanes=32)
+    build_plan_cached(linear_cnn, lfa)
+    move = None
+    while move is None:
+        move = rng.choice(LFA_OPERATORS)(lfa, linear_cnn, rng)
+    bogus = LFADelta(
+        operator="bogus",
+        parent=lfa,
+        # Claim every segment is unchanged (map i -> i), which is false for
+        # the touched one; spec verification must reject the stale segments.
+        segment_map=tuple(range(len(move.lfa.lg_ranges()))),
+    )
+    reference = parse_lfa(linear_cnn, move.lfa)
+    _assert_plans_identical(PlanAssembler(linear_cnn).assemble(move.lfa, bogus), reference)
+
+
+def test_evaluator_reuse_across_graphs_keeps_segment_costs_separate(tiny_accelerator):
+    """One evaluator serving two shape-differing graphs must not mix costs.
+
+    The two GPT variants below share every layer *name*, cut structure and
+    Tiling Number — so their segment digests collide — but differ in shape.
+    The per-segment static-cost cache must still keep them apart.
+    """
+    from repro.workloads.gpt2 import GPT2Config, gpt2_prefill
+
+    config = GPT2Config(name="gpt2-test", num_layers=2, hidden=64, num_heads=4, ffn_hidden=128)
+    graph_short = gpt2_prefill(config=config, batch=1, seq_len=16)
+    graph_long = gpt2_prefill(config=config, batch=1, seq_len=64)
+
+    shared = ScheduleEvaluator(tiny_accelerator)
+    results = []
+    for graph in (graph_short, graph_long):
+        lfa = initial_lfa(graph, tiny_accelerator.core_array.kc_parallel_lanes)
+        plan = PlanAssembler(graph).assemble(lfa)
+        results.append(shared.evaluate(plan, double_buffer_dlsa(plan)))
+
+    fresh = ScheduleEvaluator(tiny_accelerator)
+    lfa = initial_lfa(graph_long, tiny_accelerator.core_array.kc_parallel_lanes)
+    plan = PlanAssembler(graph_long).assemble(lfa)
+    expected = fresh.evaluate(plan, double_buffer_dlsa(plan))
+    assert results[1].latency_s == expected.latency_s
+    assert results[1].energy_j == expected.energy_j
+    assert results[1].max_buffer_bytes == expected.max_buffer_bytes
+
+
+def test_stage_evaluate_uses_segment_path(tiny_accelerator, fast_config, linear_cnn):
+    """LFAStage.evaluate builds plans through the (shared) plan LRU."""
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    stage = LFAStage(linear_cnn, evaluator, fast_config)
+    lfa = initial_lfa(linear_cnn, tiny_accelerator.core_array.kc_parallel_lanes)
+    result = stage.evaluate(lfa, tiny_accelerator.gbuf_bytes)
+    assert result.feasible
+    plan = build_plan_cached(linear_cnn, lfa)
+    assert plan.segment_view is not None
+    assert len(plan.segment_view) == plan.num_lgs
+    assert segment_cache(linear_cnn).stats()["misses"] >= 1
