@@ -1,0 +1,167 @@
+"""Serving-layer load benchmark: throughput, latency percentiles, provenance.
+
+A small load generator drives :class:`~repro.serving.service.ScheduleService`
+the way HPC AI500 reports serving systems: requests/sec plus p50/p95 latency,
+split by cache provenance.  Two properties are asserted rather than just
+recorded:
+
+* repeat requests (cross-request memo hits) are at least **5x** faster than
+  their cold counterparts at the median;
+* served results are **bit-identical** to a direct
+  ``SoMaScheduler.schedule`` call with the same seed, for every worker
+  count exercised (1 and 2).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.schedule_report import evaluation_to_payload
+from repro.core.soma import SoMaScheduler
+from repro.serving.protocol import ScheduleRequest
+from repro.serving.service import ScheduleService, reset_worker_state
+from repro.workloads.registry import build_workload
+
+TINY_DECODE = (("context_len", 32), ("variant", "tiny"))
+TINY_PREFILL = (("seq_len", 32), ("variant", "tiny"))
+
+#: The request mix: distinct (workload, batch, seed) points, all tiny-scale
+#: so the cold phase stays CI-friendly.
+REQUEST_MIX = [
+    ScheduleRequest(
+        workload="gpt2-decode", batch=1, workload_kwargs=TINY_DECODE, seed=11, fast=True
+    ),
+    ScheduleRequest(
+        workload="gpt2-decode", batch=2, workload_kwargs=TINY_DECODE, seed=11, fast=True
+    ),
+    ScheduleRequest(
+        workload="gpt2-prefill", batch=1, workload_kwargs=TINY_PREFILL, seed=11, fast=True
+    ),
+    ScheduleRequest(
+        workload="gpt2-decode", batch=1, workload_kwargs=TINY_DECODE, seed=12, fast=True
+    ),
+]
+
+REPEAT_PASSES = 5
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty sample list."""
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _drive(service: ScheduleService, requests) -> tuple[list[float], list]:
+    latencies = []
+    responses = []
+    for request in requests:
+        start = time.perf_counter()
+        response = service.schedule(request)
+        latencies.append(time.perf_counter() - start)
+        assert response.ok, response.error
+        responses.append(response)
+    return latencies, responses
+
+
+def _direct_evaluations() -> dict:
+    expected = {}
+    for request in REQUEST_MIX:
+        graph = build_workload(
+            request.workload, batch=request.batch, **request.workload_kwargs_dict
+        )
+        direct = SoMaScheduler(request.build_accelerator(), request.build_config()).schedule(
+            graph, seed=request.seed
+        )
+        expected[(request.workload, request.batch, request.seed)] = {
+            "evaluation": evaluation_to_payload(direct.evaluation),
+            "stage1": evaluation_to_payload(direct.stage1.evaluation),
+            "stage2": evaluation_to_payload(direct.stage2.evaluation),
+        }
+    return expected
+
+
+def test_serving_throughput_and_bit_identity(reporter):
+    expected = _direct_evaluations()
+
+    reset_worker_state()
+    with ScheduleService(workers=1) as service:
+        cold_latencies, cold_responses = _drive(service, REQUEST_MIX)
+        # First pass: every request runs a real search — cold, except the
+        # seed-sweep duplicate of the first graph, which hits a warm worker.
+        assert all(
+            response.provenance in ("cold", "warm") for response in cold_responses
+        )
+        assert not any(response.provenance == "memo" for response in cold_responses)
+
+        repeat_latencies: list[float] = []
+        repeat_start = time.perf_counter()
+        for _ in range(REPEAT_PASSES):
+            latencies, responses = _drive(service, REQUEST_MIX)
+            repeat_latencies.extend(latencies)
+            assert all(response.provenance == "memo" for response in responses)
+        repeat_wall = time.perf_counter() - repeat_start
+
+        stats = service.stats()
+        for request, response in zip(REQUEST_MIX, cold_responses):
+            key = (request.workload, request.batch, request.seed)
+            assert response.result["evaluation"] == expected[key]["evaluation"]
+            assert response.result["stage1"] == expected[key]["stage1"]
+            assert response.result["stage2"] == expected[key]["stage2"]
+    reset_worker_state()
+
+    cold_p50 = percentile(cold_latencies, 0.50)
+    cold_p95 = percentile(cold_latencies, 0.95)
+    repeat_p50 = percentile(repeat_latencies, 0.50)
+    repeat_p95 = percentile(repeat_latencies, 0.95)
+    repeat_rps = len(repeat_latencies) / repeat_wall if repeat_wall > 0 else float("inf")
+    cold_rps = len(cold_latencies) / sum(cold_latencies)
+    speedup = cold_p50 / repeat_p50 if repeat_p50 > 0 else float("inf")
+
+    reporter.line("serving load benchmark (workers=1, tiny request mix)")
+    reporter.line(
+        f"{'phase':10s} {'requests':>9s} {'req/s':>10s} {'p50 ms':>10s} {'p95 ms':>10s}"
+    )
+    reporter.line(
+        f"{'cold':10s} {len(cold_latencies):>9d} {cold_rps:>10.2f} "
+        f"{cold_p50 * 1e3:>10.3f} {cold_p95 * 1e3:>10.3f}"
+    )
+    reporter.line(
+        f"{'repeat':10s} {len(repeat_latencies):>9d} {repeat_rps:>10.2f} "
+        f"{repeat_p50 * 1e3:>10.3f} {repeat_p95 * 1e3:>10.3f}"
+    )
+    reporter.line(f"repeat-vs-cold p50 speedup: {speedup:.1f}x (floor 5x)")
+    reporter.line(
+        "provenance counts: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(stats["provenance"].items()))
+    )
+    memo = stats["memo"]
+    reporter.line(
+        f"memo: size={memo['size']} hits={memo['hits']} misses={memo['misses']} "
+        f"hit_rate={memo['hit_rate']:.1%}"
+    )
+    reporter.line("bit-identity vs direct SoMaScheduler.schedule: OK")
+
+    assert speedup >= 5.0, (
+        f"repeat-request p50 latency only {speedup:.1f}x better than cold "
+        f"(cold {cold_p50 * 1e3:.2f} ms, repeat {repeat_p50 * 1e3:.2f} ms)"
+    )
+
+
+def test_served_results_identical_for_any_worker_count(reporter):
+    expected = _direct_evaluations()
+    reporter.line("served-vs-direct bit-identity by worker count")
+    for workers in (1, 2):
+        reset_worker_state()
+        with ScheduleService(workers=workers) as service:
+            _latencies, responses = _drive(service, REQUEST_MIX)
+            for request, response in zip(REQUEST_MIX, responses):
+                key = (request.workload, request.batch, request.seed)
+                assert response.result["evaluation"] == expected[key]["evaluation"], (
+                    f"served evaluation differs from direct schedule "
+                    f"for {key} with workers={workers}"
+                )
+                assert response.result["stage1"] == expected[key]["stage1"]
+                assert response.result["stage2"] == expected[key]["stage2"]
+        reset_worker_state()
+        reporter.line(f"  workers={workers}: {len(REQUEST_MIX)} requests bit-identical")

@@ -16,6 +16,42 @@ from repro.core.result import EvaluationResult
 from repro.notation.dram_tensor import TensorKind
 from repro.notation.plan import ComputePlan
 
+#: Scalar fields of :class:`EvaluationResult` carried by wire payloads (the
+#: per-tile / per-transfer traces are deliberately omitted: they are large,
+#: and every serving consumer only needs the headline numbers).
+_EVALUATION_FIELDS = (
+    "feasible",
+    "reason",
+    "latency_s",
+    "energy_j",
+    "core_energy_j",
+    "dram_energy_j",
+    "compute_time_sum_s",
+    "dram_time_sum_s",
+    "total_ops",
+    "total_dram_bytes",
+    "max_buffer_bytes",
+    "avg_buffer_bytes",
+    "num_tiles",
+    "num_dram_tensors",
+    "num_lgs",
+    "num_flgs",
+)
+
+
+def evaluation_to_payload(evaluation: EvaluationResult) -> dict:
+    """A JSON-serialisable dictionary of the evaluation's scalar fields.
+
+    Floats are carried verbatim (Python's JSON round-trips them exactly), so
+    a payload compares bit-identical to the original evaluation.
+    """
+    return {field: getattr(evaluation, field) for field in _EVALUATION_FIELDS}
+
+
+def evaluation_from_payload(payload: dict) -> EvaluationResult:
+    """Rebuild an :class:`EvaluationResult` from :func:`evaluation_to_payload`."""
+    return EvaluationResult(**{field: payload[field] for field in _EVALUATION_FIELDS})
+
 
 @dataclass(frozen=True)
 class GroupReport:
@@ -59,6 +95,39 @@ class ScheduleReport:
     # did not request cache observability.
     cache_stats: dict | None = None
 
+    def to_payload(self) -> dict:
+        """A JSON-serialisable dictionary of the complete report.
+
+        This is the serving layer's wire format: everything in the report is
+        plain data, so ``report_from_payload`` rebuilds an equal report and
+        the evaluation floats survive the round trip bit-identically.
+        """
+        return {
+            "workload": self.workload,
+            "num_lgs": self.num_lgs,
+            "num_flgs": self.num_flgs,
+            "num_tiles": self.num_tiles,
+            "groups": [
+                {
+                    "flg_index": group.flg_index,
+                    "lg_index": group.lg_index,
+                    "layers": list(group.layers),
+                    "tiling_number": group.tiling_number,
+                    "effective_tiles": group.effective_tiles,
+                    "weight_bytes": group.weight_bytes,
+                    "macs": group.macs,
+                }
+                for group in self.groups
+            ],
+            "traffic": {
+                "weight_bytes": self.traffic.weight_bytes,
+                "ifmap_bytes": self.traffic.ifmap_bytes,
+                "ofmap_bytes": self.traffic.ofmap_bytes,
+            },
+            "evaluation": evaluation_to_payload(self.evaluation),
+            "cache_stats": self.cache_stats,
+        }
+
     def render(self) -> str:
         """Human-readable multi-line report."""
         lines = [
@@ -86,6 +155,35 @@ class ScheduleReport:
             for stats_line in format_cache_stats(self.cache_stats).splitlines():
                 lines.append("    " + stats_line)
         return "\n".join(lines)
+
+
+def report_from_payload(payload: dict) -> ScheduleReport:
+    """Rebuild a :class:`ScheduleReport` from :meth:`ScheduleReport.to_payload`."""
+    return ScheduleReport(
+        workload=payload["workload"],
+        num_lgs=payload["num_lgs"],
+        num_flgs=payload["num_flgs"],
+        num_tiles=payload["num_tiles"],
+        groups=tuple(
+            GroupReport(
+                flg_index=group["flg_index"],
+                lg_index=group["lg_index"],
+                layers=tuple(group["layers"]),
+                tiling_number=group["tiling_number"],
+                effective_tiles=group["effective_tiles"],
+                weight_bytes=group["weight_bytes"],
+                macs=group["macs"],
+            )
+            for group in payload["groups"]
+        ),
+        traffic=TrafficReport(
+            weight_bytes=payload["traffic"]["weight_bytes"],
+            ifmap_bytes=payload["traffic"]["ifmap_bytes"],
+            ofmap_bytes=payload["traffic"]["ofmap_bytes"],
+        ),
+        evaluation=evaluation_from_payload(payload["evaluation"]),
+        cache_stats=payload.get("cache_stats"),
+    )
 
 
 def build_schedule_report(

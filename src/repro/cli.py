@@ -10,12 +10,16 @@ be driven without writing Python:
   style comparison;
 * ``overall``    - run the overall experiment grid and write ``overall.csv``
   and ``stats.log``;
-* ``dse``        - run a bandwidth x buffer sweep and write ``dse.csv``.
+* ``dse``        - run a bandwidth x buffer sweep and write ``dse.csv``;
+* ``serve``      - run the batched scheduling service (JSON lines on
+  stdin/stdout, or HTTP with ``--http PORT``).
 
 ``--workers N`` (or the ``REPRO_WORKERS`` environment variable) fans
 independent cells/design points across processes with results identical to a
 serial run; ``schedule --restarts K`` explores K independent SA chains with
-derived seeds and keeps the best scheme.
+derived seeds and keeps the best scheme.  The service resolves its worker
+count through ``REPRO_SERVE_WORKERS`` (then ``REPRO_WORKERS``) and keeps a
+persistent pool whose caches stay warm across requests.
 """
 
 from __future__ import annotations
@@ -138,6 +142,31 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--out-dir", type=Path, default=Path("results"))
     _add_workers_argument(dse)
 
+    serve = subparsers.add_parser("serve", help="run the batched scheduling service")
+    serve.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve HTTP on this port instead of JSON lines on stdin/stdout "
+        "(0 picks a free port)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="HTTP bind address")
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="persistent pool workers (default: REPRO_SERVE_WORKERS, then "
+        "REPRO_WORKERS, then serial)",
+    )
+    serve.add_argument(
+        "--memo-size",
+        type=int,
+        default=None,
+        help="cross-request result memo capacity "
+        "(default: REPRO_SERVE_MEMO_CACHE, then 256; 0 disables)",
+    )
+
     return parser
 
 
@@ -158,17 +187,32 @@ def _cmd_schedule(args: argparse.Namespace, out) -> int:
     graph = build_workload(args.workload, batch=args.batch, **_workload_kwargs(args))
     config = _make_config(args)
     evaluator = None
+    aggregated_stats = None
     if args.restarts != 1:
         # restarts < 1 is rejected by multi_restart_schedule with a clear error
         # instead of silently behaving like a single chain.
-        result = multi_restart_schedule(
-            accelerator,
-            graph,
-            config=config,
-            seed=args.seed,
-            restarts=args.restarts,
-            workers=args.workers,
-        )
+        if args.cache_stats:
+            # Parent-process LRUs never see worker activity, so each chain
+            # ships back the cache-counter delta of its own run and the
+            # aggregate covers every chain in every worker process.
+            result, aggregated_stats = multi_restart_schedule(
+                accelerator,
+                graph,
+                config=config,
+                seed=args.seed,
+                restarts=args.restarts,
+                workers=args.workers,
+                collect_cache_stats=True,
+            )
+        else:
+            result = multi_restart_schedule(
+                accelerator,
+                graph,
+                config=config,
+                seed=args.seed,
+                restarts=args.restarts,
+                workers=args.workers,
+            )
     else:
         scheduler = SoMaScheduler(accelerator, config)
         result = scheduler.schedule(graph, seed=args.seed)
@@ -179,17 +223,16 @@ def _cmd_schedule(args: argparse.Namespace, out) -> int:
         f"(bound {result.evaluation.theoretical_max_utilization(accelerator):.3f})\n"
     )
     if args.cache_stats:
-        stats = collect_search_cache_stats(graph, evaluator)
-        out.write("search cache statistics:\n")
-        out.write(format_cache_stats(stats) + "\n")
-        if evaluator is None:
-            # The restart chains ran in their own schedulers (and, with
-            # --workers, other processes), so evaluator-level rows are
-            # unavailable and the per-graph rows cover this process only.
+        if aggregated_stats is not None:
             out.write(
-                "note: --restarts chains run in separate schedulers; the rows "
-                "above cover this process only\n"
+                f"search cache statistics (aggregated over {args.restarts} "
+                "restart chains across all worker processes):\n"
             )
+            out.write(format_cache_stats(aggregated_stats) + "\n")
+        else:
+            stats = collect_search_cache_stats(graph, evaluator)
+            out.write("search cache statistics:\n")
+            out.write(format_cache_stats(stats) + "\n")
     if args.ir_out is not None:
         args.ir_out.write_text(generate_ir(result.plan, result.dlsa).to_json())
         out.write(f"IR written to {args.ir_out}\n")
@@ -258,12 +301,34 @@ def _cmd_dse(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    # Imported here so the service stack is only paid for when serving.
+    from repro.serving.server import serve_http, serve_stdio
+    from repro.serving.service import ScheduleService
+
+    service = ScheduleService(workers=args.workers, memo_size=args.memo_size)
+    try:
+        if args.http is not None:
+            return serve_http(
+                service,
+                args.host,
+                args.http,
+                announce=lambda message: out.write(
+                    f"{message} with {service.workers} worker(s)\n"
+                ),
+            )
+        return serve_stdio(service, sys.stdin, out)
+    finally:
+        service.close()
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "schedule": _cmd_schedule,
     "compare": _cmd_compare,
     "overall": _cmd_overall,
     "dse": _cmd_dse,
+    "serve": _cmd_serve,
 }
 
 

@@ -68,7 +68,12 @@ class BufferAllocator:
             outcome = self._run_iteration(stage1_budget, rng)
             history.append(outcome.cost)
 
-            if buffer_peak is None:
+            # The shrink step is a fraction of the best scheme's *observed*
+            # peak usage, so the peak must come from a feasible stage-1
+            # result: an infeasible evaluation reports max_buffer_bytes=0,
+            # and capturing that would pin the step near zero and replay the
+            # same full-GBUF budget for every remaining iteration.
+            if buffer_peak is None and outcome.stage1.feasible:
                 buffer_peak = max(1, outcome.stage1.evaluation.max_buffer_bytes)
 
             if best is None or outcome.cost < best.cost:
@@ -79,7 +84,10 @@ class BufferAllocator:
             if non_improving >= config.allocator_patience:
                 break
 
-            stage1_budget = int(stage1_budget - config.buffer_shrink_fraction * buffer_peak)
+            # Until a feasible peak is known, fall back to the full GBUF as
+            # the shrink reference so the budget still moves between rounds.
+            shrink_reference = buffer_peak if buffer_peak is not None else gbuf_bytes
+            stage1_budget = int(stage1_budget - config.buffer_shrink_fraction * shrink_reference)
             if stage1_budget <= 0:
                 break
 

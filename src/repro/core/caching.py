@@ -14,22 +14,44 @@ disables the cache entirely.  See ROADMAP.md for the full list of perf knobs.
 
 from __future__ import annotations
 
+import hashlib
 import os
+import warnings
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
 _MISSING = object()
 
 
+def parse_env_int(env_name: str, fallback_note: str) -> int | None:
+    """Parse an integer environment knob; ``None`` when unset or invalid.
+
+    Every ``REPRO_*`` integer knob resolves through this helper so invalid
+    values degrade to their fallback *loudly* — a typo in a sizing or
+    worker-count knob must not silently become a no-op.  ``fallback_note``
+    finishes the warning sentence ("using the default capacity 256",
+    "running serial", ...).
+    """
+    raw = os.environ.get(env_name)
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring invalid {env_name}={raw!r} (not an integer); {fallback_note}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+
+
 def cache_size(name: str, default: int) -> int:
     """Resolve one cache's capacity from ``REPRO_<NAME>_CACHE`` or a default."""
-    raw = os.environ.get(f"REPRO_{name.upper()}_CACHE")
-    if raw is None:
-        return default
-    try:
-        return max(0, int(raw))
-    except ValueError:
-        return default
+    value = parse_env_int(
+        f"REPRO_{name.upper()}_CACHE", f"using the default capacity {default}"
+    )
+    return default if value is None else max(0, value)
 
 
 class LRUCache:
@@ -145,6 +167,35 @@ def per_graph_stats(caches, graph) -> dict:
     return entry[1].stats() if entry is not None else LRUCache(0).stats()
 
 
+# ------------------------------------------------------- cross-request memo
+#: Default capacity of the serving layer's cross-request result memo
+#: (override with ``REPRO_SERVE_MEMO_CACHE``).
+SERVE_MEMO_DEFAULT = 256
+
+
+def schedule_request_key(
+    graph_fingerprint: str,
+    accelerator,
+    config,
+    seed: int | None = None,
+    restarts: int = 1,
+) -> str:
+    """Stable memo key for one scheduling request.
+
+    The serving layer memoises finished schedules across requests keyed by
+    everything that determines the search outcome: the workload graph's
+    content fingerprint, the accelerator and framework configuration (both
+    frozen dataclasses whose ``repr`` covers every field) and the explicit
+    seed / restart count.  Two requests with equal keys are guaranteed to
+    produce bit-identical results, so serving a memoised payload is
+    indistinguishable from re-running the search.
+    """
+    payload = repr(
+        ("schedule", graph_fingerprint, repr(accelerator), repr(config), seed, restarts)
+    ).encode("utf-8")
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
 # -------------------------------------------------------------- observability
 def collect_search_cache_stats(graph, evaluator=None) -> dict[str, dict]:
     """Statistics of every search-level LRU for one workload graph.
@@ -167,6 +218,50 @@ def collect_search_cache_stats(graph, evaluator=None) -> dict[str, dict]:
     if evaluator is not None:
         stats.update(evaluator.cache_stats())
     return stats
+
+
+def cache_stats_delta(before: dict[str, dict], after: dict[str, dict]) -> dict[str, dict]:
+    """Per-cache counter increments between two stats snapshots.
+
+    Hit/miss (and evaluation) counters are monotonic, so the difference is
+    exactly the activity that happened between the snapshots even when the
+    underlying caches are shared with earlier work (e.g. several restart
+    chains reusing one in-process graph).  Occupancy fields (``size`` /
+    ``maxsize``) are not counters and keep the ``after`` value.
+    """
+    delta: dict[str, dict] = {}
+    for name, entry in after.items():
+        base = before.get(name, {})
+        row = dict(entry)
+        for field in ("hits", "misses", "evaluations"):
+            if field in row:
+                row[field] = row[field] - base.get(field, 0)
+        total = row.get("hits", 0) + row.get("misses", 0)
+        row["hit_rate"] = row.get("hits", 0) / total if total else 0.0
+        delta[name] = row
+    return delta
+
+
+def aggregate_cache_stats(stats_list) -> dict[str, dict]:
+    """Sum per-cache statistics gathered from several workers/chains.
+
+    Parent processes never see worker-side LRU activity, so parallel runs
+    ship each worker's (delta) snapshot back with its result and this helper
+    folds them into one table.  Counters and occupancy are summed per cache
+    name; the hit rate is recomputed from the summed counters.
+    """
+    aggregate: dict[str, dict] = {}
+    for stats in stats_list:
+        for name, entry in stats.items():
+            row = aggregate.setdefault(name, {})
+            for field, value in entry.items():
+                if field == "hit_rate":
+                    continue
+                row[field] = row.get(field, 0) + value
+    for row in aggregate.values():
+        total = row.get("hits", 0) + row.get("misses", 0)
+        row["hit_rate"] = row.get("hits", 0) / total if total else 0.0
+    return aggregate
 
 
 def format_cache_stats(stats: dict[str, dict]) -> str:

@@ -22,11 +22,18 @@ count or scheduling order.
 from __future__ import annotations
 
 import hashlib
+import math
 import multiprocessing
-import os
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.core.caching import (
+    aggregate_cache_stats,
+    cache_stats_delta,
+    collect_search_cache_stats,
+    parse_env_int,
+)
 from repro.core.config import SoMaConfig
 from repro.core.result import SoMaResult
 from repro.core.soma import SoMaScheduler
@@ -37,16 +44,15 @@ WORKERS_ENV = "REPRO_WORKERS"
 
 
 def resolve_workers(workers: int | None = None) -> int:
-    """Resolve a worker count: argument, then ``REPRO_WORKERS``, then 1."""
+    """Resolve a worker count: argument, then ``REPRO_WORKERS``, then 1.
+
+    An unparsable environment value degrades to serial, but loudly — a typo
+    in ``REPRO_WORKERS`` should not silently discard the requested
+    parallelism.
+    """
     if workers is None:
-        raw = os.environ.get(WORKERS_ENV)
-        if raw:
-            try:
-                workers = int(raw)
-            except ValueError:
-                workers = 1
-        else:
-            workers = 1
+        value = parse_env_int(WORKERS_ENV, "running serial")
+        workers = 1 if value is None else value
     return max(1, int(workers))
 
 
@@ -83,6 +89,134 @@ class ParallelRunner:
             return pool.map(fn, tasks, chunksize=1)
 
 
+# --------------------------------------------------------------- warm workers
+class _SerialFuture:
+    """Lazy in-process stand-in for a pool ``AsyncResult``.
+
+    Execution happens on the first ``result()`` call, under the pool's serial
+    lock so concurrent threads (the HTTP front-end) never run two searches
+    through the shared in-process caches at once.  The outcome — value or
+    exception — is memoised so every waiter observes the same result.
+    """
+
+    __slots__ = ("_fn", "_task", "_lock", "_done", "_value", "_error")
+
+    def __init__(self, fn: Callable[[Any], Any], task: Any, lock: threading.Lock) -> None:
+        self._fn = fn
+        self._task = task
+        self._lock = lock
+        self._done = False
+        self._value = None
+        self._error: BaseException | None = None
+
+    def result(self) -> Any:
+        with self._lock:
+            if not self._done:
+                try:
+                    self._value = self._fn(self._task)
+                except BaseException as exc:  # re-raised for every waiter
+                    self._error = exc
+                self._done = True
+                self._fn = self._task = None  # free references early
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class _PoolFuture:
+    """Thin ``result()`` adapter over ``multiprocessing``'s ``AsyncResult``."""
+
+    __slots__ = ("_async_result",)
+
+    def __init__(self, async_result) -> None:
+        self._async_result = async_result
+
+    def result(self) -> Any:
+        return self._async_result.get()
+
+
+class PersistentPool:
+    """A process pool that stays alive across submissions, with affinity.
+
+    :class:`ParallelRunner` spins up a fresh ``multiprocessing.Pool`` per
+    ``map`` call, which is fine for one-shot experiment grids but throws away
+    every worker-side cache between calls.  A persistent pool keeps its
+    workers (and therefore their module-level state: schedulers, per-graph
+    parse/segment/tiling LRUs, evaluator contexts) warm across requests —
+    the serving layer's "warm worker" path.
+
+    Each worker is its own single-process ``multiprocessing.Pool`` so a task
+    can be *routed*: ``submit(..., affinity=key)`` sends equal keys to the
+    same worker every time, which is what turns per-process caches into a
+    cache hierarchy (the serving layer routes by workload-graph fingerprint,
+    so repeat workloads always land where their parse/segment/tiling LRUs
+    already live).  Tasks without affinity round-robin for load balance.
+
+    With one worker the pool runs in-process behind a lock, so the
+    warm-state code path is identical and nothing is pickled.  Workers are
+    created lazily on first use and must be :meth:`close`\\ d (or used as a
+    context manager) when parallel; serial pools hold no OS resources.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = resolve_workers(workers)
+        self._pools: list | None = None
+        self._serial_lock = threading.Lock()
+        self._submit_lock = threading.Lock()
+        self._round_robin = 0
+        self._closed = False
+
+    def _ensure_pools(self) -> list:
+        if self._closed:
+            raise RuntimeError("PersistentPool is closed")
+        if self._pools is None:
+            self._pools = [multiprocessing.Pool(processes=1) for _ in range(self.workers)]
+        return self._pools
+
+    def _worker_index(self, affinity: object | None) -> int:
+        if affinity is None:
+            index = self._round_robin
+            self._round_robin = (self._round_robin + 1) % self.workers
+            return index
+        digest = hashlib.blake2b(repr(affinity).encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big") % self.workers
+
+    def submit(self, fn: Callable[[Any], Any], task: Any, affinity: object | None = None):
+        """Dispatch one task; returns a future-like object with ``result()``.
+
+        Equal ``affinity`` keys always reach the same worker process; tasks
+        without affinity are distributed round-robin.
+        """
+        if self.workers <= 1:
+            if self._closed:
+                raise RuntimeError("PersistentPool is closed")
+            return _SerialFuture(fn, task, self._serial_lock)
+        with self._submit_lock:
+            pool = self._ensure_pools()[self._worker_index(affinity)]
+            return _PoolFuture(pool.apply_async(fn, (task,)))
+
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
+        """Apply ``fn`` to every task, preserving task order in the results."""
+        futures = [self.submit(fn, task) for task in tasks]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        self._closed = True
+        if self._pools is not None:
+            for pool in self._pools:
+                pool.terminate()
+            for pool in self._pools:
+                pool.join()
+            self._pools = None
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+
 # ------------------------------------------------------- multi-restart chains
 @dataclass(frozen=True)
 class _RestartTask:
@@ -98,6 +232,40 @@ def _run_restart(task: _RestartTask) -> SoMaResult:
     return SoMaScheduler(task.accelerator, task.config).schedule(task.graph, seed=task.seed)
 
 
+def _run_restart_with_stats(task: _RestartTask) -> tuple[SoMaResult, dict]:
+    """One SA chain plus the cache activity it generated.
+
+    Stats are reported as a delta between snapshots taken around the run:
+    parent processes never observe worker-side LRUs, and in a serial run the
+    per-graph caches are shared across chains, so only the delta attributes
+    activity to this chain exactly once.
+    """
+    scheduler = SoMaScheduler(task.accelerator, task.config)
+    before = collect_search_cache_stats(task.graph, scheduler.evaluator)
+    result = scheduler.schedule(task.graph, seed=task.seed)
+    after = collect_search_cache_stats(task.graph, scheduler.evaluator)
+    return result, cache_stats_delta(before, after)
+
+
+def _best_result(results: Sequence[SoMaResult], config: SoMaConfig) -> SoMaResult:
+    """The lowest finite-cost chain (ties towards the lowest chain index).
+
+    Comparing ``cost < best_cost`` directly would let a NaN-cost first chain
+    win unconditionally (every comparison against NaN is False), so chains
+    with non-finite cost are never allowed to hold the "best" slot while a
+    finite chain exists; if every chain is non-finite the first one is
+    returned so the caller sees the same failure a single run would report.
+    """
+    best: SoMaResult | None = None
+    best_cost = math.inf
+    for result in results:
+        cost = config.objective(result.evaluation.energy_j, result.evaluation.latency_s)
+        if math.isfinite(cost) and (best is None or cost < best_cost):
+            best = result
+            best_cost = cost
+    return best if best is not None else results[0]
+
+
 def multi_restart_schedule(
     accelerator: AcceleratorConfig,
     graph: WorkloadGraph,
@@ -105,20 +273,31 @@ def multi_restart_schedule(
     seed: int | None = None,
     restarts: int = 2,
     workers: int | None = None,
-) -> SoMaResult:
+    collect_cache_stats: bool = False,
+):
     """Run several independent SA chains and keep the best scheme.
 
     Chain ``i`` uses ``derive_seed(base_seed, "chain", i)``, so the set of
     chains (and therefore the winner) is identical for any worker count; ties
     break towards the lowest chain index.  With ``restarts=1`` this is
     exactly ``SoMaScheduler.schedule`` with the base seed.
+
+    With ``collect_cache_stats=True`` the return value is a ``(result,
+    stats)`` tuple where ``stats`` aggregates every chain's search-cache
+    activity across all worker processes (see ``--cache-stats``).
     """
     if restarts < 1:
         raise ValueError("restarts must be >= 1")
     config = config if config is not None else SoMaConfig()
     base_seed = config.seed if seed is None else seed
     if restarts == 1:
-        return SoMaScheduler(accelerator, config).schedule(graph, seed=base_seed)
+        task = _RestartTask(
+            accelerator=accelerator, config=config, graph=graph, seed=base_seed
+        )
+        if collect_cache_stats:
+            result, stats = _run_restart_with_stats(task)
+            return result, aggregate_cache_stats([stats])
+        return _run_restart(task)
     tasks = [
         _RestartTask(
             accelerator=accelerator,
@@ -128,12 +307,11 @@ def multi_restart_schedule(
         )
         for chain in range(restarts)
     ]
-    results: Sequence[SoMaResult] = ParallelRunner(workers).map(_run_restart, tasks)
-    best = results[0]
-    best_cost = config.objective(best.evaluation.energy_j, best.evaluation.latency_s)
-    for result in results[1:]:
-        cost = config.objective(result.evaluation.energy_j, result.evaluation.latency_s)
-        if cost < best_cost:
-            best = result
-            best_cost = cost
-    return best
+    runner = ParallelRunner(workers)
+    if collect_cache_stats:
+        outcomes = runner.map(_run_restart_with_stats, tasks)
+        results = [result for result, _ in outcomes]
+        stats = aggregate_cache_stats([chain_stats for _, chain_stats in outcomes])
+        return _best_result(results, config), stats
+    results = runner.map(_run_restart, tasks)
+    return _best_result(results, config)

@@ -1,0 +1,199 @@
+"""Wire protocol of the scheduling service.
+
+A :class:`ScheduleRequest` names a workload (registry name + batch +
+workload kwargs), a platform and the search configuration overrides the CLI
+exposes; it is a frozen, picklable dataclass so the same object travels to
+worker processes and hashes into the duplicate-coalescing tables.  A
+:class:`ScheduleResponse` carries a :class:`~repro.analysis.schedule_report.ScheduleReport`-compatible
+payload plus per-request cache provenance:
+
+``memo``
+    served straight from the cross-request result memo (no search ran);
+``coalesced``
+    an identical request was already in flight and this one shared its
+    search;
+``warm``
+    a pool worker ran the search with its scheduler and per-graph caches
+    already populated for this (workload, accelerator, config);
+``cold``
+    a worker ran the search from scratch.
+
+Both directions serialise to plain JSON dictionaries; round-trips are exact
+(including evaluation floats) and are asserted by ``tests/test_serving.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from repro.core.config import SAParams, SoMaConfig
+from repro.errors import ReproError
+from repro.hardware.accelerator import AcceleratorConfig, cloud_accelerator, edge_accelerator
+
+PROVENANCE_MEMO = "memo"
+PROVENANCE_COALESCED = "coalesced"
+PROVENANCE_WARM = "warm"
+PROVENANCE_COLD = "cold"
+PROVENANCES = (PROVENANCE_MEMO, PROVENANCE_COALESCED, PROVENANCE_WARM, PROVENANCE_COLD)
+
+
+class ProtocolError(ReproError):
+    """Raised when a request/response payload is malformed."""
+
+
+@dataclass(frozen=True)
+class ScheduleRequest:
+    """One scheduling request: what to schedule, on what, with which budget.
+
+    The configuration fields mirror ``python -m repro schedule``: ``fast``
+    selects :meth:`SoMaConfig.fast`, otherwise the explicit SA budgets are
+    used.  ``request_id`` is an opaque client token echoed in the response;
+    it does not participate in memoisation or coalescing.
+    """
+
+    workload: str
+    batch: int = 1
+    platform: str = "edge"
+    workload_kwargs: tuple[tuple[str, object], ...] = ()
+    seed: int = 2025
+    fast: bool = False
+    lfa_budget: float = 12.0
+    dlsa_budget: float = 6.0
+    allocator_iterations: int = 2
+    restarts: int = 1
+    request_id: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.workload:
+            raise ProtocolError("request must name a workload")
+        if self.platform not in ("edge", "cloud"):
+            raise ProtocolError(
+                f"unknown platform {self.platform!r}; expected 'edge' or 'cloud'"
+            )
+        if self.batch < 1:
+            raise ProtocolError("batch must be >= 1")
+        if self.restarts < 1:
+            raise ProtocolError("restarts must be >= 1")
+
+    # ---------------------------------------------------------------- builders
+    def build_accelerator(self) -> AcceleratorConfig:
+        """The accelerator configuration this request targets."""
+        return edge_accelerator() if self.platform == "edge" else cloud_accelerator()
+
+    def build_config(self) -> SoMaConfig:
+        """The search configuration (same semantics as the CLI flags)."""
+        if self.fast:
+            return SoMaConfig.fast(seed=self.seed)
+        return SoMaConfig(
+            lfa_sa=SAParams(iterations_per_unit=self.lfa_budget, max_iterations=5000),
+            dlsa_sa=SAParams(iterations_per_unit=self.dlsa_budget, max_iterations=6000),
+            max_allocator_iterations=self.allocator_iterations,
+            seed=self.seed,
+        )
+
+    @property
+    def workload_kwargs_dict(self) -> dict:
+        """The workload kwargs as a plain dictionary (registry call form)."""
+        return dict(self.workload_kwargs)
+
+
+@dataclass(frozen=True)
+class ScheduleResponse:
+    """Outcome of one request: a report payload plus serving metadata.
+
+    ``result`` is ``None`` exactly when ``ok`` is False; otherwise it holds
+    the schedule-report payload (see :func:`result_payload` for its shape).
+    ``service_seconds`` is the wall time the service spent on this request,
+    including queueing; ``search_seconds`` is the search wall clock inside
+    the worker (0.0 for memo hits — no search ran).
+    """
+
+    request_id: str
+    ok: bool
+    provenance: str
+    result: dict | None = None
+    error: str = ""
+    search_seconds: float = 0.0
+    service_seconds: float = 0.0
+    worker_pid: int = 0
+    cache_stats: dict | None = field(default=None, repr=False)
+
+
+# ----------------------------------------------------------------- JSON forms
+def request_to_payload(request: ScheduleRequest) -> dict:
+    """The JSON dictionary form of a request."""
+    return {
+        "workload": request.workload,
+        "batch": request.batch,
+        "platform": request.platform,
+        "workload_kwargs": dict(request.workload_kwargs),
+        "seed": request.seed,
+        "fast": request.fast,
+        "lfa_budget": request.lfa_budget,
+        "dlsa_budget": request.dlsa_budget,
+        "allocator_iterations": request.allocator_iterations,
+        "restarts": request.restarts,
+        "request_id": request.request_id,
+    }
+
+
+_REQUEST_FIELDS = {f.name for f in fields(ScheduleRequest)}
+
+
+def request_from_payload(payload: dict) -> ScheduleRequest:
+    """Decode a request dictionary, rejecting unknown or malformed fields."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"request must be a JSON object, got {type(payload).__name__}")
+    unknown = set(payload) - _REQUEST_FIELDS
+    if unknown:
+        raise ProtocolError(f"unknown request fields: {sorted(unknown)}")
+    if "workload" not in payload:
+        raise ProtocolError("request must name a workload")
+    kwargs = dict(payload)
+    raw_workload_kwargs = kwargs.pop("workload_kwargs", {})
+    if isinstance(raw_workload_kwargs, dict):
+        workload_kwargs = tuple(sorted(raw_workload_kwargs.items()))
+    else:
+        try:
+            workload_kwargs = tuple(sorted((str(k), v) for k, v in raw_workload_kwargs))
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed workload_kwargs: {raw_workload_kwargs!r}") from exc
+    try:
+        return ScheduleRequest(workload_kwargs=workload_kwargs, **kwargs)
+    except TypeError as exc:
+        raise ProtocolError(f"malformed request payload: {exc}") from exc
+
+
+def response_to_payload(response: ScheduleResponse) -> dict:
+    """The JSON dictionary form of a response."""
+    return {
+        "request_id": response.request_id,
+        "ok": response.ok,
+        "provenance": response.provenance,
+        "result": response.result,
+        "error": response.error,
+        "search_seconds": response.search_seconds,
+        "service_seconds": response.service_seconds,
+        "worker_pid": response.worker_pid,
+        "cache_stats": response.cache_stats,
+    }
+
+
+def response_from_payload(payload: dict) -> ScheduleResponse:
+    """Decode a response dictionary (the client-side half of the protocol)."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"response must be a JSON object, got {type(payload).__name__}")
+    try:
+        return ScheduleResponse(
+            request_id=payload["request_id"],
+            ok=payload["ok"],
+            provenance=payload["provenance"],
+            result=payload.get("result"),
+            error=payload.get("error", ""),
+            search_seconds=payload.get("search_seconds", 0.0),
+            service_seconds=payload.get("service_seconds", 0.0),
+            worker_pid=payload.get("worker_pid", 0),
+            cache_stats=payload.get("cache_stats"),
+        )
+    except KeyError as exc:
+        raise ProtocolError(f"response payload missing field: {exc}") from exc

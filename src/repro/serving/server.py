@@ -1,0 +1,164 @@
+"""Front-ends for :class:`~repro.serving.service.ScheduleService`.
+
+Two transports, both stdlib-only:
+
+* **JSON lines over stdin/stdout** (``python -m repro serve``): every input
+  line is a JSON request object, a JSON array of requests (a micro-batch:
+  duplicates share one search), or an op object (``{"op": "stats"}``,
+  ``{"op": "shutdown"}``).  Each input line produces exactly one output
+  line — a response object, an array of response objects, or the op reply.
+* **HTTP** (``python -m repro serve --http PORT``): a threaded stdlib
+  ``http.server`` exposing ``POST /schedule`` (single request or batch),
+  ``GET /stats`` and ``GET /healthz``.  Handler threads call straight into
+  the service, so concurrent identical requests coalesce onto one search.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serving.protocol import (
+    ProtocolError,
+    ScheduleResponse,
+    request_from_payload,
+    response_to_payload,
+)
+from repro.serving.service import PROVENANCE_ERROR, ScheduleService
+
+
+def _error_payload(item, message: str) -> dict:
+    request_id = item.get("request_id", "") if isinstance(item, dict) else ""
+    return response_to_payload(
+        ScheduleResponse(
+            request_id=request_id, ok=False, provenance=PROVENANCE_ERROR, error=message
+        )
+    )
+
+
+def process_message(service: ScheduleService, message) -> tuple[object, bool]:
+    """Handle one decoded JSON message; returns (reply payload, shutdown?).
+
+    Malformed items never abort a batch: each position gets either its
+    response or an error payload, in request order.
+    """
+    if isinstance(message, dict) and "op" in message:
+        op = message["op"]
+        if op == "stats":
+            return {"ok": True, "stats": service.stats()}, False
+        if op == "shutdown":
+            return {"ok": True, "shutdown": True}, True
+        return {"ok": False, "error": f"unknown op {op!r}"}, False
+
+    batch = isinstance(message, list)
+    items = message if batch else [message]
+    payloads: list = [None] * len(items)
+    decoded = []
+    for index, item in enumerate(items):
+        try:
+            decoded.append((index, request_from_payload(item)))
+        except ProtocolError as exc:
+            payloads[index] = _error_payload(item, str(exc))
+    responses = service.schedule_many([request for _, request in decoded])
+    for (index, _), response in zip(decoded, responses):
+        payloads[index] = response_to_payload(response)
+    return (payloads if batch else payloads[0]), False
+
+
+# ------------------------------------------------------------------ JSON lines
+def serve_stdio(service: ScheduleService, in_stream, out_stream) -> int:
+    """Serve JSON-lines requests until EOF or a shutdown op; returns 0."""
+    for line in in_stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            message = json.loads(line)
+        except json.JSONDecodeError as exc:
+            _write_line(out_stream, {"ok": False, "error": f"invalid JSON: {exc}"})
+            continue
+        payload, shutdown = process_message(service, message)
+        _write_line(out_stream, payload)
+        if shutdown:
+            break
+    return 0
+
+
+def _write_line(stream, payload) -> None:
+    stream.write(json.dumps(payload) + "\n")
+    stream.flush()
+
+
+# ------------------------------------------------------------------------ HTTP
+class ScheduleRequestHandler(BaseHTTPRequestHandler):
+    """Routes ``/schedule``, ``/stats`` and ``/healthz`` onto the service."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> ScheduleService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, *_args) -> None:
+        """Silence the default per-request stderr logging."""
+
+    def _send_json(self, status: int, payload) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            self._send_json(200, {"ok": True, "workers": self.service.workers})
+        elif self.path == "/stats":
+            self._send_json(200, {"ok": True, "stats": self.service.stats()})
+        else:
+            self._send_json(404, {"ok": False, "error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:
+        if self.path != "/schedule":
+            self._send_json(404, {"ok": False, "error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            self._send_json(400, {"ok": False, "error": "bad Content-Length"})
+            return
+        try:
+            message = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as exc:
+            self._send_json(400, {"ok": False, "error": f"invalid JSON: {exc}"})
+            return
+        if isinstance(message, dict) and "op" in message:
+            self._send_json(400, {"ok": False, "error": "op messages are stdio-only"})
+            return
+        payload, _ = process_message(self.service, message)
+        self._send_json(200, payload)
+
+
+def make_http_server(
+    service: ScheduleService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Build (but do not start) the HTTP server; ``port=0`` picks a free port."""
+    server = ThreadingHTTPServer((host, port), ScheduleRequestHandler)
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    return server
+
+
+def serve_http(service: ScheduleService, host: str, port: int, announce=None) -> int:
+    """Run the HTTP front-end until interrupted; returns 0."""
+    server = make_http_server(service, host, port)
+    if announce is not None:
+        announce(f"serving HTTP on {server.server_address[0]}:{server.server_address[1]}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0

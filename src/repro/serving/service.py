@@ -1,0 +1,397 @@
+"""The scheduling service: coalescing, memoisation and warm worker dispatch.
+
+:class:`ScheduleService` sits between a front-end (stdin/stdout JSON lines,
+HTTP, or direct Python calls) and the search engine.  For every request it
+tries, in order:
+
+1. the **cross-request result memo** — an LRU keyed by
+   :func:`repro.core.caching.schedule_request_key` (graph fingerprint,
+   accelerator, config, seed, restarts); hits serve a finished payload with
+   no search at all;
+2. **in-flight coalescing** — identical requests already being computed share
+   one search (micro-batching duplicates: ``schedule_many`` dispatches one
+   task per unique fingerprint);
+3. the **persistent worker pool**
+   (:class:`~repro.experiments.parallel.PersistentPool`) — each worker
+   process keeps its schedulers, per-graph parse/segment/tiling LRUs and
+   evaluator contexts alive across requests, so repeat workloads run against
+   warm caches.
+
+Results are bit-identical to a direct ``SoMaScheduler.schedule`` call with
+the same seed for any worker count (asserted by
+``benchmarks/test_serving_throughput.py``); every response reports which of
+the three levels served it.  Response payload dictionaries may be shared
+between coalesced/memoised responses — treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro.analysis.schedule_report import build_schedule_report, evaluation_to_payload
+from repro.core.caching import (
+    LRUCache,
+    SERVE_MEMO_DEFAULT,
+    cache_size,
+    cache_stats_delta,
+    collect_search_cache_stats,
+    parse_env_int,
+    schedule_request_key,
+)
+from repro.core.result import SoMaResult
+from repro.core.soma import SoMaScheduler
+from repro.experiments.parallel import PersistentPool, multi_restart_schedule, resolve_workers
+from repro.serving.protocol import (
+    PROVENANCE_COALESCED,
+    PROVENANCE_COLD,
+    PROVENANCE_MEMO,
+    PROVENANCE_WARM,
+    ScheduleRequest,
+    ScheduleResponse,
+)
+from repro.workloads.registry import build_workload
+
+SERVE_WORKERS_ENV = "REPRO_SERVE_WORKERS"
+
+#: Provenance value used by error responses (never by successful ones).
+PROVENANCE_ERROR = "error"
+
+
+def resolve_serve_workers(workers: int | None = None) -> int:
+    """Service worker count: argument, ``REPRO_SERVE_WORKERS``, then the
+    generic ``REPRO_WORKERS`` resolution."""
+    if workers is not None:
+        return max(1, int(workers))
+    value = parse_env_int(SERVE_WORKERS_ENV, "falling back to REPRO_WORKERS")
+    if value is not None:
+        return max(1, value)
+    return resolve_workers(None)
+
+
+# ------------------------------------------------------------- worker side
+# Per-process warm state, bounded so a long-lived worker serving a stream of
+# distinct workloads/configs cannot grow without limit: graphs are keyed by
+# the workload spec so the per-graph LRUs (which key off the graph *object*)
+# survive across requests, and schedulers are keyed by (platform, config) so
+# their evaluator caches and mappers stay populated.
+_WORKER_GRAPHS = LRUCache(cache_size("SERVE_GRAPHS", 64))
+_WORKER_SCHEDULERS = LRUCache(cache_size("SERVE_SCHEDULERS", 32))
+
+
+def result_payload(result: SoMaResult) -> dict:
+    """The ``ScheduleReport``-compatible payload of one finished search."""
+    report = build_schedule_report(result.plan, result.evaluation)
+    return {
+        "workload": result.workload_name,
+        "accelerator": result.accelerator_name,
+        "report": report.to_payload(),
+        "evaluation": evaluation_to_payload(result.evaluation),
+        "stage1": evaluation_to_payload(result.stage1.evaluation),
+        "stage2": evaluation_to_payload(result.stage2.evaluation),
+        "allocator_iterations": result.allocator_iterations,
+        "stage1_buffer_budget_bytes": result.stage1_buffer_budget_bytes,
+        "search_seconds": result.search_seconds,
+    }
+
+
+def _execute_request(request: ScheduleRequest) -> dict:
+    """Run one request in this process, reusing warm state when present.
+
+    Module-level function so the persistent pool can pickle it; the reply is
+    a plain dictionary (payload, provenance, worker pid, cache-activity
+    delta) because responses also need per-request timing from the parent.
+    """
+    graph_key = (request.workload, request.batch, request.workload_kwargs)
+    graph = _WORKER_GRAPHS.get(graph_key)
+    graph_warm = graph is not None
+    if graph is None:
+        graph = build_workload(
+            request.workload, batch=request.batch, **request.workload_kwargs_dict
+        )
+        _WORKER_GRAPHS.put(graph_key, graph)
+
+    config = request.build_config()
+    # The seed is always passed explicitly to ``schedule``, so schedulers are
+    # shared across requests that differ only in seed (the config's own seed
+    # field never reaches the search) — warm caches survive seed sweeps.
+    scheduler_key = (request.platform, config.with_seed(0))
+    scheduler = _WORKER_SCHEDULERS.get(scheduler_key)
+    scheduler_warm = scheduler is not None
+    if scheduler is None:
+        scheduler = SoMaScheduler(request.build_accelerator(), config)
+        _WORKER_SCHEDULERS.put(scheduler_key, scheduler)
+
+    before = collect_search_cache_stats(graph, scheduler.evaluator)
+    if request.restarts == 1:
+        result = scheduler.schedule(graph, seed=request.seed)
+    else:
+        # Pool workers are daemonic and cannot fork grandchildren, so the
+        # restart chains of one request always run serially in this worker.
+        result = multi_restart_schedule(
+            scheduler.accelerator,
+            graph,
+            config=config,
+            seed=request.seed,
+            restarts=request.restarts,
+            workers=1,
+        )
+    after = collect_search_cache_stats(graph, scheduler.evaluator)
+
+    return {
+        "payload": result_payload(result),
+        "provenance": PROVENANCE_WARM if (graph_warm and scheduler_warm) else PROVENANCE_COLD,
+        "pid": os.getpid(),
+        "search_seconds": result.search_seconds,
+        "cache_stats": cache_stats_delta(before, after),
+    }
+
+
+def reset_worker_state() -> None:
+    """Drop this process's warm graphs/schedulers (test isolation hook)."""
+    _WORKER_GRAPHS.clear()
+    _WORKER_SCHEDULERS.clear()
+
+
+def worker_state_sizes() -> tuple[int, int]:
+    """(warm graphs, warm schedulers) resident in this process."""
+    return len(_WORKER_GRAPHS), len(_WORKER_SCHEDULERS)
+
+
+# ------------------------------------------------------------- parent side
+class _ReadyResponse:
+    """A future whose response is already known (memo hits, errors)."""
+
+    __slots__ = ("_response",)
+
+    def __init__(self, response: ScheduleResponse) -> None:
+        self._response = response
+
+    def result(self) -> ScheduleResponse:
+        return self._response
+
+
+class _PendingResponse:
+    """A response future backed by a (possibly shared) pool future."""
+
+    __slots__ = ("_service", "_request", "_key", "_future", "_leader", "_started")
+
+    def __init__(self, service, request, key, future, leader, started) -> None:
+        self._service = service
+        self._request = request
+        self._key = key
+        self._future = future
+        self._leader = leader
+        self._started = started
+
+    def result(self) -> ScheduleResponse:
+        try:
+            reply = self._future.result()
+        except Exception as exc:  # a failed search must not take the service down
+            self._service._finish(self._key, self._future, None, None)
+            return self._service._record(
+                ScheduleResponse(
+                    request_id=self._request.request_id,
+                    ok=False,
+                    provenance=PROVENANCE_ERROR,
+                    error=f"{type(exc).__name__}: {exc}",
+                    service_seconds=time.perf_counter() - self._started,
+                )
+            )
+        self._service._finish(self._key, self._future, reply["payload"], reply["cache_stats"])
+        provenance = reply["provenance"] if self._leader else PROVENANCE_COALESCED
+        return self._service._record(
+            ScheduleResponse(
+                request_id=self._request.request_id,
+                ok=True,
+                provenance=provenance,
+                result=reply["payload"],
+                search_seconds=reply["search_seconds"],
+                service_seconds=time.perf_counter() - self._started,
+                worker_pid=reply["pid"],
+                cache_stats=reply["cache_stats"] if self._leader else None,
+            )
+        )
+
+
+class ScheduleService:
+    """Serves schedule requests with memoisation, coalescing and warm workers.
+
+    Thread-safe: the HTTP front-end calls :meth:`schedule` from handler
+    threads.  ``workers`` resolves through :func:`resolve_serve_workers`;
+    ``memo_size`` through ``REPRO_SERVE_MEMO_CACHE`` (0 disables the memo).
+    """
+
+    def __init__(self, workers: int | None = None, memo_size: int | None = None) -> None:
+        self.workers = resolve_serve_workers(workers)
+        self._pool = PersistentPool(self.workers)
+        if memo_size is None:
+            memo_size = cache_size("SERVE_MEMO", SERVE_MEMO_DEFAULT)
+        self._memo = LRUCache(memo_size)
+        self._graphs = LRUCache(64)  # parent-side graphs, for fingerprinting only
+        self._lock = threading.Lock()
+        self._inflight: dict[str, object] = {}
+        self._counters = {
+            PROVENANCE_MEMO: 0,
+            PROVENANCE_COALESCED: 0,
+            PROVENANCE_WARM: 0,
+            PROVENANCE_COLD: 0,
+            PROVENANCE_ERROR: 0,
+        }
+        self._requests = 0
+        self._worker_cache_totals: dict = {}
+
+    # ----------------------------------------------------------------- public
+    def schedule(self, request: ScheduleRequest) -> ScheduleResponse:
+        """Serve one request (blocking)."""
+        return self._submit(request).result()
+
+    def schedule_many(self, requests: list[ScheduleRequest]) -> list[ScheduleResponse]:
+        """Serve a micro-batch: duplicates coalesce onto one search.
+
+        All unique cache-missing requests are dispatched to the pool before
+        the first result is awaited, so a batch fans across every available
+        worker.
+        """
+        futures = [self._submit(request) for request in requests]
+        return [future.result() for future in futures]
+
+    def request_fingerprint(self, request: ScheduleRequest) -> str:
+        """The memo/coalescing key of a request (builds the graph if needed)."""
+        return self._keys(request)[0]
+
+    def _keys(self, request: ScheduleRequest) -> tuple[str, str]:
+        """(memo key, worker-affinity key) of a request.
+
+        The affinity key is the workload graph's fingerprint alone, so every
+        request for the same graph — any seed, any config — is routed to the
+        worker whose per-graph caches already hold it.
+        """
+        graph_key = (request.workload, request.batch, request.workload_kwargs)
+        with self._lock:
+            graph = self._graphs.get(graph_key)
+        if graph is None:
+            # Build outside the lock: a cold graph construction must not
+            # stall concurrent requests (e.g. memo hits for other keys).
+            # Double-checked insert keeps one canonical graph per key.
+            graph = build_workload(
+                request.workload, batch=request.batch, **request.workload_kwargs_dict
+            )
+            with self._lock:
+                existing = self._graphs.get(graph_key)
+                if existing is not None:
+                    graph = existing
+                else:
+                    self._graphs.put(graph_key, graph)
+        graph_fingerprint = graph.fingerprint()
+        memo_key = schedule_request_key(
+            graph_fingerprint,
+            request.build_accelerator(),
+            request.build_config(),
+            request.seed,
+            request.restarts,
+        )
+        return memo_key, graph_fingerprint
+
+    def stats(self) -> dict:
+        """Serving counters plus memo and aggregated worker-cache statistics."""
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "requests": self._requests,
+                "provenance": dict(self._counters),
+                "memo": self._memo.stats(),
+                "worker_caches": {
+                    name: dict(entry) for name, entry in self._worker_cache_totals.items()
+                },
+            }
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        self._pool.close()
+
+    def __enter__(self) -> "ScheduleService":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+    # --------------------------------------------------------------- internal
+    def _submit(self, request: ScheduleRequest):
+        started = time.perf_counter()
+        try:
+            key, affinity = self._keys(request)
+        except Exception as exc:  # unknown workload / malformed kwargs
+            return _ReadyResponse(
+                self._record(
+                    ScheduleResponse(
+                        request_id=request.request_id,
+                        ok=False,
+                        provenance=PROVENANCE_ERROR,
+                        error=f"{type(exc).__name__}: {exc}",
+                        service_seconds=time.perf_counter() - started,
+                    )
+                )
+            )
+        with self._lock:
+            payload = self._memo.get(key)
+            if payload is not None:
+                return _ReadyResponse(
+                    self._record(
+                        ScheduleResponse(
+                            request_id=request.request_id,
+                            ok=True,
+                            provenance=PROVENANCE_MEMO,
+                            result=payload,
+                            service_seconds=time.perf_counter() - started,
+                        ),
+                        locked=True,
+                    )
+                )
+            future = self._inflight.get(key)
+            leader = future is None
+            if leader:
+                future = self._pool.submit(_execute_request, request, affinity=affinity)
+                self._inflight[key] = future
+        return _PendingResponse(self, request, key, future, leader, started)
+
+    def _finish(self, key: str, future, payload: dict | None, cache_stats: dict | None) -> None:
+        """Retire an in-flight entry; the first finisher populates the memo.
+
+        The entry is removed only when it still belongs to ``future``: a slow
+        follower of an earlier search must not retire (or double-count the
+        stats of) a newer leader that re-registered the same key after the
+        first one finished.
+        """
+        with self._lock:
+            if self._inflight.get(key) is not future:
+                return
+            del self._inflight[key]
+            if payload is not None:
+                self._memo.put(key, payload)
+            if cache_stats is not None:
+                # Counters accumulate across requests; occupancy (size /
+                # maxsize) is not a counter, so keep the latest snapshot
+                # instead of summing snapshots on every request.
+                for name, entry in cache_stats.items():
+                    row = self._worker_cache_totals.setdefault(
+                        name, {"hits": 0, "misses": 0, "size": 0, "maxsize": 0}
+                    )
+                    for field in ("hits", "misses", "evaluations"):
+                        if field in entry:
+                            row[field] = row.get(field, 0) + entry[field]
+                    row["size"] = entry["size"]
+                    row["maxsize"] = entry["maxsize"]
+                    total = row["hits"] + row["misses"]
+                    row["hit_rate"] = row["hits"] / total if total else 0.0
+
+    def _record(self, response: ScheduleResponse, locked: bool = False) -> ScheduleResponse:
+        if locked:
+            self._requests += 1
+            self._counters[response.provenance] += 1
+        else:
+            with self._lock:
+                self._requests += 1
+                self._counters[response.provenance] += 1
+        return response

@@ -71,6 +71,74 @@ def test_schedule_command_cache_stats():
     assert "hit rate" in output
 
 
+@pytest.mark.parametrize("workers", [1, 2])
+def test_schedule_command_cache_stats_with_parallel_restarts(workers):
+    """``--cache-stats`` under ``--restarts``/``--workers`` must show activity.
+
+    Parent-process LRUs never see worker activity; the aggregated per-chain
+    deltas shipped back through the runner must produce a table that is not
+    all-miss/empty, clearly labelled as a cross-process aggregate.
+    """
+    code, output = _run(
+        [
+            "schedule",
+            "--workload",
+            "gpt2-decode",
+            "--variant",
+            "tiny",
+            "--seq-len",
+            "16",
+            "--fast",
+            "--cache-stats",
+            "--restarts",
+            "2",
+            "--workers",
+            str(workers),
+        ]
+    )
+    assert code == 0
+    assert "aggregated over 2 restart chains" in output
+    table_lines = [
+        line
+        for line in output.splitlines()
+        if line.split() and line.split()[0] in ("parse", "tiling", "segment", "plan")
+    ]
+    assert table_lines
+    # At least one cache row reports real activity (hits+misses > 0).
+    activity = 0
+    for line in table_lines:
+        fields = line.split()
+        activity += int(fields[3]) + int(fields[4])
+    assert activity > 0
+
+
+def test_serve_command_stdio(monkeypatch):
+    import json
+    import sys
+
+    request = {
+        "workload": "gpt2-decode",
+        "workload_kwargs": {"variant": "tiny", "context_len": 16},
+        "fast": True,
+        "seed": 3,
+        "request_id": "cli-1",
+    }
+    lines = [
+        json.dumps(request),
+        json.dumps(request),
+        json.dumps({"op": "shutdown"}),
+    ]
+    monkeypatch.setattr(sys, "stdin", io.StringIO("\n".join(lines) + "\n"))
+    code, output = _run(["serve", "--workers", "1"])
+    assert code == 0
+    replies = [json.loads(line) for line in output.splitlines()]
+    assert len(replies) == 3
+    assert replies[0]["ok"] and replies[0]["provenance"] in ("cold", "warm")
+    assert replies[1]["provenance"] == "memo"
+    assert replies[1]["result"] == replies[0]["result"]
+    assert replies[2]["shutdown"]
+
+
 def test_compare_command_fast():
     code, output = _run(
         ["compare", "--workload", "gpt2-prefill", "--variant", "tiny", "--seq-len", "16", "--fast"]

@@ -7,12 +7,18 @@ seeds and share no mutable state.
 
 from __future__ import annotations
 
+import dataclasses
+import math
+import os
+
 import pytest
 
 from repro.analysis.dse import run_dse
 from repro.core.soma import SoMaScheduler
+from repro.experiments import parallel
 from repro.experiments.parallel import (
     ParallelRunner,
+    PersistentPool,
     derive_seed,
     multi_restart_schedule,
     resolve_workers,
@@ -23,6 +29,10 @@ def _double(value: int) -> int:
     return 2 * value
 
 
+def _pid(_task) -> int:
+    return os.getpid()
+
+
 def test_resolve_workers_prefers_argument_then_env(monkeypatch):
     monkeypatch.delenv("REPRO_WORKERS", raising=False)
     assert resolve_workers(None) == 1
@@ -30,8 +40,15 @@ def test_resolve_workers_prefers_argument_then_env(monkeypatch):
     monkeypatch.setenv("REPRO_WORKERS", "4")
     assert resolve_workers(None) == 4
     assert resolve_workers(2) == 2
+
+
+def test_resolve_workers_warns_on_invalid_env(monkeypatch):
     monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
-    assert resolve_workers(None) == 1
+    with pytest.warns(RuntimeWarning, match="REPRO_WORKERS"):
+        assert resolve_workers(None) == 1
+    # An explicit argument never consults the environment, so no warning.
+    monkeypatch.setenv("REPRO_WORKERS", "still-bad")
+    assert resolve_workers(2) == 2
 
 
 def test_derive_seed_is_stable_and_decorrelated():
@@ -134,6 +151,118 @@ def test_multi_restart_never_loses_to_its_chains(tiny_accelerator, branchy_cnn, 
             chain_result.evaluation.energy_j, chain_result.evaluation.latency_s
         )
         assert best_cost <= chain_cost
+
+
+def test_multi_restart_nan_cost_chain_never_wins(
+    monkeypatch, tiny_accelerator, linear_cnn, fast_config
+):
+    """A NaN-cost first chain must not beat a finite later chain.
+
+    ``cost < best_cost`` is never True against NaN, so before the
+    ``isfinite`` guard the first chain won unconditionally whatever came
+    after it.
+    """
+    good = SoMaScheduler(tiny_accelerator, fast_config).schedule(linear_cnn, seed=5)
+    poisoned_stage = dataclasses.replace(
+        good.stage2,
+        evaluation=dataclasses.replace(good.stage2.evaluation, energy_j=float("nan")),
+    )
+    poisoned = dataclasses.replace(good, stage1=poisoned_stage, stage2=poisoned_stage)
+    assert math.isnan(
+        fast_config.objective(poisoned.evaluation.energy_j, poisoned.evaluation.latency_s)
+    )
+
+    chains = iter([poisoned, good])
+    monkeypatch.setattr(parallel, "_run_restart", lambda task: next(chains))
+    best = multi_restart_schedule(
+        tiny_accelerator, linear_cnn, config=fast_config, seed=5, restarts=2, workers=1
+    )
+    assert best is good
+
+    # All chains non-finite: the first chain is returned so the caller sees
+    # the same failure a single run would report.
+    chains = iter([poisoned, poisoned])
+    monkeypatch.setattr(parallel, "_run_restart", lambda task: next(chains))
+    all_bad = multi_restart_schedule(
+        tiny_accelerator, linear_cnn, config=fast_config, seed=5, restarts=2, workers=1
+    )
+    assert all_bad is not None
+    assert math.isnan(all_bad.evaluation.energy_j)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_multi_restart_cache_stats_aggregation(
+    tiny_accelerator, linear_cnn, fast_config, workers
+):
+    """``collect_cache_stats`` surfaces worker-side LRU activity to the parent.
+
+    Before the persistent-stats plumbing, ``--cache-stats`` under
+    ``--workers > 1`` read the parent-process LRUs, which never see worker
+    activity — the table was all-miss/empty.
+    """
+    plain = multi_restart_schedule(
+        tiny_accelerator, linear_cnn, config=fast_config, seed=5, restarts=2, workers=workers
+    )
+    result, stats = multi_restart_schedule(
+        tiny_accelerator,
+        linear_cnn,
+        config=fast_config,
+        seed=5,
+        restarts=2,
+        workers=workers,
+        collect_cache_stats=True,
+    )
+    assert result.evaluation.latency_s == plain.evaluation.latency_s
+    assert result.evaluation.energy_j == plain.evaluation.energy_j
+    for name in ("parse", "tiling", "plan", "result"):
+        assert name in stats
+    activity = sum(entry["hits"] + entry["misses"] for entry in stats.values())
+    assert activity > 0
+    from repro.core.caching import format_cache_stats
+
+    table = format_cache_stats(stats)
+    assert "parse" in table and "tiling" in table
+
+
+# ------------------------------------------------------------ persistent pool
+_CALL_COUNTER = {"calls": 0}
+
+
+def _count_calls(_task) -> tuple[int, int]:
+    _CALL_COUNTER["calls"] += 1
+    return os.getpid(), _CALL_COUNTER["calls"]
+
+
+def test_persistent_pool_map_matches_serial():
+    tasks = list(range(7))
+    with PersistentPool(workers=2) as pool:
+        assert pool.map(_double, tasks) == [2 * t for t in tasks]
+    assert PersistentPool(workers=1).map(_double, tasks) == [2 * t for t in tasks]
+
+
+def test_persistent_pool_keeps_worker_state_warm_across_submissions():
+    with PersistentPool(workers=2) as pool:
+        first_pid, first_count = pool.submit(_count_calls, None, affinity="graph-a").result()
+        second_pid, second_count = pool.submit(_count_calls, None, affinity="graph-a").result()
+    # Same affinity key -> same worker process, whose module state survived
+    # between submissions (a fresh one-shot pool would restart the counter).
+    assert first_pid == second_pid
+    assert second_count == first_count + 1
+
+
+def test_persistent_pool_affinity_is_stable():
+    with PersistentPool(workers=3) as pool:
+        pids = {pool.submit(_count_calls, None, affinity="key-x").result()[0] for _ in range(4)}
+    assert len(pids) == 1
+
+
+def test_persistent_pool_serial_runs_in_process_and_close_is_final():
+    pool = PersistentPool(workers=1)
+    pid, _count = pool.submit(_count_calls, None).result()
+    assert pid == os.getpid()
+    pool.close()
+    with pytest.raises(RuntimeError):
+        pool.submit(_count_calls, None)
 
 
 def test_workers_env_does_not_change_results(monkeypatch, tiny_accelerator, linear_cnn, fast_config):

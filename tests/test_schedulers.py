@@ -93,6 +93,112 @@ def test_allocator_stage1_budget_not_above_gbuf(linear_cnn, tiny_accelerator, fa
     assert result.stage1_buffer_budget_bytes <= tiny_accelerator.gbuf_bytes
 
 
+def test_allocator_infeasible_first_iteration_still_shrinks_budget(
+    linear_cnn, tiny_accelerator, fast_config
+):
+    """An infeasible first iteration must not freeze the stage-1 budget.
+
+    Infeasible evaluations report ``max_buffer_bytes=0``; the allocator used
+    to capture that as the buffer peak (clamped to 1 byte), making the
+    shrink step ``int(0.1 * 1) == 0`` — every remaining iteration replayed
+    the full-GBUF budget.  With no feasible peak yet, the shrink must fall
+    back to a fraction of the GBUF so each round explores a new split.
+    """
+    import dataclasses
+    import math
+
+    from repro.core import buffer_allocator as ba_module
+    from repro.core.result import EvaluationResult, StageResult
+    from repro.errors import SchedulingError
+
+    config = dataclasses.replace(
+        fast_config, max_allocator_iterations=4, allocator_patience=10
+    )
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    allocator = BufferAllocator(linear_cnn, evaluator, config)
+
+    infeasible_stage = StageResult(
+        encoding=None,
+        evaluation=EvaluationResult(feasible=False, reason="forced by test"),
+        cost=math.inf,
+        iterations=0,
+        accepted_moves=0,
+    )
+    seen_budgets = []
+
+    def forced_infeasible(stage1_budget, rng):
+        seen_budgets.append(stage1_budget)
+        return ba_module._IterationOutcome(
+            stage1=infeasible_stage,
+            stage2=infeasible_stage,
+            stage1_budget=stage1_budget,
+            cost=math.inf,
+        )
+
+    allocator._run_iteration = forced_infeasible
+    with pytest.raises(SchedulingError):
+        allocator.run(random.Random(0))
+
+    assert len(seen_budgets) == config.max_allocator_iterations
+    assert seen_budgets[0] == tiny_accelerator.gbuf_bytes
+    # Regression: the budget must strictly shrink between iterations.
+    assert all(later < earlier for earlier, later in zip(seen_budgets, seen_budgets[1:]))
+
+
+def test_allocator_peak_comes_from_first_feasible_iteration(
+    linear_cnn, tiny_accelerator, fast_config
+):
+    """After an infeasible round, the first feasible stage-1 sets the peak."""
+    import dataclasses
+    import math
+
+    from repro.core import buffer_allocator as ba_module
+    from repro.core.result import EvaluationResult, StageResult
+
+    config = dataclasses.replace(
+        fast_config, max_allocator_iterations=3, allocator_patience=10
+    )
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    allocator = BufferAllocator(linear_cnn, evaluator, config)
+
+    infeasible_stage = StageResult(
+        encoding=None,
+        evaluation=EvaluationResult(feasible=False, reason="forced by test"),
+        cost=math.inf,
+        iterations=0,
+        accepted_moves=0,
+    )
+    real_run_iteration = allocator._run_iteration
+    seen_budgets = []
+    outcomes = []
+
+    def infeasible_then_real(stage1_budget, rng):
+        seen_budgets.append(stage1_budget)
+        if not outcomes:
+            outcome = ba_module._IterationOutcome(
+                stage1=infeasible_stage,
+                stage2=infeasible_stage,
+                stage1_budget=stage1_budget,
+                cost=math.inf,
+            )
+        else:
+            outcome = real_run_iteration(stage1_budget, rng)
+        outcomes.append(outcome)
+        return outcome
+
+    allocator._run_iteration = infeasible_then_real
+    result = allocator.run(random.Random(0))
+    assert result.evaluation.feasible
+    # The infeasible round shrank by a GBUF fraction; the first feasible
+    # round's observed peak drives the shrink after that.
+    assert seen_budgets[1] < seen_budgets[0]
+    assert outcomes[1].stage1.feasible
+    peak = max(1, outcomes[1].stage1.evaluation.max_buffer_bytes)
+    if len(seen_budgets) > 2:
+        expected = int(seen_budgets[1] - config.buffer_shrink_fraction * peak)
+        assert seen_budgets[2] == expected
+
+
 # ---------------------------------------------------------------------- Cocco
 def test_cocco_schedules_linear_cnn(linear_cnn, tiny_accelerator, fast_config):
     result = CoccoScheduler(tiny_accelerator, fast_config).schedule(linear_cnn)

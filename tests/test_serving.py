@@ -1,0 +1,376 @@
+"""Serving layer: protocol round-trips, coalescing, memoisation, bit-identity.
+
+The contract under test: a served schedule is indistinguishable from calling
+``SoMaScheduler.schedule`` directly — for any worker count — and every
+response says which cache level produced it (memo / coalesced / warm / cold).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.analysis.schedule_report import (
+    build_schedule_report,
+    evaluation_from_payload,
+    evaluation_to_payload,
+    report_from_payload,
+)
+from repro.core.caching import cache_size, schedule_request_key
+from repro.core.soma import SoMaScheduler
+from repro.serving.protocol import (
+    ProtocolError,
+    ScheduleRequest,
+    ScheduleResponse,
+    request_from_payload,
+    request_to_payload,
+    response_from_payload,
+    response_to_payload,
+)
+from repro.serving.server import make_http_server, process_message, serve_stdio
+from repro.serving.service import (
+    ScheduleService,
+    reset_worker_state,
+    resolve_serve_workers,
+)
+from repro.workloads.registry import build_workload
+
+TINY_KWARGS = (("context_len", 16), ("variant", "tiny"))
+
+
+def tiny_request(seed: int = 7, request_id: str = "", batch: int = 1) -> ScheduleRequest:
+    return ScheduleRequest(
+        workload="gpt2-decode",
+        batch=batch,
+        workload_kwargs=TINY_KWARGS,
+        seed=seed,
+        fast=True,
+        request_id=request_id,
+    )
+
+
+@pytest.fixture
+def service():
+    """A serial service with clean in-process worker state."""
+    reset_worker_state()
+    with ScheduleService(workers=1) as svc:
+        yield svc
+    reset_worker_state()
+
+
+# ------------------------------------------------------------------- protocol
+def test_request_payload_round_trip():
+    request = tiny_request(seed=11, request_id="client-1")
+    assert request_from_payload(request_to_payload(request)) == request
+
+
+def test_request_payload_accepts_dict_workload_kwargs():
+    decoded = request_from_payload(
+        {"workload": "gpt2-decode", "workload_kwargs": {"variant": "tiny", "context_len": 16}}
+    )
+    assert decoded.workload_kwargs == TINY_KWARGS
+
+
+def test_request_payload_rejects_unknown_fields_and_bad_values():
+    with pytest.raises(ProtocolError):
+        request_from_payload({"workload": "resnet50", "not_a_field": 1})
+    with pytest.raises(ProtocolError):
+        request_from_payload({"batch": 1})  # no workload
+    with pytest.raises(ProtocolError):
+        ScheduleRequest(workload="resnet50", platform="tpu")
+    with pytest.raises(ProtocolError):
+        ScheduleRequest(workload="resnet50", restarts=0)
+
+
+def test_response_payload_round_trip():
+    response = ScheduleResponse(
+        request_id="abc",
+        ok=True,
+        provenance="memo",
+        result={"evaluation": {"latency_s": 1.25e-3}},
+        search_seconds=0.5,
+        service_seconds=0.001,
+        worker_pid=1234,
+    )
+    assert response_from_payload(response_to_payload(response)) == response
+
+
+def test_report_payload_round_trip(linear_cnn, tiny_accelerator, fast_config):
+    result = SoMaScheduler(tiny_accelerator, fast_config).schedule(linear_cnn, seed=3)
+    report = build_schedule_report(result.plan, result.evaluation)
+    payload = json.loads(json.dumps(report.to_payload()))
+    assert report_from_payload(payload) == report
+    evaluation = evaluation_from_payload(payload["evaluation"])
+    assert evaluation.latency_s == result.evaluation.latency_s
+    assert evaluation.energy_j == result.evaluation.energy_j
+
+
+def test_evaluation_payload_round_trips_infeasible():
+    from repro.core.result import EvaluationResult
+
+    infeasible = EvaluationResult(feasible=False, reason="deadlock")
+    rebuilt = evaluation_from_payload(
+        json.loads(json.dumps(evaluation_to_payload(infeasible)))
+    )
+    assert rebuilt == infeasible
+
+
+def test_schedule_request_key_separates_every_dimension(tiny_accelerator, fast_config):
+    base = schedule_request_key("g1", tiny_accelerator, fast_config, 7, 1)
+    assert base == schedule_request_key("g1", tiny_accelerator, fast_config, 7, 1)
+    assert base != schedule_request_key("g2", tiny_accelerator, fast_config, 7, 1)
+    assert base != schedule_request_key("g1", tiny_accelerator, fast_config, 8, 1)
+    assert base != schedule_request_key("g1", tiny_accelerator, fast_config, 7, 2)
+    assert base != schedule_request_key(
+        "g1", tiny_accelerator.with_memory(gbuf_bytes=2 ** 21), fast_config, 7, 1
+    )
+
+
+# ----------------------------------------------------------------- env knobs
+def test_resolve_serve_workers_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_SERVE_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    assert resolve_serve_workers(None) == 1
+    assert resolve_serve_workers(3) == 3
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    assert resolve_serve_workers(None) == 2
+    monkeypatch.setenv("REPRO_SERVE_WORKERS", "4")
+    assert resolve_serve_workers(None) == 4
+    assert resolve_serve_workers(1) == 1
+
+
+def test_resolve_serve_workers_warns_on_invalid_env(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    monkeypatch.setenv("REPRO_SERVE_WORKERS", "many")
+    with pytest.warns(RuntimeWarning, match="REPRO_SERVE_WORKERS"):
+        assert resolve_serve_workers(None) == 1
+
+
+def test_cache_size_warns_on_invalid_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SERVE_MEMO_CACHE", "lots")
+    with pytest.warns(RuntimeWarning, match="REPRO_SERVE_MEMO_CACHE"):
+        assert cache_size("SERVE_MEMO", 256) == 256
+    monkeypatch.setenv("REPRO_SERVE_MEMO_CACHE", "12")
+    assert cache_size("SERVE_MEMO", 256) == 12
+
+
+# ------------------------------------------------------------------- service
+def test_memo_hit_provenance_and_identical_payload(service):
+    first = service.schedule(tiny_request(request_id="a"))
+    second = service.schedule(tiny_request(request_id="b"))
+    assert first.ok and second.ok
+    assert first.provenance == "cold"
+    assert second.provenance == "memo"
+    assert second.result == first.result
+    assert second.request_id == "b"
+    assert second.search_seconds == 0.0
+    stats = service.stats()
+    assert stats["provenance"]["memo"] == 1
+    assert stats["memo"]["hits"] == 1
+
+
+def test_memo_can_be_disabled():
+    reset_worker_state()
+    with ScheduleService(workers=1, memo_size=0) as service:
+        first = service.schedule(tiny_request())
+        second = service.schedule(tiny_request())
+    assert first.provenance == "cold"
+    # No memo, but the in-process worker state is still warm.
+    assert second.provenance == "warm"
+    assert second.result["evaluation"] == first.result["evaluation"]
+
+
+def test_duplicate_requests_coalesce_onto_one_search(service):
+    batch = [tiny_request(request_id=f"r{i}") for i in range(4)]
+    responses = service.schedule_many(batch)
+    assert [response.request_id for response in responses] == ["r0", "r1", "r2", "r3"]
+    provenances = [response.provenance for response in responses]
+    assert provenances.count("cold") == 1
+    assert provenances.count("coalesced") == 3
+    payloads = {id(response.result) for response in responses}
+    assert len(payloads) == 1  # one search, one shared payload
+
+
+def test_warm_worker_provenance_reports_cache_activity(service):
+    cold = service.schedule(tiny_request(seed=7))
+    warm = service.schedule(tiny_request(seed=8))  # different seed: no memo hit
+    assert cold.provenance == "cold"
+    assert warm.provenance == "warm"
+    # The warm run hit per-graph caches populated by the cold run.
+    assert warm.cache_stats is not None
+    assert sum(entry["hits"] for entry in warm.cache_stats.values()) > 0
+
+
+def test_unknown_workload_is_an_error_response(service):
+    response = service.schedule(ScheduleRequest(workload="not-a-model"))
+    assert not response.ok
+    assert response.provenance == "error"
+    assert "not-a-model" in response.error
+    assert service.stats()["provenance"]["error"] == 1
+
+
+def test_mixed_batch_keeps_request_order(service):
+    batch = [
+        tiny_request(request_id="good-1"),
+        ScheduleRequest(workload="not-a-model", request_id="bad"),
+        tiny_request(request_id="good-2"),
+    ]
+    responses = service.schedule_many(batch)
+    assert [response.request_id for response in responses] == ["good-1", "bad", "good-2"]
+    assert [response.ok for response in responses] == [True, False, True]
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_served_results_bit_identical_to_direct(workers):
+    reset_worker_state()
+    request = tiny_request(seed=13)
+    graph = build_workload("gpt2-decode", batch=1, **request.workload_kwargs_dict)
+    direct = SoMaScheduler(request.build_accelerator(), request.build_config()).schedule(
+        graph, seed=13
+    )
+    with ScheduleService(workers=workers) as service:
+        served = service.schedule(request)
+        repeat = service.schedule(tiny_request(seed=13))
+    assert served.ok
+    assert served.result["evaluation"] == evaluation_to_payload(direct.evaluation)
+    assert served.result["stage1"] == evaluation_to_payload(direct.stage1.evaluation)
+    assert served.result["stage2"] == evaluation_to_payload(direct.stage2.evaluation)
+    expected_report = build_schedule_report(direct.plan, direct.evaluation)
+    assert report_from_payload(served.result["report"]) == expected_report
+    assert repeat.provenance == "memo"
+    assert repeat.result["evaluation"] == served.result["evaluation"]
+    reset_worker_state()
+
+
+def test_seed_sweep_stays_on_one_warm_worker():
+    """Affinity routing: same graph -> same worker, warm after the first hit."""
+    reset_worker_state()
+    with ScheduleService(workers=2) as service:
+        responses = [service.schedule(tiny_request(seed=seed)) for seed in (1, 2, 3)]
+    pids = {response.worker_pid for response in responses}
+    assert len(pids) == 1
+    assert [response.provenance for response in responses] == ["cold", "warm", "warm"]
+
+
+def test_finish_only_retires_its_own_inflight_entry(service):
+    """A slow follower of an old search must not retire a newer leader."""
+    old_future = object()
+    new_future = object()
+    service._inflight["key"] = new_future
+    service._finish("key", old_future, {"stale": True}, None)
+    assert service._inflight["key"] is new_future  # untouched by the stale finisher
+    service._finish("key", new_future, {"fresh": True}, None)
+    assert "key" not in service._inflight
+    assert service._memo.peek("key") == {"fresh": True}
+
+
+def test_worker_cache_totals_keep_occupancy_not_sums(service):
+    """Counters accumulate across requests; size/maxsize stay snapshots."""
+    service.schedule(tiny_request(seed=7))
+    warm = service.schedule(tiny_request(seed=8))
+    assert warm.provenance == "warm"
+    totals = service.stats()["worker_caches"]
+    for name, entry in warm.cache_stats.items():
+        # maxsize must be the cache's actual capacity, not N-requests times it.
+        assert totals[name]["maxsize"] == entry["maxsize"]
+    assert sum(entry["hits"] for entry in totals.values()) >= sum(
+        entry["hits"] for entry in warm.cache_stats.values()
+    )
+
+
+def test_worker_state_is_bounded():
+    from repro.serving import service as service_module
+
+    assert service_module._WORKER_GRAPHS.maxsize > 0
+    assert service_module._WORKER_SCHEDULERS.maxsize > 0
+    reset_worker_state()
+    assert service_module.worker_state_sizes() == (0, 0)
+
+
+# ------------------------------------------------------------------- servers
+def test_stdio_server_single_batch_stats_shutdown(service):
+    lines = [
+        json.dumps(request_to_payload(tiny_request(request_id="one"))),
+        json.dumps(
+            [request_to_payload(tiny_request(seed=99, request_id=f"b{i}")) for i in range(2)]
+        ),
+        "not json {",
+        json.dumps({"op": "stats"}),
+        json.dumps({"op": "nope"}),
+        json.dumps({"op": "shutdown"}),
+        json.dumps(request_to_payload(tiny_request(request_id="after"))),
+    ]
+    out = io.StringIO()
+    assert serve_stdio(service, io.StringIO("\n".join(lines) + "\n"), out) == 0
+    replies = [json.loads(line) for line in out.getvalue().splitlines()]
+    # The post-shutdown request was never processed.
+    assert len(replies) == 6
+    single, batch, bad_json, stats, bad_op, shutdown = replies
+    assert single["ok"] and single["provenance"] == "cold"
+    # Same graph and config as the first request, so the in-process worker
+    # state is already warm; the duplicate coalesces onto the leader.
+    assert [reply["provenance"] for reply in batch] == ["warm", "coalesced"]
+    assert not bad_json["ok"] and "invalid JSON" in bad_json["error"]
+    assert stats["ok"] and stats["stats"]["requests"] == 3
+    assert not bad_op["ok"]
+    assert shutdown["ok"] and shutdown["shutdown"]
+
+
+def test_process_message_batch_with_malformed_item(service):
+    payload, shutdown = process_message(
+        service,
+        [
+            request_to_payload(tiny_request(request_id="ok")),
+            {"workload": "resnet50", "bogus": True, "request_id": "broken"},
+        ],
+    )
+    assert not shutdown
+    assert payload[0]["ok"]
+    assert not payload[1]["ok"]
+    assert payload[1]["request_id"] == "broken"
+
+
+def test_http_server_round_trip(service):
+    server = make_http_server(service, port=0)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        def post(path, payload):
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}{path}",
+                data=json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(request) as http_response:
+                    return http_response.status, json.loads(http_response.read())
+            except urllib.error.HTTPError as error:
+                return error.code, json.loads(error.read())
+
+        status, reply = post("/schedule", request_to_payload(tiny_request(request_id="h1")))
+        assert status == 200 and reply["ok"] and reply["provenance"] == "cold"
+        status, reply = post(
+            "/schedule",
+            [request_to_payload(tiny_request(seed=42, request_id="h2"))] * 2,
+        )
+        assert status == 200
+        assert [item["provenance"] for item in reply] == ["warm", "coalesced"]
+
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}/healthz") as http_response:
+            health = json.loads(http_response.read())
+        assert health["ok"] and health["workers"] == 1
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}/stats") as http_response:
+            stats = json.loads(http_response.read())
+        assert stats["stats"]["requests"] == 3
+
+        status, reply = post("/schedule", {"op": "shutdown"})
+        assert status == 400
+    finally:
+        server.shutdown()
+        server.server_close()
