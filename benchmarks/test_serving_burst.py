@@ -1,0 +1,197 @@
+"""Serving burst benchmark: admission control, deadlines, memo persistence.
+
+Following the AI500 practice of reporting throughput *together with* tail
+latency under load, this benchmark drives an over-capacity burst into a
+one-worker :class:`~repro.serving.service.ScheduleService` with a tiny
+admission queue and records what the queue did about it:
+
+* the burst is **shed**, not absorbed: some requests are rejected
+  immediately (``rejected`` provenance, sub-millisecond turnaround) and the
+  accepted ones see a p95 bounded by the queue depth times the worst single
+  search — not by the burst size;
+* queued requests carrying a short ``deadline_ms`` **expire** instead of
+  running after their usefulness has passed;
+* accepted results are **bit-identical** to direct ``SoMaScheduler.schedule``
+  calls, for different worker counts and queue sizes;
+* after a restart with ``memo_path`` set, repeat traffic is served from the
+  **persisted memo** with ``memo`` provenance and no search.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.schedule_report import evaluation_to_payload
+from repro.core.soma import SoMaScheduler
+from repro.serving.protocol import ScheduleRequest
+from repro.serving.service import ScheduleService, reset_worker_state
+from repro.workloads.registry import build_workload
+
+TINY_DECODE = (("context_len", 16), ("variant", "tiny"))
+
+BURST_SIZE = 8
+QUEUE_SIZE = 2
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty sample list."""
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _burst_request(seed: int, deadline_ms: float | None = None) -> ScheduleRequest:
+    return ScheduleRequest(
+        workload="gpt2-decode",
+        batch=1,
+        workload_kwargs=TINY_DECODE,
+        seed=seed,
+        fast=True,
+        deadline_ms=deadline_ms,
+        request_id=f"burst-{seed}",
+    )
+
+
+def _direct_evaluation(seed: int) -> dict:
+    request = _burst_request(seed)
+    graph = build_workload(
+        request.workload, batch=request.batch, **request.workload_kwargs_dict
+    )
+    result = SoMaScheduler(request.build_accelerator(), request.build_config()).schedule(
+        graph, seed=seed
+    )
+    return {
+        "evaluation": evaluation_to_payload(result.evaluation),
+        "stage1": evaluation_to_payload(result.stage1.evaluation),
+        "stage2": evaluation_to_payload(result.stage2.evaluation),
+    }
+
+
+def test_serving_burst_shedding_and_memo_restart(reporter, tmp_path):
+    memo_path = tmp_path / "serve-memo.json"
+    burst = [_burst_request(seed) for seed in range(1, BURST_SIZE + 1)]
+
+    reset_worker_state()
+    with ScheduleService(workers=1, queue_size=QUEUE_SIZE, memo_path=memo_path) as service:
+        burst_start = time.perf_counter()
+        responses = service.schedule_many(burst)
+        burst_wall = time.perf_counter() - burst_start
+
+        accepted = [r for r in responses if r.ok]
+        rejected = [r for r in responses if r.provenance == "rejected"]
+
+        # Over-capacity traffic is shed at admission, with fast turnaround,
+        # and the number that got in is bounded by in-flight + queue slots.
+        assert rejected, "an over-capacity burst must see rejections"
+        assert len(accepted) + len(rejected) == BURST_SIZE
+        assert 1 <= len(accepted) <= 1 + QUEUE_SIZE
+        reject_p95 = percentile([r.service_seconds for r in rejected], 0.95)
+        assert reject_p95 < 0.05, f"rejections must be immediate, saw {reject_p95:.3f}s"
+
+        # Accepted tail latency is bounded by the queue depth, not the burst:
+        # a request admitted behind a full queue waits for at most
+        # (queue slots + its own run) searches.
+        accepted_latencies = [r.service_seconds for r in accepted]
+        accepted_p50 = percentile(accepted_latencies, 0.50)
+        accepted_p95 = percentile(accepted_latencies, 0.95)
+        worst_search = max(r.search_seconds for r in accepted)
+        p95_bound = (QUEUE_SIZE + 1) * worst_search * 1.5 + 1.0
+        assert accepted_p95 <= p95_bound, (
+            f"accepted p95 {accepted_p95:.2f}s exceeds the queue-depth bound "
+            f"{p95_bound:.2f}s"
+        )
+
+        # Deadline phase: with the worker busy again, short-deadline
+        # requests expire in the queue instead of running late.  Wait for
+        # the lead request to leave the queue (earlier-deadline entries
+        # would otherwise outrank it) before enqueueing the doomed ones.
+        lead = service._submit(_burst_request(100))
+        settle = time.monotonic() + 5.0
+        while len(service._queue) and time.monotonic() < settle:
+            time.sleep(0.005)
+        doomed = [
+            service._submit(_burst_request(100 + offset, deadline_ms=40.0))
+            for offset in (1, 2)
+        ]
+        deadline_responses = [lead.result()] + [future.result() for future in doomed]
+        expired = [r for r in deadline_responses if r.provenance == "expired"]
+        assert deadline_responses[0].ok
+        assert expired, "short queued deadlines must expire before dispatch"
+        for response in expired:
+            assert response.error_kind == "deadline"
+        stats = service.stats()
+
+    # Bit-identity for every accepted burst request, against the direct path.
+    expected = {seed: _direct_evaluation(seed) for seed in
+                sorted(int(r.request_id.split("-")[1]) for r in accepted)}
+    for response in accepted:
+        seed = int(response.request_id.split("-")[1])
+        assert response.result["evaluation"] == expected[seed]["evaluation"]
+        assert response.result["stage1"] == expected[seed]["stage1"]
+        assert response.result["stage2"] == expected[seed]["stage2"]
+    reset_worker_state()
+
+    # Restart: the persisted memo answers the accepted seeds with no search.
+    assert memo_path.exists()
+    with ScheduleService(workers=1, queue_size=QUEUE_SIZE, memo_path=memo_path) as restarted:
+        restart_stats = restarted.stats()
+        repeat_responses = [
+            restarted.schedule(_burst_request(int(r.request_id.split("-")[1])))
+            for r in accepted
+        ]
+        memo_latencies = [r.service_seconds for r in repeat_responses]
+    assert restart_stats["memo_persistence"]["reloaded_entries"] >= len(accepted)
+    for before, after in zip(accepted, repeat_responses):
+        assert after.provenance == "memo"
+        assert after.search_seconds == 0.0
+        assert after.result == before.result
+    memo_p50 = percentile(memo_latencies, 0.50)
+    memo_p95 = percentile(memo_latencies, 0.95)
+    reset_worker_state()
+
+    reporter.line(
+        f"serving burst benchmark (workers=1, queue={QUEUE_SIZE}, burst={BURST_SIZE})"
+    )
+    reporter.line(
+        f"{'phase':16s} {'count':>6s} {'p50 ms':>10s} {'p95 ms':>10s}"
+    )
+    reporter.line(
+        f"{'accepted':16s} {len(accepted):>6d} {accepted_p50 * 1e3:>10.2f} "
+        f"{accepted_p95 * 1e3:>10.2f}"
+    )
+    reporter.line(
+        f"{'rejected':16s} {len(rejected):>6d} "
+        f"{percentile([r.service_seconds for r in rejected], 0.5) * 1e3:>10.3f} "
+        f"{reject_p95 * 1e3:>10.3f}"
+    )
+    reporter.line(
+        f"{'memo-restart':16s} {len(memo_latencies):>6d} {memo_p50 * 1e3:>10.3f} "
+        f"{memo_p95 * 1e3:>10.3f}"
+    )
+    reporter.line(
+        f"burst wall {burst_wall:.2f}s; expired-in-queue {len(expired)}; "
+        f"queue stats {stats['queue']}"
+    )
+    reporter.line("accepted results bit-identical to direct SoMaScheduler.schedule: OK")
+    reporter.line(
+        f"memo reloaded {restart_stats['memo_persistence']['reloaded_entries']} "
+        f"entries from {memo_path.name} after restart"
+    )
+
+
+def test_burst_results_identical_across_workers_and_queue_sizes(reporter, tmp_path):
+    """Admission control must never change *what* is computed."""
+    expected = _direct_evaluation(7)
+    reporter.line("burst bit-identity across (workers, queue_size)")
+    for workers, queue_size in ((1, 1), (2, 4)):
+        reset_worker_state()
+        with ScheduleService(workers=workers, queue_size=queue_size) as service:
+            response = service.schedule(_burst_request(7))
+            assert response.ok
+            assert response.result["evaluation"] == expected["evaluation"]
+            assert response.result["stage1"] == expected["stage1"]
+            assert response.result["stage2"] == expected["stage2"]
+        reset_worker_state()
+        reporter.line(
+            f"  workers={workers} queue={queue_size}: bit-identical to direct schedule"
+        )

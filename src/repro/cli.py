@@ -12,7 +12,9 @@ be driven without writing Python:
   and ``stats.log``;
 * ``dse``        - run a bandwidth x buffer sweep and write ``dse.csv``;
 * ``serve``      - run the batched scheduling service (JSON lines on
-  stdin/stdout, or HTTP with ``--http PORT``).
+  stdin/stdout, or HTTP with ``--http PORT``), with a bounded
+  deadline-aware admission queue (``--queue-size``) and optional memo
+  persistence across restarts (``--memo-path``).
 
 ``--workers N`` (or the ``REPRO_WORKERS`` environment variable) fans
 independent cells/design points across processes with results identical to a
@@ -166,6 +168,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="cross-request result memo capacity "
         "(default: REPRO_SERVE_MEMO_CACHE, then 256; 0 disables)",
     )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=None,
+        help="bounded admission queue capacity; cache misses beyond it are "
+        "rejected with provenance 'rejected' (HTTP 429). default: "
+        "REPRO_SERVE_QUEUE, then 64; 0 rejects every cache miss",
+    )
+    serve.add_argument(
+        "--memo-path",
+        type=Path,
+        default=None,
+        help="persist the result memo to this JSON file (reloaded on start, "
+        "atomically written on shutdown and flushed periodically; default: "
+        "REPRO_SERVE_MEMO_PATH, then no persistence)",
+    )
 
     return parser
 
@@ -306,8 +324,16 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
     from repro.serving.server import serve_http, serve_stdio
     from repro.serving.service import ScheduleService
 
-    service = ScheduleService(workers=args.workers, memo_size=args.memo_size)
-    try:
+    # The context manager guarantees a deterministic shutdown on stdio EOF,
+    # a shutdown op, or the HTTP loop's KeyboardInterrupt: queued requests
+    # fail fast, in-flight searches drain, worker processes join and the
+    # persisted memo (if any) is spilled before the command returns.
+    with ScheduleService(
+        workers=args.workers,
+        memo_size=args.memo_size,
+        queue_size=args.queue_size,
+        memo_path=args.memo_path,
+    ) as service:
         if args.http is not None:
             return serve_http(
                 service,
@@ -318,8 +344,6 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
                 ),
             )
         return serve_stdio(service, sys.stdin, out)
-    finally:
-        service.close()
 
 
 _COMMANDS = {

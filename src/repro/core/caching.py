@@ -15,7 +15,9 @@ disables the cache entirely.  See ROADMAP.md for the full list of perf knobs.
 from __future__ import annotations
 
 import hashlib
+import json
 import os
+import threading
 import warnings
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
@@ -118,6 +120,15 @@ class LRUCache:
         """The cached values, least recent first (no recency update)."""
         return list(self._data.values())
 
+    def items(self) -> list:
+        """The cached (key, value) pairs, least recent first (no recency update).
+
+        Reinserting the pairs in this order into an empty cache reproduces
+        the original recency ordering, which is what makes the serving
+        layer's memo spill/reload round-trip exact.
+        """
+        return list(self._data.items())
+
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
         self._data.clear()
@@ -172,6 +183,12 @@ def per_graph_stats(caches, graph) -> dict:
 #: (override with ``REPRO_SERVE_MEMO_CACHE``).
 SERVE_MEMO_DEFAULT = 256
 
+#: Identifies the key derivation of :func:`schedule_request_key`.  Bump this
+#: whenever the hashed tuple (or the fingerprints feeding it) changes shape,
+#: so persisted memo files keyed under an older scheme are discarded instead
+#: of served wrongly.
+SCHEDULE_KEY_SCHEMA = "blake2b16:graph+accelerator+config+seed+restarts:v1"
+
 
 def schedule_request_key(
     graph_fingerprint: str,
@@ -194,6 +211,112 @@ def schedule_request_key(
         ("schedule", graph_fingerprint, repr(accelerator), repr(config), seed, restarts)
     ).encode("utf-8")
     return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
+# ------------------------------------------------------------ LRU persistence
+#: Format version of the JSON files written by :func:`spill_lru`.
+LRU_SPILL_VERSION = 1
+
+_LRU_SPILL_FORMAT = "repro-lru-spill"
+
+
+def spill_lru(cache: LRUCache, path: str | os.PathLike, key_schema: str) -> None:
+    """Atomically persist an LRU's entries (and their recency order) to JSON.
+
+    Entries are written least recent first, so :func:`reload_lru` restores
+    both the contents and the eviction order.  See :func:`spill_items` for
+    the file format and atomicity guarantees; callers that must not hold a
+    lock during the disk write can snapshot ``cache.items()`` themselves and
+    pass the list to :func:`spill_items` directly.
+    """
+    spill_items(cache.items(), path, key_schema)
+
+
+def spill_items(items, path: str | os.PathLike, key_schema: str) -> None:
+    """Atomically persist (key, value) pairs, preserving their order.
+
+    The file is stamped with the spill format version and the caller's
+    ``key_schema`` so a reader can refuse stale files instead of serving
+    entries keyed under an old scheme.  Keys and values must be
+    JSON-serialisable (the serving memo's hex-digest keys and payload
+    dictionaries are).
+
+    The write goes through a same-directory temporary file (unique per
+    process *and* thread) and ``os.replace``, so a crash mid-write leaves
+    the previous spill intact and a concurrent reader never observes a torn
+    file.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    document = {
+        "format": _LRU_SPILL_FORMAT,
+        "version": LRU_SPILL_VERSION,
+        "key_schema": key_schema,
+        "entries": [[key, value] for key, value in items],
+    }
+    tmp_path = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):  # pragma: no cover - only on a failed dump
+            os.unlink(tmp_path)
+
+
+def reload_lru(cache: LRUCache, path: str | os.PathLike, key_schema: str) -> int:
+    """Load a :func:`spill_lru` file into ``cache``; returns entries loaded.
+
+    A missing file is a silent no-op (first boot).  A corrupt file or one
+    stamped with a different format/version/``key_schema`` is *ignored with a
+    ``RuntimeWarning``* — never partially loaded — because serving entries
+    keyed under an older scheme would return wrong results, which is strictly
+    worse than a cold start.
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except FileNotFoundError:
+        return 0
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        warnings.warn(
+            f"ignoring unreadable LRU spill {path!r} ({exc}); starting cold",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 0
+    stamp = (
+        document.get("format") if isinstance(document, dict) else None,
+        document.get("version") if isinstance(document, dict) else None,
+        document.get("key_schema") if isinstance(document, dict) else None,
+    )
+    if stamp != (_LRU_SPILL_FORMAT, LRU_SPILL_VERSION, key_schema):
+        warnings.warn(
+            f"ignoring stale LRU spill {path!r} (stamp {stamp!r} does not match "
+            f"({_LRU_SPILL_FORMAT!r}, {LRU_SPILL_VERSION!r}, {key_schema!r})); "
+            "starting cold",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 0
+    entries = document.get("entries")
+    if not isinstance(entries, list) or not all(
+        isinstance(entry, list) and len(entry) == 2 for entry in entries
+    ):
+        warnings.warn(
+            f"ignoring malformed LRU spill {path!r} (bad entries); starting cold",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 0
+    loaded = 0
+    for key, value in entries:
+        cache.put(key, value)
+        loaded += 1
+    return loaded
 
 
 # -------------------------------------------------------------- observability

@@ -25,6 +25,7 @@ import hashlib
 import math
 import multiprocessing
 import threading
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
@@ -43,17 +44,37 @@ from repro.workloads.graph import WorkloadGraph
 WORKERS_ENV = "REPRO_WORKERS"
 
 
+def coerce_workers(workers: int, source: str) -> int:
+    """Clamp a worker count to >= 1, warning when that changes the value.
+
+    A non-positive count (``--workers 0``, ``REPRO_WORKERS=-2``) is almost
+    certainly a mistake; degrading to serial silently would hide it, so the
+    clamp warns the same way the invalid-integer environment knobs do.
+    """
+    workers = int(workers)
+    if workers < 1:
+        warnings.warn(
+            f"worker count {workers} from {source} is not positive; running serial",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return 1
+    return workers
+
+
 def resolve_workers(workers: int | None = None) -> int:
     """Resolve a worker count: argument, then ``REPRO_WORKERS``, then 1.
 
-    An unparsable environment value degrades to serial, but loudly — a typo
-    in ``REPRO_WORKERS`` should not silently discard the requested
-    parallelism.
+    An unparsable or non-positive value degrades to serial, but loudly — a
+    typo in ``--workers``/``REPRO_WORKERS`` should not silently discard the
+    requested parallelism.
     """
-    if workers is None:
-        value = parse_env_int(WORKERS_ENV, "running serial")
-        workers = 1 if value is None else value
-    return max(1, int(workers))
+    if workers is not None:
+        return coerce_workers(workers, "the workers argument")
+    value = parse_env_int(WORKERS_ENV, "running serial")
+    if value is None:
+        return 1
+    return coerce_workers(value, WORKERS_ENV)
 
 
 def derive_seed(base_seed: int, *key: object) -> int:
@@ -124,15 +145,32 @@ class _SerialFuture:
 
 
 class _PoolFuture:
-    """Thin ``result()`` adapter over ``multiprocessing``'s ``AsyncResult``."""
+    """``result()`` adapter over ``multiprocessing``'s ``AsyncResult``.
 
-    __slots__ = ("_async_result",)
+    ``AsyncResult.get()`` on a task whose pool was torn down blocks forever —
+    the worker that would have delivered the result no longer exists.  The
+    adapter polls with a short timeout so a waiter of such an orphaned future
+    gets a clear ``RuntimeError`` instead of a silent hang.  (A gracefully
+    closed pool drains its in-flight tasks before the owner flag flips, so
+    this path only fires for genuinely lost results.)
+    """
 
-    def __init__(self, async_result) -> None:
+    __slots__ = ("_async_result", "_owner")
+
+    def __init__(self, async_result, owner: "PersistentPool") -> None:
         self._async_result = async_result
+        self._owner = owner
 
     def result(self) -> Any:
-        return self._async_result.get()
+        while True:
+            try:
+                return self._async_result.get(timeout=0.2)
+            except multiprocessing.TimeoutError:
+                if self._owner._terminated and not self._async_result.ready():
+                    raise RuntimeError(
+                        "PersistentPool is closed; this task's result was lost "
+                        "with the worker processes"
+                    ) from None
 
 
 class PersistentPool:
@@ -164,7 +202,8 @@ class PersistentPool:
         self._serial_lock = threading.Lock()
         self._submit_lock = threading.Lock()
         self._round_robin = 0
-        self._closed = False
+        self._closed = False  # no new submissions
+        self._terminated = False  # worker processes are gone
 
     def _ensure_pools(self) -> list:
         if self._closed:
@@ -193,7 +232,7 @@ class PersistentPool:
             return _SerialFuture(fn, task, self._serial_lock)
         with self._submit_lock:
             pool = self._ensure_pools()[self._worker_index(affinity)]
-            return _PoolFuture(pool.apply_async(fn, (task,)))
+            return _PoolFuture(pool.apply_async(fn, (task,)), self)
 
     def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
         """Apply ``fn`` to every task, preserving task order in the results."""
@@ -201,14 +240,22 @@ class PersistentPool:
         return [future.result() for future in futures]
 
     def close(self) -> None:
-        """Shut the worker processes down (idempotent)."""
+        """Shut the worker processes down gracefully (idempotent).
+
+        New submissions are refused immediately, but tasks already dispatched
+        are *drained* — ``Pool.close()`` + ``join()`` lets every in-flight
+        task finish and deliver its result — before the processes go away.
+        Terminating with tasks in flight would leave their futures waiting on
+        results that can never arrive (see :class:`_PoolFuture`).
+        """
         self._closed = True
         if self._pools is not None:
             for pool in self._pools:
-                pool.terminate()
+                pool.close()
             for pool in self._pools:
                 pool.join()
             self._pools = None
+        self._terminated = True
 
     def __enter__(self) -> "PersistentPool":
         return self

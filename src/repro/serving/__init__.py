@@ -1,24 +1,35 @@
-"""Batched scheduling service with warm cross-request caches.
+"""Batched scheduling service with admission control and warm caches.
 
 The engine contexts built by the incremental evaluation stack (PR 1/PR 2)
 are reusable across requests; this package turns that into a serving story:
 
 * :mod:`repro.serving.protocol` — the wire format: picklable request /
-  response dataclasses with JSON payload round-trips;
+  response dataclasses with JSON payload round-trips, including per-request
+  ``priority`` / ``deadline_ms`` serving metadata;
 * :mod:`repro.serving.service`  — :class:`~repro.serving.service.ScheduleService`,
   which coalesces duplicate in-flight requests, fronts a cross-request result
-  memo and dispatches across a persistent worker pool whose schedulers and
-  LRUs stay warm between requests;
+  memo (optionally persisted to disk across restarts), admits cache misses
+  into a bounded deadline-aware priority queue, and dispatches across a
+  persistent worker pool whose schedulers and LRUs stay warm between
+  requests;
 * :mod:`repro.serving.server`   — front-ends: JSON-lines over stdin/stdout
-  and a stdlib ``http.server`` mode (``python -m repro serve``).
+  and a stdlib ``http.server`` mode (``python -m repro serve``) that maps
+  admission outcomes onto 429/504 and request/search failures onto 400/500.
 """
 
 from repro.serving.protocol import ScheduleRequest, ScheduleResponse
-from repro.serving.service import ScheduleService, resolve_serve_workers
+from repro.serving.service import (
+    ScheduleService,
+    resolve_memo_path,
+    resolve_queue_size,
+    resolve_serve_workers,
+)
 
 __all__ = [
     "ScheduleRequest",
     "ScheduleResponse",
     "ScheduleService",
+    "resolve_memo_path",
+    "resolve_queue_size",
     "resolve_serve_workers",
 ]

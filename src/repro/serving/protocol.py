@@ -18,6 +18,16 @@ payload plus per-request cache provenance:
 ``cold``
     a worker ran the search from scratch.
 
+Two provenance values describe requests that never reached a worker because
+of admission control (see :mod:`repro.serving.service`):
+
+``rejected``
+    the bounded request queue was full (HTTP 429) or the service was
+    shutting down;
+``expired``
+    the request's ``deadline_ms`` passed while it waited in the queue
+    (HTTP 504).
+
 Both directions serialise to plain JSON dictionaries; round-trips are exact
 (including evaluation floats) and are asserted by ``tests/test_serving.py``.
 """
@@ -34,7 +44,29 @@ PROVENANCE_MEMO = "memo"
 PROVENANCE_COALESCED = "coalesced"
 PROVENANCE_WARM = "warm"
 PROVENANCE_COLD = "cold"
-PROVENANCES = (PROVENANCE_MEMO, PROVENANCE_COALESCED, PROVENANCE_WARM, PROVENANCE_COLD)
+#: Admission-control outcomes: the request never reached a worker.
+PROVENANCE_REJECTED = "rejected"
+PROVENANCE_EXPIRED = "expired"
+
+#: Every provenance a response can carry: the four cache levels of a served
+#: result, then the admission-control outcomes (a service-side "error"
+#: value also exists for failed searches — see ``PROVENANCE_ERROR`` in
+#: :mod:`repro.serving.service`).
+PROVENANCES = (
+    PROVENANCE_MEMO,
+    PROVENANCE_COALESCED,
+    PROVENANCE_WARM,
+    PROVENANCE_COLD,
+    PROVENANCE_REJECTED,
+    PROVENANCE_EXPIRED,
+)
+
+#: ``error_kind`` values carried by failed responses so front-ends can map
+#: transport status codes without parsing error strings.
+ERROR_KIND_BAD_REQUEST = "bad_request"
+ERROR_KIND_SEARCH = "search"
+ERROR_KIND_OVERLOAD = "overload"
+ERROR_KIND_DEADLINE = "deadline"
 
 
 class ProtocolError(ReproError):
@@ -49,6 +81,12 @@ class ScheduleRequest:
     selects :meth:`SoMaConfig.fast`, otherwise the explicit SA budgets are
     used.  ``request_id`` is an opaque client token echoed in the response;
     it does not participate in memoisation or coalescing.
+
+    ``priority`` and ``deadline_ms`` are *serving* metadata — they shape how
+    the request waits in the admission queue (higher priority dispatches
+    first; a request still queued ``deadline_ms`` milliseconds after
+    admission is expired instead of dispatched) but never the search result,
+    so they are excluded from the memo/coalescing key.
     """
 
     workload: str
@@ -61,6 +99,8 @@ class ScheduleRequest:
     dlsa_budget: float = 6.0
     allocator_iterations: int = 2
     restarts: int = 1
+    priority: int = 0
+    deadline_ms: float | None = None
     request_id: str = ""
 
     def __post_init__(self) -> None:
@@ -74,6 +114,8 @@ class ScheduleRequest:
             raise ProtocolError("batch must be >= 1")
         if self.restarts < 1:
             raise ProtocolError("restarts must be >= 1")
+        if self.deadline_ms is not None and not self.deadline_ms > 0:
+            raise ProtocolError("deadline_ms must be positive (or omitted)")
 
     # ---------------------------------------------------------------- builders
     def build_accelerator(self) -> AcceleratorConfig:
@@ -106,6 +148,11 @@ class ScheduleResponse:
     ``service_seconds`` is the wall time the service spent on this request,
     including queueing; ``search_seconds`` is the search wall clock inside
     the worker (0.0 for memo hits — no search ran).
+
+    ``error_kind`` is set exactly when ``ok`` is False and discriminates
+    failure classes for transport status mapping: ``bad_request`` (unknown
+    workload / malformed payload), ``search`` (the search itself raised),
+    ``overload`` (admission queue full) and ``deadline`` (expired in queue).
     """
 
     request_id: str
@@ -113,6 +160,7 @@ class ScheduleResponse:
     provenance: str
     result: dict | None = None
     error: str = ""
+    error_kind: str = ""
     search_seconds: float = 0.0
     service_seconds: float = 0.0
     worker_pid: int = 0
@@ -133,6 +181,8 @@ def request_to_payload(request: ScheduleRequest) -> dict:
         "dlsa_budget": request.dlsa_budget,
         "allocator_iterations": request.allocator_iterations,
         "restarts": request.restarts,
+        "priority": request.priority,
+        "deadline_ms": request.deadline_ms,
         "request_id": request.request_id,
     }
 
@@ -172,6 +222,7 @@ def response_to_payload(response: ScheduleResponse) -> dict:
         "provenance": response.provenance,
         "result": response.result,
         "error": response.error,
+        "error_kind": response.error_kind,
         "search_seconds": response.search_seconds,
         "service_seconds": response.service_seconds,
         "worker_pid": response.worker_pid,
@@ -190,6 +241,7 @@ def response_from_payload(payload: dict) -> ScheduleResponse:
             provenance=payload["provenance"],
             result=payload.get("result"),
             error=payload.get("error", ""),
+            error_kind=payload.get("error_kind", ""),
             search_seconds=payload.get("search_seconds", 0.0),
             service_seconds=payload.get("service_seconds", 0.0),
             worker_pid=payload.get("worker_pid", 0),

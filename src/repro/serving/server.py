@@ -11,6 +11,11 @@ Two transports, both stdlib-only:
   ``http.server`` exposing ``POST /schedule`` (single request or batch),
   ``GET /stats`` and ``GET /healthz``.  Handler threads call straight into
   the service, so concurrent identical requests coalesce onto one search.
+  Single-request failures map onto HTTP status codes (see
+  :func:`http_status_for`): 429 when the admission queue rejects, 504 when
+  a queued deadline expires, 400 for malformed/unknown-workload requests
+  and 500 for search failures — always with the unchanged JSON response
+  body.  Batch replies stay 200 with per-item outcomes.
 """
 
 from __future__ import annotations
@@ -19,6 +24,9 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.serving.protocol import (
+    ERROR_KIND_BAD_REQUEST,
+    PROVENANCE_EXPIRED,
+    PROVENANCE_REJECTED,
     ProtocolError,
     ScheduleResponse,
     request_from_payload,
@@ -31,9 +39,34 @@ def _error_payload(item, message: str) -> dict:
     request_id = item.get("request_id", "") if isinstance(item, dict) else ""
     return response_to_payload(
         ScheduleResponse(
-            request_id=request_id, ok=False, provenance=PROVENANCE_ERROR, error=message
+            request_id=request_id,
+            ok=False,
+            provenance=PROVENANCE_ERROR,
+            error=message,
+            error_kind=ERROR_KIND_BAD_REQUEST,
         )
     )
+
+
+def http_status_for(payload) -> int:
+    """The HTTP status of one ``/schedule`` reply payload.
+
+    Batch replies (arrays) are always 200 — each item carries its own
+    ``ok``/``provenance``/``error_kind``.  Single failed responses map their
+    failure class onto transport semantics: admission rejection is 429 (back
+    off and retry), an in-queue deadline expiry is 504, a malformed or
+    unknown-workload request is 400, and a search failure is 500.
+    """
+    if not isinstance(payload, dict) or payload.get("ok", False):
+        return 200
+    provenance = payload.get("provenance")
+    if provenance == PROVENANCE_REJECTED:
+        return 429
+    if provenance == PROVENANCE_EXPIRED:
+        return 504
+    if payload.get("error_kind") == ERROR_KIND_BAD_REQUEST:
+        return 400
+    return 500
 
 
 def process_message(service: ScheduleService, message) -> tuple[object, bool]:
@@ -137,7 +170,7 @@ class ScheduleRequestHandler(BaseHTTPRequestHandler):
             self._send_json(400, {"ok": False, "error": "op messages are stdio-only"})
             return
         payload, _ = process_message(self.service, message)
-        self._send_json(200, payload)
+        self._send_json(http_status_for(payload), payload)
 
 
 def make_http_server(

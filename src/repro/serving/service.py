@@ -1,4 +1,4 @@
-"""The scheduling service: coalescing, memoisation and warm worker dispatch.
+"""The scheduling service: admission control, memoisation and warm dispatch.
 
 :class:`ScheduleService` sits between a front-end (stdin/stdout JSON lines,
 HTTP, or direct Python calls) and the search engine.  For every request it
@@ -7,46 +7,73 @@ tries, in order:
 1. the **cross-request result memo** — an LRU keyed by
    :func:`repro.core.caching.schedule_request_key` (graph fingerprint,
    accelerator, config, seed, restarts); hits serve a finished payload with
-   no search at all;
-2. **in-flight coalescing** — identical requests already being computed share
-   one search (micro-batching duplicates: ``schedule_many`` dispatches one
-   task per unique fingerprint);
-3. the **persistent worker pool**
+   no search at all.  With ``memo_path`` set the memo is reloaded on start
+   and spilled to disk on shutdown (plus a periodic flush), so a restarted
+   service keeps answering repeat traffic immediately;
+2. **in-flight coalescing** — identical requests already queued or being
+   computed share one search (micro-batching duplicates: ``schedule_many``
+   dispatches one task per unique fingerprint);
+3. the **bounded admission queue** — every cache-missing request waits in a
+   priority queue (higher ``priority`` first, then earlier deadline, then
+   FIFO) drained by one dispatcher thread per worker.  A full queue rejects
+   the request immediately (``rejected`` provenance, HTTP 429); a queued
+   request whose ``deadline_ms`` passes before dispatch is expired instead
+   of run (``expired`` provenance, HTTP 504).  Memo and coalescing hits
+   bypass the queue entirely, so cheap requests stay cheap under load;
+4. the **persistent worker pool**
    (:class:`~repro.experiments.parallel.PersistentPool`) — each worker
    process keeps its schedulers, per-graph parse/segment/tiling LRUs and
    evaluator contexts alive across requests, so repeat workloads run against
    warm caches.
 
 Results are bit-identical to a direct ``SoMaScheduler.schedule`` call with
-the same seed for any worker count (asserted by
-``benchmarks/test_serving_throughput.py``); every response reports which of
-the three levels served it.  Response payload dictionaries may be shared
-between coalesced/memoised responses — treat them as read-only.
+the same seed for any worker count and queue size (asserted by
+``benchmarks/test_serving_throughput.py`` and
+``benchmarks/test_serving_burst.py``); every response reports which level
+served it.  Response payload dictionaries may be shared between
+coalesced/memoised responses — treat them as read-only.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
 import os
 import threading
 import time
+import warnings
 
 from repro.analysis.schedule_report import build_schedule_report, evaluation_to_payload
 from repro.core.caching import (
     LRUCache,
+    SCHEDULE_KEY_SCHEMA,
     SERVE_MEMO_DEFAULT,
     cache_size,
     cache_stats_delta,
     collect_search_cache_stats,
     parse_env_int,
+    reload_lru,
     schedule_request_key,
+    spill_items,
 )
 from repro.core.result import SoMaResult
 from repro.core.soma import SoMaScheduler
-from repro.experiments.parallel import PersistentPool, multi_restart_schedule, resolve_workers
+from repro.experiments.parallel import (
+    PersistentPool,
+    coerce_workers,
+    multi_restart_schedule,
+    resolve_workers,
+)
 from repro.serving.protocol import (
+    ERROR_KIND_BAD_REQUEST,
+    ERROR_KIND_DEADLINE,
+    ERROR_KIND_OVERLOAD,
+    ERROR_KIND_SEARCH,
     PROVENANCE_COALESCED,
     PROVENANCE_COLD,
+    PROVENANCE_EXPIRED,
     PROVENANCE_MEMO,
+    PROVENANCE_REJECTED,
     PROVENANCE_WARM,
     ScheduleRequest,
     ScheduleResponse,
@@ -54,6 +81,16 @@ from repro.serving.protocol import (
 from repro.workloads.registry import build_workload
 
 SERVE_WORKERS_ENV = "REPRO_SERVE_WORKERS"
+SERVE_QUEUE_ENV = "REPRO_SERVE_QUEUE"
+SERVE_MEMO_PATH_ENV = "REPRO_SERVE_MEMO_PATH"
+
+#: Default capacity of the admission queue (``--queue-size`` /
+#: ``REPRO_SERVE_QUEUE``); 0 disables queueing (every cache miss is
+#: rejected), which is occasionally useful as a memo-only mode.
+SERVE_QUEUE_DEFAULT = 64
+
+#: Seconds between periodic memo flushes when persistence is enabled.
+MEMO_FLUSH_SECONDS_DEFAULT = 60.0
 
 #: Provenance value used by error responses (never by successful ones).
 PROVENANCE_ERROR = "error"
@@ -61,13 +98,53 @@ PROVENANCE_ERROR = "error"
 
 def resolve_serve_workers(workers: int | None = None) -> int:
     """Service worker count: argument, ``REPRO_SERVE_WORKERS``, then the
-    generic ``REPRO_WORKERS`` resolution."""
+    generic ``REPRO_WORKERS`` resolution.  Non-positive values degrade to
+    serial with a ``RuntimeWarning`` (see
+    :func:`repro.experiments.parallel.coerce_workers`)."""
     if workers is not None:
-        return max(1, int(workers))
+        return coerce_workers(workers, "the workers argument")
     value = parse_env_int(SERVE_WORKERS_ENV, "falling back to REPRO_WORKERS")
     if value is not None:
-        return max(1, value)
+        return coerce_workers(value, SERVE_WORKERS_ENV)
     return resolve_workers(None)
+
+
+def _coerce_queue_size(value: int, source: str) -> int:
+    """Clamp a queue size to >= 0, warning when that changes the value.
+
+    0 is a deliberate memo-only mode and stays silent; a *negative* size is
+    a typo that would silently become reject-every-cache-miss, so it warns
+    the same way non-positive worker counts do.
+    """
+    value = int(value)
+    if value < 0:
+        warnings.warn(
+            f"queue size {value} from {source} is negative; using 0 "
+            "(every cache miss is rejected)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return 0
+    return value
+
+
+def resolve_queue_size(queue_size: int | None = None) -> int:
+    """Admission-queue capacity: argument, ``REPRO_SERVE_QUEUE``, then 64."""
+    if queue_size is not None:
+        return _coerce_queue_size(queue_size, "the queue_size argument")
+    value = parse_env_int(
+        SERVE_QUEUE_ENV, f"using the default queue size {SERVE_QUEUE_DEFAULT}"
+    )
+    if value is None:
+        return SERVE_QUEUE_DEFAULT
+    return _coerce_queue_size(value, SERVE_QUEUE_ENV)
+
+
+def resolve_memo_path(memo_path: str | os.PathLike | None = None) -> str | None:
+    """Memo spill path: argument, ``REPRO_SERVE_MEMO_PATH``, then disabled."""
+    if memo_path is not None:
+        return os.fspath(memo_path)
+    return os.environ.get(SERVE_MEMO_PATH_ENV) or None
 
 
 # ------------------------------------------------------------- worker side
@@ -159,9 +236,104 @@ def worker_state_sizes() -> tuple[int, int]:
     return len(_WORKER_GRAPHS), len(_WORKER_SCHEDULERS)
 
 
+# ----------------------------------------------------------- admission queue
+class _QueueEntry:
+    """One admitted request plus the shared state its waiters block on.
+
+    The leader and every coalesced follower hold the same entry; a dispatcher
+    (or ``close``) resolves it exactly once by filling ``outcome`` and
+    setting ``event``.  ``deadline`` is an absolute ``time.monotonic()``
+    instant (``None`` when the request carries no deadline); followers share
+    the leader's queue slot and therefore the leader's deadline.
+    """
+
+    __slots__ = (
+        "request",
+        "key",
+        "affinity",
+        "priority",
+        "deadline",
+        "event",
+        "outcome",
+        "reply",
+        "error",
+    )
+
+    OUTCOME_DONE = "done"
+    OUTCOME_ERROR = "error"
+    OUTCOME_EXPIRED = "expired"
+    OUTCOME_CANCELLED = "cancelled"
+
+    def __init__(self, request: ScheduleRequest, key: str, affinity: str) -> None:
+        self.request = request
+        self.key = key
+        self.affinity = affinity
+        self.priority = request.priority
+        self.deadline = (
+            time.monotonic() + request.deadline_ms / 1000.0
+            if request.deadline_ms is not None
+            else None
+        )
+        self.event = threading.Event()
+        self.outcome: str | None = None
+        self.reply: dict | None = None
+        self.error = ""
+
+
+class _RequestQueue:
+    """A bounded, closeable priority queue of :class:`_QueueEntry` items.
+
+    Ordering: higher ``priority`` first, then earlier deadline (no deadline
+    sorts last), then admission order.  ``put`` never blocks — a full (or
+    closed) queue returns ``False``, which is the admission-control signal.
+    ``get`` blocks until an entry is available or the queue is closed, in
+    which case it returns ``None`` forever after.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = max(0, maxsize)
+        self._heap: list = []
+        self._sequence = 0
+        self._closed = False
+        self._condition = threading.Condition(threading.Lock())
+
+    def __len__(self) -> int:
+        with self._condition:
+            return len(self._heap)
+
+    def put(self, entry: _QueueEntry) -> bool:
+        with self._condition:
+            if self._closed or len(self._heap) >= self.maxsize:
+                return False
+            deadline_rank = entry.deadline if entry.deadline is not None else math.inf
+            heapq.heappush(
+                self._heap, (-entry.priority, deadline_rank, self._sequence, entry)
+            )
+            self._sequence += 1
+            self._condition.notify()
+            return True
+
+    def get(self) -> _QueueEntry | None:
+        with self._condition:
+            while not self._heap and not self._closed:
+                self._condition.wait()
+            if self._heap:
+                return heapq.heappop(self._heap)[-1]
+            return None
+
+    def close(self) -> list[_QueueEntry]:
+        """Refuse new entries, wake every waiter, return the drained backlog."""
+        with self._condition:
+            self._closed = True
+            drained = [item[-1] for item in self._heap]
+            self._heap.clear()
+            self._condition.notify_all()
+            return drained
+
+
 # ------------------------------------------------------------- parent side
 class _ReadyResponse:
-    """A future whose response is already known (memo hits, errors)."""
+    """A future whose response is already known (memo hits, rejections)."""
 
     __slots__ = ("_response",)
 
@@ -173,57 +345,75 @@ class _ReadyResponse:
 
 
 class _PendingResponse:
-    """A response future backed by a (possibly shared) pool future."""
+    """A response future backed by a (possibly shared) queue entry."""
 
-    __slots__ = ("_service", "_request", "_key", "_future", "_leader", "_started")
+    __slots__ = ("_service", "_request", "_entry", "_leader", "_started")
 
-    def __init__(self, service, request, key, future, leader, started) -> None:
+    def __init__(self, service, request, entry, leader, started) -> None:
         self._service = service
         self._request = request
-        self._key = key
-        self._future = future
+        self._entry = entry
         self._leader = leader
         self._started = started
 
     def result(self) -> ScheduleResponse:
-        try:
-            reply = self._future.result()
-        except Exception as exc:  # a failed search must not take the service down
-            self._service._finish(self._key, self._future, None, None)
+        entry = self._entry
+        entry.event.wait()
+        elapsed = time.perf_counter() - self._started
+        if entry.outcome == _QueueEntry.OUTCOME_DONE:
+            reply = entry.reply
+            provenance = reply["provenance"] if self._leader else PROVENANCE_COALESCED
             return self._service._record(
                 ScheduleResponse(
                     request_id=self._request.request_id,
-                    ok=False,
-                    provenance=PROVENANCE_ERROR,
-                    error=f"{type(exc).__name__}: {exc}",
-                    service_seconds=time.perf_counter() - self._started,
+                    ok=True,
+                    provenance=provenance,
+                    result=reply["payload"],
+                    search_seconds=reply["search_seconds"],
+                    service_seconds=elapsed,
+                    worker_pid=reply["pid"],
+                    cache_stats=reply["cache_stats"] if self._leader else None,
                 )
             )
-        self._service._finish(self._key, self._future, reply["payload"], reply["cache_stats"])
-        provenance = reply["provenance"] if self._leader else PROVENANCE_COALESCED
+        if entry.outcome == _QueueEntry.OUTCOME_EXPIRED:
+            provenance, error_kind = PROVENANCE_EXPIRED, ERROR_KIND_DEADLINE
+        elif entry.outcome == _QueueEntry.OUTCOME_CANCELLED:
+            provenance, error_kind = PROVENANCE_REJECTED, ERROR_KIND_OVERLOAD
+        else:
+            provenance, error_kind = PROVENANCE_ERROR, ERROR_KIND_SEARCH
         return self._service._record(
             ScheduleResponse(
                 request_id=self._request.request_id,
-                ok=True,
+                ok=False,
                 provenance=provenance,
-                result=reply["payload"],
-                search_seconds=reply["search_seconds"],
-                service_seconds=time.perf_counter() - self._started,
-                worker_pid=reply["pid"],
-                cache_stats=reply["cache_stats"] if self._leader else None,
+                error=entry.error,
+                error_kind=error_kind,
+                service_seconds=elapsed,
             )
         )
 
 
 class ScheduleService:
-    """Serves schedule requests with memoisation, coalescing and warm workers.
+    """Serves schedule requests with memoisation, admission and warm workers.
 
     Thread-safe: the HTTP front-end calls :meth:`schedule` from handler
     threads.  ``workers`` resolves through :func:`resolve_serve_workers`;
-    ``memo_size`` through ``REPRO_SERVE_MEMO_CACHE`` (0 disables the memo).
+    ``memo_size`` through ``REPRO_SERVE_MEMO_CACHE`` (0 disables the memo);
+    ``queue_size`` through ``REPRO_SERVE_QUEUE`` (0 rejects every cache
+    miss); ``memo_path`` through ``REPRO_SERVE_MEMO_PATH`` (``None``
+    disables persistence).  Use as a context manager (or call :meth:`close`)
+    so the dispatcher threads, worker processes and the final memo spill are
+    torn down deterministically.
     """
 
-    def __init__(self, workers: int | None = None, memo_size: int | None = None) -> None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        memo_size: int | None = None,
+        queue_size: int | None = None,
+        memo_path: str | os.PathLike | None = None,
+        memo_flush_seconds: float = MEMO_FLUSH_SECONDS_DEFAULT,
+    ) -> None:
         self.workers = resolve_serve_workers(workers)
         self._pool = PersistentPool(self.workers)
         if memo_size is None:
@@ -231,16 +421,51 @@ class ScheduleService:
         self._memo = LRUCache(memo_size)
         self._graphs = LRUCache(64)  # parent-side graphs, for fingerprinting only
         self._lock = threading.Lock()
-        self._inflight: dict[str, object] = {}
+        self._inflight: dict[str, _QueueEntry] = {}
         self._counters = {
             PROVENANCE_MEMO: 0,
             PROVENANCE_COALESCED: 0,
             PROVENANCE_WARM: 0,
             PROVENANCE_COLD: 0,
             PROVENANCE_ERROR: 0,
+            PROVENANCE_REJECTED: 0,
+            PROVENANCE_EXPIRED: 0,
         }
         self._requests = 0
         self._worker_cache_totals: dict = {}
+        self._closed = False
+
+        self.memo_path = resolve_memo_path(memo_path)
+        self._memo_dirty = False
+        self._memo_flushes = 0
+        self._memo_reloaded = 0
+        self._flush_lock = threading.Lock()
+        if self.memo_path is not None and self._memo.maxsize > 0:
+            self._memo_reloaded = reload_lru(
+                self._memo, self.memo_path, SCHEDULE_KEY_SCHEMA
+            )
+
+        self._queue = _RequestQueue(resolve_queue_size(queue_size))
+        self._dispatchers = [
+            threading.Thread(
+                target=self._dispatch_loop,
+                name=f"repro-serve-dispatch-{index}",
+                daemon=True,
+            )
+            for index in range(self.workers)
+        ]
+        for thread in self._dispatchers:
+            thread.start()
+        self._flusher: threading.Thread | None = None
+        self._flusher_stop = threading.Event()
+        if self.memo_path is not None and memo_flush_seconds > 0:
+            self._flusher = threading.Thread(
+                target=self._flush_loop,
+                args=(float(memo_flush_seconds),),
+                name="repro-serve-memo-flush",
+                daemon=True,
+            )
+            self._flusher.start()
 
     # ----------------------------------------------------------------- public
     def schedule(self, request: ScheduleRequest) -> ScheduleResponse:
@@ -250,7 +475,7 @@ class ScheduleService:
     def schedule_many(self, requests: list[ScheduleRequest]) -> list[ScheduleResponse]:
         """Serve a micro-batch: duplicates coalesce onto one search.
 
-        All unique cache-missing requests are dispatched to the pool before
+        All unique cache-missing requests are admitted to the queue before
         the first result is awaited, so a batch fans across every available
         worker.
         """
@@ -266,7 +491,8 @@ class ScheduleService:
 
         The affinity key is the workload graph's fingerprint alone, so every
         request for the same graph — any seed, any config — is routed to the
-        worker whose per-graph caches already hold it.
+        worker whose per-graph caches already hold it.  ``priority`` and
+        ``deadline_ms`` are serving metadata and take part in neither key.
         """
         graph_key = (request.workload, request.batch, request.workload_kwargs)
         with self._lock:
@@ -295,21 +521,73 @@ class ScheduleService:
         return memo_key, graph_fingerprint
 
     def stats(self) -> dict:
-        """Serving counters plus memo and aggregated worker-cache statistics."""
+        """Serving counters, queue/memo state and worker-cache statistics."""
+        depth = len(self._queue)
         with self._lock:
             return {
                 "workers": self.workers,
                 "requests": self._requests,
                 "provenance": dict(self._counters),
+                "queue": {
+                    "depth": depth,
+                    "maxsize": self._queue.maxsize,
+                    "rejected": self._counters[PROVENANCE_REJECTED],
+                    "expired": self._counters[PROVENANCE_EXPIRED],
+                },
                 "memo": self._memo.stats(),
+                "memo_persistence": {
+                    "path": self.memo_path,
+                    "reloaded_entries": self._memo_reloaded,
+                    "flushes": self._memo_flushes,
+                },
                 "worker_caches": {
                     name: dict(entry) for name, entry in self._worker_cache_totals.items()
                 },
             }
 
+    def flush_memo(self) -> bool:
+        """Spill the memo to ``memo_path`` now; True when a file was written.
+
+        The service lock is held only long enough to snapshot the entries —
+        the JSON serialisation and disk write happen outside it, so a flush
+        never stalls concurrent memo lookups or request resolution.  The
+        flush lock serialises concurrent flushers (periodic thread, close,
+        explicit calls) so writes reach the file in snapshot order.
+        """
+        if self.memo_path is None or self._memo.maxsize == 0:
+            return False
+        with self._flush_lock:
+            with self._lock:
+                snapshot = self._memo.items()
+                self._memo_dirty = False
+                self._memo_flushes += 1
+            spill_items(snapshot, self.memo_path, SCHEDULE_KEY_SCHEMA)
+        return True
+
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the service down deterministically (idempotent).
+
+        Queued-but-undispatched requests fail fast with ``rejected``
+        provenance, dispatchers finish their in-flight searches and exit, the
+        worker pool drains and joins, and — when persistence is enabled — the
+        memo is spilled to disk last so it includes every completed search.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for entry in self._queue.close():
+            self._resolve_failure(
+                entry, _QueueEntry.OUTCOME_CANCELLED, "service is shutting down"
+            )
+        for thread in self._dispatchers:
+            thread.join()
         self._pool.close()
+        if self._flusher is not None:
+            self._flusher_stop.set()
+            self._flusher.join()
+        if self.memo_path is not None and self._memo.maxsize > 0:
+            self.flush_memo()
 
     def __enter__(self) -> "ScheduleService":
         return self
@@ -330,6 +608,7 @@ class ScheduleService:
                         ok=False,
                         provenance=PROVENANCE_ERROR,
                         error=f"{type(exc).__name__}: {exc}",
+                        error_kind=ERROR_KIND_BAD_REQUEST,
                         service_seconds=time.perf_counter() - started,
                     )
                 )
@@ -349,42 +628,126 @@ class ScheduleService:
                         locked=True,
                     )
                 )
-            future = self._inflight.get(key)
-            leader = future is None
-            if leader:
-                future = self._pool.submit(_execute_request, request, affinity=affinity)
-                self._inflight[key] = future
-        return _PendingResponse(self, request, key, future, leader, started)
+            entry = self._inflight.get(key)
+            if entry is not None:
+                return _PendingResponse(self, request, entry, False, started)
+            if self._closed:
+                return self._reject(request, "service is closed", started, locked=True)
+            entry = _QueueEntry(request, key, affinity)
+            if not self._queue.put(entry):
+                return self._reject(
+                    request,
+                    f"request queue is full (capacity {self._queue.maxsize})",
+                    started,
+                    locked=True,
+                )
+            self._inflight[key] = entry
+        return _PendingResponse(self, request, entry, True, started)
 
-    def _finish(self, key: str, future, payload: dict | None, cache_stats: dict | None) -> None:
-        """Retire an in-flight entry; the first finisher populates the memo.
+    def _reject(self, request, error, started, locked=False) -> _ReadyResponse:
+        return _ReadyResponse(
+            self._record(
+                ScheduleResponse(
+                    request_id=request.request_id,
+                    ok=False,
+                    provenance=PROVENANCE_REJECTED,
+                    error=error,
+                    error_kind=ERROR_KIND_OVERLOAD,
+                    service_seconds=time.perf_counter() - started,
+                ),
+                locked=locked,
+            )
+        )
 
-        The entry is removed only when it still belongs to ``future``: a slow
-        follower of an earlier search must not retire (or double-count the
-        stats of) a newer leader that re-registered the same key after the
-        first one finished.
+    def _dispatch_loop(self) -> None:
+        """One dispatcher: pop admitted entries, run them on the pool.
+
+        Each dispatcher blocks on its entry's worker result, so at most
+        ``workers`` searches are in flight and the queue holds the backlog.
+        Exits when the queue is closed and drained.
         """
-        with self._lock:
-            if self._inflight.get(key) is not future:
+        while True:
+            entry = self._queue.get()
+            if entry is None:
                 return
-            del self._inflight[key]
-            if payload is not None:
-                self._memo.put(key, payload)
+            if entry.deadline is not None and time.monotonic() > entry.deadline:
+                self._resolve_failure(
+                    entry,
+                    _QueueEntry.OUTCOME_EXPIRED,
+                    f"deadline of {entry.request.deadline_ms:g} ms expired in queue",
+                )
+                continue
+            try:
+                future = self._pool.submit(
+                    _execute_request, entry.request, affinity=entry.affinity
+                )
+                reply = future.result()
+            except Exception as exc:  # a failed search must not take the service down
+                self._resolve_failure(
+                    entry, _QueueEntry.OUTCOME_ERROR, f"{type(exc).__name__}: {exc}"
+                )
+                continue
+            try:
+                self._resolve_done(entry, reply)
+            except Exception as exc:
+                # Resolution itself failing (malformed reply, stats folding)
+                # must neither kill this dispatcher nor leave the entry's
+                # waiters blocked forever.
+                self._resolve_failure(
+                    entry,
+                    _QueueEntry.OUTCOME_ERROR,
+                    f"response resolution failed: {type(exc).__name__}: {exc}",
+                )
+
+    # Every resolver retires the in-flight entry under the lock — but only
+    # when it still belongs to this entry: a slow resolution of an earlier
+    # search must not retire (or double-count the stats of) a newer leader
+    # that re-registered the same key after the first one finished.
+    def _retire(self, entry: _QueueEntry) -> None:
+        if self._inflight.get(entry.key) is entry:
+            del self._inflight[entry.key]
+
+    def _resolve_done(self, entry: _QueueEntry, reply: dict) -> None:
+        """Success: populate the memo, fold in worker cache stats, wake waiters."""
+        with self._lock:
+            self._retire(entry)
+            self._memo.put(entry.key, reply["payload"])
+            if self._memo.maxsize > 0:
+                self._memo_dirty = True
+            cache_stats = reply.get("cache_stats")
             if cache_stats is not None:
                 # Counters accumulate across requests; occupancy (size /
                 # maxsize) is not a counter, so keep the latest snapshot
                 # instead of summing snapshots on every request.
-                for name, entry in cache_stats.items():
+                for name, stats_entry in cache_stats.items():
                     row = self._worker_cache_totals.setdefault(
                         name, {"hits": 0, "misses": 0, "size": 0, "maxsize": 0}
                     )
                     for field in ("hits", "misses", "evaluations"):
-                        if field in entry:
-                            row[field] = row.get(field, 0) + entry[field]
-                    row["size"] = entry["size"]
-                    row["maxsize"] = entry["maxsize"]
+                        if field in stats_entry:
+                            row[field] = row.get(field, 0) + stats_entry[field]
+                    row["size"] = stats_entry["size"]
+                    row["maxsize"] = stats_entry["maxsize"]
                     total = row["hits"] + row["misses"]
                     row["hit_rate"] = row["hits"] / total if total else 0.0
+        entry.reply = reply
+        entry.outcome = _QueueEntry.OUTCOME_DONE
+        entry.event.set()
+
+    def _resolve_failure(self, entry: _QueueEntry, outcome: str, error: str) -> None:
+        """Resolve an entry that produced no result (error/expired/cancelled)."""
+        with self._lock:
+            self._retire(entry)
+        entry.error = error
+        entry.outcome = outcome
+        entry.event.set()
+
+    def _flush_loop(self, interval: float) -> None:
+        while not self._flusher_stop.wait(interval):
+            with self._lock:
+                dirty = self._memo_dirty
+            if dirty:
+                self.flush_memo()
 
     def _record(self, response: ScheduleResponse, locked: bool = False) -> ScheduleResponse:
         if locked:

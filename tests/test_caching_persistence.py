@@ -1,0 +1,120 @@
+"""LRU spill/reload: atomic JSON persistence with a staleness stamp.
+
+The contract: a reload after a spill reproduces both the contents and the
+recency (eviction) order of the original cache, and any file that cannot be
+trusted — corrupt, truncated, or stamped under a different format version or
+key schema — is ignored loudly rather than partially loaded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.caching import (
+    LRU_SPILL_VERSION,
+    LRUCache,
+    SCHEDULE_KEY_SCHEMA,
+    reload_lru,
+    spill_lru,
+)
+
+SCHEMA = "test-schema:v1"
+
+
+def _filled(entries) -> LRUCache:
+    cache = LRUCache(16)
+    for key, value in entries:
+        cache.put(key, value)
+    return cache
+
+
+def test_spill_reload_round_trip_preserves_order(tmp_path):
+    path = tmp_path / "memo.json"
+    cache = _filled([("a", {"x": 1}), ("b", {"x": 2}), ("c", {"x": 3})])
+    cache.get("a")  # refresh: eviction order becomes b, c, a
+    spill_lru(cache, path, SCHEMA)
+
+    restored = LRUCache(16)
+    assert reload_lru(restored, path, SCHEMA) == 3
+    assert restored.items() == cache.items()
+    # Overflowing by one must evict "b" (the least recent) in both caches.
+    restored.put("d", {"x": 4})
+    restored.maxsize = 3
+    restored.put("e", {"x": 5})
+    assert "b" not in restored
+
+
+def test_reload_into_smaller_cache_keeps_most_recent_entries(tmp_path):
+    path = tmp_path / "memo.json"
+    spill_lru(_filled([(f"k{i}", i) for i in range(6)]), path, SCHEMA)
+    small = LRUCache(2)
+    assert reload_lru(small, path, SCHEMA) == 6
+    assert small.items() == [("k4", 4), ("k5", 5)]
+
+
+def test_reload_missing_file_is_silent_noop(tmp_path):
+    cache = LRUCache(4)
+    assert reload_lru(cache, tmp_path / "absent.json", SCHEMA) == 0
+    assert len(cache) == 0
+
+
+@pytest.mark.parametrize(
+    "document",
+    [
+        {"format": "repro-lru-spill", "version": LRU_SPILL_VERSION + 1, "key_schema": SCHEMA, "entries": []},
+        {"format": "repro-lru-spill", "version": LRU_SPILL_VERSION, "key_schema": "other", "entries": [["k", 1]]},
+        {"format": "something-else", "version": LRU_SPILL_VERSION, "key_schema": SCHEMA, "entries": []},
+        {"entries": [["k", 1]]},
+        [],
+    ],
+)
+def test_reload_rejects_stale_or_mismatched_stamps(tmp_path, document):
+    path = tmp_path / "memo.json"
+    path.write_text(json.dumps(document))
+    cache = LRUCache(4)
+    with pytest.warns(RuntimeWarning, match="stale"):
+        assert reload_lru(cache, path, SCHEMA) == 0
+    assert len(cache) == 0  # never partially loaded
+
+
+def test_reload_rejects_corrupt_json_and_bad_entries(tmp_path):
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("{ definitely not json")
+    with pytest.warns(RuntimeWarning, match="unreadable"):
+        assert reload_lru(LRUCache(4), corrupt, SCHEMA) == 0
+
+    bad_entries = tmp_path / "bad.json"
+    bad_entries.write_text(
+        json.dumps(
+            {
+                "format": "repro-lru-spill",
+                "version": LRU_SPILL_VERSION,
+                "key_schema": SCHEMA,
+                "entries": [["only-a-key"]],
+            }
+        )
+    )
+    with pytest.warns(RuntimeWarning, match="malformed"):
+        assert reload_lru(LRUCache(4), bad_entries, SCHEMA) == 0
+
+
+def test_spill_is_atomic_no_temp_file_left_behind(tmp_path):
+    path = tmp_path / "nested" / "memo.json"
+    spill_lru(_filled([("a", 1)]), path, SCHEMA)
+    assert path.exists()  # parent directory created on demand
+    spill_lru(_filled([("b", 2)]), path, SCHEMA)  # overwrite in place
+    assert reload_lru(LRUCache(4), path, SCHEMA) == 1
+    leftovers = [name for name in os.listdir(path.parent) if name != "memo.json"]
+    assert leftovers == []
+
+
+def test_schedule_key_schema_is_stamped_into_service_spills(tmp_path):
+    """The serving memo must be spilled under the published key schema."""
+    path = tmp_path / "memo.json"
+    spill_lru(_filled([("deadbeef", {"ok": True})]), path, SCHEDULE_KEY_SCHEMA)
+    document = json.loads(path.read_text())
+    assert document["key_schema"] == SCHEDULE_KEY_SCHEMA
+    assert document["version"] == LRU_SPILL_VERSION

@@ -139,6 +139,77 @@ def test_serve_command_stdio(monkeypatch):
     assert replies[2]["shutdown"]
 
 
+def test_serve_command_memo_persistence_across_restarts(monkeypatch, tmp_path):
+    """A restarted `serve` answers repeat traffic from the persisted memo."""
+    import json
+    import sys
+
+    memo_path = tmp_path / "memo.json"
+    request = {
+        "workload": "gpt2-decode",
+        "workload_kwargs": {"variant": "tiny", "context_len": 16},
+        "fast": True,
+        "seed": 5,
+        "request_id": "persist-1",
+    }
+    lines = [json.dumps(request), json.dumps({"op": "shutdown"})]
+
+    monkeypatch.setattr(sys, "stdin", io.StringIO("\n".join(lines) + "\n"))
+    code, output = _run(["serve", "--workers", "1", "--memo-path", str(memo_path)])
+    assert code == 0
+    first = json.loads(output.splitlines()[0])
+    assert first["ok"] and first["provenance"] in ("cold", "warm")
+    assert memo_path.exists()  # spilled on the shutdown op
+
+    monkeypatch.setattr(sys, "stdin", io.StringIO("\n".join(lines) + "\n"))
+    code, output = _run(["serve", "--workers", "1", "--memo-path", str(memo_path)])
+    assert code == 0
+    restarted = json.loads(output.splitlines()[0])
+    assert restarted["provenance"] == "memo"
+    assert restarted["result"] == first["result"]
+
+
+def test_serve_command_shuts_workers_down_deterministically(monkeypatch):
+    """Satellite regression: stdio EOF must reap the pool workers."""
+    import json
+    import multiprocessing
+    import sys
+
+    before = set(multiprocessing.active_children())
+    request = {
+        "workload": "gpt2-decode",
+        "workload_kwargs": {"variant": "tiny", "context_len": 16},
+        "fast": True,
+        "seed": 6,
+    }
+    # EOF after one request — no shutdown op — must still close the service.
+    monkeypatch.setattr(sys, "stdin", io.StringIO(json.dumps(request) + "\n"))
+    code, output = _run(["serve", "--workers", "2"])
+    assert code == 0
+    assert json.loads(output.splitlines()[0])["ok"]
+    assert not (set(multiprocessing.active_children()) - before)
+
+
+def test_serve_command_queue_size_zero_rejects_cache_misses(monkeypatch):
+    import json
+    import sys
+
+    request = {
+        "workload": "gpt2-decode",
+        "workload_kwargs": {"variant": "tiny", "context_len": 16},
+        "fast": True,
+        "seed": 8,
+    }
+    lines = [json.dumps(request), json.dumps({"op": "shutdown"})]
+    monkeypatch.setattr(sys, "stdin", io.StringIO("\n".join(lines) + "\n"))
+    code, output = _run(["serve", "--workers", "1", "--queue-size", "0"])
+    assert code == 0
+    reply = json.loads(output.splitlines()[0])
+    assert not reply["ok"]
+    assert reply["provenance"] == "rejected"
+    assert reply["error_kind"] == "overload"
+
+
 def test_compare_command_fast():
     code, output = _run(
         ["compare", "--workload", "gpt2-prefill", "--variant", "tiny", "--seq-len", "16", "--fast"]

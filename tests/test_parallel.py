@@ -9,7 +9,9 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import multiprocessing
 import os
+import time
 
 import pytest
 
@@ -263,6 +265,50 @@ def test_persistent_pool_serial_runs_in_process_and_close_is_final():
     pool.close()
     with pytest.raises(RuntimeError):
         pool.submit(_count_calls, None)
+
+
+def _slow_double(task: int) -> int:
+    time.sleep(0.2)
+    return 2 * task
+
+
+def test_persistent_pool_close_drains_in_flight_tasks():
+    """``close()`` must let dispatched tasks finish and deliver results —
+    terminating mid-flight would leave their futures hanging forever."""
+    pool = PersistentPool(workers=2)
+    futures = [pool.submit(_slow_double, task) for task in range(4)]
+    pool.close()  # called with all four tasks (potentially) still in flight
+    assert [future.result() for future in futures] == [0, 2, 4, 6]
+
+
+def test_pool_future_reports_closed_pool_instead_of_hanging():
+    """A future whose result was lost with the workers raises, not hangs."""
+
+    class _LostResult:
+        def get(self, timeout=None):
+            raise multiprocessing.TimeoutError
+
+        def ready(self):
+            return False
+
+    pool = PersistentPool(workers=2)
+    pool.close()
+    orphan = parallel._PoolFuture(_LostResult(), pool)
+    with pytest.raises(RuntimeError, match="PersistentPool is closed"):
+        orphan.result()
+
+
+def test_resolve_workers_warns_on_non_positive(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    with pytest.warns(RuntimeWarning, match="not positive"):
+        assert resolve_workers(0) == 1
+    with pytest.warns(RuntimeWarning, match="not positive"):
+        assert resolve_workers(-4) == 1
+    monkeypatch.setenv("REPRO_WORKERS", "0")
+    with pytest.warns(RuntimeWarning, match="REPRO_WORKERS"):
+        assert resolve_workers(None) == 1
+    # Positive values stay silent.
+    assert resolve_workers(2) == 2
 
 
 def test_workers_env_does_not_change_results(monkeypatch, tiny_accelerator, linear_cnn, fast_config):

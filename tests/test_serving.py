@@ -10,6 +10,7 @@ from __future__ import annotations
 import io
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -32,10 +33,17 @@ from repro.serving.protocol import (
     response_from_payload,
     response_to_payload,
 )
-from repro.serving.server import make_http_server, process_message, serve_stdio
+from repro.serving.server import (
+    http_status_for,
+    make_http_server,
+    process_message,
+    serve_stdio,
+)
 from repro.serving.service import (
     ScheduleService,
     reset_worker_state,
+    resolve_memo_path,
+    resolve_queue_size,
     resolve_serve_workers,
 )
 from repro.workloads.registry import build_workload
@@ -257,14 +265,23 @@ def test_seed_sweep_stays_on_one_warm_worker():
     assert [response.provenance for response in responses] == ["cold", "warm", "warm"]
 
 
-def test_finish_only_retires_its_own_inflight_entry(service):
-    """A slow follower of an old search must not retire a newer leader."""
-    old_future = object()
-    new_future = object()
-    service._inflight["key"] = new_future
-    service._finish("key", old_future, {"stale": True}, None)
-    assert service._inflight["key"] is new_future  # untouched by the stale finisher
-    service._finish("key", new_future, {"fresh": True}, None)
+def test_retire_only_removes_its_own_inflight_entry(service):
+    """A stale resolution of an old entry must not retire a newer leader."""
+    from repro.serving.service import _QueueEntry
+
+    old_entry = _QueueEntry(tiny_request(request_id="old"), "key", "aff")
+    new_entry = _QueueEntry(tiny_request(request_id="new"), "key", "aff")
+    service._inflight["key"] = new_entry
+    service._resolve_failure(old_entry, _QueueEntry.OUTCOME_ERROR, "boom")
+    assert service._inflight["key"] is new_entry  # untouched by the stale entry
+    reply = {
+        "payload": {"fresh": True},
+        "provenance": "cold",
+        "pid": 0,
+        "search_seconds": 0.0,
+        "cache_stats": None,
+    }
+    service._resolve_done(new_entry, reply)
     assert "key" not in service._inflight
     assert service._memo.peek("key") == {"fresh": True}
 
@@ -374,3 +391,399 @@ def test_http_server_round_trip(service):
     finally:
         server.shutdown()
         server.server_close()
+
+
+# -------------------------------------------------------- admission queue
+class _BlockingExecutor:
+    """A monkeypatch stand-in for ``_execute_request`` driven by events.
+
+    ``started`` is set when a dispatcher enters the executor; the executor
+    then blocks until ``release`` is set, so a test can deterministically
+    hold one request in flight while it fills (or drains) the queue.
+    """
+
+    def __init__(self) -> None:
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self.executed_seeds: list[int] = []
+
+    def __call__(self, request: ScheduleRequest) -> dict:
+        self.started.set()
+        assert self.release.wait(timeout=30), "test never released the executor"
+        self.executed_seeds.append(request.seed)
+        return {
+            "payload": {"fake-seed": request.seed},
+            "provenance": "cold",
+            "pid": 0,
+            "search_seconds": 0.0,
+            "cache_stats": None,
+        }
+
+
+@pytest.fixture
+def blocking_executor(monkeypatch):
+    executor = _BlockingExecutor()
+    monkeypatch.setattr("repro.serving.service._execute_request", executor)
+    yield executor
+    executor.release.set()  # never leave a dispatcher blocked at teardown
+
+
+def test_full_queue_rejects_with_429_semantics(blocking_executor):
+    with ScheduleService(workers=1, queue_size=1) as service:
+        leader = service._submit(tiny_request(seed=1, request_id="inflight"))
+        assert blocking_executor.started.wait(timeout=10)
+        queued = service._submit(tiny_request(seed=2, request_id="queued"))
+        rejected = service.schedule(tiny_request(seed=3, request_id="overflow"))
+        assert not rejected.ok
+        assert rejected.provenance == "rejected"
+        assert rejected.error_kind == "overload"
+        assert "queue is full" in rejected.error
+        stats = service.stats()
+        assert stats["queue"]["rejected"] == 1
+        assert stats["queue"]["maxsize"] == 1
+        blocking_executor.release.set()
+        assert leader.result().ok
+        assert queued.result().ok
+
+
+def test_queued_deadline_expires_before_dispatch(blocking_executor):
+    with ScheduleService(workers=1, queue_size=4) as service:
+        leader = service._submit(tiny_request(seed=1))
+        assert blocking_executor.started.wait(timeout=10)
+        doomed = service._submit(
+            ScheduleRequest(
+                workload="gpt2-decode",
+                workload_kwargs=TINY_KWARGS,
+                seed=2,
+                fast=True,
+                deadline_ms=20.0,
+                request_id="doomed",
+            )
+        )
+        time.sleep(0.08)  # let the queued deadline pass while the leader blocks
+        blocking_executor.release.set()
+        expired = doomed.result()
+        assert not expired.ok
+        assert expired.provenance == "expired"
+        assert expired.error_kind == "deadline"
+        assert "deadline" in expired.error
+        assert leader.result().ok
+        assert service.stats()["queue"]["expired"] == 1
+    # The expired request never reached a worker.
+    assert blocking_executor.executed_seeds == [1]
+
+
+def test_memo_hits_bypass_a_full_queue(blocking_executor):
+    """Cheap requests stay cheap under load: memo hits skip admission."""
+    with ScheduleService(workers=1, queue_size=0) as service:
+        request = tiny_request(seed=5)
+        key = service.request_fingerprint(request)
+        service._memo.put(key, {"fake-seed": 5})
+        served = service.schedule(tiny_request(seed=5, request_id="repeat"))
+        assert served.ok and served.provenance == "memo"
+        # A cache miss under the same zero-capacity queue is rejected.
+        missed = service.schedule(tiny_request(seed=6))
+        assert not missed.ok and missed.provenance == "rejected"
+
+
+def test_coalesced_followers_share_the_leaders_queue_slot(blocking_executor):
+    with ScheduleService(workers=1, queue_size=1) as service:
+        inflight = service._submit(tiny_request(seed=1))
+        assert blocking_executor.started.wait(timeout=10)
+        leader = service._submit(tiny_request(seed=2, request_id="leader"))
+        follower = service._submit(tiny_request(seed=2, request_id="follower"))
+        assert len(service._queue) == 1  # the follower consumed no capacity
+        blocking_executor.release.set()
+        assert inflight.result().ok
+        leader_response, follower_response = leader.result(), follower.result()
+        assert leader_response.provenance == "cold"
+        assert follower_response.provenance == "coalesced"
+        assert follower_response.result == leader_response.result
+
+
+def test_higher_priority_dispatches_first(blocking_executor):
+    with ScheduleService(workers=1, queue_size=8) as service:
+        first = service._submit(tiny_request(seed=1))
+        assert blocking_executor.started.wait(timeout=10)
+        low = service._submit(tiny_request(seed=2))  # priority 0
+        high = service._submit(
+            ScheduleRequest(
+                workload="gpt2-decode",
+                workload_kwargs=TINY_KWARGS,
+                seed=3,
+                fast=True,
+                priority=5,
+            )
+        )
+        blocking_executor.release.set()
+        for future in (first, low, high):
+            assert future.result().ok
+    assert blocking_executor.executed_seeds == [1, 3, 2]
+
+
+def test_search_failure_reports_error_kind_search(monkeypatch, service):
+    def explode(_request):
+        raise RuntimeError("search exploded")
+
+    monkeypatch.setattr("repro.serving.service._execute_request", explode)
+    response = service.schedule(tiny_request(seed=77))
+    assert not response.ok
+    assert response.provenance == "error"
+    assert response.error_kind == "search"
+    assert "search exploded" in response.error
+
+
+def test_close_fails_queued_requests_fast(blocking_executor):
+    service = ScheduleService(workers=1, queue_size=4)
+    inflight = service._submit(tiny_request(seed=1))
+    assert blocking_executor.started.wait(timeout=10)
+    queued = service._submit(tiny_request(seed=2))
+    closer = threading.Thread(target=service.close)
+    closer.start()
+    # The queued request is failed by close() before the in-flight one ends.
+    cancelled = queued.result()
+    assert not cancelled.ok
+    assert cancelled.provenance == "rejected"
+    assert "shutting down" in cancelled.error
+    blocking_executor.release.set()
+    closer.join(timeout=30)
+    assert not closer.is_alive()
+    assert inflight.result().ok  # the in-flight search drained, not died
+    # And a post-close request is refused outright.
+    late = service.schedule(tiny_request(seed=9))
+    assert not late.ok and late.provenance == "rejected"
+    assert "closed" in late.error
+
+
+def test_close_reaps_worker_processes():
+    import multiprocessing
+
+    reset_worker_state()
+    before = set(multiprocessing.active_children())
+    service = ScheduleService(workers=2)
+    response = service.schedule(tiny_request(seed=21))
+    assert response.ok
+    spawned = set(multiprocessing.active_children()) - before
+    assert spawned  # the persistent pool forked real workers
+    service.close()
+    assert not (set(multiprocessing.active_children()) & spawned)
+    service.close()  # idempotent
+    reset_worker_state()
+
+
+def test_resolve_queue_size_resolution(monkeypatch):
+    monkeypatch.delenv("REPRO_SERVE_QUEUE", raising=False)
+    assert resolve_queue_size(None) == 64
+    assert resolve_queue_size(7) == 7
+    assert resolve_queue_size(0) == 0
+    monkeypatch.setenv("REPRO_SERVE_QUEUE", "9")
+    assert resolve_queue_size(None) == 9
+    monkeypatch.setenv("REPRO_SERVE_QUEUE", "soon")
+    with pytest.warns(RuntimeWarning, match="REPRO_SERVE_QUEUE"):
+        assert resolve_queue_size(None) == 64
+    # A negative size would silently become reject-everything; it must warn.
+    with pytest.warns(RuntimeWarning, match="negative"):
+        assert resolve_queue_size(-5) == 0
+    monkeypatch.setenv("REPRO_SERVE_QUEUE", "-2")
+    with pytest.warns(RuntimeWarning, match="negative"):
+        assert resolve_queue_size(None) == 0
+
+
+def test_resolve_serve_workers_warns_on_non_positive(monkeypatch):
+    monkeypatch.delenv("REPRO_SERVE_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    with pytest.warns(RuntimeWarning, match="not positive"):
+        assert resolve_serve_workers(0) == 1
+    with pytest.warns(RuntimeWarning, match="not positive"):
+        assert resolve_serve_workers(-3) == 1
+    monkeypatch.setenv("REPRO_SERVE_WORKERS", "-1")
+    with pytest.warns(RuntimeWarning, match="REPRO_SERVE_WORKERS"):
+        assert resolve_serve_workers(None) == 1
+
+
+# ------------------------------------------------------- queue protocol bits
+def test_request_round_trips_priority_and_deadline():
+    request = ScheduleRequest(
+        workload="gpt2-decode",
+        workload_kwargs=TINY_KWARGS,
+        fast=True,
+        priority=3,
+        deadline_ms=250.0,
+        request_id="urgent",
+    )
+    payload = json.loads(json.dumps(request_to_payload(request)))
+    assert request_from_payload(payload) == request
+    assert payload["priority"] == 3
+    assert payload["deadline_ms"] == 250.0
+
+
+def test_request_rejects_non_positive_deadline():
+    with pytest.raises(ProtocolError):
+        ScheduleRequest(workload="resnet50", deadline_ms=0.0)
+    with pytest.raises(ProtocolError):
+        ScheduleRequest(workload="resnet50", deadline_ms=-5.0)
+
+
+def test_response_round_trips_error_kind():
+    response = ScheduleResponse(
+        request_id="r",
+        ok=False,
+        provenance="rejected",
+        error="queue is full",
+        error_kind="overload",
+    )
+    assert response_from_payload(response_to_payload(response)) == response
+
+
+def test_priority_and_deadline_do_not_change_the_memo_key(service):
+    plain = tiny_request(seed=4)
+    urgent = ScheduleRequest(
+        workload="gpt2-decode",
+        workload_kwargs=TINY_KWARGS,
+        seed=4,
+        fast=True,
+        priority=9,
+        deadline_ms=1000.0,
+    )
+    assert service.request_fingerprint(plain) == service.request_fingerprint(urgent)
+
+
+# -------------------------------------------------------- HTTP status mapping
+def test_http_status_for_maps_failure_classes():
+    assert http_status_for([{"ok": False}]) == 200  # batches stay 200
+    assert http_status_for({"ok": True, "provenance": "memo"}) == 200
+    assert http_status_for({"ok": False, "provenance": "rejected", "error_kind": "overload"}) == 429
+    assert http_status_for({"ok": False, "provenance": "expired", "error_kind": "deadline"}) == 504
+    assert http_status_for({"ok": False, "provenance": "error", "error_kind": "bad_request"}) == 400
+    assert http_status_for({"ok": False, "provenance": "error", "error_kind": "search"}) == 500
+    assert http_status_for({"ok": False, "provenance": "error"}) == 500
+
+
+def _post_schedule(port: int, payload):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/schedule",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request) as http_response:
+            return http_response.status, json.loads(http_response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def test_http_front_end_maps_status_codes(blocking_executor):
+    blocking_executor.release.set()  # searches run (fake) instantly
+    with ScheduleService(workers=1, queue_size=0) as service:
+        server = make_http_server(service, port=0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            status, reply = _post_schedule(port, {"workload": "not-a-model"})
+            assert status == 400 and not reply["ok"]
+            assert reply["error_kind"] == "bad_request"
+            status, reply = _post_schedule(
+                port, request_to_payload(tiny_request(seed=31))
+            )
+            assert status == 429 and reply["provenance"] == "rejected"
+            # Mixed batches keep per-item outcomes under one 200.
+            status, reply = _post_schedule(
+                port,
+                [request_to_payload(tiny_request(seed=32)), {"workload": "not-a-model"}],
+            )
+            assert status == 200
+            assert [item["provenance"] for item in reply] == ["rejected", "error"]
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+def test_http_search_failure_maps_to_500(monkeypatch, service):
+    def explode(_request):
+        raise RuntimeError("boom")
+
+    monkeypatch.setattr("repro.serving.service._execute_request", explode)
+    server = make_http_server(service, port=0)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        status, reply = _post_schedule(port, request_to_payload(tiny_request(seed=41)))
+        assert status == 500
+        assert reply["error_kind"] == "search" and "boom" in reply["error"]
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+# --------------------------------------------------------- memo persistence
+def test_memo_persistence_round_trip(tmp_path):
+    path = tmp_path / "memo.json"
+    reset_worker_state()
+    with ScheduleService(workers=1, memo_path=path) as first_service:
+        cold = first_service.schedule(tiny_request(seed=51))
+        assert cold.ok and cold.provenance == "cold"
+    assert path.exists()  # spilled atomically on shutdown
+
+    with ScheduleService(workers=1, memo_path=path) as second_service:
+        stats = second_service.stats()
+        assert stats["memo_persistence"]["reloaded_entries"] == 1
+        assert stats["memo"]["size"] == 1
+        warm_restart = second_service.schedule(tiny_request(seed=51, request_id="again"))
+    assert warm_restart.ok
+    assert warm_restart.provenance == "memo"
+    assert warm_restart.result == cold.result
+    assert warm_restart.search_seconds == 0.0
+    reset_worker_state()
+
+
+def test_memo_persistence_ignores_stale_and_corrupt_files(tmp_path, blocking_executor):
+    blocking_executor.release.set()
+    stale = tmp_path / "stale.json"
+    stale.write_text(
+        json.dumps(
+            {
+                "format": "repro-lru-spill",
+                "version": 999,
+                "key_schema": "ancient",
+                "entries": [["k", {"bogus": True}]],
+            }
+        )
+    )
+    with pytest.warns(RuntimeWarning, match="stale"):
+        with ScheduleService(workers=1, memo_path=stale) as service:
+            assert service.stats()["memo_persistence"]["reloaded_entries"] == 0
+            assert service.schedule(tiny_request(seed=61)).provenance == "cold"
+    # Shutdown rewrote the file under the current stamp: it reloads cleanly.
+    with ScheduleService(workers=1, memo_path=stale) as service:
+        assert service.stats()["memo_persistence"]["reloaded_entries"] == 1
+
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("{ not json")
+    with pytest.warns(RuntimeWarning, match="unreadable"):
+        with ScheduleService(workers=1, memo_path=corrupt) as service:
+            assert service.stats()["memo_persistence"]["reloaded_entries"] == 0
+
+
+def test_periodic_memo_flush(tmp_path, blocking_executor):
+    blocking_executor.release.set()
+    path = tmp_path / "memo.json"
+    with ScheduleService(workers=1, memo_path=path, memo_flush_seconds=0.05) as service:
+        assert service.schedule(tiny_request(seed=71)).ok
+        deadline = time.monotonic() + 10
+        while not path.exists() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert path.exists()  # flushed while still serving
+        assert service.stats()["memo_persistence"]["flushes"] >= 1
+
+
+def test_resolve_memo_path_resolution(monkeypatch, tmp_path):
+    monkeypatch.delenv("REPRO_SERVE_MEMO_PATH", raising=False)
+    assert resolve_memo_path(None) is None
+    explicit = tmp_path / "explicit.json"
+    assert resolve_memo_path(explicit) == str(explicit)
+    monkeypatch.setenv("REPRO_SERVE_MEMO_PATH", str(tmp_path / "env.json"))
+    assert resolve_memo_path(None) == str(tmp_path / "env.json")
+    monkeypatch.setenv("REPRO_SERVE_MEMO_PATH", "")
+    assert resolve_memo_path(None) is None
