@@ -184,6 +184,14 @@ def build_parser() -> argparse.ArgumentParser:
         "atomically written on shutdown and flushed periodically; default: "
         "REPRO_SERVE_MEMO_PATH, then no persistence)",
     )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="re-dispatch budget when a worker process crashes mid-search "
+        "(crash failures only, never past the request deadline; default: "
+        "REPRO_SERVE_RETRIES, then 1; 0 fails crashed searches immediately)",
+    )
 
     return parser
 
@@ -321,29 +329,54 @@ def _cmd_dse(args: argparse.Namespace, out) -> int:
 
 def _cmd_serve(args: argparse.Namespace, out) -> int:
     # Imported here so the service stack is only paid for when serving.
+    import signal
+    import threading
+
     from repro.serving.server import serve_http, serve_stdio
     from repro.serving.service import ScheduleService
 
-    # The context manager guarantees a deterministic shutdown on stdio EOF,
-    # a shutdown op, or the HTTP loop's KeyboardInterrupt: queued requests
-    # fail fast, in-flight searches drain, worker processes join and the
-    # persisted memo (if any) is spilled before the command returns.
-    with ScheduleService(
-        workers=args.workers,
-        memo_size=args.memo_size,
-        queue_size=args.queue_size,
-        memo_path=args.memo_path,
-    ) as service:
-        if args.http is not None:
-            return serve_http(
-                service,
-                args.host,
-                args.http,
-                announce=lambda message: out.write(
-                    f"{message} with {service.workers} worker(s)\n"
-                ),
-            )
-        return serve_stdio(service, sys.stdin, out)
+    # SIGTERM (systemd stop, container runtime, CI teardown) must produce
+    # the same clean shutdown as Ctrl+C/EOF: raising KeyboardInterrupt from
+    # the handler unwinds into the context manager below, which fails queued
+    # requests fast, drains in-flight searches, joins the workers and spills
+    # the memo.  Signal handlers are only installable from the main thread
+    # (tests drive this function from worker threads).
+    previous_handler = None
+    if threading.current_thread() is threading.main_thread():
+
+        def _handle_sigterm(_signum, _frame):
+            raise KeyboardInterrupt
+
+        previous_handler = signal.signal(signal.SIGTERM, _handle_sigterm)
+    try:
+        # The context manager guarantees a deterministic shutdown on stdio
+        # EOF, a shutdown op, or KeyboardInterrupt (Ctrl+C or SIGTERM):
+        # queued requests fail fast, in-flight searches drain, worker
+        # processes join and the persisted memo (if any) is spilled before
+        # the command returns.
+        with ScheduleService(
+            workers=args.workers,
+            memo_size=args.memo_size,
+            queue_size=args.queue_size,
+            memo_path=args.memo_path,
+            retries=args.retries,
+        ) as service:
+            if args.http is not None:
+                return serve_http(
+                    service,
+                    args.host,
+                    args.http,
+                    announce=lambda message: out.write(
+                        f"{message} with {service.workers} worker(s)\n"
+                    ),
+                )
+            try:
+                return serve_stdio(service, sys.stdin, out)
+            except KeyboardInterrupt:
+                return 0
+    finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGTERM, previous_handler)
 
 
 _COMMANDS = {

@@ -35,5 +35,37 @@ class SchedulingError(ReproError):
     """Raised when a scheduling stage cannot produce any feasible result."""
 
 
+class WorkerCrashError(ReproError):
+    """Raised when a pool worker process died while running a task.
+
+    The task's result is gone with the process; the pool respawns the worker
+    so subsequent submissions still run.  Carries enough context
+    (``worker_index``, ``exitcode``) for callers to implement policy — the
+    serving layer retries crashed searches and trips a per-worker circuit
+    breaker on repeated crashes.
+    """
+
+    def __init__(self, message: str, worker_index: int | None = None,
+                 exitcode: int | None = None) -> None:
+        super().__init__(message)
+        self.worker_index = worker_index
+        self.exitcode = exitcode
+
+
+class WorkerTimeoutError(ReproError):
+    """Raised when a task exceeded its ``timeout`` and its worker was killed.
+
+    Unlike :class:`WorkerCrashError` this is the *task's* fault, not the
+    worker's: the pool kills and respawns the worker to reclaim it, but the
+    serving layer maps it onto deadline semantics instead of retrying.
+    """
+
+    def __init__(self, message: str, worker_index: int | None = None,
+                 timeout: float | None = None) -> None:
+        super().__init__(message)
+        self.worker_index = worker_index
+        self.timeout = timeout
+
+
 class CompilationError(ReproError):
     """Raised by the compiler back-end (IR / instruction generation)."""

@@ -24,10 +24,15 @@ from __future__ import annotations
 import hashlib
 import math
 import multiprocessing
+import os
+import queue
 import threading
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import WorkerCrashError, WorkerTimeoutError
 
 from repro.core.caching import (
     aggregate_cache_stats,
@@ -144,37 +149,111 @@ class _SerialFuture:
         return self._value
 
 
-class _PoolFuture:
-    """``result()`` adapter over ``multiprocessing``'s ``AsyncResult``.
+#: How often a waiting pump thread re-checks a busy worker's liveness; the
+#: upper bound on how long a crashed worker's future can linger unresolved.
+SUPERVISION_POLL_SECONDS = 0.1
 
-    ``AsyncResult.get()`` on a task whose pool was torn down blocks forever —
-    the worker that would have delivered the result no longer exists.  The
-    adapter polls with a short timeout so a waiter of such an orphaned future
-    gets a clear ``RuntimeError`` instead of a silent hang.  (A gracefully
-    closed pool drains its in-flight tasks before the owner flag flips, so
-    this path only fires for genuinely lost results.)
+_STOP = object()  # pump-thread sentinel: drain the backlog, then exit
+
+
+class _PoolFuture:
+    """A future resolved by the owning worker's pump thread.
+
+    ``result()`` blocks until the supervisor delivers a value or a typed
+    failure — including :class:`~repro.errors.WorkerCrashError` when the
+    worker process died mid-task, so a waiter is released within
+    ``SUPERVISION_POLL_SECONDS`` of the crash instead of hanging forever
+    (the failure mode of ``AsyncResult.get()`` on a lost task).
     """
 
-    __slots__ = ("_async_result", "_owner")
+    __slots__ = ("fn", "task", "timeout", "_event", "_value", "_error")
 
-    def __init__(self, async_result, owner: "PersistentPool") -> None:
-        self._async_result = async_result
-        self._owner = owner
+    def __init__(self, fn: Callable[[Any], Any], task: Any, timeout: float | None) -> None:
+        self.fn = fn
+        self.task = task
+        self.timeout = timeout
+        self._event = threading.Event()
+        self._value = None
+        self._error: BaseException | None = None
+
+    def _resolve(self, value: Any) -> None:
+        self._value = value
+        self.fn = self.task = None  # free references early
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self.fn = self.task = None
+        self._event.set()
 
     def result(self) -> Any:
-        while True:
+        self._event.wait()
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+def _worker_main(connection) -> None:
+    """The worker-process loop: recv (fn, task), send ("ok"/"error", payload).
+
+    SIGINT is ignored so an interactive Ctrl+C reaches only the parent, which
+    then drains the pool gracefully.  An unpicklable result or exception is
+    degraded to a picklable ``RuntimeError`` instead of killing the worker.
+    """
+    import signal
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    while True:
+        try:
+            item = connection.recv()
+        except (EOFError, OSError):
+            break
+        if item is None:
+            break
+        fn, task = item
+        try:
+            reply = ("ok", fn(task))
+        except BaseException as exc:  # shipped to the parent, not fatal here
+            reply = ("error", exc)
+        try:
+            connection.send(reply)
+        except Exception as exc:
             try:
-                return self._async_result.get(timeout=0.2)
-            except multiprocessing.TimeoutError:
-                if self._owner._terminated and not self._async_result.ready():
-                    raise RuntimeError(
-                        "PersistentPool is closed; this task's result was lost "
-                        "with the worker processes"
-                    ) from None
+                connection.send(
+                    ("error", RuntimeError(f"worker reply was unpicklable: {exc!r}"))
+                )
+            except Exception:
+                break
+    connection.close()
+
+
+class _WorkerSlot:
+    """Parent-side state of one supervised worker process."""
+
+    __slots__ = (
+        "index",
+        "tasks",
+        "process",
+        "connection",
+        "pump",
+        "generation",
+        "crashes",
+        "respawns",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.tasks: queue.Queue = queue.Queue()
+        self.process: multiprocessing.Process | None = None
+        self.connection = None
+        self.pump: threading.Thread | None = None
+        self.generation = 0
+        self.crashes = 0
+        self.respawns = 0
 
 
 class PersistentPool:
-    """A process pool that stays alive across submissions, with affinity.
+    """A supervised process pool that stays alive across submissions.
 
     :class:`ParallelRunner` spins up a fresh ``multiprocessing.Pool`` per
     ``map`` call, which is fine for one-shot experiment grids but throws away
@@ -183,78 +262,295 @@ class PersistentPool:
     parse/segment/tiling LRUs, evaluator contexts) warm across requests —
     the serving layer's "warm worker" path.
 
-    Each worker is its own single-process ``multiprocessing.Pool`` so a task
-    can be *routed*: ``submit(..., affinity=key)`` sends equal keys to the
-    same worker every time, which is what turns per-process caches into a
-    cache hierarchy (the serving layer routes by workload-graph fingerprint,
-    so repeat workloads always land where their parse/segment/tiling LRUs
-    already live).  Tasks without affinity round-robin for load balance.
+    Each worker is one supervised ``multiprocessing.Process`` fed over a pipe
+    by a parent-side pump thread, so a task can be *routed*:
+    ``submit(..., affinity=key)`` sends equal keys to the same worker every
+    time, which is what turns per-process caches into a cache hierarchy (the
+    serving layer routes by workload-graph fingerprint, so repeat workloads
+    always land where their parse/segment/tiling LRUs already live).  Tasks
+    without affinity round-robin for load balance.
+
+    Supervision makes the pool self-healing: a worker that dies mid-task
+    (OOM kill, segfault, injected crash) fails its in-flight future with a
+    typed :class:`~repro.errors.WorkerCrashError` within
+    ``SUPERVISION_POLL_SECONDS`` — never a hang — and is respawned
+    immediately with fresh (cold but warmable) state, so the backlog and all
+    later submissions still run.  ``submit(..., timeout=seconds)`` bounds a
+    single task: a runaway search is reclaimed by killing and respawning its
+    worker, failing the future with
+    :class:`~repro.errors.WorkerTimeoutError`.
 
     With one worker the pool runs in-process behind a lock, so the
-    warm-state code path is identical and nothing is pickled.  Workers are
+    warm-state code path is identical and nothing is pickled (``timeout`` is
+    unenforceable there — an in-process task cannot be killed).  Workers are
     created lazily on first use and must be :meth:`close`\\ d (or used as a
     context manager) when parallel; serial pools hold no OS resources.
     """
 
     def __init__(self, workers: int | None = None) -> None:
         self.workers = resolve_workers(workers)
-        self._pools: list | None = None
+        self._slots: list[_WorkerSlot] | None = None
         self._serial_lock = threading.Lock()
         self._submit_lock = threading.Lock()
         self._round_robin = 0
         self._closed = False  # no new submissions
         self._terminated = False  # worker processes are gone
 
-    def _ensure_pools(self) -> list:
+    # ------------------------------------------------------------ lifecycle
+    def _ensure_slots(self) -> list[_WorkerSlot]:
         if self._closed:
             raise RuntimeError("PersistentPool is closed")
-        if self._pools is None:
-            self._pools = [multiprocessing.Pool(processes=1) for _ in range(self.workers)]
-        return self._pools
+        if self._slots is None:
+            self._slots = []
+            for index in range(self.workers):
+                slot = _WorkerSlot(index)
+                self._spawn(slot)
+                slot.pump = threading.Thread(
+                    target=self._pump_loop,
+                    args=(slot,),
+                    name=f"repro-pool-pump-{index}",
+                    daemon=True,
+                )
+                slot.pump.start()
+                self._slots.append(slot)
+        return self._slots
 
+    def _spawn(self, slot: _WorkerSlot) -> None:
+        parent_end, child_end = multiprocessing.Pipe()
+        process = multiprocessing.Process(
+            target=_worker_main,
+            args=(child_end,),
+            name=f"repro-pool-worker-{slot.index}-gen{slot.generation}",
+            daemon=True,
+        )
+        process.start()
+        child_end.close()  # the parent keeps only its own end
+        slot.process = process
+        slot.connection = parent_end
+        slot.generation += 1
+
+    def _respawn(self, slot: _WorkerSlot) -> None:
+        """Replace a dead (or killed) worker process with a fresh one."""
+        if slot.connection is not None:
+            try:
+                slot.connection.close()
+            except OSError:
+                pass
+        if slot.process is not None and slot.process.is_alive():
+            slot.process.kill()
+        if slot.process is not None:
+            slot.process.join()
+        slot.respawns += 1
+        self._spawn(slot)
+
+    # ------------------------------------------------------------- routing
     def _worker_index(self, affinity: object | None) -> int:
         if affinity is None:
             index = self._round_robin
             self._round_robin = (self._round_robin + 1) % self.workers
             return index
+        return self.route_index(affinity)
+
+    def route_index(self, affinity: object) -> int:
+        """The worker index an affinity key routes to (stable, hash-based)."""
+        if self.workers <= 1:
+            return 0
         digest = hashlib.blake2b(repr(affinity).encode("utf-8"), digest_size=8).digest()
         return int.from_bytes(digest, "big") % self.workers
 
-    def submit(self, fn: Callable[[Any], Any], task: Any, affinity: object | None = None):
+    # ------------------------------------------------------------ execution
+    def submit(
+        self,
+        fn: Callable[[Any], Any],
+        task: Any,
+        affinity: object | None = None,
+        timeout: float | None = None,
+        worker: int | None = None,
+    ):
         """Dispatch one task; returns a future-like object with ``result()``.
 
         Equal ``affinity`` keys always reach the same worker process; tasks
-        without affinity are distributed round-robin.
+        without affinity are distributed round-robin.  ``worker`` overrides
+        routing with an explicit index (the serving layer's circuit breaker
+        steers traffic away from crash-looping workers this way).
+        ``timeout`` bounds the task's wall clock: on expiry the worker is
+        killed and respawned and the future fails with
+        :class:`~repro.errors.WorkerTimeoutError` (ignored on serial pools,
+        where the task runs in-process and cannot be killed).
         """
         if self.workers <= 1:
             if self._closed:
                 raise RuntimeError("PersistentPool is closed")
             return _SerialFuture(fn, task, self._serial_lock)
+        future = _PoolFuture(fn, task, timeout)
         with self._submit_lock:
-            pool = self._ensure_pools()[self._worker_index(affinity)]
-            return _PoolFuture(pool.apply_async(fn, (task,)), self)
+            slots = self._ensure_slots()
+            index = worker if worker is not None else self._worker_index(affinity)
+            slots[index % self.workers].tasks.put(future)
+        return future
+
+    def _pump_loop(self, slot: _WorkerSlot) -> None:
+        """One worker's feeder: run backlog tasks, supervise the process."""
+        while True:
+            item = slot.tasks.get()
+            if item is _STOP:
+                self._stop_worker(slot)
+                return
+            self._run_on_worker(slot, item)
+
+    def _run_on_worker(self, slot: _WorkerSlot, future: _PoolFuture) -> None:
+        try:
+            if slot.process is None or slot.process.exitcode is not None:
+                # The worker died idle (between tasks); replace it silently —
+                # no task was lost.
+                self._respawn(slot)
+            slot.connection.send((future.fn, future.task))
+        except Exception as exc:
+            future._fail(
+                WorkerCrashError(
+                    f"could not dispatch to worker {slot.index}: {exc!r}",
+                    worker_index=slot.index,
+                )
+            )
+            return
+        deadline = (
+            time.monotonic() + future.timeout if future.timeout is not None else None
+        )
+        while True:
+            try:
+                if slot.connection.poll(SUPERVISION_POLL_SECONDS):
+                    status, payload = slot.connection.recv()
+                    if status == "ok":
+                        future._resolve(payload)
+                    else:
+                        future._fail(payload)
+                    return
+            except (EOFError, OSError):
+                pass  # treated as a crash below
+            exitcode = slot.process.exitcode
+            if exitcode is not None:
+                slot.crashes += 1
+                self._respawn(slot)
+                future._fail(
+                    WorkerCrashError(
+                        f"worker {slot.index} died with exitcode {exitcode} "
+                        "while running a task; the worker was respawned but "
+                        "this task's result is lost",
+                        worker_index=slot.index,
+                        exitcode=exitcode,
+                    )
+                )
+                return
+            if deadline is not None and time.monotonic() > deadline:
+                self._respawn(slot)  # kills the still-running worker first
+                future._fail(
+                    WorkerTimeoutError(
+                        f"task exceeded its {future.timeout:g}s timeout on "
+                        f"worker {slot.index}; the worker was killed and "
+                        "respawned",
+                        worker_index=slot.index,
+                        timeout=future.timeout,
+                    )
+                )
+                return
 
     def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
         """Apply ``fn`` to every task, preserving task order in the results."""
         futures = [self.submit(fn, task) for task in tasks]
         return [future.result() for future in futures]
 
+    # ------------------------------------------------------------- health
+    def worker_health(self) -> list[dict]:
+        """One row per worker: pid, liveness and crash/respawn counters.
+
+        A serial pool reports its single in-process pseudo-worker as alive;
+        an unstarted parallel pool reports workers as not yet spawned.
+        """
+        if self.workers <= 1:
+            return [
+                {
+                    "index": 0,
+                    "pid": os.getpid(),
+                    "alive": not self._terminated,
+                    "generation": 0,
+                    "crashes": 0,
+                    "respawns": 0,
+                }
+            ]
+        with self._submit_lock:
+            slots = self._slots
+            if slots is None:
+                return [
+                    {
+                        "index": index,
+                        "pid": None,
+                        "alive": not self._closed,
+                        "generation": 0,
+                        "crashes": 0,
+                        "respawns": 0,
+                    }
+                    for index in range(self.workers)
+                ]
+            return [
+                {
+                    "index": slot.index,
+                    "pid": slot.process.pid if slot.process is not None else None,
+                    "alive": (
+                        slot.process is not None and slot.process.exitcode is None
+                    ),
+                    "generation": slot.generation,
+                    "crashes": slot.crashes,
+                    "respawns": slot.respawns,
+                }
+                for slot in slots
+            ]
+
+    def supervision_stats(self) -> dict:
+        """Aggregate crash/respawn counters across all workers."""
+        health = self.worker_health()
+        return {
+            "crashes": sum(row["crashes"] for row in health),
+            "respawns": sum(row["respawns"] for row in health),
+        }
+
+    # ------------------------------------------------------------ shutdown
+    def _stop_worker(self, slot: _WorkerSlot) -> None:
+        try:
+            slot.connection.send(None)
+        except (OSError, BrokenPipeError):
+            pass
+        if slot.process is not None:
+            slot.process.join(timeout=5.0)
+            if slot.process.is_alive():
+                slot.process.kill()
+                slot.process.join()
+        try:
+            slot.connection.close()
+        except OSError:
+            pass
+
     def close(self) -> None:
         """Shut the worker processes down gracefully (idempotent).
 
         New submissions are refused immediately, but tasks already dispatched
-        are *drained* — ``Pool.close()`` + ``join()`` lets every in-flight
-        task finish and deliver its result — before the processes go away.
-        Terminating with tasks in flight would leave their futures waiting on
-        results that can never arrive (see :class:`_PoolFuture`).
+        are *drained* — each pump thread finishes its backlog before telling
+        its worker to exit — so no future is left waiting on a result that
+        can never arrive.
         """
-        self._closed = True
-        if self._pools is not None:
-            for pool in self._pools:
-                pool.close()
-            for pool in self._pools:
-                pool.join()
-            self._pools = None
+        with self._submit_lock:
+            if self._closed:
+                slots = None
+            else:
+                self._closed = True
+                slots = self._slots
+                if slots is not None:
+                    for slot in slots:
+                        slot.tasks.put(_STOP)
+        if slots is not None:
+            for slot in slots:
+                if slot.pump is not None:
+                    slot.pump.join()
+            self._slots = None
         self._terminated = True
 
     def __enter__(self) -> "PersistentPool":

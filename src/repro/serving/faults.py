@@ -1,0 +1,215 @@
+"""Deterministic fault injection for the serving stack (chaos harness).
+
+Reliability claims are only testable if failures can be *produced on
+demand, reproducibly*.  This module parses the ``REPRO_FAULT_SPEC``
+environment variable into a :class:`FaultPlan` that pool workers consult at
+the top of every search execution: a matching draw either kills the worker
+process abruptly (simulating an OOM kill / segfault) or sleeps before the
+search (simulating a stall).  Because every draw is a pure hash of
+``(clause seed, request identity, attempt)`` — never ``random`` state, the
+worker's pid, or wall clock — the same spec against the same request stream
+produces bit-for-bit the same crash/delay pattern for any worker count,
+which is what lets the chaos benchmark assert exact recovery behaviour.
+
+Spec grammar (clauses separated by ``;`` or ``,``)::
+
+    spec    := clause ((";" | ",") clause)*
+    clause  := kind ":" value (":" "p=" FLOAT)? ("@" "seed=" INT)?
+    kind    := "crash" | "delay"
+
+* ``crash:P`` — kill the worker with probability ``P`` per attempt
+  (``crash:0.1@seed=7``).  In-process execution (serial pools, the service's
+  degraded mode) raises :class:`~repro.errors.WorkerCrashError` instead of
+  exiting, so the observable retry semantics are identical without killing
+  the host process.
+* ``delay:DURATION`` — sleep before the search; ``DURATION`` is ``500ms``,
+  ``2s`` or a bare millisecond count.  Probability defaults to 1.0 and is
+  set with ``:p=`` (``delay:500ms:p=0.2``).
+
+A malformed spec raises :class:`FaultSpecError` — loudly, at service
+startup, never silently in a worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import re
+import time
+from dataclasses import dataclass
+
+from repro.errors import ReproError, WorkerCrashError
+from repro.experiments.parallel import derive_seed
+
+FAULT_SPEC_ENV = "REPRO_FAULT_SPEC"
+
+#: Exit code of an injected worker crash — distinctive in ``exitcode`` so a
+#: chaos run's deaths are distinguishable from real segfaults (negative) or
+#: OOM kills (-9).
+FAULT_CRASH_EXIT_CODE = 73
+
+_DURATION_PATTERN = re.compile(r"^(?P<value>\d+(?:\.\d+)?)\s*(?P<unit>ms|s)?$")
+
+
+class FaultSpecError(ReproError):
+    """Raised when a ``REPRO_FAULT_SPEC`` value cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One parsed clause of a fault spec."""
+
+    kind: str  # "crash" | "delay"
+    probability: float
+    seed: int = 0
+    delay_seconds: float = 0.0
+
+    def fires(self, key: tuple) -> bool:
+        """Deterministic Bernoulli draw for one (request, attempt) key.
+
+        The draw is a stable hash, so it depends only on the clause and the
+        key — not on process, ordering or prior draws.
+        """
+        if self.probability >= 1.0:
+            return True
+        if self.probability <= 0.0:
+            return False
+        draw = derive_seed(self.seed, "fault", self.kind, *key) / float(2**31)
+        return draw < self.probability
+
+
+def _parse_probability(text: str, clause: str) -> float:
+    try:
+        probability = float(text)
+    except ValueError as exc:
+        raise FaultSpecError(
+            f"fault clause {clause!r}: probability {text!r} is not a number"
+        ) from exc
+    if not 0.0 <= probability <= 1.0:
+        raise FaultSpecError(
+            f"fault clause {clause!r}: probability {probability} is outside [0, 1]"
+        )
+    return probability
+
+
+def _parse_duration_seconds(text: str, clause: str) -> float:
+    match = _DURATION_PATTERN.match(text.strip())
+    if match is None:
+        raise FaultSpecError(
+            f"fault clause {clause!r}: bad duration {text!r} "
+            "(use e.g. '500ms', '2s' or a bare millisecond count)"
+        )
+    value = float(match.group("value"))
+    unit = match.group("unit") or "ms"
+    return value / 1000.0 if unit == "ms" else value
+
+
+def _parse_clause(raw: str) -> FaultClause:
+    clause = raw.strip()
+    head, _, tail = clause.partition("@")
+    seed = 0
+    if tail:
+        for option in tail.split("@"):
+            name, _, value = option.strip().partition("=")
+            if name != "seed" or not value:
+                raise FaultSpecError(
+                    f"fault clause {clause!r}: unknown option {option!r} "
+                    "(only '@seed=N' is supported)"
+                )
+            try:
+                seed = int(value)
+            except ValueError as exc:
+                raise FaultSpecError(
+                    f"fault clause {clause!r}: seed {value!r} is not an integer"
+                ) from exc
+    parts = [part.strip() for part in head.split(":")]
+    kind = parts[0].lower()
+    if kind == "crash":
+        if len(parts) != 2:
+            raise FaultSpecError(
+                f"fault clause {clause!r}: expected 'crash:P' with one probability"
+            )
+        return FaultClause(kind="crash", probability=_parse_probability(parts[1], clause), seed=seed)
+    if kind == "delay":
+        if len(parts) < 2 or len(parts) > 3:
+            raise FaultSpecError(
+                f"fault clause {clause!r}: expected 'delay:DURATION' or "
+                "'delay:DURATION:p=P'"
+            )
+        probability = 1.0
+        if len(parts) == 3:
+            name, _, value = parts[2].partition("=")
+            if name != "p" or not value:
+                raise FaultSpecError(
+                    f"fault clause {clause!r}: unknown option {parts[2]!r} "
+                    "(only ':p=P' is supported)"
+                )
+            probability = _parse_probability(value, clause)
+        return FaultClause(
+            kind="delay",
+            probability=probability,
+            seed=seed,
+            delay_seconds=_parse_duration_seconds(parts[1], clause),
+        )
+    raise FaultSpecError(
+        f"fault clause {clause!r}: unknown kind {kind!r} (expected 'crash' or 'delay')"
+    )
+
+
+class FaultPlan:
+    """The parsed form of a fault spec: an ordered tuple of clauses."""
+
+    __slots__ = ("clauses", "spec")
+
+    def __init__(self, clauses: tuple[FaultClause, ...], spec: str) -> None:
+        self.clauses = clauses
+        self.spec = spec
+
+    def apply(self, key: tuple) -> None:
+        """Inject this plan's faults for one (request identity, attempt) key.
+
+        Delays sleep in place.  Crashes kill the current process with
+        :data:`FAULT_CRASH_EXIT_CODE` when it is a pool worker (a daemonic
+        child), and raise :class:`~repro.errors.WorkerCrashError` when
+        execution is in-process — same retry semantics, no suicide of the
+        service process.
+        """
+        for clause in self.clauses:
+            if not clause.fires(key):
+                continue
+            if clause.kind == "delay":
+                time.sleep(clause.delay_seconds)
+            elif clause.kind == "crash":
+                if multiprocessing.current_process().daemon:
+                    os._exit(FAULT_CRASH_EXIT_CODE)
+                raise WorkerCrashError(
+                    f"injected in-process crash (spec {self.spec!r}, key {key!r})"
+                )
+
+
+def parse_fault_spec(text: str) -> FaultPlan:
+    """Parse a fault spec string; raises :class:`FaultSpecError` when malformed."""
+    clauses = tuple(
+        _parse_clause(raw) for raw in re.split(r"[;,]", text) if raw.strip()
+    )
+    if not clauses:
+        raise FaultSpecError(f"fault spec {text!r} contains no clauses")
+    return FaultPlan(clauses, text.strip())
+
+
+_ACTIVE: tuple[str, FaultPlan] | None = None
+
+
+def active_fault_plan() -> FaultPlan | None:
+    """The plan parsed from ``REPRO_FAULT_SPEC``; ``None`` when unset.
+
+    The parse is cached on the spec text, so workers pay one parse per spec,
+    and tests that monkeypatch the environment see the change immediately.
+    """
+    global _ACTIVE
+    text = os.environ.get(FAULT_SPEC_ENV, "").strip()
+    if not text:
+        return None
+    if _ACTIVE is None or _ACTIVE[0] != text:
+        _ACTIVE = (text, parse_fault_spec(text))
+    return _ACTIVE[1]

@@ -67,6 +67,15 @@ ERROR_KIND_BAD_REQUEST = "bad_request"
 ERROR_KIND_SEARCH = "search"
 ERROR_KIND_OVERLOAD = "overload"
 ERROR_KIND_DEADLINE = "deadline"
+#: The worker process running the search died (OOM kill, segfault, injected
+#: crash) and the retry budget could not produce a result (HTTP 503 — the
+#: pool respawned the worker, so retrying later is reasonable).
+ERROR_KIND_WORKER_CRASH = "worker_crash"
+#: The request's ``deadline_ms`` elapsed while its search was *in flight*
+#: (the queued-expiry case stays ``deadline``); the search was abandoned —
+#: and its worker killed and respawned when it ran on a parallel pool
+#: (HTTP 504).
+ERROR_KIND_TIMEOUT = "timeout"
 
 
 class ProtocolError(ReproError):
@@ -152,7 +161,14 @@ class ScheduleResponse:
     ``error_kind`` is set exactly when ``ok`` is False and discriminates
     failure classes for transport status mapping: ``bad_request`` (unknown
     workload / malformed payload), ``search`` (the search itself raised),
-    ``overload`` (admission queue full) and ``deadline`` (expired in queue).
+    ``overload`` (admission queue full), ``deadline`` (expired in queue),
+    ``worker_crash`` (the worker died and the retry budget ran out) and
+    ``timeout`` (the deadline elapsed while the search was in flight).
+
+    ``retries`` counts how many times the search was re-dispatched after a
+    worker crash before this response was produced — 0 on the common path,
+    and meaningful on both successes (the retry saved the request) and
+    failures (the budget was spent in vain).
     """
 
     request_id: str
@@ -164,6 +180,7 @@ class ScheduleResponse:
     search_seconds: float = 0.0
     service_seconds: float = 0.0
     worker_pid: int = 0
+    retries: int = 0
     cache_stats: dict | None = field(default=None, repr=False)
 
 
@@ -226,6 +243,7 @@ def response_to_payload(response: ScheduleResponse) -> dict:
         "search_seconds": response.search_seconds,
         "service_seconds": response.service_seconds,
         "worker_pid": response.worker_pid,
+        "retries": response.retries,
         "cache_stats": response.cache_stats,
     }
 
@@ -245,6 +263,7 @@ def response_from_payload(payload: dict) -> ScheduleResponse:
             search_seconds=payload.get("search_seconds", 0.0),
             service_seconds=payload.get("service_seconds", 0.0),
             worker_pid=payload.get("worker_pid", 0),
+            retries=payload.get("retries", 0),
             cache_stats=payload.get("cache_stats"),
         )
     except KeyError as exc:

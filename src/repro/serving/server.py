@@ -13,9 +13,12 @@ Two transports, both stdlib-only:
   the service, so concurrent identical requests coalesce onto one search.
   Single-request failures map onto HTTP status codes (see
   :func:`http_status_for`): 429 when the admission queue rejects, 504 when
-  a queued deadline expires, 400 for malformed/unknown-workload requests
-  and 500 for search failures — always with the unchanged JSON response
-  body.  Batch replies stay 200 with per-item outcomes.
+  a deadline expires (queued or in flight), 503 when a worker crash
+  exhausts the retry budget, 400 for malformed/unknown-workload requests
+  and 500 for deterministic search failures — always with the unchanged
+  JSON response body.  Batch replies stay 200 with per-item outcomes.
+  ``GET /healthz`` answers 200 while every worker is alive behind a closed
+  breaker, and 503 with per-worker detail when the pool is degraded.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.serving.protocol import (
     ERROR_KIND_BAD_REQUEST,
+    ERROR_KIND_WORKER_CRASH,
     PROVENANCE_EXPIRED,
     PROVENANCE_REJECTED,
     ProtocolError,
@@ -54,8 +58,11 @@ def http_status_for(payload) -> int:
     Batch replies (arrays) are always 200 — each item carries its own
     ``ok``/``provenance``/``error_kind``.  Single failed responses map their
     failure class onto transport semantics: admission rejection is 429 (back
-    off and retry), an in-queue deadline expiry is 504, a malformed or
-    unknown-workload request is 400, and a search failure is 500.
+    off and retry), a deadline expiry — in queue or in flight — is 504, a
+    worker crash that exhausted its retry budget is 503 (the pool respawned
+    the worker; retrying later is reasonable), a malformed or
+    unknown-workload request is 400, and a deterministic search failure
+    is 500.
     """
     if not isinstance(payload, dict) or payload.get("ok", False):
         return 200
@@ -64,7 +71,10 @@ def http_status_for(payload) -> int:
         return 429
     if provenance == PROVENANCE_EXPIRED:
         return 504
-    if payload.get("error_kind") == ERROR_KIND_BAD_REQUEST:
+    error_kind = payload.get("error_kind")
+    if error_kind == ERROR_KIND_WORKER_CRASH:
+        return 503
+    if error_kind == ERROR_KIND_BAD_REQUEST:
         return 400
     return 500
 
@@ -146,7 +156,8 @@ class ScheduleRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:
         if self.path == "/healthz":
-            self._send_json(200, {"ok": True, "workers": self.service.workers})
+            health = self.service.health()
+            self._send_json(200 if health["ok"] else 503, health)
         elif self.path == "/stats":
             self._send_json(200, {"ok": True, "stats": self.service.stats()})
         else:

@@ -26,6 +26,17 @@ tries, in order:
    evaluator contexts alive across requests, so repeat workloads run against
    warm caches.
 
+The pool is **self-healing**: a worker that dies mid-search fails the
+attempt with a typed ``WorkerCrashError`` (never a hang), is respawned, and
+the search is retried with capped deterministic backoff — within the
+request's deadline and the ``--retries`` budget.  Per-worker circuit
+breakers steer traffic away from crash-looping workers, and when the whole
+pool is unhealthy the service degrades to in-process serial execution.
+Deterministic fault injection (``REPRO_FAULT_SPEC``, see
+:mod:`repro.serving.faults`) exercises all of this reproducibly;
+``benchmarks/test_serving_faults.py`` asserts that results accepted under
+injected crashes stay bit-identical to a direct schedule call.
+
 Results are bit-identical to a direct ``SoMaScheduler.schedule`` call with
 the same seed for any worker count and queue size (asserted by
 ``benchmarks/test_serving_throughput.py`` and
@@ -39,6 +50,7 @@ from __future__ import annotations
 import heapq
 import math
 import os
+import random
 import threading
 import time
 import warnings
@@ -58,17 +70,22 @@ from repro.core.caching import (
 )
 from repro.core.result import SoMaResult
 from repro.core.soma import SoMaScheduler
+from repro.errors import WorkerCrashError, WorkerTimeoutError
 from repro.experiments.parallel import (
     PersistentPool,
     coerce_workers,
+    derive_seed,
     multi_restart_schedule,
     resolve_workers,
 )
+from repro.serving.faults import active_fault_plan
 from repro.serving.protocol import (
     ERROR_KIND_BAD_REQUEST,
     ERROR_KIND_DEADLINE,
     ERROR_KIND_OVERLOAD,
     ERROR_KIND_SEARCH,
+    ERROR_KIND_TIMEOUT,
+    ERROR_KIND_WORKER_CRASH,
     PROVENANCE_COALESCED,
     PROVENANCE_COLD,
     PROVENANCE_EXPIRED,
@@ -83,6 +100,7 @@ from repro.workloads.registry import build_workload
 SERVE_WORKERS_ENV = "REPRO_SERVE_WORKERS"
 SERVE_QUEUE_ENV = "REPRO_SERVE_QUEUE"
 SERVE_MEMO_PATH_ENV = "REPRO_SERVE_MEMO_PATH"
+SERVE_RETRIES_ENV = "REPRO_SERVE_RETRIES"
 
 #: Default capacity of the admission queue (``--queue-size`` /
 #: ``REPRO_SERVE_QUEUE``); 0 disables queueing (every cache miss is
@@ -92,8 +110,66 @@ SERVE_QUEUE_DEFAULT = 64
 #: Seconds between periodic memo flushes when persistence is enabled.
 MEMO_FLUSH_SECONDS_DEFAULT = 60.0
 
+#: Default number of re-dispatches after a worker crash (``--retries`` /
+#: ``REPRO_SERVE_RETRIES``); 0 fails a crashed search immediately.  Retries
+#: apply *only* to ``worker_crash`` failures — a deterministic search error
+#: or a bad request would fail identically on every attempt.
+SERVE_RETRIES_DEFAULT = 1
+
+#: Retry backoff: capped exponential with deterministic jitter, so a chaos
+#: run's schedule is reproducible.  attempt 0 waits ~BASE, each retry
+#: doubles, never beyond CAP and never beyond the request's deadline.
+RETRY_BACKOFF_BASE_SECONDS = 0.05
+RETRY_BACKOFF_CAP_SECONDS = 1.0
+
+#: Circuit breaker: after ``BREAKER_THRESHOLD`` *consecutive* crashes on one
+#: worker the breaker opens and traffic routes to surviving workers for
+#: ``BREAKER_COOLDOWN``s, then one trial request probes the respawned worker
+#: (half-open); a success closes the breaker, a crash reopens it.
+BREAKER_THRESHOLD_DEFAULT = 3
+BREAKER_COOLDOWN_SECONDS_DEFAULT = 5.0
+
 #: Provenance value used by error responses (never by successful ones).
 PROVENANCE_ERROR = "error"
+
+
+def _coerce_retries(value: int, source: str) -> int:
+    value = int(value)
+    if value < 0:
+        warnings.warn(
+            f"retry budget {value} from {source} is negative; using 0 "
+            "(crashed searches fail immediately)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return 0
+    return value
+
+
+def resolve_retries(retries: int | None = None) -> int:
+    """Crash-retry budget: argument, ``REPRO_SERVE_RETRIES``, then 1."""
+    if retries is not None:
+        return _coerce_retries(retries, "the retries argument")
+    value = parse_env_int(
+        SERVE_RETRIES_ENV, f"using the default retry budget {SERVE_RETRIES_DEFAULT}"
+    )
+    if value is None:
+        return SERVE_RETRIES_DEFAULT
+    return _coerce_retries(value, SERVE_RETRIES_ENV)
+
+
+def retry_backoff_seconds(key: str, attempt: int) -> float:
+    """Deterministically jittered backoff before retry ``attempt`` (1-based).
+
+    The jitter is drawn from a stable hash of (request key, attempt), not
+    shared ``random`` state, so two identical chaos runs sleep identically.
+    """
+    base = min(
+        RETRY_BACKOFF_CAP_SECONDS,
+        RETRY_BACKOFF_BASE_SECONDS * (2 ** max(0, attempt - 1)),
+    )
+    rng = random.Random(derive_seed(0xB0FF, "retry", key, attempt))
+    return base * (0.5 + 0.5 * rng.random())
 
 
 def resolve_serve_workers(workers: int | None = None) -> int:
@@ -225,6 +301,25 @@ def _execute_request(request: ScheduleRequest) -> dict:
     }
 
 
+def _execute_attempt(task: tuple) -> dict:
+    """Run one (request, attempt) pair, consulting the fault harness first.
+
+    This is the function the dispatcher actually submits to the pool.  The
+    attempt number is part of the fault-draw key so a retried request sees a
+    *fresh* deterministic draw — otherwise a crash decision would repeat on
+    every retry and the retry budget could never save a request.  Delegates
+    to ``_execute_request`` through the module global so tests that
+    monkeypatch the executor keep working.
+    """
+    request, attempt = task
+    plan = active_fault_plan()
+    if plan is not None:
+        plan.apply(
+            (request.workload, request.platform, request.seed, request.request_id, attempt)
+        )
+    return _execute_request(request)
+
+
 def reset_worker_state() -> None:
     """Drop this process's warm graphs/schedulers (test isolation hook)."""
     _WORKER_GRAPHS.clear()
@@ -234,6 +329,59 @@ def reset_worker_state() -> None:
 def worker_state_sizes() -> tuple[int, int]:
     """(warm graphs, warm schedulers) resident in this process."""
     return len(_WORKER_GRAPHS), len(_WORKER_SCHEDULERS)
+
+
+# ----------------------------------------------------------- circuit breaker
+class _CircuitBreaker:
+    """Crash-loop protection for one pool worker.
+
+    Closed (healthy) → ``threshold`` consecutive crashes open it → after
+    ``cooldown`` seconds one trial request is allowed through (half-open);
+    success closes the breaker, another crash reopens it for a fresh
+    cooldown.  Not thread-safe on its own — the service serialises access
+    under its lock.
+    """
+
+    __slots__ = ("threshold", "cooldown", "consecutive_failures", "opened_at", "trips")
+
+    def __init__(self, threshold: int, cooldown: float) -> None:
+        self.threshold = max(1, int(threshold))
+        self.cooldown = float(cooldown)
+        self.consecutive_failures = 0
+        self.opened_at: float | None = None
+        self.trips = 0
+
+    def state(self, now: float) -> str:
+        if self.opened_at is None:
+            return "closed"
+        if now - self.opened_at >= self.cooldown:
+            return "half_open"
+        return "open"
+
+    def allows(self, now: float) -> bool:
+        """May a request be routed to this worker right now?"""
+        return self.state(now) != "open"
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.opened_at = None
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if self.opened_at is not None:
+            # A half-open trial crashed: reopen for a fresh cooldown.
+            self.opened_at = now
+            self.trips += 1
+        elif self.consecutive_failures >= self.threshold:
+            self.opened_at = now
+            self.trips += 1
+
+    def snapshot(self, now: float) -> dict:
+        return {
+            "state": self.state(now),
+            "consecutive_failures": self.consecutive_failures,
+            "trips": self.trips,
+        }
 
 
 # ----------------------------------------------------------- admission queue
@@ -257,6 +405,9 @@ class _QueueEntry:
         "outcome",
         "reply",
         "error",
+        "error_kind",
+        "dispatched",
+        "retries",
     )
 
     OUTCOME_DONE = "done"
@@ -278,6 +429,9 @@ class _QueueEntry:
         self.outcome: str | None = None
         self.reply: dict | None = None
         self.error = ""
+        self.error_kind = ""  # refines OUTCOME_ERROR/EXPIRED (crash vs timeout)
+        self.dispatched = False  # a worker has (or had) this search in flight
+        self.retries = 0
 
 
 class _RequestQueue:
@@ -345,9 +499,18 @@ class _ReadyResponse:
 
 
 class _PendingResponse:
-    """A response future backed by a (possibly shared) queue entry."""
+    """A response future backed by a (possibly shared) queue entry.
 
-    __slots__ = ("_service", "_request", "_entry", "_leader", "_started")
+    Every waiter enforces *its own* ``deadline_ms`` while blocking: a
+    coalesced follower whose deadline is earlier than the leader's
+    completion expires individually (``expired`` provenance) while the
+    leader's search keeps running, and a leader stuck behind an unkillable
+    in-process search (serial pools, degraded mode) is still answered by its
+    deadline.  A result that lands after a waiter expired is not wasted —
+    the dispatcher memoises it for future requests.
+    """
+
+    __slots__ = ("_service", "_request", "_entry", "_leader", "_started", "_deadline")
 
     def __init__(self, service, request, entry, leader, started) -> None:
         self._service = service
@@ -355,10 +518,49 @@ class _PendingResponse:
         self._entry = entry
         self._leader = leader
         self._started = started
+        self._deadline = (
+            time.monotonic() + request.deadline_ms / 1000.0
+            if request.deadline_ms is not None
+            else None
+        )
+
+    def _expired_response(self, elapsed: float) -> ScheduleResponse:
+        entry = self._entry
+        if entry.dispatched:
+            error_kind = ERROR_KIND_TIMEOUT
+            detail = "while the search was in flight"
+        else:
+            error_kind = ERROR_KIND_DEADLINE
+            detail = "while waiting in the queue"
+        role = "leader" if self._leader else "coalesced follower"
+        return self._service._record(
+            ScheduleResponse(
+                request_id=self._request.request_id,
+                ok=False,
+                provenance=PROVENANCE_EXPIRED,
+                error=(
+                    f"deadline of {self._request.deadline_ms:g} ms expired "
+                    f"{detail} ({role})"
+                ),
+                error_kind=error_kind,
+                service_seconds=elapsed,
+                retries=entry.retries,
+            )
+        )
 
     def result(self) -> ScheduleResponse:
         entry = self._entry
-        entry.event.wait()
+        while not entry.event.is_set():
+            if self._deadline is None:
+                entry.event.wait()
+                break
+            remaining = self._deadline - time.monotonic()
+            if remaining <= 0:
+                # Check once more: a resolution racing the deadline wins.
+                if entry.event.is_set():
+                    break
+                return self._expired_response(time.perf_counter() - self._started)
+            entry.event.wait(remaining)
         elapsed = time.perf_counter() - self._started
         if entry.outcome == _QueueEntry.OUTCOME_DONE:
             reply = entry.reply
@@ -372,15 +574,18 @@ class _PendingResponse:
                     search_seconds=reply["search_seconds"],
                     service_seconds=elapsed,
                     worker_pid=reply["pid"],
+                    retries=entry.retries,
                     cache_stats=reply["cache_stats"] if self._leader else None,
                 )
             )
         if entry.outcome == _QueueEntry.OUTCOME_EXPIRED:
-            provenance, error_kind = PROVENANCE_EXPIRED, ERROR_KIND_DEADLINE
+            provenance = PROVENANCE_EXPIRED
+            error_kind = entry.error_kind or ERROR_KIND_DEADLINE
         elif entry.outcome == _QueueEntry.OUTCOME_CANCELLED:
             provenance, error_kind = PROVENANCE_REJECTED, ERROR_KIND_OVERLOAD
         else:
-            provenance, error_kind = PROVENANCE_ERROR, ERROR_KIND_SEARCH
+            provenance = PROVENANCE_ERROR
+            error_kind = entry.error_kind or ERROR_KIND_SEARCH
         return self._service._record(
             ScheduleResponse(
                 request_id=self._request.request_id,
@@ -389,6 +594,7 @@ class _PendingResponse:
                 error=entry.error,
                 error_kind=error_kind,
                 service_seconds=elapsed,
+                retries=entry.retries,
             )
         )
 
@@ -401,9 +607,19 @@ class ScheduleService:
     ``memo_size`` through ``REPRO_SERVE_MEMO_CACHE`` (0 disables the memo);
     ``queue_size`` through ``REPRO_SERVE_QUEUE`` (0 rejects every cache
     miss); ``memo_path`` through ``REPRO_SERVE_MEMO_PATH`` (``None``
-    disables persistence).  Use as a context manager (or call :meth:`close`)
-    so the dispatcher threads, worker processes and the final memo spill are
-    torn down deterministically.
+    disables persistence); ``retries`` through ``REPRO_SERVE_RETRIES``
+    (crash-only re-dispatch budget).  Use as a context manager (or call
+    :meth:`close`) so the dispatcher threads, worker processes and the final
+    memo spill are torn down deterministically.
+
+    Failure handling: a search whose worker process dies is retried up to
+    ``retries`` times with capped, deterministically jittered backoff —
+    never past the request's deadline, and never for ``bad_request`` or
+    ``search`` failures, which are deterministic.  Each worker has a
+    circuit breaker (``breaker_threshold`` consecutive crashes open it for
+    ``breaker_cooldown_seconds``); open breakers steer traffic to surviving
+    workers, and when *every* breaker is open the service degrades to
+    in-process serial execution so requests are still answered.
     """
 
     def __init__(
@@ -413,9 +629,25 @@ class ScheduleService:
         queue_size: int | None = None,
         memo_path: str | os.PathLike | None = None,
         memo_flush_seconds: float = MEMO_FLUSH_SECONDS_DEFAULT,
+        retries: int | None = None,
+        breaker_threshold: int = BREAKER_THRESHOLD_DEFAULT,
+        breaker_cooldown_seconds: float = BREAKER_COOLDOWN_SECONDS_DEFAULT,
     ) -> None:
+        active_fault_plan()  # fail fast on a malformed REPRO_FAULT_SPEC
         self.workers = resolve_serve_workers(workers)
+        self.retries = resolve_retries(retries)
         self._pool = PersistentPool(self.workers)
+        self._breakers = [
+            _CircuitBreaker(breaker_threshold, breaker_cooldown_seconds)
+            for _ in range(self.workers)
+        ]
+        self._degraded_lock = threading.Lock()
+        self._faults = {
+            "worker_crashes": 0,
+            "timeouts": 0,
+            "retries": 0,
+            "degraded_executions": 0,
+        }
         if memo_size is None:
             memo_size = cache_size("SERVE_MEMO", SERVE_MEMO_DEFAULT)
         self._memo = LRUCache(memo_size)
@@ -520,9 +752,39 @@ class ScheduleService:
         )
         return memo_key, graph_fingerprint
 
+    def health(self) -> dict:
+        """Liveness summary for ``/healthz``: pool and breaker state merged.
+
+        ``ok`` is False (the endpoint answers 503) when any worker process
+        is dead, any breaker is open, or the service is closed — degraded
+        states in which some or all traffic cannot reach a warm worker.
+        """
+        now = time.monotonic()
+        rows = self._pool.worker_health()
+        with self._lock:
+            breakers = [breaker.snapshot(now) for breaker in self._breakers]
+            closed = self._closed
+        workers = []
+        degraded = closed
+        for row, breaker in zip(rows, breakers):
+            merged = dict(row)
+            merged["breaker"] = breaker
+            workers.append(merged)
+            if not row["alive"] or breaker["state"] == "open":
+                degraded = True
+        return {
+            "ok": not degraded,
+            "degraded": degraded,
+            "workers": self.workers,
+            "worker_health": workers,
+        }
+
     def stats(self) -> dict:
         """Serving counters, queue/memo state and worker-cache statistics."""
         depth = len(self._queue)
+        pool = self._pool.supervision_stats()
+        plan = active_fault_plan()
+        now = time.monotonic()
         with self._lock:
             return {
                 "workers": self.workers,
@@ -533,6 +795,19 @@ class ScheduleService:
                     "maxsize": self._queue.maxsize,
                     "rejected": self._counters[PROVENANCE_REJECTED],
                     "expired": self._counters[PROVENANCE_EXPIRED],
+                },
+                "supervision": {
+                    "worker_crashes": self._faults["worker_crashes"],
+                    "timeouts": self._faults["timeouts"],
+                    "retries": self._faults["retries"],
+                    "retry_budget": self.retries,
+                    "degraded_executions": self._faults["degraded_executions"],
+                    "pool_crashes": pool["crashes"],
+                    "pool_respawns": pool["respawns"],
+                    "breakers": [
+                        breaker.snapshot(now) for breaker in self._breakers
+                    ],
+                    "fault_spec": plan.spec if plan is not None else None,
                 },
                 "memo": self._memo.stats(),
                 "memo_persistence": {
@@ -587,7 +862,15 @@ class ScheduleService:
             self._flusher_stop.set()
             self._flusher.join()
         if self.memo_path is not None and self._memo.maxsize > 0:
-            self.flush_memo()
+            try:
+                self.flush_memo()
+            except Exception as exc:
+                warnings.warn(
+                    f"final memo spill to {self.memo_path!r} failed: "
+                    f"{type(exc).__name__}: {exc}; the memo was not persisted",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     def __enter__(self) -> "ScheduleService":
         return self
@@ -675,29 +958,134 @@ class ScheduleService:
                     entry,
                     _QueueEntry.OUTCOME_EXPIRED,
                     f"deadline of {entry.request.deadline_ms:g} ms expired in queue",
+                    error_kind=ERROR_KIND_DEADLINE,
                 )
                 continue
             try:
-                future = self._pool.submit(
-                    _execute_request, entry.request, affinity=entry.affinity
-                )
-                reply = future.result()
-            except Exception as exc:  # a failed search must not take the service down
-                self._resolve_failure(
-                    entry, _QueueEntry.OUTCOME_ERROR, f"{type(exc).__name__}: {exc}"
-                )
-                continue
-            try:
-                self._resolve_done(entry, reply)
+                self._run_entry(entry)
             except Exception as exc:
-                # Resolution itself failing (malformed reply, stats folding)
-                # must neither kill this dispatcher nor leave the entry's
-                # waiters blocked forever.
+                # _run_entry resolves the entry on every expected path; an
+                # exception escaping it (resolution bug, stats folding) must
+                # neither kill this dispatcher nor leave waiters blocked.
                 self._resolve_failure(
                     entry,
                     _QueueEntry.OUTCOME_ERROR,
                     f"response resolution failed: {type(exc).__name__}: {exc}",
                 )
+
+    def _run_entry(self, entry: _QueueEntry) -> None:
+        """Execute one admitted entry: route, retry on crash, resolve.
+
+        Retries apply *only* to worker crashes — a deterministic search
+        error or bad request would fail identically on every attempt — and
+        never extend past the request's deadline.  The attempt number feeds
+        the fault-injection draw and the backoff jitter, so chaos runs are
+        reproducible.
+        """
+        entry.dispatched = True
+        attempt = 0
+        while True:
+            try:
+                reply = self._execute_routed(entry, attempt)
+            except WorkerTimeoutError as exc:
+                with self._lock:
+                    self._faults["timeouts"] += 1
+                self._resolve_failure(
+                    entry,
+                    _QueueEntry.OUTCOME_EXPIRED,
+                    f"{type(exc).__name__}: {exc}",
+                    error_kind=ERROR_KIND_TIMEOUT,
+                )
+                return
+            except WorkerCrashError as exc:
+                with self._lock:
+                    self._faults["worker_crashes"] += 1
+                error = f"{type(exc).__name__}: {exc}"
+                if attempt >= self.retries:
+                    self._resolve_failure(
+                        entry,
+                        _QueueEntry.OUTCOME_ERROR,
+                        f"{error} (retry budget of {self.retries} exhausted)",
+                        error_kind=ERROR_KIND_WORKER_CRASH,
+                    )
+                    return
+                attempt += 1
+                entry.retries = attempt
+                with self._lock:
+                    self._faults["retries"] += 1
+                delay = retry_backoff_seconds(entry.key, attempt)
+                if entry.deadline is not None:
+                    remaining = entry.deadline - time.monotonic()
+                    if remaining <= delay:
+                        # The deadline leaves no room for another attempt.
+                        self._resolve_failure(
+                            entry,
+                            _QueueEntry.OUTCOME_EXPIRED,
+                            f"{error}; deadline expired before retry {attempt}",
+                            error_kind=ERROR_KIND_TIMEOUT,
+                        )
+                        return
+                time.sleep(delay)
+            except Exception as exc:  # a failed search must not take the service down
+                self._resolve_failure(
+                    entry,
+                    _QueueEntry.OUTCOME_ERROR,
+                    f"{type(exc).__name__}: {exc}",
+                    error_kind=ERROR_KIND_SEARCH,
+                )
+                return
+            else:
+                self._resolve_done(entry, reply)
+                return
+
+    def _select_worker(self, affinity: str) -> int | None:
+        """The affinity worker, or the nearest one whose breaker allows
+        traffic; ``None`` when every breaker is open (degrade in-process)."""
+        base = self._pool.route_index(affinity)
+        now = time.monotonic()
+        with self._lock:
+            for offset in range(self.workers):
+                index = (base + offset) % self.workers
+                if self._breakers[index].allows(now):
+                    return index
+        return None
+
+    def _execute_routed(self, entry: _QueueEntry, attempt: int) -> dict:
+        """Run one attempt on a breaker-approved worker (or in-process).
+
+        The pool-side ``timeout`` is the request's remaining deadline, so a
+        runaway search is killed (and its worker respawned) the moment it
+        can no longer produce a useful answer.
+        """
+        task = (entry.request, attempt)
+        timeout = None
+        if entry.deadline is not None:
+            timeout = entry.deadline - time.monotonic()
+            if timeout <= 0:
+                raise WorkerTimeoutError(
+                    f"deadline of {entry.request.deadline_ms:g} ms expired "
+                    f"before attempt {attempt} was dispatched"
+                )
+        worker = self._select_worker(entry.affinity)
+        if worker is None:
+            # Whole pool unhealthy: degrade to in-process serial execution
+            # so the request is still answered (cold caches, one at a time).
+            with self._lock:
+                self._faults["degraded_executions"] += 1
+            with self._degraded_lock:
+                return _execute_attempt(task)
+        future = self._pool.submit(
+            _execute_attempt, task, worker=worker, timeout=timeout
+        )
+        try:
+            reply = future.result()
+        except WorkerCrashError:
+            with self._lock:
+                self._breakers[worker].record_failure(time.monotonic())
+            raise
+        with self._lock:
+            self._breakers[worker].record_success()
+        return reply
 
     # Every resolver retires the in-flight entry under the lock — but only
     # when it still belongs to this entry: a slow resolution of an earlier
@@ -734,20 +1122,41 @@ class ScheduleService:
         entry.outcome = _QueueEntry.OUTCOME_DONE
         entry.event.set()
 
-    def _resolve_failure(self, entry: _QueueEntry, outcome: str, error: str) -> None:
+    def _resolve_failure(
+        self, entry: _QueueEntry, outcome: str, error: str, error_kind: str = ""
+    ) -> None:
         """Resolve an entry that produced no result (error/expired/cancelled)."""
         with self._lock:
             self._retire(entry)
         entry.error = error
+        entry.error_kind = error_kind
         entry.outcome = outcome
         entry.event.set()
 
     def _flush_loop(self, interval: float) -> None:
+        """Periodic memo spill; a failing disk never kills the flusher.
+
+        A failed spill (unwritable path, full disk) warns, re-marks the memo
+        dirty so the next interval retries, and keeps the loop — and the
+        service — running.
+        """
         while not self._flusher_stop.wait(interval):
             with self._lock:
                 dirty = self._memo_dirty
-            if dirty:
+            if not dirty:
+                continue
+            try:
                 self.flush_memo()
+            except Exception as exc:
+                with self._lock:
+                    self._memo_dirty = True
+                warnings.warn(
+                    f"periodic memo flush to {self.memo_path!r} failed: "
+                    f"{type(exc).__name__}: {exc}; serving continues, the "
+                    "flush will be retried next interval",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     def _record(self, response: ScheduleResponse, locked: bool = False) -> ScheduleResponse:
         if locked:

@@ -210,6 +210,81 @@ def test_serve_command_queue_size_zero_rejects_cache_misses(monkeypatch):
     assert reply["error_kind"] == "overload"
 
 
+def test_serve_command_sigterm_shuts_down_cleanly(tmp_path):
+    """SIGTERM (systemd stop, CI teardown) == Ctrl+C: drain, spill, exit 0."""
+    import json
+    import os
+    import signal
+    import subprocess
+    import sys
+
+    memo_path = tmp_path / "memo.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.abspath("src"), env.get("PYTHONPATH", "")])
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--workers",
+            "1",
+            "--memo-path",
+            str(memo_path),
+        ],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    try:
+        request = {
+            "workload": "gpt2-decode",
+            "workload_kwargs": {"variant": "tiny", "context_len": 16},
+            "fast": True,
+            "seed": 17,
+            "request_id": "pre-term",
+        }
+        process.stdin.write(json.dumps(request) + "\n")
+        process.stdin.flush()
+        reply = json.loads(process.stdout.readline())
+        assert reply["ok"] and reply["request_id"] == "pre-term"
+
+        process.send_signal(signal.SIGTERM)
+        _, stderr = process.communicate(timeout=60)
+    except Exception:
+        process.kill()
+        process.communicate()
+        raise
+    assert process.returncode == 0, stderr  # clean exit, no traceback
+    assert "Traceback" not in stderr
+    assert memo_path.exists()  # the memo was spilled on the way down
+    spilled = json.loads(memo_path.read_text())
+    assert len(spilled["entries"]) == 1
+
+
+def test_serve_command_accepts_retries_flag(monkeypatch):
+    import json
+    import sys
+
+    request = {
+        "workload": "gpt2-decode",
+        "workload_kwargs": {"variant": "tiny", "context_len": 16},
+        "fast": True,
+        "seed": 19,
+    }
+    lines = [json.dumps(request), json.dumps({"op": "stats"}), json.dumps({"op": "shutdown"})]
+    monkeypatch.setattr(sys, "stdin", io.StringIO("\n".join(lines) + "\n"))
+    code, output = _run(["serve", "--workers", "1", "--retries", "3"])
+    assert code == 0
+    replies = [json.loads(line) for line in output.splitlines()]
+    assert replies[0]["ok"] and replies[0]["retries"] == 0  # no crash: no retries
+    assert replies[1]["stats"]["supervision"]["retry_budget"] == 3
+
+
 def test_compare_command_fast():
     code, output = _run(
         ["compare", "--workload", "gpt2-prefill", "--variant", "tiny", "--seq-len", "16", "--fast"]

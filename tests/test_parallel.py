@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import dataclasses
 import math
-import multiprocessing
 import os
 import time
 
@@ -281,21 +280,113 @@ def test_persistent_pool_close_drains_in_flight_tasks():
     assert [future.result() for future in futures] == [0, 2, 4, 6]
 
 
-def test_pool_future_reports_closed_pool_instead_of_hanging():
-    """A future whose result was lost with the workers raises, not hangs."""
+def _sleep_forever(_task) -> None:
+    time.sleep(600)
 
-    class _LostResult:
-        def get(self, timeout=None):
-            raise multiprocessing.TimeoutError
 
-        def ready(self):
-            return False
+def _touch_then_sleep(path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write("running")
+    time.sleep(600)
 
-    pool = PersistentPool(workers=2)
-    pool.close()
-    orphan = parallel._PoolFuture(_LostResult(), pool)
-    with pytest.raises(RuntimeError, match="PersistentPool is closed"):
-        orphan.result()
+
+def _sleep_briefly(seconds: float) -> float:
+    time.sleep(seconds)
+    return seconds
+
+
+def test_worker_kill9_raises_within_bounded_interval_instead_of_hanging(tmp_path):
+    """The no-hang property: ``kill -9`` on a busy worker fails its future
+    with a typed :class:`WorkerCrashError` within a bounded interval, and the
+    pool respawns the worker so later submissions still run."""
+    import signal
+
+    from repro.errors import WorkerCrashError
+
+    sentinel = tmp_path / "task-started"
+    with PersistentPool(workers=2) as pool:
+        victim_pid, _count = pool.submit(_count_calls, None, affinity="victim").result()
+        future = pool.submit(_touch_then_sleep, str(sentinel), affinity="victim")
+        deadline = time.monotonic() + 10
+        while not sentinel.exists():  # kill only once the task is running
+            assert time.monotonic() < deadline, "task never started in the worker"
+            time.sleep(0.02)
+        os.kill(victim_pid, signal.SIGKILL)
+
+        started = time.monotonic()
+        with pytest.raises(WorkerCrashError) as excinfo:
+            future.result()
+        elapsed = time.monotonic() - started
+        assert elapsed < 5.0, f"crash detection took {elapsed:.1f}s — effectively a hang"
+        assert excinfo.value.worker_index is not None
+        assert excinfo.value.exitcode is not None
+
+        # The pool healed: the same affinity key routes to a fresh process
+        # that serves new tasks, and the crash/respawn counters recorded it.
+        new_pid, _count = pool.submit(_count_calls, None, affinity="victim").result()
+        assert new_pid != victim_pid
+        stats = pool.supervision_stats()
+        assert stats["crashes"] >= 1
+        assert stats["respawns"] >= 1
+        assert all(row["alive"] for row in pool.worker_health())
+
+
+def test_submit_timeout_kills_and_respawns_the_worker():
+    """A runaway task is cancelled by killing its worker; the pool survives."""
+    from repro.errors import WorkerTimeoutError
+
+    with PersistentPool(workers=2) as pool:
+        future = pool.submit(_sleep_forever, None, affinity="runaway", timeout=0.3)
+        started = time.monotonic()
+        with pytest.raises(WorkerTimeoutError):
+            future.result()
+        assert time.monotonic() - started < 5.0
+        # A well-behaved task under the same timeout still completes.
+        assert pool.submit(_sleep_briefly, 0.05, timeout=5.0).result() == 0.05
+        assert pool.supervision_stats()["respawns"] >= 1
+
+
+def test_worker_death_between_tasks_respawns_silently():
+    """An idle worker death loses no task: the next submission respawns."""
+    import signal
+
+    with PersistentPool(workers=2) as pool:
+        pid, _count = pool.submit(_count_calls, None, affinity="idle-death").result()
+        os.kill(pid, signal.SIGKILL)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if not any(
+                row["pid"] == pid and row["alive"] for row in pool.worker_health()
+            ):
+                break
+            time.sleep(0.02)
+        new_pid, _count = pool.submit(_count_calls, None, affinity="idle-death").result()
+        assert new_pid != pid
+        # No in-flight task was lost, so this is a respawn but not a crash.
+        assert pool.supervision_stats()["respawns"] >= 1
+
+
+def test_explicit_worker_index_overrides_affinity_routing():
+    with PersistentPool(workers=3) as pool:
+        base = pool.route_index("key-y")
+        override = (base + 1) % 3
+        routed_pid, _ = pool.submit(_count_calls, None, affinity="key-y").result()
+        overridden_pid, _ = pool.submit(
+            _count_calls, None, affinity="key-y", worker=override
+        ).result()
+    assert routed_pid != overridden_pid
+
+
+def test_worker_health_reports_serial_and_unstarted_pools():
+    serial = PersistentPool(workers=1)
+    [row] = serial.worker_health()
+    assert row["alive"] and row["pid"] == os.getpid()
+    serial.close()
+    assert not serial.worker_health()[0]["alive"]
+
+    lazy = PersistentPool(workers=2)
+    assert all(row["pid"] is None for row in lazy.worker_health())
+    lazy.close()
 
 
 def test_resolve_workers_warns_on_non_positive(monkeypatch):

@@ -1,0 +1,413 @@
+"""Self-healing serving: fault injection, crash retry, breakers, deadlines.
+
+The contract under test: no failure mode hangs a client.  A crashed worker
+fails its search with a typed error and is respawned; the service retries
+crashed searches (only crashes, only within the deadline); coalesced
+followers expire on their *own* deadlines; a broken memo disk never stops
+serving; and the injected-fault harness is deterministic, so every one of
+these behaviours is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import WorkerCrashError
+from repro.serving.faults import (
+    FAULT_CRASH_EXIT_CODE,
+    FaultSpecError,
+    active_fault_plan,
+    parse_fault_spec,
+)
+from repro.serving.protocol import ScheduleRequest, response_to_payload
+from repro.serving.server import http_status_for
+from repro.serving.service import (
+    RETRY_BACKOFF_CAP_SECONDS,
+    ScheduleService,
+    reset_worker_state,
+    resolve_retries,
+    retry_backoff_seconds,
+)
+
+TINY_KWARGS = (("context_len", 16), ("variant", "tiny"))
+
+
+def tiny_request(seed: int = 7, request_id: str = "", **kwargs) -> ScheduleRequest:
+    return ScheduleRequest(
+        workload="gpt2-decode",
+        workload_kwargs=TINY_KWARGS,
+        seed=seed,
+        fast=True,
+        request_id=request_id,
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------- fault-spec grammar
+def test_fault_spec_grammar_parses_crash_and_delay():
+    plan = parse_fault_spec("crash:0.1@seed=7; delay:500ms:p=0.2, delay:2s")
+    kinds = [(clause.kind, clause.probability) for clause in plan.clauses]
+    assert kinds == [("crash", 0.1), ("delay", 0.2), ("delay", 1.0)]
+    assert plan.clauses[0].seed == 7
+    assert plan.clauses[1].delay_seconds == pytest.approx(0.5)
+    assert plan.clauses[2].delay_seconds == pytest.approx(2.0)
+    # Bare numbers are milliseconds.
+    assert parse_fault_spec("delay:250").clauses[0].delay_seconds == pytest.approx(0.25)
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "",
+        ";",
+        "crash",
+        "crash:lots",
+        "crash:1.5",
+        "crash:-0.1",
+        "crash:0.1:p=0.2",
+        "delay:abc",
+        "delay:100ms:q=0.2",
+        "crash:0.1@sneed=7",
+        "crash:0.1@seed=x",
+        "explode:0.5",
+    ],
+)
+def test_fault_spec_rejects_malformed(spec):
+    with pytest.raises(FaultSpecError):
+        parse_fault_spec(spec)
+
+
+def test_fault_draws_are_deterministic_and_key_sensitive():
+    clause = parse_fault_spec("crash:0.3@seed=1").clauses[0]
+    keys = [("gpt2-decode", "edge", 7, f"r{i}", attempt) for i in range(64) for attempt in (0, 1)]
+    first = [clause.fires(key) for key in keys]
+    assert first == [clause.fires(key) for key in keys]  # bit-for-bit repeatable
+    rate = sum(first) / len(first)
+    assert 0.1 < rate < 0.5  # roughly the requested probability
+    # The attempt number is part of the key: retries get fresh draws.
+    assert any(
+        clause.fires(("w", "edge", 7, rid, 0)) != clause.fires(("w", "edge", 7, rid, 1))
+        for rid in (f"r{i}" for i in range(64))
+    )
+    # A different seed reshuffles the pattern.
+    other = parse_fault_spec("crash:0.3@seed=2").clauses[0]
+    assert [other.fires(key) for key in keys] != first
+
+
+def test_probability_edges_never_hash():
+    always = parse_fault_spec("crash:1.0").clauses[0]
+    never = parse_fault_spec("crash:0.0").clauses[0]
+    assert always.fires(("any", "key"))
+    assert not never.fires(("any", "key"))
+
+
+def test_delay_clause_sleeps(monkeypatch):
+    plan = parse_fault_spec("delay:30ms")
+    started = time.perf_counter()
+    plan.apply(("w", "edge", 1, "r", 0))
+    assert time.perf_counter() - started >= 0.03
+
+
+def test_in_process_crash_raises_instead_of_exiting():
+    plan = parse_fault_spec("crash:1.0")
+    with pytest.raises(WorkerCrashError):
+        plan.apply(("w", "edge", 1, "r", 0))  # this process is not a pool worker
+
+
+def test_active_fault_plan_tracks_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_SPEC", raising=False)
+    assert active_fault_plan() is None
+    monkeypatch.setenv("REPRO_FAULT_SPEC", "crash:0.25@seed=9")
+    plan = active_fault_plan()
+    assert plan is not None and plan.clauses[0].probability == 0.25
+    assert active_fault_plan() is plan  # cached on the spec text
+    monkeypatch.setenv("REPRO_FAULT_SPEC", "crash:0.5")
+    assert active_fault_plan().clauses[0].probability == 0.5
+
+
+def test_service_rejects_malformed_fault_spec_at_startup(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_SPEC", "crash:often")
+    with pytest.raises(FaultSpecError):
+        ScheduleService(workers=1)
+
+
+# ------------------------------------------------------------- retry plumbing
+def test_resolve_retries_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_SERVE_RETRIES", raising=False)
+    assert resolve_retries(None) == 1
+    assert resolve_retries(3) == 3
+    assert resolve_retries(0) == 0
+    monkeypatch.setenv("REPRO_SERVE_RETRIES", "4")
+    assert resolve_retries(None) == 4
+    monkeypatch.setenv("REPRO_SERVE_RETRIES", "several")
+    with pytest.warns(RuntimeWarning, match="REPRO_SERVE_RETRIES"):
+        assert resolve_retries(None) == 1
+    with pytest.warns(RuntimeWarning, match="negative"):
+        assert resolve_retries(-2) == 0
+
+
+def test_retry_backoff_is_deterministic_capped_and_jittered():
+    assert retry_backoff_seconds("key", 1) == retry_backoff_seconds("key", 1)
+    assert retry_backoff_seconds("key", 1) != retry_backoff_seconds("other", 1)
+    for attempt in range(1, 12):
+        delay = retry_backoff_seconds("key", attempt)
+        assert 0.0 < delay <= RETRY_BACKOFF_CAP_SECONDS
+
+
+class _CrashNTimesExecutor:
+    """Stand-in for ``_execute_request``: crash the first ``n`` calls."""
+
+    def __init__(self, crashes: int, exception=WorkerCrashError) -> None:
+        self.remaining = crashes
+        self.exception = exception
+        self.calls = 0
+
+    def __call__(self, request: ScheduleRequest) -> dict:
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise self.exception(f"injected failure #{self.calls}")
+        return {
+            "payload": {"seed": request.seed},
+            "provenance": "cold",
+            "pid": 0,
+            "search_seconds": 0.0,
+            "cache_stats": None,
+        }
+
+
+def test_crashed_search_is_retried_and_reports_retries(monkeypatch):
+    executor = _CrashNTimesExecutor(crashes=1)
+    monkeypatch.setattr("repro.serving.service._execute_request", executor)
+    with ScheduleService(workers=1, retries=2) as service:
+        response = service.schedule(tiny_request(seed=1, request_id="saved"))
+        assert response.ok
+        assert response.retries == 1
+        assert executor.calls == 2
+        supervision = service.stats()["supervision"]
+        assert supervision["worker_crashes"] == 1
+        assert supervision["retries"] == 1
+        assert supervision["retry_budget"] == 2
+    assert response_to_payload(response)["retries"] == 1  # on the wire too
+
+
+def test_retry_budget_exhaustion_fails_with_worker_crash_kind(monkeypatch):
+    executor = _CrashNTimesExecutor(crashes=99)
+    monkeypatch.setattr("repro.serving.service._execute_request", executor)
+    with ScheduleService(workers=1, retries=1) as service:
+        response = service.schedule(tiny_request(seed=2))
+        assert not response.ok
+        assert response.provenance == "error"
+        assert response.error_kind == "worker_crash"
+        assert response.retries == 1
+        assert "retry budget" in response.error
+        assert executor.calls == 2  # initial attempt + 1 retry
+    assert http_status_for(response_to_payload(response)) == 503
+
+
+def test_search_errors_are_never_retried(monkeypatch):
+    executor = _CrashNTimesExecutor(crashes=99, exception=RuntimeError)
+    monkeypatch.setattr("repro.serving.service._execute_request", executor)
+    with ScheduleService(workers=1, retries=5) as service:
+        response = service.schedule(tiny_request(seed=3))
+        assert not response.ok
+        assert response.error_kind == "search"
+        assert response.retries == 0
+        assert executor.calls == 1  # deterministic failure: one attempt only
+        assert service.stats()["supervision"]["retries"] == 0
+
+
+def test_bad_requests_are_never_retried():
+    with ScheduleService(workers=1, retries=5) as service:
+        response = service.schedule(ScheduleRequest(workload="not-a-model"))
+        assert not response.ok
+        assert response.error_kind == "bad_request"
+        assert response.retries == 0
+        assert service.stats()["supervision"]["retries"] == 0
+
+
+def test_retries_never_extend_past_the_deadline(monkeypatch):
+    executor = _CrashNTimesExecutor(crashes=999)
+    monkeypatch.setattr("repro.serving.service._execute_request", executor)
+    with ScheduleService(workers=1, retries=50) as service:
+        started = time.monotonic()
+        response = service.schedule(tiny_request(seed=4, deadline_ms=200.0))
+        elapsed = time.monotonic() - started
+    assert not response.ok
+    assert response.provenance == "expired"
+    assert response.error_kind == "timeout"
+    assert elapsed < 5.0  # bounded by the deadline, not by 50 backoffs
+    assert 1 <= executor.calls < 50
+
+
+# --------------------------------------------------------- in-flight deadlines
+class _BlockingExecutor:
+    """Event-driven ``_execute_request`` stand-in (see tests/test_serving.py)."""
+
+    def __init__(self) -> None:
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def __call__(self, request: ScheduleRequest) -> dict:
+        self.started.set()
+        assert self.release.wait(timeout=30), "test never released the executor"
+        return {
+            "payload": {"seed": request.seed},
+            "provenance": "cold",
+            "pid": 0,
+            "search_seconds": 0.0,
+            "cache_stats": None,
+        }
+
+
+@pytest.fixture
+def blocking_executor(monkeypatch):
+    executor = _BlockingExecutor()
+    monkeypatch.setattr("repro.serving.service._execute_request", executor)
+    yield executor
+    executor.release.set()
+
+
+def test_inflight_deadline_expires_with_timeout_kind(blocking_executor):
+    with ScheduleService(workers=1) as service:
+        pending = service._submit(tiny_request(seed=5, deadline_ms=80.0))
+        assert blocking_executor.started.wait(timeout=10)  # search is in flight
+        response = pending.result()
+        assert not response.ok
+        assert response.provenance == "expired"
+        assert response.error_kind == "timeout"  # not "deadline": it was running
+        assert "in flight" in response.error
+        blocking_executor.release.set()
+
+
+def test_coalesced_follower_expires_on_its_own_deadline(blocking_executor):
+    with ScheduleService(workers=1) as service:
+        leader = service._submit(tiny_request(seed=6, request_id="leader"))
+        assert blocking_executor.started.wait(timeout=10)
+        follower = service._submit(
+            tiny_request(seed=6, request_id="follower", deadline_ms=60.0)
+        )
+        expired = follower.result()  # leader still blocked: follower expires alone
+        assert not expired.ok
+        assert expired.provenance == "expired"
+        assert expired.error_kind == "timeout"
+        assert "follower" in expired.error
+        blocking_executor.release.set()
+        completed = leader.result()
+        assert completed.ok and completed.provenance == "cold"
+    # The leader's late result still landed in the memo for future requests.
+    assert service._memo.peek(service.request_fingerprint(tiny_request(seed=6))) is not None
+
+
+# ------------------------------------------------------------ circuit breaker
+def test_breaker_opens_after_threshold_and_degrades_in_process(monkeypatch):
+    executor = _CrashNTimesExecutor(crashes=3)
+    monkeypatch.setattr("repro.serving.service._execute_request", executor)
+    with ScheduleService(
+        workers=1, retries=0, breaker_threshold=3, breaker_cooldown_seconds=600.0
+    ) as service:
+        for seed in (10, 11, 12):  # three consecutive crashes trip the breaker
+            assert service.schedule(tiny_request(seed=seed)).error_kind == "worker_crash"
+        health = service.health()
+        assert not health["ok"] and health["degraded"]
+        assert health["worker_health"][0]["breaker"]["state"] == "open"
+        assert health["worker_health"][0]["breaker"]["trips"] == 1
+        # The whole pool is unhealthy: execution degrades in-process and the
+        # request is still answered.
+        response = service.schedule(tiny_request(seed=13))
+        assert response.ok
+        assert service.stats()["supervision"]["degraded_executions"] == 1
+
+
+def test_breaker_half_open_probe_closes_on_success(monkeypatch):
+    executor = _CrashNTimesExecutor(crashes=2)
+    monkeypatch.setattr("repro.serving.service._execute_request", executor)
+    with ScheduleService(
+        workers=1, retries=0, breaker_threshold=2, breaker_cooldown_seconds=0.05
+    ) as service:
+        for seed in (20, 21):
+            assert not service.schedule(tiny_request(seed=seed)).ok
+        assert not service.health()["ok"]
+        time.sleep(0.08)  # past the cooldown: half-open allows a trial
+        probe = service.schedule(tiny_request(seed=22))
+        assert probe.ok
+        health = service.health()
+        assert health["ok"]
+        assert health["worker_health"][0]["breaker"]["state"] == "closed"
+        assert service.stats()["supervision"]["degraded_executions"] == 0
+
+
+# ----------------------------------------------------- real pool, real crashes
+def test_injected_crash_kills_respawns_and_retry_saves_the_request(monkeypatch):
+    """End-to-end self-healing: a real worker process dies and the request
+    still succeeds, deterministically, because the fault draw depends on the
+    attempt number."""
+    spec = "crash:0.5@seed=3"
+    clause = parse_fault_spec(spec).clauses[0]
+
+    def fires(request_id: str, attempt: int) -> bool:
+        return clause.fires(("gpt2-decode", "edge", 7, request_id, attempt))
+
+    crashy = next(
+        f"victim-{i}" for i in range(512) if fires(f"victim-{i}", 0) and not fires(f"victim-{i}", 1)
+    )
+    clean = next(f"clean-{i}" for i in range(512) if not fires(f"clean-{i}", 0))
+
+    reset_worker_state()
+    monkeypatch.setenv("REPRO_FAULT_SPEC", spec)
+    with ScheduleService(workers=2, retries=1) as service:
+        saved = service.schedule(tiny_request(seed=7, request_id=crashy))
+        assert saved.ok
+        assert saved.retries == 1  # attempt 0 died with the worker, attempt 1 ran
+        untouched = service.schedule(tiny_request(seed=7, request_id=clean))
+        assert untouched.ok and untouched.provenance == "memo"
+        supervision = service.stats()["supervision"]
+        assert supervision["worker_crashes"] == 1
+        assert supervision["pool_crashes"] == 1
+        assert supervision["pool_respawns"] >= 1
+        health = service.health()
+        assert health["ok"]  # the pool respawned back to full health
+        assert all(row["alive"] for row in health["worker_health"])
+    reset_worker_state()
+
+
+def test_fault_crash_exit_code_is_visible_in_pool_errors(monkeypatch):
+    """The injected-crash exit code is distinctive in the crash error text."""
+    from repro.experiments.parallel import PersistentPool
+    from repro.serving.faults import FAULT_SPEC_ENV
+    from repro.serving.service import _execute_attempt
+
+    monkeypatch.setenv(FAULT_SPEC_ENV, "crash:1.0")
+    with PersistentPool(workers=2) as pool:
+        future = pool.submit(_execute_attempt, (tiny_request(seed=8), 0))
+        with pytest.raises(WorkerCrashError) as excinfo:
+            future.result()
+    assert excinfo.value.exitcode == FAULT_CRASH_EXIT_CODE
+
+
+# --------------------------------------------------------- memo-flush failures
+def test_flush_loop_survives_unwritable_memo_path(monkeypatch, tmp_path):
+    executor = _CrashNTimesExecutor(crashes=0)
+    monkeypatch.setattr("repro.serving.service._execute_request", executor)
+    # A directory at the memo path makes every spill's final rename fail.
+    bad_path = tmp_path / "memo-as-a-directory"
+    bad_path.mkdir()
+    with pytest.warns(RuntimeWarning, match="memo"):
+        with ScheduleService(
+            workers=1, memo_path=bad_path, memo_flush_seconds=0.05
+        ) as service:
+            assert service.schedule(tiny_request(seed=30)).ok
+            deadline = time.monotonic() + 10
+            while (
+                service.stats()["memo_persistence"]["flushes"] == 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+            assert service.stats()["memo_persistence"]["flushes"] >= 1
+            assert service._flusher.is_alive()  # the failed flush did not kill it
+            # ... and the service keeps serving.
+            assert service.schedule(tiny_request(seed=31)).ok
+    assert (tmp_path / "memo-as-a-directory").is_dir()  # nothing clobbered it
