@@ -270,6 +270,7 @@ def compare_cells(
     tasks: list[ComparisonTask],
     workers: int | None = None,
     intra_cell: bool | None = None,
+    pool=None,
 ) -> list[ComparisonRow]:
     """Run many Fig. 6 cells, fanned across workers (see ``REPRO_WORKERS``).
 
@@ -278,21 +279,29 @@ def compare_cells(
     is additionally split into its baseline and SoMa runs
     (:class:`ScheduleRoleTask`), so a single cell can occupy two workers;
     pass ``intra_cell=False`` to fan at cell granularity only.
-    """
-    from repro.experiments.parallel import ParallelRunner
 
-    runner = ParallelRunner(workers)
+    The grid runs on a supervised
+    :class:`~repro.experiments.parallel.PersistentPool` — pass an open pool
+    via ``pool`` to reuse its warm workers (and their module-level caches)
+    across several grids; it is left open for the caller.  Otherwise a pool
+    is created for this call and shut down afterwards.
+    """
+    from repro.experiments.parallel import PersistentPool
+
+    if pool is None:
+        with PersistentPool(workers) as owned:
+            return compare_cells(tasks, workers, intra_cell, pool=owned)
     if intra_cell is None:
-        intra_cell = runner.workers > 1
+        intra_cell = pool.workers > 1
     if not intra_cell:
-        return runner.map(run_comparison_task, tasks)
+        return pool.map(run_comparison_task, tasks)
 
     role_tasks = [
         ScheduleRoleTask(task=task, role=role)
         for task in tasks
         for role in ("baseline", "soma")
     ]
-    outcomes = runner.map(run_schedule_role, role_tasks)
+    outcomes = pool.map(run_schedule_role, role_tasks)
     rows = []
     for index in range(len(tasks)):
         workload, accelerator_name, batch, peak_ops, cocco_eval = outcomes[2 * index]

@@ -137,6 +137,7 @@ def run_dse(
     config: SoMaConfig | None = None,
     seed: int | None = None,
     workers: int | None = None,
+    pool=None,
 ) -> DSEResult:
     """Sweep DRAM bandwidth x buffer capacity for one workload.
 
@@ -145,6 +146,10 @@ def run_dse(
     envelope logic simply ignores them.  Points are independent (fresh
     schedulers, explicit seed), so they fan across ``workers`` processes
     (default: ``REPRO_WORKERS``) with results identical to a serial sweep.
+
+    Pass an open :class:`~repro.experiments.parallel.PersistentPool` via
+    ``pool`` to reuse warm workers across several sweeps (it stays open for
+    the caller); otherwise one is created and shut down around this sweep.
     """
     config = config if config is not None else SoMaConfig()
     tasks = [
@@ -159,9 +164,13 @@ def run_dse(
         for buffer_mb in buffer_sizes_mb
         for bandwidth in dram_bandwidths_gb_s
     ]
-    from repro.experiments.parallel import ParallelRunner
+    from repro.experiments.parallel import PersistentPool
 
-    cells = ParallelRunner(workers).map(_run_dse_point, tasks)
+    if pool is None:
+        with PersistentPool(workers) as owned:
+            cells = owned.map(_run_dse_point, tasks)
+    else:
+        cells = pool.map(_run_dse_point, tasks)
     return DSEResult(workload=graph.name, batch=graph.batch, cells=tuple(cells))
 
 

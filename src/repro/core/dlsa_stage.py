@@ -6,73 +6,120 @@ Duration endpoint (``Start`` for loads — how early to prefetch; ``End`` for
 stores — how late the drain may finish).  Tensors are selected for mutation
 with probability proportional to their size, since large tensors dominate
 both bandwidth and buffer pressure.
+
+Moves are proposed as symbolic :class:`~repro.notation.dlsa.DLSAMove`
+records and scored in speculative batches through
+``PlanEvaluationContext.evaluate_moves`` (``REPRO_DLSA_BATCH`` candidates
+per window): each window is screened by the exact deadlock criterion and,
+when ``REPRO_ROOFLINE_PREFILTER`` is on, by the conservative roofline cost
+bound, so only the rare surviving candidates pay for a full co-simulation.
+The walk is bit-identical for any batch size and with the pre-filter on or
+off; the legacy one-candidate operators remain as thin wrappers over the
+proposers (same RNG draws, same candidates).
 """
 
 from __future__ import annotations
 
 import math
+import os
 import random
+from bisect import bisect
 from dataclasses import dataclass
 
 from repro.core.config import SoMaConfig
 from repro.core.evaluator import ScheduleEvaluator
 from repro.core.result import EvaluationResult, StageResult
+from repro.core.roofline import prefilter_enabled
 from repro.core.sa import SimulatedAnnealing
-from repro.notation.dlsa import DLSA
+from repro.notation.dlsa import DLSA, DLSAMove
 from repro.notation.encoding import ScheduleEncoding
 from repro.notation.lfa import LFA
 from repro.notation.plan import ComputePlan
+
+_DEFAULT_BATCH = 32
+
+
+def dlsa_batch_size() -> int:
+    """Speculation window of the DLSA move engine (``REPRO_DLSA_BATCH``)."""
+    raw = os.environ.get("REPRO_DLSA_BATCH", "")
+    try:
+        value = int(raw) if raw else _DEFAULT_BATCH
+    except ValueError:
+        value = _DEFAULT_BATCH
+    return max(1, value)
 
 
 # ------------------------------------------------------------------- operators
 def _pick_tensor(plan: ComputePlan, rng: random.Random) -> int:
     """Pick a DRAM tensor id with probability proportional to its size.
 
-    The weights only depend on the plan, so they are computed once per plan
-    (``ComputePlan.tensor_size_weights``) instead of on every move proposal.
+    Replicates ``rng.choices(range(n), weights, k=1)`` exactly — one uniform
+    draw bisected into the cached cumulative weights — without rebuilding
+    the prefix sum on every proposal.
     """
-    weights = plan.tensor_size_weights
-    return rng.choices(range(len(weights)), weights=weights, k=1)[0]
+    cum_weights = plan.tensor_weight_cumsum
+    n = len(cum_weights)
+    return bisect(cum_weights, rng.random() * cum_weights[-1], 0, n - 1)
+
+
+def propose_order_move(plan: ComputePlan, dlsa: DLSA, rng: random.Random) -> DLSAMove | None:
+    """Propose moving one DRAM tensor to another position of the order."""
+    if len(dlsa.order) < 2:
+        return None
+    tid = _pick_tensor(plan, rng)
+    current = dlsa.order.index(tid)
+    new_position = rng.randrange(len(dlsa.order))
+    if new_position == current:
+        return None
+    return DLSAMove(kind="order", tid=tid, source=current, position=new_position)
+
+
+def propose_living_move(plan: ComputePlan, dlsa: DLSA, rng: random.Random) -> DLSAMove | None:
+    """Propose changing the free Living Duration endpoint of one tensor."""
+    tid = _pick_tensor(plan, rng)
+    is_load, _num_bytes, first_use, _last_use = plan.tensor_arrays
+    start, end = dlsa.living[tid]
+    if is_load[tid]:
+        if first_use[tid] == 0:
+            return None
+        new_start = rng.randint(0, first_use[tid])
+        if new_start == start:
+            return None
+        return DLSAMove(kind="living", tid=tid, span=(new_start, end))
+    latest = plan.num_tiles  # one past the final tile: no deadline at all
+    earliest = first_use[tid] + 1  # the producing tile
+    if latest <= earliest:
+        return None
+    new_end = rng.randint(earliest, latest)
+    if new_end == end:
+        return None
+    return DLSAMove(kind="living", tid=tid, span=(start, new_end))
+
+
+DLSA_PROPOSERS = (propose_order_move, propose_living_move)
+
+
+def propose_dlsa_move(plan: ComputePlan, dlsa: DLSA, rng: random.Random) -> DLSAMove | None:
+    """One annealing proposal: try both operators in random order."""
+    proposers = list(DLSA_PROPOSERS)
+    rng.shuffle(proposers)
+    for proposer in proposers:
+        move = proposer(plan, dlsa, rng)
+        if move is not None:
+            return move
+    return None
 
 
 def op_change_tensor_order(plan: ComputePlan, dlsa: DLSA, rng: random.Random) -> DLSA | None:
     """Move one DRAM tensor to another position of the DRAM Tensor Order."""
-    if len(dlsa.order) < 2:
-        return None
-    tid = _pick_tensor(plan, rng)
-    order = list(dlsa.order)
-    current = order.index(tid)
-    new_position = rng.randrange(len(order))
-    if new_position == current:
-        return None
-    order.pop(current)
-    order.insert(new_position, tid)
-    return DLSA(order=tuple(order), living=dict(dlsa.living))
+    move = propose_order_move(plan, dlsa, rng)
+    return None if move is None else move.apply(dlsa)
 
 
 def op_change_living_duration(plan: ComputePlan, dlsa: DLSA, rng: random.Random) -> DLSA | None:
     """Change the free Living Duration endpoint of one DRAM tensor."""
-    tid = _pick_tensor(plan, rng)
-    tensor = plan.tensor(tid)
-    living = dict(dlsa.living)
-    start, end = living[tid]
-    if tensor.is_load:
-        if tensor.first_use == 0:
-            return None
-        new_start = rng.randint(0, tensor.first_use)
-        if new_start == start:
-            return None
-        living[tid] = (new_start, end)
-    else:
-        latest = plan.num_tiles  # one past the final tile: no deadline at all
-        earliest = tensor.produce_tile + 1
-        if latest <= earliest:
-            return None
-        new_end = rng.randint(earliest, latest)
-        if new_end == end:
-            return None
-        living[tid] = (start, new_end)
-    return DLSA(order=dlsa.order, living=living)
+    move = propose_living_move(plan, dlsa, rng)
+    return None if move is None else move.apply(dlsa)
 
 
 DLSA_OPERATORS = (op_change_tensor_order, op_change_living_duration)
@@ -106,16 +153,31 @@ class DLSAStage:
         # One evaluation context serves the whole run: stage 2 keeps the plan
         # fixed, so every annealing step hits the incremental fast path.
         context = self._evaluator.context(plan)
-        outcome = self._annealer.run(
+        budget = buffer_budget_bytes
+        bound_cost_fn = self._bound_cost_fn(context, budget) if prefilter_enabled() else None
+
+        def batch_eval(base, moves, thresholds):
+            results = context.evaluate_moves(
+                base, moves, budget, thresholds=thresholds, bound_cost_fn=bound_cost_fn
+            )
+            return [
+                math.inf if result is None else self._penalised_cost(result, budget)
+                for result in results
+            ]
+
+        outcome = self._annealer.run_batched(
             initial_state=initial_dlsa,
             cost_fn=lambda dlsa: self._penalised_cost(
-                context.evaluate(dlsa, buffer_budget_bytes), buffer_budget_bytes
+                context.evaluate(dlsa, budget), budget
             ),
-            neighbor_fn=lambda dlsa, move_rng: self._neighbor(plan, dlsa, move_rng),
+            propose_fn=lambda dlsa, move_rng: propose_dlsa_move(plan, dlsa, move_rng),
+            apply_fn=lambda dlsa, move: move.apply(dlsa),
+            batch_eval_fn=batch_eval,
             rng=rng,
             units=plan.num_dram_tensors,
+            batch_size=dlsa_batch_size(),
         )
-        evaluation = context.evaluate(outcome.best_state, buffer_budget_bytes)
+        evaluation = context.evaluate(outcome.best_state, budget)
         stage_result = StageResult(
             encoding=ScheduleEncoding(lfa=lfa, dlsa=outcome.best_state),
             evaluation=evaluation,
@@ -140,11 +202,30 @@ class DLSAStage:
             cost *= 1.0 + self._config.buffer_overflow_penalty * excess
         return cost
 
+    def _bound_cost_fn(self, context, budget: int):
+        """Map the roofline latency bound to a lower bound on the move cost.
+
+        Mirrors :meth:`_penalised_cost` with the exact energy and exact peak
+        buffer (both independent of the simulation) and the latency *bound*:
+        the objective is nondecreasing in latency (``delay_exponent >= 0``),
+        so the result never exceeds the candidate's true cost.
+        """
+        energy_j = context.core_energy_j + context.dram_energy_j
+        config = self._config
+        penalty = config.buffer_overflow_penalty
+
+        def bound_cost(bound_latency_s: float, max_buffer_bytes: int) -> float:
+            if not math.isfinite(bound_latency_s) or bound_latency_s <= 0:
+                return 0.0
+            cost = config.objective(energy_j, bound_latency_s)
+            if max_buffer_bytes > budget:
+                excess = (max_buffer_bytes - budget) / budget
+                cost *= 1.0 + penalty * excess
+            return cost
+
+        return bound_cost
+
     def _neighbor(self, plan: ComputePlan, dlsa: DLSA, rng: random.Random) -> DLSA | None:
-        operators = list(DLSA_OPERATORS)
-        rng.shuffle(operators)
-        for operator in operators:
-            candidate = operator(plan, dlsa, rng)
-            if candidate is not None:
-                return candidate
-        return None
+        """Serial one-candidate neighbour (kept for tests and reference runs)."""
+        move = propose_dlsa_move(plan, dlsa, rng)
+        return None if move is None else move.apply(dlsa)

@@ -25,6 +25,17 @@ asserted by ``tests/test_eval_context.py``), with the single exception of
 ``avg_buffer_bytes`` which may differ by float rounding (the engine uses a
 vectorised dot product) — that statistic feeds no search decision.
 
+:meth:`evaluate_moves` is the batched complement used by the DLSA stage's
+speculative move engine: a whole window of candidate
+:class:`~repro.notation.dlsa.DLSAMove`\\ s is screened against the current
+base in one pass — an exact structural deadlock criterion (emitting the
+same deadlock result the simulator would) plus a conservative roofline
+lower bound (:mod:`repro.core.roofline`) that prunes candidates whose bound
+already reaches the acceptance threshold, so only the rare survivors pay
+for a full co-simulation.  Both screens are gated and counted:
+``REPRO_ROOFLINE_PREFILTER`` toggles the pruning and ``cache_stats`` carries
+``batch_*`` counters alongside the memo statistics.
+
 Perf knobs (see ROADMAP.md): ``REPRO_RESULT_CACHE`` bounds the per-context
 result memo; numpy is used for the occupancy scans when available, with a
 pure-Python fallback otherwise.
@@ -41,9 +52,16 @@ except ImportError:  # pragma: no cover - the image ships numpy
 
 from repro.core.caching import LRUCache, cache_size
 from repro.core.result import EvaluationResult, TileRecord, TransferRecord
+from repro.core.roofline import MoveScreen
 from repro.hardware.accelerator import AcceleratorConfig
 from repro.notation.dlsa import DLSA
 from repro.notation.plan import ComputePlan
+
+#: Minimum fraction of the co-sim a candidate must have left (past its
+#: checkpoint resume point) before the roofline escalation is attempted:
+#: pruning buys nothing on candidates whose resumed simulation is already
+#: cheaper than the bound rounds would be.
+_PREFILTER_MIN_WORK = 0.25
 
 
 def _segment_static_costs(accelerator, mapper, graph, segment):
@@ -157,6 +175,23 @@ class PlanEvaluationContext:
         self._occ_deltas = None
         self._occ_result: tuple[int, float] | None = None
 
+        # ------------------------------------------------ batched move engine
+        self._screen: MoveScreen | None = None
+        self._batch_base: DLSA | None = None
+        self._batch_occ: tuple[int, float] | None = None
+        self._batch_deltas = None
+        self._batch_pos: list[int] | None = None
+        self._batch_checkpoints = None
+        self._batch_latency: float | None = None
+        self._batch_store_deadline: dict[int, list[int]] | None = None
+        self._batch_stats = {
+            "batch_calls": 0,
+            "batch_moves": 0,
+            "batch_deadlocks": 0,
+            "batch_pruned": 0,
+            "batch_sims": 0,
+        }
+
         # ------------------------------------------------------- result memo
         if result_cache_size is None:
             result_cache_size = cache_size("RESULT", 512)
@@ -201,10 +236,106 @@ class PlanEvaluationContext:
             self._results.put(key, result)
         return result
 
+    def evaluate_moves(
+        self,
+        base: DLSA,
+        moves,
+        buffer_budget_bytes: int | None = None,
+        thresholds=None,
+        bound_cost_fn=None,
+    ) -> list[EvaluationResult | None]:
+        """Evaluate a batch of candidate moves against a common base DLSA.
+
+        For every :class:`~repro.notation.dlsa.DLSAMove` this returns
+        exactly what ``evaluate(move.apply(base))`` would — but candidates
+        that would deadlock are detected by the exact structural criterion
+        (:class:`~repro.core.roofline.MoveScreen`) and get their deadlock
+        result without a simulation, and, when ``bound_cost_fn`` is given,
+        feasible candidates whose conservative roofline cost bound already
+        reaches their entry in ``thresholds`` are *pruned*: their slot holds
+        ``None``, which callers treat as an infinite cost.  A pruned
+        candidate is guaranteed to have a true cost at or above its
+        threshold, so the SA trajectory is unchanged by pruning.
+
+        ``bound_cost_fn(bound_latency_s, max_buffer_bytes)`` must map the
+        latency lower bound to a cost lower bound (the caller owns the
+        objective and the buffer penalty; occupancy is exact either way).
+        """
+        if buffer_budget_bytes is None:
+            buffer_budget_bytes = self.accelerator.gbuf_bytes
+        if self._screen is None:
+            self._screen = MoveScreen(self)
+        if self._batch_base is not base:
+            self._rebase_batch(base)
+        stats = self._batch_stats
+        stats["batch_calls"] += 1
+        results: list[EvaluationResult | None] = []
+        for index, move in enumerate(moves):
+            stats["batch_moves"] += 1
+            threshold = math.inf if thresholds is None else thresholds[index]
+            occupancy = self._move_occupancy(move)
+            resume, remaining = self._resume_info(move)
+            prune_check = None
+            if (
+                bound_cost_fn is not None
+                and math.isfinite(threshold)
+                and remaining >= _PREFILTER_MIN_WORK
+            ):
+                prune_check = (
+                    lambda bound, _mb=occupancy[0], _t=threshold: bound_cost_fn(bound, _mb) >= _t
+                )
+            feasible, pruned = self._screen.assess(move, prune_check)
+            if not feasible:
+                stats["batch_deadlocks"] += 1
+                results.append(self._deadlock_result(*occupancy))
+                continue
+            if pruned:
+                stats["batch_pruned"] += 1
+                results.append(None)
+                continue
+            stats["batch_sims"] += 1
+            results.append(
+                self._batch_full_result(move, occupancy, buffer_budget_bytes, resume)
+            )
+        return results
+
+    def _resume_info(self, move) -> tuple[tuple[str, int] | None, float]:
+        """Where a candidate's simulation diverges from the base's.
+
+        Returns ``(resume, remaining)``: ``resume`` is ``None`` (no base
+        checkpoints — simulate from scratch), ``("=", 0)`` (the move provably
+        changes no simulation input — the base latency is the candidate's),
+        or ``("P", p0)`` / ``("T", t0)`` identifying the first order position
+        or tile whose inputs the move touches.  ``remaining`` estimates the
+        fraction of the co-sim left after the resume point; the roofline
+        escalation is only worth buying for candidates with enough remaining
+        work (:data:`_PREFILTER_MIN_WORK`), and skipping it for the cheap
+        ones cannot change the trajectory — pruning only ever discards
+        candidates that are provably rejected anyway.
+        """
+        if self._batch_checkpoints is None:
+            return None, 1.0
+        if move.kind == "order":
+            p0 = move.source if move.source < move.position else move.position
+            return ("P", p0), 1.0 - p0 / (self._num_tensors or 1)
+        tid = move.tid
+        if self._is_load[tid]:
+            if move.span[0] == self._batch_base.living[tid][0]:
+                return ("=", 0), 0.0
+            p0 = self._batch_pos[tid]
+            return ("P", p0), 1.0 - p0 / (self._num_tensors or 1)
+        end_old = self._batch_base.living[tid][1]
+        end_new = move.span[1]
+        t0 = end_old if end_old < end_new else end_new
+        if end_old == end_new or t0 >= self._num_tiles:
+            return ("=", 0), 0.0
+        return ("T", t0), 1.0 - t0 / (self._num_tiles or 1)
+
     def cache_stats(self) -> dict:
-        """Result-memo statistics plus the number of evaluations performed."""
+        """Result-memo statistics plus evaluation and batch-screen counters."""
         stats = self._results.stats()
         stats["evaluations"] = self.eval_count
+        stats.update(self._batch_stats)
         return stats
 
     # ---------------------------------------------------------------- internal
@@ -217,16 +348,7 @@ class PlanEvaluationContext:
 
         timing = self._simulate(dlsa)
         if timing is None:
-            return EvaluationResult(
-                feasible=False,
-                reason="deadlock between the DRAM Tensor Order and the compute sequence",
-                max_buffer_bytes=max_buffer,
-                avg_buffer_bytes=avg_buffer,
-                num_tiles=plan.num_tiles,
-                num_dram_tensors=plan.num_dram_tensors,
-                num_lgs=plan.num_lgs,
-                num_flgs=plan.num_flgs,
-            )
+            return self._deadlock_result(max_buffer, avg_buffer)
         tile_finish, transfer_start, transfer_finish, latency = timing
 
         feasible = max_buffer <= buffer_budget_bytes
@@ -266,6 +388,135 @@ class PlanEvaluationContext:
             num_flgs=plan.num_flgs,
             tile_records=tile_records,
             transfer_records=transfer_records,
+        )
+
+    def _deadlock_result(self, max_buffer: int, avg_buffer: float) -> EvaluationResult:
+        """The deadlock result, shared by the serial and batched paths."""
+        plan = self.plan
+        return EvaluationResult(
+            feasible=False,
+            reason="deadlock between the DRAM Tensor Order and the compute sequence",
+            max_buffer_bytes=max_buffer,
+            avg_buffer_bytes=avg_buffer,
+            num_tiles=plan.num_tiles,
+            num_dram_tensors=plan.num_dram_tensors,
+            num_lgs=plan.num_lgs,
+            num_flgs=plan.num_flgs,
+        )
+
+    # ------------------------------------------------------ batched move engine
+    def _rebase_batch(self, base: DLSA) -> None:
+        """Cache the screen arrays and occupancy snapshot of a new batch base."""
+        self._batch_base = base
+        self._screen.rebase(base)
+        # Runs the serial incremental path, so the occupancy cache also lands
+        # on the base — the accepted candidate's later evaluation patches
+        # from it.  The delta snapshot is copied: ``_occ_deltas`` is mutated
+        # in place by the serial path when full evaluations interleave.
+        self._batch_occ = self._occupancy(base.living)
+        if _np is not None:
+            self._batch_deltas = _np.asarray(self._occ_deltas, dtype=_np.int64)
+        else:
+            self._batch_deltas = list(self._occ_deltas)
+        # Base co-sim with per-event checkpoints: every surviving candidate
+        # shares a prefix of the base's simulation (a move perturbs one order
+        # position, one Living start, or one store deadline), so its own
+        # simulation can resume mid-flight from the base's recorded state at
+        # the divergence point instead of replaying the common prefix.
+        order = self._screen._order_list
+        pos = [0] * self._num_tensors
+        for p, tid in enumerate(order):
+            pos[tid] = p
+        self._batch_pos = pos
+        self._checkpoint_base(order)
+
+    def _move_occupancy(self, move) -> tuple[int, float]:
+        """Occupancy of one candidate move, patched from the base snapshot.
+
+        Order moves keep every Living Duration, so the base scan is reused
+        verbatim; a living move shifts one tensor's interval, so the base
+        delta snapshot is copied, patched with the two interval updates, and
+        rescanned — the same arithmetic as the serial incremental path.
+        """
+        if self._num_tiles == 0:
+            return 0, 0.0
+        if move.kind == "order":
+            return self._batch_occ
+        tid = move.tid
+        old_span = self._batch_base.living[tid]
+        new_span = move.span
+        if new_span == old_span:
+            return self._batch_occ
+        num_bytes = self._num_bytes[tid]
+        if _np is not None:
+            deltas = self._batch_deltas.copy()
+        else:
+            deltas = list(self._batch_deltas)
+        span = self._tensor_span(tid, old_span[0], old_span[1])
+        self._apply_interval(deltas, span[0], span[1], -num_bytes)
+        span = self._tensor_span(tid, new_span[0], new_span[1])
+        self._apply_interval(deltas, span[0], span[1], num_bytes)
+        return self._scan_occupancy(deltas)
+
+    def _batch_full_result(
+        self,
+        move,
+        occupancy: tuple[int, float],
+        buffer_budget_bytes: int,
+        resume: tuple[str, int] | None,
+    ) -> EvaluationResult:
+        """Full co-simulation of a surviving batch candidate.
+
+        The candidate's order/Living-Duration lists are patched from the
+        screen's base copies, so the simulation runs without materialising a
+        DLSA, re-deriving occupancy, or paying the result-memo bookkeeping —
+        the arithmetic is the one from :meth:`_simulate`, float for float.
+        """
+        self.eval_count += 1
+        order, starts, ends = self._screen.candidate_lists(move)
+        # Everything the base processed before the resume point is
+        # bit-identical for the candidate, so the co-sim restarts from the
+        # base checkpoint; moves that provably change no simulation input
+        # reuse the base latency outright.  Order and Living-start moves
+        # keep every store deadline, so they share the base's table.
+        latency: float | None
+        if resume is None:
+            latency = self._simulate_arrays(order, starts, ends)
+        elif resume[0] == "=":
+            latency = self._batch_latency
+        elif resume[0] == "P":
+            latency = self._simulate_arrays(
+                order, starts, ends,
+                resume=resume,
+                store_deadline=self._batch_store_deadline,
+            )
+        else:
+            latency = self._simulate_arrays(order, starts, ends, resume=resume)
+        max_buffer, avg_buffer = occupancy
+        if latency is None:  # unreachable: the screen's criterion is exact
+            return self._deadlock_result(max_buffer, avg_buffer)
+        plan = self.plan
+        feasible = max_buffer <= buffer_budget_bytes
+        reason = "" if feasible else (
+            f"peak buffer {max_buffer} bytes exceeds budget {buffer_budget_bytes} bytes"
+        )
+        return EvaluationResult(
+            feasible=feasible,
+            reason=reason,
+            latency_s=latency,
+            energy_j=self.core_energy_j + self.dram_energy_j,
+            core_energy_j=self.core_energy_j,
+            dram_energy_j=self.dram_energy_j,
+            compute_time_sum_s=self.compute_time_sum_s,
+            dram_time_sum_s=self.dram_time_sum_s,
+            total_ops=self.total_ops,
+            total_dram_bytes=self.total_dram_bytes,
+            max_buffer_bytes=max_buffer,
+            avg_buffer_bytes=avg_buffer,
+            num_tiles=plan.num_tiles,
+            num_dram_tensors=plan.num_dram_tensors,
+            num_lgs=plan.num_lgs,
+            num_flgs=plan.num_flgs,
         )
 
     # ------------------------------------------------------- buffer occupancy
@@ -347,6 +598,13 @@ class PlanEvaluationContext:
         return self._finish_occupancy(living, deltas)
 
     def _finish_occupancy(self, living, deltas) -> tuple[int, float]:
+        self._occ_living = dict(living)
+        self._occ_deltas = deltas
+        self._occ_result = self._scan_occupancy(deltas)
+        return self._occ_result
+
+    def _scan_occupancy(self, deltas) -> tuple[int, float]:
+        """Peak and weighted-average usage from a fully patched delta array."""
         num_tiles = self._num_tiles
         if _np is not None:
             usage = _np.cumsum(_np.asarray(deltas[:num_tiles], dtype=_np.int64))
@@ -365,10 +623,7 @@ class PlanEvaluationContext:
                 weighted += usage * tile_seconds[index]
             total = self.compute_time_sum_s
             avg = weighted / total if total > 0 else 0.0
-        self._occ_living = dict(living)
-        self._occ_deltas = deltas
-        self._occ_result = (max_usage, avg)
-        return self._occ_result
+        return max_usage, avg
 
     # --------------------------------------------------------------- simulate
     def _simulate(
@@ -484,3 +739,272 @@ class PlanEvaluationContext:
             [f if f is not None else 0.0 for f in finish_of],
             latency,
         )
+
+    def _checkpoint_base(self, order: list[int]) -> None:
+        """Run the base co-sim once, recording per-event resume checkpoints.
+
+        For every order position ``p`` the recorded state is the simulation
+        the instant before position ``p`` transfers (``tile_ptr``, the two
+        free times); likewise per tile.  A candidate whose structure first
+        diverges from the base at position ``p0`` (or tile ``t0``) computed
+        bit-identical values for everything the base processed before that
+        event, so its simulation restarts from the checkpoint with the
+        base's finish arrays as its prefix.  The traversal's readiness tests
+        are purely structural and every value is written once, so resuming
+        from a consistent prefix state yields the same floats (and the same
+        deadlock verdict) as a from-scratch run.
+        """
+        screen = self._screen
+        starts = screen._starts_list
+        ends = screen._ends_list
+        num_tiles = self._num_tiles
+        num_tensors = self._num_tensors
+        is_load = self._is_load
+        first_use = self._first_use
+        src_store_tids = self._src_store_tids
+        tensor_seconds = self.tensor_seconds
+        tile_seconds = self.tile_seconds
+        required_loads = self._tile_required_loads
+
+        store_deadline: dict[int, list[int]] = {}
+        for tid in self._store_tids:
+            end = ends[tid]
+            if end < num_tiles:
+                store_deadline.setdefault(end, []).append(tid)
+        self._batch_store_deadline = store_deadline
+
+        tile_finish: list[float | None] = [None] * num_tiles
+        finish_of: list[float | None] = [None] * num_tensors
+        chk_p_tile = [0] * num_tensors
+        chk_p_dfree = [0.0] * num_tensors
+        chk_p_cfree = [0.0] * num_tensors
+        chk_t_dram = [0] * num_tiles
+        chk_t_dfree = [0.0] * num_tiles
+        chk_t_cfree = [0.0] * num_tiles
+
+        dram_ptr = 0
+        tile_ptr = 0
+        dram_free = 0.0
+        compute_free = 0.0
+
+        while dram_ptr < num_tensors or tile_ptr < num_tiles:
+            progressed = False
+
+            while dram_ptr < num_tensors:
+                tid = order[dram_ptr]
+                gate = 0.0
+                ready = True
+                if is_load[tid]:
+                    start_tile = starts[tid]
+                    if start_tile > 0:
+                        finish = tile_finish[start_tile - 1]
+                        if finish is None:
+                            ready = False
+                        else:
+                            gate = finish
+                    if ready:
+                        for store_tid in src_store_tids[tid]:
+                            finish = finish_of[store_tid]
+                            if finish is None:
+                                ready = False
+                                break
+                            if finish > gate:
+                                gate = finish
+                else:
+                    finish = tile_finish[first_use[tid]]
+                    if finish is None:
+                        ready = False
+                    else:
+                        gate = finish
+                if not ready:
+                    break
+                chk_p_tile[dram_ptr] = tile_ptr
+                chk_p_dfree[dram_ptr] = dram_free
+                chk_p_cfree[dram_ptr] = compute_free
+                start = dram_free if dram_free > gate else gate
+                finish_time = start + tensor_seconds[tid]
+                dram_free = finish_time
+                finish_of[tid] = finish_time
+                dram_ptr += 1
+                progressed = True
+
+            while tile_ptr < num_tiles:
+                gate = 0.0
+                ready = True
+                for tid in required_loads[tile_ptr]:
+                    finish = finish_of[tid]
+                    if finish is None:
+                        ready = False
+                        break
+                    if finish > gate:
+                        gate = finish
+                if ready:
+                    for tid in store_deadline.get(tile_ptr, ()):
+                        finish = finish_of[tid]
+                        if finish is None:
+                            ready = False
+                            break
+                        if finish > gate:
+                            gate = finish
+                if not ready:
+                    break
+                chk_t_dram[tile_ptr] = dram_ptr
+                chk_t_dfree[tile_ptr] = dram_free
+                chk_t_cfree[tile_ptr] = compute_free
+                start = compute_free if compute_free > gate else gate
+                finish_time = start + tile_seconds[tile_ptr]
+                compute_free = finish_time
+                tile_finish[tile_ptr] = finish_time
+                tile_ptr += 1
+                progressed = True
+
+            if not progressed:
+                # A base that deadlocks (the search never rebases onto one)
+                # leaves no checkpoints; candidates simulate from scratch.
+                self._batch_checkpoints = None
+                self._batch_latency = None
+                return
+
+        latency = dram_free if dram_free > compute_free else compute_free
+        self._batch_checkpoints = (
+            (chk_p_tile, chk_p_dfree, chk_p_cfree),
+            (chk_t_dram, chk_t_dfree, chk_t_cfree),
+            tile_finish,
+            finish_of,
+        )
+        self._batch_latency = latency if math.isfinite(latency) else None
+
+    def _simulate_arrays(
+        self,
+        order: list[int],
+        starts: list[int],
+        ends: list[int],
+        resume: tuple[str, int] | None = None,
+        store_deadline: dict[int, list[int]] | None = None,
+    ) -> float | None:
+        """:meth:`_simulate` over flat start/end lists, returning the latency.
+
+        The batched engine's hot path: Living Durations arrive as two plain
+        lists instead of a dict, no per-tensor trace is kept beyond the
+        finish times the recurrence itself needs, and the float operations
+        mirror :meth:`_simulate` exactly so both paths land on bit-identical
+        latencies.  ``resume`` — ``("P", p0)`` or ``("T", t0)`` — restarts
+        the traversal from the base checkpoint recorded at that order
+        position or tile, adopting the base's finish values for the shared
+        prefix (see :meth:`_checkpoint_base`); ``store_deadline`` lets the
+        caller pass the base's deadline table when the move does not touch
+        store ends.
+        """
+        num_tiles = self._num_tiles
+        num_tensors = self._num_tensors
+        is_load = self._is_load
+        first_use = self._first_use
+        src_store_tids = self._src_store_tids
+        tensor_seconds = self.tensor_seconds
+        tile_seconds = self.tile_seconds
+        required_loads = self._tile_required_loads
+
+        if store_deadline is None:
+            store_deadline = {}
+            for tid in self._store_tids:
+                end = ends[tid]
+                if end < num_tiles:
+                    store_deadline.setdefault(end, []).append(tid)
+
+        if resume is not None:
+            chk_p, chk_t, base_tile_finish, base_finish_of = self._batch_checkpoints
+            kind, index = resume
+            if kind == "P":
+                dram_ptr = index
+                tile_ptr = chk_p[0][index]
+                dram_free = chk_p[1][index]
+                compute_free = chk_p[2][index]
+            else:
+                tile_ptr = index
+                dram_ptr = chk_t[0][index]
+                dram_free = chk_t[1][index]
+                compute_free = chk_t[2][index]
+            tile_finish = base_tile_finish[:tile_ptr] + [None] * (num_tiles - tile_ptr)
+            finish_of = list(base_finish_of)
+            for p in range(dram_ptr, num_tensors):
+                finish_of[order[p]] = None
+        else:
+            tile_finish = [None] * num_tiles
+            finish_of = [None] * num_tensors
+            dram_ptr = 0
+            tile_ptr = 0
+            dram_free = 0.0
+            compute_free = 0.0
+
+        while dram_ptr < num_tensors or tile_ptr < num_tiles:
+            progressed = False
+
+            while dram_ptr < num_tensors:
+                tid = order[dram_ptr]
+                gate = 0.0
+                ready = True
+                if is_load[tid]:
+                    start_tile = starts[tid]
+                    if start_tile > 0:
+                        finish = tile_finish[start_tile - 1]
+                        if finish is None:
+                            ready = False
+                        else:
+                            gate = finish
+                    if ready:
+                        for store_tid in src_store_tids[tid]:
+                            finish = finish_of[store_tid]
+                            if finish is None:
+                                ready = False
+                                break
+                            if finish > gate:
+                                gate = finish
+                else:
+                    finish = tile_finish[first_use[tid]]
+                    if finish is None:
+                        ready = False
+                    else:
+                        gate = finish
+                if not ready:
+                    break
+                start = dram_free if dram_free > gate else gate
+                finish_time = start + tensor_seconds[tid]
+                dram_free = finish_time
+                finish_of[tid] = finish_time
+                dram_ptr += 1
+                progressed = True
+
+            while tile_ptr < num_tiles:
+                gate = 0.0
+                ready = True
+                for tid in required_loads[tile_ptr]:
+                    finish = finish_of[tid]
+                    if finish is None:
+                        ready = False
+                        break
+                    if finish > gate:
+                        gate = finish
+                if ready:
+                    for tid in store_deadline.get(tile_ptr, ()):
+                        finish = finish_of[tid]
+                        if finish is None:
+                            ready = False
+                            break
+                        if finish > gate:
+                            gate = finish
+                if not ready:
+                    break
+                start = compute_free if compute_free > gate else gate
+                finish_time = start + tile_seconds[tile_ptr]
+                compute_free = finish_time
+                tile_finish[tile_ptr] = finish_time
+                tile_ptr += 1
+                progressed = True
+
+            if not progressed:
+                return None
+
+        latency = dram_free if dram_free > compute_free else compute_free
+        if not math.isfinite(latency):
+            return None
+        return latency

@@ -78,10 +78,22 @@ class ScheduleEvaluator:
         ``REPRO_PLAN_CACHE`` contexts) is not retained, so treat that row as
         a recent-window sample rather than a whole-search total.
         """
-        result = {"hits": 0, "misses": 0, "size": 0, "maxsize": 0, "evaluations": 0}
+        fields = (
+            "hits",
+            "misses",
+            "size",
+            "maxsize",
+            "evaluations",
+            "batch_calls",
+            "batch_moves",
+            "batch_deadlocks",
+            "batch_pruned",
+            "batch_sims",
+        )
+        result = dict.fromkeys(fields, 0)
         for context in self._contexts.values():
             stats = context.cache_stats()
-            for field in ("hits", "misses", "size", "maxsize", "evaluations"):
+            for field in fields:
                 result[field] += stats[field]
         total = result["hits"] + result["misses"]
         result["hit_rate"] = result["hits"] / total if total else 0.0

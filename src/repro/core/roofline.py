@@ -1,0 +1,568 @@
+"""Roofline-style screening of DLSA move candidates.
+
+The DLSA stage proposes thousands of moves per accepted one, and the full
+co-operative simulation is by far the most expensive way to find out that a
+candidate was hopeless.  This module provides two much cheaper screens that
+the batched move engine (``PlanEvaluationContext.evaluate_moves``) runs over
+every candidate before deciding whether to simulate it:
+
+**Structural feasibility** (exact).  The co-sim deadlocks iff the DRAM
+Tensor Order demands a tile the compute array cannot have reached yet.  With
+``pos[tid]`` the order position of a tensor, the channel can issue the first
+``k`` tensors only once the compute array passed tile ``Gm[k-1]``, where the
+*structural gate* of a load is ``max(Start, 0)`` (it waits for the tile
+before its Living Duration) and of a store is ``first_use + 1`` (it waits
+for its producing tile).  Conversely tile ``t`` needs the channel pointer to
+have passed ``Rm[t]`` — the running maximum over its required loads and the
+stores whose Living Duration *ends* at ``t`` — so the schedule deadlocks iff
+some tile requires a channel position whose own gate lies beyond that tile
+(``Gm[Rm[t]-1] > t``), or a read-back load precedes one of its source stores
+in the order.  This is a pure integer criterion, bit-identical across the
+numpy and pure-Python backends, and lets the engine emit the exact deadlock
+``EvaluationResult`` the simulator would have produced.
+
+**Latency lower bound** (conservative).  A roofline-flavoured decoupled
+relaxation of the co-sim: the DRAM channel is first timed against an
+optimistic compute timeline (pure compute prefix sums — the compute
+roofline), then the compute timeline against those transfer finishes (the
+bandwidth roofline), and so on.  Each pass is the exact single-resource
+recurrence ``F_k = P_k + max_j<=k (gate_j - P_{j-1})``, so the rounds climb
+monotonically from below towards the co-sim fixpoint and *every* round
+yields a valid lower bound on the true latency.  The screen escalates: it
+re-checks the caller's prune predicate after each round and stops as soon
+as the candidate is proven prunable (or the round cap is reached).  The
+bound is deflated by one part in 1e9 so float-rounding differences between
+backends can never push it past the simulated latency.  The search uses it
+to prune candidates whose bound already reaches the acceptance threshold:
+such moves would certainly be rejected, so pruning cannot change the
+trajectory (``REPRO_ROOFLINE_PREFILTER`` gates this, default on).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+try:  # numpy is optional: the screen falls back to pure Python without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image ships numpy
+    _np = None
+
+from repro.notation.dlsa import DLSA, DLSAMove
+
+_BOUND_MAX_ROUNDS = 4
+# Deflation applied to the lower bound: large enough to absorb any
+# float-rounding drift versus the simulator's own accumulation order,
+# small enough to keep the bound tight (observed tightness 0.75-0.95
+# after two rounds, tighter as the escalation converges).
+_BOUND_SAFETY = 1.0 - 1e-9
+
+PruneCheck = Callable[[float], bool]
+
+
+def prefilter_enabled() -> bool:
+    """Whether the roofline pre-filter is on (``REPRO_ROOFLINE_PREFILTER``)."""
+    raw = os.environ.get("REPRO_ROOFLINE_PREFILTER")
+    if raw is None:
+        return True
+    return raw.strip().lower() not in {"", "0", "false", "off", "no"}
+
+
+class MoveScreen:
+    """Per-context candidate screen, rebased onto each batch's base DLSA.
+
+    Built once per :class:`~repro.core.eval_context.PlanEvaluationContext`
+    (the constructor captures the plan's static structure), then
+    :meth:`rebase` caches the derived arrays of the current base DLSA so
+    :meth:`assess` can judge each move from O(n) array patches instead of
+    materialising full candidates.
+    """
+
+    def __init__(self, ctx) -> None:
+        self._n = ctx._num_tensors
+        self._T = ctx._num_tiles
+        self._is_load = ctx._is_load
+        self._first_use = ctx._first_use
+        self._tensor_seconds = ctx.tensor_seconds
+        self._tile_seconds = ctx.tile_seconds
+        self._store_tids = ctx._store_tids
+        self._src_store_tids = ctx._src_store_tids
+        self._required_loads = ctx._tile_required_loads
+        self._use_np = _np is not None
+        self._base: DLSA | None = None
+        self._lw_pairs: list[tuple[int, tuple[int, ...]]] = [
+            (tid, self._src_store_tids[tid])
+            for tid in range(self._n)
+            if self._src_store_tids[tid]
+        ]
+        if self._use_np:
+            self._init_np()
+
+    # ------------------------------------------------------------------ public
+    def rebase(self, dlsa: DLSA) -> None:
+        """Cache the derived arrays of ``dlsa``; moves are judged against it."""
+        if self._base is dlsa:
+            return
+        self._base = dlsa
+        n = self._n
+        living = dlsa.living
+        order_list = list(dlsa.order)
+        starts_list = [0] * n
+        ends_list = [0] * n
+        for tid in range(n):
+            starts_list[tid], ends_list[tid] = living[tid]
+        self._order_list = order_list
+        self._starts_list = starts_list
+        self._ends_list = ends_list
+        if self._use_np:
+            self._rebase_np()
+        else:
+            self._rebase_py()
+
+    def assess(self, move: DLSAMove, prune_check: PruneCheck | None = None) -> tuple[bool, bool]:
+        """Judge one move against the current base.
+
+        Returns ``(feasible, pruned)``: ``feasible`` is the *exact* deadlock
+        verdict the co-sim would reach; when the move is feasible and
+        ``prune_check`` is given, the roofline bound is escalated round by
+        round and ``pruned`` reports whether ``prune_check(bound)`` proved
+        the candidate rejectable without a simulation.
+        """
+        if self._base is None:
+            raise RuntimeError("MoveScreen.assess called before rebase")
+        if self._use_np:
+            return self._assess_np(move, prune_check)
+        return self._assess_py(move, prune_check)
+
+    def candidate_lists(self, move: DLSAMove) -> tuple[list[int], list[int], list[int]]:
+        """The candidate's ``(order, starts, ends)`` as plain lists.
+
+        Patched from the base lists; unchanged components are shared (the
+        simulator only reads them).  Used by the batched engine to run the
+        full co-sim of a surviving candidate without materialising a DLSA.
+        """
+        order = self._order_list
+        starts = self._starts_list
+        ends = self._ends_list
+        if move.kind == "order":
+            i, j, tid = move.source, move.position, move.tid
+            order2 = list(order)
+            if j > i:
+                order2[i:j] = order[i + 1 : j + 1]
+            else:
+                order2[j + 1 : i + 1] = order[j:i]
+            order2[j] = tid
+            return order2, starts, ends
+        if self._is_load[move.tid]:
+            starts2 = list(starts)
+            starts2[move.tid] = move.span[0]
+            return order, starts2, ends
+        ends2 = list(ends)
+        ends2[move.tid] = move.span[1]
+        return order, starts, ends2
+
+    # ------------------------------------------------------------ numpy backend
+    def _init_np(self) -> None:
+        n, T = self._n, self._T
+        self._il = _np.asarray(self._is_load, dtype=bool)
+        self._fu = _np.asarray(self._first_use, dtype=_np.int64)
+        self._ts = _np.asarray(self._tensor_seconds, dtype=_np.float64)
+        self._qs = _np.asarray(self._tile_seconds, dtype=_np.float64)
+        self._Cq = _np.cumsum(self._qs)
+        self._zero1 = _np.zeros(1, dtype=_np.float64)
+        self._Cq_pad = _np.concatenate((self._zero1, self._Cq))
+        self._Qshift = self._Cq_pad[:T]
+        self._t_arr = _np.arange(T, dtype=_np.int64)
+        # Required loads per tile, CSR: values are judged via reduceat with a
+        # trailing pad element (reduceat yields the element *at* the offset
+        # for empty segments, so those rows are masked out afterwards).
+        req_flat: list[int] = []
+        req_starts: list[int] = []
+        for tids in self._required_loads:
+            req_starts.append(len(req_flat))
+            req_flat.extend(tids)
+        self._req_flat = _np.asarray(req_flat, dtype=_np.int64)
+        self._req_starts = _np.asarray(req_starts, dtype=_np.int64)
+        self._req_empty = (
+            _np.diff(_np.append(self._req_starts, len(req_flat))) == 0
+            if T
+            else _np.zeros(0, dtype=bool)
+        )
+        # Loads that read back another LG's stores, CSR (never empty rows).
+        lw_starts: list[int] = []
+        lw_flat: list[int] = []
+        for _tid, src in self._lw_pairs:
+            lw_starts.append(len(lw_flat))
+            lw_flat.extend(src)
+        self._lw_tids = _np.asarray([tid for tid, _src in self._lw_pairs], dtype=_np.int64)
+        self._lw_flat = _np.asarray(lw_flat, dtype=_np.int64)
+        self._lw_starts = _np.asarray(lw_starts, dtype=_np.int64)
+        # Condition-A pairs: (load position, source-store position) checks.
+        if self._lw_pairs:
+            lengths = _np.diff(_np.append(self._lw_starts, len(lw_flat)))
+            self._pa_load = _np.repeat(self._lw_tids, lengths)
+        else:
+            self._pa_load = _np.zeros(0, dtype=_np.int64)
+        self._store_arr = _np.asarray(self._store_tids, dtype=_np.int64)
+        self._store_index = _np.full(max(n, 1), -1, dtype=_np.int64)
+        if self._store_arr.size:
+            self._store_index[self._store_arr] = _np.arange(self._store_arr.size)
+
+    def _tile_max_np(self, values, zero):
+        """Per-tile max over CSR ``values`` (aligned with ``req_flat``)."""
+        if self._T == 0:
+            return values[:0]
+        if values.size == 0:
+            return _np.full(self._T, zero, dtype=values.dtype)
+        padded = _np.append(values, zero)
+        seg = _np.maximum.reduceat(padded, self._req_starts)
+        seg[self._req_empty] = zero
+        return seg
+
+    def _rebase_np(self) -> None:
+        n = self._n
+        order = _np.asarray(self._order_list, dtype=_np.int64)
+        pos = _np.empty(n, dtype=_np.int64)
+        pos[order] = _np.arange(n, dtype=_np.int64)
+        self._order = order
+        self._pos = pos
+        self._starts = _np.asarray(self._starts_list, dtype=_np.int64)
+        self._ends = _np.asarray(self._ends_list, dtype=_np.int64)
+        # Structural gates: per tensor, then laid out in order space.
+        self._g_t = _np.where(self._il, _np.maximum(self._starts, 0), self._fu + 1)
+        self._g_o = self._g_t[order]
+        self._Gm = _np.maximum.accumulate(self._g_o) if n else self._g_o
+        self._condA = bool(
+            (pos[self._lw_flat] < pos[self._pa_load]).all()
+        ) if self._pa_load.size else True
+        req_vals = pos[self._req_flat] + 1
+        self._R_req = self._tile_max_np(req_vals, _np.int64(0))
+        self._s_pos = pos[self._store_arr]
+        self._s_end = self._ends[self._store_arr]
+        R_full = self._R_req.copy()
+        valid = self._s_end < self._T
+        if valid.any():
+            _np.maximum.at(R_full, self._s_end[valid], self._s_pos[valid] + 1)
+        self._Rm = _np.maximum.accumulate(R_full) if self._T else R_full
+        mask = self._Rm > 0
+        self._chk_idx = self._Rm[mask] - 1
+        self._chk_t = self._t_arr[mask]
+        # Channel prefix sums of the base order, reused by living-move bounds.
+        ts_o = self._ts[order]
+        self._P = _np.cumsum(ts_o)
+        self._Pshift = _np.concatenate((self._zero1, self._P[:-1])) if n else ts_o
+
+    def _check_np(self, Gm, Rm) -> bool:
+        mask = Rm > 0
+        if not mask.any():
+            return True
+        return bool((Gm[Rm[mask] - 1] <= self._t_arr[mask]).all())
+
+    def _assess_np(self, move: DLSAMove, prune_check: PruneCheck | None) -> tuple[bool, bool]:
+        n = self._n
+        order2, pos2 = self._order, self._pos
+        starts2, ends2 = self._starts, self._ends
+        P, Pshift = self._P, self._Pshift
+        if move.kind == "order":
+            i, j, tid = move.source, move.position, move.tid
+            order2 = self._order.copy()
+            pos2 = self._pos.copy()
+            if j > i:
+                shifted = self._order[i + 1 : j + 1]
+                order2[i:j] = shifted
+                pos2[shifted] -= 1
+            else:
+                shifted = self._order[j:i]
+                order2[j + 1 : i + 1] = shifted
+                pos2[shifted] += 1
+            order2[j] = tid
+            pos2[tid] = j
+            condA = bool(
+                (pos2[self._lw_flat] < pos2[self._pa_load]).all()
+            ) if self._pa_load.size else True
+            if not condA:
+                return False, False
+            Gm2 = _np.maximum.accumulate(self._g_t[order2])
+            R2 = self._tile_max_np(pos2[self._req_flat] + 1, _np.int64(0))
+            valid = self._s_end < self._T
+            if valid.any():
+                _np.maximum.at(R2, self._s_end[valid], pos2[self._store_arr][valid] + 1)
+            Rm2 = _np.maximum.accumulate(R2) if self._T else R2
+            if not self._check_np(Gm2, Rm2):
+                return False, False
+            if prune_check is None:
+                return True, False
+            ts_o = self._ts[order2]
+            P = _np.cumsum(ts_o)
+            Pshift = _np.concatenate((self._zero1, P[:-1])) if n else ts_o
+        elif self._is_load[move.tid]:
+            tid = move.tid
+            if not self._condA:
+                return False, False
+            new_start = move.span[0]
+            g_o2 = self._g_o.copy()
+            g_o2[self._pos[tid]] = new_start if new_start > 0 else 0
+            Gm2 = _np.maximum.accumulate(g_o2)
+            if self._chk_idx.size and not (Gm2[self._chk_idx] <= self._chk_t).all():
+                return False, False
+            if prune_check is None:
+                return True, False
+            starts2 = self._starts.copy()
+            starts2[tid] = new_start
+        else:
+            tid = move.tid
+            if not self._condA:
+                return False, False
+            new_end = move.span[1]
+            s_end2 = self._s_end.copy()
+            s_end2[self._store_index[tid]] = new_end
+            R2 = self._R_req.copy()
+            valid = s_end2 < self._T
+            if valid.any():
+                _np.maximum.at(R2, s_end2[valid], self._s_pos[valid] + 1)
+            Rm2 = _np.maximum.accumulate(R2) if self._T else R2
+            if not self._check_np(self._Gm, Rm2):
+                return False, False
+            if prune_check is None:
+                return True, False
+            ends2 = self._ends.copy()
+            ends2[tid] = new_end
+        return True, self._prune_np(order2, pos2, starts2, ends2, P, Pshift, prune_check)
+
+    def _prune_np(self, order2, pos2, starts2, ends2, P, Pshift, prune_check) -> bool:
+        n, T = self._n, self._T
+        if n == 0 and T == 0:
+            return prune_check(0.0)
+        C = self._Cq
+        Cpad = self._Cq_pad
+        F = None
+        lw_pos = pos2[self._lw_flat] if self._lw_flat.size else None
+        s_end = ends2[self._store_arr]
+        valid = s_end < T
+        dl_ends = s_end[valid]
+        dl_pos = pos2[self._store_arr][valid]
+        req_pos = pos2[self._req_flat]
+        starts_clipped = _np.maximum(starts2, 0)
+        prev_bound = -1.0
+        for _ in range(_BOUND_MAX_ROUNDS):
+            # Channel pass against the current optimistic compute timeline.
+            own = _np.where(self._il, Cpad[starts_clipped], C[self._fu])
+            if F is not None and lw_pos is not None:
+                srcmax = _np.maximum.reduceat(F[lw_pos], self._lw_starts)
+                own[self._lw_tids] = _np.maximum(own[self._lw_tids], srcmax)
+            d = own[order2] - Pshift
+            m = _np.maximum(_np.maximum.accumulate(d), 0.0)
+            F = P + m
+            # Tile pass against those transfer finishes.
+            h = self._tile_max_np(F[req_pos], 0.0)
+            if dl_ends.size:
+                _np.maximum.at(h, dl_ends, F[dl_pos])
+            d2 = h - self._Qshift
+            m2 = _np.maximum(_np.maximum.accumulate(d2), 0.0)
+            C = self._Cq + m2
+            bound = float(F[n - 1]) if n else 0.0
+            if T and float(C[T - 1]) > bound:
+                bound = float(C[T - 1])
+            if prune_check(bound * _BOUND_SAFETY):
+                return True
+            if bound == prev_bound:
+                # The rounds climb monotonically towards the co-sim fixpoint;
+                # a stalled bound has converged and can never prune later.
+                return False
+            prev_bound = bound
+            Cpad = _np.concatenate((self._zero1, C))
+        return False
+
+    # ------------------------------------------------------ pure-Python backend
+    def _rebase_py(self) -> None:
+        n = self._n
+        order = self._order_list
+        pos = [0] * n
+        for k, tid in enumerate(order):
+            pos[tid] = k
+        self._pos = pos
+        is_load = self._is_load
+        first_use = self._first_use
+        starts = self._starts_list
+        g_t = [0] * n
+        for tid in range(n):
+            if is_load[tid]:
+                start = starts[tid]
+                g_t[tid] = start if start > 0 else 0
+            else:
+                g_t[tid] = first_use[tid] + 1
+        self._g_t = g_t
+        self._Gm = self._running_gates_py(order, g_t)
+        self._condA = all(
+            all(pos[s] < pos[tid] for s in src) for tid, src in self._lw_pairs
+        )
+        self._R_req = self._required_positions_py(pos)
+        self._Rm = self._store_requirements_py(self._R_req, pos, self._ends_list)
+
+    def _running_gates_py(self, order, g_t) -> list[int]:
+        gm = 0
+        Gm = [0] * self._n
+        for k, tid in enumerate(order):
+            g = g_t[tid]
+            if g > gm:
+                gm = g
+            Gm[k] = gm
+        return Gm
+
+    def _required_positions_py(self, pos) -> list[int]:
+        R = [0] * self._T
+        for t, tids in enumerate(self._required_loads):
+            r = 0
+            for tid in tids:
+                p = pos[tid] + 1
+                if p > r:
+                    r = p
+            R[t] = r
+        return R
+
+    def _store_requirements_py(self, R_req, pos, ends) -> list[int]:
+        T = self._T
+        R = list(R_req)
+        for tid in self._store_tids:
+            end = ends[tid]
+            if end < T:
+                p = pos[tid] + 1
+                if p > R[end]:
+                    R[end] = p
+        rm = 0
+        for t in range(T):
+            if R[t] > rm:
+                rm = R[t]
+            R[t] = rm
+        return R
+
+    def _check_py(self, Gm, Rm) -> bool:
+        for t, rm in enumerate(Rm):
+            if rm > 0 and Gm[rm - 1] > t:
+                return False
+        return True
+
+    def _assess_py(self, move: DLSAMove, prune_check: PruneCheck | None) -> tuple[bool, bool]:
+        order2, pos2 = self._order_list, self._pos
+        starts2, ends2 = self._starts_list, self._ends_list
+        if move.kind == "order":
+            i, j, tid = move.source, move.position, move.tid
+            base_order = self._order_list
+            order2 = list(base_order)
+            pos2 = list(self._pos)
+            if j > i:
+                for k in range(i, j):
+                    moved = order2[k] = base_order[k + 1]
+                    pos2[moved] = k
+            else:
+                for k in range(i, j, -1):
+                    moved = order2[k] = base_order[k - 1]
+                    pos2[moved] = k
+            order2[j] = tid
+            pos2[tid] = j
+            if not all(
+                all(pos2[s] < pos2[load] for s in src) for load, src in self._lw_pairs
+            ):
+                return False, False
+            Gm2 = self._running_gates_py(order2, self._g_t)
+            R_req2 = self._required_positions_py(pos2)
+            Rm2 = self._store_requirements_py(R_req2, pos2, self._ends_list)
+            if not self._check_py(Gm2, Rm2):
+                return False, False
+        elif self._is_load[move.tid]:
+            tid = move.tid
+            if not self._condA:
+                return False, False
+            new_start = move.span[0]
+            g_t2 = list(self._g_t)
+            g_t2[tid] = new_start if new_start > 0 else 0
+            Gm2 = self._running_gates_py(self._order_list, g_t2)
+            if not self._check_py(Gm2, self._Rm):
+                return False, False
+            if prune_check is not None:
+                starts2 = list(self._starts_list)
+                starts2[tid] = new_start
+        else:
+            tid = move.tid
+            if not self._condA:
+                return False, False
+            ends2 = list(self._ends_list)
+            ends2[tid] = move.span[1]
+            Rm2 = self._store_requirements_py(self._R_req, self._pos, ends2)
+            if not self._check_py(self._Gm, Rm2):
+                return False, False
+        if prune_check is None:
+            return True, False
+        return True, self._prune_py(order2, pos2, starts2, ends2, prune_check)
+
+    def _prune_py(self, order2, pos2, starts2, ends2, prune_check) -> bool:
+        n, T = self._n, self._T
+        if n == 0 and T == 0:
+            return prune_check(0.0)
+        is_load = self._is_load
+        first_use = self._first_use
+        ts = self._tensor_seconds
+        qs = self._tile_seconds
+        C = [0.0] * T
+        acc = 0.0
+        for t in range(T):
+            acc += qs[t]
+            C[t] = acc
+        dl: dict[int, list[int]] = {}
+        for tid in self._store_tids:
+            end = ends2[tid]
+            if end < T:
+                dl.setdefault(end, []).append(tid)
+        F = [0.0] * n
+        first_round = True
+        prev_bound = -1.0
+        for _ in range(_BOUND_MAX_ROUNDS):
+            F_prev = F
+            F = [0.0] * n
+            P = 0.0
+            m = 0.0
+            for k, tid in enumerate(order2):
+                if is_load[tid]:
+                    s = starts2[tid]
+                    g = C[s - 1] if s > 0 else 0.0
+                    if not first_round:
+                        for store_tid in self._src_store_tids[tid]:
+                            fs = F_prev[pos2[store_tid]]
+                            if fs > g:
+                                g = fs
+                else:
+                    g = C[first_use[tid]]
+                d = g - P
+                if d > m:
+                    m = d
+                P += ts[tid]
+                F[k] = P + m
+            first_round = False
+            C = [0.0] * T
+            Q = 0.0
+            m = 0.0
+            for t in range(T):
+                g = 0.0
+                for tid in self._required_loads[t]:
+                    f = F[pos2[tid]]
+                    if f > g:
+                        g = f
+                for tid in dl.get(t, ()):
+                    f = F[pos2[tid]]
+                    if f > g:
+                        g = f
+                d = g - Q
+                if d > m:
+                    m = d
+                Q += qs[t]
+                C[t] = Q + m
+            bound = F[n - 1] if n else 0.0
+            if T and C[T - 1] > bound:
+                bound = C[T - 1]
+            if prune_check(bound * _BOUND_SAFETY):
+                return True
+            if bound == prev_bound:
+                # Converged (see the numpy backend); later rounds are no-ops.
+                return False
+            prev_bound = bound
+        return False

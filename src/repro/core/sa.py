@@ -4,6 +4,26 @@ The acceptance rule and the cooling schedule follow Sec. V-C of the paper:
 a worse scheme (cost ``c'`` vs. current ``c``) is accepted with probability
 ``exp((c - c') / (c * Tn))`` and the temperature follows
 ``Tn = T0 (1 - n/N) / (1 + alpha n/N)``.
+
+:meth:`run` is the classical serial loop (``u`` drawn lazily, only when a
+worse finite candidate needs a Metropolis draw — the seed protocol, kept
+bit-identical for stage 1).  :meth:`run_batched` implements the same rule
+in *threshold form*: after every proposal it draws one uniform ``u`` and
+precomputes the acceptance threshold ``theta = c - c * Tn * ln(u)`` — a
+candidate is accepted iff ``c' <= c`` or ``c' < theta``, which is exactly
+the classical Metropolis test (``u < exp((c - c') / (c * Tn))``
+rearranged).  Drawing ``u`` *before* the candidate is evaluated makes the
+RNG stream independent of candidate costs, which buys two things:
+
+* a **conservative pre-filter** becomes exact — any lower bound on ``c'``
+  that already reaches ``theta`` proves the candidate would be rejected, so
+  it can be discarded without a full evaluation and the trajectory is
+  bit-identical to a run without the filter;
+* **speculative batching** becomes possible — :meth:`run_batched` proposes
+  ``K`` moves ahead (snapshotting the RNG after each draw), scores them in
+  one batched call, replays the accept/reject decisions in order, and rolls
+  the RNG back to the first accepted move's snapshot.  The trajectory is
+  invariant in ``K``: ``batch_size=1`` reproduces the serial walk exactly.
 """
 
 from __future__ import annotations
@@ -12,11 +32,12 @@ import math
 import random
 import time
 from dataclasses import dataclass
-from typing import Callable, Generic, TypeVar
+from typing import Any, Callable, Generic, Sequence, TypeVar
 
 from repro.core.config import SAParams
 
 StateT = TypeVar("StateT")
+MoveT = TypeVar("MoveT")
 
 
 @dataclass(frozen=True)
@@ -92,7 +113,7 @@ class SimulatedAnnealing:
                 cost_trace.append(best_cost)
 
         # Greedy polishing phase (Sec. V-C): restart from the best scheme and
-        # accept only strictly improving moves.
+        # accept only strictly improving moves (no acceptance draws).
         current_state = best_state
         current_cost = best_cost
         for _ in range(greedy_total):
@@ -109,6 +130,146 @@ class SimulatedAnnealing:
                 best_cost = candidate_cost
             if trace:
                 cost_trace.append(best_cost)
+
+        return SAOutcome(
+            best_state=best_state,
+            best_cost=best_cost,
+            iterations=total + greedy_total,
+            accepted_moves=accepted,
+            improved_moves=improved,
+            cost_trace=tuple(cost_trace),
+        )
+
+    def run_batched(
+        self,
+        initial_state: StateT,
+        cost_fn: Callable[[StateT], float],
+        propose_fn: Callable[[StateT, random.Random], MoveT | None],
+        apply_fn: Callable[[StateT, MoveT], StateT],
+        batch_eval_fn: Callable[[StateT, Sequence[MoveT], Sequence[float]], Sequence[float]],
+        rng: random.Random,
+        units: int,
+        batch_size: int = 1,
+        trace: bool = False,
+    ) -> SAOutcome[StateT]:
+        """Anneal with speculative move batches (trajectory-invariant in K).
+
+        Per batch: up to ``batch_size`` moves are proposed from the current
+        state, each followed by its acceptance draw and an RNG snapshot; the
+        whole batch is scored by one ``batch_eval_fn(state, moves,
+        thresholds)`` call, and the decisions are replayed in order.  The
+        first acceptance rebases the walk — the RNG rolls back to that
+        move's snapshot, so the not-yet-consumed speculation is discarded
+        exactly as if it had never been proposed.
+
+        ``batch_eval_fn`` receives the acceptance threshold per move and may
+        return ``inf`` for any candidate whose cost provably reaches it
+        (conservative pruning): such candidates are rejected either way, so
+        the walk is bit-identical with pruning on or off.
+
+        ``batch_size`` caps the speculation window; the actual window adapts
+        to the local acceptance rate (reset to 1 after an acceptance, doubled
+        after a fully rejected window) so hot phases waste no speculative
+        evaluations while cold phases amortise the batch overhead.  Since the
+        trajectory is invariant in the window size, adaptivity cannot change
+        the result either.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        params = self._params
+        total = params.num_iterations(units)
+        greedy_total = params.num_greedy_iterations(units)
+        deadline = (
+            time.perf_counter() + params.time_limit_s
+            if params.time_limit_s is not None
+            else None
+        )
+
+        current_state = initial_state
+        current_cost = cost_fn(initial_state)
+        best_state = current_state
+        best_cost = current_cost
+        accepted = 0
+        improved = 0
+        cost_trace: list[float] = [best_cost] if trace else []
+
+        iteration = 0
+        speculation = 1
+        while iteration < total:
+            if deadline is not None and time.perf_counter() >= deadline:
+                break
+            window = min(speculation, total - iteration)
+            specs: list[tuple[Any, float, Any]] = []
+            for offset in range(window):
+                move = propose_fn(current_state, rng)
+                if move is None:
+                    specs.append((None, math.inf, None))
+                    continue
+                threshold = self._threshold(
+                    current_cost, iteration + offset, total, rng.random()
+                )
+                specs.append((move, threshold, rng.getstate()))
+            costs = self._score(batch_eval_fn, current_state, specs)
+            window_accepted = False
+            for offset, (move, threshold, snapshot) in enumerate(specs):
+                iteration += 1
+                if move is None:
+                    continue
+                candidate_cost = costs[offset]
+                if candidate_cost <= current_cost or candidate_cost < threshold:
+                    accepted += 1
+                    window_accepted = True
+                    rng.setstate(snapshot)
+                    current_state = apply_fn(current_state, move)
+                    current_cost = candidate_cost
+                    if candidate_cost < best_cost:
+                        improved += 1
+                        best_state = current_state
+                        best_cost = candidate_cost
+                    if trace:
+                        cost_trace.append(best_cost)
+                    break
+                if trace:
+                    cost_trace.append(best_cost)
+            speculation = 1 if window_accepted else min(batch_size, speculation * 2)
+
+        # Greedy polishing: strict improvement only, threshold == current
+        # cost, no acceptance draws — batched with the same rollback scheme.
+        current_state = best_state
+        current_cost = best_cost
+        done = 0
+        speculation = 1
+        while done < greedy_total:
+            window = min(speculation, greedy_total - done)
+            specs = []
+            for _ in range(window):
+                move = propose_fn(current_state, rng)
+                if move is None:
+                    specs.append((None, current_cost, None))
+                    continue
+                specs.append((move, current_cost, rng.getstate()))
+            costs = self._score(batch_eval_fn, current_state, specs)
+            window_accepted = False
+            for offset, (move, _threshold, snapshot) in enumerate(specs):
+                done += 1
+                if move is None:
+                    continue
+                candidate_cost = costs[offset]
+                if candidate_cost < current_cost:
+                    accepted += 1
+                    improved += 1
+                    window_accepted = True
+                    rng.setstate(snapshot)
+                    current_state = apply_fn(current_state, move)
+                    current_cost = candidate_cost
+                    best_state = current_state
+                    best_cost = candidate_cost
+                    if trace:
+                        cost_trace.append(best_cost)
+                    break
+                if trace:
+                    cost_trace.append(best_cost)
+            speculation = 1 if window_accepted else min(batch_size, speculation * 2)
 
         return SAOutcome(
             best_state=best_state,
@@ -139,3 +300,42 @@ class SimulatedAnnealing:
             return False
         probability = math.exp((current_cost - candidate_cost) / (current_cost * temperature))
         return rng.random() < probability
+
+    @staticmethod
+    def _score(batch_eval_fn, state, specs) -> dict[int, float]:
+        """Score a speculation window's live moves in one batched call."""
+        live = [
+            (offset, move, threshold)
+            for offset, (move, threshold, _snapshot) in enumerate(specs)
+            if move is not None
+        ]
+        if not live:
+            return {}
+        costs = batch_eval_fn(
+            state,
+            [move for _offset, move, _threshold in live],
+            [threshold for _offset, _move, threshold in live],
+        )
+        return {offset: cost for (offset, _move, _threshold), cost in zip(live, costs)}
+
+    def _threshold(
+        self, current_cost: float, iteration: int, total: int, u: float
+    ) -> float:
+        """The cost below which a worse candidate is accepted this iteration.
+
+        A candidate is accepted iff ``cost <= current`` or ``cost <
+        threshold``; with ``theta = c - c * Tn * ln(u)`` this is exactly the
+        Metropolis rule ``u < exp((c - c') / (c * Tn))``.  Degenerate cases
+        mirror the classical branch structure: an infeasible or non-positive
+        current cost accepts any finite candidate (``theta = inf``), a zero
+        temperature accepts only non-worsening moves (``theta = c``), and
+        ``u == 0`` accepts any finite candidate.
+        """
+        if not math.isfinite(current_cost) or current_cost <= 0:
+            return math.inf
+        temperature = self._params.temperature(iteration, total)
+        if temperature <= 0:
+            return current_cost
+        if u <= 0.0:
+            return math.inf
+        return current_cost - current_cost * temperature * math.log(u)

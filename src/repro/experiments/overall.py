@@ -100,7 +100,9 @@ def run_overall_experiment(
     processes — twice the parallelism of cell-granularity fanning when
     workers outnumber cells (``intra_cell=False`` restores the old
     behaviour).  Every run keeps the same explicit seed, so the rows are
-    identical to a serial run for any worker count.
+    identical to a serial run for any worker count.  Parallel cells run on
+    a supervised :class:`~repro.experiments.parallel.PersistentPool` (warm,
+    self-healing workers) instead of a one-shot ``multiprocessing.Pool``.
     """
     cells = cells if cells is not None else default_cells()
     config = config if config is not None else SoMaConfig()

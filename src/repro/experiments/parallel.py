@@ -24,6 +24,7 @@ from __future__ import annotations
 import hashlib
 import math
 import multiprocessing
+import multiprocessing.connection
 import os
 import queue
 import threading
@@ -149,10 +150,6 @@ class _SerialFuture:
         return self._value
 
 
-#: How often a waiting pump thread re-checks a busy worker's liveness; the
-#: upper bound on how long a crashed worker's future can linger unresolved.
-SUPERVISION_POLL_SECONDS = 0.1
-
 _STOP = object()  # pump-thread sentinel: drain the backlog, then exit
 
 
@@ -161,9 +158,9 @@ class _PoolFuture:
 
     ``result()`` blocks until the supervisor delivers a value or a typed
     failure — including :class:`~repro.errors.WorkerCrashError` when the
-    worker process died mid-task, so a waiter is released within
-    ``SUPERVISION_POLL_SECONDS`` of the crash instead of hanging forever
-    (the failure mode of ``AsyncResult.get()`` on a lost task).
+    worker process died mid-task, so a waiter is released the moment the
+    worker's process sentinel fires instead of hanging forever (the failure
+    mode of ``AsyncResult.get()`` on a lost task).
     """
 
     __slots__ = ("fn", "task", "timeout", "_event", "_value", "_error")
@@ -270,12 +267,14 @@ class PersistentPool:
     always land where their parse/segment/tiling LRUs already live).  Tasks
     without affinity round-robin for load balance.
 
-    Supervision makes the pool self-healing: a worker that dies mid-task
-    (OOM kill, segfault, injected crash) fails its in-flight future with a
-    typed :class:`~repro.errors.WorkerCrashError` within
-    ``SUPERVISION_POLL_SECONDS`` — never a hang — and is respawned
-    immediately with fresh (cold but warmable) state, so the backlog and all
-    later submissions still run.  ``submit(..., timeout=seconds)`` bounds a
+    Supervision makes the pool self-healing: the pump thread sleeps on
+    ``multiprocessing.connection.wait`` over the worker's reply pipe *and*
+    its process sentinel, so a worker that dies mid-task (OOM kill,
+    segfault, injected crash) fails its in-flight future with a typed
+    :class:`~repro.errors.WorkerCrashError` the moment the process exits —
+    never a hang, and no idle polling wake-ups while a task runs — and is
+    respawned immediately with fresh (cold but warmable) state, so the
+    backlog and all later submissions still run.  ``submit(..., timeout=seconds)`` bounds a
     single task: a runaway search is reclaimed by killing and respawning its
     worker, failing the future with
     :class:`~repro.errors.WorkerTimeoutError`.
@@ -417,18 +416,47 @@ class PersistentPool:
             time.monotonic() + future.timeout if future.timeout is not None else None
         )
         while True:
+            # Event-driven supervision: sleep until the worker replies, its
+            # process sentinel fires, or the task deadline expires — no
+            # fixed-interval polling.  The reply pipe is checked before the
+            # sentinel so a worker that answers and then exits still
+            # resolves its future (the dead process is replaced silently on
+            # the next dispatch, exactly like an idle death).
+            wait_timeout: float | None = None
+            if deadline is not None:
+                wait_timeout = deadline - time.monotonic()
+                if wait_timeout < 0:
+                    wait_timeout = 0
             try:
-                if slot.connection.poll(SUPERVISION_POLL_SECONDS):
+                ready = multiprocessing.connection.wait(
+                    [slot.connection, slot.process.sentinel], wait_timeout
+                )
+            except OSError:
+                ready = [slot.process.sentinel]  # treated as a crash below
+            if slot.connection in ready:
+                try:
                     status, payload = slot.connection.recv()
                     if status == "ok":
                         future._resolve(payload)
                     else:
                         future._fail(payload)
                     return
-            except (EOFError, OSError):
-                pass  # treated as a crash below
+                except (EOFError, OSError):
+                    pass  # treated as a crash below
             exitcode = slot.process.exitcode
             if exitcode is not None:
+                # Drain a reply that raced with the exit: a worker may write
+                # its result and die before the pipe is observed ready.
+                try:
+                    if slot.connection.poll(0):
+                        status, payload = slot.connection.recv()
+                        if status == "ok":
+                            future._resolve(payload)
+                        else:
+                            future._fail(payload)
+                        return
+                except (EOFError, OSError):
+                    pass
                 slot.crashes += 1
                 self._respawn(slot)
                 future._fail(

@@ -19,6 +19,39 @@ from repro.notation.lfa import stable_digest
 
 
 @dataclass(frozen=True)
+class DLSAMove:
+    """One symbolic DLSA mutation, applied lazily.
+
+    The DLSA operators historically materialised a full candidate ``DLSA``
+    (an ``O(num_tensors)`` tuple/dict copy) per proposal.  The batched move
+    engine scores many candidates per accepted move, so proposals are now
+    cheap records describing *what changes*; :meth:`apply` materialises the
+    candidate only when it is actually accepted (or needs a full co-sim).
+
+    ``kind`` is ``"order"`` (move tensor ``tid`` from order position
+    ``source`` to ``position``) or ``"living"`` (replace tensor ``tid``'s
+    Living Duration with ``span``).
+    """
+
+    kind: str
+    tid: int
+    source: int = -1
+    position: int = -1
+    span: tuple[int, int] | None = None
+
+    def apply(self, dlsa: "DLSA") -> "DLSA":
+        """Materialise the candidate this move describes, from ``dlsa``."""
+        if self.kind == "order":
+            order = list(dlsa.order)
+            order.pop(self.source)
+            order.insert(self.position, self.tid)
+            return DLSA(order=tuple(order), living=dict(dlsa.living))
+        living = dict(dlsa.living)
+        living[self.tid] = self.span
+        return DLSA(order=dlsa.order, living=living)
+
+
+@dataclass(frozen=True)
 class DLSA:
     """DRAM load/store attributes of one scheduling scheme.
 

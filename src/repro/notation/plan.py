@@ -100,6 +100,21 @@ class ComputePlan:
         return [num_bytes if num_bytes > 0 else 1 for num_bytes in self.tensor_arrays[1]]
 
     @cached_property
+    def tensor_weight_cumsum(self) -> list[int]:
+        """Cumulative :attr:`tensor_size_weights`, for O(log n) weighted picks.
+
+        ``random.Random.choices`` rebuilds this prefix sum on every call; the
+        move proposer bisects this cached copy instead, drawing the same
+        uniform so the selected tensor is identical.
+        """
+        total = 0
+        cumulative: list[int] = []
+        for weight in self.tensor_size_weights:
+            total += weight
+            cumulative.append(total)
+        return cumulative
+
+    @cached_property
     def tensor_arrays(self) -> tuple[list[bool], list[int], list[int], list[int]]:
         """Flat per-tensor arrays ``(is_load, num_bytes, first_use, last_use)``.
 

@@ -1,0 +1,182 @@
+"""Properties of the batched DLSA move engine and its roofline screen.
+
+Three families of guarantees keep the vectorised engine honest:
+
+* the structural feasibility criterion must agree with the co-operative
+  simulator's deadlock verdict *exactly* (it replaces the simulation for
+  infeasible candidates);
+* the roofline latency bound must never exceed the true simulated latency —
+  at every escalation round — or pruning could change the search trajectory;
+* a fixed-seed DLSA search must be bit-identical (cost, accepted moves,
+  final state, RNG stream) with the prefilter on or off, for any batch
+  size, and under the pure-Python fallback used when numpy is absent.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+import repro.core.eval_context as eval_context_module
+import repro.core.roofline as roofline_module
+from repro.core.dlsa_stage import DLSAStage, propose_dlsa_move
+from repro.core.double_buffer import double_buffer_dlsa
+from repro.core.evaluator import ScheduleEvaluator
+from repro.core.lfa_stage import initial_lfa
+from repro.core.roofline import MoveScreen, prefilter_enabled
+from repro.notation.parser import parse_lfa
+
+
+def _plan_for(graph):
+    return parse_lfa(graph, initial_lfa(graph, kc_parallel_lanes=32))
+
+
+def _move_stream(plan, context, rng, count=120):
+    """(base, move) pairs along a random walk over non-deadlocked bases."""
+    base = double_buffer_dlsa(plan)
+    pairs = []
+    while len(pairs) < count:
+        move = propose_dlsa_move(plan, base, rng)
+        if move is None:
+            continue
+        pairs.append((base, move))
+        if rng.random() < 0.3:  # advance the base sometimes, staying live
+            candidate = move.apply(base)
+            if not context.evaluate(candidate).reason.startswith("deadlock"):
+                base = candidate
+    return pairs
+
+
+@pytest.mark.parametrize("graph_fixture", ["linear_cnn", "branchy_cnn", "tiny_gpt_decode"])
+def test_feasibility_criterion_matches_simulator(request, tiny_accelerator, graph_fixture):
+    """The structural deadlock verdict equals the simulator's, move by move."""
+    graph = request.getfixturevalue(graph_fixture)
+    plan = _plan_for(graph)
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    context = evaluator.context(plan)
+    screen = MoveScreen(context)
+    rng = random.Random(11)
+    deadlocks = 0
+    for base, move in _move_stream(plan, context, rng):
+        screen.rebase(base)
+        feasible, _pruned = screen.assess(move)
+        result = context.evaluate(move.apply(base))
+        simulated_deadlock = result.reason.startswith("deadlock")
+        assert feasible == (not simulated_deadlock)
+        deadlocks += simulated_deadlock
+    assert deadlocks > 0  # the stream actually exercised both verdicts
+
+
+@pytest.mark.parametrize("graph_fixture", ["linear_cnn", "branchy_cnn", "tiny_gpt_decode"])
+def test_bound_never_exceeds_simulated_latency(request, tiny_accelerator, graph_fixture):
+    """Every escalation round's bound is conservative vs the true latency."""
+    graph = request.getfixturevalue(graph_fixture)
+    plan = _plan_for(graph)
+    evaluator = ScheduleEvaluator(tiny_accelerator)
+    context = evaluator.context(plan)
+    screen = MoveScreen(context)
+    rng = random.Random(23)
+    checked = 0
+    for base, move in _move_stream(plan, context, rng):
+        screen.rebase(base)
+        bounds: list[float] = []
+        feasible, pruned = screen.assess(move, prune_check=lambda b: bounds.append(b) or False)
+        assert not pruned  # the capture predicate never prunes
+        if not feasible:
+            continue
+        result = context.evaluate(move.apply(base))
+        assert result.latency_s > 0
+        for bound in bounds:
+            assert bound <= result.latency_s
+        assert bounds and bounds[-1] >= bounds[0] * 0.5  # sanity: bounds are real numbers
+        checked += 1
+    assert checked > 20
+
+
+def _explore_key(accelerator, graph, config, seed=1234):
+    """Everything a trajectory comparison needs from one DLSA search."""
+    plan = _plan_for(graph)
+    evaluator = ScheduleEvaluator(accelerator)
+    stage = DLSAStage(evaluator, config)
+    rng = random.Random(seed)
+    lfa = initial_lfa(graph, kc_parallel_lanes=32)
+    outcome = stage.explore(
+        lfa, plan, double_buffer_dlsa(plan), accelerator.gbuf_bytes, rng
+    )
+    stage_result = outcome.stage_result
+    stats = evaluator.context(plan).cache_stats()
+    return (
+        stage_result.cost,
+        stage_result.accepted_moves,
+        stage_result.encoding.dlsa.fingerprint(),
+        rng.getstate(),
+    ), stats
+
+
+def test_prefilter_does_not_change_the_trajectory(
+    monkeypatch, tiny_accelerator, branchy_cnn, fast_config
+):
+    """Fixed-seed searches accept the same moves with pruning on or off."""
+    monkeypatch.setenv("REPRO_ROOFLINE_PREFILTER", "1")
+    assert prefilter_enabled()
+    key_on, stats_on = _explore_key(tiny_accelerator, branchy_cnn, fast_config)
+    monkeypatch.setenv("REPRO_ROOFLINE_PREFILTER", "0")
+    assert not prefilter_enabled()
+    key_off, stats_off = _explore_key(tiny_accelerator, branchy_cnn, fast_config)
+    assert key_on == key_off
+    assert stats_off["batch_pruned"] == 0
+    # Pruning must replace simulations, not merely add bookkeeping.
+    assert stats_on["batch_sims"] + stats_on["batch_pruned"] == stats_off["batch_sims"]
+
+
+def test_batch_size_does_not_change_the_trajectory(
+    monkeypatch, tiny_accelerator, branchy_cnn, fast_config
+):
+    """The speculative window size is invisible in the search results."""
+    keys = []
+    for batch in (1, 8, 32):
+        monkeypatch.setenv("REPRO_DLSA_BATCH", str(batch))
+        key, _stats = _explore_key(tiny_accelerator, branchy_cnn, fast_config)
+        keys.append(key)
+    assert keys[0] == keys[1] == keys[2]
+
+
+def test_pure_python_fallback_is_bit_identical(
+    monkeypatch, tiny_accelerator, branchy_cnn, fast_config
+):
+    """Without numpy the engine takes the same trajectory, bit for bit."""
+    monkeypatch.setenv("REPRO_DLSA_BATCH", "8")
+    key_np, _ = _explore_key(tiny_accelerator, branchy_cnn, fast_config)
+    monkeypatch.setattr(roofline_module, "_np", None)
+    monkeypatch.setattr(eval_context_module, "_np", None)
+    key_py, _ = _explore_key(tiny_accelerator, branchy_cnn, fast_config)
+    assert key_np == key_py
+
+
+def test_prefilter_knob_parsing(monkeypatch):
+    for value, expected in [
+        ("1", True),
+        ("yes", True),
+        ("0", False),
+        ("false", False),
+        ("off", False),
+        ("", False),
+    ]:
+        monkeypatch.setenv("REPRO_ROOFLINE_PREFILTER", value)
+        assert prefilter_enabled() is expected
+    monkeypatch.delenv("REPRO_ROOFLINE_PREFILTER")
+    assert prefilter_enabled() is True  # default on
+
+
+def test_batch_counters_flow_into_cache_stats(tiny_accelerator, branchy_cnn, fast_config):
+    """The engine's screening activity is observable via cache_stats."""
+    key, stats = _explore_key(tiny_accelerator, branchy_cnn, fast_config)
+    assert stats["batch_calls"] > 0
+    assert stats["batch_moves"] >= stats["batch_calls"]
+    assert (
+        stats["batch_deadlocks"] + stats["batch_pruned"] + stats["batch_sims"]
+        == stats["batch_moves"]
+    )
+    assert math.isfinite(key[0])
