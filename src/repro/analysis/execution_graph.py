@@ -133,7 +133,7 @@ def build_execution_graph(
 
     compute_segments = tuple(
         Segment(
-            label=f"{plan.tiles[record.index].layer}#{plan.tiles[record.index].tile_id}",
+            label=f"{plan.tile(record.index).layer}#{plan.tile(record.index).tile_id}",
             start_s=record.start_s,
             end_s=record.finish_s,
             kind="compute",

@@ -119,8 +119,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-stats",
         action="store_true",
         help="print hit/miss/size of the search LRUs (parse, segment, "
-        "fragment, tiling, plan, result) after the run; the result row "
-        "samples the currently resident evaluation contexts",
+        "fragment, tiling, plan, result) after the run, plus the rebase row "
+        "(offset-indirect assembly: rebase_reuse hits vs rebased_segments "
+        "misses); the result row samples the currently resident evaluation "
+        "contexts",
     )
     _add_workers_argument(schedule)
 

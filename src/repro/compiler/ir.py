@@ -66,36 +66,43 @@ def generate_ir(plan: ComputePlan, dlsa: DLSA) -> IRDocument:
             }
         )
 
-    compute_sequence = [
-        {
-            "index": tile.index,
-            "layer": tile.layer,
-            "tile_id": tile.tile_id,
-            "flg_index": tile.flg_index,
-            "lg_index": tile.lg_index,
-            "macs": tile.macs,
-            "vector_ops": tile.vector_ops,
-        }
-        for tile in plan.tiles
-    ]
+    # Resolve tiles and tensors one element at a time through the plan's
+    # offset table; assembled plans then never materialise the global
+    # sequences just to emit the document.
+    compute_sequence = []
+    for index in range(plan.num_tiles):
+        tile = plan.tile(index)
+        compute_sequence.append(
+            {
+                "index": tile.index,
+                "layer": tile.layer,
+                "tile_id": tile.tile_id,
+                "flg_index": tile.flg_index,
+                "lg_index": tile.lg_index,
+                "macs": tile.macs,
+                "vector_ops": tile.vector_ops,
+            }
+        )
 
     order_position = {tid: pos for pos, tid in enumerate(dlsa.order)}
-    dram_tensors = [
-        {
-            "tid": tensor.tid,
-            "kind": tensor.kind.value,
-            "layer": tensor.layer,
-            "tile_id": tensor.tile_id,
-            "bytes": tensor.num_bytes,
-            "order_position": order_position[tensor.tid],
-            "living_start": dlsa.start(tensor.tid),
-            "living_end": dlsa.end(tensor.tid),
-            "first_use": tensor.first_use,
-            "last_use": tensor.last_use,
-            "source_layer": tensor.source_layer,
-        }
-        for tensor in plan.dram_tensors
-    ]
+    dram_tensors = []
+    for tid in range(plan.num_dram_tensors):
+        tensor = plan.tensor(tid)
+        dram_tensors.append(
+            {
+                "tid": tensor.tid,
+                "kind": tensor.kind.value,
+                "layer": tensor.layer,
+                "tile_id": tensor.tile_id,
+                "bytes": tensor.num_bytes,
+                "order_position": order_position[tensor.tid],
+                "living_start": dlsa.start(tensor.tid),
+                "living_end": dlsa.end(tensor.tid),
+                "first_use": tensor.first_use,
+                "last_use": tensor.last_use,
+                "source_layer": tensor.source_layer,
+            }
+        )
 
     document = {
         "ir_version": IR_VERSION,

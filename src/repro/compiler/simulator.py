@@ -68,7 +68,7 @@ class InstructionSimulator:
         mapper = CoreArrayMapper(self._accelerator)
         durations: dict[int, float] = {}
         for instruction in program.compute_queue:
-            tile = plan.tiles[instruction.instruction_id]
+            tile = plan.tile(instruction.instruction_id)
             layer = plan.graph.layer(tile.layer)
             durations[instruction.instruction_id] = mapper.evaluate_tile(
                 layer, plan.layer_tilings[tile.layer]

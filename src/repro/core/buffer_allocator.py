@@ -7,24 +7,128 @@ peak buffer usage of its best scheme; every later iteration lowers the
 stage-1 budget by a fixed fraction of that peak, leaving the freed capacity
 to stage 2 (prefetching / delayed storing).  Iteration stops once two
 consecutive rounds fail to improve the best overall cost.
+
+Two execution modes share one fold:
+
+* **Serial** (the default): the historical single-RNG loop — stage 1 then
+  stage 2 per iteration, one shared ``random.Random`` threaded through both.
+  Fixed-seed trajectories are bit-identical to every earlier release.
+* **Pipelined** (``REPRO_STAGE_PIPELINE=1``): each (iteration, stage) pair
+  becomes a self-contained, explicitly seeded task
+  (:class:`~repro.core.lfa_stage.Stage1Task` /
+  :class:`~repro.core.dlsa_stage.Stage2Task`).  Stage-1 budgets depend only
+  on earlier stage-1 results, so the whole shrink chain is submitted
+  speculatively as soon as its budgets are known, and stage 2 refines the
+  iteration-``i`` incumbent while stage 1 already explores iteration
+  ``i+1``.  With ``REPRO_ALLOC_WORKERS>=2`` the tasks run on a shared
+  :class:`~repro.experiments.parallel.PersistentPool` (stage 1 pinned to one
+  worker, stage 2 to another); otherwise they run in-process, lazily, in
+  fold order.  Because every task is a pure function of (graph, config,
+  budget, derived seed), both execution shapes produce bit-identical
+  results — asserted by ``tests/test_pipeline.py``.  The pipelined fold also
+  applies a branch-and-bound cutoff: once the incumbent cost reaches the
+  whole-workload roofline floor (:func:`~repro.core.roofline.schedule_floor`)
+  no budget split can improve it, so remaining iterations are skipped.
 """
 
 from __future__ import annotations
 
+import atexit
 import math
+import os
 import random
 import time
 from dataclasses import dataclass
+from typing import Any, Callable
 
+from repro.core.caching import parse_env_int
 from repro.core.config import SoMaConfig
-from repro.core.dlsa_stage import DLSAStage
+from repro.core.dlsa_stage import DLSAStage, Stage2Task, run_stage2_task
 from repro.core.double_buffer import double_buffer_dlsa
 from repro.core.evaluator import ScheduleEvaluator
-from repro.core.lfa_stage import LFAStage
+from repro.core.lfa_stage import LFAStage, Stage1Task, run_stage1_task
 from repro.core.result import SoMaResult, StageResult
+from repro.core.roofline import schedule_floor
 from repro.errors import SchedulingError
 from repro.notation.parser import parse_lfa_cached
 from repro.workloads.graph import WorkloadGraph
+
+PIPELINE_ENV = "REPRO_STAGE_PIPELINE"
+ALLOC_WORKERS_ENV = "REPRO_ALLOC_WORKERS"
+POOL_WORKER_ENV = "REPRO_POOL_WORKER"
+
+
+def stage_pipeline_enabled() -> bool:
+    """Whether schedules run the pipelined two-stage search (default: off).
+
+    The pipelined mode uses decorrelated per-(iteration, stage) seed streams
+    instead of one RNG threaded through both stages, so enabling it changes
+    the search trajectory (deterministically); leaving it off reproduces the
+    historical fixed-seed trajectories exactly.
+    """
+    return os.environ.get(PIPELINE_ENV, "").strip().lower() in {"1", "true", "on", "yes"}
+
+
+def alloc_workers() -> int:
+    """Pool width for pipelined allocator tasks (``REPRO_ALLOC_WORKERS``).
+
+    Returns 0 (in-process execution) unless the knob requests at least two
+    workers — one worker cannot overlap the stages, so the pool would only
+    add pickling overhead.  Inside a :class:`PersistentPool` worker process
+    the answer is always 0: a pool task must never spawn a nested pool.
+    """
+    if os.environ.get(POOL_WORKER_ENV):
+        return 0
+    value = parse_env_int(ALLOC_WORKERS_ENV, "running the stage pipeline in-process")
+    if value is None or value < 2:
+        return 0
+    return value
+
+
+# One shared pool per worker count, kept warm across schedule calls exactly
+# like the serving layer's pool; closed at interpreter exit.
+_POOLS: dict[int, Any] = {}
+
+
+def _allocator_pool(workers: int):
+    from repro.experiments.parallel import PersistentPool  # lazy: import cycle
+
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = PersistentPool(workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+@atexit.register
+def _close_pools() -> None:
+    for pool in _POOLS.values():
+        pool.close()
+    _POOLS.clear()
+
+
+class _LazyFuture:
+    """In-process stand-in for a pool future: runs the task on first result().
+
+    Laziness matters for the branch-and-bound cutoff: a speculative stage-2
+    task whose iteration is pruned at fold time is simply never forced, so
+    the in-process pipeline skips the work entirely.
+    """
+
+    __slots__ = ("_fn", "_task", "_done", "_value")
+
+    def __init__(self, fn: Callable[[Any], Any], task: Any) -> None:
+        self._fn = fn
+        self._task = task
+        self._done = False
+        self._value = None
+
+    def result(self) -> Any:
+        if not self._done:
+            self._value = self._fn(self._task)
+            self._done = True
+            self._fn = self._task = None
+        return self._value
 
 
 @dataclass
@@ -52,8 +156,21 @@ class BufferAllocator:
         self._lfa_stage = LFAStage(graph, evaluator, config)
         self._dlsa_stage = DLSAStage(evaluator, config)
 
-    def run(self, rng: random.Random) -> SoMaResult:
-        """Run the full SoMa exploration and return the best scheme."""
+    def run(self, rng: random.Random, seed: int | None = None) -> SoMaResult:
+        """Run the full SoMa exploration and return the best scheme.
+
+        ``seed`` is the resolved base seed of this schedule call; it drives
+        the decorrelated per-stage streams of the pipelined mode.  Without a
+        seed, or with ``REPRO_STAGE_PIPELINE`` off (the default), the
+        exploration runs serially on ``rng`` — bit-identical to the
+        historical trajectory.
+        """
+        if seed is not None and stage_pipeline_enabled():
+            return self._run_pipelined(seed)
+        return self._run_serial(rng)
+
+    # ----------------------------------------------------------------- serial
+    def _run_serial(self, rng: random.Random) -> SoMaResult:
         config = self._config
         gbuf_bytes = self._evaluator.accelerator.gbuf_bytes
         stage1_budget = gbuf_bytes
@@ -91,6 +208,145 @@ class BufferAllocator:
             if stage1_budget <= 0:
                 break
 
+        return self._finish(best, history, start_time)
+
+    # -------------------------------------------------------------- pipelined
+    def _run_pipelined(self, seed: int) -> SoMaResult:
+        from repro.experiments.parallel import derive_seed  # lazy: import cycle
+
+        config = self._config
+        graph = self._graph
+        accelerator = self._evaluator.accelerator
+        gbuf_bytes = accelerator.gbuf_bytes
+        max_iters = config.max_allocator_iterations
+        start_time = time.perf_counter()
+
+        workers = alloc_workers()
+        if workers >= 2:
+            pool = _allocator_pool(workers)
+
+            # Pinning each stage to its own worker keeps that worker's caches
+            # hot for the whole chain *and* guarantees the two stages overlap.
+            def submit1(task: Stage1Task):
+                return pool.submit(run_stage1_task, task, worker=0)
+
+            def submit2(task: Stage2Task):
+                return pool.submit(run_stage2_task, task, worker=1)
+
+        else:
+
+            def submit1(task: Stage1Task):
+                return _LazyFuture(run_stage1_task, task)
+
+            def submit2(task: Stage2Task):
+                return _LazyFuture(run_stage2_task, task)
+
+        def stage1_task(index: int, budget: int) -> Stage1Task:
+            return Stage1Task(
+                accelerator=accelerator,
+                config=config,
+                graph=graph,
+                budget=budget,
+                seed=derive_seed(seed, "soma-pipe", index, "lfa"),
+            )
+
+        floor_cost = schedule_floor(graph, accelerator, config)
+
+        budgets = [gbuf_bytes]
+        s1_futures = [submit1(stage1_task(0, gbuf_bytes))]
+
+        best: _IterationOutcome | None = None
+        buffer_peak: int | None = None
+        non_improving = 0
+        history: list[float] = []
+
+        i = 0
+        while i < len(budgets):
+            stage1 = s1_futures[i].result().stage_result
+            if buffer_peak is None and stage1.feasible:
+                buffer_peak = max(1, stage1.evaluation.max_buffer_bytes)
+
+            # Extend the shrink chain as far as its budgets are now known and
+            # submit the new stage-1 tasks speculatively.  Once a feasible
+            # peak is captured the shrink reference is frozen (exactly like
+            # the serial loop), so the entire remaining chain unrolls here;
+            # before that only the next budget (full-GBUF reference) exists.
+            if buffer_peak is not None:
+                while len(budgets) < max_iters:
+                    next_budget = int(
+                        budgets[-1] - config.buffer_shrink_fraction * buffer_peak
+                    )
+                    if next_budget <= 0:
+                        break
+                    budgets.append(next_budget)
+            elif len(budgets) == i + 1 and len(budgets) < max_iters:
+                next_budget = int(
+                    budgets[-1] - config.buffer_shrink_fraction * gbuf_bytes
+                )
+                if next_budget > 0:
+                    budgets.append(next_budget)
+            while len(s1_futures) < len(budgets):
+                index = len(s1_futures)
+                s1_futures.append(submit1(stage1_task(index, budgets[index])))
+
+            if not stage1.feasible:
+                # Stage 2 cannot improve an unusable stage-1 scheme; report
+                # it as-is so the allocator can try a different budget split.
+                outcome = _IterationOutcome(
+                    stage1=stage1, stage2=stage1, stage1_budget=budgets[i], cost=math.inf
+                )
+            elif best is not None and floor_cost >= best.cost:
+                # Branch-and-bound cutoff: even a roofline-perfect refinement
+                # of this budget split cannot beat the incumbent, so the
+                # stage-2 task is never forced and the iteration only counts
+                # against the patience.
+                outcome = _IterationOutcome(
+                    stage1=stage1, stage2=stage1, stage1_budget=budgets[i], cost=math.inf
+                )
+            else:
+                stage2_future = submit2(
+                    Stage2Task(
+                        accelerator=accelerator,
+                        config=config,
+                        graph=graph,
+                        lfa=stage1.encoding.lfa,
+                        budget=gbuf_bytes,
+                        seed=derive_seed(seed, "soma-pipe", i, "dlsa"),
+                    )
+                )
+                stage2 = stage2_future.result().stage_result
+                if stage2.feasible:
+                    cost = config.objective(
+                        stage2.evaluation.energy_j, stage2.evaluation.latency_s
+                    )
+                else:
+                    stage2 = stage1
+                    cost = config.objective(
+                        stage1.evaluation.energy_j, stage1.evaluation.latency_s
+                    )
+                outcome = _IterationOutcome(
+                    stage1=stage1, stage2=stage2, stage1_budget=budgets[i], cost=cost
+                )
+
+            history.append(outcome.cost)
+            if best is None or outcome.cost < best.cost:
+                best = outcome
+                non_improving = 0
+            else:
+                non_improving += 1
+            if non_improving >= config.allocator_patience:
+                break
+            i += 1
+
+        return self._finish(best, history, start_time)
+
+    # ---------------------------------------------------------------- internal
+    def _finish(
+        self,
+        best: _IterationOutcome | None,
+        history: list[float],
+        start_time: float,
+    ) -> SoMaResult:
         if best is None or not math.isfinite(best.cost):
             raise SchedulingError(
                 f"SoMa found no feasible scheme for workload {self._graph.name!r} "
@@ -114,7 +370,6 @@ class BufferAllocator:
             history=tuple(history),
         )
 
-    # ---------------------------------------------------------------- internal
     def _run_iteration(self, stage1_budget: int, rng: random.Random) -> _IterationOutcome:
         gbuf_bytes = self._evaluator.accelerator.gbuf_bytes
         lfa_outcome = self._lfa_stage.explore(stage1_budget, rng)

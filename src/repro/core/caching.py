@@ -329,7 +329,11 @@ def collect_search_cache_stats(graph, evaluator=None) -> dict[str, dict]:
     this low-level module stays dependency-free.
     """
     from repro.notation.parser import parse_cache_stats
-    from repro.notation.segments import fragment_cache_stats, segment_cache_stats
+    from repro.notation.segments import (
+        assembler_stats,
+        fragment_cache_stats,
+        segment_cache_stats,
+    )
     from repro.tiling.partition import tiling_cache_stats
 
     stats: dict[str, dict] = {
@@ -337,6 +341,23 @@ def collect_search_cache_stats(graph, evaluator=None) -> dict[str, dict]:
         "segment": segment_cache_stats(graph),
         "fragment": fragment_cache_stats(graph),
         "tiling": tiling_cache_stats(graph),
+    }
+    # The offset-indirect assembler is not an LRU, but its counters fit the
+    # same hit/miss shape: a reused position-independent fragment is a hit,
+    # a freshly computed one a miss.  The raw counter names ride along for
+    # programmatic consumers.
+    counters = assembler_stats(graph)
+    reuse = counters["rebase_reuse"]
+    rebased = counters["rebased_segments"]
+    total = reuse + rebased
+    stats["rebase"] = {
+        "size": 0,
+        "maxsize": 0,
+        "hits": reuse,
+        "misses": rebased,
+        "hit_rate": reuse / total if total else 0.0,
+        "rebase_reuse": reuse,
+        "rebased_segments": rebased,
     }
     if evaluator is not None:
         stats.update(evaluator.cache_stats())
@@ -356,7 +377,7 @@ def cache_stats_delta(before: dict[str, dict], after: dict[str, dict]) -> dict[s
     for name, entry in after.items():
         base = before.get(name, {})
         row = dict(entry)
-        for field in ("hits", "misses", "evaluations"):
+        for field in ("hits", "misses", "evaluations", "rebase_reuse", "rebased_segments"):
             if field in row:
                 row[field] = row[field] - base.get(field, 0)
         total = row.get("hits", 0) + row.get("misses", 0)

@@ -27,14 +27,19 @@ from bisect import bisect
 from dataclasses import dataclass
 
 from repro.core.config import SoMaConfig
+from repro.core.double_buffer import double_buffer_dlsa
 from repro.core.evaluator import ScheduleEvaluator
+from repro.core.lfa_stage import canonical_graph
 from repro.core.result import EvaluationResult, StageResult
 from repro.core.roofline import prefilter_enabled
 from repro.core.sa import SimulatedAnnealing
+from repro.hardware.accelerator import AcceleratorConfig
 from repro.notation.dlsa import DLSA, DLSAMove
 from repro.notation.encoding import ScheduleEncoding
 from repro.notation.lfa import LFA
+from repro.notation.parser import parse_lfa_cached
 from repro.notation.plan import ComputePlan
+from repro.workloads.graph import WorkloadGraph
 
 _DEFAULT_BATCH = 32
 
@@ -229,3 +234,46 @@ class DLSAStage:
         """Serial one-candidate neighbour (kept for tests and reference runs)."""
         move = propose_dlsa_move(plan, dlsa, rng)
         return None if move is None else move.apply(dlsa)
+
+
+# ------------------------------------------------------- pipelined stage tasks
+_STAGE2_EVALUATORS: dict = {}
+_STAGE2_CACHE_LIMIT = 8
+
+
+@dataclass(frozen=True)
+class Stage2Task:
+    """One pipelined stage-2 refinement of a stage-1 incumbent.
+
+    Like :class:`~repro.core.lfa_stage.Stage1Task`, a pure function of its
+    fields: the worker re-parses the LFA (hitting its warm per-graph caches)
+    and anneals the DLSA from the double-buffer strategy under its own
+    derived seed, so in-process and pool execution agree bit for bit.
+    """
+
+    accelerator: AcceleratorConfig
+    config: SoMaConfig
+    graph: WorkloadGraph
+    lfa: LFA
+    budget: int
+    seed: int
+
+
+def run_stage2_task(task: Stage2Task) -> DLSAStageOutcome:
+    """Module-level (hence picklable) runner for :class:`Stage2Task`."""
+    graph = canonical_graph(task.graph)
+    evaluator = _STAGE2_EVALUATORS.get(task.accelerator)
+    if evaluator is None:
+        if len(_STAGE2_EVALUATORS) >= _STAGE2_CACHE_LIMIT:
+            _STAGE2_EVALUATORS.clear()
+        evaluator = ScheduleEvaluator(task.accelerator)
+        _STAGE2_EVALUATORS[task.accelerator] = evaluator
+    plan = parse_lfa_cached(graph, task.lfa)
+    stage = DLSAStage(evaluator, task.config)
+    return stage.explore(
+        lfa=task.lfa,
+        plan=plan,
+        initial_dlsa=double_buffer_dlsa(plan),
+        buffer_budget_bytes=task.budget,
+        rng=random.Random(task.seed),
+    )

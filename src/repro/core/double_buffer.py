@@ -11,6 +11,11 @@ both use exactly this strategy.
 
 from __future__ import annotations
 
+try:  # numpy is optional: the builder falls back to pure Python without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image ships numpy
+    _np = None
+
 from repro.notation.dlsa import DLSA
 from repro.notation.plan import ComputePlan
 
@@ -24,11 +29,30 @@ def double_buffer_dlsa(plan: ComputePlan) -> DLSA:
     A load that reads back another LG's stores anchors behind the *latest*
     producing store — the same adjustment ``from_defaults`` derives from its
     per-layer last-store map.
+
+    With numpy the Living Durations and sort keys are computed in whole-array
+    passes; ``lexsort`` is stable, so ties on ``(anchor, kind)`` break by
+    tensor id exactly like the reference tuple sort, and ``tolist`` yields
+    the same Python ints.
     """
     is_load, _num_bytes, first_use, last_use = plan.tensor_arrays
     _store_tids, src_store_tids = plan.store_structure
+    if _np is not None and plan.num_dram_tensors > 0:
+        il, _nb, fu, lu = plan.tensor_np
+        starts = _np.where(il, _np.maximum(fu - 1, 0), fu)
+        ends = _np.where(il, lu + 1, fu + 1)
+        anchors = starts.tolist()
+        for tid, stores in enumerate(src_store_tids):
+            if stores:
+                produced = max(first_use[store_tid] for store_tid in stores) + 1
+                if produced > anchors[tid]:
+                    anchors[tid] = produced
+        kinds = _np.where(il, 0, 1)
+        order = _np.lexsort((kinds, _np.asarray(anchors, dtype=_np.int64)))
+        living = dict(enumerate(zip(starts.tolist(), ends.tolist())))
+        return DLSA(order=tuple(order.tolist()), living=living)
     keys: list[tuple[int, int, int]] = []
-    living: dict[int, tuple[int, int]] = {}
+    living = {}
     for tid in range(plan.num_dram_tensors):
         use = first_use[tid]
         if is_load[tid]:

@@ -30,6 +30,7 @@ from repro.core.sa import SimulatedAnnealing
 from repro.errors import EncodingError
 from repro.notation.encoding import ScheduleEncoding
 from repro.notation.lfa import LFA, LFADelta
+from repro.hardware.accelerator import AcceleratorConfig
 from repro.notation.segments import build_plan_cached
 from repro.tiling.heuristics import kc_parallelism_tiling_number
 from repro.workloads.graph import WorkloadGraph
@@ -377,3 +378,62 @@ class LFAStage:
                 self._pending = (move.lfa, move.delta)
                 return move.lfa
         return None
+
+
+# ------------------------------------------------------- pipelined stage tasks
+_CANONICAL_GRAPHS: dict[str, WorkloadGraph] = {}
+_STAGE1_STAGES: dict = {}
+_WORKER_CACHE_LIMIT = 8
+
+
+def canonical_graph(graph: WorkloadGraph) -> WorkloadGraph:
+    """One graph object per fingerprint within this process.
+
+    Pipelined stage tasks arrive in pool workers as freshly unpickled graph
+    copies, but the per-graph search caches (parses, segments, fragments,
+    tilings) key by object identity.  Routing every copy of a graph to one
+    canonical in-process instance is what keeps a warm worker warm across
+    the stage handoffs of a pipelined schedule.
+    """
+    key = graph.fingerprint()
+    held = _CANONICAL_GRAPHS.get(key)
+    if held is not None:
+        return held
+    if len(_CANONICAL_GRAPHS) >= _WORKER_CACHE_LIMIT:
+        _CANONICAL_GRAPHS.clear()
+    _CANONICAL_GRAPHS[key] = graph
+    return graph
+
+
+@dataclass(frozen=True)
+class Stage1Task:
+    """One pipelined stage-1 exploration: picklable and explicitly seeded.
+
+    A task is a pure function of its fields — graph, configuration, buffer
+    budget and seed — so running it in-process or on any pool worker yields
+    the same :class:`LFAStageOutcome` bit for bit.
+    """
+
+    accelerator: AcceleratorConfig
+    config: SoMaConfig
+    graph: WorkloadGraph
+    budget: int
+    seed: int
+
+
+def run_stage1_task(task: Stage1Task) -> LFAStageOutcome:
+    """Module-level (hence picklable) runner for :class:`Stage1Task`.
+
+    The stage object — and with it the evaluator and the stage-1 cost memo —
+    is cached per (accelerator, graph, config), so the speculative budget
+    chain of one pipelined schedule reuses one warm stage per process.
+    """
+    graph = canonical_graph(task.graph)
+    key = (task.accelerator, graph.fingerprint(), task.config)
+    stage = _STAGE1_STAGES.get(key)
+    if stage is None:
+        if len(_STAGE1_STAGES) >= _WORKER_CACHE_LIMIT:
+            _STAGE1_STAGES.clear()
+        stage = LFAStage(graph, ScheduleEvaluator(task.accelerator), task.config)
+        _STAGE1_STAGES[key] = stage
+    return stage.explore(task.budget, random.Random(task.seed))

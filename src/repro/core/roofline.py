@@ -134,6 +134,29 @@ class MoveScreen:
             return self._assess_np(move, prune_check)
         return self._assess_py(move, prune_check)
 
+    def assess_batch(self, moves, prune_checks) -> list[tuple[bool, bool]]:
+        """Judge a whole speculation window in shared whole-batch passes.
+
+        Semantically ``[assess(m, c) for m, c in zip(moves, prune_checks)]``
+        — and exactly that with the pure-Python backend or on degenerate
+        plans — but with numpy the deadlock screen runs as single
+        ``(M, n)``/``(M, T)`` matrix passes over *all* candidates at once
+        (one fancy-indexed gather, one running-max, one ``reduceat`` per
+        quantity instead of one per move), and the roofline bound rounds run
+        as a batched Jacobi over the surviving rows with an active mask.
+        Every row reproduces the per-move arithmetic op for op, so the
+        verdicts are bit-identical to the serial screen.
+        """
+        moves = list(moves)
+        prune_checks = list(prune_checks)
+        if self._base is None:
+            raise RuntimeError("MoveScreen.assess_batch called before rebase")
+        if not self._use_np or self._n == 0 or self._T == 0 or len(moves) < 2:
+            return [
+                self.assess(move, check) for move, check in zip(moves, prune_checks)
+            ]
+        return self._assess_batch_np(moves, prune_checks)
+
     def candidate_lists(self, move: DLSAMove) -> tuple[list[int], list[int], list[int]]:
         """The candidate's ``(order, starts, ends)`` as plain lists.
 
@@ -373,6 +396,155 @@ class MoveScreen:
             Cpad = _np.concatenate((self._zero1, C))
         return False
 
+    def _tile_max_batch(self, values, zero):
+        """Row-wise per-tile max over CSR ``values`` of shape ``(A, R)``."""
+        rows = values.shape[0]
+        if values.shape[1] == 0:
+            return _np.full((rows, self._T), zero, dtype=values.dtype)
+        pad = _np.full((rows, 1), zero, dtype=values.dtype)
+        padded = _np.concatenate((values, pad), axis=1)
+        seg = _np.maximum.reduceat(padded, self._req_starts, axis=1)
+        seg[:, self._req_empty] = zero
+        return seg
+
+    def _assess_batch_np(self, moves, prune_checks) -> list[tuple[bool, bool]]:
+        n, T = self._n, self._T
+        num_moves = len(moves)
+        # Patched per-row state.  Only the one touched slice/entry differs
+        # per move, so the patch loop is O(move size); all screening math
+        # below runs on the full (M, n)/(M, T) matrices in one pass.
+        order2 = _np.tile(self._order, (num_moves, 1))
+        pos2 = _np.tile(self._pos, (num_moves, 1))
+        starts2 = _np.tile(self._starts, (num_moves, 1))
+        ends2 = _np.tile(self._ends, (num_moves, 1))
+        gates = self._g_t[order2]
+        for row, move in enumerate(moves):
+            if move.kind == "order":
+                i, j, tid = move.source, move.position, move.tid
+                if j > i:
+                    shifted = self._order[i + 1 : j + 1]
+                    order2[row, i:j] = shifted
+                    pos2[row, shifted] -= 1
+                else:
+                    shifted = self._order[j:i]
+                    order2[row, j + 1 : i + 1] = shifted
+                    pos2[row, shifted] += 1
+                order2[row, j] = tid
+                pos2[row, tid] = j
+                gates[row] = self._g_t[order2[row]]
+            elif self._is_load[move.tid]:
+                tid = move.tid
+                new_start = move.span[0]
+                starts2[row, tid] = new_start
+                gates[row, self._pos[tid]] = new_start if new_start > 0 else 0
+            else:
+                ends2[row, move.tid] = move.span[1]
+        # Whole-batch deadlock screen: exact structural criterion per row.
+        if self._pa_load.size:
+            condA = (pos2[:, self._lw_flat] < pos2[:, self._pa_load]).all(axis=1)
+        else:
+            condA = _np.ones(num_moves, dtype=bool)
+        Gm2 = _np.maximum.accumulate(gates, axis=1)
+        R2 = self._tile_max_batch(pos2[:, self._req_flat] + 1, _np.int64(0))
+        s_end2 = ends2[:, self._store_arr]
+        s_pos2 = pos2[:, self._store_arr]
+        valid = s_end2 < T
+        if valid.any():
+            rows = _np.nonzero(valid)[0]
+            _np.maximum.at(
+                R2.reshape(-1), rows * T + s_end2[valid], s_pos2[valid] + 1
+            )
+        Rm2 = _np.maximum.accumulate(R2, axis=1)
+        mask = Rm2 > 0
+        checks = _np.take_along_axis(Gm2, _np.maximum(Rm2 - 1, 0), axis=1)
+        ok = _np.where(mask, checks <= self._t_arr[None, :], True).all(axis=1)
+        feasible = condA & ok
+        pruned = _np.zeros(num_moves, dtype=bool)
+        rowsel = [
+            row
+            for row in range(num_moves)
+            if feasible[row] and prune_checks[row] is not None
+        ]
+        if rowsel:
+            selection = _np.asarray(rowsel, dtype=_np.int64)
+            pruned[selection] = self._prune_batch_np(
+                order2[selection],
+                pos2[selection],
+                starts2[selection],
+                ends2[selection],
+                [prune_checks[row] for row in rowsel],
+            )
+        return [(bool(feasible[row]), bool(pruned[row])) for row in range(num_moves)]
+
+    def _prune_batch_np(self, order2, pos2, starts2, ends2, prune_checks):
+        """Batched Jacobi bound rounds over the surviving rows.
+
+        Each round applies the exact per-row op sequence of :meth:`_prune_np`
+        as axis-1 matrix passes; the active mask retires a row as soon as it
+        is proven prunable or its bound converges, exactly where the serial
+        escalation would have stopped calling ``prune_check``.
+        """
+        n, T = self._n, self._T
+        num_rows = order2.shape[0]
+        # Channel prefix sums: cumsum over the same values in the same order
+        # yields the same floats whether the order is the base's (living
+        # moves) or a patched one (order moves), so one uniform pass serves
+        # both — matching _prune_np's base-P reuse bit for bit.
+        P = _np.cumsum(self._ts[order2], axis=1)
+        zeros_col = _np.zeros((num_rows, 1), dtype=_np.float64)
+        Pshift = _np.concatenate((zeros_col, P[:, :-1]), axis=1)
+        C = _np.tile(self._Cq, (num_rows, 1))
+        Cpad = _np.concatenate((zeros_col, C), axis=1)
+        F = None
+        lw_pos = pos2[:, self._lw_flat] if self._lw_flat.size else None
+        s_end = ends2[:, self._store_arr]
+        s_pos = pos2[:, self._store_arr]
+        valid = s_end < T
+        deadline_rows = _np.nonzero(valid)[0]
+        req_pos = pos2[:, self._req_flat]
+        starts_clipped = _np.maximum(starts2, 0)
+        il_row = self._il[None, :]
+        pruned = _np.zeros(num_rows, dtype=bool)
+        active = _np.ones(num_rows, dtype=bool)
+        prev_bound = _np.full(num_rows, -1.0)
+        for _ in range(_BOUND_MAX_ROUNDS):
+            own = _np.where(
+                il_row,
+                _np.take_along_axis(Cpad, starts_clipped, axis=1),
+                C[:, self._fu],
+            )
+            if F is not None and lw_pos is not None:
+                src = _np.take_along_axis(F, lw_pos, axis=1)
+                srcmax = _np.maximum.reduceat(src, self._lw_starts, axis=1)
+                own[:, self._lw_tids] = _np.maximum(own[:, self._lw_tids], srcmax)
+            d = _np.take_along_axis(own, order2, axis=1) - Pshift
+            m = _np.maximum(_np.maximum.accumulate(d, axis=1), 0.0)
+            F = P + m
+            h = self._tile_max_batch(_np.take_along_axis(F, req_pos, axis=1), 0.0)
+            if deadline_rows.size:
+                _np.maximum.at(
+                    h.reshape(-1),
+                    deadline_rows * T + s_end[valid],
+                    _np.take_along_axis(F, s_pos, axis=1)[valid],
+                )
+            d2 = h - self._Qshift[None, :]
+            m2 = _np.maximum(_np.maximum.accumulate(d2, axis=1), 0.0)
+            C = self._Cq[None, :] + m2
+            bound = _np.maximum(F[:, n - 1], C[:, T - 1])
+            for row in _np.nonzero(active)[0]:
+                value = float(bound[row])
+                if prune_checks[row](value * _BOUND_SAFETY):
+                    pruned[row] = True
+                    active[row] = False
+                elif value == prev_bound[row]:
+                    active[row] = False
+                else:
+                    prev_bound[row] = value
+            if not active.any():
+                break
+            Cpad = _np.concatenate((zeros_col, C), axis=1)
+        return pruned
+
     # ------------------------------------------------------ pure-Python backend
     def _rebase_py(self) -> None:
         n = self._n
@@ -566,3 +738,34 @@ class MoveScreen:
                 return False
             prev_bound = bound
         return False
+
+
+# ----------------------------------------------------------- whole-schedule floor
+def schedule_floor(graph, accelerator, config) -> float:
+    """A lower bound on the objective of *any* schedule of ``graph``.
+
+    Roofline argument over the whole workload instead of one DLSA: every
+    schedule must execute every MAC (so latency is at least the pure compute
+    time at peak throughput) and must move the *compulsory* DRAM traffic —
+    all weights in, the ofmaps of the graph's output layers out — through
+    the DRAM channel (so latency is at least that transfer time, and DRAM
+    energy at least that traffic's energy).  Both resources also bound the
+    energy from below.  The pipelined Buffer Allocator uses this as a
+    branch-and-bound cutoff: once the incumbent cost is at or below the
+    floor, no remaining budget split can improve it and the shrink chain is
+    cut short.
+
+    The floor is exact arithmetic on exact integer totals, so it is safe as
+    a pruning bound: it never exceeds the cost of a real evaluation.
+    """
+    total_macs = graph.total_macs
+    compute_s = total_macs / accelerator.peak_macs_per_s
+    compulsory_bytes = graph.total_weight_bytes + sum(
+        graph.layer(name).ofmap_bytes for name in graph.output_layers()
+    )
+    dram_s = accelerator.memory.dram_transfer_seconds(compulsory_bytes)
+    latency_floor = max(compute_s, dram_s)
+    energy_floor = accelerator.energy.mac_energy_j(total_macs) + accelerator.energy.dram_energy_j(
+        compulsory_bytes
+    )
+    return config.objective(energy_floor, latency_floor)

@@ -39,11 +39,15 @@ class SoMaScheduler:
         """Explore the DRAM Communication Scheduling Space for ``graph``.
 
         ``seed`` overrides the configuration seed so experiment harnesses can
-        run several independent trials.
+        run several independent trials.  The resolved seed is handed to the
+        allocator alongside the serial RNG: with ``REPRO_STAGE_PIPELINE=1``
+        it drives the pipelined mode's derived per-stage streams, otherwise
+        only the RNG is consumed (the historical serial trajectory).
         """
-        rng = random.Random(self.config.seed if seed is None else seed)
+        resolved_seed = self.config.seed if seed is None else seed
+        rng = random.Random(resolved_seed)
         allocator = BufferAllocator(graph, self.evaluator, self.config)
-        return allocator.run(rng)
+        return allocator.run(rng, seed=resolved_seed)
 
     def evaluate_encoding(
         self,

@@ -200,6 +200,9 @@ def _worker_main(connection) -> None:
     import signal
 
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # Mark this process as a pool worker so task code (e.g. the pipelined
+    # Buffer Allocator) never spawns a nested pool from inside a worker.
+    os.environ["REPRO_POOL_WORKER"] = "1"
     while True:
         try:
             item = connection.recv()

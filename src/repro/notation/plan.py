@@ -4,13 +4,29 @@ A :class:`ComputePlan` holds everything the evaluator needs that does not
 depend on the DLSA: the global tile sequence, the per-layer tilings, the
 canonical DRAM-tensor list, the loads each tile waits for and the buffer
 lifetimes of on-chip (fused) feature maps.
+
+Plans built by the segment assembler are *offset-indirect*: they do not
+materialise the global tile/tensor object lists at construction.  Instead
+they carry a ``segment_view`` indirection table — one ``(segment,
+tile_offset, tid_offset)`` entry per LG — plus flat numpy arrays stitched
+from cached per-segment locals.  Every classic view (``tiles``,
+``dram_tensors``, ``onchip_intervals``, ``tile_required_loads``) is a lazy
+cached property that resolves through the table on first touch, so the
+stage-1 hot loop, which only reads the flat arrays, never pays for the
+objects.  Point lookups go through :meth:`tile` / :meth:`tensor`, which
+bisect the offset table instead of materialising the lists.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from bisect import bisect_right
+from dataclasses import dataclass
 from functools import cached_property
-from typing import ClassVar
+
+try:  # numpy is optional: plans fall back to list views without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image ships numpy
+    _np = None
 
 from repro.notation.dram_tensor import DRAMTensor, TensorKind
 from repro.notation.lfa import LFA, stable_digest
@@ -50,29 +66,95 @@ class BufferInterval:
     label: str = ""
 
 
-@dataclass
-class ComputePlan:
-    """Everything derived from an LFA (independent of the DLSA)."""
+_KINDS = (TensorKind.WEIGHT, TensorKind.IFMAP, TensorKind.OFMAP)
 
-    graph: WorkloadGraph
-    lfa: LFA
-    feasible: bool
-    infeasibility_reason: str = ""
-    tiles: list[ComputeTile] = field(default_factory=list)
-    dram_tensors: list[DRAMTensor] = field(default_factory=list)
-    onchip_intervals: list[BufferInterval] = field(default_factory=list)
-    layer_tilings: dict[str, LayerTiling] = field(default_factory=dict)
-    tile_required_loads: list[list[int]] = field(default_factory=list)
-    flg_of_layer: dict[str, int] = field(default_factory=dict)
-    lg_of_layer: dict[str, int] = field(default_factory=dict)
-    num_flgs: int = 0
-    num_lgs: int = 0
+
+def _fast_tile(index, layer, tile_id, flg_index, lg_index, macs, vector_ops) -> ComputeTile:
+    # Frozen-dataclass construction pays one object.__setattr__ per field;
+    # lazy materialisation builds hundreds of tiles per plan, all valid by
+    # construction, so it installs the instance dict wholesale.
+    tile = ComputeTile.__new__(ComputeTile)
+    object.__setattr__(tile, "__dict__", {
+        "index": index,
+        "layer": layer,
+        "tile_id": tile_id,
+        "flg_index": flg_index,
+        "lg_index": lg_index,
+        "macs": macs,
+        "vector_ops": vector_ops,
+    })
+    return tile
+
+
+def _fast_tensor(tid, kind, layer, tile_id, num_bytes, first_use, last_use, source_layer) -> DRAMTensor:
+    # Same fast path as _fast_tile: segment specs carry validated use
+    # ranges, so DRAMTensor.__post_init__ has nothing left to check.
+    tensor = DRAMTensor.__new__(DRAMTensor)
+    object.__setattr__(tensor, "__dict__", {
+        "tid": tid,
+        "kind": kind,
+        "layer": layer,
+        "tile_id": tile_id,
+        "num_bytes": num_bytes,
+        "first_use": first_use,
+        "last_use": last_use,
+        "source_layer": source_layer,
+    })
+    return tensor
+
+
+class ComputePlan:
+    """Everything derived from an LFA (independent of the DLSA).
+
+    Constructed either by the reference parser (which passes the
+    materialised lists) or by the segment assembler (which passes none of
+    them and prefills flat arrays plus ``segment_view`` instead — the list
+    views then materialise lazily on first access).
+    """
 
     # Set by the segment assembler: ``((segment, tile_offset, tid_offset),
     # ...)`` — one entry per LG, in order.  ``None`` on plans built by the
-    # reference parser.  Lets the evaluator reuse per-segment static costs
-    # and lets delta-driven assembly reuse a parent plan's segments.
-    segment_view: ClassVar = None
+    # reference parser.  Lets the evaluator reuse per-segment static costs,
+    # lets delta-driven assembly reuse a parent plan's segments, and is the
+    # indirection table the lazy views resolve through.
+    segment_view = None
+
+    def __init__(
+        self,
+        graph: WorkloadGraph,
+        lfa: LFA,
+        feasible: bool,
+        infeasibility_reason: str = "",
+        tiles: list[ComputeTile] | None = None,
+        dram_tensors: list[DRAMTensor] | None = None,
+        onchip_intervals: list[BufferInterval] | None = None,
+        layer_tilings: dict[str, LayerTiling] | None = None,
+        tile_required_loads: list[list[int]] | None = None,
+        flg_of_layer: dict[str, int] | None = None,
+        lg_of_layer: dict[str, int] | None = None,
+        num_flgs: int = 0,
+        num_lgs: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.lfa = lfa
+        self.feasible = feasible
+        self.infeasibility_reason = infeasibility_reason
+        # Materialised views are only assigned when provided; otherwise the
+        # instance dict stays empty and the cached properties below resolve
+        # them through ``segment_view`` on first access.
+        if tiles is not None:
+            self.tiles = tiles
+        if dram_tensors is not None:
+            self.dram_tensors = dram_tensors
+        if onchip_intervals is not None:
+            self.onchip_intervals = onchip_intervals
+        if tile_required_loads is not None:
+            self.tile_required_loads = tile_required_loads
+        self.layer_tilings = layer_tilings if layer_tilings is not None else {}
+        self.flg_of_layer = flg_of_layer if flg_of_layer is not None else {}
+        self.lg_of_layer = lg_of_layer if lg_of_layer is not None else {}
+        self.num_flgs = num_flgs
+        self.num_lgs = num_lgs
 
     # -------------------------------------------------------------- identity
     def fingerprint(self) -> str:
@@ -88,6 +170,182 @@ class ComputePlan:
             cached = stable_digest("plan", self.graph.fingerprint(), self.lfa.fingerprint())
             self.__dict__["_fingerprint"] = cached
         return cached
+
+    # ------------------------------------------------------ indirection table
+    @cached_property
+    def _frag_view(self) -> tuple:
+        """``segment_view`` extended with derived offsets.
+
+        One ``(segment, tile_offset, tid_offset, flg_offset, lg_index)``
+        entry per LG — the FLG offset and LG index are recovered from the
+        table order, so the stored view stays the minimal triple.
+        """
+        view = self.segment_view
+        if view is None or not self.feasible:
+            return ()
+        out = []
+        flg_offset = 0
+        for lg_index, (segment, tile_offset, tid_offset) in enumerate(view):
+            out.append((segment, tile_offset, tid_offset, flg_offset, lg_index))
+            flg_offset += segment.num_flgs
+        return tuple(out)
+
+    @cached_property
+    def _tile_offsets(self) -> list[int]:
+        return [entry[1] for entry in self._frag_view]
+
+    @cached_property
+    def _tid_offsets(self) -> list[int]:
+        return [entry[2] for entry in self._frag_view]
+
+    def tile(self, index: int) -> ComputeTile:
+        """Resolve one compute tile by global index through the offset table.
+
+        Falls back to the materialised list when one exists (reference
+        plans, or assembled plans whose ``tiles`` were already touched);
+        otherwise builds the single tile from its segment's local record
+        without materialising the global sequence.
+        """
+        tiles = self.__dict__.get("tiles")
+        if tiles is not None:
+            return tiles[index]
+        if not 0 <= index < self.num_tiles:
+            raise IndexError(f"tile index {index} out of range")
+        lg = bisect_right(self._tile_offsets, index) - 1
+        segment, tile_offset, _tid, flg_offset, lg_index = self._frag_view[lg]
+        layer, tile_id, flg, macs, vops = segment.tiles[index - tile_offset]
+        return _fast_tile(index, layer, tile_id, flg_offset + flg, lg_index, macs, vops)
+
+    def tensor(self, tid: int) -> DRAMTensor:
+        """Resolve one DRAM tensor by id through the offset table."""
+        tensors = self.__dict__.get("dram_tensors")
+        if tensors is not None:
+            return tensors[tid]
+        if not 0 <= tid < self.num_dram_tensors:
+            raise IndexError(f"tensor id {tid} out of range")
+        lg = bisect_right(self._tid_offsets, tid) - 1
+        segment, tile_offset, tid_offset, _flg, _lg = self._frag_view[lg]
+        row = segment.specs[tid - tid_offset]
+        return _fast_tensor(
+            tid,
+            _KINDS[row[1]],
+            row[2],
+            row[3],
+            row[4],
+            tile_offset + row[0],
+            tile_offset + row[5],
+            row[6],
+        )
+
+    # ------------------------------------------------------------- lazy views
+    @cached_property
+    def tiles(self) -> list[ComputeTile]:
+        """The global compute sequence (materialised on first access)."""
+        tiles: list[ComputeTile] = []
+        for segment, tile_offset, _tid, flg_offset, lg_index in self._frag_view:
+            for index, (layer, tile_id, flg, macs, vops) in enumerate(segment.tiles):
+                tiles.append(
+                    _fast_tile(
+                        tile_offset + index, layer, tile_id, flg_offset + flg,
+                        lg_index, macs, vops,
+                    )
+                )
+        return tiles
+
+    @cached_property
+    def dram_tensors(self) -> list[DRAMTensor]:
+        """The canonical DRAM-tensor list (materialised on first access)."""
+        tensors: list[DRAMTensor] = []
+        for segment, tile_offset, tid_offset, _flg, _lg in self._frag_view:
+            for tid, row in enumerate(segment.specs):
+                tensors.append(
+                    _fast_tensor(
+                        tid_offset + tid,
+                        _KINDS[row[1]],
+                        row[2],
+                        row[3],
+                        row[4],
+                        tile_offset + row[0],
+                        tile_offset + row[5],
+                        row[6],
+                    )
+                )
+        return tensors
+
+    @cached_property
+    def onchip_intervals(self) -> list[BufferInterval]:
+        """On-chip fmap lifetimes (materialised on first access)."""
+        intervals: list[BufferInterval] = []
+        for segment, tile_offset, _tid, _flg, _lg in self._frag_view:
+            for start, end, num_bytes, label in segment.onchip:
+                intervals.append(
+                    BufferInterval(
+                        start_tile=tile_offset + start,
+                        end_tile=tile_offset + end,
+                        num_bytes=num_bytes,
+                        label=label,
+                    )
+                )
+        return intervals
+
+    @cached_property
+    def tile_required_loads(self) -> list[list[int]]:
+        """Per-tile required load tids (materialised on first access)."""
+        required: list[list[int]] = []
+        for segment, _tile, tid_offset, _flg, _lg in self._frag_view:
+            for tids in segment.required_loads:
+                required.append([tid_offset + tid for tid in tids])
+        return required
+
+    # ------------------------------------------------------------ flat arrays
+    @cached_property
+    def tensor_np(self):
+        """Numpy ``(is_load, num_bytes, first_use, last_use)`` per tensor.
+
+        Prefilled by the segment assembler (stitched from cached per-segment
+        locals); the fallback converts :attr:`tensor_arrays` for plans built
+        by the reference parser.  Requires numpy.
+        """
+        is_load, num_bytes, first_use, last_use = self.tensor_arrays
+        return (
+            _np.asarray(is_load, dtype=bool),
+            _np.asarray(num_bytes, dtype=_np.int64),
+            _np.asarray(first_use, dtype=_np.int64),
+            _np.asarray(last_use, dtype=_np.int64),
+        )
+
+    @cached_property
+    def req_csr(self):
+        """CSR view ``(starts, flat)`` of :attr:`tile_required_loads`.
+
+        ``starts`` has one entry per tile (the row's offset into ``flat``);
+        empty rows repeat the next offset, matching numpy ``reduceat``
+        conventions.  Prefilled by the segment assembler; requires numpy on
+        the fallback path.
+        """
+        flat: list[int] = []
+        starts: list[int] = []
+        for tids in self.tile_required_loads:
+            starts.append(len(flat))
+            flat.extend(tids)
+        return (
+            _np.asarray(starts, dtype=_np.int64),
+            _np.asarray(flat, dtype=_np.int64),
+        )
+
+    @cached_property
+    def onchip_np(self):
+        """Numpy ``(start_tile, end_tile, num_bytes)`` per on-chip interval.
+
+        Prefilled by the segment assembler; requires numpy on the fallback
+        path.
+        """
+        intervals = self.onchip_intervals
+        return (
+            _np.asarray([iv.start_tile for iv in intervals], dtype=_np.int64),
+            _np.asarray([iv.end_tile for iv in intervals], dtype=_np.int64),
+            _np.asarray([iv.num_bytes for iv in intervals], dtype=_np.int64),
+        )
 
     @cached_property
     def tensor_size_weights(self) -> list[int]:
@@ -119,10 +377,15 @@ class ComputePlan:
         """Flat per-tensor arrays ``(is_load, num_bytes, first_use, last_use)``.
 
         The evaluation engine walks these thousands of times per search; flat
-        lists avoid a property call per access.  The parser pre-fills this
-        cached property at plan construction (it has the values at hand), so
-        the fallback here only runs for hand-built plans.
+        lists avoid a property call per access.  The parsers pre-fill the
+        numpy view or this cached property at plan construction, so the
+        object-walking fallback here only runs for hand-built plans.
+        ``ndarray.tolist`` yields exact Python ints and bools, so both fill
+        paths produce identical lists.
         """
+        arrays = self.__dict__.get("tensor_np")
+        if arrays is not None:
+            return tuple(array.tolist() for array in arrays)
         is_load: list[bool] = []
         num_bytes: list[int] = []
         first_use: list[int] = []
@@ -141,7 +404,7 @@ class ComputePlan:
         ``store_tids`` lists every store in canonical tensor order;
         ``src_store_tids[tid]`` holds, for a load that reads back another
         LG's stored ofmap, the store tids it must wait for (gate order of
-        the seed evaluator).  Pre-filled by the parser like
+        the seed evaluator).  Pre-filled by both parsers like
         :attr:`tensor_arrays`.
         """
         stores_of_layer: dict[str, list[int]] = {}
@@ -159,37 +422,45 @@ class ComputePlan:
         return store_tids, src_store_tids
 
     # ------------------------------------------------------------------ stats
-    @property
+    @cached_property
     def num_tiles(self) -> int:
-        """Length of the global compute sequence."""
+        """Length of the global compute sequence (prefilled by the assembler)."""
+        view = self._frag_view
+        if view:
+            last = view[-1]
+            return last[1] + last[0].num_tiles
         return len(self.tiles)
 
-    @property
+    @cached_property
     def num_dram_tensors(self) -> int:
-        """Number of DRAM load/store requests."""
+        """Number of DRAM load/store requests (prefilled by the assembler)."""
+        view = self._frag_view
+        if view:
+            last = view[-1]
+            return last[2] + last[0].num_tensors
         return len(self.dram_tensors)
 
-    @property
+    @cached_property
     def total_dram_bytes(self) -> int:
         """Total DRAM traffic (loads + stores) in bytes."""
         return sum(t.num_bytes for t in self.dram_tensors)
 
-    @property
+    @cached_property
     def total_dram_load_bytes(self) -> int:
         """Total DRAM load traffic in bytes."""
         return sum(t.num_bytes for t in self.dram_tensors if t.is_load)
 
-    @property
+    @cached_property
     def total_dram_store_bytes(self) -> int:
         """Total DRAM store traffic in bytes."""
         return sum(t.num_bytes for t in self.dram_tensors if t.is_store)
 
-    @property
+    @cached_property
     def total_macs(self) -> int:
         """MACs summed over the whole tile sequence (halo recompute included)."""
         return sum(t.macs for t in self.tiles)
 
-    @property
+    @cached_property
     def total_ops(self) -> int:
         """Operations summed over the whole tile sequence."""
         return sum(t.ops for t in self.tiles)
@@ -197,10 +468,6 @@ class ComputePlan:
     def tensors_by_kind(self, kind: TensorKind) -> list[DRAMTensor]:
         """All DRAM tensors of one kind."""
         return [t for t in self.dram_tensors if t.kind is kind]
-
-    def tensor(self, tid: int) -> DRAMTensor:
-        """Return the DRAM tensor with the given id."""
-        return self.dram_tensors[tid]
 
     def tiles_of_layer(self, layer: str) -> list[ComputeTile]:
         """All tiles of one layer, in execution order."""

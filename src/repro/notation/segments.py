@@ -21,8 +21,11 @@ the assembler rebuilds from a global layer → store-tid map in one pass.
 
 :func:`parse_segment` emits an immutable, content-keyed :class:`PlanSegment`
 (cached in a per-graph LRU, ``REPRO_SEGMENT_CACHE``); :class:`PlanAssembler`
-stitches segments into a ``ComputePlan``, re-basing tile indices, tensor ids
-and lifetimes via cached :class:`_Fragment` objects.  The assembled plan is
+stitches segments into a ``ComputePlan`` through an *offset-indirect*
+indirection table: position-independent :class:`_Fragment` array bundles
+(cached by segment content key alone) are concatenated with vectorised
+offset adds, and the plan's object views materialise lazily from the table
+on first access.  The assembled plan is
 bit-identical to ``parse_lfa``'s (asserted for random operator sequences by
 ``tests/test_segments.py``): segment tile ranges are disjoint and increasing,
 so the parser's global ``(first_use, kind, position, tile_id)`` sort order
@@ -40,21 +43,21 @@ from __future__ import annotations
 
 import weakref
 
+try:  # numpy is optional: stitching falls back to pure Python without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image ships numpy
+    _np = None
+
 from repro.core.caching import LRUCache, per_graph_lru, per_graph_stats
-from repro.notation.dram_tensor import TensorKind
 from repro.notation.lfa import LFA, LFADelta, stable_digest
 from repro.notation.parser import (
     _ceil_div,
     _graph_static,
-    _new_tensor,
-    _new_tile,
     plan_cache,
 )
-from repro.notation.plan import BufferInterval, ComputePlan
+from repro.notation.plan import ComputePlan
 from repro.tiling.partition import tile_flg
 from repro.workloads.graph import WorkloadGraph
-
-_KINDS = (TensorKind.WEIGHT, TensorKind.IFMAP, TensorKind.OFMAP)
 
 SegmentSpec = tuple  # (layers, rel_cuts, rel_tilings) — see LFA.segment_specs()
 
@@ -304,80 +307,74 @@ def parse_segment(graph: WorkloadGraph, spec: SegmentSpec, key: str | None = Non
 
 
 class _Fragment:
-    """One segment re-based to its global offsets, ready to concatenate.
+    """One segment's plan contribution in *position-independent* form.
 
-    Re-basing builds the plan-level :class:`~repro.notation.plan.ComputeTile`
-    and :class:`~repro.notation.dram_tensor.DRAMTensor` objects, which is the
-    bulk of the remaining assembly cost — so fragments are cached per
-    (segment, offsets): in a stable anneal every segment *before* the touched
-    one keeps its offsets and hits this cache outright.
+    Everything the stitcher concatenates is held as segment-local numpy
+    arrays plus exact Python-int totals: re-basing a fragment to its global
+    offsets is a vectorised ``array + offset`` at stitch time instead of an
+    object rebuild.  Since nothing here depends on where the segment lands
+    in a plan, fragments are cached by segment content key alone — a
+    segment that shifts when an upstream LG changes size hits this cache
+    unconditionally.
     """
 
     __slots__ = (
-        "tiles",
-        "tensors",
         "is_load",
         "num_bytes",
         "first_use",
         "last_use",
-        "required_loads",
-        "intervals",
+        "req_starts",
+        "req_flat",
+        "n_req",
+        "iv_start",
+        "iv_end",
+        "iv_bytes",
         "store_tids",
-        "stores_of_layer",
-        "load_sources",
+        "sum_bytes",
+        "sum_load_bytes",
+        "sum_store_bytes",
+        "sum_macs",
+        "sum_ops",
     )
 
 
-def _rebase_segment(
-    segment: PlanSegment,
-    tile_offset: int,
-    flg_offset: int,
-    lg_index: int,
-    tid_offset: int,
-) -> _Fragment:
+def _segment_arrays(segment: PlanSegment) -> _Fragment:
+    """Build the position-independent array bundle of one segment."""
     fragment = _Fragment.__new__(_Fragment)
-    fragment.tiles = [
-        _new_tile(tile_offset + index, layer, tile_id, flg_offset + flg, lg_index, macs, vops)
-        for index, (layer, tile_id, flg, macs, vops) in enumerate(segment.tiles)
-    ]
     specs = segment.specs
-    fragment.tensors = [
-        _new_tensor(
-            tid_offset + tid,
-            _KINDS[row[1]],
-            row[2],
-            row[3],
-            row[4],
-            tile_offset + row[0],
-            tile_offset + row[5],
-            row[6],
-        )
-        for tid, row in enumerate(specs)
-    ]
-    fragment.is_load = [row[1] != 2 for row in specs]
-    fragment.num_bytes = [row[4] for row in specs]
-    fragment.first_use = [tile_offset + row[0] for row in specs]
-    fragment.last_use = [tile_offset + row[5] for row in specs]
-    fragment.required_loads = [
-        [tid_offset + tid for tid in tids] for tids in segment.required_loads
-    ]
-    fragment.intervals = [
-        BufferInterval(
-            start_tile=tile_offset + start,
-            end_tile=tile_offset + end,
-            num_bytes=num_bytes,
-            label=label,
-        )
-        for start, end, num_bytes, label in segment.onchip
-    ]
-    fragment.store_tids = [tid_offset + tid for tid in segment.store_tids]
-    fragment.stores_of_layer = {
-        name: tuple(tid_offset + tid for tid in tids)
-        for name, tids in segment.stores_of_layer.items()
-    }
-    fragment.load_sources = [
-        (tid_offset + tid, source) for tid, source in segment.load_sources
-    ]
+    fragment.is_load = _np.asarray([row[1] != 2 for row in specs], dtype=bool)
+    fragment.num_bytes = _np.asarray([row[4] for row in specs], dtype=_np.int64)
+    fragment.first_use = _np.asarray([row[0] for row in specs], dtype=_np.int64)
+    fragment.last_use = _np.asarray([row[5] for row in specs], dtype=_np.int64)
+    req_flat: list[int] = []
+    req_starts: list[int] = []
+    for tids in segment.required_loads:
+        req_starts.append(len(req_flat))
+        req_flat.extend(tids)
+    fragment.req_starts = _np.asarray(req_starts, dtype=_np.int64)
+    fragment.req_flat = _np.asarray(req_flat, dtype=_np.int64)
+    fragment.n_req = len(req_flat)
+    onchip = segment.onchip
+    fragment.iv_start = _np.asarray([row[0] for row in onchip], dtype=_np.int64)
+    fragment.iv_end = _np.asarray([row[1] for row in onchip], dtype=_np.int64)
+    fragment.iv_bytes = _np.asarray([row[2] for row in onchip], dtype=_np.int64)
+    fragment.store_tids = _np.asarray(segment.store_tids, dtype=_np.int64)
+    sum_bytes = 0
+    sum_load_bytes = 0
+    for row in specs:
+        sum_bytes += row[4]
+        if row[1] != 2:
+            sum_load_bytes += row[4]
+    fragment.sum_bytes = sum_bytes
+    fragment.sum_load_bytes = sum_load_bytes
+    fragment.sum_store_bytes = sum_bytes - sum_load_bytes
+    sum_macs = 0
+    sum_ops = 0
+    for _layer, _tile_id, _flg, macs, vops in segment.tiles:
+        sum_macs += macs
+        sum_ops += 2 * macs + vops
+    fragment.sum_macs = sum_macs
+    fragment.sum_ops = sum_ops
     return fragment
 
 
@@ -396,14 +393,12 @@ def segment_cache(graph: WorkloadGraph) -> LRUCache:
 
 
 def fragment_cache(graph: WorkloadGraph) -> LRUCache:
-    """The per-graph re-based-fragment LRU (shares ``REPRO_SEGMENT_CACHE``).
+    """The per-graph fragment LRU (shares ``REPRO_SEGMENT_CACHE``).
 
-    Sized well above the segment cache: one segment appears at many offsets
-    (every move that changes a tile or tensor count shifts all downstream
-    segments), and a fragment is only a segment-sized slice of a plan, so
-    capacity is cheap relative to the plans it avoids rebuilding.  Bounded
-    all the same — a fragment holds real tile/tensor objects, so an unbounded
-    map would grow with the length of the anneal.
+    Keyed by segment content key *only*: fragments are position-independent
+    (local arrays; the stitcher re-bases them with vectorised offset adds),
+    so a segment shifted by an upstream move hits this cache outright —
+    there is at most one fragment per distinct segment.
     """
     return per_graph_lru(_FRAGMENT_CACHES, graph, "SEGMENT", 24576)
 
@@ -416,6 +411,28 @@ def segment_cache_stats(graph: WorkloadGraph) -> dict:
 def fragment_cache_stats(graph: WorkloadGraph) -> dict:
     """Hit/miss statistics of the per-graph fragment cache."""
     return per_graph_stats(_FRAGMENT_CACHES, graph)
+
+
+# Per-graph counters of the offset-indirect stitch path: how many segment
+# stitches computed a fresh fragment (``rebased_segments``) versus reusing a
+# cached position-independent one (``rebase_reuse``).  Surfaced through
+# ``--cache-stats``.
+_ASSEMBLER_COUNTERS: "weakref.WeakKeyDictionary[WorkloadGraph, tuple[int, dict]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _assembler_counters(graph: WorkloadGraph) -> dict:
+    entry = _ASSEMBLER_COUNTERS.get(graph)
+    if entry is None or entry[0] != graph.version:
+        entry = (graph.version, {"rebased_segments": 0, "rebase_reuse": 0})
+        _ASSEMBLER_COUNTERS[graph] = entry
+    return entry[1]
+
+
+def assembler_stats(graph: WorkloadGraph) -> dict:
+    """Offset-indirect assembly counters of one graph (for ``--cache-stats``)."""
+    return dict(_assembler_counters(graph))
 
 
 # Weak per-graph map of LFA fingerprint → assembled plan: lets delta-driven
@@ -518,78 +535,131 @@ class PlanAssembler:
             plan.segment_view = tuple((segment, 0, 0) for segment in segments)
             return plan
 
-        frag_lru = fragment_cache(graph)
-        fragments: list[_Fragment] = []
+        # O(#LGs) offset bookkeeping: the indirection table plus the layer
+        # maps.  Everything per-tensor / per-tile is stitched from cached
+        # position-independent fragments with vectorised offset adds below.
         view: list[tuple[PlanSegment, int, int]] = []
+        tile_offsets: list[int] = []
+        tid_offsets: list[int] = []
         tile_offset = 0
-        flg_offset = 0
         tid_offset = 0
-        for lg_index, segment in enumerate(segments):
-            frag_key = (segment.key, tile_offset, flg_offset, lg_index, tid_offset)
-            fragment = frag_lru.get(frag_key)
-            if fragment is None:
-                fragment = _rebase_segment(segment, tile_offset, flg_offset, lg_index, tid_offset)
-                frag_lru.put(frag_key, fragment)
-            fragments.append(fragment)
-            view.append((segment, tile_offset, tid_offset))
-            tile_offset += segment.num_tiles
-            flg_offset += segment.num_flgs
-            tid_offset += segment.num_tensors
-
-        tiles: list = []
-        tensors: list = []
-        intervals: list = []
-        required_loads: list = []
-        is_load: list = []
-        num_bytes: list = []
-        first_use: list = []
-        last_use: list = []
-        store_tids: list = []
-        stores_of_layer: dict[str, tuple[int, ...]] = {}
         layer_tilings: dict = {}
         flg_of_layer: dict[str, int] = {}
         lg_of_layer: dict[str, int] = {}
-
         running_flg = 0
-        for lg_index, (segment, fragment) in enumerate(zip(segments, fragments)):
-            tiles.extend(fragment.tiles)
-            tensors.extend(fragment.tensors)
-            intervals.extend(fragment.intervals)
-            required_loads.extend(fragment.required_loads)
-            is_load.extend(fragment.is_load)
-            num_bytes.extend(fragment.num_bytes)
-            first_use.extend(fragment.first_use)
-            last_use.extend(fragment.last_use)
-            store_tids.extend(fragment.store_tids)
-            stores_of_layer.update(fragment.stores_of_layer)
+        for lg_index, segment in enumerate(segments):
+            view.append((segment, tile_offset, tid_offset))
+            tile_offsets.append(tile_offset)
+            tid_offsets.append(tid_offset)
+            tile_offset += segment.num_tiles
+            tid_offset += segment.num_tensors
             layer_tilings.update(segment.layer_tilings)
             for name, flg in segment.flg_of_layer.items():
                 flg_of_layer[name] = running_flg + flg
                 lg_of_layer[name] = lg_index
             running_flg += segment.num_flgs
+        num_tensors = tid_offset
 
-        src_store_tids: list[tuple[int, ...]] = [()] * len(tensors)
-        for fragment in fragments:
-            for tid, source_layer in fragment.load_sources:
-                src_store_tids[tid] = stores_of_layer.get(source_layer, ())
+        stores_of_layer: dict[str, tuple[int, ...]] = {}
+        for segment, offset in zip(segments, tid_offsets):
+            for name, tids in segment.stores_of_layer.items():
+                stores_of_layer[name] = tuple(offset + tid for tid in tids)
+        src_store_tids: list[tuple[int, ...]] = [()] * num_tensors
+        for segment, offset in zip(segments, tid_offsets):
+            for tid, source_layer in segment.load_sources:
+                src_store_tids[offset + tid] = stores_of_layer.get(source_layer, ())
 
         plan = ComputePlan(
             graph=graph,
             lfa=lfa,
             feasible=True,
-            tiles=tiles,
-            dram_tensors=tensors,
-            onchip_intervals=intervals,
             layer_tilings=layer_tilings,
-            tile_required_loads=required_loads,
             flg_of_layer=flg_of_layer,
             lg_of_layer=lg_of_layer,
             num_flgs=running_flg,
             num_lgs=len(segments),
         )
-        plan.__dict__["tensor_arrays"] = (is_load, num_bytes, first_use, last_use)
-        plan.__dict__["store_structure"] = (store_tids, src_store_tids)
         plan.segment_view = tuple(view)
+
+        if _np is None:
+            # Pure-Python fallback: prefill the flat lists the evaluation
+            # engine needs directly from the segment locals (the object
+            # views stay lazy either way).
+            is_load: list[bool] = []
+            num_bytes: list[int] = []
+            first_use: list[int] = []
+            last_use: list[int] = []
+            store_tids: list[int] = []
+            for segment, t_off, n_off in view:
+                for row in segment.specs:
+                    is_load.append(row[1] != 2)
+                    num_bytes.append(row[4])
+                    first_use.append(t_off + row[0])
+                    last_use.append(t_off + row[5])
+                store_tids.extend(n_off + tid for tid in segment.store_tids)
+            plan.__dict__["tensor_arrays"] = (is_load, num_bytes, first_use, last_use)
+            plan.__dict__["store_structure"] = (store_tids, src_store_tids)
+            return plan
+
+        counters = _assembler_counters(graph)
+        frag_lru = fragment_cache(graph)
+        fragments: list[_Fragment] = []
+        for segment in segments:
+            fragment = frag_lru.get(segment.key)
+            if fragment is None:
+                fragment = _segment_arrays(segment)
+                frag_lru.put(segment.key, fragment)
+                counters["rebased_segments"] += 1
+            else:
+                counters["rebase_reuse"] += 1
+            fragments.append(fragment)
+
+        tile_off = _np.asarray(tile_offsets, dtype=_np.int64)
+        tid_off = _np.asarray(tid_offsets, dtype=_np.int64)
+        tens_counts = [fragment.is_load.size for fragment in fragments]
+        tile_counts = [segment.num_tiles for segment in segments]
+        req_counts = [fragment.n_req for fragment in fragments]
+        iv_counts = [fragment.iv_start.size for fragment in fragments]
+        store_counts = [fragment.store_tids.size for fragment in fragments]
+
+        tens_rep = _np.repeat(tile_off, tens_counts)
+        plan.__dict__["tensor_np"] = (
+            _np.concatenate([fragment.is_load for fragment in fragments]),
+            _np.concatenate([fragment.num_bytes for fragment in fragments]),
+            _np.concatenate([fragment.first_use for fragment in fragments]) + tens_rep,
+            _np.concatenate([fragment.last_use for fragment in fragments]) + tens_rep,
+        )
+
+        flat_offsets = []
+        flat_offset = 0
+        for count in req_counts:
+            flat_offsets.append(flat_offset)
+            flat_offset += count
+        req_starts = _np.concatenate(
+            [fragment.req_starts for fragment in fragments]
+        ) + _np.repeat(_np.asarray(flat_offsets, dtype=_np.int64), tile_counts)
+        req_flat = _np.concatenate(
+            [fragment.req_flat for fragment in fragments]
+        ) + _np.repeat(tid_off, req_counts)
+        plan.__dict__["req_csr"] = (req_starts, req_flat)
+
+        iv_rep = _np.repeat(tile_off, iv_counts)
+        plan.__dict__["onchip_np"] = (
+            _np.concatenate([fragment.iv_start for fragment in fragments]) + iv_rep,
+            _np.concatenate([fragment.iv_end for fragment in fragments]) + iv_rep,
+            _np.concatenate([fragment.iv_bytes for fragment in fragments]),
+        )
+
+        store_tids_arr = _np.concatenate(
+            [fragment.store_tids for fragment in fragments]
+        ) + _np.repeat(tid_off, store_counts)
+        plan.__dict__["store_structure"] = (store_tids_arr.tolist(), src_store_tids)
+
+        plan.__dict__["total_dram_bytes"] = sum(f.sum_bytes for f in fragments)
+        plan.__dict__["total_dram_load_bytes"] = sum(f.sum_load_bytes for f in fragments)
+        plan.__dict__["total_dram_store_bytes"] = sum(f.sum_store_bytes for f in fragments)
+        plan.__dict__["total_macs"] = sum(f.sum_macs for f in fragments)
+        plan.__dict__["total_ops"] = sum(f.sum_ops for f in fragments)
         return plan
 
 

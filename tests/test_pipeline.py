@@ -1,0 +1,178 @@
+"""Pipelined two-stage search: determinism and equivalence guarantees.
+
+The buffer allocator has two execution modes.  With ``REPRO_STAGE_PIPELINE``
+off (the default) it runs the historical serial loop — one shared RNG,
+stage 1 then stage 2 per shrink iteration — and must reproduce the seed
+trajectories exactly.  With the pipeline on, stage 2 refines each incumbent
+while stage 1 keeps exploring the next budget; every (iteration, stage)
+task draws from its own seed-derived stream, so the trajectory is a pure
+function of ``(graph, config, seed)`` regardless of *where* the tasks run.
+These tests pin down the guarantees that make the pipeline safe to ship:
+
+* pipeline off (default) == the plain serial allocator run, bit for bit;
+* pipelined in-process == pipelined across pool workers, bit for bit;
+* same seed -> same pipelined result (run-to-run determinism);
+* the roofline schedule floor used as the branch-and-bound cutoff never
+  exceeds the cost of any real feasible schedule;
+* pool workers never spawn nested pools.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.buffer_allocator import (
+    ALLOC_WORKERS_ENV,
+    PIPELINE_ENV,
+    POOL_WORKER_ENV,
+    BufferAllocator,
+    alloc_workers,
+    stage_pipeline_enabled,
+)
+from repro.core.double_buffer import double_buffer_dlsa
+from repro.core.evaluator import ScheduleEvaluator
+from repro.core.lfa_stage import initial_lfa
+from repro.core.roofline import schedule_floor
+from repro.core.soma import SoMaScheduler
+from repro.notation.parser import parse_lfa
+
+_SEED = 9
+
+
+def _encoding_key(encoding):
+    dlsa = encoding.dlsa
+    return (encoding.lfa.fingerprint(), dlsa.fingerprint() if dlsa is not None else None)
+
+
+def _trajectory(result):
+    """Everything a bit-identity comparison needs from one SoMaResult."""
+    return (
+        result.history,
+        result.allocator_iterations,
+        result.stage1_buffer_budget_bytes,
+        result.stage1.cost,
+        result.stage1.iterations,
+        _encoding_key(result.stage1.encoding),
+        result.stage2.cost,
+        result.stage2.iterations,
+        _encoding_key(result.stage2.encoding),
+        result.best.cost,
+        result.evaluation.latency_s,
+        result.evaluation.energy_j,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    """Every test starts from the default (pipeline off, no workers)."""
+    monkeypatch.delenv(PIPELINE_ENV, raising=False)
+    monkeypatch.delenv(ALLOC_WORKERS_ENV, raising=False)
+    monkeypatch.delenv(POOL_WORKER_ENV, raising=False)
+
+
+def test_pipeline_is_off_by_default_and_matches_plain_serial_run(
+    tiny_accelerator, fast_config, branchy_cnn
+):
+    """Default mode is the historical serial loop, reached both ways."""
+    assert not stage_pipeline_enabled()
+    scheduled = SoMaScheduler(tiny_accelerator, fast_config).schedule(
+        branchy_cnn, seed=_SEED
+    )
+    allocator = BufferAllocator(
+        branchy_cnn, ScheduleEvaluator(tiny_accelerator), fast_config
+    )
+    # No seed argument -> unconditionally the serial path.
+    serial = allocator.run(random.Random(_SEED))
+    assert _trajectory(scheduled) == _trajectory(serial)
+
+
+def test_pipelined_in_process_is_deterministic(
+    monkeypatch, tiny_accelerator, fast_config, branchy_cnn
+):
+    """Same (graph, config, seed) -> same pipelined trajectory, run to run."""
+    monkeypatch.setenv(PIPELINE_ENV, "1")
+    assert stage_pipeline_enabled()
+    first = SoMaScheduler(tiny_accelerator, fast_config).schedule(branchy_cnn, seed=_SEED)
+    second = SoMaScheduler(tiny_accelerator, fast_config).schedule(branchy_cnn, seed=_SEED)
+    assert _trajectory(first) == _trajectory(second)
+    assert first.evaluation.feasible
+
+
+@pytest.mark.parametrize("graph_fixture", ["branchy_cnn", "tiny_gpt_prefill"])
+def test_pipelined_pool_matches_in_process(
+    monkeypatch, request, tiny_accelerator, fast_config, graph_fixture
+):
+    """Handing the stage tasks to pool workers changes nothing, bit for bit.
+
+    Each (iteration, stage) task is a pure function of
+    ``(graph, config, budget, derived seed)``, so running stage 1 and
+    stage 2 on separate persistent workers must reproduce the in-process
+    pipelined trajectory exactly.
+    """
+    graph = request.getfixturevalue(graph_fixture)
+    monkeypatch.setenv(PIPELINE_ENV, "1")
+    in_process = SoMaScheduler(tiny_accelerator, fast_config).schedule(graph, seed=_SEED)
+    monkeypatch.setenv(ALLOC_WORKERS_ENV, "2")
+    assert alloc_workers() == 2
+    pooled = SoMaScheduler(tiny_accelerator, fast_config).schedule(graph, seed=_SEED)
+    assert _trajectory(pooled) == _trajectory(in_process)
+
+
+def test_schedule_floor_never_exceeds_a_real_schedule_cost(
+    tiny_accelerator, fast_config, branchy_cnn, tiny_gpt_prefill
+):
+    """The branch-and-bound cutoff is a true lower bound.
+
+    The floor only charges compulsory DRAM traffic and perfectly overlapped
+    peak compute, so it must sit at or below the objective of *any* feasible
+    schedule: the double-buffered starting point and the annealed result.
+    """
+    for graph in (branchy_cnn, tiny_gpt_prefill):
+        floor = schedule_floor(graph, tiny_accelerator, fast_config)
+        assert math.isfinite(floor) and floor > 0
+
+        plan = parse_lfa(
+            graph, initial_lfa(graph, tiny_accelerator.core_array.kc_parallel_lanes)
+        )
+        start = ScheduleEvaluator(tiny_accelerator).evaluate(
+            plan, double_buffer_dlsa(plan)
+        )
+        if start.feasible:
+            assert floor <= fast_config.objective(start.energy_j, start.latency_s)
+
+        result = SoMaScheduler(tiny_accelerator, fast_config).schedule(graph, seed=_SEED)
+        assert result.evaluation.feasible
+        assert floor <= fast_config.objective(
+            result.evaluation.energy_j, result.evaluation.latency_s
+        )
+        assert floor <= result.best.cost
+
+
+def test_alloc_workers_parsing_and_nested_pool_guard(monkeypatch):
+    """Worker counts below two stay in-process; pool workers never nest."""
+    assert alloc_workers() == 0
+    monkeypatch.setenv(ALLOC_WORKERS_ENV, "1")
+    assert alloc_workers() == 0
+    monkeypatch.setenv(ALLOC_WORKERS_ENV, "3")
+    assert alloc_workers() == 3
+    # A pool worker (REPRO_POOL_WORKER set by _worker_main) must never spawn
+    # a nested allocator pool, whatever the knobs say.
+    monkeypatch.setenv(POOL_WORKER_ENV, "1")
+    assert alloc_workers() == 0
+
+
+def test_stage_pipeline_knob_parsing(monkeypatch):
+    for value, expected in [
+        ("1", True),
+        ("true", True),
+        ("on", True),
+        ("yes", True),
+        ("0", False),
+        ("off", False),
+        ("", False),
+    ]:
+        monkeypatch.setenv(PIPELINE_ENV, value)
+        assert stage_pipeline_enabled() is expected

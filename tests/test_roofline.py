@@ -180,3 +180,64 @@ def test_batch_counters_flow_into_cache_stats(tiny_accelerator, branchy_cnn, fas
         == stats["batch_moves"]
     )
     assert math.isfinite(key[0])
+
+
+def _window_stream(plan, context, rng, windows=6, width=16):
+    """(base, moves) speculation windows along a live random walk."""
+    base = double_buffer_dlsa(plan)
+    stream = []
+    for _ in range(windows):
+        moves = []
+        while len(moves) < width:
+            move = propose_dlsa_move(plan, base, rng)
+            if move is not None:
+                moves.append(move)
+        stream.append((base, tuple(moves)))
+        for move in moves:
+            candidate = move.apply(base)
+            if not context.evaluate(candidate).reason.startswith("deadlock"):
+                base = candidate
+                break
+    return stream
+
+
+@pytest.mark.parametrize("graph_fixture", ["branchy_cnn", "tiny_gpt_decode"])
+def test_assess_batch_matches_per_move_assess(request, tiny_accelerator, graph_fixture):
+    """Whole-batch screening verdicts equal the serial per-move verdicts.
+
+    Each window is judged twice: once move by move through ``assess`` and
+    once through ``assess_batch``, with a mix of absent and real prune
+    predicates.  The cutoff is the window's own median bound so both the
+    pruned and the surviving branch are exercised, and the verdict lists
+    must match exactly (the batch backend reproduces the per-move
+    arithmetic op for op).
+    """
+    graph = request.getfixturevalue(graph_fixture)
+    plan = _plan_for(graph)
+    context = ScheduleEvaluator(tiny_accelerator).context(plan)
+    screen = MoveScreen(context)
+    rng = random.Random(5)
+    pruned_total = 0
+    feasible_total = 0
+    for base, moves in _window_stream(plan, context, rng):
+        screen.rebase(base)
+        bounds = []
+        for move in moves:
+            captured: list[float] = []
+            screen.assess(move, prune_check=lambda b: captured.append(b) or False)
+            bounds.append(captured[-1] if captured else None)
+        finite = sorted(b for b in bounds if b is not None)
+        cutoff = finite[len(finite) // 2] if finite else 0.0
+        prune_checks = [
+            None if index % 3 == 0 else (lambda b, _c=cutoff: b >= _c)
+            for index in range(len(moves))
+        ]
+        expected = [
+            screen.assess(move, prune_check=check)
+            for move, check in zip(moves, prune_checks)
+        ]
+        assert screen.assess_batch(moves, prune_checks) == expected
+        pruned_total += sum(1 for _feasible, pruned in expected if pruned)
+        feasible_total += sum(1 for feasible, _pruned in expected if feasible)
+    assert pruned_total > 0
+    assert feasible_total > 0

@@ -222,3 +222,82 @@ def test_stage_evaluate_uses_segment_path(tiny_accelerator, fast_config, linear_
     assert plan.segment_view is not None
     assert len(plan.segment_view) == plan.num_lgs
     assert segment_cache(linear_cnn).stats()["misses"] >= 1
+
+
+@pytest.mark.parametrize("graph_fixture", ["branchy_cnn", "tiny_gpt_prefill"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_lfa_dlsa_walk_offset_resolution_matches_full_rebuild(
+    request, tiny_accelerator, graph_fixture, seed
+):
+    """Offset-indirect plans stay bit-identical to full rebuilds over a long
+    interleaved LFA/DLSA walk.
+
+    Every accepted LFA move re-assembles the plan through the indirection
+    table; before the global lists materialise, single-element resolution
+    (``tile``/``tensor``) and the stitched numpy views must equal the
+    reference parser's, then the fully materialised plan must be identical,
+    and a short DLSA sub-walk on the schedule must evaluate bit-identically
+    through both plans.
+    """
+    from repro.core.dlsa_stage import DLSA_OPERATORS
+
+    graph = request.getfixturevalue(graph_fixture)
+    rng = random.Random(seed)
+    lfa = initial_lfa(graph, kc_parallel_lanes=32)
+    assembler = PlanAssembler(graph)
+    checked = 0
+    for _ in range(60):
+        move = None
+        for _attempt in range(10):
+            move = rng.choice(LFA_OPERATORS)(lfa, graph, rng)
+            if move is not None:
+                break
+        if move is None:
+            continue
+        reference = parse_lfa(graph, move.lfa)
+        assembled = assembler.assemble(move.lfa, move.delta)
+        if not reference.feasible:
+            _assert_plans_identical(assembled, reference)
+            continue
+
+        # Single-element resolution through the offset table (runs before
+        # _assert_plans_identical forces the materialised global lists).
+        for index in {0, assembled.num_tiles - 1, rng.randrange(assembled.num_tiles)}:
+            assert assembled.tile(index) == reference.tiles[index]
+        if assembled.num_dram_tensors:
+            for tid in {
+                0,
+                assembled.num_dram_tensors - 1,
+                rng.randrange(assembled.num_dram_tensors),
+            }:
+                assert assembled.tensor(tid) == reference.dram_tensors[tid]
+        # Stitched evaluator arrays vs arrays derived from the full parse.
+        for stitched, parsed in zip(assembled.tensor_np, reference.tensor_np):
+            assert stitched.tolist() == parsed.tolist()
+        for stitched, parsed in zip(assembled.req_csr, reference.req_csr):
+            assert list(stitched) == list(parsed)
+        for stitched, parsed in zip(assembled.onchip_np, reference.onchip_np):
+            assert stitched.tolist() == parsed.tolist()
+        _assert_plans_identical(assembled, reference)
+
+        # DLSA sub-walk: both plans drive the evaluator bit-identically.
+        dlsa = double_buffer_dlsa(assembled)
+        assert dlsa.order == double_buffer_dlsa(reference).order
+        assert dlsa.living == double_buffer_dlsa(reference).living
+        context_a = ScheduleEvaluator(tiny_accelerator).context(assembled)
+        context_r = ScheduleEvaluator(tiny_accelerator).context(reference)
+        for _step in range(5):
+            result_a = context_a.evaluate(dlsa)
+            result_r = context_r.evaluate(dlsa)
+            assert result_a.feasible == result_r.feasible
+            assert result_a.latency_s == result_r.latency_s
+            assert result_a.energy_j == result_r.energy_j
+            assert result_a.max_buffer_bytes == result_r.max_buffer_bytes
+            for operator in DLSA_OPERATORS:
+                candidate = operator(assembled, dlsa, rng)
+                if candidate is not None:
+                    dlsa = candidate
+                    break
+        checked += 1
+        lfa = move.lfa
+    assert checked >= 10
