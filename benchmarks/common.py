@@ -13,16 +13,16 @@ so the Sec. VI-B statistics benchmark can reuse the Fig. 6 runs.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 
 from repro.analysis.comparison import ComparisonRow, compare_workload
 from repro.core.config import SAParams, SoMaConfig
 from repro.core.core_array import CoreArrayMapper
+from repro.core.knobs import read_flag
 from repro.hardware.accelerator import AcceleratorConfig, cloud_accelerator, edge_accelerator
 from repro.workloads.registry import build_workload
 
-FULL_MODE = os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false", "False")
+FULL_MODE = read_flag("REPRO_BENCH_FULL", default=False)
 
 
 def bench_config(seed: int = 2025) -> SoMaConfig:

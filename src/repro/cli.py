@@ -14,7 +14,10 @@ be driven without writing Python:
 * ``serve``      - run the batched scheduling service (JSON lines on
   stdin/stdout, or HTTP with ``--http PORT``), with a bounded
   deadline-aware admission queue (``--queue-size``) and optional memo
-  persistence across restarts (``--memo-path``).
+  persistence across restarts (``--memo-path``);
+* ``lint``       - run the repo's static invariant checkers (determinism,
+  knob hygiene, pool-task purity, lock discipline, fingerprint coverage)
+  with inline suppressions and a committed baseline.
 
 ``--workers N`` (or the ``REPRO_WORKERS`` environment variable) fans
 independent cells/design points across processes with results identical to a
@@ -193,6 +196,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-dispatch budget when a worker process crashes mid-search "
         "(crash failures only, never past the request deadline; default: "
         "REPRO_SERVE_RETRIES, then 1; 0 fails crashed searches immediately)",
+    )
+
+    lint = subparsers.add_parser(
+        "lint", help="run the repo's static invariant checkers (repro.statics)"
+    )
+    lint.add_argument(
+        "paths",
+        type=Path,
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on warnings and on stale baseline entries",
+    )
+    lint.add_argument(
+        "--rules",
+        nargs="+",
+        default=None,
+        metavar="RULE",
+        help="subset of rules to run (default: all); see --list-rules",
+    )
+    lint.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline JSON of accepted findings "
+        "(default: lint-baseline.json at the repo root)",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file and report every finding",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline accepting every current finding "
+        "(justifications of surviving entries are preserved)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit the report as JSON on stdout"
+    )
+    lint.add_argument(
+        "--knobs",
+        action="store_true",
+        help="print the registered REPRO_* knob table and exit",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
     )
 
     return parser
@@ -381,6 +436,46 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
             signal.signal(signal.SIGTERM, previous_handler)
 
 
+def _cmd_lint(args: argparse.Namespace, out) -> int:
+    # Imported here so `repro schedule` never pays for the lint stack.
+    import repro
+    from repro.core.knobs import knobs_table
+    from repro.statics.model import Baseline
+    from repro.statics.runner import all_rules, regenerate_baseline, run_lint, write_json
+
+    if args.knobs:
+        out.write(knobs_table(markdown=True) + "\n")
+        return 0
+    if args.list_rules:
+        for rule in all_rules():
+            out.write(f"{rule.id:16s} {rule.severity:8s} {rule.summary}\n")
+        return 0
+
+    package_dir = Path(repro.__file__).resolve().parent  # .../src/repro
+    root = package_dir.parent.parent  # repo root
+    paths = list(args.paths) if args.paths else [package_dir]
+    baseline_path = args.baseline or (root / "lint-baseline.json")
+    readme = root / "README.md"
+    readme = readme if readme.is_file() else None
+
+    if args.write_baseline:
+        previous = Baseline.load(baseline_path) if baseline_path.is_file() else None
+        fresh = regenerate_baseline(paths, root, baseline_path, readme, previous)
+        out.write(
+            f"baseline written to {baseline_path} ({len(fresh.entries)} entrie(s)); "
+            "fill in any 'TODO: justify' justifications\n"
+        )
+        return 0
+
+    baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
+    report = run_lint(paths, root, rules=args.rules, baseline=baseline, readme=readme)
+    if args.json:
+        write_json(report, out)
+    else:
+        out.write(report.render_text() + "\n")
+    return 1 if report.failed(strict=args.strict) else 0
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "schedule": _cmd_schedule,
@@ -388,6 +483,7 @@ _COMMANDS = {
     "overall": _cmd_overall,
     "dse": _cmd_dse,
     "serve": _cmd_serve,
+    "lint": _cmd_lint,
 }
 
 

@@ -22,30 +22,22 @@ import warnings
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
+from repro.core import knobs  # dependency-free; safe at the bottom layer
+
 _MISSING = object()
 
 
 def parse_env_int(env_name: str, fallback_note: str) -> int | None:
     """Parse an integer environment knob; ``None`` when unset or invalid.
 
-    Every ``REPRO_*`` integer knob resolves through this helper so invalid
-    values degrade to their fallback *loudly* — a typo in a sizing or
-    worker-count knob must not silently become a no-op.  ``fallback_note``
+    Every ``REPRO_*`` integer knob resolves through the central registry
+    (:mod:`repro.core.knobs`) so invalid values degrade to their fallback
+    *loudly* — a typo in a sizing or worker-count knob must not silently
+    become a no-op — and unregistered names fail fast.  ``fallback_note``
     finishes the warning sentence ("using the default capacity 256",
     "running serial", ...).
     """
-    raw = os.environ.get(env_name)
-    if not raw:
-        return None
-    try:
-        return int(raw)
-    except ValueError:
-        warnings.warn(
-            f"ignoring invalid {env_name}={raw!r} (not an integer); {fallback_note}",
-            RuntimeWarning,
-            stacklevel=3,
-        )
-        return None
+    return knobs.read_int(env_name, fallback_note)
 
 
 def cache_size(name: str, default: int) -> int:

@@ -21,12 +21,13 @@ proposers (same RNG draws, same candidates).
 from __future__ import annotations
 
 import math
-import os
 import random
+import warnings
 from bisect import bisect
 from dataclasses import dataclass
 
 from repro.core.config import SoMaConfig
+from repro.core.knobs import read_int
 from repro.core.double_buffer import double_buffer_dlsa
 from repro.core.evaluator import ScheduleEvaluator
 from repro.core.lfa_stage import canonical_graph
@@ -45,13 +46,28 @@ _DEFAULT_BATCH = 32
 
 
 def dlsa_batch_size() -> int:
-    """Speculation window of the DLSA move engine (``REPRO_DLSA_BATCH``)."""
-    raw = os.environ.get("REPRO_DLSA_BATCH", "")
-    try:
-        value = int(raw) if raw else _DEFAULT_BATCH
-    except ValueError:
-        value = _DEFAULT_BATCH
-    return max(1, value)
+    """Speculation window of the DLSA move engine (``REPRO_DLSA_BATCH``).
+
+    Resolved through the knob registry, so an unparsable value emits the
+    same ``RuntimeWarning`` as the ``REPRO_*_CACHE``/``REPRO_WORKERS`` knobs
+    instead of being silently coerced; a non-positive window is equally a
+    typo (the engine needs at least one candidate per step) and warns too.
+    """
+    value = read_int(
+        "REPRO_DLSA_BATCH", f"using the default window of {_DEFAULT_BATCH}"
+    )
+    if value is None:
+        return _DEFAULT_BATCH
+    if value < 1:
+        warnings.warn(
+            f"ignoring non-positive REPRO_DLSA_BATCH={value} (the move engine "
+            f"needs at least one candidate per step); using the default "
+            f"window of {_DEFAULT_BATCH}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _DEFAULT_BATCH
+    return value
 
 
 # ------------------------------------------------------------------- operators

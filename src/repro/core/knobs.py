@@ -1,0 +1,256 @@
+"""The central registry of ``REPRO_*`` environment knobs.
+
+Every behaviour knob this repo reads from the environment is declared here —
+name, type, default, validator and a one-line doc — and every read goes
+through the typed accessors below (:func:`read_int`, :func:`read_flag`,
+:func:`read_str`, :func:`is_set`).  That buys three guarantees:
+
+* **No silent coercion.**  An invalid value (``REPRO_DLSA_BATCH=lots``,
+  ``REPRO_ROOFLINE_PREFILTER=banana``) emits a ``RuntimeWarning`` and falls
+  back to the documented default instead of quietly becoming a no-op.
+* **No shadow knobs.**  Reading an unregistered ``REPRO_*`` name raises
+  immediately, and the ``knobs`` lint rule (:mod:`repro.statics`) flags any
+  ``os.environ`` / ``os.getenv`` read that bypasses this module, any
+  ``REPRO_*`` string in the source tree that is not registered here, and any
+  registered knob missing from the README.
+* **One authoritative table.**  ``python -m repro lint --knobs`` prints the
+  registry, which is what the README's knob section is generated from.
+
+This module is intentionally dependency-free (stdlib only) so any layer —
+including :mod:`repro.core.caching`, the lowest one — can import it.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+
+__all__ = [
+    "Knob",
+    "REGISTRY",
+    "all_knobs",
+    "get_knob",
+    "is_set",
+    "knobs_table",
+    "read_flag",
+    "read_int",
+    "read_str",
+]
+
+#: Spellings accepted by flag knobs.  Anything else warns and uses the
+#: default, so a typo can never silently flip a feature.
+FLAG_TRUE = frozenset({"1", "true", "on", "yes"})
+FLAG_FALSE = frozenset({"", "0", "false", "off", "no"})
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One registered environment knob.
+
+    ``kind`` is ``"int"``, ``"flag"`` or ``"str"`` and must match the typed
+    accessor used to read it.  ``default`` is documentation (shown in the
+    table); the *operative* fallback is supplied by each read site, because
+    several knobs fall back to another knob (``REPRO_SERVE_WORKERS`` →
+    ``REPRO_WORKERS``) rather than to a literal.
+    """
+
+    name: str
+    kind: str
+    default: str
+    doc: str
+    internal: bool = False  # set by the system, not the operator
+
+
+REGISTRY: dict[str, Knob] = {}
+
+
+def _register(knob: Knob) -> Knob:
+    if knob.name in REGISTRY:
+        raise ValueError(f"knob {knob.name} is registered twice")
+    if not knob.name.startswith("REPRO_"):
+        raise ValueError(f"knob {knob.name} must start with REPRO_")
+    if knob.kind not in {"int", "flag", "str"}:
+        raise ValueError(f"knob {knob.name} has unknown kind {knob.kind!r}")
+    REGISTRY[knob.name] = knob
+    return knob
+
+
+# ----------------------------------------------------------------- the knobs
+# Parallelism / serving topology.
+_register(Knob("REPRO_WORKERS", "int", "1",
+               "worker processes for experiment grids and SA chains "
+               "(results are bit-identical for any count)"))
+_register(Knob("REPRO_SERVE_WORKERS", "int", "REPRO_WORKERS",
+               "persistent pool size for `python -m repro serve`"))
+_register(Knob("REPRO_SERVE_MEMO_CACHE", "int", "256",
+               "cross-request result memo of the serving layer (0 disables)"))
+_register(Knob("REPRO_SERVE_QUEUE", "int", "64",
+               "bounded admission queue of the serving layer "
+               "(0 rejects every cache miss)"))
+_register(Knob("REPRO_SERVE_MEMO_PATH", "str", "unset",
+               "JSON file the result memo is reloaded from / spilled to "
+               "across restarts"))
+_register(Knob("REPRO_SERVE_RETRIES", "int", "1",
+               "re-dispatch budget after a worker crash (crash failures "
+               "only, never past the deadline; 0 fails fast)"))
+_register(Knob("REPRO_FAULT_SPEC", "str", "unset",
+               "deterministic fault injection in workers, e.g. "
+               "`crash:0.1@seed=7` or `delay:500ms:p=0.2`"))
+_register(Knob("REPRO_SERVE_GRAPHS_CACHE", "int", "64",
+               "per-worker warm workload graphs kept across requests"))
+_register(Knob("REPRO_SERVE_SCHEDULERS_CACHE", "int", "32",
+               "per-worker warm schedulers kept across requests"))
+
+# Search-engine caches.
+_register(Knob("REPRO_PARSE_CACHE", "int", "256",
+               "per-graph LFA-fingerprint -> plan LRU "
+               "(shared by both construction paths)"))
+_register(Knob("REPRO_SEGMENT_CACHE", "int", "4096",
+               "per-graph segment LRU / re-based fragment LRU, plus the "
+               "evaluator's per-segment static-cost LRU (0 disables)"))
+_register(Knob("REPRO_TILING_CACHE", "int", "4096",
+               "per-graph (FLG layers, Tiling Number) -> tiling memo"))
+_register(Knob("REPRO_PLAN_CACHE", "int", "16",
+               "evaluation contexts per evaluator"))
+_register(Knob("REPRO_STATIC_CACHE", "int", "32",
+               "per-plan static costs (reference evaluator path)"))
+_register(Knob("REPRO_RESULT_CACHE", "int", "512",
+               "per-context DLSA result memo"))
+_register(Knob("REPRO_STAGE1_CACHE", "int", "4096",
+               "stage-1 SA cost memo"))
+
+# Search-engine behaviour.
+_register(Knob("REPRO_DLSA_BATCH", "int", "32",
+               "candidate moves proposed and scored per batched DLSA step "
+               "(1 = serial; any value is bit-identical)"))
+_register(Knob("REPRO_ROOFLINE_PREFILTER", "flag", "1",
+               "roofline lower-bound pruning of provably-rejected moves "
+               "before co-sim (0 disables; trajectories identical either way)"))
+_register(Knob("REPRO_STAGE_PIPELINE", "flag", "0",
+               "pipelined Buffer Allocator: stage 2 refines iteration i "
+               "while stage 1 explores iteration i+1 (off = the historical "
+               "serial trajectory, exactly)"))
+_register(Knob("REPRO_ALLOC_WORKERS", "int", "0",
+               "process-pool size for the pipelined stages (<2 = in-process "
+               "lazy futures; placements are bit-identical)"))
+_register(Knob("REPRO_POOL_WORKER", "flag", "unset",
+               "exported by pool worker processes so task code never spawns "
+               "a nested pool (system-managed, do not set by hand)",
+               internal=True))
+
+# Benchmark harness.
+_register(Knob("REPRO_BENCH_FULL", "flag", "0",
+               "benchmarks run the full paper grid instead of the "
+               "scaled-down subset"))
+
+
+# ------------------------------------------------------------------ accessors
+def get_knob(name: str) -> Knob:
+    """The registered knob, or a loud ``LookupError`` for shadow knobs."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise LookupError(
+            f"environment knob {name!r} is not registered in "
+            "repro.core.knobs; add a Knob entry (name, kind, default, doc) "
+            "before reading it"
+        ) from None
+
+
+def all_knobs() -> list[Knob]:
+    """Every registered knob, in registration (documentation) order."""
+    return list(REGISTRY.values())
+
+
+def _raw(name: str, kind: str) -> str | None:
+    knob = get_knob(name)
+    if knob.kind != kind:
+        raise TypeError(
+            f"knob {name} is registered as {knob.kind!r}; read it with the "
+            f"matching accessor, not read_{kind}"
+        )
+    return os.environ.get(name)
+
+
+def read_int(name: str, fallback_note: str) -> int | None:
+    """Read an integer knob; ``None`` when unset or invalid.
+
+    An unparsable value degrades to the caller's fallback *loudly* — a typo
+    in a sizing or worker-count knob must not silently become a no-op.
+    ``fallback_note`` finishes the warning sentence ("using the default
+    capacity 256", "running serial", ...).
+    """
+    raw = _raw(name, "int")
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring invalid {name}={raw!r} (not an integer); {fallback_note}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+
+
+def read_flag(name: str, default: bool) -> bool:
+    """Read a boolean knob (spellings: 1/true/on/yes vs 0/false/off/no/'').
+
+    An unrecognised spelling warns and keeps the default — the historical
+    behaviour of treating any unknown string as "on" (or "off", depending on
+    the knob) silently inverted typos like ``ture``.
+    """
+    raw = _raw(name, "flag")
+    if raw is None:
+        return default
+    value = raw.strip().lower()
+    if value in FLAG_TRUE:
+        return True
+    if value in FLAG_FALSE:
+        return False
+    warnings.warn(
+        f"ignoring invalid {name}={raw!r} (expected one of "
+        f"{sorted(FLAG_TRUE)} / {sorted(FLAG_FALSE)}); "
+        f"using the default ({'on' if default else 'off'})",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return default
+
+
+def read_str(name: str) -> str | None:
+    """Read a free-form string knob; ``None`` when unset or empty."""
+    return _raw(name, "str") or None
+
+
+def is_set(name: str) -> bool:
+    """Whether a flag knob is present at all (used for system markers)."""
+    return _raw(name, get_knob(name).kind) is not None
+
+
+# ---------------------------------------------------------------- the table
+def knobs_table(markdown: bool = False) -> str:
+    """The registry rendered as a table (``python -m repro lint --knobs``).
+
+    With ``markdown=True`` the output is a GitHub table suitable for pasting
+    into the README's knob section; the ``knobs`` lint rule keeps the two in
+    sync by requiring every registered name to appear in the README.
+    """
+    rows = [
+        (knob.name, knob.kind, knob.default, knob.doc)
+        for knob in all_knobs()
+    ]
+    if markdown:
+        lines = ["| knob | kind | default | meaning |", "| --- | --- | --- | --- |"]
+        lines += [f"| `{n}` | {k} | {d} | {doc} |" for n, k, d, doc in rows]
+        return "\n".join(lines)
+    name_w = max(len(n) for n, *_ in rows)
+    kind_w = max(len(k) for _, k, *_ in rows)
+    default_w = max(len(d) for _, _, d, _ in rows)
+    lines = [f"{'knob':{name_w}s} {'kind':{kind_w}s} {'default':{default_w}s} meaning"]
+    lines += [
+        f"{n:{name_w}s} {k:{kind_w}s} {d:{default_w}s} {doc}" for n, k, d, doc in rows
+    ]
+    return "\n".join(lines)

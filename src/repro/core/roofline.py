@@ -40,7 +40,6 @@ trajectory (``REPRO_ROOFLINE_PREFILTER`` gates this, default on).
 
 from __future__ import annotations
 
-import os
 from typing import Callable
 
 try:  # numpy is optional: the screen falls back to pure Python without it.
@@ -48,6 +47,7 @@ try:  # numpy is optional: the screen falls back to pure Python without it.
 except ImportError:  # pragma: no cover - the image ships numpy
     _np = None
 
+from repro.core.knobs import read_flag
 from repro.notation.dlsa import DLSA, DLSAMove
 
 _BOUND_MAX_ROUNDS = 4
@@ -61,11 +61,13 @@ PruneCheck = Callable[[float], bool]
 
 
 def prefilter_enabled() -> bool:
-    """Whether the roofline pre-filter is on (``REPRO_ROOFLINE_PREFILTER``)."""
-    raw = os.environ.get("REPRO_ROOFLINE_PREFILTER")
-    if raw is None:
-        return True
-    return raw.strip().lower() not in {"", "0", "false", "off", "no"}
+    """Whether the roofline pre-filter is on (``REPRO_ROOFLINE_PREFILTER``).
+
+    Resolved through the knob registry: an unrecognised spelling warns with
+    a ``RuntimeWarning`` and keeps the default (on) instead of the old
+    behaviour of treating any unknown string as truthy.
+    """
+    return read_flag("REPRO_ROOFLINE_PREFILTER", default=True)
 
 
 class MoveScreen:

@@ -145,9 +145,11 @@ class _SerialFuture:
                     self._error = exc
                 self._done = True
                 self._fn = self._task = None  # free references early
-        if self._error is not None:
-            raise self._error
-        return self._value
+            error = self._error
+            value = self._value
+        if error is not None:
+            raise error
+        return value
 
 
 _STOP = object()  # pump-thread sentinel: drain the backlog, then exit
@@ -381,9 +383,10 @@ class PersistentPool:
         where the task runs in-process and cannot be killed).
         """
         if self.workers <= 1:
-            if self._closed:
-                raise RuntimeError("PersistentPool is closed")
-            return _SerialFuture(fn, task, self._serial_lock)
+            with self._submit_lock:
+                if self._closed:
+                    raise RuntimeError("PersistentPool is closed")
+                return _SerialFuture(fn, task, self._serial_lock)
         future = _PoolFuture(fn, task, timeout)
         with self._submit_lock:
             slots = self._ensure_slots()
@@ -498,11 +501,13 @@ class PersistentPool:
         an unstarted parallel pool reports workers as not yet spawned.
         """
         if self.workers <= 1:
+            with self._submit_lock:
+                alive = not self._terminated
             return [
                 {
                     "index": 0,
                     "pid": os.getpid(),
-                    "alive": not self._terminated,
+                    "alive": alive,
                     "generation": 0,
                     "crashes": 0,
                     "respawns": 0,
@@ -578,11 +583,15 @@ class PersistentPool:
                     for slot in slots:
                         slot.tasks.put(_STOP)
         if slots is not None:
+            # Joining the pump threads happens outside the lock: a drain can
+            # take as long as the slowest in-flight search.
             for slot in slots:
                 if slot.pump is not None:
                     slot.pump.join()
-            self._slots = None
-        self._terminated = True
+        with self._submit_lock:
+            if slots is not None:
+                self._slots = None
+            self._terminated = True
 
     def __enter__(self) -> "PersistentPool":
         return self

@@ -38,6 +38,7 @@ import re
 import time
 from dataclasses import dataclass
 
+from repro.core.knobs import read_str
 from repro.errors import ReproError, WorkerCrashError
 from repro.experiments.parallel import derive_seed
 
@@ -207,7 +208,7 @@ def active_fault_plan() -> FaultPlan | None:
     and tests that monkeypatch the environment see the change immediately.
     """
     global _ACTIVE
-    text = os.environ.get(FAULT_SPEC_ENV, "").strip()
+    text = (read_str(FAULT_SPEC_ENV) or "").strip()
     if not text:
         return None
     if _ACTIVE is None or _ACTIVE[0] != text:

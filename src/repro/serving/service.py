@@ -68,6 +68,7 @@ from repro.core.caching import (
     schedule_request_key,
     spill_items,
 )
+from repro.core.knobs import read_str
 from repro.core.result import SoMaResult
 from repro.core.soma import SoMaScheduler
 from repro.errors import WorkerCrashError, WorkerTimeoutError
@@ -220,7 +221,7 @@ def resolve_memo_path(memo_path: str | os.PathLike | None = None) -> str | None:
     """Memo spill path: argument, ``REPRO_SERVE_MEMO_PATH``, then disabled."""
     if memo_path is not None:
         return os.fspath(memo_path)
-    return os.environ.get(SERVE_MEMO_PATH_ENV) or None
+    return read_str(SERVE_MEMO_PATH_ENV)
 
 
 # ------------------------------------------------------------- worker side

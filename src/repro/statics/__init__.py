@@ -1,0 +1,34 @@
+"""``repro lint`` — AST-based invariant checkers for the repo's own code.
+
+Five rules enforce the contracts the test suite cannot see:
+
+* ``determinism`` — engine-pure modules never read clocks, global RNGs or
+  process identity (:mod:`repro.statics.determinism`);
+* ``knobs`` — every ``REPRO_*`` env var is registered in
+  :mod:`repro.core.knobs`, read through it, and documented
+  (:mod:`repro.statics.knobs_check`);
+* ``pool-purity`` — pool tasks are module-level callables and no pool is
+  constructed at import time (:mod:`repro.statics.purity`);
+* ``lock-discipline`` — attributes guarded by a lock anywhere are guarded
+  everywhere (:mod:`repro.statics.locks`);
+* ``fingerprint`` — cache keys and seed derivations are built from stable
+  primitives or ``fingerprint()`` values (:mod:`repro.statics.fingerprint`).
+
+Run as ``python -m repro lint [--strict] [--rules ...] [--baseline PATH]``.
+Deliberate violations are silenced inline with ``# repro: lint-ok[rule]``
+or recorded in the committed ``lint-baseline.json`` with a justification.
+"""
+
+from repro.statics.model import Baseline, BaselineEntry, Finding, Rule
+from repro.statics.runner import CHECKERS, LintReport, all_rules, run_lint
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "CHECKERS",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "run_lint",
+]

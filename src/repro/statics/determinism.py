@@ -1,0 +1,105 @@
+"""Rule ``determinism`` — no nondeterminism sources in engine-pure modules.
+
+The repo's headline guarantee is that the same (graph, accelerator, seed)
+triple produces a bit-identical schedule on any machine, any worker count,
+any day.  That only holds if the engine layers (``core/``, ``notation/``,
+``compiler/``, ``analysis/``) never consult a nondeterminism source:
+
+* the module-global ``random`` RNG, or an **unseeded** ``random.Random()``
+  (a seeded ``random.Random(seed)`` is the approved construct);
+* wall clocks — ``time.time()``, ``time.perf_counter()``,
+  ``time.monotonic()`` and their ``_ns`` variants;
+* ``os.urandom`` / ``uuid.uuid4`` / ``secrets.*``;
+* ``id()``, whose value is a process-local address.
+
+Deliberate uses (the SA engines read ``perf_counter`` to honour an optional
+wall-clock budget, never to steer a move) carry an inline
+``# repro: lint-ok[determinism]`` at the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.statics.model import Finding, Rule
+from repro.statics.source import SourceModule
+
+RULE = Rule(
+    id="determinism",
+    summary="engine-pure modules must not read clocks, global RNGs or process identity",
+)
+
+_CLOCK_ATTRS = frozenset(
+    {"time", "perf_counter", "monotonic", "time_ns", "perf_counter_ns", "monotonic_ns"}
+)
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def check(module: SourceModule, context) -> list[Finding]:
+    if not module.is_engine_pure:
+        return []
+    findings: list[Finding] = []
+
+    def flag(node: ast.AST, message: str) -> None:
+        findings.append(
+            Finding(
+                rule=RULE.id,
+                path=module.rel,
+                line=node.lineno,
+                col=node.col_offset,
+                message=message,
+                severity=RULE.severity,
+            )
+        )
+
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None:
+            continue
+        if dotted == "random.Random":
+            if not node.args and not node.keywords:
+                flag(
+                    node,
+                    "unseeded random.Random() seeds from the OS; "
+                    "pass an explicit seed (e.g. via derive_seed)",
+                )
+        elif dotted == "random.SystemRandom":
+            flag(node, "random.SystemRandom draws from the OS entropy pool")
+        elif dotted.startswith("random."):
+            flag(
+                node,
+                f"{dotted}() uses the module-global RNG whose state is shared and "
+                "unseeded; use an explicit random.Random(seed) instance",
+            )
+        elif dotted.startswith("time.") and dotted.split(".", 1)[1] in _CLOCK_ATTRS:
+            flag(
+                node,
+                f"{dotted}() reads the wall clock in an engine-pure module; "
+                "clock values must never influence schedules or cache keys",
+            )
+        elif dotted == "os.urandom":
+            flag(node, "os.urandom is nondeterministic by construction")
+        elif dotted in ("uuid.uuid1", "uuid.uuid4"):
+            flag(node, f"{dotted}() is nondeterministic by construction")
+        elif dotted.startswith("secrets."):
+            flag(node, f"{dotted}() draws from the OS entropy pool")
+        elif dotted == "id":
+            flag(
+                node,
+                "id() is a process-local address; it changes across runs and "
+                "must never feed engine state or cache keys",
+            )
+    return findings

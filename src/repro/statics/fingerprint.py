@@ -1,0 +1,144 @@
+"""Rule ``fingerprint`` — cache keys and seed derivations use stable values.
+
+Memoisation (:class:`~repro.core.caching.LRUCache`) and seed derivation
+(:func:`~repro.experiments.parallel.derive_seed`) are only sound when their
+inputs are stable across processes and runs.  This rule inspects every
+expression used as a cache key or seed component and flags constructs whose
+value is process-dependent or unhashable:
+
+* ``id(...)`` — a process-local address;
+* ``hash(...)`` — salted per process for strings (``PYTHONHASHSEED``);
+* clock and RNG reads (``time.*`` / ``random.*``);
+* lambdas, list/set/dict displays and comprehensions — unhashable or
+  ordering-fragile; use a tuple of primitives or the object's
+  ``fingerprint()``.
+
+Receivers count as caches when assigned from ``LRUCache(...)`` in the same
+module or when their name contains ``cache``/``memo``/``lru``.  Only the
+*key* argument (the first) of ``get``/``put``/``get_or_compute`` is
+inspected — the computed value may be anything.  Bare names are not chased
+through dataflow; the rule is about key *expressions*, and the repo's
+convention is that anything non-primitive bound to a name exposes
+``fingerprint()``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.statics.model import Finding, Rule
+from repro.statics.source import SourceModule
+
+RULE = Rule(
+    id="fingerprint",
+    summary="cache keys and derive_seed inputs must be stable primitives or fingerprints",
+)
+
+_SEED_FUNCTIONS = frozenset({"derive_seed", "schedule_request_key"})
+_CACHE_METHODS = frozenset({"get", "put", "get_or_compute", "peek"})
+_CACHE_NAME_HINTS = ("cache", "memo", "lru")
+_CACHE_CONSTRUCTORS = frozenset({"LRUCache"})
+
+
+def _callee_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _receiver_repr(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return f"self.{node.attr}"
+    return None
+
+
+def _collect_cache_vars(tree: ast.Module) -> set[str]:
+    cache_vars: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if _callee_name(node.value.func) in _CACHE_CONSTRUCTORS:
+                for target in node.targets:
+                    name = _receiver_repr(target)
+                    if name is not None:
+                        cache_vars.add(name)
+    return cache_vars
+
+
+def _looks_like_cache(receiver: str, cache_vars: set[str]) -> bool:
+    if receiver in cache_vars:
+        return True
+    tail = receiver.rsplit(".", 1)[-1].lower()
+    return any(hint in tail for hint in _CACHE_NAME_HINTS)
+
+
+def _unstable_nodes(expr: ast.expr):
+    """Yield (node, reason) for unstable constructs inside a key expression."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            dotted_head = None
+            if isinstance(node.func, ast.Attribute) and isinstance(
+                node.func.value, ast.Name
+            ):
+                dotted_head = node.func.value.id
+            callee = _callee_name(node.func)
+            if isinstance(node.func, ast.Name) and callee == "id":
+                yield node, "id() is a process-local address"
+            elif isinstance(node.func, ast.Name) and callee == "hash":
+                yield node, "hash() is salted per process (PYTHONHASHSEED)"
+            elif dotted_head == "time":
+                yield node, f"time.{callee}() injects wall clock into the key"
+            elif dotted_head == "random":
+                yield node, f"random.{callee}() injects RNG state into the key"
+        elif isinstance(node, ast.Lambda):
+            yield node, "a lambda is identity-keyed and unpicklable"
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            yield node, "a comprehension builds an unhashable/unstable container"
+        elif isinstance(node, (ast.List, ast.Set, ast.Dict)):
+            yield node, "a mutable container display is unhashable"
+
+
+def check(module: SourceModule, context) -> list[Finding]:
+    cache_vars = _collect_cache_vars(module.tree)
+    findings: list[Finding] = []
+
+    def flag_key_expr(expr: ast.expr, where: str) -> None:
+        for node, reason in _unstable_nodes(expr):
+            findings.append(
+                Finding(
+                    rule=RULE.id,
+                    path=module.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"unstable value in {where}: {reason}; use primitives "
+                        "or an object exposing fingerprint()"
+                    ),
+                    severity=RULE.severity,
+                )
+            )
+
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = _callee_name(node.func)
+        if callee in _SEED_FUNCTIONS:
+            for arg in node.args:
+                flag_key_expr(arg, f"{callee}(...)")
+            continue
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _CACHE_METHODS
+            and node.args
+        ):
+            receiver = _receiver_repr(node.func.value)
+            if receiver is not None and _looks_like_cache(receiver, cache_vars):
+                flag_key_expr(node.args[0], f"the {receiver}.{node.func.attr}() key")
+    return findings

@@ -1,0 +1,163 @@
+"""Rule ``knobs`` — every ``REPRO_*`` environment knob goes through the registry.
+
+:mod:`repro.core.knobs` is the single source of truth for the repo's
+environment knobs: name, type, default, validation and documentation.  This
+rule keeps it authoritative by flagging
+
+* any ``os.environ`` / ``os.getenv`` *read* of a ``REPRO_*`` name outside
+  ``core/knobs.py`` (writes are fine — workers stamp ``REPRO_POOL_WORKER``,
+  tests monkeypatch values; it is bypassing the *read-side* validation that
+  hurts);
+* any ``REPRO_*`` string anywhere in the tree that is not a registered knob
+  (a typo'd knob name fails silently forever otherwise);
+* any registered, non-internal knob missing from the README (checked once
+  per run, when a README is in scope).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.statics.model import Finding, Rule
+from repro.statics.source import SourceModule
+
+RULE = Rule(
+    id="knobs",
+    summary="REPRO_* env vars must be registered in core/knobs.py and read through it",
+)
+
+_KNOB_NAME = re.compile(r"REPRO_[A-Z0-9_]+")
+
+#: The one module allowed to touch ``os.environ`` for REPRO_* names.
+_REGISTRY_MODULE = "core/knobs.py"
+
+
+def _is_environ(node: ast.expr) -> bool:
+    """``os.environ`` as an attribute chain."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "environ"
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "os"
+    )
+
+
+def _env_name_parts(node: ast.expr) -> list[str]:
+    """Constant string fragments of an env-name expression.
+
+    Handles plain constants, f-strings (``f"REPRO_{name}_CACHE"``) and
+    simple concatenation; dynamic parts contribute nothing.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [node.value]
+    if isinstance(node, ast.JoinedStr):
+        parts: list[str] = []
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                parts.append(value.value)
+        return parts
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        return _env_name_parts(node.left) + _env_name_parts(node.right)
+    return []
+
+
+def _reads_repro_name(name_node: ast.expr) -> bool:
+    return any("REPRO_" in part for part in _env_name_parts(name_node))
+
+
+def check(module: SourceModule, context) -> list[Finding]:
+    findings: list[Finding] = []
+
+    def flag(line: int, col: int, message: str) -> None:
+        findings.append(
+            Finding(
+                rule=RULE.id,
+                path=module.rel,
+                line=line,
+                col=col,
+                message=message,
+                severity=RULE.severity,
+            )
+        )
+
+    in_registry = module.rel.endswith(_REGISTRY_MODULE)
+
+    # --- direct environment reads that bypass the registry ---------------
+    if not in_registry:
+        for node in ast.walk(module.tree):
+            name_node: ast.expr | None = None
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "get"
+                    and _is_environ(func.value)
+                    and node.args
+                ):
+                    name_node = node.args[0]
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "getenv"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "os"
+                    and node.args
+                ):
+                    name_node = node.args[0]
+            elif (
+                isinstance(node, ast.Subscript)
+                and _is_environ(node.value)
+                and isinstance(node.ctx, ast.Load)
+            ):
+                name_node = node.slice
+            if name_node is not None and _reads_repro_name(name_node):
+                shown = "".join(_env_name_parts(name_node)) or "REPRO_*"
+                flag(
+                    node.lineno,
+                    node.col_offset,
+                    f"direct environment read of {shown} bypasses the knob "
+                    "registry; use repro.core.knobs.read_int/read_flag/read_str",
+                )
+
+    # --- unregistered knob names anywhere in the text --------------------
+    registered = context.registry_names
+    for number, line in enumerate(module.text.splitlines(), start=1):
+        for match in _KNOB_NAME.finditer(line):
+            name = match.group(0).rstrip("_")
+            if name == "REPRO_" or name in registered:
+                continue
+            # f-string prefixes like REPRO_{name}_CACHE surface as bare
+            # "REPRO_" after the rstrip and were skipped above.
+            flag(
+                number,
+                match.start(),
+                f"{name} is not registered in core/knobs.py; register it "
+                "(or fix the typo) so its type and default are validated",
+            )
+    return findings
+
+
+def finalize(context) -> list[Finding]:
+    """Once per run: registered public knobs must be documented in README."""
+    if context.readme_text is None:
+        return []
+    findings: list[Finding] = []
+    for name, knob in sorted(context.registry.items()):
+        if getattr(knob, "internal", False):
+            continue
+        if name not in context.readme_text:
+            findings.append(
+                Finding(
+                    rule=RULE.id,
+                    path=context.readme_rel,
+                    line=1,
+                    col=0,
+                    message=(
+                        f"registered knob {name} is not documented in the README; "
+                        "add it to the knob table (python -m repro lint --knobs "
+                        "prints the authoritative rows)"
+                    ),
+                    severity=RULE.severity,
+                )
+            )
+    return findings

@@ -1,0 +1,246 @@
+"""Rule ``lock-discipline`` — state guarded by a lock somewhere is guarded
+everywhere.
+
+The serving stack and the worker pool both follow the same convention: an
+instance attribute that is ever touched under ``with self._lock:`` belongs
+to that lock, and every other access must also hold it.  The classic bug
+this rule exists for is the *half-guarded attribute*: written under the
+lock in one method, then read (or worse, written) bare in another — a data
+race that only shows up under load.
+
+Heuristic, per class:
+
+* **Lock attributes** are ``self.X`` assigned from ``threading.Lock`` /
+  ``RLock`` / ``Condition`` / ``Semaphore`` (or ``multiprocessing`` /
+  bare-name equivalents), plus any ``self.X`` whose name contains ``lock``,
+  ``condition`` or ``mutex`` — that catches locks passed in through
+  ``__init__`` parameters.
+* Walking each method (except ``__init__``, where the object is not yet
+  shared), the set of locks textually held is tracked through ``with``
+  blocks.  Every other ``self.Y`` access is recorded as a locked/unlocked
+  read or write.
+* An attribute with at least one **locked** access is *guarded*; its
+  unlocked writes are errors and its unlocked reads are warnings (a bare
+  read of a guarded attribute is sometimes a deliberate racy fast-path —
+  that is what the baseline's justification field is for).
+
+Method names are excluded from the attribute universe, as are accesses in
+functions nested inside methods (callbacks run on other threads and are
+conservatively skipped rather than mis-blamed).  Messages name the methods,
+never line numbers, so baseline entries survive unrelated edits.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.statics.model import SEVERITY_WARNING, Finding, Rule
+from repro.statics.source import SourceModule
+
+RULE = Rule(
+    id="lock-discipline",
+    summary="attributes accessed under a lock must hold it at every access",
+)
+
+_LOCK_CONSTRUCTORS = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+_LOCK_NAME_HINTS = ("lock", "condition", "mutex")
+
+
+def _callee_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _name_is_lockish(name: str) -> bool:
+    lowered = name.lower()
+    return any(hint in lowered for hint in _LOCK_NAME_HINTS)
+
+
+@dataclass
+class _Access:
+    method: str
+    line: int
+    col: int
+    kind: str  # "read" | "write"
+    locked: bool
+
+
+@dataclass
+class _ClassAudit:
+    name: str
+    lock_attrs: set[str] = field(default_factory=set)
+    methods: set[str] = field(default_factory=set)
+    accesses: dict[str, list[_Access]] = field(default_factory=dict)
+
+    def record(self, attr: str, access: _Access) -> None:
+        self.accesses.setdefault(attr, []).append(access)
+
+
+def _collect_lock_attrs(cls: ast.ClassDef, audit: _ClassAudit) -> None:
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign):
+            attr_targets = [t for t in node.targets if _self_attr(t)]
+            if not attr_targets:
+                continue
+            value = node.value
+            is_lock_ctor = (
+                isinstance(value, ast.Call)
+                and _callee_name(value.func) in _LOCK_CONSTRUCTORS
+            )
+            for target in attr_targets:
+                attr = _self_attr(target)
+                if is_lock_ctor or _name_is_lockish(attr):
+                    audit.lock_attrs.add(attr)
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                attr = _self_attr(item.context_expr)
+                if attr is not None and _name_is_lockish(attr):
+                    audit.lock_attrs.add(attr)
+
+
+def _walk_method(method: ast.FunctionDef, audit: _ClassAudit) -> None:
+    """Record self.* accesses with the set of locks textually held."""
+
+    def visit(node: ast.AST, held: frozenset[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # nested callables run elsewhere; don't blame this method
+        if isinstance(node, ast.With):
+            acquired = set()
+            for item in node.items:
+                attr = _self_attr(item.context_expr)
+                if attr in audit.lock_attrs:
+                    acquired.add(attr)
+                visit(item.context_expr, held)
+            inner = held | frozenset(acquired)
+            for stmt in node.body:
+                visit(stmt, inner)
+            return
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                _record_target(target, held, "write")
+                # subscript/attribute chains still *read* their base
+            visit(node.value, held)
+            return
+        if isinstance(node, ast.AugAssign):
+            _record_target(node.target, held, "write")
+            _record_target(node.target, held, "read")
+            visit(node.value, held)
+            return
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                _record_target(target, held, "write")
+            return
+        if isinstance(node, ast.Attribute):
+            attr = _self_attr(node)
+            if (
+                attr is not None
+                and attr not in audit.lock_attrs
+                and attr not in audit.methods
+            ):
+                kind = "write" if isinstance(node.ctx, (ast.Store, ast.Del)) else "read"
+                audit.record(
+                    attr,
+                    _Access(method.name, node.lineno, node.col_offset, kind, bool(held)),
+                )
+            visit(node.value, held)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    def _record_target(target: ast.expr, held: frozenset[str], kind: str) -> None:
+        attr = _self_attr(target)
+        if attr is not None:
+            if attr not in audit.lock_attrs and attr not in audit.methods:
+                audit.record(
+                    attr,
+                    _Access(method.name, target.lineno, target.col_offset, kind, bool(held)),
+                )
+            return
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            # self.x[k] = v / del self.x[k] / self.x.y = v mutate self.x
+            base = _self_attr(target.value)
+            if base is not None:
+                if base not in audit.lock_attrs and base not in audit.methods:
+                    audit.record(
+                        base,
+                        _Access(
+                            method.name, target.lineno, target.col_offset, kind, bool(held)
+                        ),
+                    )
+                return
+            visit(target, held)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                _record_target(element, held, kind)
+            return
+        visit(target, held)
+
+    for stmt in method.body:
+        visit(stmt, frozenset())
+
+
+def check(module: SourceModule, context) -> list[Finding]:
+    findings: list[Finding] = []
+    for cls in [n for n in ast.walk(module.tree) if isinstance(n, ast.ClassDef)]:
+        audit = _ClassAudit(name=cls.name)
+        audit.methods = {
+            stmt.name
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        _collect_lock_attrs(cls, audit)
+        if not audit.lock_attrs:
+            continue
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name in ("__init__", "__new__", "__del__"):
+                continue  # the instance is not yet (or no longer) shared
+            _walk_method(stmt, audit)
+
+        for attr, accesses in sorted(audit.accesses.items()):
+            if not any(a.locked for a in accesses):
+                continue  # never guarded anywhere: not this rule's business
+            guard_methods = sorted({a.method for a in accesses if a.locked})
+            guarded_in = ", ".join(f"{name}()" for name in guard_methods)
+            seen: set[tuple] = set()
+            for access in accesses:
+                if access.locked:
+                    continue
+                severity = RULE.severity if access.kind == "write" else SEVERITY_WARNING
+                message = (
+                    f"{cls.name}.{attr} is {'written' if access.kind == 'write' else 'read'} "
+                    f"in {access.method}() without the lock that guards it in {guarded_in}"
+                )
+                key = (message, access.line)
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.append(
+                    Finding(
+                        rule=RULE.id,
+                        path=module.rel,
+                        line=access.line,
+                        col=access.col,
+                        message=message,
+                        severity=severity,
+                    )
+                )
+    return findings

@@ -1,0 +1,211 @@
+"""The rule/finding model shared by every checker in :mod:`repro.statics`.
+
+A checker produces :class:`Finding` records; the runner then filters them
+through two escape hatches before anything reaches the user:
+
+* **Inline suppressions** — ``# repro: lint-ok[rule]`` (or a bare
+  ``# repro: lint-ok`` for every rule) on the flagged line marks a finding
+  as deliberate at the point of violation.  Anything after the closing
+  bracket is free-form justification.
+* **The committed baseline** — a JSON file of (rule, path, message)
+  triples, each with a one-line justification, for violations that are
+  deliberate but live far from a single source line (e.g. a
+  caller-holds-the-lock contract spanning two methods).  Baseline matching
+  is *line-number-free* so unrelated edits never invalidate it; an entry
+  that matches no current finding is reported as stale so the file cannot
+  rot.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+#: Format stamp of the baseline file; bump on incompatible changes so an
+#: old baseline is rejected loudly instead of silently matching nothing.
+BASELINE_FORMAT = "repro-lint-baseline"
+BASELINE_VERSION = 1
+
+_SUPPRESS_PATTERN = re.compile(r"#\s*repro:\s*lint-ok(?:\[([^\]]*)\])?")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: a stable id, a summary and its default severity."""
+
+    id: str
+    summary: str
+    severity: str = SEVERITY_ERROR
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``path`` is root-relative and POSIX-style so baselines are portable
+    across machines; ``message`` must not embed line numbers — the
+    (rule, path, message) triple is the baseline key and has to survive
+    unrelated edits to the file.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = SEVERITY_ERROR
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+    def to_payload(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.severity}: {self.message}"
+
+
+# ------------------------------------------------------------- suppressions
+def parse_suppressions(text: str) -> dict[int, frozenset[str] | None]:
+    """Per-line suppressions of one source file.
+
+    Returns ``{line_number: rules}`` where ``rules`` is a frozenset of rule
+    ids, or ``None`` for a bare ``lint-ok`` that silences every rule on that
+    line.  Lines are 1-based to match ``ast`` line numbers.
+    """
+    suppressions: dict[int, frozenset[str] | None] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESS_PATTERN.search(line)
+        if match is None:
+            continue
+        rules = match.group(1)
+        if rules is None:
+            suppressions[number] = None
+        else:
+            names = frozenset(part.strip() for part in rules.split(",") if part.strip())
+            suppressions[number] = names or None
+    return suppressions
+
+
+def is_suppressed(
+    finding: Finding, suppressions: dict[int, frozenset[str] | None]
+) -> bool:
+    """Whether an inline comment on the finding's line silences its rule."""
+    rules = suppressions.get(finding.line, "missing")
+    if rules == "missing":
+        return False
+    return rules is None or finding.rule in rules
+
+
+# ----------------------------------------------------------------- baseline
+@dataclass
+class BaselineEntry:
+    """One deliberate, justified violation committed to the baseline."""
+
+    rule: str
+    path: str
+    message: str
+    justification: str = ""
+    matched: int = field(default=0, compare=False)
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+    def to_payload(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+
+class Baseline:
+    """The committed set of accepted findings, with staleness tracking."""
+
+    def __init__(self, entries: list[BaselineEntry] | None = None) -> None:
+        self.entries = entries if entries is not None else []
+        self._by_key = {entry.key(): entry for entry in self.entries}
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline.
+
+        A malformed or wrong-format file raises — serving a half-read
+        baseline would silently un-suppress (or worse, keep suppressing)
+        findings.
+        """
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return cls()
+        if (
+            not isinstance(document, dict)
+            or document.get("format") != BASELINE_FORMAT
+            or document.get("version") != BASELINE_VERSION
+            or not isinstance(document.get("entries"), list)
+        ):
+            raise ValueError(
+                f"{path} is not a version-{BASELINE_VERSION} {BASELINE_FORMAT} file; "
+                "regenerate it with `python -m repro lint --write-baseline`"
+            )
+        entries = []
+        for raw in document["entries"]:
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    message=str(raw["message"]),
+                    justification=str(raw.get("justification", "")),
+                )
+            )
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        document = {
+            "format": BASELINE_FORMAT,
+            "version": BASELINE_VERSION,
+            "entries": [entry.to_payload() for entry in self.entries],
+        }
+        path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether the finding is baselined (and mark the entry as used)."""
+        entry = self._by_key.get(finding.baseline_key())
+        if entry is None:
+            return False
+        entry.matched += 1
+        return True
+
+    def stale_entries(self) -> list[BaselineEntry]:
+        """Entries that matched no finding in the run just completed."""
+        return [entry for entry in self.entries if entry.matched == 0]
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], justification: str = "TODO: justify"
+    ) -> "Baseline":
+        """A fresh baseline accepting every given finding (deduplicated)."""
+        entries: dict[tuple, BaselineEntry] = {}
+        for finding in findings:
+            key = finding.baseline_key()
+            if key not in entries:
+                entries[key] = BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    message=finding.message,
+                    justification=justification,
+                )
+        return cls(list(entries.values()))

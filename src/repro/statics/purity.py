@@ -1,0 +1,210 @@
+"""Rule ``pool-purity`` — tasks fanned out to worker pools must be picklable.
+
+:class:`~repro.experiments.parallel.PersistentPool` ships tasks to spawned
+worker processes by pickling ``(fn, task)``.  A lambda, a function defined
+inside another function, or a bound method drags its enclosing state (or is
+simply unpicklable) and fails only at runtime, on the first parallel run —
+often long after the code was written against the serial path where
+everything works.  This rule catches those shapes statically:
+
+* the callable argument to ``<pool>.submit(...)`` / ``<pool>.map(...)``
+  must be a module-level function (defined at top level or imported);
+* no ``PersistentPool`` / ``ParallelRunner`` / ``multiprocessing.Pool``
+  may be constructed at import time unless guarded by the
+  ``REPRO_POOL_WORKER`` re-entry check — a module imported *inside* a
+  worker would otherwise fork from inside a fork.
+
+A receiver counts as a pool when it was assigned from a pool constructor in
+the same module, or when its name contains ``pool``/``runner``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.statics.model import Finding, Rule
+from repro.statics.source import SourceModule
+
+RULE = Rule(
+    id="pool-purity",
+    summary="pool tasks must be module-level callables; no import-time pool construction",
+)
+
+_POOL_CONSTRUCTORS = frozenset({"PersistentPool", "ParallelRunner", "Pool"})
+_FANOUT_METHODS = frozenset({"submit", "map"})
+_GUARD_MARKERS = ("REPRO_POOL_WORKER", "pool_worker")
+
+
+def _callee_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _receiver_repr(node: ast.expr) -> str | None:
+    """``name`` / ``self.name`` for simple receivers, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return f"self.{node.attr}"
+    return None
+
+
+class _ModuleScan(ast.NodeVisitor):
+    """Collect module-level callables, pool variables and nested defs."""
+
+    def __init__(self) -> None:
+        self.module_callables: set[str] = set()
+        self.pool_vars: set[str] = set()
+        self.nested_defs: set[str] = set()
+        self._depth = 0
+
+    def visit_Module(self, node: ast.Module) -> None:
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                self.module_callables.add(stmt.name)
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                for alias in stmt.names:
+                    self.module_callables.add(alias.asname or alias.name.split(".")[0])
+        self.generic_visit(node)
+
+    def _enter(self, node) -> None:
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if self._depth > 0:
+            self.nested_defs.add(node.name)
+        self._enter(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._enter(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if isinstance(node.value, ast.Call):
+            callee = _callee_name(node.value.func)
+            if callee in _POOL_CONSTRUCTORS:
+                for target in node.targets:
+                    name = _receiver_repr(target)
+                    if name is not None:
+                        self.pool_vars.add(name)
+        self.generic_visit(node)
+
+
+def _looks_like_pool(receiver: str, pool_vars: set[str]) -> bool:
+    if receiver in pool_vars:
+        return True
+    tail = receiver.rsplit(".", 1)[-1].lower()
+    return "pool" in tail or "runner" in tail
+
+
+def _statement_guarded(stack: list[ast.stmt]) -> bool:
+    """Whether an enclosing ``if`` mentions the worker re-entry guard."""
+    for frame in stack:
+        if isinstance(frame, ast.If):
+            rendered = ast.dump(frame.test)
+            if any(marker in rendered for marker in _GUARD_MARKERS):
+                return True
+    return False
+
+
+def check(module: SourceModule, context) -> list[Finding]:
+    scan = _ModuleScan()
+    scan.visit(module.tree)
+    findings: list[Finding] = []
+
+    def flag(node: ast.AST, message: str) -> None:
+        findings.append(
+            Finding(
+                rule=RULE.id,
+                path=module.rel,
+                line=node.lineno,
+                col=node.col_offset,
+                message=message,
+                severity=RULE.severity,
+            )
+        )
+
+    # --- callable arguments to pool fan-out -------------------------------
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in _FANOUT_METHODS):
+            continue
+        receiver = _receiver_repr(func.value)
+        if receiver is None or not _looks_like_pool(receiver, scan.pool_vars):
+            continue
+        if not node.args:
+            continue
+        task_fn = node.args[0]
+        where = f"{receiver}.{func.attr}"
+        if isinstance(task_fn, ast.Lambda):
+            flag(
+                task_fn,
+                f"lambda passed to {where}() cannot be pickled to a worker "
+                "process; use a module-level function",
+            )
+        elif isinstance(task_fn, ast.Name):
+            name = task_fn.id
+            if name in scan.nested_defs and name not in scan.module_callables:
+                flag(
+                    task_fn,
+                    f"nested function {name}() passed to {where}() closes over "
+                    "local state and cannot be pickled; hoist it to module level",
+                )
+        elif (
+            isinstance(task_fn, ast.Attribute)
+            and isinstance(task_fn.value, ast.Name)
+            and task_fn.value.id == "self"
+        ):
+            flag(
+                task_fn,
+                f"bound method self.{task_fn.attr} passed to {where}() pickles "
+                "the whole instance; use a module-level function taking the "
+                "task as data",
+            )
+
+    # --- import-time pool construction ------------------------------------
+    # Defs and classes run at call time, so only module-level statements (and
+    # the If/Try/With blocks nesting them) can construct a pool at import.
+    # The If stack is tracked explicitly so guarded constructions pass.
+    def precise(stmts: list[ast.stmt], stack: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.If):
+                precise(stmt.body, stack + [stmt])
+                precise(stmt.orelse, stack + [stmt])
+                continue
+            if isinstance(stmt, ast.Try):
+                for block in (stmt.body, stmt.orelse, stmt.finalbody):
+                    precise(block, stack + [stmt])
+                for handler in stmt.handlers:
+                    precise(handler.body, stack + [stmt])
+                continue
+            if isinstance(stmt, ast.With):
+                precise(stmt.body, stack + [stmt])
+                continue
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call) and _callee_name(node.func) in _POOL_CONSTRUCTORS:
+                    if not _statement_guarded(stack):
+                        flag(
+                            node,
+                            f"{_callee_name(node.func)}(...) constructed at import "
+                            "time: a module imported worker-side would spawn "
+                            "workers from inside a worker; construct lazily or "
+                            "guard with the REPRO_POOL_WORKER check",
+                        )
+
+    precise(module.tree.body, [])
+    return findings

@@ -1,0 +1,248 @@
+"""Lint runner: walk files, run checkers, apply suppressions and baseline.
+
+The programmatic entry point is :func:`run_lint`; the CLI in
+:mod:`repro.cli` is a thin argument-parsing shell around it.  The runner
+owns everything rule-agnostic: file discovery, parse errors, inline
+suppressions, baseline matching and staleness, and the human/JSON reports.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.statics import determinism, fingerprint, knobs_check, locks, purity
+from repro.statics.model import (
+    SEVERITY_ERROR,
+    Baseline,
+    BaselineEntry,
+    Finding,
+    Rule,
+    is_suppressed,
+)
+from repro.statics.source import SourceModule
+
+#: Rule id -> checker module.  Each checker exposes ``RULE`` and
+#: ``check(module, context)``; ``finalize(context)`` is optional and runs
+#: once after every file has been scanned.
+CHECKERS = {
+    determinism.RULE.id: determinism,
+    knobs_check.RULE.id: knobs_check,
+    purity.RULE.id: purity,
+    locks.RULE.id: locks,
+    fingerprint.RULE.id: fingerprint,
+}
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".pytest_cache", "build", "dist"})
+
+
+def all_rules() -> list[Rule]:
+    return [checker.RULE for checker in CHECKERS.values()]
+
+
+@dataclass
+class LintContext:
+    """Run-wide state shared by checkers (registry contents, README)."""
+
+    root: Path
+    registry: dict = field(default_factory=dict)
+    registry_names: frozenset = frozenset()
+    readme_text: str | None = None
+    readme_rel: str = "README.md"
+
+    @classmethod
+    def build(cls, root: Path, readme: Path | None) -> "LintContext":
+        from repro.core.knobs import REGISTRY
+
+        readme_text = None
+        readme_rel = "README.md"
+        if readme is not None and readme.is_file():
+            readme_text = readme.read_text(encoding="utf-8")
+            try:
+                readme_rel = readme.resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                readme_rel = readme.name
+        return cls(
+            root=root,
+            registry=dict(REGISTRY),
+            registry_names=frozenset(REGISTRY),
+            readme_text=readme_text,
+            readme_rel=readme_rel,
+        )
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, pre-rendering."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: list[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == SEVERITY_ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity != SEVERITY_ERROR]
+
+    def failed(self, strict: bool) -> bool:
+        """Exit-status policy: errors always fail; ``--strict`` also fails
+        warnings and stale baseline entries."""
+        if self.errors:
+            return True
+        if strict and (self.warnings or self.stale_baseline):
+            return True
+        return False
+
+    def to_payload(self) -> dict:
+        return {
+            "files_checked": self.files_checked,
+            "rules": sorted(self.rules_run),
+            "findings": [f.to_payload() for f in self.findings],
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "stale_baseline": [entry.to_payload() for entry in self.stale_baseline],
+            "counts": {
+                "error": len(self.errors),
+                "warning": len(self.warnings),
+            },
+        }
+
+    def render_text(self) -> str:
+        lines = [finding.render() for finding in sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+        )]
+        for entry in self.stale_baseline:
+            lines.append(
+                f"{entry.path}: [baseline] stale: no current finding matches "
+                f"{entry.rule!r}: {entry.message!r} — remove the entry or "
+                "regenerate with --write-baseline"
+            )
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s) "
+            f"({self.suppressed} suppressed inline, {self.baselined} baselined, "
+            f"{len(self.stale_baseline)} stale baseline entrie(s)) "
+            f"across {self.files_checked} file(s)"
+        )
+        return "\n".join(lines)
+
+
+def discover(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            files.add(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    files.add(candidate)
+    return sorted(files)
+
+
+def run_lint(
+    paths: list[Path],
+    root: Path,
+    rules: list[str] | None = None,
+    baseline: Baseline | None = None,
+    readme: Path | None = None,
+) -> LintReport:
+    """Run the selected checkers over ``paths``.
+
+    ``root`` anchors the relative paths used in findings and baselines.
+    ``rules=None`` runs everything; unknown rule ids raise ``ValueError``
+    (a typo'd ``--rules`` silently skipping a checker would look green).
+    """
+    selected = list(CHECKERS) if rules is None else list(rules)
+    unknown = [rule for rule in selected if rule not in CHECKERS]
+    if unknown:
+        raise ValueError(
+            f"unknown lint rule(s) {unknown!r}; available: {sorted(CHECKERS)}"
+        )
+    baseline = baseline if baseline is not None else Baseline()
+    context = LintContext.build(root, readme)
+    report = LintReport(rules_run=selected)
+
+    raw: list[tuple[Finding, SourceModule | None]] = []
+    for file_path in discover(paths):
+        try:
+            module = SourceModule.parse(file_path, root)
+        except SyntaxError as exc:
+            raw.append(
+                (
+                    Finding(
+                        rule="parse",
+                        path=file_path.as_posix(),
+                        line=exc.lineno or 1,
+                        col=exc.offset or 0,
+                        message=f"file does not parse: {exc.msg}",
+                        severity=SEVERITY_ERROR,
+                    ),
+                    None,
+                )
+            )
+            continue
+        report.files_checked += 1
+        for rule_id in selected:
+            found = CHECKERS[rule_id].check(module, context)
+            raw.extend((finding, module) for finding in found)
+
+    for rule_id in selected:
+        finalize = getattr(CHECKERS[rule_id], "finalize", None)
+        if finalize is not None:
+            raw.extend((finding, None) for finding in finalize(context))
+
+    for finding, module in raw:
+        if module is not None and is_suppressed(finding, module.suppressions):
+            report.suppressed += 1
+            continue
+        if baseline.matches(finding):
+            report.baselined += 1
+            continue
+        report.findings.append(finding)
+    report.stale_baseline = baseline.stale_entries()
+    return report
+
+
+def write_json(report: LintReport, stream) -> None:
+    json.dump(report.to_payload(), stream, indent=2)
+    stream.write("\n")
+
+
+def _unfiltered_findings(
+    paths: list[Path], root: Path, readme: Path | None
+) -> list[Finding]:
+    """All findings with only inline suppressions applied (for --write-baseline)."""
+    report = run_lint(paths, root, rules=None, baseline=Baseline(), readme=readme)
+    return report.findings
+
+
+def regenerate_baseline(
+    paths: list[Path],
+    root: Path,
+    baseline_path: Path,
+    readme: Path | None,
+    previous: Baseline | None = None,
+) -> Baseline:
+    """Write a fresh baseline accepting every current finding.
+
+    Justifications from a previous baseline are carried over for entries
+    that still match, so regeneration never erases the written rationale.
+    """
+    findings = _unfiltered_findings(paths, root, readme)
+    fresh = Baseline.from_findings(findings)
+    if previous is not None:
+        carried = {entry.key(): entry.justification for entry in previous.entries}
+        for entry in fresh.entries:
+            if entry.key() in carried and carried[entry.key()]:
+                entry.justification = carried[entry.key()]
+    fresh.save(baseline_path)
+    return fresh

@@ -1,0 +1,57 @@
+"""Parsed-source representation handed to every checker.
+
+One :class:`SourceModule` per file: the raw text, its AST, the root-relative
+POSIX path used in findings and baselines, and the parsed inline
+suppressions.  Parsing happens once per file regardless of how many rules
+run over it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.statics.model import parse_suppressions
+
+#: Top-level package directories whose modules must be *engine-pure*: their
+#: outputs feed fingerprints, caches and schedules, so any dependence on
+#: wall clock, process identity or unseeded randomness breaks the repo's
+#: bit-identical determinism guarantee.
+ENGINE_PURE_DIRS = frozenset({"core", "notation", "compiler", "analysis"})
+
+
+@dataclass
+class SourceModule:
+    """One parsed Python source file under lint."""
+
+    path: Path
+    rel: str  # root-relative POSIX path, the stable identity in findings
+    text: str
+    tree: ast.Module
+    suppressions: dict = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, root: Path) -> "SourceModule":
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        return cls(
+            path=path,
+            rel=rel,
+            text=text,
+            tree=tree,
+            suppressions=parse_suppressions(text),
+        )
+
+    @property
+    def is_engine_pure(self) -> bool:
+        """Whether this file lives in a directory that must be deterministic."""
+        return any(part in ENGINE_PURE_DIRS for part in Path(self.rel).parts[:-1])
+
+    @property
+    def name(self) -> str:
+        return Path(self.rel).stem

@@ -1,0 +1,444 @@
+"""Tests for the static invariant checkers (``python -m repro lint``).
+
+Each rule gets a positive fixture (a tiny tree that must be flagged) and a
+negative fixture (the approved idiom, which must stay clean); on top of
+that the suppression and baseline mechanisms are round-tripped, the knob
+registry's validation semantics are pinned, and a self-lint test asserts
+the repo itself is strict-clean — which is exactly what the CI lint gate
+runs.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core import knobs
+from repro.statics.model import Baseline, parse_suppressions
+from repro.statics.runner import CHECKERS, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _write(root: Path, rel: str, text: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def _lint(root: Path, rules=None, baseline=None, readme=None):
+    return run_lint([root], root, rules=rules, baseline=baseline, readme=readme)
+
+
+def _messages(report) -> str:
+    return "\n".join(finding.message for finding in report.findings)
+
+
+# ------------------------------------------------------------- determinism
+class TestDeterminismRule:
+    def test_flags_clock_rng_and_identity_in_engine_dirs(self, tmp_path):
+        _write(
+            tmp_path,
+            "core/engine.py",
+            "import random\nimport time\nimport os\n"
+            "def f():\n"
+            "    rng = random.Random()\n"
+            "    x = random.random()\n"
+            "    t = time.perf_counter()\n"
+            "    u = os.urandom(8)\n"
+            "    k = id(object())\n",
+        )
+        report = _lint(tmp_path, rules=["determinism"])
+        text = _messages(report)
+        assert len(report.findings) == 5
+        assert "unseeded random.Random()" in text
+        assert "module-global RNG" in text
+        assert "wall clock" in text
+        assert "os.urandom" in text
+        assert "process-local address" in text
+
+    def test_seeded_rng_and_non_engine_dirs_are_clean(self, tmp_path):
+        _write(
+            tmp_path,
+            "core/engine.py",
+            "import random\n"
+            "def f(seed):\n"
+            "    return random.Random(seed).random()\n",
+        )
+        # The same nondeterminism outside the engine-pure dirs is allowed.
+        _write(
+            tmp_path,
+            "serving/clocky.py",
+            "import time\n\ndef now():\n    return time.perf_counter()\n",
+        )
+        report = _lint(tmp_path, rules=["determinism"])
+        assert report.findings == []
+
+
+# ------------------------------------------------------------------- knobs
+class TestKnobsRule:
+    def test_flags_direct_env_read_and_unregistered_name(self, tmp_path):
+        _write(
+            tmp_path,
+            "core/bad.py",
+            "import os\n"
+            "def f():\n"
+            "    a = os.environ.get('REPRO_WORKERS')\n"
+            "    b = os.getenv('REPRO_WORKERS')\n"
+            "    c = os.environ['REPRO_NOT_A_KNOB']\n",  # repro: lint-ok[knobs]
+        )
+        report = _lint(tmp_path, rules=["knobs"])
+        text = _messages(report)
+        assert text.count("bypasses the knob registry") == 3
+        assert "REPRO_NOT_A_KNOB is not registered" in text  # repro: lint-ok[knobs]
+
+    def test_env_writes_and_registry_reads_are_clean(self, tmp_path):
+        _write(
+            tmp_path,
+            "core/good.py",
+            "import os\n"
+            "from repro.core.knobs import read_int\n"
+            "def f():\n"
+            "    os.environ['REPRO_POOL_WORKER'] = '1'\n"
+            "    return read_int('REPRO_WORKERS', 'serial')\n",
+        )
+        report = _lint(tmp_path, rules=["knobs"])
+        assert report.findings == []
+
+    def test_readme_must_document_registered_knobs(self, tmp_path):
+        readme = _write(tmp_path, "README.md", "# nothing documented here\n")
+        report = _lint(tmp_path, rules=["knobs"], readme=readme)
+        undocumented = {
+            finding.message.split()[2] for finding in report.findings
+        }
+        assert "REPRO_WORKERS" in undocumented
+        # Internal knobs are exempt from the documentation requirement...
+        # (REPRO_POOL_WORKER *is* documented in the real README, but a bare
+        # fixture README must not demand it.)
+        internal = {
+            name for name, knob in knobs.REGISTRY.items() if knob.internal
+        }
+        assert not (undocumented & internal)
+
+
+# ------------------------------------------------------------- pool-purity
+class TestPoolPurityRule:
+    def test_flags_lambda_nested_def_and_bound_method(self, tmp_path):
+        _write(
+            tmp_path,
+            "jobs.py",
+            "from repro.experiments.parallel import PersistentPool\n"
+            "class Driver:\n"
+            "    def __init__(self):\n"
+            "        self.pool = PersistentPool(4)\n"
+            "    def run(self, task):\n"
+            "        def local(t):\n"
+            "            return t\n"
+            "        self.pool.submit(lambda t: t, task)\n"
+            "        self.pool.submit(local, task)\n"
+            "        self.pool.submit(self.handle, task)\n"
+            "    def handle(self, t):\n"
+            "        return t\n",
+        )
+        report = _lint(tmp_path, rules=["pool-purity"])
+        text = _messages(report)
+        assert len(report.findings) == 3
+        assert "lambda" in text
+        assert "nested function local()" in text
+        assert "bound method self.handle" in text
+
+    def test_flags_import_time_pool_unless_guarded(self, tmp_path):
+        _write(
+            tmp_path,
+            "eager.py",
+            "from repro.experiments.parallel import PersistentPool\n"
+            "POOL = PersistentPool(4)\n",
+        )
+        _write(
+            tmp_path,
+            "guarded.py",
+            "import os\n"
+            "from repro.experiments.parallel import PersistentPool\n"
+            "from repro.core.knobs import read_flag\n"
+            "if not read_flag('REPRO_POOL_WORKER', default=False):\n"
+            "    POOL = PersistentPool(4)\n",
+        )
+        report = _lint(tmp_path, rules=["pool-purity"])
+        assert len(report.findings) == 1
+        assert report.findings[0].path.endswith("eager.py")
+        assert "import time" in report.findings[0].message
+
+    def test_module_level_task_function_is_clean(self, tmp_path):
+        _write(
+            tmp_path,
+            "jobs.py",
+            "from repro.experiments.parallel import PersistentPool\n"
+            "def task_fn(t):\n"
+            "    return t\n"
+            "def run(pool, task):\n"
+            "    return pool.submit(task_fn, task)\n",
+        )
+        report = _lint(tmp_path, rules=["pool-purity"])
+        assert report.findings == []
+
+
+# --------------------------------------------------------- lock-discipline
+class TestLockDisciplineRule:
+    def test_flags_half_guarded_attribute(self, tmp_path):
+        _write(
+            tmp_path,
+            "svc.py",
+            "import threading\n"
+            "class Service:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._count = 0\n"
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self._count += 1\n"
+            "    def reset(self):\n"
+            "        self._count = 0\n"
+            "    def peek(self):\n"
+            "        return self._count\n",
+        )
+        report = _lint(tmp_path, rules=["lock-discipline"])
+        writes = [f for f in report.findings if "written in reset()" in f.message]
+        reads = [f for f in report.findings if "read in peek()" in f.message]
+        assert len(writes) == 1 and writes[0].severity == "error"
+        assert len(reads) == 1 and reads[0].severity == "warning"
+
+    def test_consistently_guarded_class_is_clean(self, tmp_path):
+        _write(
+            tmp_path,
+            "svc.py",
+            "import threading\n"
+            "class Service:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._count = 0\n"
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self._count += 1\n"
+            "    def peek(self):\n"
+            "        with self._lock:\n"
+            "            return self._count\n",
+        )
+        report = _lint(tmp_path, rules=["lock-discipline"])
+        assert report.findings == []
+
+
+# ------------------------------------------------------------- fingerprint
+class TestFingerprintRule:
+    def test_flags_unstable_key_components(self, tmp_path):
+        _write(
+            tmp_path,
+            "keys.py",
+            "from repro.core.caching import LRUCache\n"
+            "from repro.experiments.parallel import derive_seed\n"
+            "cache = LRUCache(8)\n"
+            "def f(obj, attempt):\n"
+            "    cache.get((id(obj), attempt))\n"
+            "    cache.put([obj.name], 1)\n"
+            "    return derive_seed(hash(obj), attempt)\n",
+        )
+        report = _lint(tmp_path, rules=["fingerprint"])
+        text = _messages(report)
+        assert len(report.findings) == 3
+        assert "process-local address" in text
+        assert "mutable container display" in text
+        assert "salted per process" in text
+
+    def test_fingerprint_and_primitive_keys_are_clean(self, tmp_path):
+        _write(
+            tmp_path,
+            "keys.py",
+            "from repro.core.caching import LRUCache\n"
+            "from repro.experiments.parallel import derive_seed\n"
+            "cache = LRUCache(8)\n"
+            "def f(graph, attempt):\n"
+            "    cache.get((graph.fingerprint(), attempt))\n"
+            "    cache.get_or_compute(graph.fingerprint(), lambda: attempt)\n"
+            "    return derive_seed(graph.fingerprint(), 'retry', attempt)\n",
+        )
+        report = _lint(tmp_path, rules=["fingerprint"])
+        # The lambda is the *computed value*, not the key: must not be flagged.
+        assert report.findings == []
+
+
+# --------------------------------------------- suppressions, baseline, CLI
+class TestSuppressionsAndBaseline:
+    def test_parse_suppressions(self):
+        text = (
+            "x = 1  # repro: lint-ok[determinism]\n"
+            "y = 2  # repro: lint-ok[knobs, fingerprint] because reasons\n"
+            "z = 3  # repro: lint-ok\n"
+            "w = 4\n"
+        )
+        parsed = parse_suppressions(text)
+        assert parsed[1] == frozenset({"determinism"})
+        assert parsed[2] == frozenset({"knobs", "fingerprint"})
+        assert parsed[3] is None
+        assert 4 not in parsed
+
+    def test_inline_suppression_silences_only_its_rule(self, tmp_path):
+        _write(
+            tmp_path,
+            "core/engine.py",
+            "import time\n"
+            "def f():\n"
+            "    return time.perf_counter()  # repro: lint-ok[determinism] budget\n",
+        )
+        report = _lint(tmp_path, rules=["determinism"])
+        assert report.findings == []
+        assert report.suppressed == 1
+
+        _write(
+            tmp_path,
+            "core/engine.py",
+            "import time\n"
+            "def f():\n"
+            "    return time.perf_counter()  # repro: lint-ok[knobs]\n",
+        )
+        report = _lint(tmp_path, rules=["determinism"])
+        assert len(report.findings) == 1
+
+    def test_baseline_round_trip_and_staleness(self, tmp_path):
+        source = _write(
+            tmp_path,
+            "core/engine.py",
+            "import time\n\ndef f():\n    return time.time()\n",
+        )
+        first = _lint(tmp_path, rules=["determinism"])
+        assert len(first.findings) == 1
+
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.from_findings(first.findings).save(baseline_path)
+        baseline = Baseline.load(baseline_path)
+        second = _lint(tmp_path, rules=["determinism"], baseline=baseline)
+        assert second.findings == []
+        assert second.baselined == 1
+        assert second.stale_baseline == []
+        assert not second.failed(strict=True)
+
+        # Fix the violation: the baseline entry goes stale, strict fails.
+        source.write_text("def f():\n    return 0\n", encoding="utf-8")
+        third = _lint(
+            tmp_path, rules=["determinism"], baseline=Baseline.load(baseline_path)
+        )
+        assert third.findings == []
+        assert len(third.stale_baseline) == 1
+        assert third.failed(strict=True)
+        assert not third.failed(strict=False)
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"format": "something-else"}', encoding="utf-8")
+        with pytest.raises(ValueError, match="regenerate"):
+            Baseline.load(path)
+
+    def test_unknown_rule_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown lint rule"):
+            run_lint([tmp_path], tmp_path, rules=["no-such-rule"])
+
+
+class TestLintCli:
+    def test_json_report_on_violation_tree(self, tmp_path):
+        _write(
+            tmp_path,
+            "core/engine.py",
+            "import time\n\ndef f():\n    return time.time()\n",
+        )
+        out = io.StringIO()
+        code = main(
+            ["lint", str(tmp_path), "--no-baseline", "--json", "--strict"], out=out
+        )
+        assert code == 1
+        payload = json.loads(out.getvalue())
+        assert payload["counts"]["error"] == 1
+        assert payload["findings"][0]["rule"] == "determinism"
+
+    def test_list_rules_names_every_checker(self):
+        out = io.StringIO()
+        assert main(["lint", "--list-rules"], out=out) == 0
+        text = out.getvalue()
+        for rule_id in CHECKERS:
+            assert rule_id in text
+
+    def test_knobs_table_lists_registry(self):
+        out = io.StringIO()
+        assert main(["lint", "--knobs"], out=out) == 0
+        text = out.getvalue()
+        for name, knob in knobs.REGISTRY.items():
+            if not knob.internal:
+                assert name in text
+
+
+# ------------------------------------------------------------ self-lint
+class TestSelfLint:
+    def test_repo_is_strict_clean(self):
+        """The CI gate: the repo lints clean against its own baseline."""
+        out = io.StringIO()
+        code = main(["lint", "--strict"], out=out)
+        assert code == 0, out.getvalue()
+
+    def test_repo_has_no_unregistered_knob_strings(self):
+        report = run_lint(
+            [REPO_ROOT / "src", REPO_ROOT / "benchmarks", REPO_ROOT / "tests"],
+            REPO_ROOT,
+            rules=["knobs"],
+        )
+        assert report.findings == [], _messages(report)
+
+
+# --------------------------------------------------- knob registry semantics
+class TestKnobRegistry:
+    def test_unregistered_name_raises(self, monkeypatch):
+        with pytest.raises(LookupError, match="not registered"):
+            knobs.read_int("REPRO_NOT_A_KNOB", "noop")  # repro: lint-ok[knobs]
+
+    def test_kind_mismatch_raises(self):
+        with pytest.raises(TypeError, match="matching accessor"):
+            knobs.read_str("REPRO_WORKERS")
+
+    def test_read_int_warns_on_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DLSA_BATCH", "many")
+        with pytest.warns(RuntimeWarning, match="REPRO_DLSA_BATCH"):
+            value = knobs.read_int("REPRO_DLSA_BATCH", "using the default")
+        assert value is None
+
+    def test_read_flag_warns_on_unrecognized_spelling(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ROOFLINE_PREFILTER", "maybe")
+        with pytest.warns(RuntimeWarning, match="REPRO_ROOFLINE_PREFILTER"):
+            value = knobs.read_flag("REPRO_ROOFLINE_PREFILTER", default=True)
+        assert value is True
+
+    def test_dlsa_batch_warns_and_defaults_on_non_positive(self, monkeypatch):
+        from repro.core.dlsa_stage import dlsa_batch_size
+
+        monkeypatch.setenv("REPRO_DLSA_BATCH", "0")
+        with pytest.warns(RuntimeWarning, match="non-positive"):
+            assert dlsa_batch_size() == 32
+
+    def test_roofline_prefilter_reads_through_registry(self, monkeypatch):
+        from repro.core.roofline import prefilter_enabled
+
+        monkeypatch.delenv("REPRO_ROOFLINE_PREFILTER", raising=False)
+        assert prefilter_enabled() is True
+        monkeypatch.setenv("REPRO_ROOFLINE_PREFILTER", "off")
+        assert prefilter_enabled() is False
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # recognized spellings never warn
+            monkeypatch.setenv("REPRO_ROOFLINE_PREFILTER", "yes")
+            assert prefilter_enabled() is True
+
+    def test_every_registered_knob_has_doc_and_valid_kind(self):
+        for name, knob in knobs.REGISTRY.items():
+            assert name.startswith("REPRO_")
+            assert knob.kind in ("int", "flag", "str")
+            assert knob.doc
