@@ -70,7 +70,20 @@ _BM_SPEEDUP_FLOOR = 3.0
 #: before the offset-indirect representation + pipelined-search PR landed
 #: (benchmarks/results/test_search_wall_clock.txt at that revision).
 _COLD_BASELINE_S = 50.77
-_COLD_SPEEDUP_FLOOR = 2.0
+#: Re-baselined with the speculative pipelined path (REPRO_STAGE_PIPELINE=1,
+#: REPRO_LFA_BATCH=1): 2.74x best-of-3 measured on a one-core runner, floor
+#: at ~88% of measured.  Single samples drift up to ~1.7x slower on busy
+#: shared runners, so the gate takes the fastest of ``_COLD_ATTEMPTS`` fresh
+#: processes — noise only ever inflates a latency reading, never deflates
+#: it, so min-of-N tightens the measurement without weakening the gate.
+_COLD_SPEEDUP_FLOOR = 2.4
+_COLD_ATTEMPTS = 3
+#: The cold child runs the pipelined speculative engine exactly as the
+#: serving fan-out grant would configure it for one cold request on a
+#: single-core box: stage tasks in-process (no pool — worker IPC only wins
+#: wall clock with >=2 free cores), speculation window 1 (the draw-ahead
+#: walk with zero rolled-back evaluations).
+_COLD_ENV = {"REPRO_STAGE_PIPELINE": "1", "REPRO_LFA_BATCH": "1"}
 #: Reduced annealing budget that brings the benchmark base near the regime
 #: the real search spends its time in (see _batched_window_stream).
 _BM_WARM_CONFIG = SoMaConfig(
@@ -384,6 +397,122 @@ def test_stage1_candidate_throughput(reporter):
     assert mean_frag > mean_seg
 
 
+#: Speculation window used by the fan-out benchmark rows (the CI
+#: pipeline-parallel job runs the test suites with the same width).
+_SPEC_BATCH = 8
+#: (label, REPRO_LFA_BATCH, REPRO_ALLOC_WORKERS) rows: the serial stage-1
+#: walk, then the speculative batched walk evaluated in-process (w1) and
+#: fanned across pool workers (the speculative topology reserves the last
+#: worker for stage 2 and spreads the move windows over the rest).
+_SPEC_SHAPES = (
+    ("serial", 0, 0),
+    ("spec w1", _SPEC_BATCH, 0),
+    ("spec w2", _SPEC_BATCH, 2),
+    ("spec w4", _SPEC_BATCH, 4),
+)
+_SPEC_CELLS = {("resnet50", 1), ("randwire", 1), ("gpt2-decode", 1)}
+#: Geomean wall-clock floor per speculative shape, vs the serial walk.  On
+#: a multi-core runner the fan-out rows should clear 1.0x; a single-core
+#: runner (the common CI box) pays worker IPC for no parallel win, so the
+#: floor only bounds the *overhead* — a shape that falls below it costs
+#: more than 5x serial and has regressed beyond any plausible IPC tax.
+_SPEC_GEOMEAN_FLOOR = 0.2
+
+
+@pytest.mark.benchmark(group="search-throughput")
+def test_stage1_speculation_wall_clock(reporter, monkeypatch):
+    """Speculative stage-1 fan-out: wall clock plus commit/rollback accounting.
+
+    Every cell runs the same pipelined two-stage search four ways (see
+    ``_SPEC_SHAPES``).  The speculative shapes must agree bit for bit —
+    the draw-ahead protocol commits exactly the move the one-at-a-time
+    batched walk would accept, wherever the candidate evaluations run —
+    so the table only varies in wall clock and in how much speculation was
+    wasted (rolled back) or shipped to the pool.  The asserted geomean
+    floor (``_SPEC_GEOMEAN_FLOOR``) bounds the overhead, not the win: on a
+    single-core runner the fan-out rows pay worker IPC for no parallel win
+    (the cold-latency gate below carries the speedup regression duty); the
+    table exists so multi-core runners can see the win and single-core
+    ones the overhead, next to the commit/rollback rates.
+    """
+    from repro.core.buffer_allocator import ALLOC_WORKERS_ENV, PIPELINE_ENV
+    from repro.core.lfa_stage import LFA_BATCH_ENV, speculation_stats
+
+    monkeypatch.setenv(PIPELINE_ENV, "1")
+    reporter.line(
+        "Stage-1 speculation: serial walk vs batched fan-out "
+        f"(window {_SPEC_BATCH}, pipelined two-stage search)"
+    )
+    reporter.line(
+        f"{'workload':28s} {'shape':8s} {'wall(s)':>8s} {'vs serial':>10s} "
+        f"{'proposed':>9s} {'committed':>10s} {'rolled':>7s} {'pool ev':>8s}"
+    )
+    ratios: dict[str, list[float]] = {label: [] for label, _b, _w in _SPEC_SHAPES[1:]}
+    for cell in fig6_cells():
+        if (cell.workload, cell.batch) not in _SPEC_CELLS or cell.platform != "edge":
+            continue
+        accelerator = cell.build_accelerator()
+        runs: dict[str, tuple[float, object, dict]] = {}
+        for label, batch, workers in _SPEC_SHAPES:
+            if batch:
+                monkeypatch.setenv(LFA_BATCH_ENV, str(batch))
+            else:
+                monkeypatch.delenv(LFA_BATCH_ENV, raising=False)
+            if workers >= 2:
+                monkeypatch.setenv(ALLOC_WORKERS_ENV, str(workers))
+            else:
+                monkeypatch.delenv(ALLOC_WORKERS_ENV, raising=False)
+            # A fresh graph per run: every shape pays the same cold per-graph
+            # memos (tilings, segments, plans), exactly like a cold request.
+            graph = cell.build_graph()
+            before = speculation_stats(graph)
+            start = time.perf_counter()
+            result = SoMaScheduler(accelerator, bench_config()).schedule(
+                graph, seed=2025
+            )
+            wall = time.perf_counter() - start
+            assert result.evaluation.feasible
+            delta = {
+                key: value - before.get(key, 0)
+                for key, value in speculation_stats(graph).items()
+            }
+            runs[label] = (wall, result, delta)
+            ratio = runs["serial"][0] / wall
+            if label != "serial":
+                ratios[label].append(ratio)
+            reporter.line(
+                f"{cell.workload:28s} {label:8s} {wall:>8.2f} "
+                f"{ratio:>9.2f}x {delta['proposed']:>9d} {delta['committed']:>10d} "
+                f"{delta['rolled_back']:>7d} {delta['pool_evaluations']:>8d}"
+            )
+
+        # The tentpole guarantee, asserted on real workloads: widening the
+        # window and fanning it across workers never changes the schedule.
+        _wall, reference, ref_delta = runs["spec w1"]
+        assert ref_delta["committed"] > 0
+        for label in ("spec w2", "spec w4"):
+            _wall, result, delta = runs[label]
+            assert result.history == reference.history
+            assert result.best.cost == reference.best.cost
+            assert result.evaluation.latency_s == reference.evaluation.latency_s
+            assert result.evaluation.energy_j == reference.evaluation.energy_j
+            assert (
+                result.stage1_buffer_budget_bytes
+                == reference.stage1_buffer_budget_bytes
+            )
+            # The pool rows ship their memo misses to the workers.
+            assert delta["pool_evaluations"] > 0
+
+    reporter.line("")
+    for label, values in ratios.items():
+        geomean = 1.0
+        for value in values:
+            geomean *= value
+        geomean **= 1.0 / len(values)
+        reporter.line(f"geometric-mean wall-clock ratio {label}: {geomean:.2f}x vs serial")
+        assert geomean >= _SPEC_GEOMEAN_FLOOR
+
+
 _COLD_CHILD_SCRIPT = """
 import time
 
@@ -412,27 +541,37 @@ def _isolated_cold_wall() -> float:
     A fresh interpreter is what a first serving request actually pays, and
     it keeps the gate independent of whatever memory/caches the test
     session accumulated before this benchmark ran (in-suite timings drift
-    ~25% slower on a busy session).
+    ~25% slower on a busy session).  The child runs the speculative
+    pipelined configuration (``_COLD_ENV``); ``_COLD_ATTEMPTS`` fresh
+    processes run back to back and the fastest wins (see the floor notes).
     """
     repo_root = Path(__file__).resolve().parent.parent
     env = dict(os.environ)
+    env.update(_COLD_ENV)
     env["PYTHONPATH"] = os.pathsep.join(
         [str(repo_root / "src"), str(repo_root)]
         + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
     )
-    completed = subprocess.run(
-        [sys.executable, "-c", _COLD_CHILD_SCRIPT],
-        capture_output=True,
-        text=True,
-        env=env,
-        cwd=repo_root,
-        timeout=600,
-    )
-    assert completed.returncode == 0, completed.stderr
-    for line in completed.stdout.splitlines():
-        if line.startswith("COLD_WALL "):
-            return float(line.split()[1])
-    raise AssertionError(f"no COLD_WALL line in child output: {completed.stdout!r}")
+    walls = []
+    for _attempt in range(_COLD_ATTEMPTS):
+        completed = subprocess.run(
+            [sys.executable, "-c", _COLD_CHILD_SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=repo_root,
+            timeout=600,
+        )
+        assert completed.returncode == 0, completed.stderr
+        for line in completed.stdout.splitlines():
+            if line.startswith("COLD_WALL "):
+                walls.append(float(line.split()[1]))
+                break
+        else:
+            raise AssertionError(
+                f"no COLD_WALL line in child output: {completed.stdout!r}"
+            )
+    return min(walls)
 
 
 @pytest.mark.benchmark(group="search-throughput")
@@ -442,8 +581,9 @@ def test_search_wall_clock(reporter):
     Every cell builds a fresh graph, so all per-graph memos (tilings,
     segments, fragments, plans) start empty: each row is a cold
     single-request schedule, timed in-session for context.  The regression
-    gate re-times the gpt2-prefill edge/bs1 cell in a *fresh process*
-    (see :func:`_isolated_cold_wall`) and requires at least
+    gate re-times the gpt2-prefill edge/bs1 cell in *fresh processes*
+    running the speculative pipelined engine (see
+    :func:`_isolated_cold_wall`) and requires at least
     ``_COLD_SPEEDUP_FLOOR``x over the pre-refactor baseline recorded in
     ``_COLD_BASELINE_S`` (default subset budgets only; the full paper grid
     uses different SA budgets).
@@ -472,8 +612,9 @@ def test_search_wall_clock(reporter):
         speedup = _COLD_BASELINE_S / cold_wall
         reporter.line("")
         reporter.line(
-            f"cold single-schedule latency (gpt2-prefill edge bs1, fresh "
-            f"process): {cold_wall:.2f}s vs {_COLD_BASELINE_S:.2f}s baseline "
-            f"= {speedup:.2f}x (floor {_COLD_SPEEDUP_FLOOR:.1f}x)"
+            f"cold single-schedule latency (gpt2-prefill edge bs1, "
+            f"pipelined speculative engine, best of {_COLD_ATTEMPTS} fresh "
+            f"processes): {cold_wall:.2f}s vs {_COLD_BASELINE_S:.2f}s "
+            f"baseline = {speedup:.2f}x (floor {_COLD_SPEEDUP_FLOOR:.1f}x)"
         )
         assert speedup >= _COLD_SPEEDUP_FLOOR

@@ -124,8 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="print hit/miss/size of the search LRUs (parse, segment, "
         "fragment, tiling, plan, result) after the run, plus the rebase row "
         "(offset-indirect assembly: rebase_reuse hits vs rebased_segments "
-        "misses); the result row samples the currently resident evaluation "
-        "contexts",
+        "misses) and the speculation row (batched stage-1 moves: committed "
+        "hits vs rolled_back misses, split into pool vs in-process "
+        "evaluations); the result row samples the currently resident "
+        "evaluation contexts",
     )
     _add_workers_argument(schedule)
 

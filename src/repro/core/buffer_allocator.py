@@ -26,15 +26,29 @@ Two execution modes share one fold:
   fold order.  Because every task is a pure function of (graph, config,
   budget, derived seed), both execution shapes produce bit-identical
   results — asserted by ``tests/test_pipeline.py``.  The pipelined fold also
-  applies a branch-and-bound cutoff: once the incumbent cost reaches the
-  whole-workload roofline floor (:func:`~repro.core.roofline.schedule_floor`)
-  no budget split can improve it, so remaining iterations are skipped.
+  applies three branch-and-bound cutoffs, each against the incumbent cost:
+  the whole-workload roofline floor
+  (:func:`~repro.core.roofline.schedule_floor`) cuts the remaining shrink
+  chain, the *per-budget* floor
+  (:func:`~repro.core.roofline.budget_schedule_floor`) prunes a dominated
+  shrink iteration before either stage runs, and (speculative mode only)
+  the plan-level floor
+  (:meth:`~repro.core.eval_context.PlanEvaluationContext.cost_floor`) skips
+  a stage-2 refinement that provably cannot win.
+
+With ``REPRO_LFA_BATCH>=1`` on top of the pipeline, stage 1 itself goes
+parallel: it runs parent-side and fans each speculative move window across
+the pool workers not holding stage 2 (see
+:meth:`~repro.core.lfa_stage.LFAStage.explore`).  Trajectories are
+bit-identical for any batch size x worker count.
 """
 
 from __future__ import annotations
 
 import atexit
 import math
+import multiprocessing
+import os
 import random
 import time
 from dataclasses import dataclass
@@ -46,9 +60,9 @@ from repro.core.knobs import read_flag
 from repro.core.dlsa_stage import DLSAStage, Stage2Task, run_stage2_task
 from repro.core.double_buffer import double_buffer_dlsa
 from repro.core.evaluator import ScheduleEvaluator
-from repro.core.lfa_stage import LFAStage, Stage1Task, run_stage1_task
+from repro.core.lfa_stage import LFAStage, Stage1Task, lfa_batch_size, run_stage1_task
 from repro.core.result import SoMaResult, StageResult
-from repro.core.roofline import schedule_floor
+from repro.core.roofline import budget_schedule_floor, schedule_floor
 from repro.errors import SchedulingError
 from repro.notation.parser import parse_lfa_cached
 from repro.workloads.graph import WorkloadGraph
@@ -75,9 +89,16 @@ def alloc_workers() -> int:
     Returns 0 (in-process execution) unless the knob requests at least two
     workers — one worker cannot overlap the stages, so the pool would only
     add pickling overhead.  Inside a :class:`PersistentPool` worker process
-    the answer is always 0: a pool task must never spawn a nested pool.
+    the answer is always 0: a pool task must never spawn a nested pool.  The
+    same holds for any daemonic child (e.g. a ``multiprocessing.Pool``
+    worker running a restart chain): it cannot spawn processes of its own,
+    and a pool inherited over ``fork`` shares its pipes with the parent's
+    pump threads, so submitting to it from the child cross-wires replies
+    between the two processes and deadlocks both.
     """
     if read_flag(POOL_WORKER_ENV, default=False):
+        return 0
+    if multiprocessing.current_process().daemon:
         return 0
     value = parse_env_int(ALLOC_WORKERS_ENV, "running the stage pipeline in-process")
     if value is None or value < 2:
@@ -86,13 +107,20 @@ def alloc_workers() -> int:
 
 
 # One shared pool per worker count, kept warm across schedule calls exactly
-# like the serving layer's pool; closed at interpreter exit.
+# like the serving layer's pool; closed at interpreter exit.  The cache is
+# pid-stamped: after a fork the inherited entries wrap pipes owned by the
+# parent's pump threads, so the child must never submit to (or close) them.
 _POOLS: dict[int, Any] = {}
+_POOLS_PID = os.getpid()
 
 
 def _allocator_pool(workers: int):
     from repro.experiments.parallel import PersistentPool  # lazy: import cycle
 
+    global _POOLS_PID
+    if _POOLS_PID != os.getpid():
+        _POOLS.clear()  # inherited handles belong to the parent: drop, don't close
+        _POOLS_PID = os.getpid()
     pool = _POOLS.get(workers)
     if pool is None:
         pool = PersistentPool(workers)
@@ -102,6 +130,9 @@ def _allocator_pool(workers: int):
 
 @atexit.register
 def _close_pools() -> None:
+    if _POOLS_PID != os.getpid():
+        _POOLS.clear()  # forked child: the parent owns these workers
+        return
     for pool in _POOLS.values():
         pool.close()
     _POOLS.clear()
@@ -156,7 +187,12 @@ class BufferAllocator:
         self._lfa_stage = LFAStage(graph, evaluator, config)
         self._dlsa_stage = DLSAStage(evaluator, config)
 
-    def run(self, rng: random.Random, seed: int | None = None) -> SoMaResult:
+    def run(
+        self,
+        rng: random.Random,
+        seed: int | None = None,
+        fanout_workers: int | None = None,
+    ) -> SoMaResult:
         """Run the full SoMa exploration and return the best scheme.
 
         ``seed`` is the resolved base seed of this schedule call; it drives
@@ -164,9 +200,13 @@ class BufferAllocator:
         seed, or with ``REPRO_STAGE_PIPELINE`` off (the default), the
         exploration runs serially on ``rng`` — bit-identical to the
         historical trajectory.
+
+        ``fanout_workers`` overrides ``REPRO_ALLOC_WORKERS`` for this one
+        call (the serving layer grants a cold request the pool's idle
+        capacity); it changes only where tasks run, never the placements.
         """
         if seed is not None and stage_pipeline_enabled():
-            return self._run_pipelined(seed)
+            return self._run_pipelined(seed, fanout_workers)
         return self._run_serial(rng)
 
     # ----------------------------------------------------------------- serial
@@ -211,7 +251,7 @@ class BufferAllocator:
         return self._finish(best, history, start_time)
 
     # -------------------------------------------------------------- pipelined
-    def _run_pipelined(self, seed: int) -> SoMaResult:
+    def _run_pipelined(self, seed: int, fanout_workers: int | None = None) -> SoMaResult:
         from repro.experiments.parallel import derive_seed  # lazy: import cycle
 
         config = self._config
@@ -221,17 +261,46 @@ class BufferAllocator:
         max_iters = config.max_allocator_iterations
         start_time = time.perf_counter()  # repro: lint-ok[determinism] reporting only
 
-        workers = alloc_workers()
+        if fanout_workers is None:
+            workers = alloc_workers()
+        elif (
+            read_flag(POOL_WORKER_ENV, default=False)
+            or multiprocessing.current_process().daemon
+            or int(fanout_workers) < 2
+        ):
+            workers = 0
+        else:
+            workers = int(fanout_workers)
+        # Resolved once, parent-side, and carried inside every Stage1Task:
+        # a long-lived pool worker's inherited REPRO_LFA_BATCH may be stale,
+        # and which stage-1 walk runs changes the trajectory.
+        lfa_batch = lfa_batch_size()
+        speculative = lfa_batch >= 1
         if workers >= 2:
             pool = _allocator_pool(workers)
 
-            # Pinning each stage to its own worker keeps that worker's caches
-            # hot for the whole chain *and* guarantees the two stages overlap.
-            def submit1(task: Stage1Task):
-                return pool.submit(run_stage1_task, task, worker=0)
+            if speculative:
+                # Speculative stage 1 runs parent-side and fans each move
+                # window across all workers but the last, which holds stage 2
+                # (the stage-1 walk dominates the schedule, so intra-stage
+                # parallelism beats the two-worker stage overlap).
+                eval_workers = tuple(range(workers - 1))
 
-            def submit2(task: Stage2Task):
-                return pool.submit(run_stage2_task, task, worker=1)
+                def submit1(task: Stage1Task):
+                    return _LazyFuture(self._speculative_stage1, (task, pool, eval_workers))
+
+                def submit2(task: Stage2Task):
+                    return pool.submit(run_stage2_task, task, worker=workers - 1)
+
+            else:
+                # Pinning each stage to its own worker keeps that worker's
+                # caches hot for the whole chain *and* guarantees the two
+                # stages overlap.
+                def submit1(task: Stage1Task):
+                    return pool.submit(run_stage1_task, task, worker=0)
+
+                def submit2(task: Stage2Task):
+                    return pool.submit(run_stage2_task, task, worker=1)
 
         else:
 
@@ -248,11 +317,16 @@ class BufferAllocator:
                 graph=graph,
                 budget=budget,
                 seed=derive_seed(seed, "soma-pipe", index, "lfa"),
+                lfa_batch=lfa_batch,
             )
 
         floor_cost = schedule_floor(graph, accelerator, config)
 
+        def budget_floor(budget: int) -> float:
+            return budget_schedule_floor(graph, accelerator, config, budget)
+
         budgets = [gbuf_bytes]
+        floors = [budget_floor(gbuf_bytes)]
         s1_futures = [submit1(stage1_task(0, gbuf_bytes))]
 
         best: _IterationOutcome | None = None
@@ -262,6 +336,20 @@ class BufferAllocator:
 
         i = 0
         while i < len(budgets):
+            # Per-budget branch-and-bound: even a roofline-perfect schedule
+            # fitting this iteration's budget cannot beat the incumbent, so
+            # neither stage runs (the lazy stage-1 future is never forced).
+            # A finite incumbent implies a feasible stage 1 has already been
+            # folded, so the peak is captured and the chain fully unrolled —
+            # pruning never starves the budget extension below.
+            if best is not None and math.isfinite(best.cost) and floors[i] >= best.cost:
+                history.append(math.inf)
+                non_improving += 1
+                if non_improving >= config.allocator_patience:
+                    break
+                i += 1
+                continue
+
             stage1 = s1_futures[i].result().stage_result
             if buffer_peak is None and stage1.feasible:
                 buffer_peak = max(1, stage1.evaluation.max_buffer_bytes)
@@ -279,12 +367,14 @@ class BufferAllocator:
                     if next_budget <= 0:
                         break
                     budgets.append(next_budget)
+                    floors.append(budget_floor(next_budget))
             elif len(budgets) == i + 1 and len(budgets) < max_iters:
                 next_budget = int(
                     budgets[-1] - config.buffer_shrink_fraction * gbuf_bytes
                 )
                 if next_budget > 0:
                     budgets.append(next_budget)
+                    floors.append(budget_floor(next_budget))
             while len(s1_futures) < len(budgets):
                 index = len(s1_futures)
                 s1_futures.append(submit1(stage1_task(index, budgets[index])))
@@ -300,6 +390,17 @@ class BufferAllocator:
                 # of this budget split cannot beat the incumbent, so the
                 # stage-2 task is never forced and the iteration only counts
                 # against the patience.
+                outcome = _IterationOutcome(
+                    stage1=stage1, stage2=stage1, stage1_budget=budgets[i], cost=math.inf
+                )
+            elif speculative and best is not None and self._plan_floor(
+                stage1.encoding.lfa
+            ) >= best.cost:
+                # Plan-level cutoff (exact): a DLSA only re-times this plan's
+                # fixed tiles and tensors, so neither the stage-2 refinement
+                # nor the stage-1 fallback evaluation can beat the incumbent.
+                # Guarded to speculative mode, where the stage-1 plan is
+                # already warm parent-side, so the bound is nearly free.
                 outcome = _IterationOutcome(
                     stage1=stage1, stage2=stage1, stage1_budget=budgets[i], cost=math.inf
                 )
@@ -341,6 +442,31 @@ class BufferAllocator:
         return self._finish(best, history, start_time)
 
     # ---------------------------------------------------------------- internal
+    def _speculative_stage1(self, spec) -> Any:
+        """Run one stage-1 task parent-side, fanning move windows to the pool.
+
+        The allocator's own stage keeps its cost memo and evaluation context
+        warm across the shrink chain; only the window's memo misses travel
+        to the workers.  Pure evaluations — bit-identical to the in-process
+        and single-worker shapes.
+        """
+        task, pool, eval_workers = spec
+        return self._lfa_stage.explore(
+            task.budget,
+            random.Random(task.seed),
+            pool=pool,
+            pool_workers=eval_workers,
+            batch_size=task.lfa_batch,
+        )
+
+    def _plan_floor(self, lfa) -> float:
+        """Lower bound on any stage-2 refinement of one stage-1 scheme."""
+        plan = parse_lfa_cached(self._graph, lfa)
+        if not plan.feasible:
+            return math.inf
+        context = self._evaluator.context(plan)
+        return context.cost_floor(self._config.objective)
+
     def _finish(
         self,
         best: _IterationOutcome | None,

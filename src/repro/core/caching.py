@@ -351,6 +351,28 @@ def collect_search_cache_stats(graph, evaluator=None) -> dict[str, dict]:
         "rebase_reuse": reuse,
         "rebased_segments": rebased,
     }
+    # Stage-1 speculation is not an LRU either; in the same spirit a
+    # committed speculative move is a hit and a rolled-back one a miss.
+    # The raw counters (including where the candidate evaluations ran —
+    # pool workers vs in-process) ride along for programmatic consumers.
+    from repro.core.lfa_stage import speculation_stats
+
+    spec = speculation_stats(graph)
+    committed = spec["committed"]
+    rolled_back = spec["rolled_back"]
+    decided = committed + rolled_back
+    stats["speculation"] = {
+        "size": 0,
+        "maxsize": 0,
+        "hits": committed,
+        "misses": rolled_back,
+        "hit_rate": committed / decided if decided else 0.0,
+        "proposed": spec["proposed"],
+        "committed": committed,
+        "rolled_back": rolled_back,
+        "pool_evaluations": spec["pool_evaluations"],
+        "inprocess_evaluations": spec["inprocess_evaluations"],
+    }
     if evaluator is not None:
         stats.update(evaluator.cache_stats())
     return stats
@@ -369,7 +391,18 @@ def cache_stats_delta(before: dict[str, dict], after: dict[str, dict]) -> dict[s
     for name, entry in after.items():
         base = before.get(name, {})
         row = dict(entry)
-        for field in ("hits", "misses", "evaluations", "rebase_reuse", "rebased_segments"):
+        for field in (
+            "hits",
+            "misses",
+            "evaluations",
+            "rebase_reuse",
+            "rebased_segments",
+            "proposed",
+            "committed",
+            "rolled_back",
+            "pool_evaluations",
+            "inprocess_evaluations",
+        ):
             if field in row:
                 row[field] = row[field] - base.get(field, 0)
         total = row.get("hits", 0) + row.get("misses", 0)

@@ -84,6 +84,12 @@ class CoreArrayMapper:
 
     # ---------------------------------------------------------------- internal
     def _cache_key(self, layer: Layer, tiling: LayerTiling) -> tuple:
+        # Every tiling-derived quantity the evaluators read must be part of
+        # the key: two tiles with equal output shape can still differ in
+        # ifmap bytes (boundary halo clamping depends on where the tile sits
+        # in its feature map), and a mapper shared across graphs — the
+        # pipelined stage-2 evaluator cache — would otherwise hand one
+        # layer's GBUF traffic to the other's identically-shaped tile.
         out = tiling.out_tile
         return (
             layer.op_type,
@@ -100,6 +106,10 @@ class CoreArrayMapper:
             out.channels,
             out.height,
             out.width,
+            tiling.ifmap_tile_bytes,
+            tiling.ofmap_tile_bytes,
+            tiling.macs_per_tile,
+            tiling.vector_ops_per_tile,
         )
 
     def _evaluate_pe_tile(self, layer: Layer, tiling: LayerTiling) -> TileCost:

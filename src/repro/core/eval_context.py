@@ -223,6 +223,21 @@ class PlanEvaluationContext:
             self._double_buffer = double_buffer_dlsa(self.plan)
         return self._double_buffer
 
+    def cost_floor(self, objective) -> float:
+        """A lower bound on ``objective`` over every DLSA of this plan.
+
+        A DLSA only re-times the plan's fixed tiles and DRAM tensors, so
+        energy is the plan constant ``core_energy_j + dram_energy_j`` and
+        latency can never beat either resource's serial sum (the compute
+        pipe must run every tile, the DRAM channel must move every tensor).
+        The pipelined Buffer Allocator uses this to skip a stage-2
+        refinement whose plan provably cannot beat the incumbent.
+        """
+        return objective(
+            self.core_energy_j + self.dram_energy_j,
+            max(self.compute_time_sum_s, self.dram_time_sum_s),
+        )
+
     def evaluate(
         self,
         dlsa: DLSA,

@@ -124,6 +124,11 @@ _register(Knob("REPRO_STAGE1_CACHE", "int", "4096",
 _register(Knob("REPRO_DLSA_BATCH", "int", "32",
                "candidate moves proposed and scored per batched DLSA step "
                "(1 = serial; any value is bit-identical)"))
+_register(Knob("REPRO_LFA_BATCH", "int", "0",
+               "speculative LFA moves proposed per batched stage-1 step "
+               "(unset/0 = the historical serial walk, exactly; enabling "
+               "changes the trajectory deterministically, and any batch "
+               "size x worker count is bit-identical)"))
 _register(Knob("REPRO_ROOFLINE_PREFILTER", "flag", "1",
                "roofline lower-bound pruning of provably-rejected moves "
                "before co-sim (0 disables; trajectories identical either way)"))

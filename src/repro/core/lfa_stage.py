@@ -20,14 +20,17 @@ from __future__ import annotations
 
 import math
 import random
+import warnings
+import weakref
 from dataclasses import dataclass
 
 from repro.core.caching import LRUCache, cache_size
 from repro.core.config import SoMaConfig
 from repro.core.evaluator import ScheduleEvaluator
+from repro.core.knobs import read_int
 from repro.core.result import EvaluationResult, StageResult
 from repro.core.sa import SimulatedAnnealing
-from repro.errors import EncodingError
+from repro.errors import EncodingError, WorkerCrashError
 from repro.notation.encoding import ScheduleEncoding
 from repro.notation.lfa import LFA, LFADelta
 from repro.hardware.accelerator import AcceleratorConfig
@@ -37,6 +40,33 @@ from repro.workloads.graph import WorkloadGraph
 
 _MAX_TILING_NUMBER = 4096
 
+LFA_BATCH_ENV = "REPRO_LFA_BATCH"
+
+
+def lfa_batch_size() -> int:
+    """Speculation window of the batched stage-1 engine (``REPRO_LFA_BATCH``).
+
+    Unset (or 0) keeps the historical serial walk — the lazy-draw Metropolis
+    loop, bit-identical to every earlier release.  Any value >= 1 switches
+    stage 1 to the draw-ahead batched engine
+    (:meth:`~repro.core.sa.SimulatedAnnealing.run_batched`): the trajectory
+    changes once, deterministically, and is then invariant in both the batch
+    size and the worker count (``batch 1`` in-process *is* the speculative
+    reference walk).
+    """
+    value = read_int(LFA_BATCH_ENV, "running the historical serial stage-1 walk")
+    if value is None:
+        return 0
+    if value < 0:
+        warnings.warn(
+            f"ignoring negative {LFA_BATCH_ENV}={value}; "
+            "running the historical serial stage-1 walk",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 0
+    return value
+
 
 @dataclass(frozen=True)
 class LFAMove:
@@ -44,6 +74,11 @@ class LFAMove:
 
     lfa: LFA
     delta: LFADelta
+
+
+def _apply_lfa_move(_state: LFA, move: LFAMove) -> LFA:
+    """``apply_fn`` of the batched engine: a move already carries its LFA."""
+    return move.lfa
 
 
 # --------------------------------------------------------------------- helpers
@@ -269,6 +304,42 @@ LFA_OPERATORS = (
 LFA_OPERATOR_WEIGHTS = (1.0, 2.0, 1.0, 1.5, 1.0, 2.5)
 
 
+# Per-graph counters of the speculative stage-1 engine: how many candidate
+# moves were scored ahead of the walk, how many of those the walk committed
+# or rolled back, and where the scoring ran.  Surfaced through
+# ``--cache-stats`` (the ``speculation`` row).
+_SPECULATION_COUNTERS: "weakref.WeakKeyDictionary[WorkloadGraph, tuple[int, dict]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _speculation_counters(graph: WorkloadGraph) -> dict:
+    # Key by the canonical instance: an in-process stage-1 task folds its
+    # counters through the module-cached stage (built on the canonical
+    # graph), while observers pass whatever copy they hold — both must hit
+    # the same row.
+    graph = canonical_graph(graph)
+    entry = _SPECULATION_COUNTERS.get(graph)
+    if entry is None or entry[0] != graph.version:
+        entry = (
+            graph.version,
+            {
+                "proposed": 0,
+                "committed": 0,
+                "rolled_back": 0,
+                "pool_evaluations": 0,
+                "inprocess_evaluations": 0,
+            },
+        )
+        _SPECULATION_COUNTERS[graph] = entry
+    return entry[1]
+
+
+def speculation_stats(graph: WorkloadGraph) -> dict:
+    """Stage-1 speculation counters of one graph (for ``--cache-stats``)."""
+    return dict(_speculation_counters(graph))
+
+
 # ----------------------------------------------------------------------- stage
 @dataclass(frozen=True)
 class LFAStageOutcome:
@@ -301,16 +372,60 @@ class LFAStage:
         self._pending: tuple[LFA, LFADelta] | None = None
 
     # ------------------------------------------------------------------ public
-    def explore(self, buffer_budget_bytes: int, rng: random.Random) -> LFAStageOutcome:
-        """Run stage 1 under the given buffer budget."""
+    def explore(
+        self,
+        buffer_budget_bytes: int,
+        rng: random.Random,
+        pool=None,
+        pool_workers: tuple[int, ...] = (),
+        batch_size: int | None = None,
+    ) -> LFAStageOutcome:
+        """Run stage 1 under the given buffer budget.
+
+        With a speculation window of at least 1 (``batch_size``, defaulting
+        to ``REPRO_LFA_BATCH``) the annealer speculates move batches
+        through the draw-ahead protocol; the segment assembly + static-cost
+        evaluation of one window's memo misses fans out across the given
+        ``pool`` slots (``pool_workers``) as pure :class:`SpeculationTask`
+        chunks, or runs in-process when no pool is given.  Placement never
+        changes the floats, so every batch size x worker count takes the
+        same trajectory.  Without the knob, the historical serial walk runs
+        — bit-identical to every earlier release.
+
+        Pipelined callers must resolve the knob themselves and pass
+        ``batch_size`` explicitly: a :class:`Stage1Task` may execute on a
+        long-lived pool worker whose inherited environment predates the
+        submitting process's current knob settings, and the walk the task
+        runs is part of its purity contract.
+        """
         start_lfa = initial_lfa(self._graph, self._evaluator.accelerator.core_array.kc_parallel_lanes)
-        outcome = self._annealer.run(
-            initial_state=start_lfa,
-            cost_fn=lambda lfa: self.cost(lfa, buffer_budget_bytes),
-            neighbor_fn=self._neighbor,
-            rng=rng,
-            units=len(self._graph),
-        )
+        if batch_size is None:
+            batch_size = lfa_batch_size()
+        if batch_size >= 1:
+            outcome = self._annealer.run_batched(
+                initial_state=start_lfa,
+                cost_fn=lambda lfa: self.cost(lfa, buffer_budget_bytes),
+                propose_fn=self._propose,
+                apply_fn=_apply_lfa_move,
+                batch_eval_fn=self._batch_eval_fn(
+                    buffer_budget_bytes, pool, tuple(pool_workers)
+                ),
+                rng=rng,
+                units=len(self._graph),
+                batch_size=batch_size,
+            )
+            counters = _speculation_counters(self._graph)
+            counters["proposed"] += outcome.speculated_moves
+            counters["committed"] += outcome.accepted_moves
+            counters["rolled_back"] += outcome.rolled_back_moves
+        else:
+            outcome = self._annealer.run(
+                initial_state=start_lfa,
+                cost_fn=lambda lfa: self.cost(lfa, buffer_budget_bytes),
+                neighbor_fn=self._neighbor,
+                rng=rng,
+                units=len(self._graph),
+            )
         evaluation = self.evaluate(outcome.best_state, buffer_budget_bytes)
         stage_result = StageResult(
             encoding=ScheduleEncoding(lfa=outcome.best_state, dlsa=None),
@@ -338,14 +453,15 @@ class LFAStage:
         context = self._evaluator.context(plan)
         return context.evaluate(context.double_buffer, buffer_budget_bytes)
 
-    def cost(self, lfa: LFA, buffer_budget_bytes: int) -> float:
+    def cost(
+        self, lfa: LFA, buffer_budget_bytes: int, delta: LFADelta | None = None
+    ) -> float:
         """Stage-1 cost: the objective, with a soft penalty for buffer overflow."""
         memo_key = (lfa.fingerprint(), buffer_budget_bytes)
         cached = self._cost_memo.get(memo_key)
         if cached is not None:
             return cached
-        delta = None
-        if self._pending is not None and self._pending[0] is lfa:
+        if delta is None and self._pending is not None and self._pending[0] is lfa:
             delta = self._pending[1]
             self._pending = None
         try:
@@ -367,6 +483,14 @@ class LFAStage:
         return cost
 
     def _neighbor(self, lfa: LFA, rng: random.Random) -> LFA | None:
+        move = self._propose(lfa, rng)
+        if move is None:
+            return None
+        self._pending = (move.lfa, move.delta)
+        return move.lfa
+
+    def _propose(self, lfa: LFA, rng: random.Random) -> LFAMove | None:
+        """One weighted operator move (the batched engine's ``propose_fn``)."""
         operators = list(LFA_OPERATORS)
         weights = list(LFA_OPERATOR_WEIGHTS)
         while operators:
@@ -375,9 +499,84 @@ class LFAStage:
             weights.pop(index)
             move = operator(lfa, self._graph, rng)
             if move is not None:
-                self._pending = (move.lfa, move.delta)
-                return move.lfa
+                return move
         return None
+
+    def _batch_eval_fn(self, budget: int, pool, pool_workers: tuple[int, ...]):
+        def batch_eval(_state, moves, _thresholds):
+            return self._evaluate_moves(list(moves), budget, pool, pool_workers)
+
+        return batch_eval
+
+    def _evaluate_moves(
+        self, moves: list[LFAMove], budget: int, pool, pool_workers: tuple[int, ...]
+    ) -> list[float]:
+        """Score one speculation window, fanning memo misses across the pool.
+
+        Every evaluation is a pure function of (graph, LFA, budget), so pool
+        and in-process scoring return the identical floats; the pool only
+        changes wall clock.  A window with fewer than two misses (or no
+        pool) is scored in-process — one evaluation cannot amortise a task
+        round-trip.
+        """
+        counters = _speculation_counters(self._graph)
+        costs: list[float] = [math.inf] * len(moves)
+        misses: list[int] = []
+        for index, move in enumerate(moves):
+            cached = self._cost_memo.get((move.lfa.fingerprint(), budget))
+            if cached is not None:
+                costs[index] = cached
+            else:
+                misses.append(index)
+        if pool is not None and pool_workers and len(misses) >= 2:
+            if self._fan_out(moves, costs, misses, budget, pool, pool_workers):
+                counters["pool_evaluations"] += len(misses)
+                return costs
+        for index in misses:
+            move = moves[index]
+            costs[index] = self.cost(move.lfa, budget, delta=move.delta)
+        counters["inprocess_evaluations"] += len(misses)
+        return costs
+
+    def _fan_out(
+        self,
+        moves: list[LFAMove],
+        costs: list[float],
+        misses: list[int],
+        budget: int,
+        pool,
+        pool_workers: tuple[int, ...],
+    ) -> bool:
+        """Score ``misses`` as chunked pool tasks; False on a worker crash.
+
+        One task per worker carries that worker's whole chunk of the window,
+        so the graph pickles once per (worker, window) instead of once per
+        candidate.  On a crash the pool respawns the worker and the caller
+        falls back to in-process scoring — pure evaluations, identical
+        floats, so the trajectory is unaffected.
+        """
+        chunks = [misses[start :: len(pool_workers)] for start in range(len(pool_workers))]
+        chunks = [chunk for chunk in chunks if chunk]
+        futures = []
+        for worker, chunk in zip(pool_workers, chunks):
+            task = SpeculationTask(
+                accelerator=self._evaluator.accelerator,
+                config=self._config,
+                graph=self._graph,
+                budget=budget,
+                moves=tuple(moves[index] for index in chunk),
+            )
+            futures.append(pool.submit(run_speculation_task, task, worker=worker))
+        try:
+            for chunk, future in zip(chunks, futures):
+                for index, value in zip(chunk, future.result()):
+                    costs[index] = value
+                    self._cost_memo.put(
+                        (moves[index].lfa.fingerprint(), budget), value
+                    )
+        except WorkerCrashError:
+            return False
+        return True
 
 
 # ------------------------------------------------------- pipelined stage tasks
@@ -411,7 +610,11 @@ class Stage1Task:
 
     A task is a pure function of its fields — graph, configuration, buffer
     budget and seed — so running it in-process or on any pool worker yields
-    the same :class:`LFAStageOutcome` bit for bit.
+    the same :class:`LFAStageOutcome` bit for bit.  ``lfa_batch`` pins the
+    stage-1 walk (0 = serial, >=1 = speculative window) at submission time:
+    a pool worker's inherited ``REPRO_LFA_BATCH`` may be stale, and which
+    walk runs changes the trajectory, so it must be task state, not
+    worker-environment state.
     """
 
     accelerator: AcceleratorConfig
@@ -419,21 +622,57 @@ class Stage1Task:
     graph: WorkloadGraph
     budget: int
     seed: int
+    lfa_batch: int = 0
 
 
-def run_stage1_task(task: Stage1Task) -> LFAStageOutcome:
-    """Module-level (hence picklable) runner for :class:`Stage1Task`.
+def _worker_stage(accelerator: AcceleratorConfig, graph: WorkloadGraph, config: SoMaConfig) -> LFAStage:
+    """The per-process warm :class:`LFAStage` for one (accelerator, graph, config).
 
     The stage object — and with it the evaluator and the stage-1 cost memo —
-    is cached per (accelerator, graph, config), so the speculative budget
-    chain of one pipelined schedule reuses one warm stage per process.
+    is cached per key, so the speculative budget chain of one pipelined
+    schedule reuses one warm stage per process.
     """
-    graph = canonical_graph(task.graph)
-    key = (task.accelerator, graph.fingerprint(), task.config)
+    graph = canonical_graph(graph)
+    key = (accelerator, graph.fingerprint(), config)
     stage = _STAGE1_STAGES.get(key)
     if stage is None:
         if len(_STAGE1_STAGES) >= _WORKER_CACHE_LIMIT:
             _STAGE1_STAGES.clear()
-        stage = LFAStage(graph, ScheduleEvaluator(task.accelerator), task.config)
+        stage = LFAStage(graph, ScheduleEvaluator(accelerator), config)
         _STAGE1_STAGES[key] = stage
-    return stage.explore(task.budget, random.Random(task.seed))
+    return stage
+
+
+def run_stage1_task(task: Stage1Task) -> LFAStageOutcome:
+    """Module-level (hence picklable) runner for :class:`Stage1Task`."""
+    stage = _worker_stage(task.accelerator, task.graph, task.config)
+    return stage.explore(
+        task.budget, random.Random(task.seed), batch_size=task.lfa_batch
+    )
+
+
+@dataclass(frozen=True)
+class SpeculationTask:
+    """One worker's chunk of a speculative stage-1 move window.
+
+    A task is a pure function of its fields — the moves' LFAs, the budget,
+    the graph and the configuration fully determine the returned costs — so
+    scoring it on any pool worker (or in-process) yields the same floats bit
+    for bit; the deltas only let the worker's segment assembler reuse cached
+    segments.  One task carries a whole chunk of the window so the graph
+    pickles once per (worker, window) instead of once per candidate.
+    """
+
+    accelerator: AcceleratorConfig
+    config: SoMaConfig
+    graph: WorkloadGraph
+    budget: int
+    moves: tuple[LFAMove, ...]
+
+
+def run_speculation_task(task: SpeculationTask) -> tuple[float, ...]:
+    """Module-level (hence picklable) runner for :class:`SpeculationTask`."""
+    stage = _worker_stage(task.accelerator, task.graph, task.config)
+    return tuple(
+        stage.cost(move.lfa, task.budget, delta=move.delta) for move in task.moves
+    )

@@ -771,3 +771,43 @@ def schedule_floor(graph, accelerator, config) -> float:
         compulsory_bytes
     )
     return config.objective(energy_floor, latency_floor)
+
+
+def budget_schedule_floor(graph, accelerator, config, budget_bytes: int) -> float:
+    """A lower bound on the objective of schedules fitting ``budget_bytes``.
+
+    Extends :func:`schedule_floor` with the *incremental* DRAM traffic a
+    tight stage-1 buffer budget forces: every producer of an untiled
+    dependency whose ofmap no longer fits the budget must round-trip that
+    tensor through DRAM in any schedule whose buffer peak stays within the
+    budget (:func:`repro.notation.segments.forced_spill_profile` derives the
+    thresholds from the segment parser's feasibility and lifetime rules), so
+    those bytes join the compulsory traffic in both the latency and the
+    energy floor.  The floor is monotone non-increasing in ``budget_bytes``
+    and collapses to :func:`schedule_floor` once the budget covers every
+    threshold.  The pipelined Buffer Allocator uses it to prune a shrink
+    iteration before *either* stage runs once the floor reaches the
+    incumbent cost: the bound is exact for every scheme that respects the
+    iteration's budget; stage 1's budget is soft (overflow is penalised,
+    not forbidden), so ``tests/test_pipeline.py`` additionally pins that
+    pruned iterations are exactly those an un-pruned run discards.
+    """
+    from repro.notation.segments import forced_spill_profile  # lazy: layering
+
+    total_macs = graph.total_macs
+    compute_s = total_macs / accelerator.peak_macs_per_s
+    compulsory_bytes = graph.total_weight_bytes + sum(
+        graph.layer(name).ofmap_bytes for name in graph.output_layers()
+    )
+    forced_bytes = sum(
+        spill
+        for threshold, spill in forced_spill_profile(graph)
+        if threshold > budget_bytes
+    )
+    total_bytes = compulsory_bytes + forced_bytes
+    dram_s = accelerator.memory.dram_transfer_seconds(total_bytes)
+    latency_floor = max(compute_s, dram_s)
+    energy_floor = accelerator.energy.mac_energy_j(total_macs) + accelerator.energy.dram_energy_j(
+        total_bytes
+    )
+    return config.objective(energy_floor, latency_floor)

@@ -42,7 +42,14 @@ MoveT = TypeVar("MoveT")
 
 @dataclass(frozen=True)
 class SAOutcome(Generic[StateT]):
-    """Result of one simulated-annealing run."""
+    """Result of one simulated-annealing run.
+
+    ``speculated_moves`` / ``rolled_back_moves`` describe the batched
+    engine's speculation economy: how many candidates were scored ahead of
+    the walk, and how many of those were discarded because an earlier move
+    of their window was accepted.  Both stay 0 on the serial :meth:`run`
+    path (nothing is ever speculative there).
+    """
 
     best_state: StateT
     best_cost: float
@@ -50,6 +57,8 @@ class SAOutcome(Generic[StateT]):
     accepted_moves: int
     improved_moves: int
     cost_trace: tuple[float, ...]
+    speculated_moves: int = 0
+    rolled_back_moves: int = 0
 
 
 class SimulatedAnnealing:
@@ -191,6 +200,8 @@ class SimulatedAnnealing:
         best_cost = current_cost
         accepted = 0
         improved = 0
+        speculated = 0
+        rolled_back = 0
         cost_trace: list[float] = [best_cost] if trace else []
 
         iteration = 0
@@ -210,6 +221,7 @@ class SimulatedAnnealing:
                 )
                 specs.append((move, threshold, rng.getstate()))
             costs = self._score(batch_eval_fn, current_state, specs)
+            speculated += len(costs)
             window_accepted = False
             for offset, (move, threshold, snapshot) in enumerate(specs):
                 iteration += 1
@@ -219,6 +231,7 @@ class SimulatedAnnealing:
                 if candidate_cost <= current_cost or candidate_cost < threshold:
                     accepted += 1
                     window_accepted = True
+                    rolled_back += sum(1 for later in costs if later > offset)
                     rng.setstate(snapshot)
                     current_state = apply_fn(current_state, move)
                     current_cost = candidate_cost
@@ -249,6 +262,7 @@ class SimulatedAnnealing:
                     continue
                 specs.append((move, current_cost, rng.getstate()))
             costs = self._score(batch_eval_fn, current_state, specs)
+            speculated += len(costs)
             window_accepted = False
             for offset, (move, _threshold, snapshot) in enumerate(specs):
                 done += 1
@@ -259,6 +273,7 @@ class SimulatedAnnealing:
                     accepted += 1
                     improved += 1
                     window_accepted = True
+                    rolled_back += sum(1 for later in costs if later > offset)
                     rng.setstate(snapshot)
                     current_state = apply_fn(current_state, move)
                     current_cost = candidate_cost
@@ -278,6 +293,8 @@ class SimulatedAnnealing:
             accepted_moves=accepted,
             improved_moves=improved,
             cost_trace=tuple(cost_trace),
+            speculated_moves=speculated,
+            rolled_back_moves=rolled_back,
         )
 
     # ---------------------------------------------------------------- internal

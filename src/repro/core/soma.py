@@ -35,7 +35,12 @@ class SoMaScheduler:
         self.config = config if config is not None else SoMaConfig()
         self.evaluator = ScheduleEvaluator(accelerator, mapper=mapper)
 
-    def schedule(self, graph: WorkloadGraph, seed: int | None = None) -> SoMaResult:
+    def schedule(
+        self,
+        graph: WorkloadGraph,
+        seed: int | None = None,
+        fanout_workers: int | None = None,
+    ) -> SoMaResult:
         """Explore the DRAM Communication Scheduling Space for ``graph``.
 
         ``seed`` overrides the configuration seed so experiment harnesses can
@@ -43,11 +48,15 @@ class SoMaScheduler:
         allocator alongside the serial RNG: with ``REPRO_STAGE_PIPELINE=1``
         it drives the pipelined mode's derived per-stage streams, otherwise
         only the RNG is consumed (the historical serial trajectory).
+
+        ``fanout_workers`` overrides ``REPRO_ALLOC_WORKERS`` for this one
+        call — the serving layer's idle-pool grant.  It only moves work
+        between processes; the schedule is bit-identical either way.
         """
         resolved_seed = self.config.seed if seed is None else seed
         rng = random.Random(resolved_seed)
         allocator = BufferAllocator(graph, self.evaluator, self.config)
-        return allocator.run(rng, seed=resolved_seed)
+        return allocator.run(rng, seed=resolved_seed, fanout_workers=fanout_workers)
 
     def evaluate_encoding(
         self,

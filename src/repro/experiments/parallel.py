@@ -241,6 +241,7 @@ class _WorkerSlot:
         "generation",
         "crashes",
         "respawns",
+        "inflight",
     )
 
     def __init__(self, index: int) -> None:
@@ -252,6 +253,9 @@ class _WorkerSlot:
         self.generation = 0
         self.crashes = 0
         self.respawns = 0
+        # Queued + running tasks, guarded by the pool's _submit_lock (the
+        # idle_workers() source of truth for the serving fan-out policy).
+        self.inflight = 0
 
 
 class PersistentPool:
@@ -391,7 +395,9 @@ class PersistentPool:
         with self._submit_lock:
             slots = self._ensure_slots()
             index = worker if worker is not None else self._worker_index(affinity)
-            slots[index % self.workers].tasks.put(future)
+            slot = slots[index % self.workers]
+            slot.inflight += 1
+            slot.tasks.put(future)
         return future
 
     def _pump_loop(self, slot: _WorkerSlot) -> None:
@@ -401,7 +407,13 @@ class PersistentPool:
             if item is _STOP:
                 self._stop_worker(slot)
                 return
-            self._run_on_worker(slot, item)
+            try:
+                self._run_on_worker(slot, item)
+            finally:
+                # Every _run_on_worker exit path has resolved or failed the
+                # future by the time it returns, so the slot is idle again.
+                with self._submit_lock:
+                    slot.inflight -= 1
 
     def _run_on_worker(self, slot: _WorkerSlot, future: _PoolFuture) -> None:
         try:
@@ -540,6 +552,25 @@ class PersistentPool:
                 }
                 for slot in slots
             ]
+
+    def idle_workers(self) -> int:
+        """Workers with no queued or in-flight task, counted atomically.
+
+        Computed under the submit lock so the serving layer's idle-pool
+        fan-out policy sees a consistent snapshot: a task counts against its
+        worker from the moment ``submit`` enqueues it until its future is
+        resolved or failed.  A serial pool reports its single in-process
+        pseudo-worker; an unstarted parallel pool is fully idle.  A closed
+        pool reports zero — it can no longer accept work.
+        """
+        with self._submit_lock:
+            if self._closed:
+                return 0
+            if self.workers <= 1:
+                return 1
+            if self._slots is None:
+                return self.workers
+            return sum(1 for slot in self._slots if slot.inflight == 0)
 
     def supervision_stats(self) -> dict:
         """Aggregate crash/respawn counters across all workers."""

@@ -435,6 +435,48 @@ def assembler_stats(graph: WorkloadGraph) -> dict:
     return dict(_assembler_counters(graph))
 
 
+# Per-graph forced-spill profile backing the allocator's per-budget floor:
+# one row per producer with at least one *untiled* consumer dependency.
+_FORCED_SPILL: "weakref.WeakKeyDictionary[WorkloadGraph, tuple[int, tuple]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def forced_spill_profile(graph: WorkloadGraph) -> tuple[tuple[int, int], ...]:
+    """``(ofmap_bytes, forced_dram_bytes)`` rows for budget-forced spills.
+
+    A producer with an *untiled* consumer dependency can never stream that
+    tensor tile by tile: inside one FLG the segment is infeasible unless the
+    tile count is 1 (see the feasibility rule in :func:`parse_segment`), and
+    in every remaining placement the full ofmap is either alive on chip at
+    once (the on-chip lifetime of an untiled or cross-FLG consumer extends
+    to the consumer's last tile) or round-tripped through DRAM (a cross-LG
+    untiled load always moves the whole producer ofmap).  So once a buffer
+    budget drops below the producer's ``ofmap_bytes``, every schedule whose
+    peak fits that budget must spill it: a store plus a reload for an
+    interior producer, just the reload for an output layer (its store is
+    already compulsory traffic).  Rows are sorted by descending threshold;
+    :func:`repro.core.roofline.budget_schedule_floor` charges every row
+    whose threshold exceeds the budget.
+    """
+    entry = _FORCED_SPILL.get(graph)
+    if entry is not None and entry[0] == graph.version:
+        return entry[1]
+    static = _graph_static(graph)
+    untiled_producers = {dep.producer for dep in static.deps if not dep.tiled}
+    outputs = set(graph.output_layers())
+    rows = []
+    for producer in sorted(untiled_producers):
+        ofmap_bytes = static.layers[producer].ofmap_bytes
+        if ofmap_bytes <= 0:
+            continue
+        spill_bytes = ofmap_bytes if producer in outputs else 2 * ofmap_bytes
+        rows.append((ofmap_bytes, spill_bytes))
+    profile = tuple(sorted(rows, reverse=True))
+    _FORCED_SPILL[graph] = (graph.version, profile)
+    return profile
+
+
 # Weak per-graph map of LFA fingerprint → assembled plan: lets delta-driven
 # assembly find the parent plan even when the caller bypasses the plan LRU
 # (plans stay visible here exactly as long as something else keeps them

@@ -169,6 +169,12 @@ class ScheduleResponse:
     worker crash before this response was produced — 0 on the common path,
     and meaningful on both successes (the retry saved the request) and
     failures (the budget was spent in vain).
+
+    ``fanout_workers`` records the idle-pool grant: when the service found
+    the queue empty and every pool worker idle, it ran this request's search
+    with the whole pool fanned out across the schedule's stage-1 candidate
+    batches instead of on a single worker.  0 means the normal one-worker
+    path; the schedule itself is bit-identical either way.
     """
 
     request_id: str
@@ -181,6 +187,7 @@ class ScheduleResponse:
     service_seconds: float = 0.0
     worker_pid: int = 0
     retries: int = 0
+    fanout_workers: int = 0
     cache_stats: dict | None = field(default=None, repr=False)
 
 
@@ -244,6 +251,7 @@ def response_to_payload(response: ScheduleResponse) -> dict:
         "service_seconds": response.service_seconds,
         "worker_pid": response.worker_pid,
         "retries": response.retries,
+        "fanout_workers": response.fanout_workers,
         "cache_stats": response.cache_stats,
     }
 
@@ -264,6 +272,7 @@ def response_from_payload(payload: dict) -> ScheduleResponse:
             service_seconds=payload.get("service_seconds", 0.0),
             worker_pid=payload.get("worker_pid", 0),
             retries=payload.get("retries", 0),
+            fanout_workers=payload.get("fanout_workers", 0),
             cache_stats=payload.get("cache_stats"),
         )
     except KeyError as exc:

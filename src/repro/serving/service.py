@@ -56,6 +56,7 @@ import time
 import warnings
 
 from repro.analysis.schedule_report import build_schedule_report, evaluation_to_payload
+from repro.core.buffer_allocator import stage_pipeline_enabled
 from repro.core.caching import (
     LRUCache,
     SCHEDULE_KEY_SCHEMA,
@@ -250,12 +251,20 @@ def result_payload(result: SoMaResult) -> dict:
     }
 
 
-def _execute_request(request: ScheduleRequest) -> dict:
+def _execute_request(
+    request: ScheduleRequest, fanout_workers: int | None = None
+) -> dict:
     """Run one request in this process, reusing warm state when present.
 
     Module-level function so the persistent pool can pickle it; the reply is
     a plain dictionary (payload, provenance, worker pid, cache-activity
     delta) because responses also need per-request timing from the parent.
+
+    ``fanout_workers`` is the idle-pool grant: a positive value hands the
+    schedule call that many allocator workers for intra-schedule
+    parallelism (speculative stage-1 batches plus the pinned stage-2
+    worker).  ``None`` keeps the environment-resolved default, which inside
+    a pool worker is always in-process execution.
     """
     graph_key = (request.workload, request.batch, request.workload_kwargs)
     graph = _WORKER_GRAPHS.get(graph_key)
@@ -279,7 +288,9 @@ def _execute_request(request: ScheduleRequest) -> dict:
 
     before = collect_search_cache_stats(graph, scheduler.evaluator)
     if request.restarts == 1:
-        result = scheduler.schedule(graph, seed=request.seed)
+        result = scheduler.schedule(
+            graph, seed=request.seed, fanout_workers=fanout_workers
+        )
     else:
         # Pool workers are daemonic and cannot fork grandchildren, so the
         # restart chains of one request always run serially in this worker.
@@ -298,26 +309,33 @@ def _execute_request(request: ScheduleRequest) -> dict:
         "provenance": PROVENANCE_WARM if (graph_warm and scheduler_warm) else PROVENANCE_COLD,
         "pid": os.getpid(),
         "search_seconds": result.search_seconds,
+        "fanout_workers": int(fanout_workers or 0),
         "cache_stats": cache_stats_delta(before, after),
     }
 
 
 def _execute_attempt(task: tuple) -> dict:
-    """Run one (request, attempt) pair, consulting the fault harness first.
+    """Run one (request, attempt[, fanout]) task, fault harness first.
 
     This is the function the dispatcher actually submits to the pool.  The
     attempt number is part of the fault-draw key so a retried request sees a
     *fresh* deterministic draw — otherwise a crash decision would repeat on
-    every retry and the retry budget could never save a request.  Delegates
-    to ``_execute_request`` through the module global so tests that
-    monkeypatch the executor keep working.
+    every retry and the retry budget could never save a request.  The
+    optional third element is the idle-pool fan-out grant (parent-side
+    execution only — it never travels to a pool worker); two-element tasks
+    stay valid so tests that monkeypatch the executor keep working.
+    Delegates to ``_execute_request`` through the module global for the
+    same reason.
     """
-    request, attempt = task
+    request, attempt, *rest = task
     plan = active_fault_plan()
     if plan is not None:
         plan.apply(
             (request.workload, request.platform, request.seed, request.request_id, attempt)
         )
+    if rest and rest[0]:
+        return _execute_request(request, fanout_workers=rest[0])
+    # Plain single-argument call so monkeypatched executors keep working.
     return _execute_request(request)
 
 
@@ -576,6 +594,7 @@ class _PendingResponse:
                     service_seconds=elapsed,
                     worker_pid=reply["pid"],
                     retries=entry.retries,
+                    fanout_workers=reply.get("fanout_workers", 0),
                     cache_stats=reply["cache_stats"] if self._leader else None,
                 )
             )
@@ -643,6 +662,10 @@ class ScheduleService:
             for _ in range(self.workers)
         ]
         self._degraded_lock = threading.Lock()
+        # At most one idle-pool fan-out runs at a time (it claims every
+        # worker); contenders fall back to the normal one-worker path.
+        self._fanout_lock = threading.Lock()
+        self._fanout_grants = 0
         self._faults = {
             "worker_crashes": 0,
             "timeouts": 0,
@@ -784,6 +807,7 @@ class ScheduleService:
         """Serving counters, queue/memo state and worker-cache statistics."""
         depth = len(self._queue)
         pool = self._pool.supervision_stats()
+        idle = self._pool.idle_workers()
         plan = active_fault_plan()
         now = time.monotonic()
         with self._lock:
@@ -791,6 +815,11 @@ class ScheduleService:
                 "workers": self.workers,
                 "requests": self._requests,
                 "provenance": dict(self._counters),
+                "fanout": {
+                    "idle_workers": idle,
+                    "grants": self._fanout_grants,
+                    "enabled": stage_pipeline_enabled() and self.workers >= 2,
+                },
                 "queue": {
                     "depth": depth,
                     "maxsize": self._queue.maxsize,
@@ -1051,13 +1080,47 @@ class ScheduleService:
                     return index
         return None
 
+    def _fanout_grant(self, entry: _QueueEntry) -> int:
+        """Idle-pool policy: how many workers this request may fan out to.
+
+        A cold request arriving at an otherwise quiet service gets the
+        whole pool for intra-schedule parallelism instead of one warm
+        worker.  The grant requires ``REPRO_STAGE_PIPELINE=1`` (the
+        schedule is bit-identical either way, but the knob keeps the
+        default serving path byte-for-byte the historical one), at least
+        two workers, a single-restart request (restart chains already fan
+        out across restarts), an empty admission queue and a fully idle
+        pool — under any load, per-request worker affinity wins.
+        """
+        if self.workers < 2 or entry.request.restarts != 1:
+            return 0
+        if not stage_pipeline_enabled():
+            return 0
+        if len(self._queue) > 0:
+            return 0
+        if self._pool.idle_workers() < self.workers:
+            return 0
+        return self.workers
+
     def _execute_routed(self, entry: _QueueEntry, attempt: int) -> dict:
         """Run one attempt on a breaker-approved worker (or in-process).
 
         The pool-side ``timeout`` is the request's remaining deadline, so a
         runaway search is killed (and its worker respawned) the moment it
-        can no longer produce a useful answer.
+        can no longer produce a useful answer.  When the idle-pool policy
+        grants a fan-out, the attempt runs parent-side (like the degraded
+        path) so the allocator can drive its stage pool directly; the
+        fan-out lock is try-acquired, so a racing second request simply
+        takes the normal one-worker path.
         """
+        fanout = self._fanout_grant(entry)
+        if fanout and self._fanout_lock.acquire(blocking=False):
+            try:
+                with self._lock:
+                    self._fanout_grants += 1
+                return _execute_attempt((entry.request, attempt, fanout))
+            finally:
+                self._fanout_lock.release()
         task = (entry.request, attempt)
         timeout = None
         if entry.deadline is not None:
@@ -1112,7 +1175,16 @@ class ScheduleService:
                     row = self._worker_cache_totals.setdefault(
                         name, {"hits": 0, "misses": 0, "size": 0, "maxsize": 0}
                     )
-                    for field in ("hits", "misses", "evaluations"):
+                    for field in (
+                        "hits",
+                        "misses",
+                        "evaluations",
+                        "proposed",
+                        "committed",
+                        "rolled_back",
+                        "pool_evaluations",
+                        "inprocess_evaluations",
+                    ):
                         if field in stats_entry:
                             row[field] = row.get(field, 0) + stats_entry[field]
                     row["size"] = stats_entry["size"]

@@ -124,3 +124,32 @@ def test_depthwise_and_matmul_have_no_weight_reuse_blocking(tiny_accelerator):
         tilings["dw"].ifmap_tile_bytes + tilings["dw"].ofmap_tile_bytes + layer.weight_bytes
     )
     assert cost.gbuf_traffic_bytes == pytest.approx(expected_traffic)
+
+
+def test_tile_cache_distinguishes_equal_output_shapes_with_different_halos(tiny_accelerator):
+    """Equal out-tiles from different feature maps must not share a memo slot.
+
+    Both convs are 16->32, 3x3, stride 2 with an 8x8 output, but the 16x16
+    and 15x15 inputs leave the tiles with different ifmap halo bytes.  A
+    mapper shared across graphs (the pipelined stage-2 evaluator cache)
+    must return the same costs a fresh mapper would.
+    """
+
+    def build(size):
+        builder = GraphBuilder(f"halo{size}", batch=1)
+        a = builder.conv("pre", [], 16, kernel=1, input_shape=(3, size, size))
+        builder.conv("conv", [a], 32, kernel=3, stride=2)
+        return builder.build()
+
+    costs = {}
+    shared = CoreArrayMapper(tiny_accelerator)
+    for size in (16, 15):
+        graph = build(size)
+        tiling = tile_flg(graph, ["conv"], 1)["conv"]
+        layer = graph.layer("conv")
+        assert tiling.out_tile.height == tiling.out_tile.width == 8
+        shared_cost = shared.evaluate_tile(layer, tiling)
+        fresh_cost = CoreArrayMapper(tiny_accelerator).evaluate_tile(layer, tiling)
+        assert shared_cost == fresh_cost
+        costs[size] = shared_cost
+    assert costs[16].gbuf_traffic_bytes != costs[15].gbuf_traffic_bytes

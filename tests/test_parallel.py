@@ -295,6 +295,16 @@ def _sleep_briefly(seconds: float) -> float:
     return seconds
 
 
+def _touch_then_wait_for(paths: tuple) -> str:
+    started, release = paths
+    with open(started, "w") as handle:
+        handle.write("running")
+    deadline = time.monotonic() + 60
+    while not os.path.exists(release) and time.monotonic() < deadline:
+        time.sleep(0.01)
+    return "released"
+
+
 def test_worker_kill9_raises_within_bounded_interval_instead_of_hanging(tmp_path):
     """The no-hang property: ``kill -9`` on a busy worker fails its future
     with a typed :class:`WorkerCrashError` within a bounded interval, and the
@@ -387,6 +397,42 @@ def test_worker_health_reports_serial_and_unstarted_pools():
     lazy = PersistentPool(workers=2)
     assert all(row["pid"] is None for row in lazy.worker_health())
     lazy.close()
+
+
+def test_idle_workers_tracks_queued_and_running_tasks(tmp_path):
+    """A task counts against its worker from submit until resolution.
+
+    The serving layer's idle-pool fan-out policy keys off this count, so it
+    must be exact: a serial pool exposes its one in-process pseudo-worker,
+    an unstarted parallel pool is fully idle, a busy slot drops out of the
+    count while its task runs, and a closed pool reports zero.
+    """
+    serial = PersistentPool(workers=1)
+    assert serial.idle_workers() == 1
+    serial.close()
+    assert serial.idle_workers() == 0
+
+    pool = PersistentPool(workers=2)
+    with pool:
+        assert pool.idle_workers() == 2  # unstarted, fully idle
+        started = tmp_path / "started"
+        release = tmp_path / "release"
+        future = pool.submit(
+            _touch_then_wait_for, (str(started), str(release)), worker=0
+        )
+        deadline = time.monotonic() + 10
+        while not started.exists():
+            assert time.monotonic() < deadline, "task never started in the worker"
+            time.sleep(0.02)
+        assert pool.idle_workers() == 1
+        release.write_text("go")
+        assert future.result() == "released"
+        # The decrement lands right after the future resolves; poll briefly.
+        deadline = time.monotonic() + 10
+        while pool.idle_workers() != 2:
+            assert time.monotonic() < deadline, "slot never returned to idle"
+            time.sleep(0.02)
+    assert pool.idle_workers() == 0
 
 
 def test_resolve_workers_warns_on_non_positive(monkeypatch):

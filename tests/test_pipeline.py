@@ -24,6 +24,7 @@ import random
 
 import pytest
 
+import repro.core.buffer_allocator as buffer_allocator_module
 from repro.core.buffer_allocator import (
     ALLOC_WORKERS_ENV,
     PIPELINE_ENV,
@@ -34,7 +35,12 @@ from repro.core.buffer_allocator import (
 )
 from repro.core.double_buffer import double_buffer_dlsa
 from repro.core.evaluator import ScheduleEvaluator
-from repro.core.lfa_stage import initial_lfa
+from repro.core.lfa_stage import (
+    LFA_BATCH_ENV,
+    initial_lfa,
+    lfa_batch_size,
+    speculation_stats,
+)
 from repro.core.roofline import schedule_floor
 from repro.core.soma import SoMaScheduler
 from repro.notation.parser import parse_lfa
@@ -71,6 +77,7 @@ def _clean_env(monkeypatch):
     monkeypatch.delenv(PIPELINE_ENV, raising=False)
     monkeypatch.delenv(ALLOC_WORKERS_ENV, raising=False)
     monkeypatch.delenv(POOL_WORKER_ENV, raising=False)
+    monkeypatch.delenv(LFA_BATCH_ENV, raising=False)
 
 
 def test_pipeline_is_off_by_default_and_matches_plain_serial_run(
@@ -149,6 +156,139 @@ def test_schedule_floor_never_exceeds_a_real_schedule_cost(
             result.evaluation.energy_j, result.evaluation.latency_s
         )
         assert floor <= result.best.cost
+
+
+@pytest.mark.parametrize(
+    "batch, workers",
+    [(3, None), (3, "2"), (7, "3")],
+)
+def test_speculative_stage1_is_bit_identical_across_batch_and_workers(
+    monkeypatch, tiny_accelerator, fast_config, branchy_cnn, batch, workers
+):
+    """Any batch size x worker count reproduces the batch=1 trajectory.
+
+    The draw-ahead protocol commits exactly the move the one-at-a-time
+    batched walk would accept, and the speculative candidate evaluations
+    are pure, so fanning them across pool workers (or not) and widening
+    the window must never change the schedule — only the counters.
+    """
+    monkeypatch.setenv(PIPELINE_ENV, "1")
+    monkeypatch.setenv(LFA_BATCH_ENV, "1")
+    reference = SoMaScheduler(tiny_accelerator, fast_config).schedule(
+        branchy_cnn, seed=_SEED
+    )
+    monkeypatch.setenv(LFA_BATCH_ENV, str(batch))
+    if workers is not None:
+        monkeypatch.setenv(ALLOC_WORKERS_ENV, workers)
+    speculated = SoMaScheduler(tiny_accelerator, fast_config).schedule(
+        branchy_cnn, seed=_SEED
+    )
+    assert _trajectory(speculated) == _trajectory(reference)
+    stats = speculation_stats(branchy_cnn)
+    assert stats["proposed"] >= stats["committed"] > 0
+    # Rejected candidates are neither committed nor rolled back, so the
+    # decided moves can only account for part of the speculated ones.
+    assert stats["proposed"] >= stats["committed"] + stats["rolled_back"]
+
+
+def test_speculative_serial_path_matches_across_batch_sizes(
+    monkeypatch, tiny_accelerator, fast_config, tiny_gpt_prefill
+):
+    """Without the pipeline the batched walk is still batch-size invariant."""
+    monkeypatch.setenv(LFA_BATCH_ENV, "1")
+    narrow = SoMaScheduler(tiny_accelerator, fast_config).schedule(
+        tiny_gpt_prefill, seed=_SEED
+    )
+    monkeypatch.setenv(LFA_BATCH_ENV, "6")
+    wide = SoMaScheduler(tiny_accelerator, fast_config).schedule(
+        tiny_gpt_prefill, seed=_SEED
+    )
+    assert _trajectory(wide) == _trajectory(narrow)
+
+
+def test_pooled_stage1_ignores_stale_worker_environment(
+    monkeypatch, tiny_accelerator, fast_config, branchy_cnn
+):
+    """The stage-1 walk is task state, never worker-environment state.
+
+    The allocator's persistent pool outlives knob changes in the submitting
+    process: workers forked while ``REPRO_LFA_BATCH`` was set keep it in
+    their inherited environment forever.  A later non-speculative pooled
+    run must still match the non-speculative in-process trajectory — the
+    batch size travels inside :class:`Stage1Task`, so whatever the worker's
+    stale environment says is irrelevant.
+    """
+    monkeypatch.setenv(PIPELINE_ENV, "1")
+    monkeypatch.setenv(ALLOC_WORKERS_ENV, "2")
+    monkeypatch.setenv(LFA_BATCH_ENV, "8")
+    # Retire any pool a previous test spawned so this schedule call forks
+    # fresh workers while the knob is set: they inherit REPRO_LFA_BATCH=8
+    # in their environment permanently.
+    stale = buffer_allocator_module._POOLS.pop(2, None)
+    if stale is not None:
+        stale.close()
+    SoMaScheduler(tiny_accelerator, fast_config).schedule(branchy_cnn, seed=_SEED)
+
+    monkeypatch.delenv(LFA_BATCH_ENV)
+    pooled = SoMaScheduler(tiny_accelerator, fast_config).schedule(
+        branchy_cnn, seed=_SEED
+    )
+    monkeypatch.delenv(ALLOC_WORKERS_ENV)
+    in_process = SoMaScheduler(tiny_accelerator, fast_config).schedule(
+        branchy_cnn, seed=_SEED
+    )
+    assert _trajectory(pooled) == _trajectory(in_process)
+
+
+def test_lfa_batch_knob_parsing(monkeypatch):
+    assert lfa_batch_size() == 0
+    monkeypatch.setenv(LFA_BATCH_ENV, "0")
+    assert lfa_batch_size() == 0
+    monkeypatch.setenv(LFA_BATCH_ENV, "4")
+    assert lfa_batch_size() == 4
+    monkeypatch.setenv(LFA_BATCH_ENV, "-2")
+    with pytest.warns(RuntimeWarning, match="REPRO_LFA_BATCH"):
+        assert lfa_batch_size() == 0
+    monkeypatch.setenv(LFA_BATCH_ENV, "not-a-number")
+    with pytest.warns(RuntimeWarning, match="REPRO_LFA_BATCH"):
+        assert lfa_batch_size() == 0
+
+
+@pytest.mark.parametrize("graph_fixture", ["branchy_cnn", "tiny_gpt_prefill"])
+def test_per_budget_floor_prunes_exactly_the_dominated_iterations(
+    monkeypatch, request, tiny_accelerator, fast_config, graph_fixture
+):
+    """Pruning by the per-budget floor never changes what the search finds.
+
+    An un-pruned run (the floor monkeypatched to -inf so it never fires) and
+    the real run must agree on the final scheme bit for bit; every pruned
+    iteration (an ``inf`` history entry where the un-pruned run has a finite
+    cost) must be one the un-pruned run discarded anyway — its cost at or
+    above the incumbent at that point, exactly as the floor promised.
+    """
+    graph = request.getfixturevalue(graph_fixture)
+    monkeypatch.setenv(PIPELINE_ENV, "1")
+    pruned = SoMaScheduler(tiny_accelerator, fast_config).schedule(graph, seed=_SEED)
+    monkeypatch.setattr(
+        buffer_allocator_module,
+        "budget_schedule_floor",
+        lambda *args, **kwargs: -math.inf,
+    )
+    unpruned = SoMaScheduler(tiny_accelerator, fast_config).schedule(graph, seed=_SEED)
+
+    assert pruned.best.cost == unpruned.best.cost
+    assert _encoding_key(pruned.best.encoding) == _encoding_key(unpruned.best.encoding)
+    assert pruned.stage1_buffer_budget_bytes == unpruned.stage1_buffer_budget_bytes
+    assert len(pruned.history) == len(unpruned.history)
+    incumbent = math.inf
+    for pruned_cost, true_cost in zip(pruned.history, unpruned.history):
+        if math.isinf(pruned_cost) and math.isfinite(true_cost):
+            # Pruned iteration: the un-pruned run evaluated it and indeed
+            # failed to improve on the incumbent the floor was compared to.
+            assert true_cost >= incumbent
+        else:
+            assert pruned_cost == true_cost
+        incumbent = min(incumbent, true_cost)
 
 
 def test_alloc_workers_parsing_and_nested_pool_guard(monkeypatch):

@@ -241,3 +241,50 @@ def test_assess_batch_matches_per_move_assess(request, tiny_accelerator, graph_f
         feasible_total += sum(1 for feasible, _pruned in expected if feasible)
     assert pruned_total > 0
     assert feasible_total > 0
+
+
+# ---------------------------------------------------------- per-budget floor
+@pytest.mark.parametrize("graph_fixture", ["tiny_gpt_prefill", "tiny_gpt_decode"])
+def test_budget_floor_is_sound_monotone_and_anchored_at_gbuf(
+    request, tiny_accelerator, fast_config, graph_fixture
+):
+    """The per-budget floor is a true lower bound and behaves like one.
+
+    At a budget no untiled ofmap exceeds, it charges nothing beyond the
+    graph-global floor; shrinking the budget only ever raises it (more
+    producers are forced to spill); and it never exceeds the cost of a real
+    schedule evaluated at that schedule's own buffer peak — the soundness
+    the allocator's pruning rests on, pinned here for the soft-budget
+    search too.
+    """
+    from repro.core.roofline import budget_schedule_floor, schedule_floor
+    from repro.core.soma import SoMaScheduler
+    from repro.notation.segments import forced_spill_profile
+
+    graph = request.getfixturevalue(graph_fixture)
+    profile = forced_spill_profile(graph)
+    assert profile, "fixture must exercise the forced-spill term"
+    assert all(spill in (ofmap, 2 * ofmap) for ofmap, spill in profile)
+    assert list(profile) == sorted(profile, reverse=True)
+
+    gbuf = tiny_accelerator.gbuf_bytes
+    base = schedule_floor(graph, tiny_accelerator, fast_config)
+    assert budget_schedule_floor(graph, tiny_accelerator, fast_config, gbuf) == base
+
+    budgets = [gbuf, gbuf // 4, profile[0][0], profile[0][0] - 1, 16, 1]
+    floors = [
+        budget_schedule_floor(graph, tiny_accelerator, fast_config, budget)
+        for budget in budgets
+    ]
+    for wider, tighter in zip(floors, floors[1:]):
+        assert tighter >= wider  # shrinking the budget never lowers the floor
+    assert floors[-1] > base  # below every threshold the forced term bites
+
+    result = SoMaScheduler(tiny_accelerator, fast_config).schedule(graph, seed=13)
+    assert result.evaluation.feasible
+    peak = result.evaluation.max_buffer_bytes
+    achieved = fast_config.objective(
+        result.evaluation.energy_j, result.evaluation.latency_s
+    )
+    assert budget_schedule_floor(graph, tiny_accelerator, fast_config, peak) <= achieved
+    assert budget_schedule_floor(graph, tiny_accelerator, fast_config, peak) <= result.best.cost

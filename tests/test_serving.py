@@ -255,6 +255,45 @@ def test_served_results_bit_identical_to_direct(workers):
     reset_worker_state()
 
 
+def test_idle_pool_fanout_grants_whole_pool_and_stays_bit_identical(monkeypatch):
+    """A cold request on a quiet pipelined service fans out, bit for bit.
+
+    With the stage pipeline enabled, an empty queue and a fully idle pool,
+    the service runs the request parent-side with the whole pool granted to
+    the allocator; the response records the grant and the schedule matches
+    a direct call exactly (fan-out moves work between processes, never the
+    placements).
+    """
+    reset_worker_state()
+    monkeypatch.setenv("REPRO_STAGE_PIPELINE", "1")
+    request = tiny_request(seed=17)
+    graph = build_workload("gpt2-decode", batch=1, **request.workload_kwargs_dict)
+    direct = SoMaScheduler(request.build_accelerator(), request.build_config()).schedule(
+        graph, seed=17
+    )
+    with ScheduleService(workers=2) as service:
+        served = service.schedule(request)
+        stats = service.stats()
+    assert served.ok
+    assert served.fanout_workers == 2
+    assert served.result["evaluation"] == evaluation_to_payload(direct.evaluation)
+    assert served.result["stage1"] == evaluation_to_payload(direct.stage1.evaluation)
+    assert served.result["stage2"] == evaluation_to_payload(direct.stage2.evaluation)
+    assert stats["fanout"]["grants"] == 1
+    assert stats["fanout"]["enabled"]
+    reset_worker_state()
+
+
+def test_fanout_needs_pipeline_knob_and_a_parallel_pool(service):
+    """Serial pools and the default (pipeline off) path never fan out."""
+    response = service.schedule(tiny_request(seed=19))
+    assert response.ok
+    assert response.fanout_workers == 0
+    stats = service.stats()
+    assert stats["fanout"]["grants"] == 0
+    assert not stats["fanout"]["enabled"]
+
+
 def test_seed_sweep_stays_on_one_warm_worker():
     """Affinity routing: same graph -> same worker, warm after the first hit."""
     reset_worker_state()
@@ -555,9 +594,13 @@ def test_close_fails_queued_requests_fast(blocking_executor):
     assert "closed" in late.error
 
 
-def test_close_reaps_worker_processes():
+def test_close_reaps_worker_processes(monkeypatch):
     import multiprocessing
 
+    # Pin the classic one-worker routing: with REPRO_STAGE_PIPELINE=1 a cold
+    # request at an idle pool is granted a fan-out and runs parent-side on
+    # the allocator's own pool, so the serving pool would never spawn.
+    monkeypatch.delenv("REPRO_STAGE_PIPELINE", raising=False)
     reset_worker_state()
     before = set(multiprocessing.active_children())
     service = ScheduleService(workers=2)
